@@ -1,0 +1,95 @@
+// E5 — §3.3 "Combine Multiple Aggregates": "SEEDB combines all view queries
+// with the same group-by attribute into a single query. This rewriting
+// provides a speed up linear in the number of aggregate attributes."
+//
+// Sweeps the number of measures; with aggregate combining on, the number of
+// queries stays constant per dimension while the baseline grows linearly —
+// so the speedup grows roughly linearly in the measure count.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/seedb.h"
+#include "data/workload.h"
+
+namespace {
+
+using namespace seedb;  // NOLINT
+
+void RunExperiment() {
+  bench::Banner("E5 (combine multiple aggregates)",
+                "one multi-aggregate query per grouping attribute",
+                "speedup is roughly linear in the number of aggregate "
+                "attributes sharing a group-by");
+
+  std::printf("%9s %9s %12s %12s %9s %9s %9s\n", "measures", "views",
+              "sep(ms)", "comb(ms)", "speedup", "q_sep", "q_comb");
+  for (size_t measures : {1, 2, 4, 8}) {
+    data::WorkloadSpec spec;
+    spec.rows = 100000;
+    spec.num_dims = 3;
+    spec.num_measures = measures;
+    spec.cardinality = 48;
+    auto workload = data::BuildWorkload(spec).ValueOrDie();
+    core::SeeDB seedb_engine(workload.engine.get());
+
+    core::SeeDBOptions separate;
+    separate.optimizer = core::OptimizerOptions::Baseline();
+    separate.optimizer.combine_target_comparison = true;  // isolate E5
+    core::SeeDBOptions combined = separate;
+    combined.optimizer.combine_aggregates = true;
+
+    core::RecommendationSet rs, rc;
+    double sep_ms = bench::MedianSeconds([&] {
+                      rs = seedb_engine
+                               .Recommend(workload.table_name,
+                                          workload.selection, separate)
+                               .ValueOrDie();
+                    }) *
+                    1e3;
+    double comb_ms = bench::MedianSeconds([&] {
+                       rc = seedb_engine
+                                .Recommend(workload.table_name,
+                                           workload.selection, combined)
+                                .ValueOrDie();
+                     }) *
+                     1e3;
+    std::printf("%9zu %9zu %12.2f %12.2f %8.1fx %9zu %9zu\n", measures,
+                rs.profile.views_executed, sep_ms, comb_ms, sep_ms / comb_ms,
+                rs.profile.queries_issued, rc.profile.queries_issued);
+  }
+  std::printf("\nExpected shape: q_comb stays at #dims while q_sep grows "
+              "with measures; speedup grows with the measure count.\n");
+  bench::Footer();
+}
+
+void BM_MultiAggregateQuery(benchmark::State& state) {
+  data::WorkloadSpec spec;
+  spec.rows = 50000;
+  spec.num_dims = 1;
+  spec.num_measures = static_cast<size_t>(state.range(0));
+  auto workload = data::BuildWorkload(spec).ValueOrDie();
+  db::GroupByQuery q;
+  q.table = workload.table_name;
+  q.group_by = {"dim0"};
+  for (int m = 0; m < state.range(0); ++m) {
+    q.aggregates.push_back(db::AggregateSpec::Make(
+        db::AggregateFunction::kSum, "m" + std::to_string(m)));
+  }
+  for (auto _ : state) {
+    auto r = workload.engine->Execute(q);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MultiAggregateQuery)->Arg(1)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

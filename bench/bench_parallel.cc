@@ -1,0 +1,104 @@
+// E8 — §3.3 "Parallel Query Execution": "as the number of queries executed
+// in parallel increases, the total latency decreases at the cost of
+// increased per query execution time."
+//
+// Runs the un-combined (many-query) plan at increasing parallelism and
+// reports total latency plus mean per-query time.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/executor.h"
+#include "core/seedb.h"
+#include "core/view_space.h"
+#include "data/workload.h"
+
+namespace {
+
+using namespace seedb;  // NOLINT
+
+void RunExperiment() {
+  bench::Banner("E8 (parallel query execution)",
+                "total latency vs per-query latency",
+                "more parallel queries lower total latency but raise "
+                "per-query execution time");
+
+  data::WorkloadSpec spec;
+  spec.rows = 150000;
+  spec.num_dims = 6;
+  spec.num_measures = 2;
+  auto workload = data::BuildWorkload(spec).ValueOrDie();
+
+  const db::Table* table =
+      workload.catalog->GetTable(workload.table_name).ValueOrDie();
+  const db::TableStats* stats =
+      workload.catalog->GetStats(workload.table_name).ValueOrDie();
+  auto views = core::EnumerateViews(table->schema());
+  // Baseline plan = many small queries -> parallelism has room to help.
+  auto plan = core::BuildExecutionPlan(views, workload.table_name,
+                                       workload.selection, *stats,
+                                       core::OptimizerOptions::Baseline())
+                  .ValueOrDie();
+
+  std::printf("plan: %zu queries over %zu views, %zu rows\n\n",
+              plan.num_queries(), views.size(), workload.rows);
+  std::printf("%9s %14s %18s %14s\n", "threads", "total(ms)",
+              "mean/query(ms)", "max/query(ms)");
+  for (size_t threads : {1, 2, 4, 8}) {
+    core::ExecutorOptions exec;
+    exec.parallelism = threads;
+    core::ExecutionReport report;
+    double ms =
+        bench::MedianSeconds(
+            [&] {
+              auto results = core::ExecutePlan(
+                  workload.engine.get(), plan,
+                  core::DistanceMetric::kEarthMovers, exec, &report);
+              (void)results.ValueOrDie();
+            },
+            2) *
+        1e3;
+    std::printf("%9zu %14.2f %18.4f %14.4f\n", threads, ms,
+                report.MeanQuerySeconds() * 1e3,
+                report.MaxQuerySeconds() * 1e3);
+  }
+  std::printf("\nExpected shape: total latency falls with threads (up to "
+              "core count); mean per-query time rises with contention.\n");
+  bench::Footer();
+}
+
+void BM_ParallelPlan(benchmark::State& state) {
+  data::WorkloadSpec spec;
+  spec.rows = 50000;
+  spec.num_dims = 4;
+  spec.num_measures = 2;
+  auto workload = data::BuildWorkload(spec).ValueOrDie();
+  const db::Table* table =
+      workload.catalog->GetTable(workload.table_name).ValueOrDie();
+  const db::TableStats* stats =
+      workload.catalog->GetStats(workload.table_name).ValueOrDie();
+  auto views = core::EnumerateViews(table->schema());
+  auto plan = core::BuildExecutionPlan(views, workload.table_name,
+                                       workload.selection, *stats,
+                                       core::OptimizerOptions::Baseline())
+                  .ValueOrDie();
+  core::ExecutorOptions exec;
+  exec.parallelism = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = core::ExecutePlan(workload.engine.get(), plan,
+                               core::DistanceMetric::kEarthMovers, exec);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ParallelPlan)->Arg(1)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

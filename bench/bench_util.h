@@ -1,0 +1,86 @@
+// Shared helpers for the experiment benches (E1-E12 in DESIGN.md).
+//
+// Each bench binary prints a paper-shaped result table on stdout when run
+// with no arguments (the repro harness runs every binary that way), then
+// runs any registered google-benchmark micro sections.
+
+#ifndef SEEDB_BENCH_BENCH_UTIL_H_
+#define SEEDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/recommendation.h"
+#include "core/seedb.h"
+#include "util/timer.h"
+
+namespace seedb::bench {
+
+/// Prints the experiment banner: id, title, and the paper claim the table
+/// reproduces.
+inline void Banner(const char* experiment_id, const char* title,
+                   const char* paper_claim) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s: %s\n", experiment_id, title);
+  std::printf("Paper claim: %s\n", paper_claim);
+  std::printf("---------------------------------------------------------------"
+              "-----------------\n");
+}
+
+inline void Footer() {
+  std::printf("==============================================================="
+              "=================\n\n");
+}
+
+/// Lower-median wall time of `reps` runs of `fn`, in seconds (for 2 reps
+/// this is the minimum — robust against one-off scheduling noise on the
+/// shared benchmark machine).
+inline double MedianSeconds(const std::function<void()>& fn, int reps = 3) {
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch timer;
+    fn();
+    times.push_back(timer.ElapsedSeconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[(times.size() - 1) / 2];
+}
+
+/// Ids of the top-k views of a recommendation set.
+inline std::set<std::string> TopViewIds(const core::RecommendationSet& set) {
+  std::set<std::string> ids;
+  for (const auto& rec : set.top_views) ids.insert(rec.view().Id());
+  return ids;
+}
+
+/// Fraction of `truth` ids present in `observed` (top-k recall).
+inline double Recall(const std::set<std::string>& truth,
+                     const std::set<std::string>& observed) {
+  if (truth.empty()) return 1.0;
+  size_t hit = 0;
+  for (const auto& id : truth) hit += observed.count(id);
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+/// 1-based rank of the view (dimension, measure) in the top list; 0 if
+/// absent.
+inline size_t RankOf(const core::RecommendationSet& set,
+                     const std::string& dimension,
+                     const std::string& measure) {
+  for (const auto& rec : set.top_views) {
+    if (rec.view().dimension == dimension && rec.view().measure == measure) {
+      return rec.rank;
+    }
+  }
+  return 0;
+}
+
+}  // namespace seedb::bench
+
+#endif  // SEEDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,100 @@
+// E2 — §1 challenge (b): "the number of candidate views (or visualizations)
+// increases as the square of the number of attributes in a table ...
+// generating and evaluating all views, even for a moderately sized dataset,
+// can be prohibitively expensive."
+//
+// Sweeps the attribute count (split evenly into dimensions and measures) and
+// reports the candidate-view count plus the measured cost of exhaustively
+// evaluating all of them (baseline plan) vs the fully optimized plan.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/seedb.h"
+#include "core/view_space.h"
+#include "data/workload.h"
+
+namespace {
+
+using namespace seedb;  // NOLINT
+
+void RunExperiment() {
+  bench::Banner("E2 (view-space growth)",
+                "candidate views vs attribute count",
+                "candidate views grow quadratically with attributes; "
+                "exhaustive evaluation cost grows in step, optimization "
+                "flattens it");
+
+  std::printf("%6s %6s %6s %8s %14s %14s %9s\n", "attrs", "dims", "meas",
+              "views", "baseline(ms)", "optimized(ms)", "speedup");
+  for (size_t attrs : {4, 8, 16, 32}) {
+    size_t dims = attrs / 2;
+    size_t measures = attrs - dims;
+    data::WorkloadSpec spec;
+    spec.rows = 20000;
+    spec.num_dims = dims;
+    spec.num_measures = measures;
+    spec.cardinality = 12;
+    auto workload = data::BuildWorkload(spec).ValueOrDie();
+    core::SeeDB seedb_engine(workload.engine.get());
+
+    size_t views = core::ViewSpaceSize(
+        dims, measures, core::ViewSpaceOptions{}.functions.size(), false);
+
+    core::SeeDBOptions baseline;
+    baseline.optimizer = core::OptimizerOptions::Baseline();
+    core::SeeDBOptions optimized;  // all combining on
+
+    double baseline_ms =
+        bench::MedianSeconds([&] {
+          (void)seedb_engine.Recommend(workload.table_name,
+                                       workload.selection, baseline);
+        }) *
+        1e3;
+    double optimized_ms =
+        bench::MedianSeconds([&] {
+          (void)seedb_engine.Recommend(workload.table_name,
+                                       workload.selection, optimized);
+        }) *
+        1e3;
+    std::printf("%6zu %6zu %6zu %8zu %14.2f %14.2f %8.1fx\n", attrs, dims,
+                measures, views, baseline_ms, optimized_ms,
+                baseline_ms / optimized_ms);
+  }
+  std::printf(
+      "\nClosed-form check (quadratic shape): views(2n)/views(n) = 4:\n");
+  size_t f = core::ViewSpaceOptions{}.functions.size();
+  for (size_t n : {8, 16, 32}) {
+    size_t v1 = core::ViewSpaceSize(n / 2, n / 2, f, false);
+    size_t v2 = core::ViewSpaceSize(n, n, f, false);
+    std::printf("  views(%2zu attrs)=%5zu  views(%2zu attrs)=%5zu  ratio=%.1f\n",
+                n, v1, 2 * n, v2,
+                static_cast<double>(v2) / static_cast<double>(v1));
+  }
+  bench::Footer();
+}
+
+void BM_EnumerateViews(benchmark::State& state) {
+  db::Schema schema;
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)schema.AddColumn(
+        db::ColumnDef::Dimension("d" + std::to_string(i)));
+    (void)schema.AddColumn(db::ColumnDef::Measure("m" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    auto views = core::EnumerateViews(schema);
+    benchmark::DoNotOptimize(views);
+  }
+}
+BENCHMARK(BM_EnumerateViews)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

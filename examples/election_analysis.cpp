@@ -1,0 +1,72 @@
+// Election contributions analysis (§4, Scenario 1, dataset [1]): the
+// journalist workflow — plus a demonstration of correlated-attribute
+// pruning, since candidate determines party in this schema.
+
+#include <cstdio>
+
+#include "core/seedb.h"
+#include "data/elections.h"
+#include "db/engine.h"
+#include "viz/ascii_renderer.h"
+#include "viz/vega.h"
+
+int main() {
+  auto dataset = seedb::data::MakeElections({.rows = 30000, .seed = 11});
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  seedb::db::Catalog catalog;
+  std::string table = dataset->table_name;
+  (void)catalog.AddTable(table, std::move(dataset->table));
+  seedb::db::Engine engine(&catalog);
+  seedb::core::SeeDB seedb(&engine);
+
+  // Enable correlation pruning: candidate <-> party are nearly 1:1, so one
+  // of them should be evaluated on behalf of both.
+  seedb::core::SeeDBOptions options;
+  options.k = 4;
+  options.pruning.enable_correlation = true;
+  options.pruning.correlation_threshold = 0.8;
+  options.metric = seedb::core::DistanceMetric::kJensenShannon;
+
+  for (const auto& trend : dataset->trends) {
+    std::printf("=== %s\n    query: %s\n", trend.description.c_str(),
+                trend.query_sql.c_str());
+    auto result = seedb.RecommendSql(trend.query_sql, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "recommend failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& rec : result->top_views) {
+      bool matches = rec.view().dimension == trend.expected_dimension &&
+                     rec.view().measure == trend.expected_measure;
+      std::printf("  #%zu %-34s utility=%.4f%s\n", rec.rank,
+                  rec.view().Id().c_str(), rec.utility(),
+                  matches ? "   <-- planted trend" : "");
+    }
+    if (!result->pruned_views.empty()) {
+      std::printf("  pruned %zu views, e.g.:\n", result->pruned_views.size());
+      size_t shown = 0;
+      for (const auto& pruned : result->pruned_views) {
+        std::printf("      %-34s (%s%s%s)\n", pruned.view.Id().c_str(),
+                    seedb::core::PruneReasonToString(pruned.reason),
+                    pruned.detail.empty() ? "" : " -> ",
+                    pruned.detail.c_str());
+        if (++shown >= 3) break;
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Export the top view of the first trend as Vega-Lite JSON (what a web
+  // frontend would consume).
+  auto result = seedb.RecommendSql(dataset->trends[0].query_sql, options);
+  if (result.ok() && !result->top_views.empty()) {
+    auto spec = seedb::viz::BuildChartSpec(result->top_views[0].result);
+    std::printf("Vega-Lite spec for the top view:\n%s\n",
+                seedb::viz::ToVegaLite(spec).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Quickstart: load a small sales table, ask SeeDB for interesting views.
+//
+// This mirrors the paper's §1 workflow end to end in ~60 lines:
+//   1. register data with the engine,
+//   2. issue the analyst query Q,
+//   3. receive ranked visualizations.
+
+#include <cstdio>
+
+#include "core/seedb.h"
+#include "db/engine.h"
+#include "viz/ascii_renderer.h"
+#include "viz/metadata.h"
+
+namespace {
+
+// Builds a toy sales table: product/store/month dimensions, amount measure.
+seedb::db::Table BuildSalesTable() {
+  seedb::db::Schema schema;
+  (void)schema.AddColumn(seedb::db::ColumnDef::Dimension("product"));
+  (void)schema.AddColumn(seedb::db::ColumnDef::Dimension("store"));
+  (void)schema.AddColumn(seedb::db::ColumnDef::Dimension("month"));
+  (void)schema.AddColumn(seedb::db::ColumnDef::Measure("amount"));
+  seedb::db::Table table(schema);
+
+  struct Row {
+    const char* product;
+    const char* store;
+    const char* month;
+    double amount;
+  };
+  // The Laserwave sells mostly in Cambridge; everything else is spread out.
+  const Row rows[] = {
+      {"Laserwave Oven", "Cambridge, MA", "Jan", 180.55},
+      {"Laserwave Oven", "Cambridge, MA", "Feb", 145.50},
+      {"Laserwave Oven", "Seattle, WA", "Mar", 122.00},
+      {"Laserwave Oven", "Cambridge, MA", "Apr", 90.13},
+      {"Saberwave Oven", "New York, NY", "Jan", 400.00},
+      {"Saberwave Oven", "San Francisco, CA", "Feb", 380.00},
+      {"Saberwave Oven", "Seattle, WA", "Mar", 350.00},
+      {"Toaster Pro", "New York, NY", "Jan", 120.00},
+      {"Toaster Pro", "San Francisco, CA", "Feb", 130.00},
+      {"Toaster Pro", "Seattle, WA", "Mar", 110.00},
+      {"Toaster Pro", "Cambridge, MA", "Apr", 125.00},
+      {"Blender Max", "New York, NY", "Jan", 95.00},
+      {"Blender Max", "San Francisco, CA", "Feb", 85.00},
+      {"Blender Max", "Seattle, WA", "Mar", 105.00},
+      {"Blender Max", "Cambridge, MA", "Apr", 90.00},
+  };
+  for (const Row& r : rows) {
+    (void)table.AppendRow({seedb::db::Value(r.product),
+                           seedb::db::Value(r.store),
+                           seedb::db::Value(r.month),
+                           seedb::db::Value(r.amount)});
+  }
+  return table;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Register data.
+  seedb::db::Catalog catalog;
+  if (auto s = catalog.AddTable("sales", BuildSalesTable()); !s.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  seedb::db::Engine engine(&catalog);
+  seedb::core::SeeDB seedb(&engine);
+
+  // 2. The analyst's query Q, exactly as in the paper's §1.
+  const char* query = "SELECT * FROM sales WHERE product = 'Laserwave Oven'";
+  std::printf("Analyst query: %s\n\n", query);
+
+  seedb::core::SeeDBOptions options;
+  options.k = 3;
+  options.metric = seedb::core::DistanceMetric::kEarthMovers;
+
+  auto result = seedb.RecommendSql(query, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "recommend failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Display the recommended visualizations.
+  for (const auto& rec : result->top_views) {
+    std::printf("%s\n", seedb::viz::RenderRecommendation(rec).c_str());
+    seedb::viz::ViewMetadata meta =
+        seedb::viz::ComputeViewMetadata(rec.result);
+    std::printf("    metadata: %s\n\n", meta.ToString().c_str());
+  }
+  std::printf("profile: %s\n", result->profile.ToString().c_str());
+  return 0;
+}

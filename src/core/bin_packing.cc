@@ -1,0 +1,161 @@
+#include "core/bin_packing.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace seedb::core {
+namespace {
+
+// Sorted item order: heaviest first; ties by id for determinism.
+std::vector<size_t> DescendingOrder(const std::vector<BinPackingItem>& items) {
+  std::vector<size_t> order(items.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (items[a].weight != items[b].weight) {
+      return items[a].weight > items[b].weight;
+    }
+    return items[a].id < items[b].id;
+  });
+  return order;
+}
+
+struct BinState {
+  uint64_t load = 0;
+  std::vector<size_t> item_ids;
+};
+
+}  // namespace
+
+BinPackingSolution FirstFitDecreasing(const std::vector<BinPackingItem>& items,
+                                      const BinPackingOptions& options) {
+  BinPackingSolution solution;
+  std::vector<BinState> bins;
+  for (size_t idx : DescendingOrder(items)) {
+    const BinPackingItem& item = items[idx];
+    bool placed = false;
+    for (auto& bin : bins) {
+      bool fits = bin.load + item.weight <= options.capacity;
+      bool room = options.max_items_per_bin == 0 ||
+                  bin.item_ids.size() < options.max_items_per_bin;
+      if (fits && room) {
+        bin.load += item.weight;
+        bin.item_ids.push_back(item.id);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // New bin; oversized items live alone (they exceed capacity by
+      // themselves, but the query must still run).
+      bins.push_back({item.weight, {item.id}});
+    }
+  }
+  for (auto& bin : bins) {
+    std::sort(bin.item_ids.begin(), bin.item_ids.end());
+    solution.bins.push_back(std::move(bin.item_ids));
+  }
+  return solution;
+}
+
+namespace {
+
+/// Depth-first search placing items (heaviest first) into bins, pruning on a
+/// simple capacity lower bound and the incumbent solution.
+class ExactSolver {
+ public:
+  ExactSolver(const std::vector<BinPackingItem>& items,
+              const BinPackingOptions& options)
+      : items_(items), options_(options), order_(DescendingOrder(items)) {}
+
+  BinPackingSolution Solve() {
+    // Seed the incumbent with FFD so pruning starts tight.
+    BinPackingSolution ffd = FirstFitDecreasing(items_, options_);
+    best_bins_ = ffd.bins;
+    best_count_ = ffd.bins.size();
+
+    uint64_t total = 0;
+    for (const auto& item : items_) total += item.weight;
+    lower_bound_ =
+        options_.capacity == 0
+            ? items_.size()
+            : static_cast<size_t>((total + options_.capacity - 1) /
+                                  options_.capacity);
+    lower_bound_ = std::max<size_t>(lower_bound_, items_.empty() ? 0 : 1);
+
+    std::vector<BinState> bins;
+    Search(0, &bins);
+
+    BinPackingSolution solution;
+    solution.bins = best_bins_;
+    for (auto& b : solution.bins) std::sort(b.begin(), b.end());
+    solution.exact = true;
+    return solution;
+  }
+
+ private:
+  void Search(size_t depth, std::vector<BinState>* bins) {
+    if (bins->size() >= best_count_) return;  // cannot improve
+    if (best_count_ == lower_bound_) return;  // already optimal
+    if (depth == order_.size()) {
+      best_count_ = bins->size();
+      best_bins_.clear();
+      for (const auto& bin : *bins) best_bins_.push_back(bin.item_ids);
+      return;
+    }
+    const BinPackingItem& item = items_[order_[depth]];
+
+    // Try existing bins. Symmetry breaking: identical loads are equivalent,
+    // skip repeats. Indexed access throughout: the recursive call may grow
+    // the vector (opening deeper bins) and reallocate, so references taken
+    // before the call would dangle.
+    uint64_t last_tried = UINT64_MAX;
+    const size_t existing = bins->size();
+    for (size_t i = 0; i < existing; ++i) {
+      uint64_t load = (*bins)[i].load;
+      bool fits = load + item.weight <= options_.capacity;
+      bool room = options_.max_items_per_bin == 0 ||
+                  (*bins)[i].item_ids.size() < options_.max_items_per_bin;
+      if (!fits || !room || load == last_tried) continue;
+      last_tried = load;
+      (*bins)[i].load += item.weight;
+      (*bins)[i].item_ids.push_back(item.id);
+      Search(depth + 1, bins);
+      (*bins)[i].item_ids.pop_back();
+      (*bins)[i].load -= item.weight;
+    }
+
+    // Open a new bin.
+    bins->push_back({item.weight, {item.id}});
+    Search(depth + 1, bins);
+    bins->pop_back();
+  }
+
+  const std::vector<BinPackingItem>& items_;
+  const BinPackingOptions& options_;
+  std::vector<size_t> order_;
+  std::vector<std::vector<size_t>> best_bins_;
+  size_t best_count_ = 0;
+  size_t lower_bound_ = 0;
+};
+
+}  // namespace
+
+BinPackingSolution ExactBinPacking(const std::vector<BinPackingItem>& items,
+                                   const BinPackingOptions& options) {
+  if (items.empty()) {
+    BinPackingSolution s;
+    s.exact = true;
+    return s;
+  }
+  return ExactSolver(items, options).Solve();
+}
+
+BinPackingSolution PackBins(const std::vector<BinPackingItem>& items,
+                            const BinPackingOptions& options) {
+  if (items.size() <= options.exact_solver_limit) {
+    return ExactBinPacking(items, options);
+  }
+  return FirstFitDecreasing(items, options);
+}
+
+}  // namespace seedb::core

@@ -1,0 +1,66 @@
+// Bin packing of group-by attributes into combined queries (§3.3).
+//
+// "Given a set of candidate views, we model the problem of finding the
+// optimal combinations of views as a variant of bin-packing and apply ILP
+// techniques to obtain the best solution."
+//
+// Items are dimension attributes; an item's weight is the aggregation
+// working memory its group-by needs (estimated groups x aggregate state).
+// Bins are combined queries bounded by the working-memory budget; minimizing
+// bins minimizes table scans. Two solvers: first-fit-decreasing (fast,
+// guaranteed <= 11/9 OPT + 1) and an exact branch-and-bound for small
+// instances standing in for the paper's ILP.
+
+#ifndef SEEDB_CORE_BIN_PACKING_H_
+#define SEEDB_CORE_BIN_PACKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+
+namespace seedb::core {
+
+struct BinPackingItem {
+  /// Caller-side identifier (e.g. index into a dimension list).
+  size_t id = 0;
+  /// Working-memory weight in bytes.
+  uint64_t weight = 0;
+};
+
+struct BinPackingOptions {
+  /// Bin capacity in bytes. Items heavier than the capacity are placed in
+  /// singleton bins (they must execute regardless).
+  uint64_t capacity = 64ull << 20;
+  /// Hard cap on items per bin (system limits on query width); 0 = no cap.
+  size_t max_items_per_bin = 0;
+  /// Use the exact solver when the item count is at most this; otherwise
+  /// first-fit-decreasing.
+  size_t exact_solver_limit = 12;
+};
+
+struct BinPackingSolution {
+  /// Each bin lists item ids.
+  std::vector<std::vector<size_t>> bins;
+  /// True if produced by the exact solver (optimal bin count).
+  bool exact = false;
+
+  size_t num_bins() const { return bins.size(); }
+};
+
+/// Packs items into the fewest bins heuristically (first-fit-decreasing).
+BinPackingSolution FirstFitDecreasing(const std::vector<BinPackingItem>& items,
+                                      const BinPackingOptions& options);
+
+/// Exact minimum-bin packing via branch-and-bound. Intended for small
+/// instances (<= ~16 items); cost grows exponentially beyond that.
+BinPackingSolution ExactBinPacking(const std::vector<BinPackingItem>& items,
+                                   const BinPackingOptions& options);
+
+/// Dispatches to the exact solver for small inputs, FFD otherwise.
+BinPackingSolution PackBins(const std::vector<BinPackingItem>& items,
+                            const BinPackingOptions& options);
+
+}  // namespace seedb::core
+
+#endif  // SEEDB_CORE_BIN_PACKING_H_

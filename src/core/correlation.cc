@@ -1,0 +1,75 @@
+#include "core/correlation.h"
+
+#include <numeric>
+
+namespace seedb::core {
+namespace {
+
+/// Union-find over dimension indices.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Result<std::vector<DimensionCluster>> ClusterCorrelatedDimensions(
+    const db::Table& table, const db::TableStats& stats,
+    const std::vector<std::string>& dimensions, double threshold,
+    db::Catalog* catalog, const std::string& table_name) {
+  const size_t n = dimensions.size();
+  DisjointSets sets(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v;
+      if (catalog != nullptr) {
+        SEEDB_ASSIGN_OR_RETURN(
+            v, catalog->GetCramersV(table_name, dimensions[i], dimensions[j]));
+      } else {
+        SEEDB_ASSIGN_OR_RETURN(
+            v, db::CramersV(table, dimensions[i], dimensions[j]));
+      }
+      if (v >= threshold) sets.Union(i, j);
+    }
+  }
+
+  // Gather members per root, preserving input (schema) order.
+  std::vector<std::vector<size_t>> by_root(n);
+  for (size_t i = 0; i < n; ++i) by_root[sets.Find(i)].push_back(i);
+
+  std::vector<DimensionCluster> clusters;
+  for (size_t root = 0; root < n; ++root) {
+    if (by_root[root].empty()) continue;
+    DimensionCluster cluster;
+    double best_diversity = -1.0;
+    for (size_t idx : by_root[root]) {
+      const std::string& name = dimensions[idx];
+      cluster.members.push_back(name);
+      double diversity = 0.0;
+      if (auto cs = stats.Find(name); cs.ok()) {
+        diversity = (*cs)->diversity;
+      }
+      if (diversity > best_diversity) {
+        best_diversity = diversity;
+        cluster.representative = name;
+      }
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  return clusters;
+}
+
+}  // namespace seedb::core

@@ -1,0 +1,74 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace seedb::core {
+
+double ExecutionReport::MeanQuerySeconds() const {
+  if (query_seconds.empty()) return 0.0;
+  double total = 0.0;
+  for (double s : query_seconds) total += s;
+  return total / static_cast<double>(query_seconds.size());
+}
+
+double ExecutionReport::MaxQuerySeconds() const {
+  if (query_seconds.empty()) return 0.0;
+  return *std::max_element(query_seconds.begin(), query_seconds.end());
+}
+
+Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
+                                            const ExecutionPlan& plan,
+                                            DistanceMetric metric,
+                                            const ExecutorOptions& options,
+                                            ExecutionReport* report) {
+  Stopwatch total_timer;
+  ViewProcessor processor(metric);
+  std::vector<double> query_seconds(plan.queries.size(), 0.0);
+
+  if (options.parallelism <= 1) {
+    for (size_t i = 0; i < plan.queries.size(); ++i) {
+      Stopwatch qt;
+      SEEDB_ASSIGN_OR_RETURN(std::vector<db::Table> results,
+                             engine->Execute(plan.queries[i].query));
+      query_seconds[i] = qt.ElapsedSeconds();
+      SEEDB_RETURN_IF_ERROR(
+          processor.Consume(plan.queries[i], std::move(results)));
+    }
+  } else {
+    // Parallel execution: queries run concurrently on the pool; consumption
+    // (cheap) is serialized under a mutex.
+    ThreadPool pool(options.parallelism);
+    std::mutex mu;
+    Status first_error = Status::OK();
+    pool.ParallelFor(0, plan.queries.size(), [&](size_t i) {
+      Stopwatch qt;
+      auto result = engine->Execute(plan.queries[i].query);
+      double elapsed = qt.ElapsedSeconds();
+      std::lock_guard<std::mutex> lock(mu);
+      query_seconds[i] = elapsed;
+      if (!result.ok()) {
+        if (first_error.ok()) first_error = result.status();
+        return;
+      }
+      if (first_error.ok()) {
+        Status s =
+            processor.Consume(plan.queries[i], std::move(result).ValueOrDie());
+        if (!s.ok()) first_error = s;
+      }
+    });
+    if (!first_error.ok()) return first_error;
+  }
+
+  SEEDB_ASSIGN_OR_RETURN(std::vector<ViewResult> views, processor.Finish());
+  if (report) {
+    report->total_seconds = total_timer.ElapsedSeconds();
+    report->query_seconds = std::move(query_seconds);
+  }
+  return views;
+}
+
+}  // namespace seedb::core

@@ -1,0 +1,48 @@
+// Plan executor: runs an ExecutionPlan against the engine, optionally with
+// parallel query execution (§3.3, "Parallel Query Execution").
+//
+// "We observe that as the number of queries executed in parallel increases,
+// the total latency decreases at the cost of increased per query execution
+// time." The executor reproduces that knob: planned queries are distributed
+// over a thread pool; per-query latencies are recorded so benches can report
+// both sides of the trade-off.
+
+#ifndef SEEDB_CORE_EXECUTOR_H_
+#define SEEDB_CORE_EXECUTOR_H_
+
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/optimizer.h"
+#include "core/view_processor.h"
+#include "db/engine.h"
+#include "util/result.h"
+
+namespace seedb::core {
+
+struct ExecutorOptions {
+  /// Queries executed concurrently; 1 = serial.
+  size_t parallelism = 1;
+};
+
+struct ExecutionReport {
+  /// Wall time to run the whole plan.
+  double total_seconds = 0.0;
+  /// Per planned-query wall time, in plan order.
+  std::vector<double> query_seconds;
+
+  double MeanQuerySeconds() const;
+  double MaxQuerySeconds() const;
+};
+
+/// Executes `plan` against `engine` and scores every view with `metric`.
+/// On success `report` (optional) carries the latency breakdown.
+Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
+                                            const ExecutionPlan& plan,
+                                            DistanceMetric metric,
+                                            const ExecutorOptions& options,
+                                            ExecutionReport* report = nullptr);
+
+}  // namespace seedb::core
+
+#endif  // SEEDB_CORE_EXECUTOR_H_

@@ -1,0 +1,149 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace seedb::core {
+
+const char* DistanceMetricToString(DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kEarthMovers:
+      return "earth_movers";
+    case DistanceMetric::kEuclidean:
+      return "euclidean";
+    case DistanceMetric::kKullbackLeibler:
+      return "kl_divergence";
+    case DistanceMetric::kJensenShannon:
+      return "jensen_shannon";
+    case DistanceMetric::kL1:
+      return "l1";
+    case DistanceMetric::kChebyshev:
+      return "chebyshev";
+    case DistanceMetric::kHellinger:
+      return "hellinger";
+  }
+  return "?";
+}
+
+Result<DistanceMetric> ParseDistanceMetric(const std::string& name) {
+  std::string low = ToLower(name);
+  for (DistanceMetric m : AllDistanceMetrics()) {
+    if (low == DistanceMetricToString(m)) return m;
+  }
+  if (low == "emd") return DistanceMetric::kEarthMovers;
+  if (low == "l2") return DistanceMetric::kEuclidean;
+  if (low == "kl") return DistanceMetric::kKullbackLeibler;
+  if (low == "js") return DistanceMetric::kJensenShannon;
+  return Status::InvalidArgument("unknown distance metric '" + name + "'");
+}
+
+const std::vector<DistanceMetric>& AllDistanceMetrics() {
+  static const std::vector<DistanceMetric> kAll = {
+      DistanceMetric::kEarthMovers,     DistanceMetric::kEuclidean,
+      DistanceMetric::kKullbackLeibler, DistanceMetric::kJensenShannon,
+      DistanceMetric::kL1,              DistanceMetric::kChebyshev,
+      DistanceMetric::kHellinger,
+  };
+  return kAll;
+}
+
+namespace {
+
+double EarthMovers(const std::vector<double>& p, const std::vector<double>& q) {
+  // 1-D EMD over equally spaced bins: integrate |CDF_p - CDF_q|.
+  double emd = 0.0;
+  double cum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    cum += p[i] - q[i];
+    emd += std::abs(cum);
+  }
+  return emd;
+}
+
+double Euclidean(const std::vector<double>& p, const std::vector<double>& q) {
+  double sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    double d = p[i] - q[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  double sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    sum += p[i] * std::log(p[i] / std::max(q[i], kKlEpsilon));
+  }
+  return std::max(0.0, sum);
+}
+
+double JensenShannon(const std::vector<double>& p,
+                     const std::vector<double>& q) {
+  double js = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    double m = 0.5 * (p[i] + q[i]);
+    if (p[i] > 0.0 && m > 0.0) js += 0.5 * p[i] * std::log(p[i] / m);
+    if (q[i] > 0.0 && m > 0.0) js += 0.5 * q[i] * std::log(q[i] / m);
+  }
+  return std::sqrt(std::max(0.0, js));
+}
+
+double L1(const std::vector<double>& p, const std::vector<double>& q) {
+  double sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) sum += std::abs(p[i] - q[i]);
+  return sum;
+}
+
+double Chebyshev(const std::vector<double>& p, const std::vector<double>& q) {
+  double best = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    best = std::max(best, std::abs(p[i] - q[i]));
+  }
+  return best;
+}
+
+double Hellinger(const std::vector<double>& p, const std::vector<double>& q) {
+  double sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    double d = std::sqrt(p[i]) - std::sqrt(q[i]);
+    sum += d * d;
+  }
+  return std::sqrt(0.5 * sum);
+}
+
+}  // namespace
+
+Result<double> Distance(const std::vector<double>& p,
+                        const std::vector<double>& q, DistanceMetric metric) {
+  if (p.empty() || q.empty()) {
+    return Status::InvalidArgument("distributions must be non-empty");
+  }
+  if (p.size() != q.size()) {
+    return Status::InvalidArgument(
+        StringPrintf("distribution sizes differ: %zu vs %zu", p.size(),
+                     q.size()));
+  }
+  switch (metric) {
+    case DistanceMetric::kEarthMovers:
+      return EarthMovers(p, q);
+    case DistanceMetric::kEuclidean:
+      return Euclidean(p, q);
+    case DistanceMetric::kKullbackLeibler:
+      return KlDivergence(p, q);
+    case DistanceMetric::kJensenShannon:
+      return JensenShannon(p, q);
+    case DistanceMetric::kL1:
+      return L1(p, q);
+    case DistanceMetric::kChebyshev:
+      return Chebyshev(p, q);
+    case DistanceMetric::kHellinger:
+      return Hellinger(p, q);
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace seedb::core

@@ -1,0 +1,54 @@
+// Distance metrics between probability distributions (§2).
+//
+// "SEEDB supports a variety of metrics to compute utility, including Earth
+// Mover's Distance, Euclidean Distance, Kullback-Leibler Divergence, and
+// Jenson-Shannon Distance." All metrics here take two aligned probability
+// vectors of equal length; higher = more deviation = more interesting.
+
+#ifndef SEEDB_CORE_METRICS_H_
+#define SEEDB_CORE_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace seedb::core {
+
+enum class DistanceMetric {
+  /// Earth Mover's Distance with the aligned key order as the 1-D ground
+  /// line (unit distance between adjacent keys, so EMD = sum of |CDF diffs|).
+  kEarthMovers,
+  /// L2 distance.
+  kEuclidean,
+  /// KL(target || comparison), with epsilon smoothing so zero comparison
+  /// bins stay finite.
+  kKullbackLeibler,
+  /// Jensen–Shannon *distance* (square root of JS divergence, natural log);
+  /// symmetric and bounded by sqrt(ln 2).
+  kJensenShannon,
+  /// L1 distance (= 2x total variation).
+  kL1,
+  /// L-infinity (largest single-bin deviation).
+  kChebyshev,
+  /// Hellinger distance, bounded by 1.
+  kHellinger,
+};
+
+const char* DistanceMetricToString(DistanceMetric metric);
+Result<DistanceMetric> ParseDistanceMetric(const std::string& name);
+
+/// All supported metrics in a stable order.
+const std::vector<DistanceMetric>& AllDistanceMetrics();
+
+/// Distance between two aligned probability vectors. Fails if sizes differ
+/// or the vectors are empty.
+Result<double> Distance(const std::vector<double>& p,
+                        const std::vector<double>& q, DistanceMetric metric);
+
+/// Epsilon used to smooth zero bins in KL divergence.
+inline constexpr double kKlEpsilon = 1e-9;
+
+}  // namespace seedb::core
+
+#endif  // SEEDB_CORE_METRICS_H_

@@ -1,0 +1,107 @@
+// The Optimizer module (§3.1, §3.3): combines view queries to minimize total
+// execution time.
+//
+// Given the post-pruning candidate views, the optimizer emits an
+// ExecutionPlan — a list of engine queries plus, for every view, the mapping
+// from query outputs back to the view's target and comparison halves. The
+// three §3.3 query-combining optimizations are independent toggles:
+//
+//   * combine_target_comparison — one scan computes both halves via
+//     conditional aggregation (FILTER), instead of two queries per view.
+//   * combine_aggregates — all views sharing a grouping attribute ride in
+//     one query with multiple aggregate columns.
+//   * combine_group_bys — multiple grouping attributes ride in one
+//     GROUPING SETS query; which attributes share a query is decided by
+//     bin-packing their estimated aggregation-state footprints against a
+//     working-memory budget (core/bin_packing.h).
+//
+// With everything disabled the plan is the §3.3 "basic framework": two
+// independent queries per view.
+
+#ifndef SEEDB_CORE_OPTIMIZER_H_
+#define SEEDB_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bin_packing.h"
+#include "core/view.h"
+#include "db/statistics.h"
+
+namespace seedb::core {
+
+struct OptimizerOptions {
+  bool combine_target_comparison = true;
+  bool combine_aggregates = true;
+  bool combine_group_bys = true;
+
+  /// Working-memory budget for combined group-bys.
+  uint64_t memory_budget_bytes = 64ull << 20;
+  /// Hard cap on grouping sets per query (0 = memory-bound only).
+  size_t max_group_bys_per_query = 0;
+
+  /// Execute view queries against a Bernoulli sample of this fraction
+  /// (§3.3 "Sampling"); 1 = full data.
+  double sample_fraction = 1.0;
+  uint64_t sample_seed = 0;
+
+  /// Groups to assume for a dimension with no statistics.
+  size_t default_group_estimate = 1024;
+
+  /// §3.3 "basic framework": no sharing at all.
+  static OptimizerOptions Baseline() {
+    OptimizerOptions o;
+    o.combine_target_comparison = false;
+    o.combine_aggregates = false;
+    o.combine_group_bys = false;
+    return o;
+  }
+  static OptimizerOptions All() { return OptimizerOptions{}; }
+};
+
+/// Which halves of a view a planned query produces.
+enum class QueryHalf { kCombined, kTargetOnly, kComparisonOnly };
+
+const char* QueryHalfToString(QueryHalf half);
+
+/// Where one view's data lands inside one planned query's results.
+struct ViewSlot {
+  ViewDescriptor view;
+  /// Index into the query's result-set list (= grouping set index).
+  size_t result_index = 0;
+  /// Output column names; empty when this query does not produce that half.
+  std::string target_column;
+  std::string comparison_column;
+};
+
+/// One engine query plus its view slots.
+struct PlannedQuery {
+  db::GroupingSetsQuery query;
+  QueryHalf half = QueryHalf::kCombined;
+  std::vector<ViewSlot> slots;
+};
+
+struct ExecutionPlan {
+  std::vector<PlannedQuery> queries;
+  size_t num_views = 0;
+
+  size_t num_queries() const { return queries.size(); }
+  /// Every query is exactly one table scan in the engine's cost model.
+  size_t predicted_scans() const { return queries.size(); }
+
+  /// Multi-line human-readable plan (SQL per query).
+  std::string Describe() const;
+};
+
+/// Builds the execution plan for `views` over `table_name` with analyst
+/// selection `selection` (null = whole table). `stats` supplies per-dimension
+/// group-count estimates for bin packing.
+Result<ExecutionPlan> BuildExecutionPlan(
+    const std::vector<ViewDescriptor>& views, const std::string& table_name,
+    db::PredicatePtr selection, const db::TableStats& stats,
+    const OptimizerOptions& options);
+
+}  // namespace seedb::core
+
+#endif  // SEEDB_CORE_OPTIMIZER_H_

@@ -1,0 +1,117 @@
+#include "core/pruning.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/correlation.h"
+
+namespace seedb::core {
+
+const char* PruneReasonToString(PruneReason reason) {
+  switch (reason) {
+    case PruneReason::kLowVariance:
+      return "low variance";
+    case PruneReason::kCorrelatedDimension:
+      return "correlated dimension";
+    case PruneReason::kRarelyAccessed:
+      return "rarely accessed";
+  }
+  return "?";
+}
+
+Result<PruningReport> PruneViews(const std::vector<ViewDescriptor>& views,
+                                 const db::Table& table,
+                                 const db::TableStats& stats,
+                                 const db::AccessTracker* tracker,
+                                 const std::string& table_name,
+                                 const PruningOptions& options,
+                                 db::Catalog* catalog) {
+  PruningReport report;
+
+  // Dimension-level decisions are computed once and applied to every view on
+  // that dimension.
+  std::set<std::string> dims_in_views;
+  for (const auto& v : views) dims_in_views.insert(v.dimension);
+
+  // 1. Variance-based pruning: dimensions with near-zero diversity.
+  std::unordered_set<std::string> low_variance_dims;
+  std::unordered_set<std::string> constant_measures;
+  if (options.enable_variance) {
+    for (const auto& dim : dims_in_views) {
+      SEEDB_ASSIGN_OR_RETURN(const db::ColumnStats* cs, stats.Find(dim));
+      if (cs->diversity < options.min_dimension_diversity) {
+        low_variance_dims.insert(dim);
+      }
+    }
+    if (options.prune_constant_measures) {
+      for (const auto& col : stats.columns) {
+        if (col.role == db::ColumnRole::kMeasure && col.row_count > 0 &&
+            col.variance == 0.0) {
+          constant_measures.insert(col.name);
+        }
+      }
+    }
+  }
+
+  // 2. Correlation clustering: map each non-representative dimension to its
+  // representative.
+  std::unordered_map<std::string, std::string> replaced_by;
+  if (options.enable_correlation) {
+    std::vector<std::string> dims(dims_in_views.begin(), dims_in_views.end());
+    SEEDB_ASSIGN_OR_RETURN(
+        std::vector<DimensionCluster> clusters,
+        ClusterCorrelatedDimensions(table, stats, dims,
+                                    options.correlation_threshold, catalog,
+                                    table_name));
+    for (const auto& cluster : clusters) {
+      for (const auto& member : cluster.members) {
+        if (member != cluster.representative) {
+          replaced_by[member] = cluster.representative;
+        }
+      }
+    }
+  }
+
+  // 3. Access-frequency pruning (activates only with sufficient history).
+  std::unordered_set<std::string> rarely_accessed;
+  if (options.enable_access_frequency && tracker != nullptr &&
+      tracker->QueryCount(table_name) >= options.min_recorded_queries) {
+    std::set<std::string> columns = dims_in_views;
+    for (const auto& v : views) {
+      if (!v.measure.empty()) columns.insert(v.measure);
+    }
+    for (const auto& col : columns) {
+      if (tracker->AccessFrequency(table_name, col) <
+          options.min_access_frequency) {
+        rarely_accessed.insert(col);
+      }
+    }
+  }
+
+  for (const auto& view : views) {
+    if (low_variance_dims.count(view.dimension)) {
+      report.pruned.push_back({view, PruneReason::kLowVariance, ""});
+      continue;
+    }
+    if (!view.measure.empty() && constant_measures.count(view.measure)) {
+      report.pruned.push_back({view, PruneReason::kLowVariance,
+                               "constant measure"});
+      continue;
+    }
+    if (auto it = replaced_by.find(view.dimension); it != replaced_by.end()) {
+      report.pruned.push_back(
+          {view, PruneReason::kCorrelatedDimension, it->second});
+      continue;
+    }
+    if (rarely_accessed.count(view.dimension) ||
+        (!view.measure.empty() && rarely_accessed.count(view.measure))) {
+      report.pruned.push_back({view, PruneReason::kRarelyAccessed, ""});
+      continue;
+    }
+    report.kept.push_back(view);
+  }
+  return report;
+}
+
+}  // namespace seedb::core

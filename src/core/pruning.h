@@ -1,0 +1,98 @@
+// View-space pruning (§3.3, "View Space Pruning").
+//
+// Three advisory pruners, each implementing one technique from the paper:
+//   1. Variance-based: drop dimensions whose value distribution is nearly
+//      single-valued (Gini–Simpson diversity below a threshold) — their
+//      target view cannot deviate much from the comparison view.
+//   2. Correlated attributes: evaluate one representative per cluster of
+//      correlated dimensions (core/correlation.h).
+//   3. Access frequency: drop dimensions and measures whose column access
+//      frequency is below a threshold, once enough query history exists.
+//
+// Pruning is advisory (it can lose recall); every dropped view carries its
+// reason so the frontend can show "views not examined and why".
+
+#ifndef SEEDB_CORE_PRUNING_H_
+#define SEEDB_CORE_PRUNING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/view.h"
+#include "db/access_tracker.h"
+#include "db/catalog.h"
+#include "db/statistics.h"
+#include "db/table.h"
+#include "util/result.h"
+
+namespace seedb::core {
+
+struct PruningOptions {
+  bool enable_variance = false;
+  /// Dimensions with diversity < this are pruned (0.05 drops dimensions
+  /// where one value covers ~97%+ of rows).
+  double min_dimension_diversity = 0.05;
+  /// Also prune measures whose numeric variance is exactly 0 (constant
+  /// columns aggregate identically under any selection).
+  bool prune_constant_measures = true;
+
+  bool enable_correlation = false;
+  /// Cramér's V at or above this merges two dimensions into one cluster.
+  double correlation_threshold = 0.9;
+
+  bool enable_access_frequency = false;
+  /// Columns accessed by fewer than this fraction of past queries are
+  /// pruned.
+  double min_access_frequency = 0.1;
+  /// History required before frequency pruning activates (avoids pruning
+  /// everything on a cold start).
+  uint64_t min_recorded_queries = 20;
+
+  static PruningOptions None() { return PruningOptions{}; }
+  static PruningOptions All() {
+    PruningOptions o;
+    o.enable_variance = true;
+    o.enable_correlation = true;
+    o.enable_access_frequency = true;
+    return o;
+  }
+};
+
+/// Why a view was pruned.
+enum class PruneReason {
+  kLowVariance,
+  kCorrelatedDimension,
+  kRarelyAccessed,
+};
+
+const char* PruneReasonToString(PruneReason reason);
+
+struct PrunedView {
+  ViewDescriptor view;
+  PruneReason reason;
+  /// For kCorrelatedDimension: the representative evaluated instead.
+  std::string detail;
+};
+
+struct PruningReport {
+  std::vector<ViewDescriptor> kept;
+  std::vector<PrunedView> pruned;
+
+  size_t total_considered() const { return kept.size() + pruned.size(); }
+};
+
+/// Applies the enabled pruners to `views`. `table`/`stats` supply metadata;
+/// `tracker` may be null when access-frequency pruning is disabled. When
+/// `catalog` is non-null, correlation pruning reads pairwise associations
+/// through its cache instead of recomputing them per call.
+Result<PruningReport> PruneViews(const std::vector<ViewDescriptor>& views,
+                                 const db::Table& table,
+                                 const db::TableStats& stats,
+                                 const db::AccessTracker* tracker,
+                                 const std::string& table_name,
+                                 const PruningOptions& options,
+                                 db::Catalog* catalog = nullptr);
+
+}  // namespace seedb::core
+
+#endif  // SEEDB_CORE_PRUNING_H_

@@ -1,0 +1,82 @@
+#include "core/query_generator.h"
+
+#include <algorithm>
+#include <set>
+
+namespace seedb::core {
+
+Result<GeneratedViews> GenerateViews(db::Engine* engine,
+                                     const std::string& table,
+                                     const db::PredicatePtr& selection,
+                                     const ViewSpaceOptions& view_space,
+                                     const PruningOptions& pruning) {
+  SEEDB_ASSIGN_OR_RETURN(const db::Table* data,
+                         engine->catalog()->GetTable(table));
+  if (selection) {
+    SEEDB_RETURN_IF_ERROR(selection->Validate(data->schema()));
+  }
+  SEEDB_ASSIGN_OR_RETURN(const db::TableStats* stats,
+                         engine->catalog()->GetStats(table));
+
+  std::vector<ViewDescriptor> views = EnumerateViews(data->schema(),
+                                                     view_space);
+  if (view_space.exclude_selection_dimensions && selection) {
+    std::vector<std::string> filtered_cols;
+    selection->CollectColumns(&filtered_cols);
+    std::erase_if(views, [&](const ViewDescriptor& v) {
+      return std::find(filtered_cols.begin(), filtered_cols.end(),
+                       v.dimension) != filtered_cols.end();
+    });
+    // Attribute hierarchies: a dimension (near-)determined by a selection
+    // dimension deviates by construction under the selection, so it is
+    // excluded too (e.g. sub_category under a category filter).
+    if (view_space.selection_correlation_threshold <= 1.0) {
+      std::set<std::string> sel_dims;
+      for (const auto& col : filtered_cols) {
+        if (auto idx = data->schema().FindColumn(col); idx.ok()) {
+          if (data->schema().column(*idx).role == db::ColumnRole::kDimension) {
+            sel_dims.insert(col);
+          }
+        }
+      }
+      std::set<std::string> dims_in_views;
+      for (const auto& v : views) dims_in_views.insert(v.dimension);
+      std::set<std::string> hierarchical;
+      for (const auto& dim : dims_in_views) {
+        for (const auto& sel : sel_dims) {
+          SEEDB_ASSIGN_OR_RETURN(
+              double v, engine->catalog()->GetCramersV(table, dim, sel));
+          if (v >= view_space.selection_correlation_threshold) {
+            hierarchical.insert(dim);
+            break;
+          }
+        }
+      }
+      std::erase_if(views, [&](const ViewDescriptor& v) {
+        return hierarchical.count(v.dimension) > 0;
+      });
+    }
+  }
+  if (views.empty()) {
+    return Status::InvalidArgument(
+        "table '" + table +
+        "' has no candidate views (needs dimension and measure columns "
+        "outside the selection predicate)");
+  }
+
+  GeneratedViews out;
+  SEEDB_ASSIGN_OR_RETURN(
+      out.pruning, PruneViews(views, *data, *stats, engine->access_tracker(),
+                              table, pruning, engine->catalog()));
+  out.queries.reserve(out.pruning.kept.size());
+  for (const auto& view : out.pruning.kept) {
+    ViewQueryText q;
+    q.view = view;
+    q.target_sql = TargetViewQuery(view, table, selection).ToSql();
+    q.comparison_sql = ComparisonViewQuery(view, table).ToSql();
+    out.queries.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace seedb::core

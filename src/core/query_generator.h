@@ -1,0 +1,51 @@
+// The Query Generator module (§3.1): enumerate candidate views, prune them
+// using metadata, and emit the target/comparison view queries for the
+// survivors.
+//
+// "The purpose of the Query Generator is two-fold: first, it uses metadata
+// to prune the space of candidate views to only retain the most promising
+// ones; and second, it generates target and comparison views for each view
+// that has not been pruned."
+
+#ifndef SEEDB_CORE_QUERY_GENERATOR_H_
+#define SEEDB_CORE_QUERY_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pruning.h"
+#include "core/view.h"
+#include "core/view_space.h"
+#include "db/engine.h"
+#include "util/result.h"
+
+namespace seedb::core {
+
+/// One un-optimized view query pair, as SQL (what a wrapper deployment would
+/// send to the DBMS before the Optimizer combines queries).
+struct ViewQueryText {
+  ViewDescriptor view;
+  std::string target_sql;
+  std::string comparison_sql;
+};
+
+/// Output of the Query Generator stage.
+struct GeneratedViews {
+  /// Kept + pruned views with reasons.
+  PruningReport pruning;
+  /// View queries for every kept view, in kept order.
+  std::vector<ViewQueryText> queries;
+};
+
+/// Runs enumeration + pruning for `table` under analyst selection
+/// `selection`, consulting the engine's catalog statistics and access
+/// tracker.
+Result<GeneratedViews> GenerateViews(db::Engine* engine,
+                                     const std::string& table,
+                                     const db::PredicatePtr& selection,
+                                     const ViewSpaceOptions& view_space,
+                                     const PruningOptions& pruning);
+
+}  // namespace seedb::core
+
+#endif  // SEEDB_CORE_QUERY_GENERATOR_H_

@@ -1,0 +1,16 @@
+#include "core/recommendation.h"
+
+#include "util/string_util.h"
+
+namespace seedb::core {
+
+std::string ExecutionProfile::ToString() const {
+  return StringPrintf(
+      "views: %zu enumerated, %zu pruned, %zu executed | queries: %zu "
+      "(%zu scans, %llu rows) | time: plan %.3fms + exec %.3fms = %.3fms",
+      views_enumerated, views_pruned, views_executed, queries_issued,
+      table_scans, static_cast<unsigned long long>(rows_scanned),
+      planning_seconds * 1e3, execution_seconds * 1e3, total_seconds * 1e3);
+}
+
+}  // namespace seedb::core

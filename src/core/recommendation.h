@@ -1,0 +1,58 @@
+// Recommendation results returned by the SeeDB facade.
+
+#ifndef SEEDB_CORE_RECOMMENDATION_H_
+#define SEEDB_CORE_RECOMMENDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/pruning.h"
+#include "core/view_processor.h"
+
+namespace seedb::core {
+
+/// \brief One recommended view with everything the frontend displays.
+struct Recommendation {
+  /// 1-based rank among the recommendations.
+  size_t rank = 0;
+  ViewResult result;
+  /// The SQL SeeDB would issue for each form of this view's queries.
+  std::string target_sql;
+  std::string comparison_sql;
+  std::string combined_sql;
+
+  const ViewDescriptor& view() const { return result.view; }
+  double utility() const { return result.utility; }
+};
+
+/// \brief Cost observables of one Recommend() call.
+struct ExecutionProfile {
+  size_t views_enumerated = 0;
+  size_t views_pruned = 0;
+  size_t views_executed = 0;
+  size_t queries_issued = 0;
+  size_t table_scans = 0;
+  uint64_t rows_scanned = 0;
+
+  double planning_seconds = 0.0;
+  double execution_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+/// \brief Everything Recommend() returns: ranked views, optional "bad views"
+/// for contrast (§4 Scenario 1), pruning details, and the cost profile.
+struct RecommendationSet {
+  std::vector<Recommendation> top_views;
+  /// Lowest-utility views, ascending (empty unless requested).
+  std::vector<Recommendation> low_utility_views;
+  std::vector<PrunedView> pruned_views;
+  DistanceMetric metric = DistanceMetric::kEarthMovers;
+  ExecutionProfile profile;
+};
+
+}  // namespace seedb::core
+
+#endif  // SEEDB_CORE_RECOMMENDATION_H_

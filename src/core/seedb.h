@@ -1,0 +1,94 @@
+// SeeDB public facade: the full pipeline of Figure 4.
+//
+//   analyst query Q
+//     -> Metadata Collector  (catalog statistics + access tracker)
+//     -> Query Generator     (view enumeration + pruning)
+//     -> Optimizer           (query combining, bin packing, sampling)
+//     -> DBMS                (embedded engine, optionally parallel)
+//     -> View Processor      (normalization + utility)
+//     -> top-k recommendations
+
+#ifndef SEEDB_CORE_SEEDB_H_
+#define SEEDB_CORE_SEEDB_H_
+
+#include <string>
+
+#include "core/executor.h"
+#include "core/metrics.h"
+#include "core/optimizer.h"
+#include "core/pruning.h"
+#include "core/recommendation.h"
+#include "core/view_space.h"
+#include "db/engine.h"
+#include "util/result.h"
+
+namespace seedb::core {
+
+/// How view queries trade accuracy for latency via sampling (§3.3).
+enum class SamplingStrategy {
+  /// Full data.
+  kNone,
+  /// Per-query Bernoulli TABLESAMPLE with optimizer.sample_fraction. Cheap
+  /// to set up but every query still walks the full row range (rows are
+  /// skipped, not absent), so latency gains are modest in a columnar
+  /// engine.
+  kInline,
+  /// The paper's strategy: "construct a sample of the dataset that can fit
+  /// in memory and run all view queries against the sample." A reservoir
+  /// sample of `sample_rows` rows is materialized once per (table, size,
+  /// seed), cached in the catalog, and every view query runs against it —
+  /// latency then scales with the sample size.
+  kMaterialized,
+};
+
+/// Options for one Recommend() call.
+struct SeeDBOptions {
+  /// Number of views to recommend (the k of Problem 2.1).
+  size_t k = 5;
+  /// Utility metric S.
+  DistanceMetric metric = DistanceMetric::kEarthMovers;
+  /// Also return this many lowest-utility "bad views" (0 = none).
+  size_t bottom_k = 0;
+
+  ViewSpaceOptions view_space;
+  PruningOptions pruning;           // default: no pruning
+  OptimizerOptions optimizer;       // default: all combining on
+  /// Concurrent query execution (§3.3 "Parallel Query Execution").
+  size_t parallelism = 1;
+
+  SamplingStrategy sampling = SamplingStrategy::kNone;
+  /// Reservoir size for kMaterialized (ignored otherwise). Tables at or
+  /// below this size run un-sampled.
+  size_t sample_rows = 100000;
+  uint64_t sample_seed = 0;
+};
+
+/// \brief The SeeDB recommendation engine over an embedded DBMS.
+///
+/// Thread-compatible: concurrent Recommend() calls on distinct SeeDB
+/// instances sharing one Engine are safe (the engine is concurrent).
+class SeeDB {
+ public:
+  /// `engine` must outlive this object.
+  explicit SeeDB(db::Engine* engine) : engine_(engine) {}
+
+  /// Recommends views for analyst selection `selection` over `table`
+  /// (null selection = whole table; every view then has utility ~0).
+  Result<RecommendationSet> Recommend(const std::string& table,
+                                      db::PredicatePtr selection,
+                                      const SeeDBOptions& options = {});
+
+  /// Convenience: accepts the analyst query as SQL text,
+  /// e.g. "SELECT * FROM sales WHERE product = 'Laserwave'".
+  Result<RecommendationSet> RecommendSql(const std::string& input_query,
+                                         const SeeDBOptions& options = {});
+
+  db::Engine* engine() { return engine_; }
+
+ private:
+  db::Engine* engine_;
+};
+
+}  // namespace seedb::core
+
+#endif  // SEEDB_CORE_SEEDB_H_

@@ -1,0 +1,105 @@
+#include "core/templates.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace seedb::core {
+namespace {
+
+TemplateQuery MakeQuery(std::string description, const std::string& table,
+                        db::PredicatePtr selection) {
+  TemplateQuery q;
+  q.description = std::move(description);
+  q.sql = "SELECT * FROM " + table + " WHERE " + selection->ToSql();
+  q.selection = std::move(selection);
+  return q;
+}
+
+Result<const db::ColumnStats*> FindColumn(db::Engine* engine,
+                                          const std::string& table,
+                                          const std::string& column) {
+  SEEDB_ASSIGN_OR_RETURN(const db::TableStats* stats,
+                         engine->catalog()->GetStats(table));
+  return stats->Find(column);
+}
+
+}  // namespace
+
+Result<TemplateQuery> OutlierTemplate(db::Engine* engine,
+                                      const std::string& table,
+                                      const std::string& measure,
+                                      double sigmas) {
+  if (sigmas <= 0.0) {
+    return Status::InvalidArgument("sigmas must be positive");
+  }
+  SEEDB_ASSIGN_OR_RETURN(const db::ColumnStats* cs,
+                         FindColumn(engine, table, measure));
+  if (cs->type != db::ValueType::kDouble &&
+      cs->type != db::ValueType::kInt64) {
+    return Status::InvalidArgument("column '" + measure +
+                                   "' is not numeric");
+  }
+  double stddev = std::sqrt(cs->variance);
+  if (stddev == 0.0) {
+    return Status::InvalidArgument("column '" + measure +
+                                   "' is constant; it has no outliers");
+  }
+  double lo = cs->mean - sigmas * stddev;
+  double hi = cs->mean + sigmas * stddev;
+  db::PredicatePtr selection(db::Or(db::Lt(measure, db::Value(lo)),
+                                    db::Gt(measure, db::Value(hi))));
+  return MakeQuery(
+      StringPrintf("rows where %s is beyond %s standard deviations of its "
+                   "mean (outside [%s, %s])",
+                   measure.c_str(), FormatDouble(sigmas, 2).c_str(),
+                   FormatDouble(lo, 2).c_str(), FormatDouble(hi, 2).c_str()),
+      table, std::move(selection));
+}
+
+Result<TemplateQuery> TopValueTemplate(db::Engine* engine,
+                                       const std::string& table,
+                                       const std::string& dimension) {
+  SEEDB_ASSIGN_OR_RETURN(const db::ColumnStats* cs,
+                         FindColumn(engine, table, dimension));
+  if (cs->top_values.empty()) {
+    return Status::InvalidArgument("column '" + dimension +
+                                   "' has no values");
+  }
+  const db::Value& top = cs->top_values.front().first;
+  db::PredicatePtr selection(db::Eq(dimension, top));
+  return MakeQuery(
+      StringPrintf("rows holding %s's most frequent value (%s, %zu rows)",
+                   dimension.c_str(), top.ToString().c_str(),
+                   cs->top_values.front().second),
+      table, std::move(selection));
+}
+
+Result<TemplateQuery> HighValueTemplate(db::Engine* engine,
+                                        const std::string& table,
+                                        const std::string& measure,
+                                        double fraction) {
+  if (fraction <= 0.0 || fraction >= 1.0) {
+    return Status::InvalidArgument("fraction must be in (0, 1)");
+  }
+  SEEDB_ASSIGN_OR_RETURN(const db::ColumnStats* cs,
+                         FindColumn(engine, table, measure));
+  if (cs->type != db::ValueType::kDouble &&
+      cs->type != db::ValueType::kInt64) {
+    return Status::InvalidArgument("column '" + measure +
+                                   "' is not numeric");
+  }
+  if (cs->max == cs->min) {
+    return Status::InvalidArgument("column '" + measure +
+                                   "' is constant; it has no high end");
+  }
+  double threshold = cs->max - fraction * (cs->max - cs->min);
+  db::PredicatePtr selection(db::Ge(measure, db::Value(threshold)));
+  return MakeQuery(
+      StringPrintf("rows in the top %s%% of %s's range (>= %s)",
+                   FormatDouble(fraction * 100.0, 0).c_str(),
+                   measure.c_str(), FormatDouble(threshold, 2).c_str()),
+      table, std::move(selection));
+}
+
+}  // namespace seedb::core

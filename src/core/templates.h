@@ -1,0 +1,53 @@
+// Pre-defined query templates (§3.2, input mechanism (c)): "using
+// pre-defined query templates which encode commonly performed operations,
+// e.g., selecting outliers in a particular column."
+//
+// A template turns a table + column into a ready analyst query (selection
+// predicate + SQL text) using catalog statistics, so non-SQL users can drive
+// SeeDB with one click.
+
+#ifndef SEEDB_CORE_TEMPLATES_H_
+#define SEEDB_CORE_TEMPLATES_H_
+
+#include <string>
+
+#include "db/engine.h"
+#include "db/predicate.h"
+#include "util/result.h"
+
+namespace seedb::core {
+
+/// A template-generated analyst query.
+struct TemplateQuery {
+  /// Human-readable description ("rows where profit is beyond 2 sigma").
+  std::string description;
+  /// The selection predicate Q.
+  db::PredicatePtr selection;
+  /// Equivalent input query as SQL ("SELECT * FROM t WHERE ...").
+  std::string sql;
+};
+
+/// Selects rows where `measure` lies more than `sigmas` standard deviations
+/// from its mean (the paper's "selecting outliers in a particular column").
+/// Fails if the column is not a numeric measure or is constant.
+Result<TemplateQuery> OutlierTemplate(db::Engine* engine,
+                                      const std::string& table,
+                                      const std::string& measure,
+                                      double sigmas = 2.0);
+
+/// Selects rows holding `dimension`'s most frequent value — "focus on the
+/// dominant category".
+Result<TemplateQuery> TopValueTemplate(db::Engine* engine,
+                                       const std::string& table,
+                                       const std::string& dimension);
+
+/// Selects rows in the top `fraction` of `measure`'s value range
+/// ("high-end slice", e.g. the most expensive orders).
+Result<TemplateQuery> HighValueTemplate(db::Engine* engine,
+                                        const std::string& table,
+                                        const std::string& measure,
+                                        double fraction = 0.25);
+
+}  // namespace seedb::core
+
+#endif  // SEEDB_CORE_TEMPLATES_H_

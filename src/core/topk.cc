@@ -1,0 +1,43 @@
+#include "core/topk.h"
+
+#include <algorithm>
+
+namespace seedb::core {
+namespace {
+
+bool HigherUtility(const ViewResult& a, const ViewResult& b) {
+  if (a.utility != b.utility) return a.utility > b.utility;
+  return a.view.Id() < b.view.Id();
+}
+
+bool LowerUtility(const ViewResult& a, const ViewResult& b) {
+  if (a.utility != b.utility) return a.utility < b.utility;
+  return a.view.Id() < b.view.Id();
+}
+
+}  // namespace
+
+std::vector<ViewResult> SelectTopK(std::vector<ViewResult> views, size_t k) {
+  if (k == 0 || k >= views.size()) {
+    std::sort(views.begin(), views.end(), HigherUtility);
+    return views;
+  }
+  std::partial_sort(views.begin(), views.begin() + static_cast<long>(k),
+                    views.end(), HigherUtility);
+  views.resize(k);
+  return views;
+}
+
+std::vector<ViewResult> SelectBottomK(std::vector<ViewResult> views,
+                                      size_t k) {
+  if (k == 0 || k >= views.size()) {
+    std::sort(views.begin(), views.end(), LowerUtility);
+    return views;
+  }
+  std::partial_sort(views.begin(), views.begin() + static_cast<long>(k),
+                    views.end(), LowerUtility);
+  views.resize(k);
+  return views;
+}
+
+}  // namespace seedb::core

@@ -1,0 +1,22 @@
+// Top-k selection of views by utility (Problem 2.1).
+
+#ifndef SEEDB_CORE_TOPK_H_
+#define SEEDB_CORE_TOPK_H_
+
+#include <vector>
+
+#include "core/view_processor.h"
+
+namespace seedb::core {
+
+/// The k highest-utility views, utility descending; ties break on the view
+/// id so results are deterministic. k = 0 returns everything sorted.
+std::vector<ViewResult> SelectTopK(std::vector<ViewResult> views, size_t k);
+
+/// The k lowest-utility views, utility ascending — the demo's "bad views"
+/// display (§4 Scenario 1 shows low-utility views for contrast).
+std::vector<ViewResult> SelectBottomK(std::vector<ViewResult> views, size_t k);
+
+}  // namespace seedb::core
+
+#endif  // SEEDB_CORE_TOPK_H_

@@ -1,0 +1,80 @@
+#include "core/view.h"
+
+#include <tuple>
+
+namespace seedb::core {
+namespace {
+
+// Column-name-safe token for a (measure, func) pair: "SUM_amount",
+// "COUNT_star".
+std::string AggToken(const ViewDescriptor& view) {
+  std::string m = view.measure.empty() ? "star" : view.measure;
+  return std::string(db::AggregateFunctionToSql(view.func)) + "_" + m;
+}
+
+}  // namespace
+
+std::string ViewDescriptor::Id() const {
+  std::string m = measure.empty() ? "*" : measure;
+  return std::string(db::AggregateFunctionToSql(func)) + "(" + m + ") BY " +
+         dimension;
+}
+
+bool ViewDescriptor::operator<(const ViewDescriptor& o) const {
+  return std::tie(dimension, measure, func) <
+         std::tie(o.dimension, o.measure, o.func);
+}
+
+size_t ViewDescriptorHash::operator()(const ViewDescriptor& v) const {
+  size_t h = std::hash<std::string>{}(v.dimension);
+  h = h * 31 + std::hash<std::string>{}(v.measure);
+  h = h * 31 + static_cast<size_t>(v.func);
+  return h;
+}
+
+std::string TargetColumnName(const ViewDescriptor& view) {
+  return AggToken(view) + "_tgt";
+}
+
+std::string ComparisonColumnName(const ViewDescriptor& view) {
+  return AggToken(view) + "_cmp";
+}
+
+db::GroupByQuery TargetViewQuery(const ViewDescriptor& view,
+                                 const std::string& table,
+                                 db::PredicatePtr selection) {
+  db::GroupByQuery q;
+  q.table = table;
+  q.where = std::move(selection);
+  q.group_by = {view.dimension};
+  q.aggregates = {db::AggregateSpec::Make(view.func, view.measure,
+                                          TargetColumnName(view))};
+  return q;
+}
+
+db::GroupByQuery ComparisonViewQuery(const ViewDescriptor& view,
+                                     const std::string& table) {
+  db::GroupByQuery q;
+  q.table = table;
+  q.group_by = {view.dimension};
+  q.aggregates = {db::AggregateSpec::Make(view.func, view.measure,
+                                          ComparisonColumnName(view))};
+  return q;
+}
+
+db::GroupByQuery CombinedViewQuery(const ViewDescriptor& view,
+                                   const std::string& table,
+                                   db::PredicatePtr selection) {
+  db::GroupByQuery q;
+  q.table = table;
+  q.group_by = {view.dimension};
+  q.aggregates = {
+      db::AggregateSpec::Make(view.func, view.measure, TargetColumnName(view),
+                              std::move(selection)),
+      db::AggregateSpec::Make(view.func, view.measure,
+                              ComparisonColumnName(view)),
+  };
+  return q;
+}
+
+}  // namespace seedb::core

@@ -1,0 +1,74 @@
+// ViewDescriptor: the (a, m, f) triple of §2 and its target/comparison
+// queries.
+//
+// A view groups the data by dimension attribute `a` and aggregates measure
+// `m` with function `f`. The *target view* applies this to the rows selected
+// by the analyst's query Q (D_Q); the *comparison view* applies it to the
+// entire table D. The view's utility is the distance between the two
+// normalized results.
+
+#ifndef SEEDB_CORE_VIEW_H_
+#define SEEDB_CORE_VIEW_H_
+
+#include <string>
+
+#include "db/aggregates.h"
+#include "db/group_by.h"
+#include "db/grouping_sets.h"
+
+namespace seedb::core {
+
+/// \brief A candidate view: group-by attribute, measure, aggregate function.
+struct ViewDescriptor {
+  /// Grouping (dimension) attribute — `a` in the paper.
+  std::string dimension;
+  /// Measure attribute — `m`; empty string means COUNT(*) (no measure).
+  std::string measure;
+  /// Aggregate function — `f`.
+  db::AggregateFunction func = db::AggregateFunction::kSum;
+
+  ViewDescriptor() = default;
+  ViewDescriptor(std::string a, std::string m, db::AggregateFunction f)
+      : dimension(std::move(a)), measure(std::move(m)), func(f) {}
+
+  /// Human-readable id, e.g. "SUM(amount) BY region".
+  std::string Id() const;
+
+  bool operator==(const ViewDescriptor& o) const {
+    return dimension == o.dimension && measure == o.measure && func == o.func;
+  }
+  bool operator!=(const ViewDescriptor& o) const { return !(*this == o); }
+  bool operator<(const ViewDescriptor& o) const;
+};
+
+struct ViewDescriptorHash {
+  size_t operator()(const ViewDescriptor& v) const;
+};
+
+/// The target view query: SELECT a, f(m) FROM D_Q GROUP BY a (§2).
+/// `selection` is the analyst's predicate Q; null selects all rows (target
+/// equals comparison, utility 0).
+db::GroupByQuery TargetViewQuery(const ViewDescriptor& view,
+                                 const std::string& table,
+                                 db::PredicatePtr selection);
+
+/// The comparison view query: SELECT a, f(m) FROM D GROUP BY a (§2).
+db::GroupByQuery ComparisonViewQuery(const ViewDescriptor& view,
+                                     const std::string& table);
+
+/// Both halves of one view in a single scan via conditional aggregation
+/// (§3.3 "Combine target and comparison view query"):
+///   SELECT a, f(m) FILTER (WHERE Q) AS <target>, f(m) AS <comparison>
+///   FROM D GROUP BY a
+db::GroupByQuery CombinedViewQuery(const ViewDescriptor& view,
+                                   const std::string& table,
+                                   db::PredicatePtr selection);
+
+/// Column names used by CombinedViewQuery (and the optimizer's batched
+/// queries) for the two halves of a view's aggregate.
+std::string TargetColumnName(const ViewDescriptor& view);
+std::string ComparisonColumnName(const ViewDescriptor& view);
+
+}  // namespace seedb::core
+
+#endif  // SEEDB_CORE_VIEW_H_

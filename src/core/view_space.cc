@@ -1,0 +1,31 @@
+#include "core/view_space.h"
+
+namespace seedb::core {
+
+std::vector<ViewDescriptor> EnumerateViews(const db::Schema& schema,
+                                           const ViewSpaceOptions& options) {
+  std::vector<ViewDescriptor> views;
+  const auto dims = schema.DimensionColumns();
+  const auto measures = schema.MeasureColumns();
+  views.reserve(dims.size() * (measures.size() * options.functions.size() +
+                               (options.include_count_star ? 1 : 0)));
+  for (const auto& a : dims) {
+    for (const auto& m : measures) {
+      for (db::AggregateFunction f : options.functions) {
+        views.emplace_back(a, m, f);
+      }
+    }
+    if (options.include_count_star) {
+      views.emplace_back(a, "", db::AggregateFunction::kCount);
+    }
+  }
+  return views;
+}
+
+size_t ViewSpaceSize(size_t num_dimensions, size_t num_measures,
+                     size_t num_functions, bool include_count_star) {
+  return num_dimensions * num_measures * num_functions +
+         (include_count_star ? num_dimensions : 0);
+}
+
+}  // namespace seedb::core

@@ -1,0 +1,51 @@
+// View space enumeration: the cross product A x M x F (§2, challenge (b)).
+//
+// "The number of candidate views (or visualizations) increases as the square
+// of the number of attributes in a table": with d dimensions and m measures
+// drawn from n total attributes, |views| = d * m * |F| ~ O(n^2) * |F|.
+
+#ifndef SEEDB_CORE_VIEW_SPACE_H_
+#define SEEDB_CORE_VIEW_SPACE_H_
+
+#include <vector>
+
+#include "core/view.h"
+#include "db/schema.h"
+
+namespace seedb::core {
+
+struct ViewSpaceOptions {
+  /// Aggregate functions F to enumerate; defaults to SUM/AVG/COUNT.
+  std::vector<db::AggregateFunction> functions = {
+      db::AggregateFunction::kSum,
+      db::AggregateFunction::kAvg,
+      db::AggregateFunction::kCount,
+  };
+  /// Also add one COUNT(*) view per dimension (row-frequency views).
+  bool include_count_star = false;
+  /// Drop views whose grouping attribute appears in the analyst's selection
+  /// predicate. A view grouping by the filtered attribute deviates
+  /// maximally by construction (e.g. "Laserwave is 100% Laserwave") yet
+  /// tells the analyst nothing they did not already state, so it would
+  /// crowd the top-k with trivia.
+  bool exclude_selection_dimensions = true;
+  /// With exclude_selection_dimensions, also drop dimensions whose Cramér's
+  /// V association with a selection dimension is at least this (attribute
+  /// hierarchies: filtering on `category` makes `sub_category` views
+  /// deviate by construction too). Set > 1 to disable.
+  double selection_correlation_threshold = 0.95;
+};
+
+/// Enumerates all candidate views for a schema: every dimension attribute
+/// crossed with every measure attribute and every function. Deterministic
+/// order (schema order, then function order).
+std::vector<ViewDescriptor> EnumerateViews(const db::Schema& schema,
+                                           const ViewSpaceOptions& options = {});
+
+/// Closed-form size of the view space EnumerateViews would produce.
+size_t ViewSpaceSize(size_t num_dimensions, size_t num_measures,
+                     size_t num_functions, bool include_count_star);
+
+}  // namespace seedb::core
+
+#endif  // SEEDB_CORE_VIEW_SPACE_H_

@@ -1,0 +1,36 @@
+// Shared shape of the demo datasets (§4): a table plus its known-interesting
+// trends, used to verify that SeeDB "does indeed reproduce known information
+// about these queries".
+
+#ifndef SEEDB_DATA_DATASET_H_
+#define SEEDB_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+
+namespace seedb::data {
+
+/// A planted, known-interesting trend: issuing `query_sql` should surface the
+/// view (expected_dimension, expected_measure, *) near the top.
+struct KnownTrend {
+  std::string description;
+  /// Analyst input query, e.g. "SELECT * FROM orders WHERE category = 'x'".
+  std::string query_sql;
+  std::string expected_dimension;
+  std::string expected_measure;
+};
+
+/// One demo dataset: table, its canonical name, and its known trends.
+struct DemoDataset {
+  db::Table table;
+  std::string table_name;
+  std::vector<KnownTrend> trends;
+
+  explicit DemoDataset(db::Table t) : table(std::move(t)) {}
+};
+
+}  // namespace seedb::data
+
+#endif  // SEEDB_DATA_DATASET_H_

@@ -1,0 +1,90 @@
+#include "data/elections.h"
+
+#include <array>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace seedb::data {
+namespace {
+
+constexpr std::array<const char*, 6> kCandidates = {
+    "A. Hartman", "B. Okafor", "C. Reyes", "D. Lindqvist", "E. Zhao",
+    "F. Moreau"};
+// Party of each candidate (correlated pair: candidate -> party).
+constexpr std::array<const char*, 6> kCandidateParty = {
+    "Blue", "Blue", "Red", "Red", "Green", "Blue"};
+constexpr std::array<const char*, 15> kStates = {
+    "CA", "TX", "NY", "FL", "IL", "PA", "OH", "GA", "NC", "MI",
+    "WA", "MA", "AZ", "CO", "VA"};
+constexpr std::array<const char*, 8> kOccupations = {
+    "Retired",  "Engineer", "Attorney", "Physician",
+    "Educator", "Executive", "Homemaker", "Artist"};
+constexpr std::array<const char*, 3> kTypes = {"Individual", "PAC",
+                                               "Party Committee"};
+
+}  // namespace
+
+Result<DemoDataset> MakeElections(const ElectionsSpec& spec) {
+  db::Schema schema;
+  for (const char* dim : {"candidate", "party", "contributor_state",
+                          "occupation", "contribution_type"}) {
+    SEEDB_RETURN_IF_ERROR(schema.AddColumn(db::ColumnDef::Dimension(dim)));
+  }
+  SEEDB_RETURN_IF_ERROR(schema.AddColumn(db::ColumnDef::Measure("amount")));
+
+  DemoDataset dataset{db::Table(schema)};
+  dataset.table_name = "contributions";
+  Random rng(spec.seed);
+  ZipfDistribution state_zipf(kStates.size(), 0.8);  // CA/TX/NY dominate
+
+  for (size_t row = 0; row < spec.rows; ++row) {
+    size_t cand = rng.Uniform(kCandidates.size());
+    size_t state;
+    // Planted: C. Reyes draws contributions overwhelmingly from TX.
+    if (cand == 2 && rng.Bernoulli(0.6)) {
+      state = 1;  // TX
+    } else {
+      state = state_zipf.Sample(&rng);
+    }
+    size_t occupation = rng.Uniform(kOccupations.size());
+    // Planted: E. Zhao is PAC-funded; others mostly individual donors.
+    size_t type;
+    if (cand == 4 && rng.Bernoulli(0.55)) {
+      type = 1;
+    } else {
+      type = rng.Bernoulli(0.85) ? 0 : rng.Uniform(kTypes.size());
+    }
+
+    // Heavy-tailed amounts: log-normal individual gifts, PACs 10x larger.
+    double amount = std::exp(rng.Gaussian(4.2, 1.1));
+    if (type == 1) amount *= 10.0;
+    if (type == 2) amount *= 4.0;
+    // Planted: Executives give disproportionately to D. Lindqvist.
+    if (cand == 3 && occupation == 5) amount *= 6.0;
+
+    SEEDB_RETURN_IF_ERROR(dataset.table.AppendRow({
+        db::Value(kCandidates[cand]),
+        db::Value(kCandidateParty[cand]),
+        db::Value(kStates[state]),
+        db::Value(kOccupations[occupation]),
+        db::Value(kTypes[type]),
+        db::Value(amount),
+    }));
+  }
+
+  dataset.trends = {
+      {"C. Reyes's funding concentrates in Texas",
+       "SELECT * FROM contributions WHERE candidate = 'C. Reyes'",
+       "contributor_state", "amount"},
+      {"E. Zhao is disproportionately PAC-funded",
+       "SELECT * FROM contributions WHERE candidate = 'E. Zhao'",
+       "contribution_type", "amount"},
+      {"Executives bankroll D. Lindqvist",
+       "SELECT * FROM contributions WHERE candidate = 'D. Lindqvist'",
+       "occupation", "amount"},
+  };
+  return dataset;
+}
+
+}  // namespace seedb::data

@@ -1,0 +1,32 @@
+// Election Contributions: a synthetic stand-in for the FEC presidential
+// campaign-finance dataset (§4, [1]) — "an example of a dataset typically
+// analyzed by non-expert data analysts like journalists or historians".
+//
+// Schema properties mirrored from the real extract:
+//   * candidate determines party (strongly correlated dimensions — the
+//     correlation pruner should cluster them),
+//   * contribution amounts are heavy-tailed,
+//   * planted trends give ground truth for recommendation tests.
+
+#ifndef SEEDB_DATA_ELECTIONS_H_
+#define SEEDB_DATA_ELECTIONS_H_
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace seedb::data {
+
+struct ElectionsSpec {
+  size_t rows = 30000;
+  uint64_t seed = 11;
+};
+
+/// Generates the election-contributions demo dataset. Schema:
+///   dimensions: candidate, party, contributor_state, occupation,
+///               contribution_type
+///   measures:   amount
+Result<DemoDataset> MakeElections(const ElectionsSpec& spec = {});
+
+}  // namespace seedb::data
+
+#endif  // SEEDB_DATA_ELECTIONS_H_

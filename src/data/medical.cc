@@ -1,0 +1,116 @@
+#include "data/medical.h"
+
+#include <array>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace seedb::data {
+namespace {
+
+constexpr std::array<const char*, 12> kDiagnoses = {
+    "Sepsis",        "Pneumonia",   "Heart Failure", "COPD",
+    "Renal Failure", "Stroke",      "GI Bleed",      "Diabetes",
+    "Trauma",        "Arrhythmia",  "Cellulitis",    "Pancreatitis"};
+constexpr std::array<const char*, 6> kWards = {"MICU", "SICU", "CCU",
+                                               "Med-Surg", "Telemetry",
+                                               "Step-Down"};
+constexpr std::array<const char*, 2> kSex = {"F", "M"};
+constexpr std::array<const char*, 6> kAgeBands = {"18-29", "30-44", "45-59",
+                                                  "60-69", "70-79", "80+"};
+constexpr std::array<const char*, 4> kInsurance = {"Medicare", "Private",
+                                                   "Medicaid", "Self-Pay"};
+constexpr std::array<const char*, 3> kAdmissionTypes = {"Emergency",
+                                                        "Elective", "Urgent"};
+
+}  // namespace
+
+Result<DemoDataset> MakeMedical(const MedicalSpec& spec) {
+  db::Schema schema;
+  for (const char* dim : {"diagnosis", "ward", "sex", "age_band", "insurance",
+                          "admission_type"}) {
+    SEEDB_RETURN_IF_ERROR(schema.AddColumn(db::ColumnDef::Dimension(dim)));
+  }
+  for (size_t i = 0; i < spec.extra_flag_dims; ++i) {
+    SEEDB_RETURN_IF_ERROR(schema.AddColumn(
+        db::ColumnDef::Dimension(StringPrintf("flag%zu", i))));
+  }
+  for (const char* m :
+       {"length_of_stay", "lab_glucose", "heart_rate", "total_cost"}) {
+    SEEDB_RETURN_IF_ERROR(schema.AddColumn(db::ColumnDef::Measure(m)));
+  }
+
+  DemoDataset dataset{db::Table(schema)};
+  dataset.table_name = "admissions";
+  Random rng(spec.seed);
+  ZipfDistribution diagnosis_zipf(kDiagnoses.size(), 0.6);
+
+  for (size_t row = 0; row < spec.rows; ++row) {
+    size_t diagnosis = diagnosis_zipf.Sample(&rng);
+    bool is_sepsis = diagnosis == 0;
+    bool is_diabetes = diagnosis == 7;
+    // Planted: sepsis admissions concentrate in the ICUs.
+    size_t ward;
+    if (is_sepsis && rng.Bernoulli(0.7)) {
+      ward = rng.Bernoulli(0.6) ? 0 : 1;  // MICU / SICU
+    } else {
+      ward = rng.Uniform(kWards.size());
+    }
+    size_t sex = rng.Uniform(kSex.size());
+    // Planted: diabetes admissions skew strongly toward older age bands (a
+    // shape change in the age distribution, so it survives normalization).
+    size_t age;
+    if (is_diabetes && rng.Bernoulli(0.75)) {
+      age = 3 + rng.Uniform(3);  // 60-69 / 70-79 / 80+
+    } else {
+      age = rng.Uniform(kAgeBands.size());
+    }
+    size_t insurance =
+        age >= 3 && rng.Bernoulli(0.6) ? 0 : rng.Uniform(kInsurance.size());
+    // Sepsis and trauma arrive mostly (not exclusively) as emergencies.
+    size_t admission;
+    if ((is_sepsis && rng.Bernoulli(0.75)) ||
+        (diagnosis == 8 && rng.Bernoulli(0.9))) {
+      admission = 0;
+    } else {
+      admission = rng.Uniform(kAdmissionTypes.size());
+    }
+
+    double los = std::exp(rng.Gaussian(1.2, 0.6));  // days, log-normal
+    if (is_sepsis && (ward == 0 || ward == 1)) los *= 3.0;  // long ICU stays
+    double glucose = rng.Gaussian(105.0, 20.0);
+    if (is_diabetes) glucose = rng.Gaussian(190.0, 45.0);  // planted
+    double heart_rate = rng.Gaussian(82.0, 12.0);
+    if (is_sepsis) heart_rate = rng.Gaussian(105.0, 15.0);
+    double cost = los * std::abs(rng.Gaussian(2400.0, 600.0)) +
+                  (ward <= 2 ? 5000.0 : 1000.0);
+
+    std::vector<db::Value> values = {
+        db::Value(kDiagnoses[diagnosis]), db::Value(kWards[ward]),
+        db::Value(kSex[sex]),             db::Value(kAgeBands[age]),
+        db::Value(kInsurance[insurance]), db::Value(kAdmissionTypes[admission]),
+    };
+    for (size_t i = 0; i < spec.extra_flag_dims; ++i) {
+      // Near-constant flags: ~97% "no".
+      values.emplace_back(rng.Bernoulli(0.03) ? "yes" : "no");
+    }
+    values.emplace_back(los);
+    values.emplace_back(glucose);
+    values.emplace_back(heart_rate);
+    values.emplace_back(cost);
+    SEEDB_RETURN_IF_ERROR(dataset.table.AppendRow(values));
+  }
+
+  dataset.trends = {
+      {"Sepsis stays are far longer in the ICUs",
+       "SELECT * FROM admissions WHERE diagnosis = 'Sepsis'", "ward",
+       "length_of_stay"},
+      {"Diabetes admissions skew toward older age bands",
+       "SELECT * FROM admissions WHERE diagnosis = 'Diabetes'", "age_band",
+       "total_cost"},
+  };
+  return dataset;
+}
+
+}  // namespace seedb::data

@@ -1,0 +1,33 @@
+// Medical admissions: a synthetic stand-in for the MIMIC-II clinical
+// dataset (§4, [2]) — "exemplifies a dataset that a clinical researcher
+// might use. The schema ... is significantly complex and it is of larger
+// size."
+//
+// The wide-schema option appends extra low-signal dimensions so the dataset
+// exercises the pruning regime the paper assigns to this workload.
+
+#ifndef SEEDB_DATA_MEDICAL_H_
+#define SEEDB_DATA_MEDICAL_H_
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace seedb::data {
+
+struct MedicalSpec {
+  size_t rows = 40000;
+  /// Extra near-constant "administrative flag" dimensions appended to widen
+  /// the schema (each is ~97% a single value — variance-pruning bait).
+  size_t extra_flag_dims = 6;
+  uint64_t seed = 13;
+};
+
+/// Generates the medical demo dataset. Schema:
+///   dimensions: diagnosis, ward, sex, age_band, insurance, admission_type
+///               [+ flag0..flagN]
+///   measures:   length_of_stay, lab_glucose, heart_rate, total_cost
+Result<DemoDataset> MakeMedical(const MedicalSpec& spec = {});
+
+}  // namespace seedb::data
+
+#endif  // SEEDB_DATA_MEDICAL_H_

@@ -1,0 +1,130 @@
+#include "data/store_orders.h"
+
+#include <array>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace seedb::data {
+namespace {
+
+constexpr std::array<const char*, 3> kCategories = {"Furniture",
+                                                    "Office Supplies",
+                                                    "Technology"};
+// Sub-categories per category (4 each).
+constexpr std::array<std::array<const char*, 4>, 3> kSubCategories = {{
+    {"Chairs", "Tables", "Bookcases", "Furnishings"},
+    {"Paper", "Binders", "Storage", "Labels"},
+    {"Phones", "Machines", "Accessories", "Copiers"},
+}};
+constexpr std::array<const char*, 4> kRegions = {"East", "West", "Central",
+                                                 "South"};
+constexpr std::array<const char*, 8> kStores = {
+    "Cambridge, MA", "New York, NY",   "San Francisco, CA", "Seattle, WA",
+    "Chicago, IL",   "Austin, TX",     "Denver, CO",        "Atlanta, GA"};
+// Region of each store, aligned with kStores (correlated dimensions: store
+// determines region — fodder for correlation pruning).
+constexpr std::array<size_t, 8> kStoreRegion = {0, 0, 1, 1, 2, 3, 2, 3};
+constexpr std::array<const char*, 3> kSegments = {"Consumer", "Corporate",
+                                                  "Home Office"};
+constexpr std::array<const char*, 4> kShipModes = {
+    "Standard", "Second Class", "First Class", "Same Day"};
+constexpr std::array<const char*, 4> kPriorities = {"Low", "Medium", "High",
+                                                    "Critical"};
+// Products per category (5 each) + the paper's Laserwave/Saberwave ovens in
+// Technology.
+constexpr std::array<std::array<const char*, 5>, 3> kProducts = {{
+    {"Oak Desk", "Swivel Chair", "Pine Bookcase", "Floor Lamp", "Area Rug"},
+    {"Copy Paper", "Ring Binder", "File Cabinet", "Label Maker", "Stapler"},
+    {"Laserwave Oven", "Saberwave Oven", "SmartPhone X", "Laser Printer",
+     "Noise-cancel Headset"},
+}};
+
+}  // namespace
+
+Result<DemoDataset> MakeStoreOrders(const StoreOrdersSpec& spec) {
+  db::Schema schema;
+  for (const char* dim :
+       {"product", "category", "sub_category", "region", "store", "segment",
+        "ship_mode", "order_priority"}) {
+    SEEDB_RETURN_IF_ERROR(schema.AddColumn(db::ColumnDef::Dimension(dim)));
+  }
+  for (const char* m : {"sales", "quantity", "discount", "profit"}) {
+    SEEDB_RETURN_IF_ERROR(schema.AddColumn(db::ColumnDef::Measure(m)));
+  }
+
+  DemoDataset dataset{db::Table(schema)};
+  dataset.table_name = "orders";
+  Random rng(spec.seed);
+
+  for (size_t row = 0; row < spec.rows; ++row) {
+    size_t cat = rng.Uniform(kCategories.size());
+    // Planted: Laserwave Oven (product 0 in Technology) sells mostly in two
+    // stores. Draw product, then bias store choice for it below.
+    size_t product = rng.Uniform(5);
+    // A product belongs to exactly one sub-category (attribute hierarchy:
+    // product -> sub_category -> category).
+    size_t sub = product % 4;
+    size_t store;
+    bool is_laserwave = (cat == 2 && product == 0);
+    if (is_laserwave && rng.Bernoulli(0.7)) {
+      store = rng.Bernoulli(0.6) ? 0 : 3;  // Cambridge or Seattle
+    } else {
+      store = rng.Uniform(kStores.size());
+    }
+    size_t region = kStoreRegion[store];
+    // Planted: Technology skews to the Corporate segment.
+    size_t segment;
+    if (cat == 2 && rng.Bernoulli(0.6)) {
+      segment = 1;
+    } else {
+      segment = rng.Uniform(kSegments.size());
+    }
+    size_t ship = rng.Uniform(kShipModes.size());
+    size_t priority = rng.Uniform(kPriorities.size());
+
+    double base_price =
+        cat == 2 ? 400.0 : (cat == 0 ? 250.0 : 40.0);  // tech > furniture > supplies
+    double sales = std::abs(rng.Gaussian(base_price, base_price * 0.4)) + 5.0;
+    double quantity = static_cast<double>(1 + rng.Uniform(13));
+    double discount = rng.Bernoulli(0.3) ? rng.UniformDouble(0.1, 0.6) : 0.0;
+    double margin = rng.Gaussian(0.12, 0.06);
+    // Planted: Furniture in Central runs at a steep loss.
+    if (cat == 0 && region == 2) {
+      margin = rng.Gaussian(-0.35, 0.08);
+    }
+    double profit = sales * quantity * (margin - discount * 0.25);
+    sales *= quantity;
+
+    SEEDB_RETURN_IF_ERROR(dataset.table.AppendRow({
+        db::Value(kProducts[cat][product]),
+        db::Value(kCategories[cat]),
+        db::Value(kSubCategories[cat][sub]),
+        db::Value(kRegions[region]),
+        db::Value(kStores[store]),
+        db::Value(kSegments[segment]),
+        db::Value(kShipModes[ship]),
+        db::Value(kPriorities[priority]),
+        db::Value(sales),
+        db::Value(quantity),
+        db::Value(discount),
+        db::Value(profit),
+    }));
+  }
+
+  dataset.trends = {
+      {"Furniture runs at a loss in the Central region",
+       "SELECT * FROM orders WHERE category = 'Furniture'", "region",
+       "profit"},
+      {"Technology sales concentrate in the Corporate segment",
+       "SELECT * FROM orders WHERE category = 'Technology'", "segment",
+       "sales"},
+      {"Laserwave Oven sales concentrate in two stores (the paper's §1 "
+       "running example)",
+       "SELECT * FROM orders WHERE product = 'Laserwave Oven'", "store",
+       "sales"},
+  };
+  return dataset;
+}
+
+}  // namespace seedb::data

@@ -1,0 +1,38 @@
+// Store Orders: a synthetic stand-in for the Tableau "Superstore" dataset
+// (§4, [4]) — "orders placed in a store including products, prices, ship
+// dates, geographical information, and profits. Interesting trends in this
+// dataset have been very well studied."
+//
+// Planted trends (ground truth for tests/benches):
+//   * Furniture profit is strongly negative in the Central region while
+//     sales stay unremarkable -> query "category = 'Furniture'" should rank
+//     (region, profit) views at the top.
+//   * Technology sales are heavily concentrated in the Corporate segment
+//     -> query "category = 'Technology'" surfaces (segment, sales).
+//   * The "Laserwave Oven" product (the paper's §1 running example) sells
+//     almost exclusively in a few stores -> query
+//     "product = 'Laserwave Oven'" surfaces (store, sales), reproducing
+//     Table 1 / Figures 1-3.
+
+#ifndef SEEDB_DATA_STORE_ORDERS_H_
+#define SEEDB_DATA_STORE_ORDERS_H_
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace seedb::data {
+
+struct StoreOrdersSpec {
+  size_t rows = 20000;
+  uint64_t seed = 7;
+};
+
+/// Generates the store-orders demo dataset. Schema:
+///   dimensions: product, category, sub_category, region, store, segment,
+///               ship_mode, order_priority
+///   measures:   sales, quantity, discount, profit
+Result<DemoDataset> MakeStoreOrders(const StoreOrdersSpec& spec = {});
+
+}  // namespace seedb::data
+
+#endif  // SEEDB_DATA_STORE_ORDERS_H_

@@ -1,0 +1,197 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace seedb::data {
+
+std::string DimensionValueName(const std::string& dim, size_t j) {
+  return StringPrintf("%s_v%zu", dim.c_str(), j);
+}
+
+SyntheticSpec SyntheticSpec::Simple(size_t rows, size_t num_dims,
+                                    size_t num_measures, size_t cardinality,
+                                    uint64_t seed) {
+  SyntheticSpec spec;
+  spec.rows = rows;
+  spec.seed = seed;
+  spec.dimensions.reserve(num_dims);
+  for (size_t i = 0; i < num_dims; ++i) {
+    DimensionSpec d;
+    d.name = StringPrintf("dim%zu", i);
+    d.cardinality = cardinality;
+    spec.dimensions.push_back(std::move(d));
+  }
+  spec.measures.reserve(num_measures);
+  for (size_t i = 0; i < num_measures; ++i) {
+    MeasureSpec m;
+    m.name = StringPrintf("m%zu", i);
+    m.mean = 100.0 + 10.0 * static_cast<double>(i);
+    m.stddev = 15.0;
+    spec.measures.push_back(std::move(m));
+  }
+  if (num_dims >= 2 && num_measures >= 1) {
+    PlantedDeviation dev;
+    dev.selector_dim = 0;
+    dev.selector_value_index = 0;
+    dev.deviating_dim = 1;
+    dev.measure_index = 0;
+    dev.strength = 5.0;
+    spec.deviation = dev;
+  }
+  return spec;
+}
+
+namespace {
+
+double SampleMeasure(const MeasureSpec& m, Random* rng) {
+  switch (m.distribution) {
+    case MeasureSpec::Dist::kGaussian:
+      return rng->Gaussian(m.mean, m.stddev);
+    case MeasureSpec::Dist::kUniform:
+      return rng->UniformDouble(m.lo, m.hi);
+    case MeasureSpec::Dist::kExponential: {
+      double u;
+      do {
+        u = rng->NextDouble();
+      } while (u <= 1e-300);
+      return -std::log(u) / m.rate;
+    }
+  }
+  return 0.0;
+}
+
+Status ValidateSpec(const SyntheticSpec& spec) {
+  if (spec.dimensions.empty()) {
+    return Status::InvalidArgument("spec needs at least one dimension");
+  }
+  if (spec.measures.empty()) {
+    return Status::InvalidArgument("spec needs at least one measure");
+  }
+  for (const auto& d : spec.dimensions) {
+    if (d.cardinality == 0) {
+      return Status::InvalidArgument("dimension '" + d.name +
+                                     "' has zero cardinality");
+    }
+    if (d.correlated_with >= 0 &&
+        static_cast<size_t>(d.correlated_with) >= spec.dimensions.size()) {
+      return Status::InvalidArgument("dimension '" + d.name +
+                                     "' correlates with missing dimension");
+    }
+  }
+  if (spec.deviation) {
+    const PlantedDeviation& dev = *spec.deviation;
+    if (dev.selector_dim >= spec.dimensions.size() ||
+        dev.deviating_dim >= spec.dimensions.size() ||
+        dev.measure_index >= spec.measures.size()) {
+      return Status::InvalidArgument("planted deviation indexes out of range");
+    }
+    if (dev.selector_dim == dev.deviating_dim) {
+      return Status::InvalidArgument(
+          "selector and deviating dimension must differ");
+    }
+    if (dev.selector_value_index >=
+        spec.dimensions[dev.selector_dim].cardinality) {
+      return Status::InvalidArgument("selector value index out of range");
+    }
+    if (spec.dimensions[dev.deviating_dim].cardinality < 2) {
+      return Status::InvalidArgument(
+          "deviating dimension needs cardinality >= 2");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SyntheticDataset> GenerateSynthetic(const SyntheticSpec& spec) {
+  SEEDB_RETURN_IF_ERROR(ValidateSpec(spec));
+
+  db::Schema schema;
+  for (const auto& d : spec.dimensions) {
+    SEEDB_RETURN_IF_ERROR(
+        schema.AddColumn(db::ColumnDef::Dimension(d.name)));
+  }
+  for (const auto& m : spec.measures) {
+    SEEDB_RETURN_IF_ERROR(schema.AddColumn(db::ColumnDef::Measure(m.name)));
+  }
+
+  Random rng(spec.seed);
+  std::vector<ZipfDistribution> zipfs;
+  std::vector<const ZipfDistribution*> zipf_for_dim(spec.dimensions.size(),
+                                                    nullptr);
+  for (size_t d = 0; d < spec.dimensions.size(); ++d) {
+    if (spec.dimensions[d].distribution == DimensionSpec::Dist::kZipf) {
+      zipfs.emplace_back(spec.dimensions[d].cardinality,
+                         spec.dimensions[d].zipf_s);
+    }
+  }
+  // Second pass to take stable pointers (vector finished growing).
+  {
+    size_t zi = 0;
+    for (size_t d = 0; d < spec.dimensions.size(); ++d) {
+      if (spec.dimensions[d].distribution == DimensionSpec::Dist::kZipf) {
+        zipf_for_dim[d] = &zipfs[zi++];
+      }
+    }
+  }
+
+  SyntheticDataset dataset{db::Table(schema)};
+  std::vector<size_t> dim_value_idx(spec.dimensions.size(), 0);
+  for (size_t row = 0; row < spec.rows; ++row) {
+    // Dimensions first (correlated dims may reference earlier ones).
+    for (size_t d = 0; d < spec.dimensions.size(); ++d) {
+      const DimensionSpec& ds = spec.dimensions[d];
+      size_t v;
+      if (ds.correlated_with >= 0 &&
+          static_cast<size_t>(ds.correlated_with) < d &&
+          !rng.Bernoulli(ds.correlation_noise)) {
+        // Deterministic mapping from the source dimension's value.
+        v = dim_value_idx[static_cast<size_t>(ds.correlated_with)] %
+            ds.cardinality;
+      } else if (zipf_for_dim[d] != nullptr) {
+        v = zipf_for_dim[d]->Sample(&rng);
+      } else {
+        v = static_cast<size_t>(rng.Uniform(ds.cardinality));
+      }
+      dim_value_idx[d] = v;
+    }
+
+    std::vector<db::Value> values;
+    values.reserve(schema.num_columns());
+    for (size_t d = 0; d < spec.dimensions.size(); ++d) {
+      values.emplace_back(
+          DimensionValueName(spec.dimensions[d].name, dim_value_idx[d]));
+    }
+    for (size_t m = 0; m < spec.measures.size(); ++m) {
+      double v = SampleMeasure(spec.measures[m], &rng);
+      if (spec.deviation) {
+        const PlantedDeviation& dev = *spec.deviation;
+        bool selected =
+            dim_value_idx[dev.selector_dim] == dev.selector_value_index;
+        bool odd_group = (dim_value_idx[dev.deviating_dim] % 2) == 1;
+        if (m == dev.measure_index && selected && odd_group) {
+          v *= dev.strength;
+        }
+      }
+      values.emplace_back(v);
+    }
+    SEEDB_RETURN_IF_ERROR(dataset.table.AppendRow(values));
+  }
+
+  if (spec.deviation) {
+    const PlantedDeviation& dev = *spec.deviation;
+    const std::string& sel_dim = spec.dimensions[dev.selector_dim].name;
+    dataset.selector_value =
+        DimensionValueName(sel_dim, dev.selector_value_index);
+    dataset.selection =
+        db::PredicatePtr(db::Eq(sel_dim, db::Value(dataset.selector_value)));
+    dataset.expected_dimension = spec.dimensions[dev.deviating_dim].name;
+    dataset.expected_measure = spec.measures[dev.measure_index].name;
+  }
+  return dataset;
+}
+
+}  // namespace seedb::data

@@ -1,0 +1,105 @@
+// Synthetic dataset generator (§4, "Synthetic data"): "datasets with varying
+// sizes, number of attributes, and data distributions".
+//
+// Datasets can carry a *planted deviation*: rows matching a selector
+// predicate have one measure's conditional distribution over one dimension
+// skewed relative to the full data. The planted (dimension, measure) pair is
+// the ground-truth "interesting view" recovery tests and benches check for.
+
+#ifndef SEEDB_DATA_SYNTHETIC_H_
+#define SEEDB_DATA_SYNTHETIC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/predicate.h"
+#include "db/table.h"
+#include "util/result.h"
+
+namespace seedb::data {
+
+/// Value distribution of one dimension column.
+struct DimensionSpec {
+  std::string name;
+  size_t cardinality = 10;
+  enum class Dist { kUniform, kZipf } distribution = Dist::kUniform;
+  /// Zipf skew (only for kZipf); 1.0 is classic Zipf.
+  double zipf_s = 1.0;
+  /// If >= 0: this dimension's value is derived from dimension
+  /// `correlated_with` (same row), flipped to a random value with
+  /// probability `correlation_noise`. Used to exercise correlated-attribute
+  /// pruning.
+  int correlated_with = -1;
+  double correlation_noise = 0.05;
+};
+
+/// Value distribution of one measure column.
+struct MeasureSpec {
+  std::string name;
+  enum class Dist { kGaussian, kUniform, kExponential } distribution =
+      Dist::kGaussian;
+  /// Gaussian parameters.
+  double mean = 100.0;
+  double stddev = 20.0;
+  /// Uniform bounds.
+  double lo = 0.0;
+  double hi = 1.0;
+  /// Exponential rate.
+  double rate = 0.01;
+};
+
+/// A ground-truth deviation: for rows where
+/// dimensions[selector_dim] == value #selector_value_index, measure
+/// #measure_index is multiplied by `strength` whenever
+/// dimensions[deviating_dim]'s value index is odd. The view
+/// (deviating_dim, measure, SUM/AVG) then deviates strongly under the
+/// selector query and should be recommended.
+struct PlantedDeviation {
+  size_t selector_dim = 0;
+  size_t selector_value_index = 0;
+  size_t deviating_dim = 1;
+  size_t measure_index = 0;
+  double strength = 5.0;
+};
+
+struct SyntheticSpec {
+  size_t rows = 10000;
+  std::vector<DimensionSpec> dimensions;
+  std::vector<MeasureSpec> measures;
+  std::optional<PlantedDeviation> deviation;
+  uint64_t seed = 42;
+
+  /// Uniform spec: `num_dims` dimensions of equal cardinality and
+  /// `num_measures` Gaussian measures, with a default planted deviation
+  /// (selector dim 0, deviating dim 1, measure 0) when num_dims >= 2.
+  static SyntheticSpec Simple(size_t rows, size_t num_dims,
+                              size_t num_measures, size_t cardinality,
+                              uint64_t seed = 42);
+};
+
+/// The generated table plus its ground truth.
+struct SyntheticDataset {
+  db::Table table;
+  /// The analyst query selecting the deviating subset (null when no
+  /// deviation was planted).
+  db::PredicatePtr selection;
+  /// The (dimension, measure) pair whose view should rank highly under
+  /// `selection` (empty when no deviation).
+  std::string expected_dimension;
+  std::string expected_measure;
+  /// Dictionary value the selector matches, e.g. "dim0_v0".
+  std::string selector_value;
+
+  SyntheticDataset(db::Table t) : table(std::move(t)) {}
+};
+
+/// Generates a dataset from `spec`. Deterministic for a given seed.
+Result<SyntheticDataset> GenerateSynthetic(const SyntheticSpec& spec);
+
+/// Name of the j-th dictionary value of dimension `dim` ("<dim>_v<j>").
+std::string DimensionValueName(const std::string& dim, size_t j);
+
+}  // namespace seedb::data
+
+#endif  // SEEDB_DATA_SYNTHETIC_H_

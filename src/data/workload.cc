@@ -1,0 +1,37 @@
+#include "data/workload.h"
+
+namespace seedb::data {
+
+Result<Workload> BuildWorkload(const WorkloadSpec& spec) {
+  SyntheticSpec synth =
+      SyntheticSpec::Simple(spec.rows, spec.num_dims, spec.num_measures,
+                            spec.cardinality, spec.seed);
+  if (spec.zipf_s > 0.0) {
+    for (auto& d : synth.dimensions) {
+      d.distribution = DimensionSpec::Dist::kZipf;
+      d.zipf_s = spec.zipf_s;
+    }
+  }
+  if (spec.deviation_strength <= 0.0) {
+    synth.deviation.reset();
+  } else if (synth.deviation) {
+    synth.deviation->strength = spec.deviation_strength;
+  }
+
+  SEEDB_ASSIGN_OR_RETURN(SyntheticDataset dataset, GenerateSynthetic(synth));
+
+  Workload w;
+  w.catalog = std::make_unique<db::Catalog>();
+  w.rows = dataset.table.num_rows();
+  w.selection = dataset.selection;
+  w.expected_dimension = dataset.expected_dimension;
+  w.expected_measure = dataset.expected_measure;
+  SEEDB_RETURN_IF_ERROR(
+      w.catalog->AddTable(w.table_name, std::move(dataset.table)));
+  w.engine = std::make_unique<db::Engine>(w.catalog.get());
+  // Precompute statistics so benches measure execution, not profiling.
+  SEEDB_RETURN_IF_ERROR(w.catalog->GetStats(w.table_name).status());
+  return w;
+}
+
+}  // namespace seedb::data

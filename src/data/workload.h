@@ -1,0 +1,49 @@
+// Parameterized benchmark workloads (§4, Scenario 2): "attendees will be
+// able to easily experiment with a range of synthetic datasets and input
+// queries by adjusting various knobs such as data size, number of
+// attributes, and data distribution."
+
+#ifndef SEEDB_DATA_WORKLOAD_H_
+#define SEEDB_DATA_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "data/synthetic.h"
+#include "db/engine.h"
+#include "util/result.h"
+
+namespace seedb::data {
+
+/// The Scenario-2 knobs.
+struct WorkloadSpec {
+  size_t rows = 100000;
+  size_t num_dims = 5;
+  size_t num_measures = 2;
+  size_t cardinality = 25;
+  /// Dimension skew: 0 = uniform, > 0 = Zipf(s).
+  double zipf_s = 0.0;
+  /// Planted deviation multiplier (0 disables planting).
+  double deviation_strength = 5.0;
+  uint64_t seed = 42;
+};
+
+/// A ready-to-query benchmark environment: catalog + engine + the analyst
+/// selection and its ground truth.
+struct Workload {
+  std::unique_ptr<db::Catalog> catalog;
+  std::unique_ptr<db::Engine> engine;
+  std::string table_name = "synthetic";
+  db::PredicatePtr selection;
+  std::string expected_dimension;
+  std::string expected_measure;
+  size_t rows = 0;
+};
+
+/// Builds the catalog/engine pair for `spec` with the table registered and
+/// statistics precomputed (so benches measure query time, not stats time).
+Result<Workload> BuildWorkload(const WorkloadSpec& spec);
+
+}  // namespace seedb::data
+
+#endif  // SEEDB_DATA_WORKLOAD_H_

@@ -1,0 +1,77 @@
+#include "db/access_tracker.h"
+
+#include <algorithm>
+#include <set>
+
+namespace seedb::db {
+namespace {
+
+std::string Key(const std::string& table, const std::string& column) {
+  std::string k = table;
+  k.push_back('\0');
+  k += column;
+  return k;
+}
+
+}  // namespace
+
+void AccessTracker::RecordQuery(const std::string& table,
+                                const std::vector<std::string>& columns) {
+  // Dedupe: a column referenced by both WHERE and GROUP BY counts once.
+  std::set<std::string> unique(columns.begin(), columns.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++query_counts_[table];
+  for (const auto& c : unique) {
+    ++access_counts_[Key(table, c)];
+  }
+}
+
+uint64_t AccessTracker::QueryCount(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = query_counts_.find(table);
+  return it == query_counts_.end() ? 0 : it->second;
+}
+
+uint64_t AccessTracker::AccessCount(const std::string& table,
+                                    const std::string& column) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = access_counts_.find(Key(table, column));
+  return it == access_counts_.end() ? 0 : it->second;
+}
+
+double AccessTracker::AccessFrequency(const std::string& table,
+                                      const std::string& column) const {
+  uint64_t total = QueryCount(table);
+  if (total == 0) return 0.0;
+  return static_cast<double>(AccessCount(table, column)) /
+         static_cast<double>(total);
+}
+
+std::vector<std::pair<std::string, uint64_t>> AccessTracker::TopColumns(
+    const std::string& table) const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string prefix = table;
+    prefix.push_back('\0');
+    for (const auto& [key, count] : access_counts_) {
+      if (key.size() > prefix.size() &&
+          key.compare(0, prefix.size(), prefix) == 0) {
+        out.emplace_back(key.substr(prefix.size()), count);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+void AccessTracker::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  query_counts_.clear();
+  access_counts_.clear();
+}
+
+}  // namespace seedb::db

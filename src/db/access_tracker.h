@@ -1,0 +1,55 @@
+// Column access tracking (§3.3 "Access frequency-based pruning").
+//
+// "SEEDB tracks access patterns for each table to identify the most
+// frequently accessed columns ... and uses this information to prune
+// attributes that are rarely accessed." The Engine records every executed
+// query's referenced columns here; the access-frequency pruner consults it.
+
+#ifndef SEEDB_DB_ACCESS_TRACKER_H_
+#define SEEDB_DB_ACCESS_TRACKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace seedb::db {
+
+/// \brief Thread-safe per-(table, column) access counter.
+class AccessTracker {
+ public:
+  /// Records one query against `table` touching `columns` (each column
+  /// counted once per query even if referenced multiple times).
+  void RecordQuery(const std::string& table,
+                   const std::vector<std::string>& columns);
+
+  /// Number of queries recorded against `table`.
+  uint64_t QueryCount(const std::string& table) const;
+
+  /// Number of queries against `table` that touched `column`.
+  uint64_t AccessCount(const std::string& table,
+                       const std::string& column) const;
+
+  /// Fraction of `table`'s queries touching `column` in [0,1]; 0 when no
+  /// queries have been recorded.
+  double AccessFrequency(const std::string& table,
+                         const std::string& column) const;
+
+  /// Columns of `table` ordered by descending access count.
+  std::vector<std::pair<std::string, uint64_t>> TopColumns(
+      const std::string& table) const;
+
+  /// Forgets everything (e.g. between benchmark repetitions).
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, uint64_t> query_counts_;
+  /// Key: table + '\0' + column.
+  std::unordered_map<std::string, uint64_t> access_counts_;
+};
+
+}  // namespace seedb::db
+
+#endif  // SEEDB_DB_ACCESS_TRACKER_H_

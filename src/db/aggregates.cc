@@ -1,0 +1,78 @@
+#include "db/aggregates.h"
+
+#include "util/string_util.h"
+
+namespace seedb::db {
+
+const char* AggregateFunctionToSql(AggregateFunction f) {
+  switch (f) {
+    case AggregateFunction::kCount:
+      return "COUNT";
+    case AggregateFunction::kSum:
+      return "SUM";
+    case AggregateFunction::kAvg:
+      return "AVG";
+    case AggregateFunction::kMin:
+      return "MIN";
+    case AggregateFunction::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+Result<AggregateFunction> ParseAggregateFunction(const std::string& name) {
+  std::string up = ToUpper(name);
+  if (up == "COUNT") return AggregateFunction::kCount;
+  if (up == "SUM") return AggregateFunction::kSum;
+  if (up == "AVG" || up == "MEAN") return AggregateFunction::kAvg;
+  if (up == "MIN") return AggregateFunction::kMin;
+  if (up == "MAX") return AggregateFunction::kMax;
+  return Status::InvalidArgument("unknown aggregate function '" + name + "'");
+}
+
+const std::vector<AggregateFunction>& AllAggregateFunctions() {
+  static const std::vector<AggregateFunction> kAll = {
+      AggregateFunction::kCount, AggregateFunction::kSum,
+      AggregateFunction::kAvg, AggregateFunction::kMin,
+      AggregateFunction::kMax};
+  return kAll;
+}
+
+std::string AggregateSpec::EffectiveName() const {
+  if (!output_name.empty()) return output_name;
+  std::string arg = input.empty() ? "*" : input;
+  return std::string(AggregateFunctionToSql(func)) + "(" + arg + ")";
+}
+
+std::string AggregateSpec::ToSql() const {
+  std::string arg = input.empty() ? "*" : input;
+  std::string out =
+      std::string(AggregateFunctionToSql(func)) + "(" + arg + ")";
+  if (filter) {
+    out += " FILTER (WHERE " + filter->ToSql() + ")";
+  }
+  if (!output_name.empty()) {
+    out += " AS " + output_name;
+  }
+  return out;
+}
+
+AggregateSpec AggregateSpec::Count(std::string output_name) {
+  AggregateSpec s;
+  s.func = AggregateFunction::kCount;
+  s.output_name = std::move(output_name);
+  return s;
+}
+
+AggregateSpec AggregateSpec::Make(AggregateFunction f, std::string input,
+                                  std::string output_name,
+                                  PredicatePtr filter) {
+  AggregateSpec s;
+  s.func = f;
+  s.input = std::move(input);
+  s.output_name = std::move(output_name);
+  s.filter = std::move(filter);
+  return s;
+}
+
+}  // namespace seedb::db

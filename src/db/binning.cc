@@ -1,0 +1,88 @@
+#include "db/binning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace seedb::db {
+
+std::string BinLabel(size_t k, size_t num_bins, double min, double max,
+                     bool range_labels) {
+  if (!range_labels) {
+    return StringPrintf("bin%02zu", k);
+  }
+  double width = (max - min) / static_cast<double>(num_bins);
+  double lo = min + static_cast<double>(k) * width;
+  double hi = lo + width;
+  // Zero-padded index prefix keeps lexicographic order == bucket order.
+  return StringPrintf("%02zu [%s, %s%c", k, FormatDouble(lo, 2).c_str(),
+                      FormatDouble(hi, 2).c_str(),
+                      k + 1 == num_bins ? ']' : ')');
+}
+
+Result<Table> WithBinnedColumn(const Table& table, const std::string& source,
+                               const BinningOptions& options) {
+  if (options.num_bins == 0) {
+    return Status::InvalidArgument("num_bins must be positive");
+  }
+  SEEDB_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(source));
+  if (col->type() != ValueType::kInt64 && col->type() != ValueType::kDouble) {
+    return Status::InvalidArgument("column '" + source + "' is not numeric");
+  }
+
+  double min = 0.0, max = 0.0;
+  bool any = false;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (col->IsNull(r)) continue;
+    double v = col->NumericAt(r);
+    if (!any) {
+      min = max = v;
+      any = true;
+    } else {
+      min = std::min(min, v);
+      max = std::max(max, v);
+    }
+  }
+  if (!any) {
+    return Status::InvalidArgument("column '" + source +
+                                   "' has no non-null values to bin");
+  }
+  if (max == min) max = min + 1.0;  // constant column: one bucket spans it
+
+  std::string name =
+      options.output_name.empty() ? source + "_bin" : options.output_name;
+  if (table.schema().HasColumn(name)) {
+    return Status::AlreadyExists("column '" + name + "' already exists");
+  }
+
+  Schema schema = table.schema();
+  SEEDB_RETURN_IF_ERROR(schema.AddColumn(ColumnDef::Dimension(name)));
+  Table out(schema);
+
+  double width = (max - min) / static_cast<double>(options.num_bins);
+  std::vector<std::string> labels(options.num_bins);
+  for (size_t k = 0; k < options.num_bins; ++k) {
+    labels[k] = BinLabel(k, options.num_bins, min, max, options.range_labels);
+  }
+
+  std::vector<Value> row(schema.num_columns());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      row[c] = table.ValueAt(r, c);
+    }
+    if (col->IsNull(r)) {
+      row.back() = Value::Null();
+    } else {
+      double v = col->NumericAt(r);
+      auto k = static_cast<int64_t>(std::floor((v - min) / width));
+      k = std::clamp<int64_t>(k, 0,
+                              static_cast<int64_t>(options.num_bins) - 1);
+      row.back() = Value(labels[static_cast<size_t>(k)]);
+    }
+    SEEDB_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace seedb::db

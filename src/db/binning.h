@@ -1,0 +1,45 @@
+// Numeric binning (§1: analysts build views via "binning, grouping, and
+// aggregation").
+//
+// SeeDB's view space enumerates dimension attributes; a continuous numeric
+// column only becomes a useful grouping attribute after binning. This module
+// derives a categorical bin column from a numeric one so the view space can
+// include it.
+
+#ifndef SEEDB_DB_BINNING_H_
+#define SEEDB_DB_BINNING_H_
+
+#include <string>
+
+#include "db/table.h"
+#include "util/result.h"
+
+namespace seedb::db {
+
+struct BinningOptions {
+  /// Number of equi-width buckets.
+  size_t num_bins = 10;
+  /// Name of the derived column; empty derives "<source>_bin".
+  std::string output_name;
+  /// Label style: "[lo, hi)" when true, "bin<k>" when false. Range labels
+  /// sort lexicographically in bucket order only when widths align, so the
+  /// generated labels are zero-padded with the bucket index first:
+  /// "03 [30, 40)".
+  bool range_labels = true;
+};
+
+/// Returns a copy of `table` with one extra dimension column holding the
+/// equi-width bin label of `source` for every row (nulls stay null). The
+/// source column must be numeric; bin boundaries span [min, max] of the
+/// observed values.
+Result<Table> WithBinnedColumn(const Table& table, const std::string& source,
+                               const BinningOptions& options = {});
+
+/// The label WithBinnedColumn assigns to bucket `k` of `num_bins` over
+/// [min, max]. Exposed for tests and display code.
+std::string BinLabel(size_t k, size_t num_bins, double min, double max,
+                     bool range_labels);
+
+}  // namespace seedb::db
+
+#endif  // SEEDB_DB_BINNING_H_

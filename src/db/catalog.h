@@ -1,0 +1,62 @@
+// Catalog: named tables plus cached statistics (the Metadata Collector's
+// backing store, §3.1).
+
+#ifndef SEEDB_DB_CATALOG_H_
+#define SEEDB_DB_CATALOG_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/statistics.h"
+#include "db/table.h"
+#include "util/result.h"
+
+namespace seedb::db {
+
+/// \brief Owns tables by name and lazily computes/caches their statistics.
+///
+/// Reads are thread-safe once tables are registered; registration is not
+/// concurrent with queries (load first, then analyze — matching SeeDB's
+/// read-only analytical setting).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a table. Fails if the name is taken.
+  Status AddTable(const std::string& name, Table table);
+
+  /// Replaces or creates a table (drops cached stats for it).
+  void PutTable(const std::string& name, Table table);
+
+  Status DropTable(const std::string& name);
+
+  Result<const Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Table statistics, computed on first request and cached. Invalidated when
+  /// the table is replaced.
+  Result<const TableStats*> GetStats(const std::string& name);
+
+  /// Cramér's V between two dimension columns, computed on first request and
+  /// cached (symmetric in a/b). Correlation-based pruning consults this on
+  /// every Recommend() call, so the O(rows) computation must not repeat.
+  Result<double> GetCramersV(const std::string& table, const std::string& a,
+                             const std::string& b);
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::unique_ptr<TableStats>> stats_;
+  /// Key: table + '\0' + min(a,b) + '\0' + max(a,b).
+  std::unordered_map<std::string, double> cramers_cache_;
+};
+
+}  // namespace seedb::db
+
+#endif  // SEEDB_DB_CATALOG_H_

@@ -1,0 +1,257 @@
+#include "db/csv.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace seedb::db {
+namespace {
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string QuoteIfNeeded(const std::string& s, char delimiter) {
+  bool needs = s.find(delimiter) != std::string::npos ||
+               s.find('"') != std::string::npos ||
+               s.find('\n') != std::string::npos;
+  if (!needs) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+Result<Value> CellToValue(const std::string& cell, ValueType type,
+                          const CsvOptions& options) {
+  if (cell.empty() || cell == options.null_token) return Value::Null();
+  switch (type) {
+    case ValueType::kInt64: {
+      int64_t v;
+      if (!ParseInt64(cell, &v)) {
+        return Status::InvalidArgument("cannot parse '" + cell + "' as INT64");
+      }
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      double v;
+      if (!ParseDouble(cell, &v)) {
+        return Status::InvalidArgument("cannot parse '" + cell +
+                                       "' as DOUBLE");
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(cell);
+    case ValueType::kNull:
+      return Status::InvalidArgument("column with NULL type");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+std::vector<std::string> ParseCsvLine(const std::string& line,
+                                      char delimiter) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<Table> ReadCsv(const std::string& path, const Schema& schema,
+                      const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+
+  std::string line;
+  std::vector<size_t> col_order(schema.num_columns());
+  if (options.has_header) {
+    if (!std::getline(in, line)) {
+      return Status::IOError("empty file '" + path + "'");
+    }
+    auto headers = ParseCsvLine(line, options.delimiter);
+    if (headers.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          StringPrintf("header has %zu columns, schema expects %zu",
+                       headers.size(), schema.num_columns()));
+    }
+    // col_order[i] = schema index of the i-th CSV column.
+    for (size_t i = 0; i < headers.size(); ++i) {
+      SEEDB_ASSIGN_OR_RETURN(size_t idx,
+                             schema.FindColumn(std::string(Trim(headers[i]))));
+      col_order[i] = idx;
+    }
+  } else {
+    for (size_t i = 0; i < col_order.size(); ++i) col_order[i] = i;
+  }
+
+  Table table(schema);
+  std::vector<Value> row(schema.num_columns());
+  size_t line_no = options.has_header ? 1 : 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto cells = ParseCsvLine(line, options.delimiter);
+    if (cells.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          StringPrintf("line %zu has %zu fields, expected %zu", line_no,
+                       cells.size(), schema.num_columns()));
+    }
+    for (size_t i = 0; i < cells.size(); ++i) {
+      size_t schema_idx = col_order[i];
+      SEEDB_ASSIGN_OR_RETURN(
+          row[schema_idx],
+          CellToValue(cells[i], schema.column(schema_idx).type, options));
+    }
+    SEEDB_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvInferSchema(const std::string& path,
+                                 const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+
+  std::string line;
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto cells = ParseCsvLine(line, options.delimiter);
+    if (first && options.has_header) {
+      headers.reserve(cells.size());
+      for (auto& h : cells) headers.emplace_back(Trim(h));
+      first = false;
+      continue;
+    }
+    if (first) {
+      for (size_t i = 0; i < cells.size(); ++i) {
+        headers.push_back(StringPrintf("col%zu", i));
+      }
+      first = false;
+    }
+    rows.push_back(std::move(cells));
+  }
+  if (headers.empty()) return Status::IOError("empty file '" + path + "'");
+
+  Schema schema;
+  for (size_t c = 0; c < headers.size(); ++c) {
+    bool all_int = true, all_num = true, any_value = false;
+    for (const auto& r : rows) {
+      if (c >= r.size()) continue;
+      const std::string& cell = r[c];
+      if (cell.empty() || cell == options.null_token) continue;
+      any_value = true;
+      int64_t iv;
+      double dv;
+      if (!ParseInt64(cell, &iv)) all_int = false;
+      if (!ParseDouble(cell, &dv)) all_num = false;
+    }
+    ValueType type = ValueType::kString;
+    ColumnRole role = ColumnRole::kDimension;
+    if (any_value && all_int) {
+      type = ValueType::kInt64;
+      role = ColumnRole::kMeasure;
+    } else if (any_value && all_num) {
+      type = ValueType::kDouble;
+      role = ColumnRole::kMeasure;
+    }
+    SEEDB_RETURN_IF_ERROR(schema.AddColumn(ColumnDef(headers[c], type, role)));
+  }
+
+  Table table(schema);
+  std::vector<Value> row(schema.num_columns());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          StringPrintf("row %zu has %zu fields, expected %zu", r + 1,
+                       rows[r].size(), schema.num_columns()));
+    }
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      SEEDB_ASSIGN_OR_RETURN(
+          row[c], CellToValue(rows[r][c], schema.column(c).type, options));
+    }
+    SEEDB_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  if (options.has_header) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c) out << options.delimiter;
+      out << QuoteIfNeeded(table.schema().column(c).name, options.delimiter);
+    }
+    out << "\n";
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c) out << options.delimiter;
+      Value v = table.ValueAt(r, c);
+      if (v.is_null()) {
+        out << options.null_token;
+      } else if (v.type() == ValueType::kDouble) {
+        // Full round-trip precision; Value::ToString is display-truncated.
+        out << StringPrintf("%.17g", v.AsDouble());
+      } else {
+        out << QuoteIfNeeded(v.ToString(), options.delimiter);
+      }
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace seedb::db

@@ -1,0 +1,42 @@
+// CSV import/export, the engine's only persistence format.
+
+#ifndef SEEDB_DB_CSV_H_
+#define SEEDB_DB_CSV_H_
+
+#include <string>
+
+#include "db/table.h"
+#include "util/result.h"
+
+namespace seedb::db {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// First line holds column names.
+  bool has_header = true;
+  /// Literal cell text treated as null (in addition to the empty cell).
+  std::string null_token = "NULL";
+};
+
+/// Reads a CSV file into a table with the given schema. Columns are matched
+/// by header name when a header is present, else by position.
+Result<Table> ReadCsv(const std::string& path, const Schema& schema,
+                      const CsvOptions& options = {});
+
+/// Reads a CSV file, inferring a schema: columns where every non-null cell
+/// parses as an integer become INT64, every numeric cell DOUBLE, otherwise
+/// STRING. Roles: numeric columns become measures, strings dimensions.
+Result<Table> ReadCsvInferSchema(const std::string& path,
+                                 const CsvOptions& options = {});
+
+/// Writes `table` to `path` (header + rows; strings quoted when needed).
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options = {});
+
+/// Parses one CSV record honoring double-quote quoting ("a,b" stays one
+/// field, "" inside quotes is an escaped quote). Exposed for tests.
+std::vector<std::string> ParseCsvLine(const std::string& line, char delimiter);
+
+}  // namespace seedb::db
+
+#endif  // SEEDB_DB_CSV_H_

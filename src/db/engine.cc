@@ -1,0 +1,120 @@
+#include "db/engine.h"
+
+#include "db/sql/parser.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace seedb::db {
+
+std::string EngineStatsSnapshot::ToString() const {
+  return StringPrintf(
+      "queries=%llu scans=%llu rows_scanned=%llu groups=%llu "
+      "peak_agg_state=%lluB exec=%.3fms",
+      static_cast<unsigned long long>(queries_executed),
+      static_cast<unsigned long long>(table_scans),
+      static_cast<unsigned long long>(rows_scanned),
+      static_cast<unsigned long long>(groups_created),
+      static_cast<unsigned long long>(peak_agg_state_bytes),
+      static_cast<double>(total_exec_micros) / 1000.0);
+}
+
+void Engine::RecordAccess(const std::string& table,
+                          const std::vector<std::string>& group_cols,
+                          const std::vector<AggregateSpec>& aggs,
+                          const Predicate* where) {
+  std::vector<std::string> cols = group_cols;
+  for (const auto& a : aggs) {
+    if (!a.input.empty()) cols.push_back(a.input);
+    if (a.filter) a.filter->CollectColumns(&cols);
+  }
+  if (where) where->CollectColumns(&cols);
+  tracker_.RecordQuery(table, cols);
+}
+
+namespace {
+
+void UpdatePeak(std::atomic<uint64_t>* peak, uint64_t candidate) {
+  uint64_t cur = peak->load(std::memory_order_relaxed);
+  while (candidate > cur &&
+         !peak->compare_exchange_weak(cur, candidate,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Result<Table> Engine::Execute(const GroupByQuery& query) {
+  SEEDB_ASSIGN_OR_RETURN(const Table* table, catalog_->GetTable(query.table));
+  Stopwatch timer;
+  GroupByStats qstats;
+  SEEDB_ASSIGN_OR_RETURN(Table result,
+                         ExecuteGroupBy(*table, query, &qstats));
+  queries_executed_.fetch_add(1, std::memory_order_relaxed);
+  table_scans_.fetch_add(1, std::memory_order_relaxed);
+  rows_scanned_.fetch_add(qstats.rows_scanned, std::memory_order_relaxed);
+  groups_created_.fetch_add(qstats.num_groups, std::memory_order_relaxed);
+  UpdatePeak(&peak_agg_state_bytes_, qstats.agg_state_bytes);
+  total_exec_micros_.fetch_add(
+      static_cast<uint64_t>(timer.ElapsedMicros()), std::memory_order_relaxed);
+  RecordAccess(query.table, query.group_by, query.aggregates,
+               query.where.get());
+  return result;
+}
+
+Result<std::vector<Table>> Engine::Execute(const GroupingSetsQuery& query) {
+  SEEDB_ASSIGN_OR_RETURN(const Table* table, catalog_->GetTable(query.table));
+  Stopwatch timer;
+  GroupingSetsStats qstats;
+  SEEDB_ASSIGN_OR_RETURN(std::vector<Table> results,
+                         ExecuteGroupingSets(*table, query, &qstats));
+  queries_executed_.fetch_add(1, std::memory_order_relaxed);
+  // The defining property of GROUPING SETS: one scan regardless of set count.
+  table_scans_.fetch_add(1, std::memory_order_relaxed);
+  rows_scanned_.fetch_add(qstats.rows_scanned, std::memory_order_relaxed);
+  groups_created_.fetch_add(qstats.total_groups, std::memory_order_relaxed);
+  UpdatePeak(&peak_agg_state_bytes_, qstats.agg_state_bytes);
+  total_exec_micros_.fetch_add(
+      static_cast<uint64_t>(timer.ElapsedMicros()), std::memory_order_relaxed);
+  std::vector<std::string> group_cols;
+  for (const auto& set : query.grouping_sets) {
+    group_cols.insert(group_cols.end(), set.begin(), set.end());
+  }
+  RecordAccess(query.table, group_cols, query.aggregates, query.where.get());
+  return results;
+}
+
+Result<Table> Engine::ExecuteSql(const std::string& sql) {
+  SEEDB_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::ParseSelect(sql));
+  if (!stmt.grouping_sets.empty()) {
+    SEEDB_ASSIGN_OR_RETURN(GroupingSetsQuery q,
+                           sql::PlanGroupingSets(stmt));
+    SEEDB_ASSIGN_OR_RETURN(std::vector<Table> results, Execute(q));
+    if (results.empty()) return Status::Internal("no result sets");
+    return std::move(results[0]);
+  }
+  SEEDB_ASSIGN_OR_RETURN(GroupByQuery q, sql::PlanGroupBy(stmt));
+  return Execute(q);
+}
+
+EngineStatsSnapshot Engine::stats() const {
+  EngineStatsSnapshot s;
+  s.queries_executed = queries_executed_.load(std::memory_order_relaxed);
+  s.table_scans = table_scans_.load(std::memory_order_relaxed);
+  s.rows_scanned = rows_scanned_.load(std::memory_order_relaxed);
+  s.groups_created = groups_created_.load(std::memory_order_relaxed);
+  s.peak_agg_state_bytes =
+      peak_agg_state_bytes_.load(std::memory_order_relaxed);
+  s.total_exec_micros = total_exec_micros_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Engine::ResetStats() {
+  queries_executed_.store(0, std::memory_order_relaxed);
+  table_scans_.store(0, std::memory_order_relaxed);
+  rows_scanned_.store(0, std::memory_order_relaxed);
+  groups_created_.store(0, std::memory_order_relaxed);
+  peak_agg_state_bytes_.store(0, std::memory_order_relaxed);
+  total_exec_micros_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace seedb::db

@@ -1,0 +1,89 @@
+// Engine: the query entry point of the embedded DBMS, with the per-pass cost
+// accounting SeeDB's optimizer study measures.
+//
+// Every §3.3 optimization is a claim about scans and shared work. The engine
+// therefore counts observable costs — queries executed, table scans, rows and
+// cells touched, aggregation working memory — so benches and tests can verify
+// e.g. that combining target and comparison views exactly halves scans.
+
+#ifndef SEEDB_DB_ENGINE_H_
+#define SEEDB_DB_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/access_tracker.h"
+#include "db/catalog.h"
+#include "db/group_by.h"
+#include "db/grouping_sets.h"
+#include "util/result.h"
+
+namespace seedb::db {
+
+/// Plain-value snapshot of the engine's cumulative execution counters.
+struct EngineStatsSnapshot {
+  uint64_t queries_executed = 0;
+  /// Passes over a base table (a GROUPING SETS query is one scan).
+  uint64_t table_scans = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t groups_created = 0;
+  /// Largest per-query aggregation working set seen.
+  uint64_t peak_agg_state_bytes = 0;
+  uint64_t total_exec_micros = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Executes queries against a Catalog, recording cost metrics and
+/// column access patterns.
+///
+/// Execute() is safe to call concurrently from multiple threads (counters are
+/// atomic; tables are immutable during querying) — this is what SeeDB's
+/// parallel query execution relies on.
+class Engine {
+ public:
+  explicit Engine(Catalog* catalog) : catalog_(catalog) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes a grouped aggregation (one table scan).
+  Result<Table> Execute(const GroupByQuery& query);
+
+  /// Executes a multi-group-by query (one shared table scan).
+  Result<std::vector<Table>> Execute(const GroupingSetsQuery& query);
+
+  /// Parses and executes a SQL SELECT (the wrapper-deployment interface).
+  /// Supports the dialect in db/sql/parser.h; GROUPING SETS queries return
+  /// their first result set through this interface.
+  Result<Table> ExecuteSql(const std::string& sql);
+
+  Catalog* catalog() { return catalog_; }
+  const Catalog* catalog() const { return catalog_; }
+  AccessTracker* access_tracker() { return &tracker_; }
+
+  EngineStatsSnapshot stats() const;
+  void ResetStats();
+
+ private:
+  void RecordAccess(const std::string& table,
+                    const std::vector<std::string>& group_cols,
+                    const std::vector<AggregateSpec>& aggs,
+                    const Predicate* where);
+
+  Catalog* catalog_;
+  AccessTracker tracker_;
+
+  std::atomic<uint64_t> queries_executed_{0};
+  std::atomic<uint64_t> table_scans_{0};
+  std::atomic<uint64_t> rows_scanned_{0};
+  std::atomic<uint64_t> groups_created_{0};
+  std::atomic<uint64_t> peak_agg_state_bytes_{0};
+  std::atomic<uint64_t> total_exec_micros_{0};
+};
+
+}  // namespace seedb::db
+
+#endif  // SEEDB_DB_ENGINE_H_

@@ -1,0 +1,102 @@
+// Grouped aggregation: the only query shape SeeDB needs from its DBMS (§2).
+//
+//   SELECT a, f(m) FROM T WHERE pred GROUP BY a
+//
+// with optional per-aggregate FILTER predicates (conditional aggregation),
+// multiple aggregates per query (§3.3 "Combine Multiple Aggregates"), and an
+// optional Bernoulli sample of the scan (§3.3 "Sampling").
+
+#ifndef SEEDB_DB_GROUP_BY_H_
+#define SEEDB_DB_GROUP_BY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/aggregates.h"
+#include "db/predicate.h"
+#include "db/table.h"
+#include "util/result.h"
+
+namespace seedb::db {
+
+/// \brief A single grouped-aggregation query against one table.
+struct GroupByQuery {
+  std::string table;
+  /// Row selection; null selects all rows.
+  PredicatePtr where;
+  /// Zero (global aggregate), one, or several grouping columns.
+  std::vector<std::string> group_by;
+  std::vector<AggregateSpec> aggregates;
+  /// Bernoulli sampling fraction in (0, 1]; 1 scans everything.
+  double sample_fraction = 1.0;
+  uint64_t sample_seed = 0;
+
+  /// Renders the query as SQL text (the form SeeDB would send to a real
+  /// DBMS in its wrapper deployment).
+  std::string ToSql() const;
+};
+
+/// Per-query execution metrics, aggregated into Engine::ExecutionStats.
+struct GroupByStats {
+  /// Rows the scan touched (reduced by sampling).
+  size_t rows_scanned = 0;
+  /// Rows passing WHERE among scanned rows.
+  size_t rows_matched = 0;
+  size_t num_groups = 0;
+  /// groups x aggregates x sizeof(AggState): the optimizer's working-memory
+  /// unit.
+  size_t agg_state_bytes = 0;
+};
+
+/// Executes `query` against `table` (already resolved from the catalog).
+/// Output columns: group columns (original types), then one DOUBLE column per
+/// aggregate named spec.EffectiveName(). Rows are sorted by group key so
+/// results are deterministic.
+Result<Table> ExecuteGroupBy(const Table& table, const GroupByQuery& query,
+                             GroupByStats* stats);
+
+namespace internal {
+
+/// \brief Assigns a dense group id to every row selected by a mask.
+///
+/// Rows with mask 0 get id -1. Groups are created lazily in first-seen order;
+/// GroupKey() recovers the boxed key values for output materialization.
+/// Two layouts: a dense array keyed by dictionary code for the common
+/// single-string-dimension case, and a hash map over packed key tuples for
+/// everything else.
+class GroupKeyBuilder {
+ public:
+  static Result<GroupKeyBuilder> Create(const Table& table,
+                                        const std::vector<std::string>& columns,
+                                        const std::vector<uint8_t>& mask);
+
+  int32_t num_groups() const { return num_groups_; }
+  const std::vector<int32_t>& row_group_ids() const { return row_group_ids_; }
+  /// Boxed key for group `gid`, one Value per grouping column.
+  std::vector<Value> GroupKey(int32_t gid) const;
+
+ private:
+  GroupKeyBuilder() = default;
+
+  const Table* table_ = nullptr;
+  std::vector<size_t> col_indices_;
+  int32_t num_groups_ = 0;
+  std::vector<int32_t> row_group_ids_;
+  /// For each group, the row index of one representative member.
+  std::vector<uint32_t> representative_row_;
+};
+
+/// Builds a Bernoulli scan mask: each row kept with probability `fraction`.
+std::vector<uint8_t> BernoulliScanMask(size_t num_rows, double fraction,
+                                       uint64_t seed);
+
+/// Validates the pieces shared by GroupBy and GroupingSets queries.
+Status ValidateAggregates(const Table& table,
+                          const std::vector<AggregateSpec>& aggregates);
+
+}  // namespace internal
+}  // namespace seedb::db
+
+#endif  // SEEDB_DB_GROUP_BY_H_

@@ -1,0 +1,383 @@
+#include "db/predicate.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace seedb::db {
+namespace {
+
+bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+Status CheckComparable(const Schema& schema, const std::string& column,
+                       const Value& literal) {
+  SEEDB_ASSIGN_OR_RETURN(size_t idx, schema.FindColumn(column));
+  if (literal.is_null()) {
+    return Status::InvalidArgument("cannot compare column '" + column +
+                                   "' against NULL literal");
+  }
+  ValueType ct = schema.column(idx).type;
+  bool ok = (ct == ValueType::kString && literal.type() == ValueType::kString) ||
+            ((ct == ValueType::kInt64 || ct == ValueType::kDouble) &&
+             literal.is_numeric());
+  if (!ok) {
+    return Status::InvalidArgument(
+        StringPrintf("cannot compare %s column '%s' with %s literal",
+                     ValueTypeToString(ct), column.c_str(),
+                     ValueTypeToString(literal.type())));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* CompareOpToSql(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Status Predicate::EvaluateMask(const Table& table,
+                               std::vector<uint8_t>* mask) const {
+  SEEDB_RETURN_IF_ERROR(Validate(table.schema()));
+  mask->assign(table.num_rows(), 0);
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    (*mask)[i] = Matches(table, i) ? 1 : 0;
+  }
+  return Status::OK();
+}
+
+// -- ComparisonPredicate -----------------------------------------------------
+
+bool ComparisonPredicate::Matches(const Table& table, size_t row) const {
+  auto col = table.ColumnByName(column_);
+  if (!col.ok()) return false;
+  const Column& c = **col;
+  if (c.IsNull(row)) return false;
+  return CompareValues(c.GetValue(row), op_, literal_);
+}
+
+Status ComparisonPredicate::EvaluateMask(const Table& table,
+                                         std::vector<uint8_t>* mask) const {
+  SEEDB_RETURN_IF_ERROR(Validate(table.schema()));
+  SEEDB_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column_));
+  const size_t n = table.num_rows();
+  mask->assign(n, 0);
+  std::vector<uint8_t>& m = *mask;
+
+  // Dictionary fast path: equality against a string literal is a code
+  // comparison; other operators compare through per-code precomputation.
+  if (col->type() == ValueType::kString) {
+    const auto& codes = col->codes();
+    std::vector<uint8_t> code_match(col->dict_size(), 0);
+    for (size_t c = 0; c < col->dict_size(); ++c) {
+      code_match[c] = CompareValues(Value(col->dict_value(static_cast<int32_t>(c))),
+                                    op_, literal_)
+                          ? 1
+                          : 0;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      m[i] = (!col->IsNull(i) && code_match[codes[i]]) ? 1 : 0;
+    }
+    return Status::OK();
+  }
+
+  double lit = literal_.ToDouble().ValueOrDie();
+  for (size_t i = 0; i < n; ++i) {
+    if (col->IsNull(i)) continue;
+    double v = col->NumericAt(i);
+    bool hit = false;
+    switch (op_) {
+      case CompareOp::kEq:
+        hit = v == lit;
+        break;
+      case CompareOp::kNe:
+        hit = v != lit;
+        break;
+      case CompareOp::kLt:
+        hit = v < lit;
+        break;
+      case CompareOp::kLe:
+        hit = v <= lit;
+        break;
+      case CompareOp::kGt:
+        hit = v > lit;
+        break;
+      case CompareOp::kGe:
+        hit = v >= lit;
+        break;
+    }
+    m[i] = hit ? 1 : 0;
+  }
+  return Status::OK();
+}
+
+Status ComparisonPredicate::Validate(const Schema& schema) const {
+  return CheckComparable(schema, column_, literal_);
+}
+
+std::string ComparisonPredicate::ToSql() const {
+  return column_ + " " + CompareOpToSql(op_) + " " + literal_.ToSqlLiteral();
+}
+
+std::unique_ptr<Predicate> ComparisonPredicate::Clone() const {
+  return std::make_unique<ComparisonPredicate>(column_, op_, literal_);
+}
+
+void ComparisonPredicate::CollectColumns(std::vector<std::string>* out) const {
+  out->push_back(column_);
+}
+
+// -- InPredicate -------------------------------------------------------------
+
+bool InPredicate::Matches(const Table& table, size_t row) const {
+  auto col = table.ColumnByName(column_);
+  if (!col.ok()) return false;
+  const Column& c = **col;
+  if (c.IsNull(row)) return false;
+  Value v = c.GetValue(row);
+  return std::any_of(values_.begin(), values_.end(),
+                     [&](const Value& cand) { return v == cand; });
+}
+
+Status InPredicate::Validate(const Schema& schema) const {
+  if (values_.empty()) {
+    return Status::InvalidArgument("IN list for column '" + column_ +
+                                   "' is empty");
+  }
+  for (const auto& v : values_) {
+    SEEDB_RETURN_IF_ERROR(CheckComparable(schema, column_, v));
+  }
+  return Status::OK();
+}
+
+std::string InPredicate::ToSql() const {
+  std::vector<std::string> lits;
+  lits.reserve(values_.size());
+  for (const auto& v : values_) lits.push_back(v.ToSqlLiteral());
+  return column_ + " IN (" + Join(lits, ", ") + ")";
+}
+
+std::unique_ptr<Predicate> InPredicate::Clone() const {
+  return std::make_unique<InPredicate>(column_, values_);
+}
+
+void InPredicate::CollectColumns(std::vector<std::string>* out) const {
+  out->push_back(column_);
+}
+
+// -- BetweenPredicate --------------------------------------------------------
+
+bool BetweenPredicate::Matches(const Table& table, size_t row) const {
+  auto col = table.ColumnByName(column_);
+  if (!col.ok()) return false;
+  const Column& c = **col;
+  if (c.IsNull(row)) return false;
+  Value v = c.GetValue(row);
+  return v >= lo_ && v <= hi_;
+}
+
+Status BetweenPredicate::Validate(const Schema& schema) const {
+  SEEDB_RETURN_IF_ERROR(CheckComparable(schema, column_, lo_));
+  return CheckComparable(schema, column_, hi_);
+}
+
+std::string BetweenPredicate::ToSql() const {
+  return column_ + " BETWEEN " + lo_.ToSqlLiteral() + " AND " +
+         hi_.ToSqlLiteral();
+}
+
+std::unique_ptr<Predicate> BetweenPredicate::Clone() const {
+  return std::make_unique<BetweenPredicate>(column_, lo_, hi_);
+}
+
+void BetweenPredicate::CollectColumns(std::vector<std::string>* out) const {
+  out->push_back(column_);
+}
+
+// -- LogicalPredicate --------------------------------------------------------
+
+bool LogicalPredicate::Matches(const Table& table, size_t row) const {
+  if (kind_ == Kind::kAnd) {
+    for (const auto& c : children_) {
+      if (!c->Matches(table, row)) return false;
+    }
+    return true;
+  }
+  for (const auto& c : children_) {
+    if (c->Matches(table, row)) return true;
+  }
+  return false;
+}
+
+Status LogicalPredicate::EvaluateMask(const Table& table,
+                                      std::vector<uint8_t>* mask) const {
+  if (children_.empty()) {
+    return Status::InvalidArgument("logical predicate with no children");
+  }
+  SEEDB_RETURN_IF_ERROR(children_[0]->EvaluateMask(table, mask));
+  std::vector<uint8_t> tmp;
+  for (size_t i = 1; i < children_.size(); ++i) {
+    SEEDB_RETURN_IF_ERROR(children_[i]->EvaluateMask(table, &tmp));
+    if (kind_ == Kind::kAnd) {
+      for (size_t r = 0; r < mask->size(); ++r) (*mask)[r] &= tmp[r];
+    } else {
+      for (size_t r = 0; r < mask->size(); ++r) (*mask)[r] |= tmp[r];
+    }
+  }
+  return Status::OK();
+}
+
+Status LogicalPredicate::Validate(const Schema& schema) const {
+  if (children_.empty()) {
+    return Status::InvalidArgument("logical predicate with no children");
+  }
+  for (const auto& c : children_) {
+    SEEDB_RETURN_IF_ERROR(c->Validate(schema));
+  }
+  return Status::OK();
+}
+
+std::string LogicalPredicate::ToSql() const {
+  const char* sep = kind_ == Kind::kAnd ? " AND " : " OR ";
+  std::string out = "(";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i) out += sep;
+    out += children_[i]->ToSql();
+  }
+  out += ")";
+  return out;
+}
+
+std::unique_ptr<Predicate> LogicalPredicate::Clone() const {
+  std::vector<std::unique_ptr<Predicate>> kids;
+  kids.reserve(children_.size());
+  for (const auto& c : children_) kids.push_back(c->Clone());
+  return std::make_unique<LogicalPredicate>(kind_, std::move(kids));
+}
+
+void LogicalPredicate::CollectColumns(std::vector<std::string>* out) const {
+  for (const auto& c : children_) c->CollectColumns(out);
+}
+
+// -- NotPredicate ------------------------------------------------------------
+
+bool NotPredicate::Matches(const Table& table, size_t row) const {
+  return !child_->Matches(table, row);
+}
+
+Status NotPredicate::Validate(const Schema& schema) const {
+  return child_->Validate(schema);
+}
+
+std::string NotPredicate::ToSql() const {
+  return "NOT (" + child_->ToSql() + ")";
+}
+
+std::unique_ptr<Predicate> NotPredicate::Clone() const {
+  return std::make_unique<NotPredicate>(child_->Clone());
+}
+
+void NotPredicate::CollectColumns(std::vector<std::string>* out) const {
+  child_->CollectColumns(out);
+}
+
+// -- TruePredicate -----------------------------------------------------------
+
+Status TruePredicate::EvaluateMask(const Table& table,
+                                   std::vector<uint8_t>* mask) const {
+  mask->assign(table.num_rows(), 1);
+  return Status::OK();
+}
+
+// -- Builders ----------------------------------------------------------------
+
+std::unique_ptr<Predicate> Eq(std::string column, Value v) {
+  return std::make_unique<ComparisonPredicate>(std::move(column),
+                                               CompareOp::kEq, std::move(v));
+}
+std::unique_ptr<Predicate> Ne(std::string column, Value v) {
+  return std::make_unique<ComparisonPredicate>(std::move(column),
+                                               CompareOp::kNe, std::move(v));
+}
+std::unique_ptr<Predicate> Lt(std::string column, Value v) {
+  return std::make_unique<ComparisonPredicate>(std::move(column),
+                                               CompareOp::kLt, std::move(v));
+}
+std::unique_ptr<Predicate> Le(std::string column, Value v) {
+  return std::make_unique<ComparisonPredicate>(std::move(column),
+                                               CompareOp::kLe, std::move(v));
+}
+std::unique_ptr<Predicate> Gt(std::string column, Value v) {
+  return std::make_unique<ComparisonPredicate>(std::move(column),
+                                               CompareOp::kGt, std::move(v));
+}
+std::unique_ptr<Predicate> Ge(std::string column, Value v) {
+  return std::make_unique<ComparisonPredicate>(std::move(column),
+                                               CompareOp::kGe, std::move(v));
+}
+std::unique_ptr<Predicate> In(std::string column, std::vector<Value> values) {
+  return std::make_unique<InPredicate>(std::move(column), std::move(values));
+}
+std::unique_ptr<Predicate> Between(std::string column, Value lo, Value hi) {
+  return std::make_unique<BetweenPredicate>(std::move(column), std::move(lo),
+                                            std::move(hi));
+}
+std::unique_ptr<Predicate> And(
+    std::vector<std::unique_ptr<Predicate>> children) {
+  return std::make_unique<LogicalPredicate>(LogicalPredicate::Kind::kAnd,
+                                            std::move(children));
+}
+std::unique_ptr<Predicate> And(std::unique_ptr<Predicate> a,
+                               std::unique_ptr<Predicate> b) {
+  std::vector<std::unique_ptr<Predicate>> kids;
+  kids.push_back(std::move(a));
+  kids.push_back(std::move(b));
+  return And(std::move(kids));
+}
+std::unique_ptr<Predicate> Or(
+    std::vector<std::unique_ptr<Predicate>> children) {
+  return std::make_unique<LogicalPredicate>(LogicalPredicate::Kind::kOr,
+                                            std::move(children));
+}
+std::unique_ptr<Predicate> Or(std::unique_ptr<Predicate> a,
+                              std::unique_ptr<Predicate> b) {
+  std::vector<std::unique_ptr<Predicate>> kids;
+  kids.push_back(std::move(a));
+  kids.push_back(std::move(b));
+  return Or(std::move(kids));
+}
+std::unique_ptr<Predicate> Not(std::unique_ptr<Predicate> child) {
+  return std::make_unique<NotPredicate>(std::move(child));
+}
+std::unique_ptr<Predicate> True() { return std::make_unique<TruePredicate>(); }
+
+}  // namespace seedb::db

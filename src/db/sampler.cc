@@ -1,0 +1,79 @@
+#include "db/sampler.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace seedb::db {
+
+std::vector<uint32_t> BernoulliSelection(size_t num_rows, double fraction,
+                                         uint64_t seed) {
+  std::vector<uint32_t> out;
+  if (fraction <= 0.0) return out;
+  if (fraction >= 1.0) {
+    out.resize(num_rows);
+    for (size_t i = 0; i < num_rows; ++i) out[i] = static_cast<uint32_t>(i);
+    return out;
+  }
+  Random rng(seed);
+  out.reserve(static_cast<size_t>(static_cast<double>(num_rows) * fraction * 1.1) + 16);
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (rng.Bernoulli(fraction)) out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+std::vector<uint32_t> ReservoirSelection(size_t num_rows, size_t k,
+                                         uint64_t seed) {
+  std::vector<uint32_t> reservoir;
+  if (k == 0) return reservoir;
+  if (k >= num_rows) {
+    reservoir.resize(num_rows);
+    for (size_t i = 0; i < num_rows; ++i) {
+      reservoir[i] = static_cast<uint32_t>(i);
+    }
+    return reservoir;
+  }
+  reservoir.reserve(k);
+  Random rng(seed);
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (i < k) {
+      reservoir.push_back(static_cast<uint32_t>(i));
+    } else {
+      size_t j = static_cast<size_t>(rng.Uniform(i + 1));
+      if (j < k) reservoir[j] = static_cast<uint32_t>(i);
+    }
+  }
+  std::sort(reservoir.begin(), reservoir.end());
+  return reservoir;
+}
+
+Result<Table> MaterializeBernoulliSample(const Table& table, double fraction,
+                                         uint64_t seed) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument(
+        StringPrintf("sample fraction %f outside (0, 1]", fraction));
+  }
+  return table.SelectRows(BernoulliSelection(table.num_rows(), fraction, seed));
+}
+
+Result<Table> MaterializeReservoirSample(const Table& table, size_t k,
+                                         uint64_t seed) {
+  if (k == 0) {
+    return Status::InvalidArgument("reservoir sample size must be positive");
+  }
+  return table.SelectRows(ReservoirSelection(table.num_rows(), k, seed));
+}
+
+size_t SampleSizeForBudget(const Table& table, size_t memory_budget_bytes) {
+  if (table.num_rows() == 0) return 0;
+  size_t footprint = table.MemoryBytes();
+  if (footprint <= memory_budget_bytes) return table.num_rows();
+  double bytes_per_row =
+      static_cast<double>(footprint) / static_cast<double>(table.num_rows());
+  return static_cast<size_t>(static_cast<double>(memory_budget_bytes) /
+                             bytes_per_row);
+}
+
+}  // namespace seedb::db

@@ -1,0 +1,44 @@
+// Sampling utilities (§3.3 "Sampling"): Bernoulli and reservoir row
+// selection, plus in-memory sample materialization.
+//
+// SeeDB's sampling optimization builds a sample "that can fit in memory and
+// run[s] all view queries against the sample". The inline per-query
+// sample_fraction in GroupByQuery covers one-shot sampling; this module
+// covers the materialized-sample strategy shared across many view queries.
+
+#ifndef SEEDB_DB_SAMPLER_H_
+#define SEEDB_DB_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/table.h"
+#include "util/result.h"
+
+namespace seedb::db {
+
+/// Row indices kept by an independent Bernoulli(fraction) trial per row.
+/// Deterministic for a given seed.
+std::vector<uint32_t> BernoulliSelection(size_t num_rows, double fraction,
+                                         uint64_t seed);
+
+/// Uniform fixed-size sample of `k` row indices (Algorithm R), returned in
+/// ascending row order. If k >= num_rows every row is selected.
+std::vector<uint32_t> ReservoirSelection(size_t num_rows, size_t k,
+                                         uint64_t seed);
+
+/// Materializes a Bernoulli sample of `table` as a new table.
+Result<Table> MaterializeBernoulliSample(const Table& table, double fraction,
+                                         uint64_t seed);
+
+/// Materializes a fixed-size uniform sample of `table`.
+Result<Table> MaterializeReservoirSample(const Table& table, size_t k,
+                                         uint64_t seed);
+
+/// Picks the largest sample size whose materialized footprint fits
+/// `memory_budget_bytes`, assuming footprint scales linearly with rows.
+size_t SampleSizeForBudget(const Table& table, size_t memory_budget_bytes);
+
+}  // namespace seedb::db
+
+#endif  // SEEDB_DB_SAMPLER_H_

@@ -1,0 +1,79 @@
+#include "db/schema.h"
+
+namespace seedb::db {
+
+const char* ColumnRoleToString(ColumnRole role) {
+  switch (role) {
+    case ColumnRole::kDimension:
+      return "dimension";
+    case ColumnRole::kMeasure:
+      return "measure";
+    case ColumnRole::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+Schema::Schema(std::vector<ColumnDef> columns) {
+  for (auto& c : columns) {
+    // Duplicate names in the literal constructor are a programming error;
+    // first definition wins and later ones are ignored by lookup.
+    index_.emplace(c.name, columns_.size());
+    columns_.push_back(std::move(c));
+  }
+}
+
+Status Schema::AddColumn(ColumnDef def) {
+  if (index_.count(def.name)) {
+    return Status::AlreadyExists("column '" + def.name + "' already exists");
+  }
+  index_.emplace(def.name, columns_.size());
+  columns_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Result<size_t> Schema::FindColumn(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no column named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+std::vector<std::string> Schema::ColumnsWithRole(ColumnRole role) const {
+  std::vector<std::string> out;
+  for (const auto& c : columns_) {
+    if (c.role == role) out.push_back(c.name);
+  }
+  return out;
+}
+
+std::vector<std::string> Schema::DimensionColumns() const {
+  return ColumnsWithRole(ColumnRole::kDimension);
+}
+
+std::vector<std::string> Schema::MeasureColumns() const {
+  return ColumnsWithRole(ColumnRole::kMeasure);
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeToString(columns_[i].type);
+    if (columns_[i].role != ColumnRole::kOther) {
+      out += " [";
+      out += ColumnRoleToString(columns_[i].role);
+      out += "]";
+    }
+  }
+  return out;
+}
+
+}  // namespace seedb::db

@@ -1,0 +1,94 @@
+// Schema: column definitions with SeeDB's dimension/measure role annotation.
+//
+// SeeDB's view space is the cross product of *dimension* attributes (group-by
+// candidates, set A in the paper) and *measure* attributes (aggregation
+// inputs, set M). The role lives in the schema so the snowflake star-schema
+// assumption of §2 is explicit and queryable.
+
+#ifndef SEEDB_DB_SCHEMA_H_
+#define SEEDB_DB_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/value.h"
+#include "util/result.h"
+
+namespace seedb::db {
+
+/// Analytical role of a column in SeeDB's model (§2).
+enum class ColumnRole {
+  /// Group-by candidate (attribute set A): categorical or low-cardinality.
+  kDimension,
+  /// Aggregation input (attribute set M): numeric.
+  kMeasure,
+  /// Neither (ids, free text, timestamps SeeDB ignores).
+  kOther,
+};
+
+const char* ColumnRoleToString(ColumnRole role);
+
+/// One column: name, physical type, analytical role.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+  ColumnRole role = ColumnRole::kOther;
+
+  ColumnDef() = default;
+  ColumnDef(std::string n, ValueType t, ColumnRole r)
+      : name(std::move(n)), type(t), role(r) {}
+
+  static ColumnDef Dimension(std::string name,
+                             ValueType type = ValueType::kString) {
+    return ColumnDef(std::move(name), type, ColumnRole::kDimension);
+  }
+  static ColumnDef Measure(std::string name,
+                           ValueType type = ValueType::kDouble) {
+    return ColumnDef(std::move(name), type, ColumnRole::kMeasure);
+  }
+  static ColumnDef Other(std::string name, ValueType type) {
+    return ColumnDef(std::move(name), type, ColumnRole::kOther);
+  }
+
+  bool operator==(const ColumnDef& o) const {
+    return name == o.name && type == o.type && role == o.role;
+  }
+};
+
+/// \brief Ordered list of column definitions with by-name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  /// Appends a column. Fails if the name already exists.
+  Status AddColumn(ColumnDef def);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or error if absent.
+  Result<size_t> FindColumn(const std::string& name) const;
+  bool HasColumn(const std::string& name) const;
+
+  /// Names of all columns with the given role, in schema order.
+  std::vector<std::string> ColumnsWithRole(ColumnRole role) const;
+  /// Convenience: ColumnsWithRole(kDimension) / (kMeasure).
+  std::vector<std::string> DimensionColumns() const;
+  std::vector<std::string> MeasureColumns() const;
+
+  bool operator==(const Schema& o) const { return columns_ == o.columns_; }
+
+  /// "name TYPE [role], ..." for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace seedb::db
+
+#endif  // SEEDB_DB_SCHEMA_H_

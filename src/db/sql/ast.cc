@@ -1,0 +1,41 @@
+#include "db/sql/ast.h"
+
+#include "util/string_util.h"
+
+namespace seedb::db::sql {
+
+std::string SelectItem::ToSql() const {
+  if (!is_aggregate) {
+    return alias.empty() ? column : column + " AS " + alias;
+  }
+  std::string out = std::string(AggregateFunctionToSql(func)) + "(" +
+                    (column.empty() ? "*" : column) + ")";
+  if (filter) out += " FILTER (WHERE " + filter->ToSql() + ")";
+  if (!alias.empty()) out += " AS " + alias;
+  return out;
+}
+
+std::string SelectStatement::ToSql() const {
+  std::vector<std::string> parts;
+  parts.reserve(items.size());
+  for (const auto& item : items) parts.push_back(item.ToSql());
+  std::string out = "SELECT " + Join(parts, ", ") + " FROM " + table;
+  if (sample_fraction < 1.0) {
+    out += StringPrintf(" TABLESAMPLE BERNOULLI (%s)",
+                        FormatDouble(sample_fraction * 100.0, 4).c_str());
+  }
+  if (where) out += " WHERE " + where->ToSql();
+  if (!grouping_sets.empty()) {
+    out += " GROUP BY GROUPING SETS (";
+    for (size_t s = 0; s < grouping_sets.size(); ++s) {
+      if (s) out += ", ";
+      out += "(" + Join(grouping_sets[s], ", ") + ")";
+    }
+    out += ")";
+  } else if (!group_by.empty()) {
+    out += " GROUP BY " + Join(group_by, ", ");
+  }
+  return out;
+}
+
+}  // namespace seedb::db::sql

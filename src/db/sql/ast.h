@@ -1,0 +1,53 @@
+// AST for the engine's SQL dialect.
+//
+// The dialect covers exactly the query shapes SeeDB generates when deployed
+// as a wrapper over a SQL DBMS (§3): single-table SELECTs with aggregates,
+// optional FILTER clauses (combined target/comparison rewrite), WHERE,
+// GROUP BY (plain or GROUPING SETS), and TABLESAMPLE BERNOULLI.
+
+#ifndef SEEDB_DB_SQL_AST_H_
+#define SEEDB_DB_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/aggregates.h"
+#include "db/predicate.h"
+
+namespace seedb::db::sql {
+
+/// One item of a select list: either a bare column reference or an aggregate
+/// call with optional FILTER and alias.
+struct SelectItem {
+  bool is_aggregate = false;
+  /// For a bare reference: the column. For an aggregate: the input column
+  /// (empty = COUNT(*)).
+  std::string column;
+  AggregateFunction func = AggregateFunction::kCount;
+  /// Optional AS alias.
+  std::string alias;
+  /// Optional FILTER (WHERE ...) predicate for aggregates.
+  PredicatePtr filter;
+
+  std::string ToSql() const;
+};
+
+/// A parsed SELECT statement.
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::string table;
+  PredicatePtr where;
+  /// Plain GROUP BY columns (empty when grouping_sets is used).
+  std::vector<std::string> group_by;
+  /// GROUP BY GROUPING SETS ((...), (...)); empty when plain GROUP BY.
+  std::vector<std::vector<std::string>> grouping_sets;
+  /// TABLESAMPLE BERNOULLI (pct) as a fraction in (0, 1]; 1 = no sampling.
+  double sample_fraction = 1.0;
+
+  std::string ToSql() const;
+};
+
+}  // namespace seedb::db::sql
+
+#endif  // SEEDB_DB_SQL_AST_H_

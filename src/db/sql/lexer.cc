@@ -1,0 +1,107 @@
+#include "db/sql/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace seedb::db::sql {
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+bool Token::IsSymbol(const char* sym) const {
+  return type == TokenType::kSymbol && text == sym;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      tokens.push_back({TokenType::kIdentifier, input.substr(i, j - i), start});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i;
+      bool seen_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       (input[j] == '.' && !seen_dot))) {
+        if (input[j] == '.') seen_dot = true;
+        ++j;
+      }
+      tokens.push_back({TokenType::kNumber, input.substr(i, j - i), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text += input[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StringPrintf("unterminated string literal at offset %zu", start));
+      }
+      tokens.push_back({TokenType::kString, std::move(text), start});
+      i = j;
+      continue;
+    }
+    // Multi-character operators first.
+    if (c == '<' && i + 1 < n && (input[i + 1] == '=' || input[i + 1] == '>')) {
+      tokens.push_back({TokenType::kSymbol, input.substr(i, 2), start});
+      i += 2;
+      continue;
+    }
+    if (c == '>' && i + 1 < n && input[i + 1] == '=') {
+      tokens.push_back({TokenType::kSymbol, ">=", start});
+      i += 2;
+      continue;
+    }
+    if (c == '!' && i + 1 < n && input[i + 1] == '=') {
+      tokens.push_back({TokenType::kSymbol, "!=", start});
+      i += 2;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == '*' || c == '=' || c == '<' ||
+        c == '>' || c == '-') {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(
+        StringPrintf("unexpected character '%c' at offset %zu", c, start));
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace seedb::db::sql

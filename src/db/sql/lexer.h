@@ -1,0 +1,37 @@
+// Tokenizer for the SQL dialect.
+
+#ifndef SEEDB_DB_SQL_LEXER_H_
+#define SEEDB_DB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace seedb::db::sql {
+
+enum class TokenType {
+  kIdentifier,   // column / table / function names and keywords
+  kNumber,       // integer or decimal literal
+  kString,       // 'single quoted' literal (quotes stripped, '' unescaped)
+  kSymbol,       // ( ) , * = <> != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier/keyword text (original case), symbol, or
+                      // literal contents
+  size_t position = 0;  // byte offset in the input (for error messages)
+
+  /// Case-insensitive keyword check (identifiers only).
+  bool IsKeyword(const char* kw) const;
+  bool IsSymbol(const char* sym) const;
+};
+
+/// Tokenizes `input`. The final token is always kEnd.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace seedb::db::sql
+
+#endif  // SEEDB_DB_SQL_LEXER_H_

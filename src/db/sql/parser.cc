@@ -1,0 +1,410 @@
+#include "db/sql/parser.h"
+
+#include <algorithm>
+
+#include "db/sql/lexer.h"
+#include "util/string_util.h"
+
+namespace seedb::db::sql {
+namespace {
+
+bool IsAggregateName(const std::string& name) {
+  return ParseAggregateFunction(name).ok();
+}
+
+/// Token-stream cursor with the usual recursive-descent helpers.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> ParseSelectStatement();
+  Result<std::unique_ptr<Predicate>> ParseOrExpr();
+
+  Status ExpectEnd() {
+    if (!At().IsSymbol("") && At().type != TokenType::kEnd) {
+      return Error("trailing input after statement");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Token& At() const { return tokens_[pos_]; }
+  const Token& Peek(size_t ahead = 1) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (At().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (At().IsSymbol(sym)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error(std::string("expected keyword ") + kw);
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!AcceptSymbol(sym)) {
+      return Error(std::string("expected '") + sym + "'");
+    }
+    return Status::OK();
+  }
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(StringPrintf(
+        "%s at offset %zu (near '%s')", message.c_str(), At().position,
+        At().text.c_str()));
+  }
+
+  Result<std::string> ParseIdentifier() {
+    if (At().type != TokenType::kIdentifier) {
+      return Error("expected identifier");
+    }
+    std::string name = At().text;
+    Advance();
+    return name;
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& t = At();
+    if (t.type == TokenType::kString) {
+      Value v(t.text);
+      Advance();
+      return v;
+    }
+    bool negative = false;
+    if (At().IsSymbol("-")) {
+      negative = true;
+      Advance();
+    }
+    if (At().type == TokenType::kNumber) {
+      std::string text = At().text;
+      Advance();
+      if (text.find('.') == std::string::npos) {
+        int64_t v = static_cast<int64_t>(std::stoll(text));
+        return Value(negative ? -v : v);
+      }
+      double v = std::stod(text);
+      return Value(negative ? -v : v);
+    }
+    return Error("expected literal");
+  }
+
+  Result<SelectItem> ParseSelectItem();
+  Result<std::unique_ptr<Predicate>> ParseAndExpr();
+  Result<std::unique_ptr<Predicate>> ParseUnary();
+  Result<std::unique_ptr<Predicate>> ParseSimplePredicate();
+  Result<std::vector<std::string>> ParseColumnList();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  // Aggregate call: FUNC '(' ... — distinguished from a bare column by the
+  // following '('.
+  if (At().type == TokenType::kIdentifier && IsAggregateName(At().text) &&
+      Peek().IsSymbol("(")) {
+    SEEDB_ASSIGN_OR_RETURN(item.func, ParseAggregateFunction(At().text));
+    item.is_aggregate = true;
+    Advance();  // function name
+    Advance();  // '('
+    if (AcceptSymbol("*")) {
+      if (item.func != AggregateFunction::kCount) {
+        return Error("only COUNT accepts '*'");
+      }
+    } else {
+      SEEDB_ASSIGN_OR_RETURN(item.column, ParseIdentifier());
+    }
+    SEEDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (AcceptKeyword("FILTER")) {
+      SEEDB_RETURN_IF_ERROR(ExpectSymbol("("));
+      SEEDB_RETURN_IF_ERROR(ExpectKeyword("WHERE"));
+      SEEDB_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> pred, ParseOrExpr());
+      SEEDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+      item.filter = PredicatePtr(std::move(pred));
+    }
+  } else {
+    SEEDB_ASSIGN_OR_RETURN(item.column, ParseIdentifier());
+  }
+  if (AcceptKeyword("AS")) {
+    SEEDB_ASSIGN_OR_RETURN(item.alias, ParseIdentifier());
+  }
+  return item;
+}
+
+Result<std::vector<std::string>> Parser::ParseColumnList() {
+  std::vector<std::string> cols;
+  do {
+    SEEDB_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+    cols.push_back(std::move(name));
+  } while (AcceptSymbol(","));
+  return cols;
+}
+
+Result<SelectStatement> Parser::ParseSelectStatement() {
+  SelectStatement stmt;
+  SEEDB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  do {
+    SEEDB_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+    stmt.items.push_back(std::move(item));
+  } while (AcceptSymbol(","));
+
+  SEEDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  SEEDB_ASSIGN_OR_RETURN(stmt.table, ParseIdentifier());
+
+  if (AcceptKeyword("TABLESAMPLE")) {
+    SEEDB_RETURN_IF_ERROR(ExpectKeyword("BERNOULLI"));
+    SEEDB_RETURN_IF_ERROR(ExpectSymbol("("));
+    SEEDB_ASSIGN_OR_RETURN(Value pct, ParseLiteral());
+    SEEDB_ASSIGN_OR_RETURN(double pct_value, pct.ToDouble());
+    if (pct_value <= 0.0 || pct_value > 100.0) {
+      return Error("TABLESAMPLE percentage must be in (0, 100]");
+    }
+    stmt.sample_fraction = pct_value / 100.0;
+    SEEDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+
+  if (AcceptKeyword("WHERE")) {
+    SEEDB_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> pred, ParseOrExpr());
+    stmt.where = PredicatePtr(std::move(pred));
+  }
+
+  if (AcceptKeyword("GROUP")) {
+    SEEDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    if (AcceptKeyword("GROUPING")) {
+      SEEDB_RETURN_IF_ERROR(ExpectKeyword("SETS"));
+      SEEDB_RETURN_IF_ERROR(ExpectSymbol("("));
+      do {
+        SEEDB_RETURN_IF_ERROR(ExpectSymbol("("));
+        SEEDB_ASSIGN_OR_RETURN(std::vector<std::string> set,
+                               ParseColumnList());
+        SEEDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+        stmt.grouping_sets.push_back(std::move(set));
+      } while (AcceptSymbol(","));
+      SEEDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else {
+      SEEDB_ASSIGN_OR_RETURN(stmt.group_by, ParseColumnList());
+    }
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<Predicate>> Parser::ParseOrExpr() {
+  SEEDB_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> left, ParseAndExpr());
+  if (!At().IsKeyword("OR")) return left;
+  std::vector<std::unique_ptr<Predicate>> children;
+  children.push_back(std::move(left));
+  while (AcceptKeyword("OR")) {
+    SEEDB_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> next, ParseAndExpr());
+    children.push_back(std::move(next));
+  }
+  return Or(std::move(children));
+}
+
+Result<std::unique_ptr<Predicate>> Parser::ParseAndExpr() {
+  SEEDB_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> left, ParseUnary());
+  if (!At().IsKeyword("AND")) return left;
+  std::vector<std::unique_ptr<Predicate>> children;
+  children.push_back(std::move(left));
+  while (AcceptKeyword("AND")) {
+    SEEDB_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> next, ParseUnary());
+    children.push_back(std::move(next));
+  }
+  return And(std::move(children));
+}
+
+Result<std::unique_ptr<Predicate>> Parser::ParseUnary() {
+  if (AcceptKeyword("NOT")) {
+    SEEDB_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> child, ParseUnary());
+    return Not(std::move(child));
+  }
+  if (AcceptSymbol("(")) {
+    SEEDB_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> inner, ParseOrExpr());
+    SEEDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return inner;
+  }
+  return ParseSimplePredicate();
+}
+
+Result<std::unique_ptr<Predicate>> Parser::ParseSimplePredicate() {
+  if (AcceptKeyword("TRUE")) return True();
+  SEEDB_ASSIGN_OR_RETURN(std::string column, ParseIdentifier());
+
+  bool negated = AcceptKeyword("NOT");
+  if (AcceptKeyword("IN")) {
+    SEEDB_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<Value> values;
+    do {
+      SEEDB_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      values.push_back(std::move(v));
+    } while (AcceptSymbol(","));
+    SEEDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+    auto pred = In(std::move(column), std::move(values));
+    if (negated) return Not(std::move(pred));
+    return pred;
+  }
+  if (negated) return Error("expected IN after NOT");
+
+  if (AcceptKeyword("BETWEEN")) {
+    SEEDB_ASSIGN_OR_RETURN(Value lo, ParseLiteral());
+    SEEDB_RETURN_IF_ERROR(ExpectKeyword("AND"));
+    SEEDB_ASSIGN_OR_RETURN(Value hi, ParseLiteral());
+    return Between(std::move(column), std::move(lo), std::move(hi));
+  }
+
+  CompareOp op;
+  if (AcceptSymbol("=")) {
+    op = CompareOp::kEq;
+  } else if (AcceptSymbol("<>") || AcceptSymbol("!=")) {
+    op = CompareOp::kNe;
+  } else if (AcceptSymbol("<=")) {
+    op = CompareOp::kLe;
+  } else if (AcceptSymbol("<")) {
+    op = CompareOp::kLt;
+  } else if (AcceptSymbol(">=")) {
+    op = CompareOp::kGe;
+  } else if (AcceptSymbol(">")) {
+    op = CompareOp::kGt;
+  } else {
+    return Error("expected comparison operator");
+  }
+  SEEDB_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+  return std::unique_ptr<Predicate>(std::make_unique<ComparisonPredicate>(
+      std::move(column), op, std::move(literal)));
+}
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(const std::string& sql) {
+  SEEDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  SEEDB_ASSIGN_OR_RETURN(SelectStatement stmt, parser.ParseSelectStatement());
+  SEEDB_RETURN_IF_ERROR(parser.ExpectEnd());
+  return stmt;
+}
+
+Result<PredicatePtr> ParsePredicate(const std::string& text) {
+  SEEDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  SEEDB_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> pred,
+                         parser.ParseOrExpr());
+  SEEDB_RETURN_IF_ERROR(parser.ExpectEnd());
+  return PredicatePtr(std::move(pred));
+}
+
+Result<InputQuery> ParseInputQuery(const std::string& sql) {
+  SEEDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  // Grammar: SELECT '*' FROM ident [WHERE or_expr]. Reuses the token
+  // helpers via a tiny hand-rolled walk to keep the statement parser free of
+  // the SELECT-*-only special case.
+  size_t pos = 0;
+  auto at = [&]() -> const Token& { return tokens[std::min(pos, tokens.size() - 1)]; };
+  auto error = [&](const char* msg) {
+    return Status::InvalidArgument(StringPrintf(
+        "%s at offset %zu (near '%s')", msg, at().position, at().text.c_str()));
+  };
+  if (!at().IsKeyword("SELECT")) return error("expected SELECT");
+  ++pos;
+  if (!at().IsSymbol("*")) return error("input query must be SELECT *");
+  ++pos;
+  if (!at().IsKeyword("FROM")) return error("expected FROM");
+  ++pos;
+  if (at().type != TokenType::kIdentifier) return error("expected table name");
+  InputQuery q;
+  q.table = at().text;
+  ++pos;
+  if (at().IsKeyword("WHERE")) {
+    ++pos;
+    // Delegate the remaining tokens to the predicate parser.
+    std::vector<Token> rest(tokens.begin() + static_cast<long>(pos),
+                            tokens.end());
+    Parser parser(std::move(rest));
+    SEEDB_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> pred,
+                           parser.ParseOrExpr());
+    SEEDB_RETURN_IF_ERROR(parser.ExpectEnd());
+    q.selection = PredicatePtr(std::move(pred));
+    return q;
+  }
+  if (at().type != TokenType::kEnd) return error("trailing input");
+  return q;
+}
+
+namespace {
+
+// Shared by both planners: splits select items into group columns (bare
+// references, which must match the declared grouping) and aggregates.
+Status PlanItems(const SelectStatement& stmt,
+                 const std::vector<std::string>& allowed_group_cols,
+                 std::vector<AggregateSpec>* aggregates) {
+  for (const auto& item : stmt.items) {
+    if (item.is_aggregate) {
+      AggregateSpec spec;
+      spec.func = item.func;
+      spec.input = item.column;
+      spec.output_name = item.alias;
+      spec.filter = item.filter;
+      aggregates->push_back(std::move(spec));
+      continue;
+    }
+    bool in_group = std::find(allowed_group_cols.begin(),
+                              allowed_group_cols.end(),
+                              item.column) != allowed_group_cols.end();
+    if (!in_group) {
+      return Status::InvalidArgument("column '" + item.column +
+                                     "' must appear in GROUP BY");
+    }
+  }
+  if (aggregates->empty()) {
+    return Status::InvalidArgument("select list has no aggregates");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<GroupByQuery> PlanGroupBy(const SelectStatement& stmt) {
+  if (!stmt.grouping_sets.empty()) {
+    return Status::InvalidArgument(
+        "statement uses GROUPING SETS; use PlanGroupingSets");
+  }
+  GroupByQuery q;
+  q.table = stmt.table;
+  q.where = stmt.where;
+  q.group_by = stmt.group_by;
+  q.sample_fraction = stmt.sample_fraction;
+  SEEDB_RETURN_IF_ERROR(PlanItems(stmt, stmt.group_by, &q.aggregates));
+  return q;
+}
+
+Result<GroupingSetsQuery> PlanGroupingSets(const SelectStatement& stmt) {
+  if (stmt.grouping_sets.empty()) {
+    return Status::InvalidArgument("statement has no GROUPING SETS clause");
+  }
+  GroupingSetsQuery q;
+  q.table = stmt.table;
+  q.where = stmt.where;
+  q.grouping_sets = stmt.grouping_sets;
+  q.sample_fraction = stmt.sample_fraction;
+  std::vector<std::string> all_cols;
+  for (const auto& set : stmt.grouping_sets) {
+    all_cols.insert(all_cols.end(), set.begin(), set.end());
+  }
+  SEEDB_RETURN_IF_ERROR(PlanItems(stmt, all_cols, &q.aggregates));
+  return q;
+}
+
+}  // namespace seedb::db::sql

@@ -1,0 +1,65 @@
+// Recursive-descent parser for the SQL dialect, plus planning into engine
+// query structs.
+//
+// Grammar (keywords case-insensitive):
+//
+//   select      := SELECT item (',' item)* FROM ident [tablesample]
+//                  [WHERE or_expr] [groupby]
+//   item        := agg | ident [AS ident]
+//   agg         := func '(' ('*' | ident) ')' [FILTER '(' WHERE or_expr ')']
+//                  [AS ident]
+//   func        := COUNT | SUM | AVG | MIN | MAX
+//   tablesample := TABLESAMPLE BERNOULLI '(' number ')'     -- percent
+//   groupby     := GROUP BY GROUPING SETS '(' set (',' set)* ')'
+//                | GROUP BY ident (',' ident)*
+//   set         := '(' ident (',' ident)* ')'
+//   or_expr     := and_expr (OR and_expr)*
+//   and_expr    := unary (AND unary)*
+//   unary       := NOT unary | '(' or_expr ')' | predicate
+//   predicate   := ident cmp literal
+//                | ident [NOT] IN '(' literal (',' literal)* ')'
+//                | ident BETWEEN literal AND literal
+//                | TRUE
+//   cmp         := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+//   literal     := number | string
+
+#ifndef SEEDB_DB_SQL_PARSER_H_
+#define SEEDB_DB_SQL_PARSER_H_
+
+#include <string>
+
+#include "db/group_by.h"
+#include "db/grouping_sets.h"
+#include "db/sql/ast.h"
+#include "util/result.h"
+
+namespace seedb::db::sql {
+
+/// Parses one SELECT statement.
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+/// Parses just a predicate expression (the or_expr production) — used by
+/// SeeDB's frontend to accept user-supplied selection conditions.
+Result<PredicatePtr> ParsePredicate(const std::string& text);
+
+/// The analyst's input query Q (§1): SELECT * FROM table [WHERE pred].
+/// This is the query SeeDB receives and builds views on top of.
+struct InputQuery {
+  std::string table;
+  /// Null when the query selects the whole table.
+  PredicatePtr selection;
+};
+
+/// Parses an analyst input query of the form SELECT * FROM t [WHERE ...].
+Result<InputQuery> ParseInputQuery(const std::string& sql);
+
+/// Plans a plain-GROUP-BY statement into an executable GroupByQuery.
+/// Non-aggregate select items must appear in GROUP BY.
+Result<GroupByQuery> PlanGroupBy(const SelectStatement& stmt);
+
+/// Plans a GROUPING SETS statement into an executable GroupingSetsQuery.
+Result<GroupingSetsQuery> PlanGroupingSets(const SelectStatement& stmt);
+
+}  // namespace seedb::db::sql
+
+#endif  // SEEDB_DB_SQL_PARSER_H_

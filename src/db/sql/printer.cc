@@ -1,0 +1,85 @@
+#include "db/sql/printer.h"
+
+#include "util/string_util.h"
+
+namespace seedb::db::sql {
+namespace {
+
+SelectItem AggregateItem(const AggregateSpec& spec) {
+  SelectItem item;
+  item.is_aggregate = true;
+  item.func = spec.func;
+  item.column = spec.input;
+  item.alias = spec.output_name;
+  item.filter = spec.filter;
+  return item;
+}
+
+SelectItem ColumnItem(const std::string& name) {
+  SelectItem item;
+  item.is_aggregate = false;
+  item.column = name;
+  return item;
+}
+
+}  // namespace
+
+SelectStatement ToStatement(const GroupByQuery& query) {
+  SelectStatement stmt;
+  stmt.table = query.table;
+  stmt.where = query.where;
+  stmt.group_by = query.group_by;
+  stmt.sample_fraction = query.sample_fraction;
+  for (const auto& g : query.group_by) stmt.items.push_back(ColumnItem(g));
+  for (const auto& a : query.aggregates) {
+    stmt.items.push_back(AggregateItem(a));
+  }
+  return stmt;
+}
+
+SelectStatement ToStatement(const GroupingSetsQuery& query) {
+  SelectStatement stmt;
+  stmt.table = query.table;
+  stmt.where = query.where;
+  stmt.grouping_sets = query.grouping_sets;
+  stmt.sample_fraction = query.sample_fraction;
+  std::vector<std::string> cols;
+  for (const auto& set : query.grouping_sets) {
+    for (const auto& c : set) {
+      bool seen = false;
+      for (const auto& existing : cols) seen = seen || existing == c;
+      if (!seen) cols.push_back(c);
+    }
+  }
+  for (const auto& c : cols) stmt.items.push_back(ColumnItem(c));
+  for (const auto& a : query.aggregates) {
+    stmt.items.push_back(AggregateItem(a));
+  }
+  return stmt;
+}
+
+std::string PrettyPrint(const SelectStatement& stmt) {
+  std::vector<std::string> parts;
+  parts.reserve(stmt.items.size());
+  for (const auto& item : stmt.items) parts.push_back(item.ToSql());
+  std::string out = "SELECT " + Join(parts, ",\n       ");
+  out += "\nFROM " + stmt.table;
+  if (stmt.sample_fraction < 1.0) {
+    out += StringPrintf("\nTABLESAMPLE BERNOULLI (%s)",
+                        FormatDouble(stmt.sample_fraction * 100.0, 4).c_str());
+  }
+  if (stmt.where) out += "\nWHERE " + stmt.where->ToSql();
+  if (!stmt.grouping_sets.empty()) {
+    out += "\nGROUP BY GROUPING SETS (";
+    for (size_t s = 0; s < stmt.grouping_sets.size(); ++s) {
+      if (s) out += ", ";
+      out += "(" + Join(stmt.grouping_sets[s], ", ") + ")";
+    }
+    out += ")";
+  } else if (!stmt.group_by.empty()) {
+    out += "\nGROUP BY " + Join(stmt.group_by, ", ");
+  }
+  return out;
+}
+
+}  // namespace seedb::db::sql

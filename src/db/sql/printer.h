@@ -1,0 +1,27 @@
+// Pretty-printing of engine queries as SQL text.
+//
+// SeeDB's wrapper deployment sends SQL strings to the underlying DBMS; the
+// printer is the inverse of the parser, and round-trip tests pin the dialect
+// (Parse(Print(q)) plans back to an equivalent query).
+
+#ifndef SEEDB_DB_SQL_PRINTER_H_
+#define SEEDB_DB_SQL_PRINTER_H_
+
+#include <string>
+
+#include "db/group_by.h"
+#include "db/grouping_sets.h"
+#include "db/sql/ast.h"
+
+namespace seedb::db::sql {
+
+/// Lowers an executable query back into an AST (for printing or rewriting).
+SelectStatement ToStatement(const GroupByQuery& query);
+SelectStatement ToStatement(const GroupingSetsQuery& query);
+
+/// Renders SQL with one clause per line — the form used in logs and docs.
+std::string PrettyPrint(const SelectStatement& stmt);
+
+}  // namespace seedb::db::sql
+
+#endif  // SEEDB_DB_SQL_PRINTER_H_

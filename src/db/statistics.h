@@ -1,0 +1,76 @@
+// Column and table statistics: the "Metadata Collector" substrate (§3.1).
+//
+// SeeDB's Query Generator prunes the view space using metadata: value
+// distributions (variance pruning), inter-dimension correlation (correlated-
+// attribute pruning), and access patterns (tracked separately in
+// access_tracker.h).
+
+#ifndef SEEDB_DB_STATISTICS_H_
+#define SEEDB_DB_STATISTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "util/result.h"
+
+namespace seedb::db {
+
+/// \brief Profile of a single column.
+struct ColumnStats {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  ColumnRole role = ColumnRole::kOther;
+  size_t row_count = 0;
+  size_t null_count = 0;
+  size_t distinct_count = 0;
+
+  /// Numeric profile (zero for string columns).
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double variance = 0.0;
+
+  /// Gini–Simpson diversity of the value distribution: 1 - sum(p_i^2).
+  /// 0 when the column takes a single value; approaches 1 - 1/n for a
+  /// uniform n-ary column. This is the "variance" signal the paper's
+  /// variance-based dimension pruning keys on (a single-valued attribute has
+  /// diversity 0 and its view distribution can never deviate).
+  double diversity = 0.0;
+
+  /// Shannon entropy of the value distribution, normalized to [0,1] by
+  /// log(distinct_count) (1 = uniform; 0 = single-valued).
+  double normalized_entropy = 0.0;
+
+  /// Up to `kTopValues` most frequent values with counts, descending.
+  std::vector<std::pair<Value, size_t>> top_values;
+
+  static constexpr size_t kTopValues = 10;
+};
+
+/// \brief Profile of a whole table.
+struct TableStats {
+  std::string table_name;
+  size_t num_rows = 0;
+  size_t memory_bytes = 0;
+  std::vector<ColumnStats> columns;
+
+  Result<const ColumnStats*> Find(const std::string& column) const;
+};
+
+/// Profiles one column (O(n)).
+ColumnStats ComputeColumnStats(const Table& table, size_t col_index);
+
+/// Profiles every column of `table`.
+TableStats ComputeTableStats(const Table& table, const std::string& name);
+
+/// Cramér's V association between two categorical columns in [0, 1]
+/// (0 = independent, 1 = one determines the other). Both columns must be
+/// dimension-typed (string or int64); computed from the contingency table.
+/// This is the correlation the correlated-attribute pruner clusters on.
+Result<double> CramersV(const Table& table, const std::string& col_a,
+                        const std::string& col_b);
+
+}  // namespace seedb::db
+
+#endif  // SEEDB_DB_STATISTICS_H_

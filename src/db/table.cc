@@ -1,0 +1,155 @@
+#include "db/table.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace seedb::db {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (const auto& def : schema_.columns()) {
+    columns_.push_back(std::make_unique<Column>(def.type));
+  }
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StringPrintf("row has %zu values, schema has %zu columns",
+                     values.size(), columns_.size()));
+  }
+  // Validate all cells before mutating anything so a failed append leaves the
+  // table unchanged.
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Value& v = values[i];
+    if (v.is_null()) continue;
+    ValueType want = schema_.column(i).type;
+    bool ok = (v.type() == want) ||
+              (want == ValueType::kDouble && v.is_numeric());
+    if (!ok) {
+      return Status::InvalidArgument(
+          "type mismatch in column '" + schema_.column(i).name + "': expected " +
+          ValueTypeToString(want) + ", got " + ValueTypeToString(v.type()));
+    }
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    Status s = columns_[i]->Append(values[i]);
+    if (!s.ok()) return Status::Internal("append failed after validation: " +
+                                         s.ToString());
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  SEEDB_ASSIGN_OR_RETURN(size_t idx, schema_.FindColumn(name));
+  return columns_[idx].get();
+}
+
+Status Table::FinishBulkLoad() {
+  size_t rows = columns_.empty() ? 0 : columns_[0]->size();
+  for (size_t i = 1; i < columns_.size(); ++i) {
+    if (columns_[i]->size() != rows) {
+      return Status::Internal(StringPrintf(
+          "bulk load column length mismatch: column 0 has %zu rows, column "
+          "%zu has %zu",
+          rows, i, columns_[i]->size()));
+    }
+  }
+  num_rows_ = rows;
+  return Status::OK();
+}
+
+Table Table::SelectRows(const std::vector<uint32_t>& rows) const {
+  Table out(schema_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    Column* dst = out.columns_[c].get();
+    const Column& src = *columns_[c];
+    for (uint32_t r : rows) {
+      if (src.IsNull(r)) {
+        dst->AppendNull();
+        continue;
+      }
+      switch (src.type()) {
+        case ValueType::kInt64:
+          dst->AppendInt64(src.int64_data()[r]);
+          break;
+        case ValueType::kDouble:
+          dst->AppendDouble(src.double_data()[r]);
+          break;
+        case ValueType::kString:
+          dst->AppendString(src.dict_value(src.codes()[r]));
+          break;
+        case ValueType::kNull:
+          dst->AppendNull();
+          break;
+      }
+    }
+  }
+  out.num_rows_ = rows.size();
+  return out;
+}
+
+size_t Table::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& col : columns_) {
+    switch (col->type()) {
+      case ValueType::kInt64:
+        total += col->size() * sizeof(int64_t);
+        break;
+      case ValueType::kDouble:
+        total += col->size() * sizeof(double);
+        break;
+      case ValueType::kString: {
+        total += col->size() * sizeof(int32_t);
+        for (size_t c = 0; c < col->dict_size(); ++c) {
+          total += col->dict_value(static_cast<int32_t>(c)).size();
+        }
+        break;
+      }
+      case ValueType::kNull:
+        break;
+    }
+  }
+  return total;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  size_t n = std::min(max_rows, num_rows_);
+  std::vector<std::vector<std::string>> cells(n + 1);
+  for (const auto& def : schema_.columns()) cells[0].push_back(def.name);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      cells[r + 1].push_back(ValueAt(r, c).ToString());
+    }
+  }
+  std::vector<size_t> widths(schema_.num_columns(), 0);
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < cells.size(); ++r) {
+    for (size_t c = 0; c < cells[r].size(); ++c) {
+      if (c) out += "  ";
+      out += cells[r][c];
+      out.append(widths[c] - cells[r][c].size(), ' ');
+    }
+    out += "\n";
+    if (r == 0) {
+      for (size_t c = 0; c < widths.size(); ++c) {
+        if (c) out += "  ";
+        out.append(widths[c], '-');
+      }
+      out += "\n";
+    }
+  }
+  if (n < num_rows_) {
+    out += StringPrintf("... (%zu more rows)\n", num_rows_ - n);
+  }
+  return out;
+}
+
+}  // namespace seedb::db

@@ -1,0 +1,64 @@
+// Table: a schema plus columnar data, the engine's only collection type.
+
+#ifndef SEEDB_DB_TABLE_H_
+#define SEEDB_DB_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/column.h"
+#include "db/schema.h"
+#include "util/result.h"
+
+namespace seedb::db {
+
+/// \brief An in-memory columnar table.
+///
+/// Append-only: rows are added via AppendRow (boxed, validated) or by writing
+/// through mutable columns during bulk load. Reads hand out const column
+/// references for vectorized access.
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Appends one row; `values` must match the schema arity and types
+  /// (nulls allowed anywhere).
+  Status AppendRow(const std::vector<Value>& values);
+
+  const Column& column(size_t i) const { return *columns_[i]; }
+  /// Column by name; error if absent.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Mutable column access for bulk loaders. Callers must keep all columns
+  /// the same length; FinishBulkLoad() re-derives the row count and verifies.
+  Column* mutable_column(size_t i) { return columns_[i].get(); }
+  Status FinishBulkLoad();
+
+  /// Boxed cell access (edge-of-engine).
+  Value ValueAt(size_t row, size_t col) const {
+    return columns_[col]->GetValue(row);
+  }
+
+  /// New table containing exactly the given rows (in order, repeats allowed).
+  Table SelectRows(const std::vector<uint32_t>& rows) const;
+
+  /// Approximate in-memory footprint in bytes (data vectors only).
+  size_t MemoryBytes() const;
+
+  /// First `max_rows` rows as an aligned-column text block for debugging.
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace seedb::db
+
+#endif  // SEEDB_DB_TABLE_H_

@@ -1,0 +1,135 @@
+#include "db/value.h"
+
+#include "util/string_util.h"
+
+namespace seedb::db {
+namespace {
+
+// Rank used to totally order values of different families: null < numeric <
+// string.
+int FamilyRank(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 1;
+    case ValueType::kString:
+      return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  if (std::holds_alternative<std::monostate>(data_)) return ValueType::kNull;
+  if (std::holds_alternative<int64_t>(data_)) return ValueType::kInt64;
+  if (std::holds_alternative<double>(data_)) return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+Result<double> Value::ToDouble() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(AsInt64());
+    case ValueType::kDouble:
+      return AsDouble();
+    default:
+      return Status::InvalidArgument("cannot convert " +
+                                     std::string(ValueTypeToString(type())) +
+                                     " to double");
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble:
+      return FormatDouble(AsDouble());
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (type() != ValueType::kString) return ToString();
+  std::string out = "'";
+  for (char c : AsString()) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    // Mixed int/double equality compares numerically.
+    if (type() != other.type()) {
+      return ToDouble().ValueOrDie() == other.ToDouble().ValueOrDie();
+    }
+  }
+  return data_ == other.data_;
+}
+
+bool Value::operator<(const Value& other) const {
+  int ra = FamilyRank(*this);
+  int rb = FamilyRank(other);
+  if (ra != rb) return ra < rb;
+  switch (type()) {
+    case ValueType::kNull:
+      return false;  // null == null
+    case ValueType::kInt64:
+    case ValueType::kDouble: {
+      if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
+        return AsInt64() < other.AsInt64();
+      }
+      return ToDouble().ValueOrDie() < other.ToDouble().ValueOrDie();
+    }
+    case ValueType::kString:
+      return AsString() < other.AsString();
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt64:
+      return std::hash<int64_t>{}(AsInt64());
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      // Hash integral doubles like their int64 counterparts so mixed-type
+      // equality implies equal hashes.
+      if (d == static_cast<double>(static_cast<int64_t>(d))) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+}  // namespace seedb::db

@@ -1,0 +1,87 @@
+// Value: the engine's dynamically-typed scalar (null, int64, double, string).
+//
+// Values appear at the engine's edges — row ingestion, literals in
+// predicates, group keys in results. The columnar hot path works on typed
+// vectors and never boxes per-row values.
+
+#ifndef SEEDB_DB_VALUE_H_
+#define SEEDB_DB_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "util/result.h"
+
+namespace seedb::db {
+
+/// Physical type of a column or value.
+enum class ValueType {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// \brief A scalar value of one of the engine's physical types.
+///
+/// Comparison follows SQL-ish semantics restricted to the same type family:
+/// numerics (int64/double) compare numerically with each other; strings
+/// compare lexicographically; null compares equal to null and less than
+/// everything else (total order so Values can key ordered containers).
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  Value(int64_t v) : data_(v) {}
+  Value(int v) : data_(static_cast<int64_t>(v)) {}
+  Value(double v) : data_(v) {}
+  Value(std::string v) : data_(std::move(v)) {}
+  Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_numeric() const {
+    return std::holds_alternative<int64_t>(data_) ||
+           std::holds_alternative<double>(data_);
+  }
+
+  /// Typed accessors; calling the wrong one aborts (programming error).
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric coercion: int64 or double -> double. Error for other types.
+  Result<double> ToDouble() const;
+
+  /// Display form ("NULL", "42", "3.5", "abc" — strings unquoted).
+  std::string ToString() const;
+  /// SQL literal form ("NULL", "42", "3.5", "'abc'" with '' escaping).
+  std::string ToSqlLiteral() const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;
+  bool operator<=(const Value& other) const {
+    return *this < other || *this == other;
+  }
+  bool operator>(const Value& other) const { return !(*this <= other); }
+  bool operator>=(const Value& other) const { return !(*this < other); }
+
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace seedb::db
+
+#endif  // SEEDB_DB_VALUE_H_

@@ -1,0 +1,78 @@
+// Streaming summary statistics + equi-width histogram over doubles.
+//
+// Used by db::Statistics for column profiles (variance-based pruning needs
+// variance; the metadata collector reports min/max/distinct estimates) and by
+// benches for latency distributions.
+
+#ifndef SEEDB_UTIL_HISTOGRAM_H_
+#define SEEDB_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace seedb {
+
+/// \brief Online mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance (divides by n). Zero for fewer than 2 samples.
+  double variance() const;
+  /// Sample variance (divides by n-1). Zero for fewer than 2 samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-safe combining).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Fixed-range equi-width histogram.
+///
+/// Values outside [lo, hi) clamp into the first/last bucket, so Add never
+/// drops a sample.
+class EquiWidthHistogram {
+ public:
+  EquiWidthHistogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t bucket(size_t i) const { return counts_[i]; }
+  uint64_t total() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Approximate quantile (linear interpolation within the bucket).
+  double Quantile(double q) const;
+
+  /// Compact single-line rendering, e.g. "[0,10): 3 | [10,20): 7 | ...".
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace seedb
+
+#endif  // SEEDB_UTIL_HISTOGRAM_H_

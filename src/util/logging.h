@@ -1,0 +1,45 @@
+// Minimal leveled logger. Intended for diagnostics in examples and benches;
+// library code logs sparingly (warnings for recoverable oddities only).
+
+#ifndef SEEDB_UTIL_LOGGING_H_
+#define SEEDB_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace seedb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace seedb
+
+#define SEEDB_LOG(level)                                       \
+  ::seedb::internal::LogMessage(::seedb::LogLevel::k##level,   \
+                                __FILE__, __LINE__)
+
+#endif  // SEEDB_UTIL_LOGGING_H_

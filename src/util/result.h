@@ -1,0 +1,77 @@
+// Result<T>: a value or a Status, in the Arrow idiom.
+
+#ifndef SEEDB_UTIL_RESULT_H_
+#define SEEDB_UTIL_RESULT_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace seedb {
+
+/// \brief Holds either a successfully produced T or the Status explaining why
+/// no value could be produced.
+///
+/// Accessing the value of an error Result aborts; callers are expected to
+/// check ok() or use SEEDB_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from an error Status. Constructing a Result from
+  /// an OK status is a programming error and aborts.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      std::abort();  // OK status carries no value; this is a bug.
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const {
+    DieIfError();
+    return &*value_;
+  }
+  T* operator->() {
+    DieIfError();
+    return &*value_;
+  }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) std::abort();
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace seedb
+
+#endif  // SEEDB_UTIL_RESULT_H_

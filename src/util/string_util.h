@@ -1,0 +1,41 @@
+// Small string helpers used across the library (no locale dependence).
+
+#ifndef SEEDB_UTIL_STRING_UTIL_H_
+#define SEEDB_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seedb {
+
+/// Splits `input` on `delim`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing (sufficient for SQL keywords).
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with up to `digits` significant decimals, trimming
+/// trailing zeros ("3.5", "120", "0.001").
+std::string FormatDouble(double v, int digits = 6);
+
+}  // namespace seedb
+
+#endif  // SEEDB_UTIL_STRING_UTIL_H_

@@ -1,0 +1,61 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace seedb {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  size_t total = end - begin;
+  size_t shards = std::min(total, num_threads());
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards);
+  size_t chunk = (total + shards - 1) / shards;
+  for (size_t s = 0; s < shards; ++s) {
+    size_t lo = begin + s * chunk;
+    size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    futures.push_back(Submit([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace seedb

@@ -1,0 +1,65 @@
+// Fixed-size thread pool used by SeeDB's parallel query execution (§3.3,
+// "Parallel Query Execution").
+
+#ifndef SEEDB_UTIL_THREAD_POOL_H_
+#define SEEDB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace seedb {
+
+/// \brief Fixed pool of worker threads with a FIFO task queue.
+///
+/// Submit() returns a future; ParallelFor() blocks until a range has been
+/// fully processed. Destruction drains outstanding tasks.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its completion.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [begin, end), partitioned across workers; blocks
+  /// until all iterations complete. Safe to call with begin >= end (no-op).
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace seedb
+
+#endif  // SEEDB_UTIL_THREAD_POOL_H_

@@ -1,0 +1,36 @@
+// Wall-clock stopwatch used by the execution profiler and benches.
+
+#ifndef SEEDB_UTIL_TIMER_H_
+#define SEEDB_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace seedb {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+  int64_t ElapsedMillis() const { return ElapsedMicros() / 1000; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace seedb
+
+#endif  // SEEDB_UTIL_TIMER_H_

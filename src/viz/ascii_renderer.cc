@@ -1,0 +1,112 @@
+#include "viz/ascii_renderer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace seedb::viz {
+namespace {
+
+std::string RenderTable(const ChartSpec& spec, const AsciiOptions& options) {
+  std::string out;
+  size_t rows = std::min(spec.categories.size(), options.max_rows);
+  size_t label_width = spec.x_label.size();
+  for (size_t i = 0; i < rows; ++i) {
+    label_width = std::max(label_width, spec.categories[i].size());
+  }
+  out += spec.x_label;
+  out.append(label_width - spec.x_label.size() + 2, ' ');
+  for (const auto& s : spec.series) {
+    out += s.label + "  ";
+  }
+  out += "\n";
+  for (size_t i = 0; i < rows; ++i) {
+    out += spec.categories[i];
+    out.append(label_width - spec.categories[i].size() + 2, ' ');
+    for (const auto& s : spec.series) {
+      std::string v = i < s.values.size() ? FormatDouble(s.values[i], 4) : "-";
+      out += v;
+      if (s.label.size() + 2 > v.size()) {
+        out.append(s.label.size() + 2 - v.size(), ' ');
+      }
+    }
+    out += "\n";
+  }
+  if (rows < spec.categories.size()) {
+    out += StringPrintf("... (%zu more)\n", spec.categories.size() - rows);
+  }
+  return out;
+}
+
+std::string RenderBars(const ChartSpec& spec, const AsciiOptions& options) {
+  double max_value = 1e-12;
+  for (const auto& s : spec.series) {
+    for (double v : s.values) max_value = std::max(max_value, std::abs(v));
+  }
+  size_t label_width = 0;
+  size_t rows = std::min(spec.categories.size(), options.max_rows);
+  for (size_t i = 0; i < rows; ++i) {
+    label_width = std::max(label_width, spec.categories[i].size());
+  }
+
+  std::string out;
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t s = 0; s < spec.series.size(); ++s) {
+      // Category label on the first series line only.
+      if (s == 0) {
+        out += spec.categories[i];
+        out.append(label_width - spec.categories[i].size(), ' ');
+      } else {
+        out.append(label_width, ' ');
+      }
+      out += " |";
+      double v = i < spec.series[s].values.size() ? spec.series[s].values[i]
+                                                  : 0.0;
+      size_t len = static_cast<size_t>(
+          std::round(std::abs(v) / max_value *
+                     static_cast<double>(options.bar_width)));
+      char glyph = options.glyphs[s % options.glyphs.size()];
+      out.append(len, glyph);
+      out += StringPrintf(" %s%s", v < 0 ? "-" : "",
+                          FormatDouble(std::abs(v), 4).c_str());
+      out += "\n";
+    }
+  }
+  if (rows < spec.categories.size()) {
+    out += StringPrintf("... (%zu more)\n", spec.categories.size() - rows);
+  }
+  // Legend.
+  for (size_t s = 0; s < spec.series.size(); ++s) {
+    out += StringPrintf("  %c = %s\n", options.glyphs[s % options.glyphs.size()],
+                        spec.series[s].label.c_str());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderAscii(const ChartSpec& spec, const AsciiOptions& options) {
+  std::string out = spec.title + "\n";
+  out += StringPrintf("[%s chart] x: %s, y: %s\n",
+                      ChartTypeToString(spec.type), spec.x_label.c_str(),
+                      spec.y_label.c_str());
+  if (spec.type == ChartType::kTable) {
+    out += RenderTable(spec, options);
+  } else {
+    out += RenderBars(spec, options);
+  }
+  return out;
+}
+
+std::string RenderRecommendation(const core::Recommendation& rec,
+                                 const AsciiOptions& options) {
+  std::string out = StringPrintf("#%zu  %s\n", rec.rank,
+                                 rec.view().Id().c_str());
+  out += "    target:     " + rec.target_sql + "\n";
+  out += "    comparison: " + rec.comparison_sql + "\n";
+  out += RenderAscii(BuildChartSpec(rec.result), options);
+  return out;
+}
+
+}  // namespace seedb::viz

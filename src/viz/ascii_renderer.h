@@ -1,0 +1,32 @@
+// Terminal rendering of ChartSpecs — the demo frontend's display surface in
+// this library build.
+
+#ifndef SEEDB_VIZ_ASCII_RENDERER_H_
+#define SEEDB_VIZ_ASCII_RENDERER_H_
+
+#include <string>
+
+#include "viz/chart.h"
+
+namespace seedb::viz {
+
+struct AsciiOptions {
+  /// Width of the bar area in characters.
+  size_t bar_width = 40;
+  /// Bar glyphs per series (cycled if more series than glyphs).
+  std::string glyphs = "#=*+";
+  /// Maximum categories rendered before eliding the tail.
+  size_t max_rows = 30;
+};
+
+/// Renders any ChartSpec as text: grouped horizontal bars for kBar/kLine,
+/// an aligned value table for kTable.
+std::string RenderAscii(const ChartSpec& spec, const AsciiOptions& options = {});
+
+/// Convenience: chart + utility header for one recommendation.
+std::string RenderRecommendation(const core::Recommendation& rec,
+                                 const AsciiOptions& options = {});
+
+}  // namespace seedb::viz
+
+#endif  // SEEDB_VIZ_ASCII_RENDERER_H_

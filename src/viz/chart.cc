@@ -1,0 +1,74 @@
+#include "viz/chart.h"
+
+#include "util/string_util.h"
+
+namespace seedb::viz {
+
+const char* ChartTypeToString(ChartType type) {
+  switch (type) {
+    case ChartType::kBar:
+      return "bar";
+    case ChartType::kLine:
+      return "line";
+    case ChartType::kTable:
+      return "table";
+  }
+  return "?";
+}
+
+ChartType ChooseChartType(db::ValueType dimension_type, size_t num_categories,
+                          size_t max_bar_categories) {
+  if (dimension_type == db::ValueType::kInt64 ||
+      dimension_type == db::ValueType::kDouble) {
+    return ChartType::kLine;
+  }
+  if (num_categories <= max_bar_categories) {
+    return ChartType::kBar;
+  }
+  return ChartType::kTable;
+}
+
+namespace {
+
+ChartSpec BuildSpec(const core::ViewResult& result, bool raw) {
+  const core::AlignedPair& dist = result.distributions;
+  ChartSpec spec;
+  db::ValueType key_type =
+      dist.target.keys.empty() ? db::ValueType::kString
+                               : dist.target.keys.front().type();
+  spec.type = ChooseChartType(key_type, dist.target.keys.size());
+  spec.title = StringPrintf("%s (utility %s)", result.view.Id().c_str(),
+                            FormatDouble(result.utility, 4).c_str());
+  spec.x_label = result.view.dimension;
+  if (raw) {
+    spec.y_label = result.view.measure.empty()
+                       ? "COUNT(*)"
+                       : std::string(db::AggregateFunctionToSql(
+                             result.view.func)) +
+                             "(" + result.view.measure + ")";
+  } else {
+    spec.y_label = "probability";
+  }
+  spec.categories.reserve(dist.target.keys.size());
+  for (const auto& key : dist.target.keys) {
+    spec.categories.push_back(key.ToString());
+  }
+  spec.series.push_back(
+      {"Query (target)", raw ? dist.target_raw : dist.target.probabilities});
+  spec.series.push_back({"Overall (comparison)",
+                         raw ? dist.comparison_raw
+                             : dist.comparison.probabilities});
+  return spec;
+}
+
+}  // namespace
+
+ChartSpec BuildChartSpec(const core::ViewResult& result) {
+  return BuildSpec(result, /*raw=*/false);
+}
+
+ChartSpec BuildRawChartSpec(const core::ViewResult& result) {
+  return BuildSpec(result, /*raw=*/true);
+}
+
+}  // namespace seedb::viz

@@ -1,0 +1,64 @@
+// Chart specification and chart-type selection (§3.2).
+//
+// "For each view delivered by the backend, the frontend creates a
+// visualization based on parameters such as the data type (e.g. ordinal,
+// numeric), number of distinct values, and semantics." This module is the
+// library-side equivalent: a renderer-independent ChartSpec plus the
+// selection rules; renderers (ASCII, Vega-Lite) live alongside.
+
+#ifndef SEEDB_VIZ_CHART_H_
+#define SEEDB_VIZ_CHART_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommendation.h"
+#include "core/view_processor.h"
+#include "db/statistics.h"
+
+namespace seedb::viz {
+
+enum class ChartType {
+  /// Categorical x-axis, few distinct values.
+  kBar,
+  /// Numeric/ordinal x-axis (trend reading).
+  kLine,
+  /// Too many categories for bars; rendered as a ranked table.
+  kTable,
+};
+
+const char* ChartTypeToString(ChartType type);
+
+/// One plotted series (e.g. the target view or the comparison view).
+struct ChartSeries {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Renderer-independent chart description.
+struct ChartSpec {
+  ChartType type = ChartType::kBar;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::vector<std::string> categories;
+  std::vector<ChartSeries> series;
+};
+
+/// Chart-type rules: numeric dimension -> line; <= `max_bar_categories`
+/// categories -> bar; otherwise table.
+ChartType ChooseChartType(db::ValueType dimension_type,
+                          size_t num_categories,
+                          size_t max_bar_categories = 24);
+
+/// Builds the chart for one scored view: two series (target "Query" vs
+/// comparison "Overall"), probability scale.
+ChartSpec BuildChartSpec(const core::ViewResult& result);
+
+/// Same, but plotting raw aggregate values instead of probabilities
+/// (Figure 1-3 style: "Total Sales ($)" on the y-axis).
+ChartSpec BuildRawChartSpec(const core::ViewResult& result);
+
+}  // namespace seedb::viz
+
+#endif  // SEEDB_VIZ_CHART_H_

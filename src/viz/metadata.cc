@@ -1,0 +1,43 @@
+#include "viz/metadata.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace seedb::viz {
+
+std::string ViewMetadata::ToString() const {
+  return StringPrintf(
+      "groups=%zu target_total=%s comparison_total=%s max_change=%s@%s "
+      "only_target=%zu only_comparison=%zu",
+      result_size, FormatDouble(target_total, 2).c_str(),
+      FormatDouble(comparison_total, 2).c_str(),
+      FormatDouble(max_change, 4).c_str(), max_change_key.ToString().c_str(),
+      groups_only_in_target, groups_only_in_comparison);
+}
+
+ViewMetadata ComputeViewMetadata(const core::ViewResult& result) {
+  const core::AlignedPair& d = result.distributions;
+  ViewMetadata meta;
+  meta.result_size = d.target.keys.size();
+  double best_abs = -1.0;
+  for (size_t i = 0; i < d.target.keys.size(); ++i) {
+    meta.target_total += d.target_raw[i];
+    meta.comparison_total += d.comparison_raw[i];
+    double change = d.target.probabilities[i] - d.comparison.probabilities[i];
+    if (std::abs(change) > best_abs) {
+      best_abs = std::abs(change);
+      meta.max_change = change;
+      meta.max_change_key = d.target.keys[i];
+    }
+    if (d.target_raw[i] != 0.0 && d.comparison_raw[i] == 0.0) {
+      ++meta.groups_only_in_target;
+    }
+    if (d.target_raw[i] == 0.0 && d.comparison_raw[i] != 0.0) {
+      ++meta.groups_only_in_comparison;
+    }
+  }
+  return meta;
+}
+
+}  // namespace seedb::viz

@@ -1,0 +1,38 @@
+// Per-view metadata (§3.2): "study metadata for each view (e.g. size of
+// result, sample data, value with maximum change and other statistics)".
+
+#ifndef SEEDB_VIZ_METADATA_H_
+#define SEEDB_VIZ_METADATA_H_
+
+#include <string>
+
+#include "core/view_processor.h"
+#include "db/value.h"
+
+namespace seedb::viz {
+
+/// Summary statistics about one scored view, for the detail panel.
+struct ViewMetadata {
+  /// Number of groups in the aligned result.
+  size_t result_size = 0;
+  /// Sum of raw aggregate values on each side.
+  double target_total = 0.0;
+  double comparison_total = 0.0;
+  /// Group whose probability changed the most between the halves, with the
+  /// signed change (target minus comparison).
+  db::Value max_change_key;
+  double max_change = 0.0;
+  /// Groups present in the target but absent (zero) in the comparison and
+  /// vice versa.
+  size_t groups_only_in_target = 0;
+  size_t groups_only_in_comparison = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes display metadata for one processed view.
+ViewMetadata ComputeViewMetadata(const core::ViewResult& result);
+
+}  // namespace seedb::viz
+
+#endif  // SEEDB_VIZ_METADATA_H_

@@ -1,0 +1,75 @@
+#include "viz/vega.h"
+
+#include "util/string_util.h"
+
+namespace seedb::viz {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToVegaLite(const ChartSpec& spec) {
+  std::string mark = spec.type == ChartType::kLine ? "line" : "bar";
+  std::string out = "{\n";
+  out +=
+      "  \"$schema\": \"https://vega.github.io/schema/vega-lite/v5.json\",\n";
+  out += "  \"title\": \"" + JsonEscape(spec.title) + "\",\n";
+  out += "  \"data\": {\"values\": [\n";
+  bool first = true;
+  for (size_t s = 0; s < spec.series.size(); ++s) {
+    for (size_t i = 0; i < spec.series[s].values.size(); ++i) {
+      if (!first) out += ",\n";
+      first = false;
+      std::string category =
+          i < spec.categories.size() ? spec.categories[i] : "";
+      out += StringPrintf("    {\"%s\": \"%s\", \"series\": \"%s\", "
+                          "\"value\": %s}",
+                          JsonEscape(spec.x_label).c_str(),
+                          JsonEscape(category).c_str(),
+                          JsonEscape(spec.series[s].label).c_str(),
+                          FormatDouble(spec.series[s].values[i], 8).c_str());
+    }
+  }
+  out += "\n  ]},\n";
+  out += "  \"mark\": \"" + mark + "\",\n";
+  out += "  \"encoding\": {\n";
+  out += "    \"x\": {\"field\": \"" + JsonEscape(spec.x_label) +
+         "\", \"type\": \"nominal\"},\n";
+  out += "    \"y\": {\"field\": \"value\", \"type\": \"quantitative\", "
+         "\"title\": \"" +
+         JsonEscape(spec.y_label) + "\"},\n";
+  out += "    \"xOffset\": {\"field\": \"series\"},\n";
+  out += "    \"color\": {\"field\": \"series\"}\n";
+  out += "  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace seedb::viz

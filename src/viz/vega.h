@@ -1,0 +1,23 @@
+// Vega-Lite export: serializes a ChartSpec as a Vega-Lite v5 JSON document,
+// so recommended views can be dropped into any web frontend (the thin-client
+// deployment of §3.2).
+
+#ifndef SEEDB_VIZ_VEGA_H_
+#define SEEDB_VIZ_VEGA_H_
+
+#include <string>
+
+#include "viz/chart.h"
+
+namespace seedb::viz {
+
+/// Escapes a string for embedding in JSON (quotes, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// Renders `spec` as a self-contained Vega-Lite v5 JSON document with a
+/// grouped-bar (or line) encoding of the target/comparison series.
+std::string ToVegaLite(const ChartSpec& spec);
+
+}  // namespace seedb::viz
+
+#endif  // SEEDB_VIZ_VEGA_H_

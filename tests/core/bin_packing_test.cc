@@ -1,0 +1,158 @@
+#include "core/bin_packing.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "util/random.h"
+
+namespace seedb::core {
+namespace {
+
+std::vector<BinPackingItem> MakeItems(std::vector<uint64_t> weights) {
+  std::vector<BinPackingItem> items;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    items.push_back({i, weights[i]});
+  }
+  return items;
+}
+
+// Every bin respects capacity (unless it is a singleton oversized item) and
+// every item appears exactly once.
+void CheckValid(const std::vector<BinPackingItem>& items,
+                const BinPackingSolution& solution,
+                const BinPackingOptions& options) {
+  std::set<size_t> seen;
+  for (const auto& bin : solution.bins) {
+    uint64_t load = 0;
+    for (size_t id : bin) {
+      EXPECT_TRUE(seen.insert(id).second) << "item " << id << " duplicated";
+      load += items[id].weight;
+    }
+    if (bin.size() > 1) {
+      EXPECT_LE(load, options.capacity);
+    }
+    if (options.max_items_per_bin > 0) {
+      EXPECT_LE(bin.size(), options.max_items_per_bin);
+    }
+  }
+  EXPECT_EQ(seen.size(), items.size());
+}
+
+TEST(FfdTest, AllFitInOneBin) {
+  auto items = MakeItems({10, 20, 30});
+  BinPackingOptions options;
+  options.capacity = 100;
+  auto solution = FirstFitDecreasing(items, options);
+  EXPECT_EQ(solution.num_bins(), 1u);
+  CheckValid(items, solution, options);
+}
+
+TEST(FfdTest, EachNeedsOwnBin) {
+  auto items = MakeItems({60, 70, 80});
+  BinPackingOptions options;
+  options.capacity = 100;
+  auto solution = FirstFitDecreasing(items, options);
+  EXPECT_EQ(solution.num_bins(), 3u);
+  CheckValid(items, solution, options);
+}
+
+TEST(FfdTest, OversizedItemGetsSingletonBin) {
+  auto items = MakeItems({500, 10});
+  BinPackingOptions options;
+  options.capacity = 100;
+  auto solution = FirstFitDecreasing(items, options);
+  EXPECT_EQ(solution.num_bins(), 2u);
+  CheckValid(items, solution, options);
+}
+
+TEST(FfdTest, MaxItemsPerBinRespected) {
+  auto items = MakeItems({1, 1, 1, 1, 1});
+  BinPackingOptions options;
+  options.capacity = 100;
+  options.max_items_per_bin = 2;
+  auto solution = FirstFitDecreasing(items, options);
+  EXPECT_EQ(solution.num_bins(), 3u);
+  CheckValid(items, solution, options);
+}
+
+TEST(FfdTest, EmptyInput) {
+  BinPackingOptions options;
+  auto solution = FirstFitDecreasing({}, options);
+  EXPECT_EQ(solution.num_bins(), 0u);
+}
+
+TEST(ExactTest, FindsOptimalWhereFfdFails) {
+  // Classic FFD-suboptimal instance: capacity 10,
+  // weights {6, 5, 5, 4}: FFD gives [6,4][5,5] = 2 — fine; use a case where
+  // FFD is provably worse: capacity 10, {3, 3, 3, 3, 4, 4, 4, 4, 5, 5}.
+  // Optimal: 4 bins ([5,5],[4,3,3],[4,3,3],[4,4]) FFD: [5,5],[4,4],[4,4],
+  // [3,3,3],[3] = 5 bins.
+  auto items = MakeItems({3, 3, 3, 3, 4, 4, 4, 4, 5, 5});
+  BinPackingOptions options;
+  options.capacity = 10;
+  auto ffd = FirstFitDecreasing(items, options);
+  auto exact = ExactBinPacking(items, options);
+  CheckValid(items, exact, options);
+  EXPECT_TRUE(exact.exact);
+  EXPECT_EQ(exact.num_bins(), 4u);
+  EXPECT_GE(ffd.num_bins(), exact.num_bins());
+}
+
+TEST(ExactTest, EmptyInputIsExact) {
+  auto solution = ExactBinPacking({}, {});
+  EXPECT_TRUE(solution.exact);
+  EXPECT_EQ(solution.num_bins(), 0u);
+}
+
+TEST(ExactTest, SingleItem) {
+  auto items = MakeItems({42});
+  BinPackingOptions options;
+  options.capacity = 100;
+  auto solution = ExactBinPacking(items, options);
+  EXPECT_EQ(solution.num_bins(), 1u);
+}
+
+TEST(PackBinsTest, DispatchesBySize) {
+  BinPackingOptions options;
+  options.capacity = 10;
+  options.exact_solver_limit = 4;
+  auto small = PackBins(MakeItems({5, 5, 5}), options);
+  EXPECT_TRUE(small.exact);
+  std::vector<uint64_t> many(10, 5);
+  auto large = PackBins(MakeItems(many), options);
+  EXPECT_FALSE(large.exact);
+}
+
+// Property sweep: on random instances the exact solver is valid, never worse
+// than FFD, and never below the capacity lower bound.
+class BinPackingPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinPackingPropertyTest, ExactNeverWorseThanFfdAndAboveLowerBound) {
+  Random rng(static_cast<uint64_t>(GetParam()));
+  size_t n = 3 + rng.Uniform(8);  // up to 10 items
+  std::vector<uint64_t> weights;
+  for (size_t i = 0; i < n; ++i) weights.push_back(1 + rng.Uniform(50));
+  auto items = MakeItems(weights);
+  BinPackingOptions options;
+  options.capacity = 60;
+
+  auto ffd = FirstFitDecreasing(items, options);
+  auto exact = ExactBinPacking(items, options);
+  CheckValid(items, ffd, options);
+  CheckValid(items, exact, options);
+  EXPECT_LE(exact.num_bins(), ffd.num_bins());
+
+  uint64_t total = std::accumulate(weights.begin(), weights.end(),
+                                   uint64_t{0});
+  size_t lower_bound =
+      static_cast<size_t>((total + options.capacity - 1) / options.capacity);
+  EXPECT_GE(exact.num_bins(), lower_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, BinPackingPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace seedb::core

@@ -1,0 +1,108 @@
+#include "core/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace seedb::core {
+namespace {
+
+// Table with: a/b perfectly correlated, c independent, d near-constant.
+db::Table MakeCorrelatedTable() {
+  db::Schema schema({
+      db::ColumnDef::Dimension("a"),
+      db::ColumnDef::Dimension("b"),
+      db::ColumnDef::Dimension("c"),
+      db::ColumnDef::Dimension("d"),
+  });
+  db::Table t(schema);
+  Random rng(17);
+  const char* va[] = {"a0", "a1", "a2"};
+  const char* vb[] = {"b0", "b1", "b2"};
+  const char* vc[] = {"c0", "c1", "c2", "c3"};
+  for (int i = 0; i < 600; ++i) {
+    size_t k = rng.Uniform(3);
+    Status s = t.AppendRow({db::Value(va[k]), db::Value(vb[k]),
+                            db::Value(vc[rng.Uniform(4)]),
+                            db::Value(rng.Bernoulli(0.02) ? "rare" : "common")});
+    (void)s;
+  }
+  return t;
+}
+
+TEST(CorrelationTest, PerfectPairClustersTogether) {
+  db::Table t = MakeCorrelatedTable();
+  db::TableStats stats = db::ComputeTableStats(t, "t");
+  auto clusters =
+      ClusterCorrelatedDimensions(t, stats, {"a", "b", "c", "d"}, 0.9)
+          .ValueOrDie();
+  // Expect {a, b} together, c alone, d alone.
+  ASSERT_EQ(clusters.size(), 3u);
+  const DimensionCluster* ab = nullptr;
+  for (const auto& cl : clusters) {
+    if (cl.members.size() == 2) ab = &cl;
+  }
+  ASSERT_NE(ab, nullptr);
+  EXPECT_EQ(ab->members, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CorrelationTest, MembersPartitionInput) {
+  db::Table t = MakeCorrelatedTable();
+  db::TableStats stats = db::ComputeTableStats(t, "t");
+  auto clusters =
+      ClusterCorrelatedDimensions(t, stats, {"a", "b", "c", "d"}, 0.9)
+          .ValueOrDie();
+  std::vector<std::string> all;
+  for (const auto& cl : clusters) {
+    for (const auto& m : cl.members) all.push_back(m);
+    // Representative is a member.
+    EXPECT_NE(std::find(cl.members.begin(), cl.members.end(),
+                        cl.representative),
+              cl.members.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(CorrelationTest, LowThresholdMergesEverything) {
+  db::Table t = MakeCorrelatedTable();
+  db::TableStats stats = db::ComputeTableStats(t, "t");
+  auto clusters =
+      ClusterCorrelatedDimensions(t, stats, {"a", "b", "c"}, 0.0)
+          .ValueOrDie();
+  EXPECT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members.size(), 3u);
+}
+
+TEST(CorrelationTest, HighThresholdKeepsAllSeparate) {
+  db::Table t = MakeCorrelatedTable();
+  db::TableStats stats = db::ComputeTableStats(t, "t");
+  // Threshold above 1.0 can never trigger.
+  auto clusters =
+      ClusterCorrelatedDimensions(t, stats, {"a", "b", "c", "d"}, 1.01)
+          .ValueOrDie();
+  EXPECT_EQ(clusters.size(), 4u);
+  for (const auto& cl : clusters) EXPECT_EQ(cl.members.size(), 1u);
+}
+
+TEST(CorrelationTest, RepresentativeHasHighestDiversity) {
+  db::Table t = MakeCorrelatedTable();
+  db::TableStats stats = db::ComputeTableStats(t, "t");
+  // Force a cluster containing the near-constant 'd' plus 'c'. Using
+  // threshold 0, everything merges; the representative must not be 'd'
+  // (lowest diversity).
+  auto clusters =
+      ClusterCorrelatedDimensions(t, stats, {"d", "c"}, 0.0).ValueOrDie();
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].representative, "c");
+}
+
+TEST(CorrelationTest, EmptyInput) {
+  db::Table t = MakeCorrelatedTable();
+  db::TableStats stats = db::ComputeTableStats(t, "t");
+  auto clusters = ClusterCorrelatedDimensions(t, stats, {}, 0.5).ValueOrDie();
+  EXPECT_TRUE(clusters.empty());
+}
+
+}  // namespace
+}  // namespace seedb::core

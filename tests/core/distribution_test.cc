@@ -1,0 +1,147 @@
+#include "core/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "db/group_by.h"
+#include "../test_util.h"
+
+namespace seedb::core {
+namespace {
+
+TEST(NormalizeTest, SumsToOne) {
+  auto p = NormalizeToProbabilities({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(p[0], 0.25);
+  EXPECT_DOUBLE_EQ(p[1], 0.75);
+}
+
+TEST(NormalizeTest, PaperExampleTable1) {
+  // §2: (180.55, 145.50, 122.00, 90.13) / 538.18.
+  auto p = NormalizeToProbabilities({180.55, 145.50, 122.00, 90.13});
+  EXPECT_NEAR(p[0], 180.55 / 538.18, 1e-12);
+  EXPECT_NEAR(p[1], 145.50 / 538.18, 1e-12);
+  EXPECT_NEAR(p[2], 122.00 / 538.18, 1e-12);
+  EXPECT_NEAR(p[3], 90.13 / 538.18, 1e-12);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(NormalizeTest, NegativeValuesNormalizeByMagnitude) {
+  // SUM(profit) can be negative: |v| / sum|v| keeps a big loss as
+  // distribution-defining as a big gain.
+  auto p = NormalizeToProbabilities({-2.0, 0.0, 2.0});
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+  EXPECT_DOUBLE_EQ(p[2], 0.5);
+}
+
+TEST(NormalizeTest, AllZeroBecomesUniform) {
+  auto p = NormalizeToProbabilities({0.0, 0.0, 0.0, 0.0});
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(NormalizeTest, AllEqualNegativeBecomesUniform) {
+  auto p = NormalizeToProbabilities({-5.0, -5.0});
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 0.5);
+}
+
+TEST(NormalizeTest, MagnitudeRuleFlagsLossConcentration) {
+  // One group with a dominant loss, others mildly positive: the loss group
+  // must dominate the distribution (this is how a (region, profit) anomaly
+  // becomes visible).
+  auto p = NormalizeToProbabilities({-80.0, 10.0, 10.0});
+  EXPECT_DOUBLE_EQ(p[0], 0.8);
+  EXPECT_DOUBLE_EQ(p[1], 0.1);
+}
+
+TEST(NormalizeTest, EmptyStaysEmpty) {
+  EXPECT_TRUE(NormalizeToProbabilities({}).empty());
+}
+
+db::Table MakeViewResult(std::vector<std::pair<const char*, double>> rows) {
+  db::Schema schema({db::ColumnDef::Dimension("k"),
+                     db::ColumnDef::Measure("v")});
+  db::Table t(schema);
+  for (const auto& [k, v] : rows) {
+    Status s = t.AppendRow({db::Value(k), db::Value(v)});
+    (void)s;
+  }
+  return t;
+}
+
+TEST(AlignTest, UnionOfKeysSorted) {
+  db::Table target = MakeViewResult({{"b", 1.0}, {"a", 3.0}});
+  db::Table comparison = MakeViewResult({{"c", 2.0}, {"a", 2.0}});
+  auto pair = AlignFromTables(target, comparison).ValueOrDie();
+  ASSERT_EQ(pair.target.keys.size(), 3u);
+  EXPECT_EQ(pair.target.keys[0], db::Value("a"));
+  EXPECT_EQ(pair.target.keys[1], db::Value("b"));
+  EXPECT_EQ(pair.target.keys[2], db::Value("c"));
+  EXPECT_EQ(pair.target_raw, (std::vector<double>{3.0, 1.0, 0.0}));
+  EXPECT_EQ(pair.comparison_raw, (std::vector<double>{2.0, 0.0, 2.0}));
+}
+
+TEST(AlignTest, ProbabilitiesSumToOneOnBothSides) {
+  db::Table target = MakeViewResult({{"a", 1.0}, {"b", 1.0}});
+  db::Table comparison = MakeViewResult({{"a", 4.0}, {"b", 12.0}});
+  auto pair = AlignFromTables(target, comparison).ValueOrDie();
+  EXPECT_NEAR(std::accumulate(pair.target.probabilities.begin(),
+                              pair.target.probabilities.end(), 0.0),
+              1.0, 1e-12);
+  EXPECT_NEAR(std::accumulate(pair.comparison.probabilities.begin(),
+                              pair.comparison.probabilities.end(), 0.0),
+              1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pair.comparison.probabilities[0], 0.25);
+}
+
+TEST(AlignTest, CustomValueColumns) {
+  db::Schema schema({db::ColumnDef::Dimension("k"),
+                     db::ColumnDef::Measure("x"),
+                     db::ColumnDef::Measure("y")});
+  db::Table t(schema);
+  ASSERT_TRUE(t.AppendRow({db::Value("a"), db::Value(1.0), db::Value(9.0)})
+                  .ok());
+  auto pair = AlignFromTables(t, 2, t, 1).ValueOrDie();
+  EXPECT_EQ(pair.target_raw[0], 9.0);
+  EXPECT_EQ(pair.comparison_raw[0], 1.0);
+}
+
+TEST(AlignTest, RejectsOneColumnTable) {
+  db::Schema schema({db::ColumnDef::Dimension("k")});
+  db::Table t(schema);
+  EXPECT_FALSE(AlignFromTables(t, t).ok());
+}
+
+TEST(AlignFromCombinedTest, ExtractsNamedColumns) {
+  db::Schema schema({db::ColumnDef::Dimension("k"),
+                     db::ColumnDef::Measure("tgt"),
+                     db::ColumnDef::Measure("cmp")});
+  db::Table t(schema);
+  ASSERT_TRUE(
+      t.AppendRow({db::Value("a"), db::Value(1.0), db::Value(3.0)}).ok());
+  ASSERT_TRUE(
+      t.AppendRow({db::Value("b"), db::Value(3.0), db::Value(1.0)}).ok());
+  auto pair = AlignFromCombined(t, "tgt", "cmp").ValueOrDie();
+  EXPECT_EQ(pair.target_raw, (std::vector<double>{1.0, 3.0}));
+  EXPECT_EQ(pair.comparison_raw, (std::vector<double>{3.0, 1.0}));
+  EXPECT_DOUBLE_EQ(pair.target.probabilities[0], 0.25);
+  EXPECT_DOUBLE_EQ(pair.comparison.probabilities[0], 0.75);
+}
+
+TEST(AlignFromCombinedTest, MissingColumnFails) {
+  db::Table t = MakeViewResult({{"a", 1.0}});
+  EXPECT_FALSE(AlignFromCombined(t, "nope", "v").ok());
+}
+
+TEST(DistributionTest, ToStringShowsKeyProbabilityPairs) {
+  Distribution d;
+  d.keys = {db::Value("a"), db::Value("b")};
+  d.probabilities = {0.25, 0.75};
+  std::string s = d.ToString();
+  EXPECT_NE(s.find("a: 0.25"), std::string::npos);
+  EXPECT_NE(s.find("b: 0.75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seedb::core

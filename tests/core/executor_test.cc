@@ -1,0 +1,167 @@
+#include "core/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/view_space.h"
+#include "data/synthetic.h"
+
+namespace seedb::core {
+namespace {
+
+// Shared environment: a synthetic dataset with a planted deviation, large
+// enough for plan-equivalence checks to be meaningful.
+class ExecutorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticSpec spec = data::SyntheticSpec::Simple(
+        /*rows=*/4000, /*num_dims=*/3, /*num_measures=*/2,
+        /*cardinality=*/6, /*seed=*/99);
+    auto dataset = data::GenerateSynthetic(spec).ValueOrDie();
+    catalog_ = new db::Catalog();
+    Status s = catalog_->AddTable("t", std::move(dataset.table));
+    (void)s;
+    engine_ = new db::Engine(catalog_);
+    selection_ = dataset.selection;
+    views_ = EnumerateViews(
+        catalog_->GetTable("t").ValueOrDie()->schema());
+    // Drop views on the selection dimension, as the Query Generator would:
+    // they deviate by construction and would drown the planted view.
+    std::erase_if(views_, [](const ViewDescriptor& v) {
+      return v.dimension == "dim0";
+    });
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete catalog_;
+    engine_ = nullptr;
+    catalog_ = nullptr;
+  }
+
+  std::vector<ViewResult> Run(const OptimizerOptions& optimizer,
+                              size_t parallelism = 1,
+                              ExecutionReport* report = nullptr) {
+    const db::TableStats* stats = catalog_->GetStats("t").ValueOrDie();
+    ExecutionPlan plan =
+        BuildExecutionPlan(views_, "t", selection_, *stats, optimizer)
+            .ValueOrDie();
+    ExecutorOptions exec;
+    exec.parallelism = parallelism;
+    return ExecutePlan(engine_, plan, DistanceMetric::kEarthMovers, exec,
+                       report)
+        .ValueOrDie();
+  }
+
+  static std::map<std::string, double> UtilityMap(
+      const std::vector<ViewResult>& results) {
+    std::map<std::string, double> m;
+    for (const auto& r : results) m[r.view.Id()] = r.utility;
+    return m;
+  }
+
+  static db::Catalog* catalog_;
+  static db::Engine* engine_;
+  static db::PredicatePtr selection_;
+  static std::vector<ViewDescriptor> views_;
+};
+
+db::Catalog* ExecutorTest::catalog_ = nullptr;
+db::Engine* ExecutorTest::engine_ = nullptr;
+db::PredicatePtr ExecutorTest::selection_;
+std::vector<ViewDescriptor> ExecutorTest::views_;
+
+TEST_F(ExecutorTest, BaselineProducesAllViews) {
+  auto results = Run(OptimizerOptions::Baseline());
+  EXPECT_EQ(results.size(), views_.size());
+}
+
+// The central correctness property of §3.3: every combination of the three
+// query-combining optimizations computes *identical* utilities — the
+// optimizations change cost, never answers.
+class PlanEquivalenceTest : public ExecutorTest,
+                            public ::testing::WithParamInterface<int> {};
+
+TEST_P(PlanEquivalenceTest, OptimizationsDoNotChangeUtilities) {
+  int mask = GetParam();
+  OptimizerOptions options = OptimizerOptions::Baseline();
+  options.combine_target_comparison = mask & 1;
+  options.combine_aggregates = mask & 2;
+  options.combine_group_bys = mask & 4;
+
+  auto baseline = UtilityMap(Run(OptimizerOptions::Baseline()));
+  auto optimized = UtilityMap(Run(options));
+  ASSERT_EQ(baseline.size(), optimized.size());
+  for (const auto& [id, utility] : baseline) {
+    ASSERT_TRUE(optimized.count(id)) << id;
+    EXPECT_NEAR(optimized[id], utility, 1e-9) << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, PlanEquivalenceTest,
+                         ::testing::Range(0, 8));
+
+TEST_F(ExecutorTest, ParallelExecutionMatchesSerial) {
+  auto serial = UtilityMap(Run(OptimizerOptions::Baseline(), 1));
+  auto parallel = UtilityMap(Run(OptimizerOptions::Baseline(), 4));
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (const auto& [id, utility] : serial) {
+    EXPECT_NEAR(parallel[id], utility, 1e-12) << id;
+  }
+}
+
+TEST_F(ExecutorTest, ReportRecordsPerQueryTimes) {
+  ExecutionReport report;
+  auto results = Run(OptimizerOptions::Baseline(), 1, &report);
+  EXPECT_EQ(report.query_seconds.size(), 2 * views_.size());
+  EXPECT_GT(report.total_seconds, 0.0);
+  EXPECT_GE(report.MaxQuerySeconds(), report.MeanQuerySeconds());
+}
+
+TEST_F(ExecutorTest, EngineCountsMatchPlanPrediction) {
+  engine_->ResetStats();
+  ExecutionReport report;
+  Run(OptimizerOptions::All(), 1, &report);
+  db::EngineStatsSnapshot stats = engine_->stats();
+  EXPECT_EQ(stats.queries_executed, 1u);
+  EXPECT_EQ(stats.table_scans, 1u);
+
+  engine_->ResetStats();
+  Run(OptimizerOptions::Baseline(), 1, &report);
+  stats = engine_->stats();
+  EXPECT_EQ(stats.queries_executed, 2 * views_.size());
+}
+
+TEST_F(ExecutorTest, CombineTcExactlyHalvesScans) {
+  engine_->ResetStats();
+  Run(OptimizerOptions::Baseline());
+  uint64_t baseline_scans = engine_->stats().table_scans;
+
+  engine_->ResetStats();
+  OptimizerOptions tc = OptimizerOptions::Baseline();
+  tc.combine_target_comparison = true;
+  Run(tc);
+  uint64_t tc_scans = engine_->stats().table_scans;
+  EXPECT_EQ(tc_scans * 2, baseline_scans);
+}
+
+TEST_F(ExecutorTest, SamplingStillFindsPlantedView) {
+  OptimizerOptions sampled = OptimizerOptions::All();
+  sampled.sample_fraction = 0.3;
+  sampled.sample_seed = 12;
+  auto results = Run(sampled);
+  // The planted (dim1, m0, SUM/AVG) views should still be near the top.
+  std::sort(results.begin(), results.end(),
+            [](const ViewResult& a, const ViewResult& b) {
+              return a.utility > b.utility;
+            });
+  bool found = false;
+  for (size_t i = 0; i < 4 && i < results.size(); ++i) {
+    found = found || (results[i].view.dimension == "dim1" &&
+                      results[i].view.measure == "m0");
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace seedb::core

@@ -1,0 +1,167 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace seedb::core {
+namespace {
+
+TEST(MetricsTest, KnownValues) {
+  std::vector<double> p = {1.0, 0.0};
+  std::vector<double> q = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(Distance(p, q, DistanceMetric::kL1).ValueOrDie(), 1.0);
+  EXPECT_DOUBLE_EQ(Distance(p, q, DistanceMetric::kChebyshev).ValueOrDie(),
+                   0.5);
+  EXPECT_NEAR(Distance(p, q, DistanceMetric::kEuclidean).ValueOrDie(),
+              std::sqrt(0.5), 1e-12);
+  // EMD on adjacent bins: CDF diffs |0.5| then 0 -> 0.5.
+  EXPECT_DOUBLE_EQ(Distance(p, q, DistanceMetric::kEarthMovers).ValueOrDie(),
+                   0.5);
+}
+
+TEST(MetricsTest, KlOfIdenticalIsZero) {
+  std::vector<double> p = {0.2, 0.3, 0.5};
+  EXPECT_NEAR(Distance(p, p, DistanceMetric::kKullbackLeibler).ValueOrDie(),
+              0.0, 1e-12);
+}
+
+TEST(MetricsTest, KlHandlesZeroComparisonBins) {
+  std::vector<double> p = {1.0, 0.0};
+  std::vector<double> q = {0.0, 1.0};
+  double kl = Distance(p, q, DistanceMetric::kKullbackLeibler).ValueOrDie();
+  EXPECT_TRUE(std::isfinite(kl));
+  EXPECT_GT(kl, 1.0);  // log(1/epsilon) is large
+}
+
+TEST(MetricsTest, KlIsAsymmetric) {
+  std::vector<double> p = {0.9, 0.1};
+  std::vector<double> q = {0.5, 0.5};
+  double pq = Distance(p, q, DistanceMetric::kKullbackLeibler).ValueOrDie();
+  double qp = Distance(q, p, DistanceMetric::kKullbackLeibler).ValueOrDie();
+  EXPECT_NE(pq, qp);
+}
+
+TEST(MetricsTest, JensenShannonBounded) {
+  std::vector<double> p = {1.0, 0.0};
+  std::vector<double> q = {0.0, 1.0};
+  double js = Distance(p, q, DistanceMetric::kJensenShannon).ValueOrDie();
+  EXPECT_NEAR(js, std::sqrt(std::log(2.0)), 1e-9);  // maximum
+}
+
+TEST(MetricsTest, HellingerBoundedByOne) {
+  std::vector<double> p = {1.0, 0.0};
+  std::vector<double> q = {0.0, 1.0};
+  EXPECT_NEAR(Distance(p, q, DistanceMetric::kHellinger).ValueOrDie(), 1.0,
+              1e-12);
+}
+
+TEST(MetricsTest, EmdDependsOnBinDistance) {
+  // Moving mass two bins costs twice as much as one bin.
+  std::vector<double> p = {1.0, 0.0, 0.0};
+  std::vector<double> near = {0.0, 1.0, 0.0};
+  std::vector<double> far = {0.0, 0.0, 1.0};
+  double d_near =
+      Distance(p, near, DistanceMetric::kEarthMovers).ValueOrDie();
+  double d_far = Distance(p, far, DistanceMetric::kEarthMovers).ValueOrDie();
+  EXPECT_DOUBLE_EQ(d_far, 2.0 * d_near);
+  // L1 cannot see the difference; EMD can.
+  EXPECT_DOUBLE_EQ(Distance(p, near, DistanceMetric::kL1).ValueOrDie(),
+                   Distance(p, far, DistanceMetric::kL1).ValueOrDie());
+}
+
+TEST(MetricsTest, SizeMismatchAndEmptyRejected) {
+  EXPECT_FALSE(Distance({0.5, 0.5}, {1.0}, DistanceMetric::kL1).ok());
+  EXPECT_FALSE(Distance({}, {}, DistanceMetric::kL1).ok());
+}
+
+TEST(MetricsTest, ParseNamesAndAliases) {
+  EXPECT_EQ(ParseDistanceMetric("earth_movers").ValueOrDie(),
+            DistanceMetric::kEarthMovers);
+  EXPECT_EQ(ParseDistanceMetric("EMD").ValueOrDie(),
+            DistanceMetric::kEarthMovers);
+  EXPECT_EQ(ParseDistanceMetric("l2").ValueOrDie(),
+            DistanceMetric::kEuclidean);
+  EXPECT_EQ(ParseDistanceMetric("KL").ValueOrDie(),
+            DistanceMetric::kKullbackLeibler);
+  EXPECT_EQ(ParseDistanceMetric("js").ValueOrDie(),
+            DistanceMetric::kJensenShannon);
+  EXPECT_FALSE(ParseDistanceMetric("cosine").ok());
+}
+
+TEST(MetricsTest, RoundTripNames) {
+  for (DistanceMetric m : AllDistanceMetrics()) {
+    EXPECT_EQ(ParseDistanceMetric(DistanceMetricToString(m)).ValueOrDie(), m);
+  }
+}
+
+// Property tests over random distributions, parameterized by metric.
+class MetricPropertyTest : public ::testing::TestWithParam<DistanceMetric> {
+ protected:
+  static std::vector<double> RandomDistribution(Random* rng, size_t n) {
+    std::vector<double> p(n);
+    double total = 0;
+    for (double& v : p) {
+      v = rng->NextDouble() + 1e-6;
+      total += v;
+    }
+    for (double& v : p) v /= total;
+    return p;
+  }
+};
+
+TEST_P(MetricPropertyTest, IdentityOfIndiscernibles) {
+  Random rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto p = RandomDistribution(&rng, 8);
+    EXPECT_NEAR(Distance(p, p, GetParam()).ValueOrDie(), 0.0, 1e-9);
+  }
+}
+
+TEST_P(MetricPropertyTest, NonNegativity) {
+  Random rng(32);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto p = RandomDistribution(&rng, 6);
+    auto q = RandomDistribution(&rng, 6);
+    EXPECT_GE(Distance(p, q, GetParam()).ValueOrDie(), 0.0);
+  }
+}
+
+TEST_P(MetricPropertyTest, GreaterDeviationGreaterDistance) {
+  // Mixing q toward p must not increase the distance to p.
+  Random rng(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto p = RandomDistribution(&rng, 5);
+    auto q = RandomDistribution(&rng, 5);
+    std::vector<double> mixed(5);
+    for (size_t i = 0; i < 5; ++i) mixed[i] = 0.5 * p[i] + 0.5 * q[i];
+    double d_full = Distance(p, q, GetParam()).ValueOrDie();
+    double d_half = Distance(p, mixed, GetParam()).ValueOrDie();
+    EXPECT_LE(d_half, d_full + 1e-12);
+  }
+}
+
+TEST_P(MetricPropertyTest, SymmetricMetricsAreSymmetric) {
+  if (GetParam() == DistanceMetric::kKullbackLeibler) {
+    GTEST_SKIP() << "KL divergence is deliberately asymmetric";
+  }
+  Random rng(34);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto p = RandomDistribution(&rng, 7);
+    auto q = RandomDistribution(&rng, 7);
+    EXPECT_NEAR(Distance(p, q, GetParam()).ValueOrDie(),
+                Distance(q, p, GetParam()).ValueOrDie(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, MetricPropertyTest,
+    ::testing::ValuesIn(AllDistanceMetrics()),
+    [](const ::testing::TestParamInfo<DistanceMetric>& info) {
+      return std::string(DistanceMetricToString(info.param));
+    });
+
+}  // namespace
+}  // namespace seedb::core

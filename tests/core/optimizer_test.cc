@@ -1,0 +1,227 @@
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../test_util.h"
+#include "core/view_space.h"
+#include "db/statistics.h"
+
+namespace seedb::core {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest()
+      : table_(::seedb::testing::MakeTinyTable()),
+        stats_(db::ComputeTableStats(table_, "t")),
+        selection_(db::Eq("e", db::Value("x"))) {
+    // 2 dims x 2 measures x 2 funcs = 8 views.
+    ViewSpaceOptions vs;
+    vs.functions = {db::AggregateFunction::kSum, db::AggregateFunction::kAvg};
+    views_ = EnumerateViews(table_.schema(), vs);
+  }
+
+  // Each view must appear in slots with both halves available overall.
+  void CheckCoverage(const ExecutionPlan& plan) {
+    std::set<std::string> has_target, has_comparison;
+    for (const auto& pq : plan.queries) {
+      for (const auto& slot : pq.slots) {
+        ASSERT_LT(slot.result_index, pq.query.grouping_sets.size());
+        // Slot's dimension matches its grouping set.
+        EXPECT_EQ(pq.query.grouping_sets[slot.result_index],
+                  (std::vector<std::string>{slot.view.dimension}));
+        if (!slot.target_column.empty()) has_target.insert(slot.view.Id());
+        if (!slot.comparison_column.empty()) {
+          has_comparison.insert(slot.view.Id());
+        }
+      }
+    }
+    for (const auto& v : views_) {
+      EXPECT_TRUE(has_target.count(v.Id())) << v.Id();
+      EXPECT_TRUE(has_comparison.count(v.Id())) << v.Id();
+    }
+  }
+
+  db::Table table_;
+  db::TableStats stats_;
+  db::PredicatePtr selection_;
+  std::vector<ViewDescriptor> views_;
+};
+
+TEST_F(OptimizerTest, BaselinePlanIsTwoQueriesPerView) {
+  auto plan = BuildExecutionPlan(views_, "t", selection_, stats_,
+                                 OptimizerOptions::Baseline())
+                  .ValueOrDie();
+  EXPECT_EQ(plan.num_queries(), 2 * views_.size());
+  EXPECT_EQ(plan.num_views, views_.size());
+  CheckCoverage(plan);
+  // Target queries carry the WHERE; comparisons do not; no FILTERs anywhere.
+  for (const auto& pq : plan.queries) {
+    EXPECT_EQ(pq.query.grouping_sets.size(), 1u);
+    EXPECT_EQ(pq.query.aggregates.size(), 1u);
+    EXPECT_TRUE(pq.query.aggregates[0].filter == nullptr);
+    if (pq.half == QueryHalf::kTargetOnly) {
+      EXPECT_TRUE(pq.query.where != nullptr);
+    } else {
+      EXPECT_EQ(pq.half, QueryHalf::kComparisonOnly);
+      EXPECT_TRUE(pq.query.where == nullptr);
+    }
+  }
+}
+
+TEST_F(OptimizerTest, CombineTcHalvesQueries) {
+  OptimizerOptions options = OptimizerOptions::Baseline();
+  options.combine_target_comparison = true;
+  auto plan =
+      BuildExecutionPlan(views_, "t", selection_, stats_, options)
+          .ValueOrDie();
+  EXPECT_EQ(plan.num_queries(), views_.size());  // exactly halved
+  CheckCoverage(plan);
+  for (const auto& pq : plan.queries) {
+    EXPECT_EQ(pq.half, QueryHalf::kCombined);
+    EXPECT_TRUE(pq.query.where == nullptr);
+    ASSERT_EQ(pq.query.aggregates.size(), 2u);
+    EXPECT_TRUE(pq.query.aggregates[0].filter != nullptr);
+    EXPECT_TRUE(pq.query.aggregates[1].filter == nullptr);
+  }
+}
+
+TEST_F(OptimizerTest, CombineAggregatesGroupsByDimension) {
+  OptimizerOptions options = OptimizerOptions::Baseline();
+  options.combine_aggregates = true;
+  auto plan =
+      BuildExecutionPlan(views_, "t", selection_, stats_, options)
+          .ValueOrDie();
+  // 2 dims x 2 halves = 4 queries, each with all 4 (m,f) aggregates.
+  EXPECT_EQ(plan.num_queries(), 4u);
+  CheckCoverage(plan);
+  for (const auto& pq : plan.queries) {
+    EXPECT_EQ(pq.query.aggregates.size(), 4u);
+    EXPECT_EQ(pq.slots.size(), 4u);
+  }
+}
+
+TEST_F(OptimizerTest, CombineGroupBysMergesDimensions) {
+  OptimizerOptions options = OptimizerOptions::Baseline();
+  options.combine_aggregates = true;
+  options.combine_group_bys = true;
+  auto plan =
+      BuildExecutionPlan(views_, "t", selection_, stats_, options)
+          .ValueOrDie();
+  // Tiny cardinalities fit one bin: 1 dim-batch x 2 halves.
+  EXPECT_EQ(plan.num_queries(), 2u);
+  CheckCoverage(plan);
+  for (const auto& pq : plan.queries) {
+    EXPECT_EQ(pq.query.grouping_sets.size(), 2u);
+  }
+}
+
+TEST_F(OptimizerTest, AllOptimizationsOneQuery) {
+  auto plan = BuildExecutionPlan(views_, "t", selection_, stats_,
+                                 OptimizerOptions::All())
+                  .ValueOrDie();
+  EXPECT_EQ(plan.num_queries(), 1u);
+  EXPECT_EQ(plan.predicted_scans(), 1u);
+  CheckCoverage(plan);
+  const PlannedQuery& pq = plan.queries[0];
+  EXPECT_EQ(pq.query.grouping_sets.size(), 2u);
+  EXPECT_EQ(pq.query.aggregates.size(), 8u);  // 4 payloads x 2 halves
+  EXPECT_EQ(pq.slots.size(), 8u);
+}
+
+TEST_F(OptimizerTest, GroupByCombiningWithoutAggCombiningKeepsLayers) {
+  OptimizerOptions options = OptimizerOptions::Baseline();
+  options.combine_group_bys = true;  // but not combine_aggregates
+  options.combine_target_comparison = true;
+  auto plan =
+      BuildExecutionPlan(views_, "t", selection_, stats_, options)
+          .ValueOrDie();
+  CheckCoverage(plan);
+  // One query per (m,f) layer: 4 layers.
+  EXPECT_EQ(plan.num_queries(), 4u);
+  for (const auto& pq : plan.queries) {
+    // Each query carries exactly one payload (x2 halves) applied to both
+    // dims — no payload a view did not request.
+    EXPECT_EQ(pq.query.aggregates.size(), 2u);
+    EXPECT_EQ(pq.query.grouping_sets.size(), 2u);
+  }
+}
+
+TEST_F(OptimizerTest, MemoryBudgetSplitsBatches) {
+  OptimizerOptions options = OptimizerOptions::All();
+  options.memory_budget_bytes = 1;  // nothing shares a bin
+  auto plan =
+      BuildExecutionPlan(views_, "t", selection_, stats_, options)
+          .ValueOrDie();
+  // Two dims, each its own singleton bin -> 2 combined queries.
+  EXPECT_EQ(plan.num_queries(), 2u);
+  for (const auto& pq : plan.queries) {
+    EXPECT_EQ(pq.query.grouping_sets.size(), 1u);
+  }
+}
+
+TEST_F(OptimizerTest, MaxGroupBysPerQueryCap) {
+  OptimizerOptions options = OptimizerOptions::All();
+  options.max_group_bys_per_query = 1;
+  auto plan =
+      BuildExecutionPlan(views_, "t", selection_, stats_, options)
+          .ValueOrDie();
+  for (const auto& pq : plan.queries) {
+    EXPECT_LE(pq.query.grouping_sets.size(), 1u);
+  }
+}
+
+TEST_F(OptimizerTest, SamplingPropagatesToQueries) {
+  OptimizerOptions options = OptimizerOptions::All();
+  options.sample_fraction = 0.25;
+  options.sample_seed = 9;
+  auto plan =
+      BuildExecutionPlan(views_, "t", selection_, stats_, options)
+          .ValueOrDie();
+  for (const auto& pq : plan.queries) {
+    EXPECT_DOUBLE_EQ(pq.query.sample_fraction, 0.25);
+    EXPECT_EQ(pq.query.sample_seed, 9u);
+  }
+}
+
+TEST_F(OptimizerTest, NullSelectionPlansCleanly) {
+  auto plan = BuildExecutionPlan(views_, "t", nullptr, stats_,
+                                 OptimizerOptions::All())
+                  .ValueOrDie();
+  EXPECT_EQ(plan.num_queries(), 1u);
+  // Target aggregates have no filter when the selection is the whole table.
+  for (const auto& agg : plan.queries[0].query.aggregates) {
+    EXPECT_TRUE(agg.filter == nullptr);
+  }
+}
+
+TEST_F(OptimizerTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(
+      BuildExecutionPlan({}, "t", selection_, stats_, OptimizerOptions::All())
+          .ok());
+  OptimizerOptions options;
+  options.sample_fraction = 0.0;
+  EXPECT_FALSE(
+      BuildExecutionPlan(views_, "t", selection_, stats_, options).ok());
+}
+
+TEST_F(OptimizerTest, DescribeListsQueries) {
+  auto plan = BuildExecutionPlan(views_, "t", selection_, stats_,
+                                 OptimizerOptions::All())
+                  .ValueOrDie();
+  std::string desc = plan.Describe();
+  EXPECT_NE(desc.find("8 view(s)"), std::string::npos);
+  EXPECT_NE(desc.find("GROUPING SETS"), std::string::npos);
+  EXPECT_NE(desc.find("combined"), std::string::npos);
+}
+
+TEST(QueryHalfTest, Names) {
+  EXPECT_STREQ(QueryHalfToString(QueryHalf::kCombined), "combined");
+  EXPECT_STREQ(QueryHalfToString(QueryHalf::kTargetOnly), "target");
+  EXPECT_STREQ(QueryHalfToString(QueryHalf::kComparisonOnly), "comparison");
+}
+
+}  // namespace
+}  // namespace seedb::core

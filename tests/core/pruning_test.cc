@@ -1,0 +1,191 @@
+#include "core/pruning.h"
+
+#include <gtest/gtest.h>
+
+#include "core/view_space.h"
+#include "util/random.h"
+
+namespace seedb::core {
+namespace {
+
+// Table: good_dim (diverse), flat_dim (constant), twin_a/twin_b (correlated),
+// measures m (varying), const_m (constant).
+db::Table MakePruningTable() {
+  db::Schema schema({
+      db::ColumnDef::Dimension("good_dim"),
+      db::ColumnDef::Dimension("flat_dim"),
+      db::ColumnDef::Dimension("twin_a"),
+      db::ColumnDef::Dimension("twin_b"),
+      db::ColumnDef::Measure("m"),
+      db::ColumnDef::Measure("const_m"),
+  });
+  db::Table t(schema);
+  Random rng(5);
+  const char* good[] = {"g0", "g1", "g2", "g3"};
+  const char* twins[] = {"t0", "t1", "t2"};
+  for (int i = 0; i < 500; ++i) {
+    size_t k = rng.Uniform(3);
+    Status s = t.AppendRow({
+        db::Value(good[rng.Uniform(4)]),
+        db::Value("always"),
+        db::Value(twins[k]),
+        db::Value(std::string("T") + twins[k]),
+        db::Value(rng.Gaussian(10, 2)),
+        db::Value(7.0),
+    });
+    (void)s;
+  }
+  return t;
+}
+
+class PruningTest : public ::testing::Test {
+ protected:
+  PruningTest()
+      : table_(MakePruningTable()),
+        stats_(db::ComputeTableStats(table_, "t")),
+        views_(EnumerateViews(table_.schema())) {}
+
+  bool IsKept(const PruningReport& report, const std::string& dim) const {
+    for (const auto& v : report.kept) {
+      if (v.dimension == dim) return true;
+    }
+    return false;
+  }
+  size_t PrunedWithReason(const PruningReport& report,
+                          PruneReason reason) const {
+    size_t n = 0;
+    for (const auto& p : report.pruned) {
+      if (p.reason == reason) ++n;
+    }
+    return n;
+  }
+
+  db::Table table_;
+  db::TableStats stats_;
+  std::vector<ViewDescriptor> views_;
+};
+
+TEST_F(PruningTest, NoPruningKeepsEverything) {
+  auto report = PruneViews(views_, table_, stats_, nullptr, "t",
+                           PruningOptions::None())
+                    .ValueOrDie();
+  EXPECT_EQ(report.kept.size(), views_.size());
+  EXPECT_TRUE(report.pruned.empty());
+  EXPECT_EQ(report.total_considered(), views_.size());
+}
+
+TEST_F(PruningTest, VariancePrunesConstantDimension) {
+  PruningOptions options;
+  options.enable_variance = true;
+  auto report =
+      PruneViews(views_, table_, stats_, nullptr, "t", options).ValueOrDie();
+  EXPECT_FALSE(IsKept(report, "flat_dim"));
+  EXPECT_TRUE(IsKept(report, "good_dim"));
+  EXPECT_GT(PrunedWithReason(report, PruneReason::kLowVariance), 0u);
+}
+
+TEST_F(PruningTest, VariancePrunesConstantMeasure) {
+  PruningOptions options;
+  options.enable_variance = true;
+  auto report =
+      PruneViews(views_, table_, stats_, nullptr, "t", options).ValueOrDie();
+  for (const auto& v : report.kept) {
+    EXPECT_NE(v.measure, "const_m") << v.Id();
+  }
+  // But not when prune_constant_measures is off.
+  options.prune_constant_measures = false;
+  report =
+      PruneViews(views_, table_, stats_, nullptr, "t", options).ValueOrDie();
+  bool const_m_kept = false;
+  for (const auto& v : report.kept) const_m_kept |= v.measure == "const_m";
+  EXPECT_TRUE(const_m_kept);
+}
+
+TEST_F(PruningTest, CorrelationKeepsOneTwin) {
+  PruningOptions options;
+  options.enable_correlation = true;
+  options.correlation_threshold = 0.9;
+  auto report =
+      PruneViews(views_, table_, stats_, nullptr, "t", options).ValueOrDie();
+  bool a_kept = IsKept(report, "twin_a");
+  bool b_kept = IsKept(report, "twin_b");
+  EXPECT_NE(a_kept, b_kept);  // exactly one survives
+  EXPECT_TRUE(IsKept(report, "good_dim"));
+  // Pruned twins carry the representative's name.
+  for (const auto& p : report.pruned) {
+    if (p.reason == PruneReason::kCorrelatedDimension) {
+      EXPECT_FALSE(p.detail.empty());
+    }
+  }
+}
+
+TEST_F(PruningTest, AccessFrequencyNeedsHistory) {
+  db::AccessTracker tracker;
+  PruningOptions options;
+  options.enable_access_frequency = true;
+  options.min_recorded_queries = 20;
+  // Cold tracker: nothing pruned.
+  auto report =
+      PruneViews(views_, table_, stats_, &tracker, "t", options).ValueOrDie();
+  EXPECT_EQ(report.kept.size(), views_.size());
+}
+
+TEST_F(PruningTest, AccessFrequencyPrunesColdColumns) {
+  db::AccessTracker tracker;
+  // 30 queries, all touching good_dim and m only.
+  for (int i = 0; i < 30; ++i) tracker.RecordQuery("t", {"good_dim", "m"});
+  PruningOptions options;
+  options.enable_access_frequency = true;
+  options.min_recorded_queries = 20;
+  options.min_access_frequency = 0.1;
+  auto report =
+      PruneViews(views_, table_, stats_, &tracker, "t", options).ValueOrDie();
+  EXPECT_TRUE(IsKept(report, "good_dim"));
+  EXPECT_FALSE(IsKept(report, "twin_a"));
+  EXPECT_FALSE(IsKept(report, "flat_dim"));
+  // Views on hot dim but cold measure also pruned.
+  for (const auto& v : report.kept) {
+    EXPECT_EQ(v.measure, "m");
+  }
+  EXPECT_GT(PrunedWithReason(report, PruneReason::kRarelyAccessed), 0u);
+}
+
+TEST_F(PruningTest, KeptPlusPrunedIsPartition) {
+  db::AccessTracker tracker;
+  for (int i = 0; i < 25; ++i) tracker.RecordQuery("t", {"good_dim", "m"});
+  auto report = PruneViews(views_, table_, stats_, &tracker, "t",
+                           PruningOptions::All())
+                    .ValueOrDie();
+  EXPECT_EQ(report.kept.size() + report.pruned.size(), views_.size());
+  // No view appears twice.
+  std::set<std::string> seen;
+  for (const auto& v : report.kept) EXPECT_TRUE(seen.insert(v.Id()).second);
+  for (const auto& p : report.pruned) {
+    EXPECT_TRUE(seen.insert(p.view.Id()).second);
+  }
+}
+
+TEST_F(PruningTest, ThresholdControlsVariancePruning) {
+  PruningOptions options;
+  options.enable_variance = true;
+  options.min_dimension_diversity = 0.0;  // nothing is below 0
+  auto report =
+      PruneViews(views_, table_, stats_, nullptr, "t", options).ValueOrDie();
+  EXPECT_TRUE(IsKept(report, "flat_dim"));  // diversity 0 >= 0 not < 0
+  options.min_dimension_diversity = 0.99;   // everything below
+  report =
+      PruneViews(views_, table_, stats_, nullptr, "t", options).ValueOrDie();
+  EXPECT_TRUE(report.kept.empty());
+}
+
+TEST(PruneReasonTest, Names) {
+  EXPECT_STREQ(PruneReasonToString(PruneReason::kLowVariance),
+               "low variance");
+  EXPECT_STREQ(PruneReasonToString(PruneReason::kCorrelatedDimension),
+               "correlated dimension");
+  EXPECT_STREQ(PruneReasonToString(PruneReason::kRarelyAccessed),
+               "rarely accessed");
+}
+
+}  // namespace
+}  // namespace seedb::core

@@ -1,0 +1,87 @@
+#include "core/templates.h"
+
+#include <gtest/gtest.h>
+
+#include "core/seedb.h"
+#include "data/synthetic.h"
+#include "db/sql/parser.h"
+
+namespace seedb::core {
+namespace {
+
+class TemplatesTest : public ::testing::Test {
+ protected:
+  TemplatesTest() : engine_(&catalog_) {
+    data::SyntheticSpec spec = data::SyntheticSpec::Simple(3000, 3, 2, 5, 23);
+    auto dataset = data::GenerateSynthetic(spec).ValueOrDie();
+    Status s = catalog_.AddTable("t", std::move(dataset.table));
+    (void)s;
+  }
+
+  size_t CountMatching(const db::PredicatePtr& pred) {
+    const db::Table* table = catalog_.GetTable("t").ValueOrDie();
+    std::vector<uint8_t> mask;
+    Status s = pred->EvaluateMask(*table, &mask);
+    (void)s;
+    return static_cast<size_t>(
+        std::count(mask.begin(), mask.end(), uint8_t{1}));
+  }
+
+  db::Catalog catalog_;
+  db::Engine engine_;
+};
+
+TEST_F(TemplatesTest, OutlierTemplateSelectsTails) {
+  auto q = OutlierTemplate(&engine_, "t", "m0", 2.0).ValueOrDie();
+  size_t matched = CountMatching(q.selection);
+  // Gaussian data: ~4.6% beyond 2 sigma; the planted deviation inflates the
+  // upper tail somewhat.
+  EXPECT_GT(matched, 30u);
+  EXPECT_LT(matched, 900u);
+  EXPECT_NE(q.sql.find("SELECT * FROM t WHERE"), std::string::npos);
+  EXPECT_NE(q.description.find("m0"), std::string::npos);
+}
+
+TEST_F(TemplatesTest, OutlierTemplateSqlParsesBack) {
+  auto q = OutlierTemplate(&engine_, "t", "m0").ValueOrDie();
+  auto parsed = db::sql::ParseInputQuery(q.sql);
+  ASSERT_TRUE(parsed.ok()) << q.sql;
+  EXPECT_EQ(parsed->table, "t");
+  EXPECT_TRUE(parsed->selection != nullptr);
+}
+
+TEST_F(TemplatesTest, OutlierTemplateRejectsBadInputs) {
+  EXPECT_FALSE(OutlierTemplate(&engine_, "t", "dim0").ok());    // string col
+  EXPECT_FALSE(OutlierTemplate(&engine_, "t", "ghost").ok());   // missing
+  EXPECT_FALSE(OutlierTemplate(&engine_, "t", "m0", 0.0).ok()); // bad sigma
+  EXPECT_FALSE(OutlierTemplate(&engine_, "ghost", "m0").ok());  // no table
+}
+
+TEST_F(TemplatesTest, TopValueTemplateSelectsDominantValue) {
+  auto q = TopValueTemplate(&engine_, "t", "dim0").ValueOrDie();
+  size_t matched = CountMatching(q.selection);
+  // 5 uniform values over 3000 rows: the mode holds >= 1/5 of rows.
+  EXPECT_GE(matched, 3000u / 5u);
+  EXPECT_NE(q.description.find("most frequent"), std::string::npos);
+}
+
+TEST_F(TemplatesTest, HighValueTemplateSelectsUpperRange) {
+  auto q = HighValueTemplate(&engine_, "t", "m0", 0.25).ValueOrDie();
+  size_t matched = CountMatching(q.selection);
+  EXPECT_GT(matched, 0u);
+  EXPECT_LT(matched, 3000u);
+  EXPECT_FALSE(HighValueTemplate(&engine_, "t", "m0", 0.0).ok());
+  EXPECT_FALSE(HighValueTemplate(&engine_, "t", "m0", 1.0).ok());
+}
+
+TEST_F(TemplatesTest, TemplateQueryDrivesRecommendation) {
+  // End to end: template -> SeeDB recommendation (the §3.2 one-click flow).
+  auto q = TopValueTemplate(&engine_, "t", "dim0").ValueOrDie();
+  SeeDB seedb(&engine_);
+  auto result = seedb.RecommendSql(q.sql);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->top_views.empty());
+}
+
+}  // namespace
+}  // namespace seedb::core

@@ -1,0 +1,74 @@
+#include "core/topk.h"
+
+#include <gtest/gtest.h>
+
+namespace seedb::core {
+namespace {
+
+ViewResult MakeResult(const std::string& dim, double utility) {
+  ViewResult r;
+  r.view = ViewDescriptor(dim, "m", db::AggregateFunction::kSum);
+  r.utility = utility;
+  return r;
+}
+
+std::vector<ViewResult> SampleResults() {
+  return {MakeResult("a", 0.5), MakeResult("b", 0.9), MakeResult("c", 0.1),
+          MakeResult("d", 0.7), MakeResult("e", 0.3)};
+}
+
+TEST(TopKTest, SelectsHighestUtilityDescending) {
+  auto top = SelectTopK(SampleResults(), 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].view.dimension, "b");
+  EXPECT_EQ(top[1].view.dimension, "d");
+  EXPECT_EQ(top[2].view.dimension, "a");
+}
+
+TEST(TopKTest, KZeroReturnsAllSorted) {
+  auto all = SelectTopK(SampleResults(), 0);
+  ASSERT_EQ(all.size(), 5u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i - 1].utility, all[i].utility);
+  }
+}
+
+TEST(TopKTest, KLargerThanInputReturnsAll) {
+  auto all = SelectTopK(SampleResults(), 100);
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0].view.dimension, "b");
+}
+
+TEST(TopKTest, TiesBreakOnViewIdDeterministically) {
+  std::vector<ViewResult> tied = {MakeResult("z", 0.5), MakeResult("a", 0.5),
+                                  MakeResult("m", 0.5)};
+  auto top = SelectTopK(tied, 2);
+  EXPECT_EQ(top[0].view.dimension, "a");
+  EXPECT_EQ(top[1].view.dimension, "m");
+}
+
+TEST(BottomKTest, SelectsLowestAscending) {
+  auto bottom = SelectBottomK(SampleResults(), 2);
+  ASSERT_EQ(bottom.size(), 2u);
+  EXPECT_EQ(bottom[0].view.dimension, "c");
+  EXPECT_EQ(bottom[1].view.dimension, "e");
+}
+
+TEST(BottomKTest, DisjointFromTopKWhenPossible) {
+  auto results = SampleResults();
+  auto top = SelectTopK(results, 2);
+  auto bottom = SelectBottomK(results, 2);
+  for (const auto& t : top) {
+    for (const auto& b : bottom) {
+      EXPECT_NE(t.view.Id(), b.view.Id());
+    }
+  }
+}
+
+TEST(TopKTest, EmptyInput) {
+  EXPECT_TRUE(SelectTopK({}, 3).empty());
+  EXPECT_TRUE(SelectBottomK({}, 3).empty());
+}
+
+}  // namespace
+}  // namespace seedb::core

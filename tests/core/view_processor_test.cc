@@ -1,0 +1,107 @@
+#include "core/view_processor.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/view_space.h"
+#include "db/engine.h"
+#include "db/statistics.h"
+
+namespace seedb::core {
+namespace {
+
+class ViewProcessorTest : public ::testing::Test {
+ protected:
+  ViewProcessorTest() : engine_(&catalog_) {
+    Status s = catalog_.AddTable("t", ::seedb::testing::MakeTinyTable());
+    (void)s;
+    selection_ = db::PredicatePtr(db::Eq("e", db::Value("x")));
+    view_ = ViewDescriptor("d", "m1", db::AggregateFunction::kSum);
+  }
+
+  // Plans `views` with `options`, executes serially, returns Finish().
+  Result<std::vector<ViewResult>> RunPlan(
+      const std::vector<ViewDescriptor>& views,
+      const OptimizerOptions& options) {
+    SEEDB_ASSIGN_OR_RETURN(const db::TableStats* stats,
+                           catalog_.GetStats("t"));
+    SEEDB_ASSIGN_OR_RETURN(
+        ExecutionPlan plan,
+        BuildExecutionPlan(views, "t", selection_, *stats, options));
+    ViewProcessor processor(DistanceMetric::kL1);
+    for (const auto& pq : plan.queries) {
+      SEEDB_ASSIGN_OR_RETURN(std::vector<db::Table> results,
+                             engine_.Execute(pq.query));
+      SEEDB_RETURN_IF_ERROR(processor.Consume(pq, std::move(results)));
+    }
+    return processor.Finish();
+  }
+
+  db::Catalog catalog_;
+  db::Engine engine_;
+  db::PredicatePtr selection_;
+  ViewDescriptor view_;
+};
+
+TEST_F(ViewProcessorTest, CombinedPlanProducesUtility) {
+  auto results = RunPlan({view_}, OptimizerOptions::All()).ValueOrDie();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].view, view_);
+  // Target: a=6, b=3 -> (2/3, 1/3); comparison: a=8, b=13 -> (8/21, 13/21).
+  double expect_l1 = std::abs(2.0 / 3 - 8.0 / 21) * 2;
+  EXPECT_NEAR(results[0].utility, expect_l1, 1e-9);
+  EXPECT_EQ(results[0].distributions.target.keys.size(), 2u);
+}
+
+TEST_F(ViewProcessorTest, SplitPlanMatchesCombined) {
+  auto combined = RunPlan({view_}, OptimizerOptions::All()).ValueOrDie();
+  auto split = RunPlan({view_}, OptimizerOptions::Baseline()).ValueOrDie();
+  ASSERT_EQ(combined.size(), 1u);
+  ASSERT_EQ(split.size(), 1u);
+  EXPECT_NEAR(combined[0].utility, split[0].utility, 1e-12);
+}
+
+TEST_F(ViewProcessorTest, MissingHalfIsError) {
+  const db::TableStats* stats = catalog_.GetStats("t").ValueOrDie();
+  auto plan = BuildExecutionPlan({view_}, "t", selection_, *stats,
+                                 OptimizerOptions::Baseline())
+                  .ValueOrDie();
+  ASSERT_EQ(plan.queries.size(), 2u);
+  ViewProcessor processor(DistanceMetric::kL1);
+  // Feed only the target query.
+  auto results = engine_.Execute(plan.queries[0].query).ValueOrDie();
+  ASSERT_TRUE(processor.Consume(plan.queries[0], std::move(results)).ok());
+  EXPECT_FALSE(processor.Finish().ok());
+}
+
+TEST_F(ViewProcessorTest, ResultSetCountMismatchIsError) {
+  const db::TableStats* stats = catalog_.GetStats("t").ValueOrDie();
+  auto plan = BuildExecutionPlan({view_}, "t", selection_, *stats,
+                                 OptimizerOptions::All())
+                  .ValueOrDie();
+  ViewProcessor processor(DistanceMetric::kL1);
+  EXPECT_FALSE(processor.Consume(plan.queries[0], {}).ok());
+}
+
+TEST_F(ViewProcessorTest, ManyViewsPreserveFirstSeenOrder) {
+  ViewSpaceOptions vs;
+  vs.functions = {db::AggregateFunction::kSum, db::AggregateFunction::kAvg};
+  auto views = EnumerateViews(
+      catalog_.GetTable("t").ValueOrDie()->schema(), vs);
+  auto results = RunPlan(views, OptimizerOptions::All()).ValueOrDie();
+  ASSERT_EQ(results.size(), views.size());
+  // All views are present exactly once.
+  std::set<std::string> ids;
+  for (const auto& r : results) ids.insert(r.view.Id());
+  EXPECT_EQ(ids.size(), views.size());
+}
+
+TEST_F(ViewProcessorTest, UtilityZeroWhenSelectionIsWholeTable) {
+  selection_ = nullptr;
+  auto results = RunPlan({view_}, OptimizerOptions::All()).ValueOrDie();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NEAR(results[0].utility, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace seedb::core

@@ -1,0 +1,103 @@
+#include "core/view_space.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace seedb::core {
+namespace {
+
+db::Schema MakeSchema(size_t dims, size_t measures) {
+  db::Schema schema;
+  for (size_t i = 0; i < dims; ++i) {
+    Status s =
+        schema.AddColumn(db::ColumnDef::Dimension("d" + std::to_string(i)));
+    (void)s;
+  }
+  for (size_t i = 0; i < measures; ++i) {
+    Status s =
+        schema.AddColumn(db::ColumnDef::Measure("m" + std::to_string(i)));
+    (void)s;
+  }
+  return schema;
+}
+
+TEST(ViewSpaceTest, CrossProductSize) {
+  ViewSpaceOptions options;  // 3 default functions
+  auto views = EnumerateViews(MakeSchema(4, 3), options);
+  EXPECT_EQ(views.size(), 4u * 3u * 3u);
+  EXPECT_EQ(views.size(),
+            ViewSpaceSize(4, 3, options.functions.size(), false));
+}
+
+TEST(ViewSpaceTest, AllViewsDistinct) {
+  auto views = EnumerateViews(MakeSchema(5, 4));
+  std::set<std::string> ids;
+  for (const auto& v : views) ids.insert(v.Id());
+  EXPECT_EQ(ids.size(), views.size());
+}
+
+TEST(ViewSpaceTest, CountStarViews) {
+  ViewSpaceOptions options;
+  options.include_count_star = true;
+  auto views = EnumerateViews(MakeSchema(3, 2), options);
+  EXPECT_EQ(views.size(), 3u * 2u * 3u + 3u);
+  size_t star = 0;
+  for (const auto& v : views) {
+    if (v.measure.empty()) {
+      EXPECT_EQ(v.func, db::AggregateFunction::kCount);
+      ++star;
+    }
+  }
+  EXPECT_EQ(star, 3u);
+}
+
+TEST(ViewSpaceTest, CustomFunctionList) {
+  ViewSpaceOptions options;
+  options.functions = {db::AggregateFunction::kMax};
+  auto views = EnumerateViews(MakeSchema(2, 2), options);
+  EXPECT_EQ(views.size(), 4u);
+  for (const auto& v : views) {
+    EXPECT_EQ(v.func, db::AggregateFunction::kMax);
+  }
+}
+
+TEST(ViewSpaceTest, NoDimensionsOrMeasuresEmpty) {
+  EXPECT_TRUE(EnumerateViews(MakeSchema(0, 3)).empty());
+  EXPECT_TRUE(EnumerateViews(MakeSchema(3, 0)).empty());
+}
+
+TEST(ViewSpaceTest, DeterministicOrder) {
+  auto a = EnumerateViews(MakeSchema(3, 2));
+  auto b = EnumerateViews(MakeSchema(3, 2));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  // Schema order: first views are on d0.
+  EXPECT_EQ(a[0].dimension, "d0");
+}
+
+TEST(ViewSpaceTest, QuadraticGrowthShape) {
+  // §1 challenge (b): with n attributes split evenly, the view count grows
+  // as (n/2)^2 * |F| — verify the quadratic shape via ratios.
+  size_t f = ViewSpaceOptions{}.functions.size();
+  size_t at_10 = ViewSpaceSize(5, 5, f, false);
+  size_t at_20 = ViewSpaceSize(10, 10, f, false);
+  size_t at_40 = ViewSpaceSize(20, 20, f, false);
+  EXPECT_EQ(at_20, at_10 * 4);
+  EXPECT_EQ(at_40, at_20 * 4);
+}
+
+TEST(ViewSpaceTest, OtherRoleColumnsExcluded) {
+  db::Schema schema = MakeSchema(2, 2);
+  Status s = schema.AddColumn(
+      db::ColumnDef::Other("id", db::ValueType::kInt64));
+  (void)s;
+  auto views = EnumerateViews(schema);
+  for (const auto& v : views) {
+    EXPECT_NE(v.dimension, "id");
+    EXPECT_NE(v.measure, "id");
+  }
+}
+
+}  // namespace
+}  // namespace seedb::core

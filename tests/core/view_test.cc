@@ -1,0 +1,84 @@
+#include "core/view.h"
+
+#include <gtest/gtest.h>
+
+namespace seedb::core {
+namespace {
+
+TEST(ViewDescriptorTest, IdFormat) {
+  ViewDescriptor v("region", "sales", db::AggregateFunction::kSum);
+  EXPECT_EQ(v.Id(), "SUM(sales) BY region");
+  ViewDescriptor count("region", "", db::AggregateFunction::kCount);
+  EXPECT_EQ(count.Id(), "COUNT(*) BY region");
+}
+
+TEST(ViewDescriptorTest, EqualityAndOrdering) {
+  ViewDescriptor a("d1", "m1", db::AggregateFunction::kSum);
+  ViewDescriptor b("d1", "m1", db::AggregateFunction::kSum);
+  ViewDescriptor c("d1", "m1", db::AggregateFunction::kAvg);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c || c < a);
+  ViewDescriptor d("d0", "m1", db::AggregateFunction::kSum);
+  EXPECT_LT(d, a);  // dimension is the primary sort key
+}
+
+TEST(ViewDescriptorTest, HashConsistentWithEquality) {
+  ViewDescriptorHash h;
+  ViewDescriptor a("d", "m", db::AggregateFunction::kSum);
+  ViewDescriptor b("d", "m", db::AggregateFunction::kSum);
+  EXPECT_EQ(h(a), h(b));
+}
+
+TEST(ViewQueryTest, TargetViewMatchesPaperForm) {
+  // §2: SELECT a, f(m) FROM D_Q GROUP BY a.
+  ViewDescriptor v("store", "amount", db::AggregateFunction::kSum);
+  db::PredicatePtr q(db::Eq("product", db::Value("Laserwave")));
+  db::GroupByQuery target = TargetViewQuery(v, "sales", q);
+  EXPECT_EQ(target.ToSql(),
+            "SELECT store, SUM(amount) AS SUM_amount_tgt FROM sales WHERE "
+            "product = 'Laserwave' GROUP BY store");
+}
+
+TEST(ViewQueryTest, ComparisonViewHasNoWhere) {
+  ViewDescriptor v("store", "amount", db::AggregateFunction::kSum);
+  db::GroupByQuery cmp = ComparisonViewQuery(v, "sales");
+  EXPECT_TRUE(cmp.where == nullptr);
+  EXPECT_EQ(cmp.group_by, (std::vector<std::string>{"store"}));
+  EXPECT_EQ(cmp.ToSql(),
+            "SELECT store, SUM(amount) AS SUM_amount_cmp FROM sales "
+            "GROUP BY store");
+}
+
+TEST(ViewQueryTest, CombinedViewUsesFilter) {
+  ViewDescriptor v("store", "amount", db::AggregateFunction::kSum);
+  db::PredicatePtr q(db::Eq("product", db::Value("Laserwave")));
+  db::GroupByQuery combined = CombinedViewQuery(v, "sales", q);
+  EXPECT_TRUE(combined.where == nullptr);  // scans everything once
+  ASSERT_EQ(combined.aggregates.size(), 2u);
+  EXPECT_TRUE(combined.aggregates[0].filter != nullptr);
+  EXPECT_TRUE(combined.aggregates[1].filter == nullptr);
+  std::string sql = combined.ToSql();
+  EXPECT_NE(sql.find("FILTER (WHERE product = 'Laserwave')"),
+            std::string::npos);
+  EXPECT_NE(sql.find("SUM_amount_tgt"), std::string::npos);
+  EXPECT_NE(sql.find("SUM_amount_cmp"), std::string::npos);
+}
+
+TEST(ViewQueryTest, ColumnNamesDistinguishHalvesAndViews) {
+  ViewDescriptor v1("a", "m", db::AggregateFunction::kSum);
+  ViewDescriptor v2("a", "m", db::AggregateFunction::kAvg);
+  EXPECT_NE(TargetColumnName(v1), ComparisonColumnName(v1));
+  EXPECT_NE(TargetColumnName(v1), TargetColumnName(v2));
+  ViewDescriptor star("a", "", db::AggregateFunction::kCount);
+  EXPECT_EQ(TargetColumnName(star), "COUNT_star_tgt");
+}
+
+TEST(ViewQueryTest, NullSelectionMeansWholeTableTarget) {
+  ViewDescriptor v("a", "m", db::AggregateFunction::kSum);
+  db::GroupByQuery target = TargetViewQuery(v, "t", nullptr);
+  EXPECT_TRUE(target.where == nullptr);
+}
+
+}  // namespace
+}  // namespace seedb::core

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/seedb.h"
+#include "data/elections.h"
+#include "data/medical.h"
+#include "data/store_orders.h"
+#include "db/statistics.h"
+
+namespace seedb::data {
+namespace {
+
+// Runs every known trend of a demo dataset through SeeDB and checks the
+// planted view lands in the top k.
+void CheckTrendsRecovered(DemoDataset dataset, size_t k,
+                          const core::SeeDBOptions& base_options) {
+  db::Catalog catalog;
+  std::string table = dataset.table_name;
+  ASSERT_TRUE(catalog.AddTable(table, std::move(dataset.table)).ok());
+  db::Engine engine(&catalog);
+  core::SeeDB seedb(&engine);
+  for (const auto& trend : dataset.trends) {
+    core::SeeDBOptions options = base_options;
+    options.k = k;
+    auto result = seedb.RecommendSql(trend.query_sql, options);
+    ASSERT_TRUE(result.ok()) << trend.description << ": " << result.status();
+    bool found = false;
+    for (const auto& rec : result->top_views) {
+      found = found ||
+              (rec.view().dimension == trend.expected_dimension &&
+               rec.view().measure == trend.expected_measure);
+    }
+    EXPECT_TRUE(found) << "trend not recovered: " << trend.description;
+  }
+}
+
+TEST(StoreOrdersTest, SchemaAndSize) {
+  auto dataset = MakeStoreOrders({.rows = 5000, .seed = 7}).ValueOrDie();
+  EXPECT_EQ(dataset.table.num_rows(), 5000u);
+  EXPECT_EQ(dataset.table_name, "orders");
+  EXPECT_EQ(dataset.table.schema().DimensionColumns().size(), 8u);
+  EXPECT_EQ(dataset.table.schema().MeasureColumns().size(), 4u);
+  EXPECT_FALSE(dataset.trends.empty());
+}
+
+TEST(StoreOrdersTest, StoreDeterminesRegion) {
+  auto dataset = MakeStoreOrders({.rows = 5000, .seed = 7}).ValueOrDie();
+  double v = db::CramersV(dataset.table, "store", "region").ValueOrDie();
+  EXPECT_GT(v, 0.95);
+}
+
+TEST(StoreOrdersTest, FurnitureCentralLosesMoney) {
+  auto dataset = MakeStoreOrders({.rows = 20000, .seed = 7}).ValueOrDie();
+  // Direct check of the planted anomaly.
+  double central_profit = 0.0, east_profit = 0.0;
+  auto region = dataset.table.ColumnByName("region").ValueOrDie();
+  auto category = dataset.table.ColumnByName("category").ValueOrDie();
+  auto profit = dataset.table.ColumnByName("profit").ValueOrDie();
+  for (size_t r = 0; r < dataset.table.num_rows(); ++r) {
+    if (category->GetValue(r) != db::Value("Furniture")) continue;
+    if (region->GetValue(r) == db::Value("Central")) {
+      central_profit += profit->NumericAt(r);
+    } else if (region->GetValue(r) == db::Value("East")) {
+      east_profit += profit->NumericAt(r);
+    }
+  }
+  EXPECT_LT(central_profit, 0.0);
+  EXPECT_GT(east_profit, central_profit);
+}
+
+TEST(StoreOrdersTest, TrendsRecoveredBySeeDB) {
+  core::SeeDBOptions options;
+  options.metric = core::DistanceMetric::kEarthMovers;
+  CheckTrendsRecovered(MakeStoreOrders({.rows = 20000, .seed = 7})
+                           .ValueOrDie(),
+                       /*k=*/8, options);
+}
+
+TEST(ElectionsTest, SchemaAndCorrelatedParty) {
+  auto dataset = MakeElections({.rows = 8000, .seed = 11}).ValueOrDie();
+  EXPECT_EQ(dataset.table_name, "contributions");
+  EXPECT_EQ(dataset.table.num_rows(), 8000u);
+  double v =
+      db::CramersV(dataset.table, "candidate", "party").ValueOrDie();
+  EXPECT_GT(v, 0.95);  // candidate determines party
+}
+
+TEST(ElectionsTest, AmountsAreHeavyTailed) {
+  auto dataset = MakeElections({.rows = 20000, .seed = 11}).ValueOrDie();
+  db::TableStats stats = db::ComputeTableStats(dataset.table, "c");
+  const db::ColumnStats* amount = stats.Find("amount").ValueOrDie();
+  // Log-normal: mean far above median territory, huge max.
+  EXPECT_GT(amount->max, amount->mean * 20);
+  EXPECT_GT(amount->mean, 0.0);
+}
+
+TEST(ElectionsTest, TrendsRecoveredBySeeDB) {
+  core::SeeDBOptions options;
+  options.metric = core::DistanceMetric::kEarthMovers;
+  CheckTrendsRecovered(MakeElections({.rows = 30000, .seed = 11})
+                           .ValueOrDie(),
+                       /*k=*/8, options);
+}
+
+TEST(MedicalTest, WideSchemaFlags) {
+  auto dataset =
+      MakeMedical({.rows = 3000, .extra_flag_dims = 5, .seed = 13})
+          .ValueOrDie();
+  EXPECT_EQ(dataset.table_name, "admissions");
+  EXPECT_EQ(dataset.table.schema().DimensionColumns().size(), 6u + 5u);
+  // Flags are near-constant: low diversity (variance-pruning bait).
+  db::TableStats stats = db::ComputeTableStats(dataset.table, "m");
+  const db::ColumnStats* flag = stats.Find("flag0").ValueOrDie();
+  EXPECT_LT(flag->diversity, 0.1);
+}
+
+TEST(MedicalTest, SepsisConcentratesInIcus) {
+  auto dataset =
+      MakeMedical({.rows = 20000, .extra_flag_dims = 0, .seed = 13})
+          .ValueOrDie();
+  auto diagnosis = dataset.table.ColumnByName("diagnosis").ValueOrDie();
+  auto ward = dataset.table.ColumnByName("ward").ValueOrDie();
+  size_t sepsis_total = 0, sepsis_icu = 0;
+  for (size_t r = 0; r < dataset.table.num_rows(); ++r) {
+    if (diagnosis->GetValue(r) != db::Value("Sepsis")) continue;
+    ++sepsis_total;
+    db::Value w = ward->GetValue(r);
+    if (w == db::Value("MICU") || w == db::Value("SICU")) ++sepsis_icu;
+  }
+  ASSERT_GT(sepsis_total, 0u);
+  EXPECT_GT(static_cast<double>(sepsis_icu) / sepsis_total, 0.6);
+}
+
+TEST(MedicalTest, TrendsRecoveredBySeeDBWithPruning) {
+  core::SeeDBOptions options;
+  options.pruning.enable_variance = true;
+  options.pruning.min_dimension_diversity = 0.1;
+  CheckTrendsRecovered(
+      MakeMedical({.rows = 30000, .extra_flag_dims = 6, .seed = 13})
+          .ValueOrDie(),
+      /*k=*/8, options);
+}
+
+TEST(DatasetsTest, AllGeneratorsDeterministic) {
+  auto a = MakeStoreOrders({.rows = 100, .seed = 1}).ValueOrDie();
+  auto b = MakeStoreOrders({.rows = 100, .seed = 1}).ValueOrDie();
+  for (size_t r = 0; r < 100; ++r) {
+    ASSERT_EQ(a.table.ValueAt(r, 0), b.table.ValueAt(r, 0));
+    ASSERT_EQ(a.table.ValueAt(r, 8), b.table.ValueAt(r, 8));
+  }
+}
+
+}  // namespace
+}  // namespace seedb::data

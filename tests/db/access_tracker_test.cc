@@ -1,0 +1,80 @@
+#include "db/access_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace seedb::db {
+namespace {
+
+TEST(AccessTrackerTest, CountsQueriesAndColumns) {
+  AccessTracker t;
+  t.RecordQuery("sales", {"region", "amount"});
+  t.RecordQuery("sales", {"region"});
+  EXPECT_EQ(t.QueryCount("sales"), 2u);
+  EXPECT_EQ(t.AccessCount("sales", "region"), 2u);
+  EXPECT_EQ(t.AccessCount("sales", "amount"), 1u);
+  EXPECT_EQ(t.AccessCount("sales", "never"), 0u);
+  EXPECT_EQ(t.QueryCount("other"), 0u);
+}
+
+TEST(AccessTrackerTest, DuplicateColumnsCountOncePerQuery) {
+  AccessTracker t;
+  t.RecordQuery("t", {"a", "a", "a"});
+  EXPECT_EQ(t.AccessCount("t", "a"), 1u);
+}
+
+TEST(AccessTrackerTest, FrequencyIsFractionOfQueries) {
+  AccessTracker t;
+  for (int i = 0; i < 8; ++i) t.RecordQuery("t", {"hot"});
+  for (int i = 0; i < 2; ++i) t.RecordQuery("t", {"cold"});
+  EXPECT_DOUBLE_EQ(t.AccessFrequency("t", "hot"), 0.8);
+  EXPECT_DOUBLE_EQ(t.AccessFrequency("t", "cold"), 0.2);
+  EXPECT_DOUBLE_EQ(t.AccessFrequency("t", "never"), 0.0);
+  EXPECT_DOUBLE_EQ(t.AccessFrequency("unknown", "x"), 0.0);
+}
+
+TEST(AccessTrackerTest, TopColumnsSorted) {
+  AccessTracker t;
+  for (int i = 0; i < 3; ++i) t.RecordQuery("t", {"b"});
+  for (int i = 0; i < 5; ++i) t.RecordQuery("t", {"a"});
+  t.RecordQuery("t", {"c"});
+  t.RecordQuery("other", {"z"});
+  auto top = t.TopColumns("t");
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, "a");
+  EXPECT_EQ(top[0].second, 5u);
+  EXPECT_EQ(top[1].first, "b");
+  EXPECT_EQ(top[2].first, "c");
+}
+
+TEST(AccessTrackerTest, TablesAreIsolated) {
+  AccessTracker t;
+  t.RecordQuery("t1", {"col"});
+  EXPECT_EQ(t.AccessCount("t2", "col"), 0u);
+  EXPECT_TRUE(t.TopColumns("t2").empty());
+}
+
+TEST(AccessTrackerTest, ResetClearsEverything) {
+  AccessTracker t;
+  t.RecordQuery("t", {"a"});
+  t.Reset();
+  EXPECT_EQ(t.QueryCount("t"), 0u);
+  EXPECT_EQ(t.AccessCount("t", "a"), 0u);
+}
+
+TEST(AccessTrackerTest, ConcurrentRecordingIsSafe) {
+  AccessTracker t;
+  std::vector<std::thread> threads;
+  for (int k = 0; k < 4; ++k) {
+    threads.emplace_back([&t] {
+      for (int i = 0; i < 500; ++i) t.RecordQuery("t", {"a", "b"});
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.QueryCount("t"), 2000u);
+  EXPECT_EQ(t.AccessCount("t", "a"), 2000u);
+}
+
+}  // namespace
+}  // namespace seedb::db

@@ -1,0 +1,92 @@
+#include "db/aggregates.h"
+
+#include <gtest/gtest.h>
+
+namespace seedb::db {
+namespace {
+
+TEST(AggStateTest, AccumulatesAllStatistics) {
+  AggState s;
+  for (double v : {4.0, 1.0, 7.0}) s.Add(v);
+  EXPECT_EQ(s.Finalize(AggregateFunction::kCount), 3.0);
+  EXPECT_EQ(s.Finalize(AggregateFunction::kSum), 12.0);
+  EXPECT_EQ(s.Finalize(AggregateFunction::kAvg), 4.0);
+  EXPECT_EQ(s.Finalize(AggregateFunction::kMin), 1.0);
+  EXPECT_EQ(s.Finalize(AggregateFunction::kMax), 7.0);
+}
+
+TEST(AggStateTest, EmptyFinalizesSafely) {
+  AggState s;
+  EXPECT_EQ(s.Finalize(AggregateFunction::kCount), 0.0);
+  EXPECT_EQ(s.Finalize(AggregateFunction::kSum), 0.0);
+  EXPECT_EQ(s.Finalize(AggregateFunction::kAvg), 0.0);
+  EXPECT_EQ(s.Finalize(AggregateFunction::kMin), 0.0);
+  EXPECT_EQ(s.Finalize(AggregateFunction::kMax), 0.0);
+}
+
+TEST(AggStateTest, CountOnlyIgnoresValueStats) {
+  AggState s;
+  s.AddCountOnly();
+  s.AddCountOnly();
+  EXPECT_EQ(s.Finalize(AggregateFunction::kCount), 2.0);
+  EXPECT_EQ(s.Finalize(AggregateFunction::kSum), 0.0);
+}
+
+TEST(AggStateTest, MergeCombines) {
+  AggState a, b;
+  a.Add(1.0);
+  a.Add(5.0);
+  b.Add(3.0);
+  b.Add(-2.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Finalize(AggregateFunction::kCount), 4.0);
+  EXPECT_EQ(a.Finalize(AggregateFunction::kSum), 7.0);
+  EXPECT_EQ(a.Finalize(AggregateFunction::kMin), -2.0);
+  EXPECT_EQ(a.Finalize(AggregateFunction::kMax), 5.0);
+}
+
+TEST(AggregateFunctionTest, SqlNamesRoundTrip) {
+  for (AggregateFunction f : AllAggregateFunctions()) {
+    auto parsed = ParseAggregateFunction(AggregateFunctionToSql(f));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.ValueOrDie(), f);
+  }
+}
+
+TEST(AggregateFunctionTest, ParseIsCaseInsensitive) {
+  EXPECT_EQ(ParseAggregateFunction("sum").ValueOrDie(),
+            AggregateFunction::kSum);
+  EXPECT_EQ(ParseAggregateFunction("Avg").ValueOrDie(),
+            AggregateFunction::kAvg);
+  EXPECT_EQ(ParseAggregateFunction("mean").ValueOrDie(),
+            AggregateFunction::kAvg);
+  EXPECT_FALSE(ParseAggregateFunction("median").ok());
+}
+
+TEST(AggregateSpecTest, EffectiveNameDerivation) {
+  EXPECT_EQ(AggregateSpec::Make(AggregateFunction::kSum, "amount")
+                .EffectiveName(),
+            "SUM(amount)");
+  EXPECT_EQ(AggregateSpec::Count().EffectiveName(), "COUNT(*)");
+  EXPECT_EQ(
+      AggregateSpec::Make(AggregateFunction::kAvg, "x", "my_avg")
+          .EffectiveName(),
+      "my_avg");
+}
+
+TEST(AggregateSpecTest, ToSqlWithFilterAndAlias) {
+  PredicatePtr filter(Eq("product", Value("Laserwave")));
+  AggregateSpec spec = AggregateSpec::Make(AggregateFunction::kSum, "amount",
+                                           "target", filter);
+  EXPECT_EQ(spec.ToSql(),
+            "SUM(amount) FILTER (WHERE product = 'Laserwave') AS target");
+}
+
+TEST(AggregateSpecTest, ToSqlPlain) {
+  EXPECT_EQ(AggregateSpec::Make(AggregateFunction::kMax, "m").ToSql(),
+            "MAX(m)");
+  EXPECT_EQ(AggregateSpec::Count("n").ToSql(), "COUNT(*) AS n");
+}
+
+}  // namespace
+}  // namespace seedb::db

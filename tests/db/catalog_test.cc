@@ -1,0 +1,71 @@
+#include "db/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace seedb::db {
+namespace {
+
+TEST(CatalogTest, AddGetDrop) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable("t", ::seedb::testing::MakeTinyTable()).ok());
+  EXPECT_TRUE(c.HasTable("t"));
+  auto t = c.GetTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 6u);
+  ASSERT_TRUE(c.DropTable("t").ok());
+  EXPECT_FALSE(c.HasTable("t"));
+  EXPECT_EQ(c.GetTable("t").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, AddDuplicateFails) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable("t", ::seedb::testing::MakeTinyTable()).ok());
+  EXPECT_EQ(c.AddTable("t", ::seedb::testing::MakeTinyTable()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, DropMissingFails) {
+  Catalog c;
+  EXPECT_EQ(c.DropTable("nope").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, PutReplaces) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable("t", ::seedb::testing::MakeTinyTable()).ok());
+  c.PutTable("t", ::seedb::testing::MakeLaserwaveTable());
+  EXPECT_EQ((*c.GetTable("t"))->num_rows(), 9u);
+}
+
+TEST(CatalogTest, TableNames) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable("b", ::seedb::testing::MakeTinyTable()).ok());
+  ASSERT_TRUE(c.AddTable("a", ::seedb::testing::MakeTinyTable()).ok());
+  auto names = c.TableNames();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(CatalogTest, StatsCachedAndInvalidatedOnPut) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable("t", ::seedb::testing::MakeTinyTable()).ok());
+  auto s1 = c.GetStats("t");
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ((*s1)->num_rows, 6u);
+  // Same pointer on second call (cached).
+  auto s2 = c.GetStats("t");
+  EXPECT_EQ(*s1, *s2);
+  // Replacing the table invalidates.
+  c.PutTable("t", ::seedb::testing::MakeLaserwaveTable());
+  auto s3 = c.GetStats("t");
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ((*s3)->num_rows, 9u);
+}
+
+TEST(CatalogTest, StatsForMissingTableFails) {
+  Catalog c;
+  EXPECT_FALSE(c.GetStats("ghost").ok());
+}
+
+}  // namespace
+}  // namespace seedb::db

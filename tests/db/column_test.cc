@@ -1,0 +1,106 @@
+#include "db/column.h"
+
+#include <gtest/gtest.h>
+
+namespace seedb::db {
+namespace {
+
+TEST(ColumnTest, Int64AppendAndRead) {
+  Column c(ValueType::kInt64);
+  c.AppendInt64(1);
+  c.AppendInt64(2);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.int64_data()[0], 1);
+  EXPECT_EQ(c.GetValue(1), Value(2));
+  EXPECT_EQ(c.NumericAt(0), 1.0);
+}
+
+TEST(ColumnTest, DoubleAppendAndRead) {
+  Column c(ValueType::kDouble);
+  c.AppendDouble(1.5);
+  EXPECT_EQ(c.GetValue(0), Value(1.5));
+  EXPECT_EQ(c.NumericAt(0), 1.5);
+}
+
+TEST(ColumnTest, StringDictionaryEncoding) {
+  Column c(ValueType::kString);
+  c.AppendString("red");
+  c.AppendString("blue");
+  c.AppendString("red");
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.dict_size(), 2u);  // "red" interned once
+  EXPECT_EQ(c.codes()[0], c.codes()[2]);
+  EXPECT_NE(c.codes()[0], c.codes()[1]);
+  EXPECT_EQ(c.dict_value(c.codes()[1]), "blue");
+  EXPECT_EQ(c.FindCode("red"), c.codes()[0]);
+  EXPECT_EQ(c.FindCode("green"), -1);
+}
+
+TEST(ColumnTest, NullsTrackedLazily) {
+  Column c(ValueType::kInt64);
+  c.AppendInt64(1);
+  EXPECT_FALSE(c.IsNull(0));
+  c.AppendNull();
+  EXPECT_EQ(c.null_count(), 1u);
+  EXPECT_FALSE(c.IsNull(0));  // retroactively valid
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_TRUE(c.GetValue(1).is_null());
+}
+
+TEST(ColumnTest, AppendValueTypeChecked) {
+  Column c(ValueType::kInt64);
+  EXPECT_TRUE(c.Append(Value(1)).ok());
+  EXPECT_FALSE(c.Append(Value("x")).ok());
+  EXPECT_FALSE(c.Append(Value(1.5)).ok());  // double into int column
+  EXPECT_TRUE(c.Append(Value::Null()).ok());
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(ColumnTest, DoubleColumnAcceptsIntLiterals) {
+  Column c(ValueType::kDouble);
+  EXPECT_TRUE(c.Append(Value(3)).ok());
+  EXPECT_EQ(c.GetValue(0), Value(3.0));
+}
+
+TEST(ColumnTest, StringColumnRejectsNumbers) {
+  Column c(ValueType::kString);
+  EXPECT_FALSE(c.Append(Value(1)).ok());
+  EXPECT_TRUE(c.Append(Value("ok")).ok());
+}
+
+TEST(ColumnTest, CountDistinctNumeric) {
+  Column c(ValueType::kInt64);
+  for (int64_t v : {1, 2, 2, 3, 3, 3}) c.AppendInt64(v);
+  EXPECT_EQ(c.CountDistinct(), 3u);
+}
+
+TEST(ColumnTest, CountDistinctStringsIgnoresNullPlaceholders) {
+  Column c(ValueType::kString);
+  c.AppendNull();  // placeholder code 0 without any real value
+  c.AppendString("a");
+  c.AppendString("b");
+  c.AppendNull();
+  EXPECT_EQ(c.CountDistinct(), 2u);
+  EXPECT_EQ(c.null_count(), 2u);
+}
+
+TEST(ColumnTest, CountDistinctDoubleWithNulls) {
+  Column c(ValueType::kDouble);
+  c.AppendDouble(1.5);
+  c.AppendNull();
+  c.AppendDouble(1.5);
+  c.AppendDouble(2.5);
+  EXPECT_EQ(c.CountDistinct(), 2u);
+}
+
+TEST(ColumnTest, NullFirstRowThenValues) {
+  Column c(ValueType::kString);
+  c.AppendNull();
+  c.AppendString("z");
+  EXPECT_TRUE(c.IsNull(0));
+  EXPECT_FALSE(c.IsNull(1));
+  EXPECT_EQ(c.GetValue(1), Value("z"));
+}
+
+}  // namespace
+}  // namespace seedb::db

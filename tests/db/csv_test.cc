@@ -1,0 +1,142 @@
+#include "db/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "../test_util.h"
+
+namespace seedb::db {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/seedb_csv_" + name;
+  }
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(CsvTest, ParseCsvLineBasics) {
+  EXPECT_EQ(ParseCsvLine("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(ParseCsvLine("a,,c", ','),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(ParseCsvLine("", ','), (std::vector<std::string>{""}));
+}
+
+TEST_F(CsvTest, ParseCsvLineQuoting) {
+  EXPECT_EQ(ParseCsvLine("\"a,b\",c", ','),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(ParseCsvLine("\"he said \"\"hi\"\"\",x", ','),
+            (std::vector<std::string>{"he said \"hi\"", "x"}));
+}
+
+TEST_F(CsvTest, RoundTripWriteRead) {
+  Table t = ::seedb::testing::MakeTinyTable();
+  std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto loaded = ReadCsv(path, t.schema());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_rows(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      EXPECT_EQ(loaded->ValueAt(r, c), t.ValueAt(r, c));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, RoundTripPreservesNulls) {
+  Schema schema({ColumnDef::Dimension("d"), ColumnDef::Measure("m")});
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value(1.5)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("a"), Value::Null()}).ok());
+  std::string path = TempPath("nulls.csv");
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto loaded = ReadCsv(path, schema);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->ValueAt(0, 0).is_null());
+  EXPECT_TRUE(loaded->ValueAt(1, 1).is_null());
+  EXPECT_EQ(loaded->ValueAt(0, 1), Value(1.5));
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, HeaderReordersColumns) {
+  std::string path = TempPath("reorder.csv");
+  WriteFile(path, "m,d\n1.5,a\n2.5,b\n");
+  Schema schema({ColumnDef::Dimension("d"), ColumnDef::Measure("m")});
+  auto loaded = ReadCsv(path, schema);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->ValueAt(0, 0), Value("a"));
+  EXPECT_EQ(loaded->ValueAt(0, 1), Value(1.5));
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, BadCellTypeFails) {
+  std::string path = TempPath("bad.csv");
+  WriteFile(path, "d,m\na,notanumber\n");
+  Schema schema({ColumnDef::Dimension("d"), ColumnDef::Measure("m")});
+  EXPECT_FALSE(ReadCsv(path, schema).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, WrongFieldCountFails) {
+  std::string path = TempPath("short.csv");
+  WriteFile(path, "d,m\nonlyone\n");
+  Schema schema({ColumnDef::Dimension("d"), ColumnDef::Measure("m")});
+  EXPECT_FALSE(ReadCsv(path, schema).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, MissingFileFails) {
+  Schema schema({ColumnDef::Dimension("d")});
+  auto r = ReadCsv("/nonexistent/path.csv", schema);
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, InferSchemaTypesAndRoles) {
+  std::string path = TempPath("infer.csv");
+  WriteFile(path, "name,age,score\nalice,30,1.5\nbob,41,2.25\n");
+  auto loaded = ReadCsvInferSchema(path);
+  ASSERT_TRUE(loaded.ok());
+  const Schema& s = loaded->schema();
+  EXPECT_EQ(s.column(0).type, ValueType::kString);
+  EXPECT_EQ(s.column(0).role, ColumnRole::kDimension);
+  EXPECT_EQ(s.column(1).type, ValueType::kInt64);
+  EXPECT_EQ(s.column(1).role, ColumnRole::kMeasure);
+  EXPECT_EQ(s.column(2).type, ValueType::kDouble);
+  EXPECT_EQ(loaded->ValueAt(1, 1), Value(41));
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, InferSchemaHandlesNullsAndMixed) {
+  std::string path = TempPath("infer2.csv");
+  WriteFile(path, "a,b\n,1\nx,2\n");
+  auto loaded = ReadCsvInferSchema(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->schema().column(0).type, ValueType::kString);
+  EXPECT_TRUE(loaded->ValueAt(0, 0).is_null());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, WriteQuotesSpecialCharacters) {
+  Schema schema({ColumnDef::Dimension("d")});
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value("has,comma")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("has\"quote")}).ok());
+  std::string path = TempPath("quotes.csv");
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto loaded = ReadCsv(path, schema);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->ValueAt(0, 0), Value("has,comma"));
+  EXPECT_EQ(loaded->ValueAt(1, 0), Value("has\"quote"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace seedb::db

@@ -1,0 +1,144 @@
+#include "db/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "../test_util.h"
+
+namespace seedb::db {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : engine_(&catalog_) {
+    Status s = catalog_.AddTable("t", ::seedb::testing::MakeTinyTable());
+    (void)s;
+  }
+  Catalog catalog_;
+  Engine engine_;
+};
+
+GroupByQuery SimpleQuery() {
+  GroupByQuery q;
+  q.table = "t";
+  q.group_by = {"d"};
+  q.aggregates = {AggregateSpec::Make(AggregateFunction::kSum, "m1")};
+  return q;
+}
+
+TEST_F(EngineTest, ExecuteGroupBy) {
+  auto result = engine_.Execute(SimpleQuery());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2u);
+}
+
+TEST_F(EngineTest, MissingTableFails) {
+  GroupByQuery q = SimpleQuery();
+  q.table = "ghost";
+  EXPECT_EQ(engine_.Execute(q).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineTest, StatsCountQueriesAndScans) {
+  engine_.ResetStats();
+  ASSERT_TRUE(engine_.Execute(SimpleQuery()).ok());
+  ASSERT_TRUE(engine_.Execute(SimpleQuery()).ok());
+  EngineStatsSnapshot s = engine_.stats();
+  EXPECT_EQ(s.queries_executed, 2u);
+  EXPECT_EQ(s.table_scans, 2u);
+  EXPECT_EQ(s.rows_scanned, 12u);
+  EXPECT_EQ(s.groups_created, 4u);
+  EXPECT_GT(s.peak_agg_state_bytes, 0u);
+}
+
+TEST_F(EngineTest, GroupingSetsCountsOneScan) {
+  engine_.ResetStats();
+  GroupingSetsQuery q;
+  q.table = "t";
+  q.grouping_sets = {{"d"}, {"e"}, {"d", "e"}};
+  q.aggregates = {AggregateSpec::Make(AggregateFunction::kSum, "m1")};
+  auto results = engine_.Execute(q);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 3u);
+  EngineStatsSnapshot s = engine_.stats();
+  EXPECT_EQ(s.queries_executed, 1u);
+  EXPECT_EQ(s.table_scans, 1u);  // the whole point of GROUPING SETS
+}
+
+TEST_F(EngineTest, FailedQueryDoesNotCount) {
+  engine_.ResetStats();
+  GroupByQuery q = SimpleQuery();
+  q.group_by = {"missing"};
+  EXPECT_FALSE(engine_.Execute(q).ok());
+  EXPECT_EQ(engine_.stats().queries_executed, 0u);
+}
+
+TEST_F(EngineTest, AccessTrackerRecordsColumns) {
+  GroupByQuery q = SimpleQuery();
+  q.where = PredicatePtr(Eq("e", Value("x")));
+  ASSERT_TRUE(engine_.Execute(q).ok());
+  AccessTracker* tracker = engine_.access_tracker();
+  EXPECT_EQ(tracker->QueryCount("t"), 1u);
+  EXPECT_EQ(tracker->AccessCount("t", "d"), 1u);
+  EXPECT_EQ(tracker->AccessCount("t", "m1"), 1u);
+  EXPECT_EQ(tracker->AccessCount("t", "e"), 1u);
+  EXPECT_EQ(tracker->AccessCount("t", "m2"), 0u);
+}
+
+TEST_F(EngineTest, AccessTrackerSeesFilterColumns) {
+  GroupByQuery q = SimpleQuery();
+  q.aggregates = {AggregateSpec::Make(AggregateFunction::kSum, "m1", "v",
+                                      PredicatePtr(Eq("e", Value("y"))))};
+  ASSERT_TRUE(engine_.Execute(q).ok());
+  EXPECT_EQ(engine_.access_tracker()->AccessCount("t", "e"), 1u);
+}
+
+TEST_F(EngineTest, ExecuteSqlEndToEnd) {
+  auto result = engine_.ExecuteSql(
+      "SELECT d, SUM(m1) AS total FROM t WHERE e = 'x' GROUP BY d");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->schema().column(1).name, "total");
+  EXPECT_EQ(result->ValueAt(0, 1), Value(6.0));
+}
+
+TEST_F(EngineTest, ExecuteSqlGroupingSetsReturnsFirstSet) {
+  auto result = engine_.ExecuteSql(
+      "SELECT d, e, COUNT(*) FROM t GROUP BY GROUPING SETS ((d), (e))");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->schema().column(0).name, "d");
+}
+
+TEST_F(EngineTest, ExecuteSqlParseErrorPropagates) {
+  EXPECT_FALSE(engine_.ExecuteSql("SELEKT broken").ok());
+  EXPECT_FALSE(engine_.ExecuteSql("SELECT d FROM t").ok());  // no aggregate
+}
+
+TEST_F(EngineTest, ConcurrentExecutionIsSafe) {
+  engine_.ResetStats();
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int k = 0; k < 4; ++k) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (!engine_.Execute(SimpleQuery()).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine_.stats().queries_executed, 200u);
+}
+
+TEST(EngineStatsTest, ToStringMentionsCounters) {
+  EngineStatsSnapshot s;
+  s.queries_executed = 3;
+  s.table_scans = 2;
+  std::string str = s.ToString();
+  EXPECT_NE(str.find("queries=3"), std::string::npos);
+  EXPECT_NE(str.find("scans=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seedb::db

@@ -1,0 +1,198 @@
+#include "db/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "../test_util.h"
+
+namespace seedb::db {
+namespace {
+
+using ::seedb::testing::MakeTinyTable;
+
+size_t CountMask(const std::vector<uint8_t>& mask) {
+  return static_cast<size_t>(
+      std::count(mask.begin(), mask.end(), uint8_t{1}));
+}
+
+TEST(PredicateTest, StringEquality) {
+  Table t = MakeTinyTable();
+  auto p = Eq("d", Value("a"));
+  std::vector<uint8_t> mask;
+  ASSERT_TRUE(p->EvaluateMask(t, &mask).ok());
+  EXPECT_EQ(CountMask(mask), 3u);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(mask[r] == 1, t.ValueAt(r, 0) == Value("a"));
+  }
+}
+
+TEST(PredicateTest, NumericComparisons) {
+  Table t = MakeTinyTable();
+  struct Case {
+    std::unique_ptr<Predicate> pred;
+    size_t expected;
+  };
+  EXPECT_EQ([&] {
+    std::vector<uint8_t> m;
+    (void)Gt("m1", Value(3.0))->EvaluateMask(t, &m);
+    return CountMask(m);
+  }(), 3u);  // 4, 5, 6
+  EXPECT_EQ([&] {
+    std::vector<uint8_t> m;
+    (void)Le("m1", Value(2.0))->EvaluateMask(t, &m);
+    return CountMask(m);
+  }(), 2u);  // 1, 2
+  EXPECT_EQ([&] {
+    std::vector<uint8_t> m;
+    (void)Ne("m1", Value(1.0))->EvaluateMask(t, &m);
+    return CountMask(m);
+  }(), 5u);
+}
+
+TEST(PredicateTest, RowMatchesAgreesWithMask) {
+  Table t = MakeTinyTable();
+  auto p = And(Eq("d", Value("a")), Gt("m1", Value(1.5)));
+  std::vector<uint8_t> mask;
+  ASSERT_TRUE(p->EvaluateMask(t, &mask).ok());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(p->Matches(t, r), mask[r] == 1) << "row " << r;
+  }
+}
+
+TEST(PredicateTest, InPredicate) {
+  Table t = MakeTinyTable();
+  auto p = In("e", {Value("x"), Value("zzz")});
+  std::vector<uint8_t> mask;
+  ASSERT_TRUE(p->EvaluateMask(t, &mask).ok());
+  EXPECT_EQ(CountMask(mask), 3u);  // rows with e == "x"
+}
+
+TEST(PredicateTest, InRejectsEmptyList) {
+  Table t = MakeTinyTable();
+  auto p = In("e", {});
+  EXPECT_EQ(p->Validate(t.schema()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PredicateTest, BetweenInclusive) {
+  Table t = MakeTinyTable();
+  auto p = Between("m1", Value(2.0), Value(4.0));
+  std::vector<uint8_t> mask;
+  ASSERT_TRUE(p->EvaluateMask(t, &mask).ok());
+  EXPECT_EQ(CountMask(mask), 3u);  // 2, 3, 4
+}
+
+TEST(PredicateTest, AndOrNot) {
+  Table t = MakeTinyTable();
+  std::vector<uint8_t> mask;
+
+  auto both = And(Eq("d", Value("a")), Eq("e", Value("x")));
+  ASSERT_TRUE(both->EvaluateMask(t, &mask).ok());
+  EXPECT_EQ(CountMask(mask), 2u);
+
+  auto either = Or(Eq("d", Value("a")), Eq("e", Value("x")));
+  ASSERT_TRUE(either->EvaluateMask(t, &mask).ok());
+  EXPECT_EQ(CountMask(mask), 4u);
+
+  auto negated = Not(Eq("d", Value("a")));
+  ASSERT_TRUE(negated->EvaluateMask(t, &mask).ok());
+  EXPECT_EQ(CountMask(mask), 3u);
+}
+
+TEST(PredicateTest, TrueMatchesEverything) {
+  Table t = MakeTinyTable();
+  std::vector<uint8_t> mask;
+  ASSERT_TRUE(True()->EvaluateMask(t, &mask).ok());
+  EXPECT_EQ(CountMask(mask), t.num_rows());
+}
+
+TEST(PredicateTest, NullCellsNeverMatchComparisons) {
+  Schema schema({ColumnDef::Dimension("d"), ColumnDef::Measure("m")});
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value(1.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("a"), Value::Null()}).ok());
+  std::vector<uint8_t> mask;
+
+  ASSERT_TRUE(Eq("d", Value("a"))->EvaluateMask(t, &mask).ok());
+  EXPECT_EQ(mask, (std::vector<uint8_t>{0, 1}));
+
+  ASSERT_TRUE(Ne("d", Value("a"))->EvaluateMask(t, &mask).ok());
+  EXPECT_EQ(mask[0], 0);  // null != 'a' is still false (2VL)
+
+  ASSERT_TRUE(Gt("m", Value(0.0))->EvaluateMask(t, &mask).ok());
+  EXPECT_EQ(mask, (std::vector<uint8_t>{1, 0}));
+}
+
+TEST(PredicateTest, ValidateCatchesMissingColumn) {
+  Table t = MakeTinyTable();
+  EXPECT_EQ(Eq("nope", Value(1))->Validate(t.schema()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PredicateTest, ValidateCatchesTypeMismatch) {
+  Table t = MakeTinyTable();
+  EXPECT_FALSE(Eq("d", Value(1))->Validate(t.schema()).ok());
+  EXPECT_FALSE(Gt("m1", Value("x"))->Validate(t.schema()).ok());
+  EXPECT_FALSE(Eq("d", Value::Null())->Validate(t.schema()).ok());
+}
+
+TEST(PredicateTest, ToSqlForms) {
+  EXPECT_EQ(Eq("a", Value("x"))->ToSql(), "a = 'x'");
+  EXPECT_EQ(Lt("m", Value(5))->ToSql(), "m < 5");
+  EXPECT_EQ(In("a", {Value(1), Value(2)})->ToSql(), "a IN (1, 2)");
+  EXPECT_EQ(Between("m", Value(1), Value(2))->ToSql(), "m BETWEEN 1 AND 2");
+  EXPECT_EQ(And(Eq("a", Value("x")), Gt("m", Value(1)))->ToSql(),
+            "(a = 'x' AND m > 1)");
+  EXPECT_EQ(Not(True())->ToSql(), "NOT (TRUE)");
+}
+
+TEST(PredicateTest, CloneIsDeepAndEquivalent) {
+  Table t = MakeTinyTable();
+  auto p = Or(And(Eq("d", Value("a")), Gt("m1", Value(2.0))),
+              Between("m2", Value(30.0), Value(50.0)));
+  auto clone = p->Clone();
+  std::vector<uint8_t> m1, m2;
+  ASSERT_TRUE(p->EvaluateMask(t, &m1).ok());
+  ASSERT_TRUE(clone->EvaluateMask(t, &m2).ok());
+  EXPECT_EQ(m1, m2);
+  EXPECT_EQ(p->ToSql(), clone->ToSql());
+}
+
+TEST(PredicateTest, CollectColumns) {
+  auto p = And(Eq("a", Value("x")), Or(Gt("m", Value(1)), Eq("a", Value("y"))));
+  std::vector<std::string> cols;
+  p->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::vector<std::string>{"a", "m", "a"}));
+}
+
+// Parameterized sweep: every operator against the dictionary fast path and
+// the numeric path must agree with row-at-a-time Matches.
+class CompareOpTest : public ::testing::TestWithParam<CompareOp> {};
+
+TEST_P(CompareOpTest, MaskAgreesWithMatchesOnStrings) {
+  Table t = MakeTinyTable();
+  ComparisonPredicate p("d", GetParam(), Value("b"));
+  std::vector<uint8_t> mask;
+  ASSERT_TRUE(p.EvaluateMask(t, &mask).ok());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(p.Matches(t, r), mask[r] == 1) << "row " << r;
+  }
+}
+
+TEST_P(CompareOpTest, MaskAgreesWithMatchesOnNumerics) {
+  Table t = MakeTinyTable();
+  ComparisonPredicate p("m1", GetParam(), Value(3.0));
+  std::vector<uint8_t> mask;
+  ASSERT_TRUE(p.EvaluateMask(t, &mask).ok());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(p.Matches(t, r), mask[r] == 1) << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, CompareOpTest,
+                         ::testing::Values(CompareOp::kEq, CompareOp::kNe,
+                                           CompareOp::kLt, CompareOp::kLe,
+                                           CompareOp::kGt, CompareOp::kGe));
+
+}  // namespace
+}  // namespace seedb::db

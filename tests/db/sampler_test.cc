@@ -1,0 +1,105 @@
+#include "db/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace seedb::db {
+namespace {
+
+TEST(BernoulliSelectionTest, FractionOneSelectsAll) {
+  auto sel = BernoulliSelection(100, 1.0, 1);
+  EXPECT_EQ(sel.size(), 100u);
+  EXPECT_EQ(sel.front(), 0u);
+  EXPECT_EQ(sel.back(), 99u);
+}
+
+TEST(BernoulliSelectionTest, FractionZeroSelectsNone) {
+  EXPECT_TRUE(BernoulliSelection(100, 0.0, 1).empty());
+  EXPECT_TRUE(BernoulliSelection(100, -0.5, 1).empty());
+}
+
+TEST(BernoulliSelectionTest, ApproximatesFraction) {
+  auto sel = BernoulliSelection(100000, 0.3, 42);
+  EXPECT_NEAR(static_cast<double>(sel.size()) / 100000.0, 0.3, 0.02);
+}
+
+TEST(BernoulliSelectionTest, DeterministicAndAscending) {
+  auto a = BernoulliSelection(1000, 0.5, 9);
+  auto b = BernoulliSelection(1000, 0.5, 9);
+  EXPECT_EQ(a, b);
+  for (size_t i = 1; i < a.size(); ++i) EXPECT_LT(a[i - 1], a[i]);
+}
+
+TEST(ReservoirSelectionTest, ExactSize) {
+  auto sel = ReservoirSelection(1000, 64, 5);
+  EXPECT_EQ(sel.size(), 64u);
+  for (uint32_t r : sel) EXPECT_LT(r, 1000u);
+}
+
+TEST(ReservoirSelectionTest, KLargerThanNSelectsAll) {
+  auto sel = ReservoirSelection(10, 100, 5);
+  EXPECT_EQ(sel.size(), 10u);
+}
+
+TEST(ReservoirSelectionTest, ZeroKEmpty) {
+  EXPECT_TRUE(ReservoirSelection(10, 0, 5).empty());
+}
+
+TEST(ReservoirSelectionTest, RoughlyUniform) {
+  // Each row should appear with probability k/n across many seeds.
+  const size_t n = 100, k = 10, trials = 2000;
+  std::vector<int> counts(n, 0);
+  for (size_t seed = 0; seed < trials; ++seed) {
+    for (uint32_t r : ReservoirSelection(n, k, seed)) ++counts[r];
+  }
+  double expected = static_cast<double>(trials) * k / n;  // 200
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_GT(counts[i], expected * 0.6) << "row " << i;
+    EXPECT_LT(counts[i], expected * 1.4) << "row " << i;
+  }
+}
+
+TEST(MaterializeTest, BernoulliSampleHasSchemaAndSubsetRows) {
+  Table t = ::seedb::testing::MakeTinyTable();
+  auto sample = MaterializeBernoulliSample(t, 0.5, 7);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->schema(), t.schema());
+  EXPECT_LE(sample->num_rows(), t.num_rows());
+}
+
+TEST(MaterializeTest, InvalidFractionRejected) {
+  Table t = ::seedb::testing::MakeTinyTable();
+  EXPECT_FALSE(MaterializeBernoulliSample(t, 0.0, 7).ok());
+  EXPECT_FALSE(MaterializeBernoulliSample(t, 1.5, 7).ok());
+}
+
+TEST(MaterializeTest, ReservoirSampleExactRows) {
+  Table t = ::seedb::testing::MakeTinyTable();
+  auto sample = MaterializeReservoirSample(t, 3, 7);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->num_rows(), 3u);
+  EXPECT_FALSE(MaterializeReservoirSample(t, 0, 7).ok());
+}
+
+TEST(SampleSizeForBudgetTest, FullTableFits) {
+  Table t = ::seedb::testing::MakeTinyTable();
+  EXPECT_EQ(SampleSizeForBudget(t, 1 << 30), t.num_rows());
+}
+
+TEST(SampleSizeForBudgetTest, ScalesWithBudget) {
+  Table t = ::seedb::testing::MakeTinyTable();
+  size_t full = t.MemoryBytes();
+  size_t half_rows = SampleSizeForBudget(t, full / 2);
+  EXPECT_LT(half_rows, t.num_rows());
+  EXPECT_GT(half_rows, 0u);
+}
+
+TEST(SampleSizeForBudgetTest, EmptyTable) {
+  Schema schema({ColumnDef::Dimension("d")});
+  Table t(schema);
+  EXPECT_EQ(SampleSizeForBudget(t, 100), 0u);
+}
+
+}  // namespace
+}  // namespace seedb::db

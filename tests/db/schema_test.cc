@@ -1,0 +1,81 @@
+#include "db/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace seedb::db {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({
+      ColumnDef::Dimension("region"),
+      ColumnDef::Dimension("product"),
+      ColumnDef::Measure("sales"),
+      ColumnDef::Measure("profit"),
+      ColumnDef::Other("order_id", ValueType::kInt64),
+  });
+}
+
+TEST(SchemaTest, ConstructionAndLookup) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.num_columns(), 5u);
+  EXPECT_EQ(s.FindColumn("region").ValueOrDie(), 0u);
+  EXPECT_EQ(s.FindColumn("profit").ValueOrDie(), 3u);
+  EXPECT_FALSE(s.FindColumn("missing").ok());
+  EXPECT_TRUE(s.HasColumn("sales"));
+  EXPECT_FALSE(s.HasColumn("Sales"));  // case-sensitive
+}
+
+TEST(SchemaTest, RolesFilter) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.DimensionColumns(),
+            (std::vector<std::string>{"region", "product"}));
+  EXPECT_EQ(s.MeasureColumns(), (std::vector<std::string>{"sales", "profit"}));
+  EXPECT_EQ(s.ColumnsWithRole(ColumnRole::kOther),
+            (std::vector<std::string>{"order_id"}));
+}
+
+TEST(SchemaTest, DefaultTypes) {
+  ColumnDef dim = ColumnDef::Dimension("d");
+  EXPECT_EQ(dim.type, ValueType::kString);
+  EXPECT_EQ(dim.role, ColumnRole::kDimension);
+  ColumnDef m = ColumnDef::Measure("m");
+  EXPECT_EQ(m.type, ValueType::kDouble);
+  EXPECT_EQ(m.role, ColumnRole::kMeasure);
+}
+
+TEST(SchemaTest, AddColumnRejectsDuplicates) {
+  Schema s;
+  EXPECT_TRUE(s.AddColumn(ColumnDef::Dimension("a")).ok());
+  Status dup = s.AddColumn(ColumnDef::Measure("a"));
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(s.num_columns(), 1u);
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(MakeSchema(), MakeSchema());
+  Schema other({ColumnDef::Dimension("x")});
+  EXPECT_FALSE(MakeSchema() == other);
+}
+
+TEST(SchemaTest, ToStringShowsTypesAndRoles) {
+  Schema s({ColumnDef::Dimension("a"), ColumnDef::Measure("m")});
+  std::string str = s.ToString();
+  EXPECT_NE(str.find("a STRING [dimension]"), std::string::npos);
+  EXPECT_NE(str.find("m DOUBLE [measure]"), std::string::npos);
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema s;
+  EXPECT_EQ(s.num_columns(), 0u);
+  EXPECT_TRUE(s.DimensionColumns().empty());
+  EXPECT_FALSE(s.FindColumn("x").ok());
+}
+
+TEST(ColumnRoleTest, Names) {
+  EXPECT_STREQ(ColumnRoleToString(ColumnRole::kDimension), "dimension");
+  EXPECT_STREQ(ColumnRoleToString(ColumnRole::kMeasure), "measure");
+  EXPECT_STREQ(ColumnRoleToString(ColumnRole::kOther), "other");
+}
+
+}  // namespace
+}  // namespace seedb::db

@@ -1,0 +1,85 @@
+#include "db/sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace seedb::db::sql {
+namespace {
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto tokens = Tokenize("SELECT foo _bar baz2").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 5u);  // 4 + end
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_EQ(tokens[2].text, "_bar");
+  EXPECT_EQ(tokens[3].text, "baz2");
+  EXPECT_EQ(tokens[4].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Tokenize("42 3.14 .5").ValueOrDie();
+  EXPECT_EQ(tokens[0].type, TokenType::kNumber);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].text, "3.14");
+  EXPECT_EQ(tokens[2].text, ".5");
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Tokenize("'hello' 'o''brien' ''").ValueOrDie();
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "o'brien");
+  EXPECT_EQ(tokens[2].text, "");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, OperatorsSingleAndMulti) {
+  auto tokens = Tokenize("= <> != < <= > >= ( ) , * -").ValueOrDie();
+  std::vector<std::string> expected = {"=", "<>", "!=", "<", "<=", ">",
+                                       ">=", "(",  ")",  ",", "*",  "-"};
+  ASSERT_EQ(tokens.size(), expected.size() + 1);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kSymbol) << i;
+    EXPECT_EQ(tokens[i].text, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  EXPECT_FALSE(Tokenize("SELECT @foo").ok());
+  EXPECT_FALSE(Tokenize("a ; b").ok());
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  auto tokens = Tokenize("ab  cd").ValueOrDie();
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 4u);
+}
+
+TEST(LexerTest, KeywordCheckIsCaseInsensitive) {
+  auto tokens = Tokenize("GrOuP").ValueOrDie();
+  EXPECT_TRUE(tokens[0].IsKeyword("group"));
+  EXPECT_TRUE(tokens[0].IsKeyword("GROUP"));
+  EXPECT_FALSE(tokens[0].IsKeyword("order"));
+}
+
+TEST(LexerTest, EmptyInputYieldsEndOnly) {
+  auto tokens = Tokenize("").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, NoSpacesBetweenTokens) {
+  auto tokens = Tokenize("SUM(amount)>=5").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0].text, "SUM");
+  EXPECT_EQ(tokens[1].text, "(");
+  EXPECT_EQ(tokens[2].text, "amount");
+  EXPECT_EQ(tokens[3].text, ")");
+  EXPECT_EQ(tokens[4].text, ">=");
+  EXPECT_EQ(tokens[5].text, "5");
+}
+
+}  // namespace
+}  // namespace seedb::db::sql

@@ -1,0 +1,242 @@
+#include "db/sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "db/engine.h"
+#include "db/sql/printer.h"
+
+namespace seedb::db::sql {
+namespace {
+
+TEST(ParserTest, MinimalAggregateQuery) {
+  auto stmt = ParseSelect("SELECT store, SUM(amount) FROM sales GROUP BY store")
+                  .ValueOrDie();
+  EXPECT_EQ(stmt.table, "sales");
+  ASSERT_EQ(stmt.items.size(), 2u);
+  EXPECT_FALSE(stmt.items[0].is_aggregate);
+  EXPECT_EQ(stmt.items[0].column, "store");
+  EXPECT_TRUE(stmt.items[1].is_aggregate);
+  EXPECT_EQ(stmt.items[1].func, AggregateFunction::kSum);
+  EXPECT_EQ(stmt.items[1].column, "amount");
+  EXPECT_EQ(stmt.group_by, (std::vector<std::string>{"store"}));
+}
+
+TEST(ParserTest, PaperQueryQPrime) {
+  // The exact Q' from §1 of the paper.
+  auto stmt = ParseSelect(
+                  "SELECT store, SUM(amount) FROM Sales WHERE "
+                  "Product = 'Laserwave' GROUP BY store")
+                  .ValueOrDie();
+  ASSERT_TRUE(stmt.where != nullptr);
+  EXPECT_EQ(stmt.where->ToSql(), "Product = 'Laserwave'");
+}
+
+TEST(ParserTest, CountStarAndAliases) {
+  auto stmt =
+      ParseSelect("SELECT d, COUNT(*) AS n, AVG(m) AS mean FROM t GROUP BY d")
+          .ValueOrDie();
+  EXPECT_EQ(stmt.items[1].func, AggregateFunction::kCount);
+  EXPECT_EQ(stmt.items[1].column, "");
+  EXPECT_EQ(stmt.items[1].alias, "n");
+  EXPECT_EQ(stmt.items[2].alias, "mean");
+}
+
+TEST(ParserTest, StarOnlyForCount) {
+  EXPECT_FALSE(ParseSelect("SELECT SUM(*) FROM t").ok());
+}
+
+TEST(ParserTest, FilterClause) {
+  auto stmt = ParseSelect(
+                  "SELECT a, SUM(m) FILTER (WHERE p = 'x') AS tgt, SUM(m) "
+                  "AS cmp FROM t GROUP BY a")
+                  .ValueOrDie();
+  ASSERT_TRUE(stmt.items[1].filter != nullptr);
+  EXPECT_EQ(stmt.items[1].filter->ToSql(), "p = 'x'");
+  EXPECT_TRUE(stmt.items[2].filter == nullptr);
+}
+
+TEST(ParserTest, WherePrecedenceAndParens) {
+  auto p = ParsePredicate("a = 'x' OR b = 'y' AND c > 3").ValueOrDie();
+  // AND binds tighter than OR.
+  EXPECT_EQ(p->ToSql(), "(a = 'x' OR (b = 'y' AND c > 3))");
+  auto q = ParsePredicate("(a = 'x' OR b = 'y') AND c > 3").ValueOrDie();
+  EXPECT_EQ(q->ToSql(), "((a = 'x' OR b = 'y') AND c > 3)");
+}
+
+TEST(ParserTest, NotInBetween) {
+  EXPECT_EQ(ParsePredicate("NOT a = 'x'").ValueOrDie()->ToSql(),
+            "NOT (a = 'x')");
+  EXPECT_EQ(ParsePredicate("a IN ('x', 'y')").ValueOrDie()->ToSql(),
+            "a IN ('x', 'y')");
+  EXPECT_EQ(ParsePredicate("a NOT IN (1, 2)").ValueOrDie()->ToSql(),
+            "NOT (a IN (1, 2))");
+  EXPECT_EQ(ParsePredicate("m BETWEEN 1 AND 5").ValueOrDie()->ToSql(),
+            "m BETWEEN 1 AND 5");
+  EXPECT_EQ(ParsePredicate("TRUE").ValueOrDie()->ToSql(), "TRUE");
+}
+
+TEST(ParserTest, NumericLiteralTypes) {
+  auto p = ParsePredicate("m = 5").ValueOrDie();
+  EXPECT_EQ(p->ToSql(), "m = 5");
+  auto q = ParsePredicate("m = 5.5").ValueOrDie();
+  EXPECT_EQ(q->ToSql(), "m = 5.5");
+}
+
+TEST(ParserTest, NegativeLiterals) {
+  EXPECT_EQ(ParsePredicate("m < -81.5").ValueOrDie()->ToSql(), "m < -81.5");
+  EXPECT_EQ(ParsePredicate("m = -3").ValueOrDie()->ToSql(), "m = -3");
+  EXPECT_EQ(
+      ParsePredicate("m BETWEEN -5 AND -1").ValueOrDie()->ToSql(),
+      "m BETWEEN -5 AND -1");
+  EXPECT_EQ(ParsePredicate("m IN (-1, 2)").ValueOrDie()->ToSql(),
+            "m IN (-1, 2)");
+  EXPECT_FALSE(ParsePredicate("m = -").ok());
+  EXPECT_FALSE(ParsePredicate("m = -'x'").ok());
+}
+
+TEST(ParserTest, Tablesample) {
+  auto stmt = ParseSelect(
+                  "SELECT d, COUNT(*) FROM t TABLESAMPLE BERNOULLI (25) "
+                  "GROUP BY d")
+                  .ValueOrDie();
+  EXPECT_DOUBLE_EQ(stmt.sample_fraction, 0.25);
+  EXPECT_FALSE(
+      ParseSelect("SELECT COUNT(*) FROM t TABLESAMPLE BERNOULLI (0)").ok());
+  EXPECT_FALSE(
+      ParseSelect("SELECT COUNT(*) FROM t TABLESAMPLE BERNOULLI (150)").ok());
+}
+
+TEST(ParserTest, GroupingSets) {
+  auto stmt = ParseSelect(
+                  "SELECT a, b, SUM(m) FROM t GROUP BY GROUPING SETS "
+                  "((a), (b), (a, b))")
+                  .ValueOrDie();
+  ASSERT_EQ(stmt.grouping_sets.size(), 3u);
+  EXPECT_EQ(stmt.grouping_sets[0], (std::vector<std::string>{"a"}));
+  EXPECT_EQ(stmt.grouping_sets[2], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParserTest, TrailingInputRejected) {
+  EXPECT_FALSE(ParseSelect("SELECT COUNT(*) FROM t extra").ok());
+  EXPECT_FALSE(ParsePredicate("a = 1 garbage").ok());
+}
+
+TEST(ParserTest, ErrorsMentionOffset) {
+  auto r = ParseSelect("SELECT FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+TEST(PlanTest, PlanGroupByChecksGroupMembership) {
+  auto stmt =
+      ParseSelect("SELECT d, SUM(m) FROM t GROUP BY d").ValueOrDie();
+  EXPECT_TRUE(PlanGroupBy(stmt).ok());
+  auto bad = ParseSelect("SELECT e, SUM(m) FROM t GROUP BY d").ValueOrDie();
+  EXPECT_FALSE(PlanGroupBy(bad).ok());
+}
+
+TEST(PlanTest, PlanRequiresAggregates) {
+  auto stmt = ParseSelect("SELECT d FROM t GROUP BY d").ValueOrDie();
+  EXPECT_FALSE(PlanGroupBy(stmt).ok());
+}
+
+TEST(PlanTest, GroupingSetsPlanner) {
+  auto stmt = ParseSelect(
+                  "SELECT a, b, COUNT(*) FROM t GROUP BY GROUPING SETS "
+                  "((a), (b))")
+                  .ValueOrDie();
+  EXPECT_FALSE(PlanGroupBy(stmt).ok());  // wrong planner
+  auto q = PlanGroupingSets(stmt).ValueOrDie();
+  EXPECT_EQ(q.grouping_sets.size(), 2u);
+  EXPECT_EQ(q.aggregates.size(), 1u);
+}
+
+TEST(InputQueryTest, ParsesSelectStar) {
+  auto q = ParseInputQuery("SELECT * FROM sales").ValueOrDie();
+  EXPECT_EQ(q.table, "sales");
+  EXPECT_TRUE(q.selection == nullptr);
+}
+
+TEST(InputQueryTest, ParsesWhere) {
+  auto q = ParseInputQuery(
+               "SELECT * FROM sales WHERE product = 'Laserwave' AND m > 3")
+               .ValueOrDie();
+  EXPECT_EQ(q.table, "sales");
+  ASSERT_TRUE(q.selection != nullptr);
+  EXPECT_EQ(q.selection->ToSql(), "(product = 'Laserwave' AND m > 3)");
+}
+
+TEST(InputQueryTest, RejectsNonStar) {
+  EXPECT_FALSE(ParseInputQuery("SELECT a FROM t").ok());
+  EXPECT_FALSE(ParseInputQuery("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseInputQuery("SELECT * FROM t junk").ok());
+}
+
+// Round-trip property: printing an executable query and re-parsing it plans
+// back to a query with identical SQL.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ParsePrintParseIsStable) {
+  std::string sql = GetParam();
+  auto stmt = ParseSelect(sql).ValueOrDie();
+  std::string printed = stmt.ToSql();
+  auto reparsed = ParseSelect(printed);
+  ASSERT_TRUE(reparsed.ok()) << printed;
+  EXPECT_EQ(reparsed->ToSql(), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dialect, RoundTripTest,
+    ::testing::Values(
+        "SELECT d, SUM(m1) FROM t GROUP BY d",
+        "SELECT d, SUM(m1) AS s, COUNT(*) AS n FROM t WHERE e = 'x' GROUP "
+        "BY d",
+        "SELECT d, SUM(m1) FILTER (WHERE e = 'x') AS tgt, SUM(m1) AS cmp "
+        "FROM t GROUP BY d",
+        "SELECT d, e, AVG(m2) FROM t GROUP BY GROUPING SETS ((d), (e))",
+        "SELECT d, MIN(m1) FROM t TABLESAMPLE BERNOULLI (10) GROUP BY d",
+        "SELECT d, MAX(m1) FROM t WHERE m1 BETWEEN 1 AND 4 GROUP BY d",
+        "SELECT d, COUNT(m1) FROM t WHERE d IN ('a', 'b') OR NOT (e = 'x') "
+        "GROUP BY d"));
+
+TEST(PrinterTest, ToStatementRoundTripsGroupByQuery) {
+  GroupByQuery q;
+  q.table = "t";
+  q.where = PredicatePtr(Eq("e", Value("x")));
+  q.group_by = {"d"};
+  q.aggregates = {AggregateSpec::Make(AggregateFunction::kSum, "m1", "s")};
+  SelectStatement stmt = ToStatement(q);
+  EXPECT_EQ(stmt.ToSql(), q.ToSql());
+}
+
+TEST(PrinterTest, PrettyPrintMultiline) {
+  auto stmt = ParseSelect("SELECT d, SUM(m1) FROM t WHERE e = 'x' GROUP BY d")
+                  .ValueOrDie();
+  std::string pretty = PrettyPrint(stmt);
+  EXPECT_NE(pretty.find("\nFROM t"), std::string::npos);
+  EXPECT_NE(pretty.find("\nWHERE e = 'x'"), std::string::npos);
+  EXPECT_NE(pretty.find("\nGROUP BY d"), std::string::npos);
+}
+
+// Executable round trip: run original and printed SQL, same results.
+TEST(RoundTripExecutionTest, PrintedSqlExecutesIdentically) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable("t", ::seedb::testing::MakeTinyTable()).ok());
+  Engine engine(&catalog);
+  std::string sql =
+      "SELECT d, SUM(m1) FILTER (WHERE e = 'x') AS tgt, SUM(m1) AS cmp "
+      "FROM t WHERE m1 < 6 GROUP BY d";
+  auto stmt = ParseSelect(sql).ValueOrDie();
+  auto direct = engine.ExecuteSql(sql).ValueOrDie();
+  auto printed = engine.ExecuteSql(stmt.ToSql()).ValueOrDie();
+  ASSERT_EQ(direct.num_rows(), printed.num_rows());
+  for (size_t r = 0; r < direct.num_rows(); ++r) {
+    for (size_t c = 0; c < direct.num_columns(); ++c) {
+      EXPECT_EQ(direct.ValueAt(r, c), printed.ValueAt(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seedb::db::sql

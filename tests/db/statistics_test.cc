@@ -1,0 +1,159 @@
+#include "db/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.h"
+#include "util/random.h"
+
+namespace seedb::db {
+namespace {
+
+TEST(ColumnStatsTest, NumericProfile) {
+  Schema schema({ColumnDef::Measure("m")});
+  Table t(schema);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    ASSERT_TRUE(t.AppendRow({Value(v)}).ok());
+  }
+  ColumnStats cs = ComputeColumnStats(t, 0);
+  EXPECT_EQ(cs.row_count, 4u);
+  EXPECT_EQ(cs.distinct_count, 4u);
+  EXPECT_EQ(cs.min, 1.0);
+  EXPECT_EQ(cs.max, 4.0);
+  EXPECT_DOUBLE_EQ(cs.mean, 2.5);
+  EXPECT_DOUBLE_EQ(cs.variance, 1.25);
+}
+
+TEST(ColumnStatsTest, DiversityOfUniformColumn) {
+  Schema schema({ColumnDef::Dimension("d")});
+  Table t(schema);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        t.AppendRow({Value(i % 4 == 0   ? "a"
+                           : i % 4 == 1 ? "b"
+                           : i % 4 == 2 ? "c"
+                                        : "d")})
+            .ok());
+  }
+  ColumnStats cs = ComputeColumnStats(t, 0);
+  // Uniform over 4 values: diversity = 1 - 4*(1/4)^2 = 0.75, entropy = 1.
+  EXPECT_NEAR(cs.diversity, 0.75, 1e-9);
+  EXPECT_NEAR(cs.normalized_entropy, 1.0, 1e-9);
+}
+
+TEST(ColumnStatsTest, DiversityOfConstantColumnIsZero) {
+  Schema schema({ColumnDef::Dimension("d")});
+  Table t(schema);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value("only")}).ok());
+  }
+  ColumnStats cs = ComputeColumnStats(t, 0);
+  EXPECT_EQ(cs.diversity, 0.0);
+  EXPECT_EQ(cs.normalized_entropy, 0.0);
+  EXPECT_EQ(cs.distinct_count, 1u);
+}
+
+TEST(ColumnStatsTest, NearConstantHasLowDiversity) {
+  Schema schema({ColumnDef::Dimension("d")});
+  Table t(schema);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(i < 97 ? "no" : "yes")}).ok());
+  }
+  ColumnStats cs = ComputeColumnStats(t, 0);
+  EXPECT_LT(cs.diversity, 0.06);
+  EXPECT_GT(cs.diversity, 0.0);
+}
+
+TEST(ColumnStatsTest, NullsExcluded) {
+  Schema schema({ColumnDef::Measure("m")});
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value(2.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(4.0)}).ok());
+  ColumnStats cs = ComputeColumnStats(t, 0);
+  EXPECT_EQ(cs.null_count, 1u);
+  EXPECT_EQ(cs.distinct_count, 2u);
+  EXPECT_DOUBLE_EQ(cs.mean, 3.0);
+}
+
+TEST(ColumnStatsTest, TopValuesSortedByCount) {
+  Schema schema({ColumnDef::Dimension("d")});
+  Table t(schema);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(t.AppendRow({Value("big")}).ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(t.AppendRow({Value("mid")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("small")}).ok());
+  ColumnStats cs = ComputeColumnStats(t, 0);
+  ASSERT_EQ(cs.top_values.size(), 3u);
+  EXPECT_EQ(cs.top_values[0].first, Value("big"));
+  EXPECT_EQ(cs.top_values[0].second, 5u);
+  EXPECT_EQ(cs.top_values[1].first, Value("mid"));
+  EXPECT_EQ(cs.top_values[2].first, Value("small"));
+}
+
+TEST(TableStatsTest, CoversAllColumnsAndFind) {
+  Table t = ::seedb::testing::MakeTinyTable();
+  TableStats stats = ComputeTableStats(t, "tiny");
+  EXPECT_EQ(stats.table_name, "tiny");
+  EXPECT_EQ(stats.num_rows, 6u);
+  EXPECT_EQ(stats.columns.size(), 4u);
+  EXPECT_TRUE(stats.Find("m1").ok());
+  EXPECT_EQ((*stats.Find("m1"))->role, ColumnRole::kMeasure);
+  EXPECT_FALSE(stats.Find("zzz").ok());
+  EXPECT_GT(stats.memory_bytes, 0u);
+}
+
+TEST(CramersVTest, PerfectlyCorrelatedColumns) {
+  Schema schema(
+      {ColumnDef::Dimension("a"), ColumnDef::Dimension("b")});
+  Table t(schema);
+  Random rng(3);
+  const char* va[] = {"x", "y", "z"};
+  const char* vb[] = {"X", "Y", "Z"};
+  for (int i = 0; i < 300; ++i) {
+    size_t k = rng.Uniform(3);
+    ASSERT_TRUE(t.AppendRow({Value(va[k]), Value(vb[k])}).ok());
+  }
+  double v = CramersV(t, "a", "b").ValueOrDie();
+  EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(CramersVTest, IndependentColumnsNearZero) {
+  Schema schema(
+      {ColumnDef::Dimension("a"), ColumnDef::Dimension("b")});
+  Table t(schema);
+  Random rng(5);
+  const char* vals[] = {"p", "q", "r", "s"};
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(vals[rng.Uniform(4)]),
+                             Value(vals[rng.Uniform(4)])})
+                    .ok());
+  }
+  double v = CramersV(t, "a", "b").ValueOrDie();
+  EXPECT_LT(v, 0.05);
+}
+
+TEST(CramersVTest, DegenerateSingleValueColumnsGiveZero) {
+  Schema schema(
+      {ColumnDef::Dimension("a"), ColumnDef::Dimension("b")});
+  Table t(schema);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value("only"), Value(i % 2 ? "u" : "v")}).ok());
+  }
+  EXPECT_EQ(CramersV(t, "a", "b").ValueOrDie(), 0.0);
+}
+
+TEST(CramersVTest, RejectsNumericDoubleColumns) {
+  Table t = ::seedb::testing::MakeTinyTable();
+  EXPECT_FALSE(CramersV(t, "d", "m1").ok());
+}
+
+TEST(CramersVTest, SymmetricInArguments) {
+  Table t = ::seedb::testing::MakeTinyTable();
+  double ab = CramersV(t, "d", "e").ValueOrDie();
+  double ba = CramersV(t, "e", "d").ValueOrDie();
+  EXPECT_NEAR(ab, ba, 1e-12);
+}
+
+}  // namespace
+}  // namespace seedb::db

@@ -1,0 +1,131 @@
+#include "db/table.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace seedb::db {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({ColumnDef::Dimension("d"), ColumnDef::Measure("m")});
+}
+
+TEST(TableTest, AppendRowAndRead) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({Value("a"), Value(1.5)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("b"), Value(2.5)}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.ValueAt(0, 0), Value("a"));
+  EXPECT_EQ(t.ValueAt(1, 1), Value(2.5));
+}
+
+TEST(TableTest, AppendRowArityMismatch) {
+  Table t(TwoColSchema());
+  EXPECT_FALSE(t.AppendRow({Value("a")}).ok());
+  EXPECT_FALSE(t.AppendRow({Value("a"), Value(1.0), Value(2.0)}).ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, AppendRowTypeMismatchLeavesTableUnchanged) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({Value("a"), Value(1.0)}).ok());
+  // Second cell wrong type: whole row rejected atomically.
+  EXPECT_FALSE(t.AppendRow({Value("b"), Value("not a number")}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.column(0).size(), 1u);
+  EXPECT_EQ(t.column(1).size(), 1u);
+}
+
+TEST(TableTest, NullsAllowedAnywhere) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value::Null()}).ok());
+  EXPECT_TRUE(t.ValueAt(0, 0).is_null());
+  EXPECT_TRUE(t.ValueAt(0, 1).is_null());
+}
+
+TEST(TableTest, ColumnByName) {
+  Table t(TwoColSchema());
+  EXPECT_TRUE(t.ColumnByName("d").ok());
+  EXPECT_FALSE(t.ColumnByName("nope").ok());
+}
+
+TEST(TableTest, SelectRowsSubsetsAndReorders) {
+  Table t = ::seedb::testing::MakeTinyTable();
+  Table sub = t.SelectRows({5, 0, 0});
+  EXPECT_EQ(sub.num_rows(), 3u);
+  EXPECT_EQ(sub.ValueAt(0, 0), t.ValueAt(5, 0));
+  EXPECT_EQ(sub.ValueAt(1, 2), t.ValueAt(0, 2));
+  EXPECT_EQ(sub.ValueAt(2, 2), t.ValueAt(0, 2));  // repeats allowed
+  EXPECT_EQ(sub.schema(), t.schema());
+}
+
+TEST(TableTest, SelectRowsEmpty) {
+  Table t = ::seedb::testing::MakeTinyTable();
+  Table sub = t.SelectRows({});
+  EXPECT_EQ(sub.num_rows(), 0u);
+}
+
+TEST(TableTest, SelectRowsPreservesNulls) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({Value("a"), Value::Null()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value(2.0)}).ok());
+  Table sub = t.SelectRows({1, 0});
+  EXPECT_TRUE(sub.ValueAt(0, 0).is_null());
+  EXPECT_TRUE(sub.ValueAt(1, 1).is_null());
+  EXPECT_EQ(sub.ValueAt(0, 1), Value(2.0));
+}
+
+TEST(TableTest, MemoryBytesGrowsWithRows) {
+  Table t(TwoColSchema());
+  size_t empty = t.MemoryBytes();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value("key"), Value(1.0)}).ok());
+  }
+  EXPECT_GT(t.MemoryBytes(), empty);
+}
+
+TEST(TableTest, FinishBulkLoadChecksColumnLengths) {
+  Table t(TwoColSchema());
+  t.mutable_column(0)->AppendString("a");
+  // Column 1 left empty: mismatch.
+  EXPECT_FALSE(t.FinishBulkLoad().ok());
+  t.mutable_column(1)->AppendDouble(1.0);
+  EXPECT_TRUE(t.FinishBulkLoad().ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, ToStringContainsHeaderAndValues) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({Value("hello"), Value(3.5)}).ok());
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("d"), std::string::npos);
+  EXPECT_NE(s.find("hello"), std::string::npos);
+  EXPECT_NE(s.find("3.5"), std::string::npos);
+}
+
+TEST(TableTest, ToStringElidesRows) {
+  Table t(TwoColSchema());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value("r"), Value(1.0)}).ok());
+  }
+  std::string s = t.ToString(5);
+  EXPECT_NE(s.find("15 more rows"), std::string::npos);
+}
+
+TEST(LaserwaveFixtureTest, MatchesPaperTable1) {
+  Table t = ::seedb::testing::MakeLaserwaveTable();
+  EXPECT_EQ(t.num_rows(), 9u);
+  // Laserwave total = 538.18 as in §2's normalization example.
+  double total = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (t.ValueAt(r, 0) == Value("Laserwave")) {
+      total += t.ValueAt(r, 2).ToDouble().ValueOrDie();
+    }
+  }
+  EXPECT_NEAR(total, 538.18, 1e-9);
+}
+
+}  // namespace
+}  // namespace seedb::db

@@ -1,0 +1,106 @@
+#include "db/value.h"
+
+#include <gtest/gtest.h>
+
+namespace seedb::db {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value(int64_t{5}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value(int64_t{5}).AsInt64(), 5);
+  EXPECT_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, IntLiteralIsInt64) {
+  Value v(7);  // plain int
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+  EXPECT_EQ(v.AsInt64(), 7);
+}
+
+TEST(ValueTest, NullChecks) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_FALSE(Value(1).is_null());
+  EXPECT_TRUE(Value(1).is_numeric());
+  EXPECT_TRUE(Value(1.0).is_numeric());
+  EXPECT_FALSE(Value("x").is_numeric());
+}
+
+TEST(ValueTest, ToDouble) {
+  EXPECT_EQ(Value(3).ToDouble().ValueOrDie(), 3.0);
+  EXPECT_EQ(Value(3.5).ToDouble().ValueOrDie(), 3.5);
+  EXPECT_FALSE(Value("x").ToDouble().ok());
+  EXPECT_FALSE(Value::Null().ToDouble().ok());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value(3.5).ToString(), "3.5");
+  EXPECT_EQ(Value("abc").ToString(), "abc");
+}
+
+TEST(ValueTest, SqlLiteralQuotesStrings) {
+  EXPECT_EQ(Value("abc").ToSqlLiteral(), "'abc'");
+  EXPECT_EQ(Value("o'brien").ToSqlLiteral(), "'o''brien'");
+  EXPECT_EQ(Value(42).ToSqlLiteral(), "42");
+  EXPECT_EQ(Value::Null().ToSqlLiteral(), "NULL");
+}
+
+TEST(ValueTest, EqualityWithinTypes) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, MixedNumericEquality) {
+  EXPECT_EQ(Value(2), Value(2.0));
+  EXPECT_NE(Value(2), Value(2.5));
+}
+
+TEST(ValueTest, MixedNumericEqualityImpliesEqualHash) {
+  EXPECT_EQ(Value(2).Hash(), Value(2.0).Hash());
+}
+
+TEST(ValueTest, OrderingWithinNumerics) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(1.5), Value(2));
+  EXPECT_LT(Value(1), Value(1.5));
+  EXPECT_FALSE(Value(2) < Value(2));
+  EXPECT_LE(Value(2), Value(2));
+  EXPECT_GT(Value(3), Value(2));
+  EXPECT_GE(Value(2), Value(2));
+}
+
+TEST(ValueTest, OrderingAcrossFamilies) {
+  // null < numeric < string: total order for sorted group keys.
+  EXPECT_LT(Value::Null(), Value(0));
+  EXPECT_LT(Value(999999), Value(""));
+  EXPECT_FALSE(Value::Null() < Value::Null());
+}
+
+TEST(ValueTest, StringOrderingIsLexicographic) {
+  EXPECT_LT(Value("apple"), Value("banana"));
+  EXPECT_LT(Value("a"), Value("aa"));
+}
+
+TEST(ValueTest, HashDistinguishesValues) {
+  EXPECT_NE(Value(1).Hash(), Value(2).Hash());
+  EXPECT_NE(Value("a").Hash(), Value("b").Hash());
+  EXPECT_EQ(Value("a").Hash(), Value("a").Hash());
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_STREQ(ValueTypeToString(ValueType::kInt64), "INT64");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kDouble), "DOUBLE");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kString), "STRING");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kNull), "NULL");
+}
+
+}  // namespace
+}  // namespace seedb::db

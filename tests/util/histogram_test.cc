@@ -1,0 +1,114 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace seedb {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(v);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 4.0);  // classic example, population var
+  EXPECT_DOUBLE_EQ(rs.stddev(), 2.0);
+  EXPECT_EQ(rs.min(), 2.0);
+  EXPECT_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SampleVarianceUsesNMinusOne) {
+  RunningStats rs;
+  rs.Add(1.0);
+  rs.Add(3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.sample_variance(), 2.0);
+}
+
+TEST(RunningStatsTest, SingleValueHasZeroVariance) {
+  RunningStats rs;
+  rs.Add(5.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.mean(), 5.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Random rng(21);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Gaussian(3.0, 2.0);
+    whole.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);  // adopt
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(EquiWidthHistogramTest, BucketsCounts) {
+  EquiWidthHistogram h(0.0, 10.0, 5);
+  for (double v : {0.5, 1.5, 2.5, 2.7, 9.9}) h.Add(v);
+  EXPECT_EQ(h.bucket(0), 2u);  // 0.5, 1.5
+  EXPECT_EQ(h.bucket(1), 2u);  // 2.5, 2.7
+  EXPECT_EQ(h.bucket(4), 1u);  // 9.9
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(EquiWidthHistogramTest, OutOfRangeClampsToEdges) {
+  EquiWidthHistogram h(0.0, 10.0, 2);
+  h.Add(-100.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(EquiWidthHistogramTest, QuantileApproximatesUniform) {
+  EquiWidthHistogram h(0.0, 1.0, 100);
+  Random rng(8);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.NextDouble());
+  EXPECT_NEAR(h.Quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.Quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.Quantile(0.1), 0.1, 0.02);
+}
+
+TEST(EquiWidthHistogramTest, QuantileEmptyReturnsLo) {
+  EquiWidthHistogram h(2.0, 4.0, 4);
+  EXPECT_EQ(h.Quantile(0.5), 2.0);
+}
+
+TEST(EquiWidthHistogramTest, ToStringMentionsCounts) {
+  EquiWidthHistogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(1.5);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("[0,1): 1"), std::string::npos);
+  EXPECT_NE(s.find("[1,2): 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seedb

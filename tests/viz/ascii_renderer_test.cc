@@ -1,0 +1,96 @@
+#include "viz/ascii_renderer.h"
+
+#include <gtest/gtest.h>
+
+namespace seedb::viz {
+namespace {
+
+ChartSpec MakeSpec() {
+  ChartSpec spec;
+  spec.type = ChartType::kBar;
+  spec.title = "test chart";
+  spec.x_label = "store";
+  spec.y_label = "probability";
+  spec.categories = {"Cambridge", "Seattle"};
+  spec.series = {{"Query (target)", {0.75, 0.25}},
+                 {"Overall (comparison)", {0.5, 0.5}}};
+  return spec;
+}
+
+TEST(AsciiRendererTest, BarChartHasLabelsBarsLegend) {
+  std::string out = RenderAscii(MakeSpec());
+  EXPECT_NE(out.find("test chart"), std::string::npos);
+  EXPECT_NE(out.find("Cambridge"), std::string::npos);
+  EXPECT_NE(out.find("Seattle"), std::string::npos);
+  EXPECT_NE(out.find("#"), std::string::npos);  // bar glyph series 0
+  EXPECT_NE(out.find("="), std::string::npos);  // bar glyph series 1
+  EXPECT_NE(out.find("Query (target)"), std::string::npos);
+  EXPECT_NE(out.find("Overall (comparison)"), std::string::npos);
+  EXPECT_NE(out.find("0.75"), std::string::npos);
+}
+
+TEST(AsciiRendererTest, BarLengthsProportional) {
+  AsciiOptions options;
+  options.bar_width = 20;
+  std::string out = RenderAscii(MakeSpec(), options);
+  // Largest value (0.75) renders 20 glyphs; 0.25 renders ~7.
+  EXPECT_NE(out.find(std::string(20, '#')), std::string::npos);
+  EXPECT_EQ(out.find(std::string(21, '#')), std::string::npos);
+}
+
+TEST(AsciiRendererTest, NegativeValuesMarked) {
+  ChartSpec spec = MakeSpec();
+  spec.series[0].values = {-0.5, 0.5};
+  std::string out = RenderAscii(spec);
+  EXPECT_NE(out.find("-0.5"), std::string::npos);
+}
+
+TEST(AsciiRendererTest, TableModeAlignsValues) {
+  ChartSpec spec = MakeSpec();
+  spec.type = ChartType::kTable;
+  std::string out = RenderAscii(spec);
+  EXPECT_NE(out.find("store"), std::string::npos);
+  EXPECT_NE(out.find("0.75"), std::string::npos);
+  EXPECT_EQ(out.find("###"), std::string::npos);  // no bars in table mode
+}
+
+TEST(AsciiRendererTest, MaxRowsElidesTail) {
+  ChartSpec spec = MakeSpec();
+  spec.categories.clear();
+  spec.series[0].values.clear();
+  spec.series[1].values.clear();
+  for (int i = 0; i < 40; ++i) {
+    spec.categories.push_back("cat" + std::to_string(i));
+    spec.series[0].values.push_back(0.025);
+    spec.series[1].values.push_back(0.025);
+  }
+  AsciiOptions options;
+  options.max_rows = 10;
+  std::string out = RenderAscii(spec, options);
+  EXPECT_NE(out.find("(30 more)"), std::string::npos);
+  EXPECT_EQ(out.find("cat35"), std::string::npos);
+}
+
+TEST(AsciiRendererTest, RenderRecommendationIncludesSql) {
+  core::Recommendation rec;
+  rec.rank = 1;
+  rec.result.view =
+      core::ViewDescriptor("store", "amount", db::AggregateFunction::kSum);
+  rec.result.utility = 0.3;
+  rec.result.distributions.target.keys = {db::Value("A")};
+  rec.result.distributions.target.probabilities = {1.0};
+  rec.result.distributions.comparison.keys = {db::Value("A")};
+  rec.result.distributions.comparison.probabilities = {1.0};
+  rec.result.distributions.target_raw = {5.0};
+  rec.result.distributions.comparison_raw = {5.0};
+  rec.target_sql = "SELECT store, SUM(amount) FROM s GROUP BY store";
+  rec.comparison_sql = "SELECT ... comparison";
+  std::string out = RenderRecommendation(rec);
+  EXPECT_NE(out.find("#1"), std::string::npos);
+  EXPECT_NE(out.find("SUM(amount) BY store"), std::string::npos);
+  EXPECT_NE(out.find(rec.target_sql), std::string::npos);
+  EXPECT_NE(out.find(rec.comparison_sql), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seedb::viz

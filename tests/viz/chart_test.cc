@@ -1,0 +1,65 @@
+#include "viz/chart.h"
+
+#include <gtest/gtest.h>
+
+namespace seedb::viz {
+namespace {
+
+core::ViewResult MakeResult() {
+  core::ViewResult r;
+  r.view = core::ViewDescriptor("store", "amount",
+                                db::AggregateFunction::kSum);
+  r.utility = 0.42;
+  r.distributions.target.keys = {db::Value("A"), db::Value("B")};
+  r.distributions.target.probabilities = {0.8, 0.2};
+  r.distributions.comparison.keys = r.distributions.target.keys;
+  r.distributions.comparison.probabilities = {0.5, 0.5};
+  r.distributions.target_raw = {80.0, 20.0};
+  r.distributions.comparison_raw = {500.0, 500.0};
+  return r;
+}
+
+TEST(ChooseChartTypeTest, Rules) {
+  EXPECT_EQ(ChooseChartType(db::ValueType::kString, 5), ChartType::kBar);
+  EXPECT_EQ(ChooseChartType(db::ValueType::kString, 100), ChartType::kTable);
+  EXPECT_EQ(ChooseChartType(db::ValueType::kInt64, 100), ChartType::kLine);
+  EXPECT_EQ(ChooseChartType(db::ValueType::kDouble, 3), ChartType::kLine);
+  EXPECT_EQ(ChooseChartType(db::ValueType::kString, 24), ChartType::kBar);
+  EXPECT_EQ(ChooseChartType(db::ValueType::kString, 25), ChartType::kTable);
+}
+
+TEST(BuildChartSpecTest, ProbabilityChart) {
+  ChartSpec spec = BuildChartSpec(MakeResult());
+  EXPECT_EQ(spec.type, ChartType::kBar);
+  EXPECT_NE(spec.title.find("SUM(amount) BY store"), std::string::npos);
+  EXPECT_NE(spec.title.find("0.42"), std::string::npos);
+  EXPECT_EQ(spec.x_label, "store");
+  EXPECT_EQ(spec.y_label, "probability");
+  ASSERT_EQ(spec.series.size(), 2u);
+  EXPECT_EQ(spec.series[0].values, (std::vector<double>{0.8, 0.2}));
+  EXPECT_EQ(spec.series[1].values, (std::vector<double>{0.5, 0.5}));
+  EXPECT_EQ(spec.categories, (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(BuildChartSpecTest, RawChartUsesAggregateLabel) {
+  ChartSpec spec = BuildRawChartSpec(MakeResult());
+  EXPECT_EQ(spec.y_label, "SUM(amount)");
+  EXPECT_EQ(spec.series[0].values, (std::vector<double>{80.0, 20.0}));
+  EXPECT_EQ(spec.series[1].values, (std::vector<double>{500.0, 500.0}));
+}
+
+TEST(BuildChartSpecTest, CountStarLabel) {
+  core::ViewResult r = MakeResult();
+  r.view = core::ViewDescriptor("store", "", db::AggregateFunction::kCount);
+  ChartSpec spec = BuildRawChartSpec(r);
+  EXPECT_EQ(spec.y_label, "COUNT(*)");
+}
+
+TEST(ChartTypeTest, Names) {
+  EXPECT_STREQ(ChartTypeToString(ChartType::kBar), "bar");
+  EXPECT_STREQ(ChartTypeToString(ChartType::kLine), "line");
+  EXPECT_STREQ(ChartTypeToString(ChartType::kTable), "table");
+}
+
+}  // namespace
+}  // namespace seedb::viz

@@ -1,0 +1,96 @@
+#include "viz/vega.h"
+
+#include <gtest/gtest.h>
+
+#include "viz/metadata.h"
+
+namespace seedb::viz {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("with \"quotes\""), "with \\\"quotes\\\"");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+ChartSpec MakeSpec() {
+  ChartSpec spec;
+  spec.type = ChartType::kBar;
+  spec.title = "My \"Chart\"";
+  spec.x_label = "store";
+  spec.y_label = "probability";
+  spec.categories = {"A", "B"};
+  spec.series = {{"target", {0.75, 0.25}}, {"comparison", {0.5, 0.5}}};
+  return spec;
+}
+
+TEST(VegaTest, ContainsSchemaMarkAndData) {
+  std::string json = ToVegaLite(MakeSpec());
+  EXPECT_NE(json.find("vega-lite/v5.json"), std::string::npos);
+  EXPECT_NE(json.find("\"mark\": \"bar\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"series\": \"target\""), std::string::npos);
+  EXPECT_NE(json.find("My \\\"Chart\\\""), std::string::npos);
+  // 2 series x 2 categories = 4 data rows.
+  size_t count = 0;
+  for (size_t pos = json.find("\"store\""); pos != std::string::npos;
+       pos = json.find("\"store\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_GE(count, 4u);
+}
+
+TEST(VegaTest, LineChartUsesLineMark) {
+  ChartSpec spec = MakeSpec();
+  spec.type = ChartType::kLine;
+  EXPECT_NE(ToVegaLite(spec).find("\"mark\": \"line\""), std::string::npos);
+}
+
+TEST(VegaTest, BalancedBraces) {
+  std::string json = ToVegaLite(MakeSpec());
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+core::ViewResult MakeViewResult() {
+  core::ViewResult r;
+  r.view = core::ViewDescriptor("store", "amount",
+                                db::AggregateFunction::kSum);
+  r.utility = 0.3;
+  r.distributions.target.keys = {db::Value("A"), db::Value("B"),
+                                 db::Value("C")};
+  r.distributions.target.probabilities = {0.7, 0.3, 0.0};
+  r.distributions.comparison.keys = r.distributions.target.keys;
+  r.distributions.comparison.probabilities = {0.2, 0.3, 0.5};
+  r.distributions.target_raw = {70.0, 30.0, 0.0};
+  r.distributions.comparison_raw = {200.0, 300.0, 500.0};
+  return r;
+}
+
+TEST(MetadataTest, ComputesTotalsAndMaxChange) {
+  ViewMetadata meta = ComputeViewMetadata(MakeViewResult());
+  EXPECT_EQ(meta.result_size, 3u);
+  EXPECT_DOUBLE_EQ(meta.target_total, 100.0);
+  EXPECT_DOUBLE_EQ(meta.comparison_total, 1000.0);
+  // Max |probability change|: A (+0.5) vs C (-0.5): A wins ties by order.
+  EXPECT_DOUBLE_EQ(std::abs(meta.max_change), 0.5);
+  EXPECT_EQ(meta.groups_only_in_comparison, 1u);  // C
+  EXPECT_EQ(meta.groups_only_in_target, 0u);
+}
+
+TEST(MetadataTest, ToStringMentionsFields) {
+  std::string s = ComputeViewMetadata(MakeViewResult()).ToString();
+  EXPECT_NE(s.find("groups=3"), std::string::npos);
+  EXPECT_NE(s.find("max_change"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seedb::viz

@@ -1,0 +1,260 @@
+// seedb_cli — the library's stand-in for the SeeDB thin-client frontend
+// (§3.2). Supports all three input mechanisms the paper lists:
+//   (a) raw SQL:       SELECT * FROM orders WHERE category = 'Furniture'
+//   (b) query builder: \where orders category = Furniture   (form-style)
+//   (c) templates:     \template outliers orders profit
+//
+// Plus data management: \load <name> <file.csv>, \demo, \tables,
+// \schema <t>, \bin <t> <measure> <bins>, \set k/metric/prune/parallel.
+//
+// Run interactively, or pipe a script:  echo '\demo orders' | seedb_cli
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/seedb.h"
+#include "core/templates.h"
+#include "data/elections.h"
+#include "data/medical.h"
+#include "data/store_orders.h"
+#include "db/binning.h"
+#include "db/csv.h"
+#include "db/engine.h"
+#include "util/string_util.h"
+#include "viz/ascii_renderer.h"
+#include "viz/metadata.h"
+
+namespace {
+
+using namespace seedb;  // NOLINT
+
+class Cli {
+ public:
+  Cli() : engine_(&catalog_), seedb_(&engine_) {}
+
+  int Run() {
+    std::printf("SeeDB CLI — type \\help for commands, \\q to quit.\n");
+    std::string line;
+    while (true) {
+      std::printf("seedb> ");
+      std::fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      std::string trimmed(Trim(line));
+      if (trimmed.empty()) continue;
+      if (trimmed == "\\q" || trimmed == "\\quit") break;
+      Status s = Dispatch(trimmed);
+      if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
+    }
+    return 0;
+  }
+
+ private:
+  Status Dispatch(const std::string& line) {
+    if (line[0] != '\\') return RunQuery(line);
+    std::istringstream in(line.substr(1));
+    std::string cmd;
+    in >> cmd;
+    if (cmd == "help") return Help();
+    if (cmd == "load") return Load(in);
+    if (cmd == "demo") return Demo(in);
+    if (cmd == "tables") return Tables();
+    if (cmd == "schema") return SchemaOf(in);
+    if (cmd == "bin") return Bin(in);
+    if (cmd == "set") return Set(in);
+    if (cmd == "where") return Builder(in);
+    if (cmd == "template") return Template(in);
+    return Status::InvalidArgument("unknown command \\" + cmd +
+                                   " (try \\help)");
+  }
+
+  Status Help() {
+    std::printf(
+        "  SELECT * FROM t WHERE ...        recommend views for a query\n"
+        "  \\where <t> <col> = <value>       query-builder form of the same\n"
+        "  \\template outliers <t> <m> [s]   outlier-selection template\n"
+        "  \\template top <t> <dim>          dominant-value template\n"
+        "  \\template high <t> <m> [frac]    high-end-slice template\n"
+        "  \\load <name> <file.csv>          load a CSV (schema inferred)\n"
+        "  \\demo [orders|elections|medical] load demo dataset(s)\n"
+        "  \\tables / \\schema <t>            catalog inspection\n"
+        "  \\bin <t> <measure> <bins>        derive a binned dimension\n"
+        "  \\set k <n> | metric <name> | parallel <n> | prune on|off\n"
+        "  \\q                               quit\n");
+    return Status::OK();
+  }
+
+  Status Load(std::istringstream& in) {
+    std::string name, path;
+    in >> name >> path;
+    if (name.empty() || path.empty()) {
+      return Status::InvalidArgument("usage: \\load <name> <file.csv>");
+    }
+    SEEDB_ASSIGN_OR_RETURN(db::Table table, db::ReadCsvInferSchema(path));
+    size_t rows = table.num_rows();
+    catalog_.PutTable(name, std::move(table));
+    std::printf("loaded '%s': %zu rows, schema: %s\n", name.c_str(), rows,
+                (*catalog_.GetTable(name))->schema().ToString().c_str());
+    return Status::OK();
+  }
+
+  Status Demo(std::istringstream& in) {
+    std::string which;
+    in >> which;
+    auto add = [&](data::DemoDataset dataset) {
+      std::string name = dataset.table_name;
+      size_t rows = dataset.table.num_rows();
+      catalog_.PutTable(name, std::move(dataset.table));
+      std::printf("loaded demo '%s' (%zu rows); try:\n", name.c_str(), rows);
+      for (const auto& trend : dataset.trends) {
+        std::printf("  %s\n", trend.query_sql.c_str());
+      }
+    };
+    if (which.empty() || which == "orders") {
+      SEEDB_ASSIGN_OR_RETURN(auto d, data::MakeStoreOrders({}));
+      add(std::move(d));
+    }
+    if (which.empty() || which == "elections") {
+      SEEDB_ASSIGN_OR_RETURN(auto d, data::MakeElections({}));
+      add(std::move(d));
+    }
+    if (which.empty() || which == "medical") {
+      SEEDB_ASSIGN_OR_RETURN(auto d, data::MakeMedical({}));
+      add(std::move(d));
+    }
+    return Status::OK();
+  }
+
+  Status Tables() {
+    for (const auto& name : catalog_.TableNames()) {
+      SEEDB_ASSIGN_OR_RETURN(const db::Table* t, catalog_.GetTable(name));
+      std::printf("  %-20s %zu rows, %zu columns\n", name.c_str(),
+                  t->num_rows(), t->num_columns());
+    }
+    return Status::OK();
+  }
+
+  Status SchemaOf(std::istringstream& in) {
+    std::string name;
+    in >> name;
+    SEEDB_ASSIGN_OR_RETURN(const db::Table* t, catalog_.GetTable(name));
+    std::printf("%s\n", t->schema().ToString().c_str());
+    return Status::OK();
+  }
+
+  Status Bin(std::istringstream& in) {
+    std::string table, measure;
+    size_t bins = 10;
+    in >> table >> measure >> bins;
+    SEEDB_ASSIGN_OR_RETURN(const db::Table* t, catalog_.GetTable(table));
+    SEEDB_ASSIGN_OR_RETURN(db::Table binned,
+                           db::WithBinnedColumn(*t, measure,
+                                                {.num_bins = bins}));
+    catalog_.PutTable(table, std::move(binned));
+    std::printf("added dimension '%s_bin' (%zu buckets) to '%s'\n",
+                measure.c_str(), bins, table.c_str());
+    return Status::OK();
+  }
+
+  Status Set(std::istringstream& in) {
+    std::string key;
+    in >> key;
+    if (key == "k") {
+      in >> options_.k;
+    } else if (key == "metric") {
+      std::string name;
+      in >> name;
+      SEEDB_ASSIGN_OR_RETURN(options_.metric,
+                             core::ParseDistanceMetric(name));
+    } else if (key == "parallel") {
+      in >> options_.parallelism;
+    } else if (key == "prune") {
+      std::string state;
+      in >> state;
+      options_.pruning = state == "on" ? core::PruningOptions::All()
+                                       : core::PruningOptions::None();
+    } else {
+      return Status::InvalidArgument(
+          "usage: \\set k <n> | metric <name> | parallel <n> | prune on|off");
+    }
+    std::printf("ok (k=%zu metric=%s parallel=%zu)\n", options_.k,
+                core::DistanceMetricToString(options_.metric),
+                options_.parallelism);
+    return Status::OK();
+  }
+
+  Status Builder(std::istringstream& in) {
+    // \where <table> <column> <op> <value...>  — the form-based mechanism.
+    std::string table, column, op;
+    in >> table >> column >> op;
+    std::string value;
+    std::getline(in, value);
+    value = std::string(Trim(value));
+    if (table.empty() || column.empty() || op.empty() || value.empty()) {
+      return Status::InvalidArgument(
+          "usage: \\where <table> <column> <op> <value>");
+    }
+    // Quote non-numeric values for the SQL form.
+    bool numeric = !value.empty() &&
+                   value.find_first_not_of("0123456789.-") == std::string::npos;
+    std::string literal = numeric ? value : "'" + value + "'";
+    std::string sql = "SELECT * FROM " + table + " WHERE " + column + " " +
+                      op + " " + literal;
+    std::printf("query: %s\n", sql.c_str());
+    return RunQuery(sql);
+  }
+
+  Status Template(std::istringstream& in) {
+    std::string kind, table, column;
+    in >> kind >> table >> column;
+    core::TemplateQuery q;
+    if (kind == "outliers") {
+      double sigmas = 2.0;
+      in >> sigmas;
+      SEEDB_ASSIGN_OR_RETURN(q, core::OutlierTemplate(&engine_, table, column,
+                                                      sigmas > 0 ? sigmas
+                                                                 : 2.0));
+    } else if (kind == "top") {
+      SEEDB_ASSIGN_OR_RETURN(q, core::TopValueTemplate(&engine_, table,
+                                                       column));
+    } else if (kind == "high") {
+      double fraction = 0.25;
+      in >> fraction;
+      SEEDB_ASSIGN_OR_RETURN(
+          q, core::HighValueTemplate(&engine_, table, column,
+                                     fraction > 0 && fraction < 1 ? fraction
+                                                                  : 0.25));
+    } else {
+      return Status::InvalidArgument(
+          "usage: \\template outliers|top|high <table> <column>");
+    }
+    std::printf("template: %s\nquery: %s\n", q.description.c_str(),
+                q.sql.c_str());
+    return RunQuery(q.sql);
+  }
+
+  Status RunQuery(const std::string& sql) {
+    SEEDB_ASSIGN_OR_RETURN(core::RecommendationSet result,
+                           seedb_.RecommendSql(sql, options_));
+    for (const auto& rec : result.top_views) {
+      std::printf("%s", viz::RenderRecommendation(rec).c_str());
+      std::printf("    metadata: %s\n\n",
+                  viz::ComputeViewMetadata(rec.result).ToString().c_str());
+    }
+    std::printf("%s\n", result.profile.ToString().c_str());
+    return Status::OK();
+  }
+
+  db::Catalog catalog_;
+  db::Engine engine_;
+  core::SeeDB seedb_;
+  core::SeeDBOptions options_;
+};
+
+}  // namespace
+
+int main() {
+  Cli cli;
+  return cli.Run();
+}
