@@ -2,8 +2,13 @@
 // in parallel increases, the total latency decreases at the cost of
 // increased per query execution time."
 //
-// Runs the un-combined (many-query) plan at increasing parallelism and
-// reports total latency plus mean per-query time.
+// Runs the un-combined (many-query) plan at increasing parallelism under
+// both execution strategies:
+//   per-query   — inter-query parallelism, each query its own table pass;
+//   shared-scan — the whole plan fused into ONE morsel-driven pass, with
+//                 intra-scan parallelism (db/shared_scan.h).
+// Emits machine-readable results to BENCH_parallel.json so CI can track the
+// perf trajectory across PRs.
 
 #include <benchmark/benchmark.h>
 
@@ -21,9 +26,10 @@ using namespace seedb;  // NOLINT
 
 void RunExperiment() {
   bench::Banner("E8 (parallel query execution)",
-                "total latency vs per-query latency",
+                "per-query vs shared-scan execution at rising thread counts",
                 "more parallel queries lower total latency but raise "
-                "per-query execution time");
+                "per-query execution time; the fused shared scan lowers both "
+                "by scanning once");
 
   data::WorkloadSpec spec;
   spec.rows = 150000;
@@ -36,7 +42,8 @@ void RunExperiment() {
   const db::TableStats* stats =
       workload.catalog->GetStats(workload.table_name).ValueOrDie();
   auto views = core::EnumerateViews(table->schema());
-  // Baseline plan = many small queries -> parallelism has room to help.
+  // Baseline plan = many small queries -> parallelism has room to help and
+  // the shared scan has the most passes to fuse.
   auto plan = core::BuildExecutionPlan(views, workload.table_name,
                                        workload.selection, *stats,
                                        core::OptimizerOptions::Baseline())
@@ -44,28 +51,59 @@ void RunExperiment() {
 
   std::printf("plan: %zu queries over %zu views, %zu rows\n\n",
               plan.num_queries(), views.size(), workload.rows);
-  std::printf("%9s %14s %18s %14s\n", "threads", "total(ms)",
-              "mean/query(ms)", "max/query(ms)");
-  for (size_t threads : {1, 2, 4, 8}) {
-    core::ExecutorOptions exec;
-    exec.parallelism = threads;
-    core::ExecutionReport report;
-    double ms =
-        bench::MedianSeconds(
-            [&] {
-              auto results = core::ExecutePlan(
-                  workload.engine.get(), plan,
-                  core::DistanceMetric::kEarthMovers, exec, &report);
-              (void)results.ValueOrDie();
-            },
-            2) *
-        1e3;
-    std::printf("%9zu %14.2f %18.4f %14.4f\n", threads, ms,
-                report.MeanQuerySeconds() * 1e3,
-                report.MaxQuerySeconds() * 1e3);
+  std::printf("%12s %9s %14s %8s %18s\n", "strategy", "threads", "total(ms)",
+              "scans", "mean/query(ms)");
+
+  bench::JsonWriter json;
+  json.BeginObject()
+      .Key("bench").Value("parallel")
+      .Key("rows").Value(workload.rows)
+      .Key("views").Value(views.size())
+      .Key("plan_queries").Value(plan.num_queries())
+      .Key("runs").BeginArray();
+
+  for (core::ExecutionStrategy strategy :
+       {core::ExecutionStrategy::kPerQuery,
+        core::ExecutionStrategy::kSharedScan}) {
+    for (size_t threads : {1, 2, 4, 8}) {
+      core::ExecutorOptions exec;
+      exec.parallelism = threads;
+      exec.strategy = strategy;
+      core::ExecutionReport report;
+      workload.engine->ResetStats();
+      double ms =
+          bench::MedianSeconds(
+              [&] {
+                auto results = core::ExecutePlan(
+                    workload.engine.get(), plan,
+                    core::DistanceMetric::kEarthMovers, exec, &report);
+                (void)results.ValueOrDie();
+              },
+              2) *
+          1e3;
+      db::EngineStatsSnapshot engine_stats = workload.engine->stats();
+      // MedianSeconds ran the plan twice; scans per run is the half.
+      uint64_t scans_per_run = engine_stats.table_scans / 2;
+      std::printf("%12s %9zu %14.2f %8llu %18.4f\n",
+                  core::ExecutionStrategyToString(strategy), threads, ms,
+                  static_cast<unsigned long long>(scans_per_run),
+                  report.MeanQuerySeconds() * 1e3);
+      json.BeginObject()
+          .Key("strategy").Value(core::ExecutionStrategyToString(strategy))
+          .Key("threads").Value(threads)
+          .Key("total_ms").Value(ms)
+          .Key("mean_query_ms").Value(report.MeanQuerySeconds() * 1e3)
+          .Key("max_query_ms").Value(report.MaxQuerySeconds() * 1e3)
+          .Key("table_scans").Value(scans_per_run)
+          .EndObject();
+    }
   }
-  std::printf("\nExpected shape: total latency falls with threads (up to "
-              "core count); mean per-query time rises with contention.\n");
+  json.EndArray().EndObject();
+  json.WriteFile("BENCH_parallel.json");
+
+  std::printf("\nExpected shape: per-query total latency falls with threads "
+              "while per-query time rises; shared-scan runs 1 scan total and "
+              "beats per-query at every thread count, widening with cores.\n");
   bench::Footer();
 }
 
@@ -86,13 +124,19 @@ void BM_ParallelPlan(benchmark::State& state) {
                   .ValueOrDie();
   core::ExecutorOptions exec;
   exec.parallelism = static_cast<size_t>(state.range(0));
+  exec.strategy = state.range(1) ? core::ExecutionStrategy::kSharedScan
+                                 : core::ExecutionStrategy::kPerQuery;
   for (auto _ : state) {
     auto r = core::ExecutePlan(workload.engine.get(), plan,
                                core::DistanceMetric::kEarthMovers, exec);
     benchmark::DoNotOptimize(r);
   }
 }
-BENCHMARK(BM_ParallelPlan)->Arg(1)->Arg(4);
+BENCHMARK(BM_ParallelPlan)
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->Args({1, 1})
+    ->Args({4, 1});
 
 }  // namespace
 

@@ -8,14 +8,17 @@
 #define SEEDB_BENCH_BENCH_UTIL_H_
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <set>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/recommendation.h"
 #include "core/seedb.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace seedb::bench {
@@ -80,6 +83,101 @@ inline size_t RankOf(const core::RecommendationSet& set,
   }
   return 0;
 }
+
+/// \brief Minimal streaming JSON writer for machine-readable bench results
+/// (the BENCH_*.json artifacts CI tracks across PRs).
+///
+/// Handles comma placement; callers are responsible for well-formed nesting.
+///   JsonWriter w;
+///   w.BeginObject().Key("bench").Value("parallel").Key("runs").BeginArray();
+///   ... w.EndArray().EndObject(); w.WriteFile("BENCH_parallel.json");
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Key(const std::string& name) {
+    MaybeComma();
+    out_ += Quote(name) + ":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(const std::string& v) { return Raw(Quote(v)); }
+  JsonWriter& Value(const char* v) { return Raw(Quote(v)); }
+  JsonWriter& Value(double v) { return Raw(FormatDouble(v, 6)); }
+  JsonWriter& Value(bool v) { return Raw(v ? "true" : "false"); }
+  /// Any integer type (int, size_t, uint64_t, ...) without overload
+  /// ambiguity across platforms where size_t != uint64_t.
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  JsonWriter& Value(T v) {
+    return Raw(std::to_string(v));
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// Writes the document to `path`; prints a warning on failure (benches
+  /// never fail the run over an artifact).
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(out_.data(), 1, out_.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  JsonWriter& Open(char c) {
+    MaybeComma();
+    out_ += c;
+    need_comma_ = false;
+    pending_value_ = false;
+    return *this;
+  }
+
+  JsonWriter& Close(char c) {
+    out_ += c;
+    need_comma_ = true;
+    return *this;
+  }
+
+  JsonWriter& Raw(const std::string& text) {
+    MaybeComma();
+    out_ += text;
+    need_comma_ = true;
+    pending_value_ = false;
+    return *this;
+  }
+
+  void MaybeComma() {
+    if (pending_value_) return;  // value directly follows its key
+    if (need_comma_) out_ += ',';
+    need_comma_ = false;
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+  bool pending_value_ = false;
+};
 
 }  // namespace seedb::bench
 

@@ -8,6 +8,16 @@
 
 namespace seedb::core {
 
+const char* ExecutionStrategyToString(ExecutionStrategy strategy) {
+  switch (strategy) {
+    case ExecutionStrategy::kPerQuery:
+      return "per-query";
+    case ExecutionStrategy::kSharedScan:
+      return "shared-scan";
+  }
+  return "?";
+}
+
 double ExecutionReport::MeanQuerySeconds() const {
   if (query_seconds.empty()) return 0.0;
   double total = 0.0;
@@ -29,7 +39,25 @@ Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
   ViewProcessor processor(metric);
   std::vector<double> query_seconds(plan.queries.size(), 0.0);
 
-  if (options.parallelism <= 1) {
+  if (options.strategy == ExecutionStrategy::kSharedScan &&
+      !plan.queries.empty()) {
+    std::vector<db::GroupingSetsQuery> queries;
+    queries.reserve(plan.queries.size());
+    for (const PlannedQuery& pq : plan.queries) queries.push_back(pq.query);
+    db::SharedScanOptions scan;
+    scan.num_threads = options.parallelism;
+    scan.morsel_rows = options.morsel_rows;
+    Stopwatch qt;
+    SEEDB_ASSIGN_OR_RETURN(std::vector<std::vector<db::Table>> all,
+                           engine->ExecuteShared(queries, scan));
+    double fused = qt.ElapsedSeconds();
+    for (size_t i = 0; i < plan.queries.size(); ++i) {
+      SEEDB_RETURN_IF_ERROR(
+          processor.Consume(plan.queries[i], std::move(all[i])));
+    }
+    std::fill(query_seconds.begin(), query_seconds.end(),
+              fused / static_cast<double>(plan.queries.size()));
+  } else if (options.parallelism <= 1) {
     for (size_t i = 0; i < plan.queries.size(); ++i) {
       Stopwatch qt;
       SEEDB_ASSIGN_OR_RETURN(std::vector<db::Table> results,

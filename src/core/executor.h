@@ -6,6 +6,13 @@
 // time." The executor reproduces that knob: planned queries are distributed
 // over a thread pool; per-query latencies are recorded so benches can report
 // both sides of the trade-off.
+//
+// Two strategies are offered. kPerQuery is the paper's inter-query
+// parallelism: each planned query is an independent pass over the table, and
+// the pool runs passes concurrently. kSharedScan is the logical endpoint of
+// §3.3's sharing argument: the whole plan is handed to db/shared_scan.h and
+// answered in ONE morsel-driven pass, with intra-scan parallelism — it gets
+// faster with cores, not with query count.
 
 #ifndef SEEDB_CORE_EXECUTOR_H_
 #define SEEDB_CORE_EXECUTOR_H_
@@ -20,15 +27,31 @@
 
 namespace seedb::core {
 
+/// How the executor maps an ExecutionPlan onto engine work.
+enum class ExecutionStrategy {
+  /// One engine query per planned query; `parallelism` queries in flight.
+  kPerQuery,
+  /// The whole plan fused into one morsel-driven table pass;
+  /// `parallelism` worker threads inside the scan.
+  kSharedScan,
+};
+
+const char* ExecutionStrategyToString(ExecutionStrategy strategy);
+
 struct ExecutorOptions {
-  /// Queries executed concurrently; 1 = serial.
+  /// kPerQuery: queries executed concurrently (1 = serial).
+  /// kSharedScan: morsel worker threads (0 = hardware concurrency).
   size_t parallelism = 1;
+  ExecutionStrategy strategy = ExecutionStrategy::kPerQuery;
+  /// Rows per morsel for kSharedScan.
+  size_t morsel_rows = db::SharedScanOptions{}.morsel_rows;
 };
 
 struct ExecutionReport {
   /// Wall time to run the whole plan.
   double total_seconds = 0.0;
-  /// Per planned-query wall time, in plan order.
+  /// Per planned-query wall time, in plan order. Under kSharedScan the pass
+  /// is fused, so the fused wall time is attributed evenly across queries.
   std::vector<double> query_seconds;
 
   double MeanQuerySeconds() const;

@@ -78,6 +78,7 @@ Result<RecommendationSet> SeeDB::Recommend(const std::string& table,
   db::EngineStatsSnapshot before = engine_->stats();
   ExecutorOptions exec_options;
   exec_options.parallelism = options.parallelism;
+  exec_options.strategy = options.strategy;
   ExecutionReport exec_report;
   SEEDB_ASSIGN_OR_RETURN(
       std::vector<ViewResult> results,

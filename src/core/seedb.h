@@ -53,8 +53,12 @@ struct SeeDBOptions {
   ViewSpaceOptions view_space;
   PruningOptions pruning;           // default: no pruning
   OptimizerOptions optimizer;       // default: all combining on
-  /// Concurrent query execution (§3.3 "Parallel Query Execution").
+  /// Concurrent query execution (§3.3 "Parallel Query Execution"), or
+  /// morsel worker threads under kSharedScan.
   size_t parallelism = 1;
+  /// kPerQuery runs each planned query as its own table pass; kSharedScan
+  /// fuses the whole plan into one morsel-driven pass (db/shared_scan.h).
+  ExecutionStrategy strategy = ExecutionStrategy::kPerQuery;
 
   SamplingStrategy sampling = SamplingStrategy::kNone;
   /// Reservoir size for kMaterialized (ignored otherwise). Tables at or

@@ -8,10 +8,11 @@ namespace seedb::db {
 
 std::string EngineStatsSnapshot::ToString() const {
   return StringPrintf(
-      "queries=%llu scans=%llu rows_scanned=%llu groups=%llu "
-      "peak_agg_state=%lluB exec=%.3fms",
+      "queries=%llu scans=%llu shared_batches=%llu rows_scanned=%llu "
+      "groups=%llu peak_agg_state=%lluB exec=%.3fms",
       static_cast<unsigned long long>(queries_executed),
       static_cast<unsigned long long>(table_scans),
+      static_cast<unsigned long long>(shared_scan_batches),
       static_cast<unsigned long long>(rows_scanned),
       static_cast<unsigned long long>(groups_created),
       static_cast<unsigned long long>(peak_agg_state_bytes),
@@ -83,6 +84,45 @@ Result<std::vector<Table>> Engine::Execute(const GroupingSetsQuery& query) {
   return results;
 }
 
+Result<std::vector<std::vector<Table>>> Engine::ExecuteShared(
+    const std::vector<GroupingSetsQuery>& queries,
+    const SharedScanOptions& options) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("shared scan needs at least one query");
+  }
+  for (const auto& q : queries) {
+    if (q.table != queries.front().table) {
+      return Status::InvalidArgument(
+          "shared scan queries must target one table (got '" +
+          queries.front().table + "' and '" + q.table + "')");
+    }
+  }
+  SEEDB_ASSIGN_OR_RETURN(const Table* table,
+                         catalog_->GetTable(queries.front().table));
+  Stopwatch timer;
+  SharedScanStats sstats;
+  SEEDB_ASSIGN_OR_RETURN(std::vector<std::vector<Table>> results,
+                         ExecuteSharedScan(*table, queries, options, &sstats));
+  queries_executed_.fetch_add(queries.size(), std::memory_order_relaxed);
+  // The fused batch is ONE pass over the base table, however many view
+  // queries it answers — the invariant the shared-scan tests pin down.
+  table_scans_.fetch_add(1, std::memory_order_relaxed);
+  shared_scan_batches_.fetch_add(1, std::memory_order_relaxed);
+  rows_scanned_.fetch_add(sstats.rows_scanned, std::memory_order_relaxed);
+  groups_created_.fetch_add(sstats.total_groups, std::memory_order_relaxed);
+  UpdatePeak(&peak_agg_state_bytes_, sstats.agg_state_bytes);
+  total_exec_micros_.fetch_add(
+      static_cast<uint64_t>(timer.ElapsedMicros()), std::memory_order_relaxed);
+  for (const auto& query : queries) {
+    std::vector<std::string> group_cols;
+    for (const auto& set : query.grouping_sets) {
+      group_cols.insert(group_cols.end(), set.begin(), set.end());
+    }
+    RecordAccess(query.table, group_cols, query.aggregates, query.where.get());
+  }
+  return results;
+}
+
 Result<Table> Engine::ExecuteSql(const std::string& sql) {
   SEEDB_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::ParseSelect(sql));
   if (!stmt.grouping_sets.empty()) {
@@ -100,6 +140,7 @@ EngineStatsSnapshot Engine::stats() const {
   EngineStatsSnapshot s;
   s.queries_executed = queries_executed_.load(std::memory_order_relaxed);
   s.table_scans = table_scans_.load(std::memory_order_relaxed);
+  s.shared_scan_batches = shared_scan_batches_.load(std::memory_order_relaxed);
   s.rows_scanned = rows_scanned_.load(std::memory_order_relaxed);
   s.groups_created = groups_created_.load(std::memory_order_relaxed);
   s.peak_agg_state_bytes =
@@ -111,6 +152,7 @@ EngineStatsSnapshot Engine::stats() const {
 void Engine::ResetStats() {
   queries_executed_.store(0, std::memory_order_relaxed);
   table_scans_.store(0, std::memory_order_relaxed);
+  shared_scan_batches_.store(0, std::memory_order_relaxed);
   rows_scanned_.store(0, std::memory_order_relaxed);
   groups_created_.store(0, std::memory_order_relaxed);
   peak_agg_state_bytes_.store(0, std::memory_order_relaxed);

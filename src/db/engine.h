@@ -18,6 +18,7 @@
 #include "db/catalog.h"
 #include "db/group_by.h"
 #include "db/grouping_sets.h"
+#include "db/shared_scan.h"
 #include "util/result.h"
 
 namespace seedb::db {
@@ -25,8 +26,11 @@ namespace seedb::db {
 /// Plain-value snapshot of the engine's cumulative execution counters.
 struct EngineStatsSnapshot {
   uint64_t queries_executed = 0;
-  /// Passes over a base table (a GROUPING SETS query is one scan).
+  /// Passes over a base table (a GROUPING SETS query is one scan; a whole
+  /// shared-scan batch is one scan regardless of how many queries it fuses).
   uint64_t table_scans = 0;
+  /// Fused shared-scan batches executed (each contributed one table scan).
+  uint64_t shared_scan_batches = 0;
   uint64_t rows_scanned = 0;
   uint64_t groups_created = 0;
   /// Largest per-query aggregation working set seen.
@@ -55,6 +59,16 @@ class Engine {
   /// Executes a multi-group-by query (one shared table scan).
   Result<std::vector<Table>> Execute(const GroupingSetsQuery& query);
 
+  /// Executes a whole batch of multi-group-by queries in ONE fused
+  /// morsel-driven pass (db/shared_scan.h). All queries must target the same
+  /// table. Every query still counts in `queries_executed`, but the batch
+  /// records exactly one `table_scans` increment — the engine-level
+  /// realization of §3.3's scan-sharing argument. Result `[q]` matches
+  /// Execute(queries[q]).
+  Result<std::vector<std::vector<Table>>> ExecuteShared(
+      const std::vector<GroupingSetsQuery>& queries,
+      const SharedScanOptions& options = {});
+
   /// Parses and executes a SQL SELECT (the wrapper-deployment interface).
   /// Supports the dialect in db/sql/parser.h; GROUPING SETS queries return
   /// their first result set through this interface.
@@ -78,6 +92,7 @@ class Engine {
 
   std::atomic<uint64_t> queries_executed_{0};
   std::atomic<uint64_t> table_scans_{0};
+  std::atomic<uint64_t> shared_scan_batches_{0};
   std::atomic<uint64_t> rows_scanned_{0};
   std::atomic<uint64_t> groups_created_{0};
   std::atomic<uint64_t> peak_agg_state_bytes_{0};

@@ -71,9 +71,10 @@ Status ValidateAggregates(const Table& table,
 
 namespace {
 
-// Packs one cell into an int64 key part. Strings pack their dictionary code,
-// doubles their bit pattern; null uses a sentinel distinct from any code.
+// Null sentinel distinct from any dictionary code.
 constexpr int64_t kNullKeyPart = std::numeric_limits<int64_t>::min() + 1;
+
+}  // namespace
 
 int64_t PackKeyPart(const Column& col, size_t row) {
   if (col.IsNull(row)) return kNullKeyPart;
@@ -89,19 +90,6 @@ int64_t PackKeyPart(const Column& col, size_t row) {
   }
   return kNullKeyPart;
 }
-
-struct KeyVecHash {
-  size_t operator()(const std::vector<int64_t>& key) const {
-    size_t h = 0xcbf29ce484222325ULL;
-    for (int64_t part : key) {
-      h ^= std::hash<int64_t>{}(part);
-      h *= 0x100000001b3ULL;
-    }
-    return h;
-  }
-};
-
-}  // namespace
 
 Result<GroupKeyBuilder> GroupKeyBuilder::Create(
     const Table& table, const std::vector<std::string>& columns,
@@ -147,7 +135,7 @@ Result<GroupKeyBuilder> GroupKeyBuilder::Create(
   }
 
   // Generic path: hash map over packed key tuples.
-  std::unordered_map<std::vector<int64_t>, int32_t, KeyVecHash> groups;
+  std::unordered_map<std::vector<int64_t>, int32_t, PackedKeyHash> groups;
   std::vector<int64_t> key(b.col_indices_.size());
   for (size_t i = 0; i < n; ++i) {
     if (!mask[i]) continue;
@@ -172,6 +160,40 @@ std::vector<Value> GroupKeyBuilder::GroupKey(int32_t gid) const {
     key.push_back(table_->column(idx).GetValue(row));
   }
   return key;
+}
+
+Result<Table> MaterializeGroupedResult(
+    const Table& table, const std::vector<std::string>& group_cols,
+    const std::vector<AggregateSpec>& aggregates,
+    std::vector<std::vector<Value>> keys,
+    const std::vector<std::vector<AggState>>& states) {
+  Schema out_schema;
+  for (const auto& g : group_cols) {
+    SEEDB_ASSIGN_OR_RETURN(size_t idx, table.schema().FindColumn(g));
+    SEEDB_RETURN_IF_ERROR(out_schema.AddColumn(table.schema().column(idx)));
+  }
+  for (const auto& agg : aggregates) {
+    SEEDB_RETURN_IF_ERROR(out_schema.AddColumn(ColumnDef(
+        agg.EffectiveName(), ValueType::kDouble, ColumnRole::kMeasure)));
+  }
+
+  int32_t num_groups = static_cast<int32_t>(keys.size());
+  std::vector<int32_t> order(num_groups);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return std::lexicographical_compare(keys[a].begin(), keys[a].end(),
+                                        keys[b].begin(), keys[b].end());
+  });
+
+  Table out(out_schema);
+  for (int32_t g : order) {
+    std::vector<Value> row = std::move(keys[g]);
+    for (size_t j = 0; j < aggregates.size(); ++j) {
+      row.emplace_back(states[j][g].Finalize(aggregates[j].func));
+    }
+    SEEDB_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
 }
 
 }  // namespace internal
@@ -238,37 +260,13 @@ Result<Table> MaterializeResult(const Table& table,
                                 const GroupByQuery& query,
                                 const GroupKeyBuilder& builder,
                                 const std::vector<std::vector<AggState>>& states) {
-  Schema out_schema;
-  for (const auto& g : query.group_by) {
-    SEEDB_ASSIGN_OR_RETURN(size_t idx, table.schema().FindColumn(g));
-    ColumnDef def = table.schema().column(idx);
-    SEEDB_RETURN_IF_ERROR(out_schema.AddColumn(def));
+  std::vector<std::vector<Value>> keys(builder.num_groups());
+  for (int32_t g = 0; g < builder.num_groups(); ++g) {
+    keys[g] = builder.GroupKey(g);
   }
-  for (const auto& agg : query.aggregates) {
-    SEEDB_RETURN_IF_ERROR(out_schema.AddColumn(
-        ColumnDef(agg.EffectiveName(), ValueType::kDouble,
-                  ColumnRole::kMeasure)));
-  }
-
-  int32_t num_groups = builder.num_groups();
-  std::vector<int32_t> order(num_groups);
-  std::iota(order.begin(), order.end(), 0);
-  std::vector<std::vector<Value>> keys(num_groups);
-  for (int32_t g = 0; g < num_groups; ++g) keys[g] = builder.GroupKey(g);
-  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
-    return std::lexicographical_compare(keys[a].begin(), keys[a].end(),
-                                        keys[b].begin(), keys[b].end());
-  });
-
-  Table out(out_schema);
-  for (int32_t g : order) {
-    std::vector<Value> row = keys[g];
-    for (size_t j = 0; j < query.aggregates.size(); ++j) {
-      row.emplace_back(states[j][g].Finalize(query.aggregates[j].func));
-    }
-    SEEDB_RETURN_IF_ERROR(out.AppendRow(row));
-  }
-  return out;
+  return internal::MaterializeGroupedResult(table, query.group_by,
+                                            query.aggregates, std::move(keys),
+                                            states);
 }
 
 }  // namespace

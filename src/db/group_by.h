@@ -59,6 +59,26 @@ Result<Table> ExecuteGroupBy(const Table& table, const GroupByQuery& query,
 
 namespace internal {
 
+/// Packs one cell into an int64 key part for hashing/equality: strings pack
+/// their dictionary code, doubles their bit pattern, nulls a sentinel
+/// distinct from any code. Key parts are table-global (the dictionary is
+/// shared), so keys packed by different workers over disjoint row ranges
+/// compare correctly — the property db/shared_scan.h's partial-state merge
+/// relies on.
+int64_t PackKeyPart(const Column& col, size_t row);
+
+/// FNV-1a over packed key parts.
+struct PackedKeyHash {
+  size_t operator()(const std::vector<int64_t>& key) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (int64_t part : key) {
+      h ^= std::hash<int64_t>{}(part);
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
 /// \brief Assigns a dense group id to every row selected by a mask.
 ///
 /// Rows with mask 0 get id -1. Groups are created lazily in first-seen order;
@@ -91,6 +111,19 @@ class GroupKeyBuilder {
 /// Builds a Bernoulli scan mask: each row kept with probability `fraction`.
 std::vector<uint8_t> BernoulliScanMask(size_t num_rows, double fraction,
                                        uint64_t seed);
+
+/// Materializes the grouped-aggregation output shape every executor shares
+/// (ExecuteGroupBy, ExecuteGroupingSets, ExecuteSharedScan): group columns
+/// with their original defs, then one DOUBLE column per aggregate, one row
+/// per group sorted lexicographically by boxed key. `keys[g]` is group g's
+/// boxed key (one Value per grouping column); `states[j][g]` its accumulator
+/// for aggregate j. Keeping this in one place is what keeps the fused and
+/// per-query paths byte-identical.
+Result<Table> MaterializeGroupedResult(
+    const Table& table, const std::vector<std::string>& group_cols,
+    const std::vector<AggregateSpec>& aggregates,
+    std::vector<std::vector<Value>> keys,
+    const std::vector<std::vector<AggState>>& states);
 
 /// Validates the pieces shared by GroupBy and GroupingSets queries.
 Status ValidateAggregates(const Table& table,

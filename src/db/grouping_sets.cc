@@ -136,34 +136,15 @@ Result<std::vector<Table>> ExecuteGroupingSets(const Table& table,
   results.reserve(builders.size());
   size_t total_groups = 0;
   for (size_t s = 0; s < builders.size(); ++s) {
-    const auto& set = query.grouping_sets[s];
-    Schema out_schema;
-    for (const auto& g : set) {
-      SEEDB_ASSIGN_OR_RETURN(size_t idx, table.schema().FindColumn(g));
-      SEEDB_RETURN_IF_ERROR(out_schema.AddColumn(table.schema().column(idx)));
-    }
-    for (const auto& agg : query.aggregates) {
-      SEEDB_RETURN_IF_ERROR(out_schema.AddColumn(ColumnDef(
-          agg.EffectiveName(), ValueType::kDouble, ColumnRole::kMeasure)));
-    }
     int32_t num_groups = builders[s].num_groups();
     total_groups += static_cast<size_t>(num_groups);
-    std::vector<int32_t> order(num_groups);
-    std::iota(order.begin(), order.end(), 0);
     std::vector<std::vector<Value>> keys(num_groups);
     for (int32_t g = 0; g < num_groups; ++g) keys[g] = builders[s].GroupKey(g);
-    std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
-      return std::lexicographical_compare(keys[a].begin(), keys[a].end(),
-                                          keys[b].begin(), keys[b].end());
-    });
-    Table out(out_schema);
-    for (int32_t g : order) {
-      std::vector<Value> row = keys[g];
-      for (size_t j = 0; j < query.aggregates.size(); ++j) {
-        row.emplace_back(states[s][j][g].Finalize(query.aggregates[j].func));
-      }
-      SEEDB_RETURN_IF_ERROR(out.AppendRow(row));
-    }
+    SEEDB_ASSIGN_OR_RETURN(
+        Table out,
+        internal::MaterializeGroupedResult(table, query.grouping_sets[s],
+                                           query.aggregates, std::move(keys),
+                                           states[s]));
     results.push_back(std::move(out));
   }
 

@@ -1,0 +1,424 @@
+#include "db/shared_scan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "db/group_by.h"
+#include "util/thread_pool.h"
+
+namespace seedb::db {
+namespace {
+
+// One grouping set of one query, resolved against the table for the scan.
+// Single string dimensions (the common SeeDB case) take a dense path keyed
+// by dictionary code; everything else hashes packed key tuples.
+struct SetSpec {
+  std::vector<const Column*> cols;
+  std::vector<size_t> col_indices;
+  /// Set iff the set is exactly one string column.
+  const Column* dense_col = nullptr;
+  /// dict_size() + 1; the last slot stands for null.
+  size_t dense_slots = 0;
+};
+
+// One aggregate of one query, resolved for the scan.
+struct AggRuntime {
+  const Column* input = nullptr;  // nullptr => COUNT(*)
+  const std::vector<uint8_t>* filter = nullptr;
+  bool count_only = false;
+};
+
+// One query of the batch, fully resolved: combined sample & WHERE mask
+// (nullptr selects every row), grouping sets, aggregates.
+struct QuerySpec {
+  const std::vector<uint8_t>* mask = nullptr;
+  std::vector<SetSpec> sets;
+  std::vector<AggRuntime> aggs;
+};
+
+// Partial aggregation state one worker holds for one (query, grouping set).
+// Groups are created lazily from the masked rows the worker actually saw;
+// dense_slot / key identify each local group for the cross-worker merge.
+struct LocalGroups {
+  std::vector<int32_t> dense_to_local;
+  std::unordered_map<std::vector<int64_t>, int32_t, internal::PackedKeyHash>
+      key_to_local;
+  std::vector<uint32_t> rep_row;
+  std::vector<size_t> dense_slot;
+  std::vector<std::vector<int64_t>> keys;
+  /// states[agg][local group].
+  std::vector<std::vector<AggState>> states;
+
+  int32_t NewGroup(uint32_t row) {
+    int32_t gid = static_cast<int32_t>(rep_row.size());
+    rep_row.push_back(row);
+    for (auto& per_agg : states) per_agg.emplace_back();
+    return gid;
+  }
+};
+
+// Everything one worker accumulates: groups[q][s].
+using WorkerState = std::vector<std::vector<LocalGroups>>;
+
+WorkerState MakeWorkerState(const std::vector<QuerySpec>& specs) {
+  WorkerState state(specs.size());
+  for (size_t q = 0; q < specs.size(); ++q) {
+    state[q].resize(specs[q].sets.size());
+    for (size_t s = 0; s < specs[q].sets.size(); ++s) {
+      LocalGroups& lg = state[q][s];
+      if (specs[q].sets[s].dense_col) {
+        lg.dense_to_local.assign(specs[q].sets[s].dense_slots, -1);
+      }
+      lg.states.resize(specs[q].aggs.size());
+    }
+  }
+  return state;
+}
+
+void AccumulateRow(const QuerySpec& spec, LocalGroups* lg, int32_t gid,
+                   size_t row) {
+  for (size_t j = 0; j < spec.aggs.size(); ++j) {
+    const AggRuntime& a = spec.aggs[j];
+    if (a.filter && !(*a.filter)[row]) continue;
+    if (a.input && a.input->IsNull(row)) continue;
+    if (a.count_only) {
+      lg->states[j][gid].AddCountOnly();
+    } else {
+      lg->states[j][gid].Add(a.input->NumericAt(row));
+    }
+  }
+}
+
+// Runs one (query, set) over rows [lo, hi) of one morsel.
+void ScanMorsel(const QuerySpec& spec, const SetSpec& set, LocalGroups* lg,
+                size_t lo, size_t hi, std::vector<int64_t>* key_scratch) {
+  const std::vector<uint8_t>* mask = spec.mask;
+  if (set.dense_col) {
+    const auto& codes = set.dense_col->codes();
+    for (size_t i = lo; i < hi; ++i) {
+      if (mask && !(*mask)[i]) continue;
+      size_t slot = set.dense_col->IsNull(i) ? set.dense_slots - 1
+                                             : static_cast<size_t>(codes[i]);
+      int32_t gid = lg->dense_to_local[slot];
+      if (gid < 0) {
+        gid = lg->NewGroup(static_cast<uint32_t>(i));
+        lg->dense_to_local[slot] = gid;
+        lg->dense_slot.push_back(slot);
+      }
+      AccumulateRow(spec, lg, gid, i);
+    }
+    return;
+  }
+  for (size_t i = lo; i < hi; ++i) {
+    if (mask && !(*mask)[i]) continue;
+    key_scratch->clear();
+    for (const Column* col : set.cols) {
+      key_scratch->push_back(internal::PackKeyPart(*col, i));
+    }
+    auto [it, inserted] = lg->key_to_local.emplace(
+        *key_scratch, static_cast<int32_t>(lg->rep_row.size()));
+    if (inserted) {
+      lg->NewGroup(static_cast<uint32_t>(i));
+      lg->keys.push_back(*key_scratch);
+    }
+    AccumulateRow(spec, lg, it->second, i);
+  }
+}
+
+// One worker: steal morsels off the shared counter until none remain. Each
+// worker's own additions happen in increasing row order, so partial states
+// stay deterministic per worker-to-morsel assignment.
+void WorkerLoop(const std::vector<QuerySpec>& specs, size_t num_rows,
+                size_t morsel_rows, std::atomic<size_t>* next_morsel,
+                size_t num_morsels, WorkerState* state) {
+  std::vector<int64_t> key_scratch;
+  for (size_t m = next_morsel->fetch_add(1, std::memory_order_relaxed);
+       m < num_morsels;
+       m = next_morsel->fetch_add(1, std::memory_order_relaxed)) {
+    size_t lo = m * morsel_rows;
+    size_t hi = std::min(num_rows, lo + morsel_rows);
+    for (size_t q = 0; q < specs.size(); ++q) {
+      for (size_t s = 0; s < specs[q].sets.size(); ++s) {
+        ScanMorsel(specs[q], specs[q].sets[s], &(*state)[q][s], lo, hi,
+                   &key_scratch);
+      }
+    }
+  }
+}
+
+// Merged (cross-worker) groups for one (query, set).
+struct GlobalGroups {
+  std::vector<int32_t> dense_to_global;
+  std::unordered_map<std::vector<int64_t>, int32_t, internal::PackedKeyHash>
+      key_to_global;
+  std::vector<uint32_t> rep_row;
+  std::vector<std::vector<AggState>> states;
+};
+
+GlobalGroups MergePartials(const SetSpec& set, size_t num_aggs,
+                           const std::vector<WorkerState>& workers, size_t q,
+                           size_t s) {
+  GlobalGroups global;
+  global.states.resize(num_aggs);
+  if (set.dense_col) global.dense_to_global.assign(set.dense_slots, -1);
+  for (const WorkerState& worker : workers) {
+    const LocalGroups& lg = worker[q][s];
+    for (size_t l = 0; l < lg.rep_row.size(); ++l) {
+      int32_t gid;
+      if (set.dense_col) {
+        int32_t& slot_gid = global.dense_to_global[lg.dense_slot[l]];
+        if (slot_gid < 0) {
+          slot_gid = static_cast<int32_t>(global.rep_row.size());
+          global.rep_row.push_back(lg.rep_row[l]);
+          for (auto& per_agg : global.states) per_agg.emplace_back();
+        }
+        gid = slot_gid;
+      } else {
+        auto [it, inserted] = global.key_to_global.emplace(
+            lg.keys[l], static_cast<int32_t>(global.rep_row.size()));
+        if (inserted) {
+          global.rep_row.push_back(lg.rep_row[l]);
+          for (auto& per_agg : global.states) per_agg.emplace_back();
+        }
+        gid = it->second;
+      }
+      for (size_t j = 0; j < num_aggs; ++j) {
+        global.states[j][gid].Merge(lg.states[j][l]);
+      }
+    }
+  }
+  return global;
+}
+
+// Materializes one (query, set) result through the shared grouped-output
+// shape (internal::MaterializeGroupedResult), so the fused path stays
+// byte-identical to ExecuteGroupingSets by construction.
+Result<Table> MaterializeSet(const Table& table, const GroupingSetsQuery& query,
+                             size_t set_index, const SetSpec& set,
+                             const GlobalGroups& global) {
+  int32_t num_groups = static_cast<int32_t>(global.rep_row.size());
+  std::vector<std::vector<Value>> keys(num_groups);
+  for (int32_t g = 0; g < num_groups; ++g) {
+    keys[g].reserve(set.col_indices.size());
+    for (size_t idx : set.col_indices) {
+      keys[g].push_back(table.column(idx).GetValue(global.rep_row[g]));
+    }
+  }
+  return internal::MaterializeGroupedResult(
+      table, query.grouping_sets[set_index], query.aggregates, std::move(keys),
+      global.states);
+}
+
+// Shared mask evaluation: every distinct predicate / sample configuration
+// across the whole batch is evaluated exactly once.
+class MaskCache {
+ public:
+  explicit MaskCache(const Table& table) : table_(table) {}
+
+  /// All-ones when fraction >= 1 (returns nullptr: "no mask").
+  const std::vector<uint8_t>* SampleMask(double fraction, uint64_t seed) {
+    if (fraction >= 1.0) return nullptr;
+    auto key = std::make_pair(fraction, seed);
+    auto it = sample_.find(key);
+    if (it == sample_.end()) {
+      it = sample_
+               .emplace(key, internal::BernoulliScanMask(table_.num_rows(),
+                                                         fraction, seed))
+               .first;
+    }
+    return &it->second;
+  }
+
+  Result<const std::vector<uint8_t>*> PredicateMask(const Predicate* pred) {
+    if (pred == nullptr) return nullptr;
+    auto it = predicate_.find(pred);
+    if (it == predicate_.end()) {
+      std::vector<uint8_t> mask;
+      SEEDB_RETURN_IF_ERROR(pred->EvaluateMask(table_, &mask));
+      it = predicate_.emplace(pred, std::move(mask)).first;
+    }
+    return &it->second;
+  }
+
+  /// sample & where combined; nullptr when both are absent.
+  Result<const std::vector<uint8_t>*> CombinedMask(double fraction,
+                                                   uint64_t seed,
+                                                   const Predicate* where) {
+    const std::vector<uint8_t>* sample = SampleMask(fraction, seed);
+    SEEDB_ASSIGN_OR_RETURN(const std::vector<uint8_t>* pred,
+                           PredicateMask(where));
+    if (sample == nullptr) return pred;
+    if (pred == nullptr) return sample;
+    auto key = std::make_pair(sample, pred);
+    auto it = combined_.find(key);
+    if (it == combined_.end()) {
+      std::vector<uint8_t> both(table_.num_rows());
+      for (size_t i = 0; i < both.size(); ++i) {
+        both[i] = (*sample)[i] & (*pred)[i];
+      }
+      it = combined_.emplace(key, std::move(both)).first;
+    }
+    return &it->second;
+  }
+
+ private:
+  const Table& table_;
+  std::map<std::pair<double, uint64_t>, std::vector<uint8_t>> sample_;
+  std::map<const Predicate*, std::vector<uint8_t>> predicate_;
+  std::map<std::pair<const std::vector<uint8_t>*, const std::vector<uint8_t>*>,
+           std::vector<uint8_t>>
+      combined_;
+};
+
+Status ValidateQuery(const Table& table, const GroupingSetsQuery& query) {
+  if (query.grouping_sets.empty()) {
+    return Status::InvalidArgument("no grouping sets");
+  }
+  SEEDB_RETURN_IF_ERROR(internal::ValidateAggregates(table, query.aggregates));
+  for (const auto& set : query.grouping_sets) {
+    for (const auto& g : set) {
+      SEEDB_RETURN_IF_ERROR(table.schema().FindColumn(g).status());
+    }
+  }
+  if (query.sample_fraction <= 0.0 || query.sample_fraction > 1.0) {
+    return Status::InvalidArgument("sample_fraction outside (0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<Table>>> ExecuteSharedScan(
+    const Table& table, const std::vector<GroupingSetsQuery>& queries,
+    const SharedScanOptions& options, SharedScanStats* stats) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("shared scan needs at least one query");
+  }
+  if (options.morsel_rows == 0) {
+    return Status::InvalidArgument("morsel_rows must be positive");
+  }
+  for (const auto& query : queries) {
+    SEEDB_RETURN_IF_ERROR(ValidateQuery(table, query));
+  }
+
+  const size_t n = table.num_rows();
+
+  // Resolve every query against the table, evaluating each distinct sample /
+  // WHERE / FILTER configuration exactly once for the whole batch.
+  MaskCache masks(table);
+  std::vector<QuerySpec> specs(queries.size());
+  size_t rows_scanned = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const GroupingSetsQuery& query = queries[q];
+    QuerySpec& spec = specs[q];
+    SEEDB_ASSIGN_OR_RETURN(
+        spec.mask, masks.CombinedMask(query.sample_fraction, query.sample_seed,
+                                      query.where.get()));
+    const std::vector<uint8_t>* sample =
+        masks.SampleMask(query.sample_fraction, query.sample_seed);
+    size_t sampled =
+        sample == nullptr
+            ? n
+            : static_cast<size_t>(
+                  std::count(sample->begin(), sample->end(), uint8_t{1}));
+    rows_scanned = std::max(rows_scanned, sampled);
+
+    for (const auto& set : query.grouping_sets) {
+      SetSpec resolved;
+      for (const auto& g : set) {
+        SEEDB_ASSIGN_OR_RETURN(size_t idx, table.schema().FindColumn(g));
+        resolved.col_indices.push_back(idx);
+        resolved.cols.push_back(&table.column(idx));
+      }
+      if (resolved.cols.size() == 1 &&
+          resolved.cols[0]->type() == ValueType::kString) {
+        resolved.dense_col = resolved.cols[0];
+        resolved.dense_slots = resolved.dense_col->dict_size() + 1;
+      }
+      spec.sets.push_back(std::move(resolved));
+    }
+    for (const auto& agg : query.aggregates) {
+      AggRuntime rt;
+      if (!agg.input.empty()) {
+        SEEDB_ASSIGN_OR_RETURN(rt.input, table.ColumnByName(agg.input));
+      }
+      rt.count_only =
+          rt.input == nullptr || agg.func == AggregateFunction::kCount;
+      SEEDB_ASSIGN_OR_RETURN(rt.filter, masks.PredicateMask(agg.filter.get()));
+      spec.aggs.push_back(rt);
+    }
+  }
+
+  // The morsel-driven pass: workers steal fixed-size row ranges off a shared
+  // counter and fold them into private partial states.
+  const size_t num_morsels = (n + options.morsel_rows - 1) / options.morsel_rows;
+  size_t threads = options.num_threads == 0
+                       ? std::max<size_t>(1, std::thread::hardware_concurrency())
+                       : options.num_threads;
+  threads = std::max<size_t>(1, std::min(threads, std::max<size_t>(1, num_morsels)));
+
+  std::vector<WorkerState> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) workers.push_back(MakeWorkerState(specs));
+
+  std::atomic<size_t> next_morsel{0};
+  if (threads == 1) {
+    WorkerLoop(specs, n, options.morsel_rows, &next_morsel, num_morsels,
+               &workers[0]);
+  } else {
+    ThreadPool pool(threads);
+    std::vector<std::future<void>> futures;
+    futures.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      WorkerState* state = &workers[t];
+      futures.push_back(pool.Submit([&specs, n, &options, &next_morsel,
+                                     num_morsels, state] {
+        WorkerLoop(specs, n, options.morsel_rows, &next_morsel, num_morsels,
+                   state);
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  // Merge partials and materialize, per (query, set).
+  std::vector<std::vector<Table>> results(queries.size());
+  size_t total_groups = 0;
+  size_t agg_state_bytes = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    results[q].reserve(specs[q].sets.size());
+    for (size_t s = 0; s < specs[q].sets.size(); ++s) {
+      GlobalGroups global =
+          MergePartials(specs[q].sets[s], specs[q].aggs.size(), workers, q, s);
+      // A global aggregate (empty grouping set) always has its one group,
+      // even when no row passes the mask — matching GroupKeyBuilder, which
+      // creates group 0 unconditionally. The representative row is never
+      // dereferenced (the key has no columns).
+      if (specs[q].sets[s].cols.empty() && global.rep_row.empty()) {
+        global.rep_row.push_back(0);
+        for (auto& per_agg : global.states) per_agg.emplace_back();
+      }
+      total_groups += global.rep_row.size();
+      agg_state_bytes +=
+          global.rep_row.size() * specs[q].aggs.size() * sizeof(AggState);
+      SEEDB_ASSIGN_OR_RETURN(
+          Table out,
+          MaterializeSet(table, queries[q], s, specs[q].sets[s], global));
+      results[q].push_back(std::move(out));
+    }
+  }
+
+  if (stats) {
+    stats->rows_scanned = rows_scanned;
+    stats->total_groups = total_groups;
+    stats->agg_state_bytes = agg_state_bytes;
+    stats->morsels = num_morsels;
+    stats->threads_used = threads;
+  }
+  return results;
+}
+
+}  // namespace seedb::db

@@ -1,0 +1,64 @@
+// Shared-scan fused execution: the entire batch of view queries answered in
+// ONE morsel-driven pass over the base table.
+//
+// SeeDB's §3.3 optimizations (combine target/comparison, combine aggregates,
+// combine group-bys) each reduce the *number* of scans; the logical endpoint
+// of that sharing argument is to stop scanning once per query altogether.
+// ExecuteSharedScan takes every GroupingSetsQuery of an execution plan at
+// once, splits the table into fixed-size row ranges (morsels), and hands
+// morsels to a worker pool. Each worker keeps private partial aggregation
+// states per (query, grouping set) — dense arrays keyed by dictionary code
+// for single string dimensions, hash tables over packed key tuples otherwise
+// — and the partials are merged after the pass. WHERE / FILTER / sample
+// masks are evaluated once per distinct predicate across the whole batch,
+// not once per query.
+//
+// Result shape and values are identical to running every query through
+// ExecuteGroupingSets independently (per-group sums may differ by float
+// reassociation across morsel boundaries, i.e. ~1 ulp).
+
+#ifndef SEEDB_DB_SHARED_SCAN_H_
+#define SEEDB_DB_SHARED_SCAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "db/grouping_sets.h"
+#include "db/table.h"
+#include "util/result.h"
+
+namespace seedb::db {
+
+struct SharedScanOptions {
+  /// Worker threads for the morsel pass; 0 = hardware concurrency, 1 runs
+  /// the pass inline on the calling thread.
+  size_t num_threads = 0;
+  /// Rows per morsel (the work-stealing unit).
+  size_t morsel_rows = 16384;
+};
+
+struct SharedScanStats {
+  /// Rows visited by the single fused pass (the largest sample mask; the
+  /// whole batch shares one pass, so rows are not re-counted per query).
+  size_t rows_scanned = 0;
+  /// Groups materialized across all queries and grouping sets.
+  size_t total_groups = 0;
+  /// Merged aggregation-state footprint across the whole batch — all hash
+  /// tables are live at once, the working-memory trade-off §3.3 describes.
+  size_t agg_state_bytes = 0;
+  size_t morsels = 0;
+  size_t threads_used = 0;
+};
+
+/// Answers all of `queries` in one morsel-driven pass over `table`.
+/// Output `[q]` is exactly what ExecuteGroupingSets(table, queries[q])
+/// returns: one result table per grouping set of query q, rows sorted by
+/// group key. Queries may differ in WHERE, FILTER, grouping sets and
+/// sampling; they must all target `table`.
+Result<std::vector<std::vector<Table>>> ExecuteSharedScan(
+    const Table& table, const std::vector<GroupingSetsQuery>& queries,
+    const SharedScanOptions& options, SharedScanStats* stats = nullptr);
+
+}  // namespace seedb::db
+
+#endif  // SEEDB_DB_SHARED_SCAN_H_

@@ -41,13 +41,16 @@ class ExecutorTest : public ::testing::Test {
 
   std::vector<ViewResult> Run(const OptimizerOptions& optimizer,
                               size_t parallelism = 1,
-                              ExecutionReport* report = nullptr) {
+                              ExecutionReport* report = nullptr,
+                              ExecutionStrategy strategy =
+                                  ExecutionStrategy::kPerQuery) {
     const db::TableStats* stats = catalog_->GetStats("t").ValueOrDie();
     ExecutionPlan plan =
         BuildExecutionPlan(views_, "t", selection_, *stats, optimizer)
             .ValueOrDie();
     ExecutorOptions exec;
     exec.parallelism = parallelism;
+    exec.strategy = strategy;
     return ExecutePlan(engine_, plan, DistanceMetric::kEarthMovers, exec,
                        report)
         .ValueOrDie();
@@ -143,6 +146,54 @@ TEST_F(ExecutorTest, CombineTcExactlyHalvesScans) {
   Run(tc);
   uint64_t tc_scans = engine_->stats().table_scans;
   EXPECT_EQ(tc_scans * 2, baseline_scans);
+}
+
+// The shared-scan strategy computes the same utilities as per-query
+// execution for every optimizer configuration (it is a pure execution-layer
+// transformation, like the §3.3 combines).
+class SharedScanEquivalenceTest : public ExecutorTest,
+                                  public ::testing::WithParamInterface<int> {};
+
+TEST_P(SharedScanEquivalenceTest, SharedScanMatchesPerQuery) {
+  int mask = GetParam();
+  OptimizerOptions options = OptimizerOptions::Baseline();
+  options.combine_target_comparison = mask & 1;
+  options.combine_aggregates = mask & 2;
+  options.combine_group_bys = mask & 4;
+
+  auto per_query = UtilityMap(Run(options));
+  auto fused = UtilityMap(
+      Run(options, 4, nullptr, ExecutionStrategy::kSharedScan));
+  ASSERT_EQ(per_query.size(), fused.size());
+  for (const auto& [id, utility] : per_query) {
+    ASSERT_TRUE(fused.count(id)) << id;
+    EXPECT_NEAR(fused[id], utility, 1e-9) << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, SharedScanEquivalenceTest,
+                         ::testing::Range(0, 8));
+
+// The tentpole invariant: a fused multi-query plan is exactly ONE table scan
+// in the engine's cost model, regardless of how many views it answers.
+TEST_F(ExecutorTest, SharedScanCountsOneScanForWholePlan) {
+  engine_->ResetStats();
+  Run(OptimizerOptions::Baseline(), 2, nullptr,
+      ExecutionStrategy::kSharedScan);
+  db::EngineStatsSnapshot stats = engine_->stats();
+  EXPECT_EQ(stats.table_scans, 1u);
+  EXPECT_EQ(stats.shared_scan_batches, 1u);
+  // Every planned query still counts as a query (2 per view, baseline plan).
+  EXPECT_EQ(stats.queries_executed, 2 * views_.size());
+}
+
+TEST_F(ExecutorTest, SharedScanReportCoversPlan) {
+  ExecutionReport report;
+  auto results = Run(OptimizerOptions::Baseline(), 1, &report,
+                     ExecutionStrategy::kSharedScan);
+  EXPECT_EQ(results.size(), views_.size());
+  EXPECT_EQ(report.query_seconds.size(), 2 * views_.size());
+  EXPECT_GT(report.total_seconds, 0.0);
 }
 
 TEST_F(ExecutorTest, SamplingStillFindsPlantedView) {

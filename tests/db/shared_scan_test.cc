@@ -1,0 +1,262 @@
+#include "db/shared_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "data/synthetic.h"
+#include "db/engine.h"
+#include "db/predicate.h"
+
+namespace seedb::db {
+namespace {
+
+using ::seedb::testing::MakeLaserwaveTable;
+using ::seedb::testing::MakeTinyTable;
+
+// Checks two tables cell-for-cell. Aggregate doubles may differ by float
+// reassociation across morsel boundaries, so doubles compare with EXPECT_NEAR.
+void ExpectTablesMatch(const Table& got, const Table& want,
+                       const std::string& label) {
+  ASSERT_EQ(got.num_rows(), want.num_rows()) << label;
+  ASSERT_EQ(got.num_columns(), want.num_columns()) << label;
+  for (size_t r = 0; r < got.num_rows(); ++r) {
+    for (size_t c = 0; c < got.num_columns(); ++c) {
+      Value g = got.ValueAt(r, c);
+      Value w = want.ValueAt(r, c);
+      if (g.type() == ValueType::kDouble && w.type() == ValueType::kDouble) {
+        EXPECT_NEAR(g.ToDouble().ValueOrDie(), w.ToDouble().ValueOrDie(),
+                    1e-9 + 1e-12 * std::abs(w.ToDouble().ValueOrDie()))
+            << label << " row " << r << " col " << c;
+      } else {
+        EXPECT_EQ(g, w) << label << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+// Runs `queries` through both the fused shared scan (with `options`) and
+// query-at-a-time ExecuteGroupingSets, and requires identical results.
+void ExpectParity(const Table& table,
+                  const std::vector<GroupingSetsQuery>& queries,
+                  const SharedScanOptions& options,
+                  SharedScanStats* stats = nullptr) {
+  auto fused = ExecuteSharedScan(table, queries, options, stats);
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+  ASSERT_EQ(fused->size(), queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto expected = ExecuteGroupingSets(table, queries[q], nullptr);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    ASSERT_EQ((*fused)[q].size(), expected->size()) << "query " << q;
+    for (size_t s = 0; s < expected->size(); ++s) {
+      ExpectTablesMatch((*fused)[q][s], (*expected)[s],
+                        "query " + std::to_string(q) + " set " +
+                            std::to_string(s));
+    }
+  }
+}
+
+// The paper's §1 running example: the fused pass answers the Laserwave
+// target query, the comparison query, and a combined FILTER query exactly
+// like three independent scans would.
+TEST(SharedScanTest, LaserwaveParity) {
+  Table t = MakeLaserwaveTable();
+  PredicatePtr laserwave(Eq("product", Value("Laserwave")));
+
+  GroupingSetsQuery target;
+  target.table = "sales";
+  target.where = laserwave;
+  target.grouping_sets = {{"store"}};
+  target.aggregates = {AggregateSpec::Make(AggregateFunction::kSum, "amount")};
+
+  GroupingSetsQuery comparison = target;
+  comparison.where = nullptr;
+
+  GroupingSetsQuery combined;
+  combined.table = "sales";
+  combined.grouping_sets = {{"store"}};
+  combined.aggregates = {
+      AggregateSpec::Make(AggregateFunction::kSum, "amount", "tgt", laserwave),
+      AggregateSpec::Make(AggregateFunction::kSum, "amount", "cmp"),
+  };
+
+  SharedScanStats stats;
+  ExpectParity(t, {target, comparison, combined}, SharedScanOptions{}, &stats);
+  EXPECT_EQ(stats.rows_scanned, t.num_rows());
+  // store has 4 distinct values; target sees them all under the Laserwave
+  // selection, so every query materializes 4 groups.
+  EXPECT_EQ(stats.total_groups, 12u);
+
+  // Spot-check Table 1 of the paper through the fused path.
+  auto fused =
+      ExecuteSharedScan(t, {target}, SharedScanOptions{}, nullptr);
+  ASSERT_TRUE(fused.ok());
+  const Table& by_store = (*fused)[0][0];
+  int cambridge =
+      ::seedb::testing::FindRowByKey(by_store, Value("Cambridge, MA"));
+  ASSERT_GE(cambridge, 0);
+  EXPECT_DOUBLE_EQ(
+      by_store.ValueAt(cambridge, 1).ToDouble().ValueOrDie(), 180.55);
+}
+
+TEST(SharedScanTest, TinyTableManyQueryShapes) {
+  Table t = MakeTinyTable();
+  PredicatePtr sel(Eq("d", Value("a")));
+
+  std::vector<GroupingSetsQuery> queries;
+  {
+    GroupingSetsQuery q;  // multi-set, multi-aggregate
+    q.table = "t";
+    q.grouping_sets = {{"d"}, {"e"}, {"d", "e"}};
+    q.aggregates = {AggregateSpec::Make(AggregateFunction::kSum, "m1"),
+                    AggregateSpec::Make(AggregateFunction::kAvg, "m2"),
+                    AggregateSpec::Count("n")};
+    queries.push_back(q);
+  }
+  {
+    GroupingSetsQuery q;  // WHERE + FILTER mix
+    q.table = "t";
+    q.where = PredicatePtr(Gt("m1", Value(1.0)));
+    q.grouping_sets = {{"e"}};
+    q.aggregates = {
+        AggregateSpec::Make(AggregateFunction::kSum, "m1", "tgt", sel),
+        AggregateSpec::Make(AggregateFunction::kSum, "m1", "cmp")};
+    queries.push_back(q);
+  }
+  {
+    GroupingSetsQuery q;  // global aggregate (empty grouping set)
+    q.table = "t";
+    q.grouping_sets = {{}};
+    q.aggregates = {AggregateSpec::Make(AggregateFunction::kMax, "m2")};
+    queries.push_back(q);
+  }
+  ExpectParity(t, queries, SharedScanOptions{});
+}
+
+// Morsel boundaries and multi-threading must not change any result: force
+// many tiny morsels over a synthetic table and sweep thread counts.
+TEST(SharedScanTest, MorselAndThreadSweepParity) {
+  data::SyntheticSpec spec = data::SyntheticSpec::Simple(
+      /*rows=*/5000, /*num_dims=*/3, /*num_measures=*/2,
+      /*cardinality=*/7, /*seed=*/11);
+  auto dataset = data::GenerateSynthetic(spec).ValueOrDie();
+  const Table& t = dataset.table;
+
+  std::vector<GroupingSetsQuery> queries;
+  {
+    GroupingSetsQuery q;
+    q.table = "synthetic";
+    q.where = dataset.selection;
+    q.grouping_sets = {{"dim1"}, {"dim2"}};
+    q.aggregates = {AggregateSpec::Make(AggregateFunction::kSum, "m0"),
+                    AggregateSpec::Make(AggregateFunction::kAvg, "m1")};
+    queries.push_back(q);
+  }
+  {
+    GroupingSetsQuery q;
+    q.table = "synthetic";
+    q.grouping_sets = {{"dim1", "dim2"}};
+    q.aggregates = {AggregateSpec::Make(AggregateFunction::kMin, "m0")};
+    queries.push_back(q);
+  }
+
+  for (size_t threads : {1, 2, 4}) {
+    for (size_t morsel_rows : {64, 1024, 100000}) {
+      SharedScanOptions options;
+      options.num_threads = threads;
+      options.morsel_rows = morsel_rows;
+      SharedScanStats stats;
+      ExpectParity(t, queries, options, &stats);
+      EXPECT_EQ(stats.morsels, (t.num_rows() + morsel_rows - 1) / morsel_rows);
+      EXPECT_LE(stats.threads_used, threads);
+    }
+  }
+}
+
+// A global aggregate whose WHERE matches nothing still yields its one group
+// (COUNT = 0), exactly like ExecuteGroupingSets.
+TEST(SharedScanTest, EmptySelectionGlobalAggregateKeepsItsGroup) {
+  Table t = MakeTinyTable();
+  GroupingSetsQuery q;
+  q.table = "t";
+  q.where = PredicatePtr(Eq("d", Value("no-such-value")));
+  q.grouping_sets = {{}};
+  q.aggregates = {AggregateSpec::Count("n")};
+  ExpectParity(t, {q}, SharedScanOptions{});
+
+  auto fused = ExecuteSharedScan(t, {q}, SharedScanOptions{});
+  ASSERT_TRUE(fused.ok());
+  ASSERT_EQ((*fused)[0][0].num_rows(), 1u);
+  EXPECT_EQ((*fused)[0][0].ValueAt(0, 0), Value(0.0));
+}
+
+TEST(SharedScanTest, SamplingSharedAcrossQueries) {
+  Table t = MakeTinyTable();
+  GroupingSetsQuery a;
+  a.table = "t";
+  a.grouping_sets = {{"d"}};
+  a.aggregates = {AggregateSpec::Count("n")};
+  a.sample_fraction = 0.5;
+  a.sample_seed = 3;
+  GroupingSetsQuery b = a;
+  b.grouping_sets = {{"e"}};
+  ExpectParity(t, {a, b}, SharedScanOptions{});
+}
+
+TEST(SharedScanTest, ValidationErrors) {
+  Table t = MakeTinyTable();
+  SharedScanOptions options;
+  EXPECT_FALSE(ExecuteSharedScan(t, {}, options).ok());
+
+  GroupingSetsQuery q;
+  q.table = "t";
+  EXPECT_FALSE(ExecuteSharedScan(t, {q}, options).ok());  // no sets
+
+  q.grouping_sets = {{"missing"}};
+  q.aggregates = {AggregateSpec::Count()};
+  EXPECT_FALSE(ExecuteSharedScan(t, {q}, options).ok());
+
+  q.grouping_sets = {{"d"}};
+  q.sample_fraction = 0.0;
+  EXPECT_FALSE(ExecuteSharedScan(t, {q}, options).ok());
+
+  q.sample_fraction = 1.0;
+  options.morsel_rows = 0;
+  EXPECT_FALSE(ExecuteSharedScan(t, {q}, options).ok());
+}
+
+// The engine-level invariant the tentpole exists for: a fused batch is ONE
+// table scan however many queries ride in it.
+TEST(SharedScanTest, EngineCountsOneScanPerBatch) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable("sales", MakeLaserwaveTable()).ok());
+  Engine engine(&catalog);
+
+  std::vector<GroupingSetsQuery> queries;
+  for (int i = 0; i < 5; ++i) {
+    GroupingSetsQuery q;
+    q.table = "sales";
+    q.grouping_sets = {{"store"}};
+    q.aggregates = {AggregateSpec::Make(AggregateFunction::kSum, "amount")};
+    if (i % 2 == 0) q.where = PredicatePtr(Eq("product", Value("Laserwave")));
+    queries.push_back(q);
+  }
+
+  auto results = engine.ExecuteShared(queries);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 5u);
+
+  EngineStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.queries_executed, 5u);
+  EXPECT_EQ(stats.table_scans, 1u);
+  EXPECT_EQ(stats.shared_scan_batches, 1u);
+  EXPECT_EQ(stats.rows_scanned, 9u);
+
+  // Mixed-table batches are rejected.
+  GroupingSetsQuery other = queries[0];
+  other.table = "elsewhere";
+  queries.push_back(other);
+  EXPECT_FALSE(engine.ExecuteShared(queries).ok());
+}
+
+}  // namespace
+}  // namespace seedb::db

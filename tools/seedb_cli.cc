@@ -81,6 +81,7 @@ class Cli {
         "  \\tables / \\schema <t>            catalog inspection\n"
         "  \\bin <t> <measure> <bins>        derive a binned dimension\n"
         "  \\set k <n> | metric <name> | parallel <n> | prune on|off\n"
+        "  \\set strategy shared|perquery    fused shared-scan vs per-query\n"
         "  \\q                               quit\n");
     return Status::OK();
   }
@@ -169,6 +170,17 @@ class Cli {
                              core::ParseDistanceMetric(name));
     } else if (key == "parallel") {
       in >> options_.parallelism;
+    } else if (key == "strategy") {
+      std::string name;
+      in >> name;
+      if (name == "shared") {
+        options_.strategy = core::ExecutionStrategy::kSharedScan;
+      } else if (name == "perquery") {
+        options_.strategy = core::ExecutionStrategy::kPerQuery;
+      } else {
+        return Status::InvalidArgument(
+            "usage: \\set strategy shared|perquery");
+      }
     } else if (key == "prune") {
       std::string state;
       in >> state;
@@ -176,11 +188,13 @@ class Cli {
                                        : core::PruningOptions::None();
     } else {
       return Status::InvalidArgument(
-          "usage: \\set k <n> | metric <name> | parallel <n> | prune on|off");
+          "usage: \\set k <n> | metric <name> | parallel <n> | "
+          "strategy shared|perquery | prune on|off");
     }
-    std::printf("ok (k=%zu metric=%s parallel=%zu)\n", options_.k,
+    std::printf("ok (k=%zu metric=%s parallel=%zu strategy=%s)\n", options_.k,
                 core::DistanceMetricToString(options_.metric),
-                options_.parallelism);
+                options_.parallelism,
+                core::ExecutionStrategyToString(options_.strategy));
     return Status::OK();
   }
 
