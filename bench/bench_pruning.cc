@@ -6,6 +6,11 @@
 // correlated twin dimension, a planted deviation) and reports, per pruning
 // configuration: views executed, latency, and top-5 recall against the
 // unpruned ranking.
+//
+// E3b — §3.3 Pruning-Based Optimizations: the phased executor's *online*
+// pruners (confidence-interval and MAB successive halving) against the
+// exhaustive fused scan, sweeping phase counts: recall@5, views retired
+// mid-flight, wall-clock, and per-phase latency.
 
 #include <benchmark/benchmark.h>
 
@@ -120,6 +125,82 @@ void RunExperiment() {
   bench::Footer();
 }
 
+void RunOnlinePruningExperiment() {
+  bench::Banner(
+      "E3b (online CI/MAB pruning)",
+      "mid-flight view pruning vs the exhaustive fused scan",
+      "phased execution with confidence-interval or MAB pruning retires "
+      "low-utility views after a fraction of the table, cutting latency "
+      "while keeping top-k recall high");
+
+  Env env = BuildEnv();
+  core::SeeDB seedb_engine(env.engine.get());
+
+  // Ground truth: the exhaustive fused scan (same strategy family, no
+  // pruner), so recall isolates what online pruning changes.
+  core::SeeDBOptions truth_options;
+  truth_options.k = 5;
+  truth_options.strategy = core::ExecutionStrategy::kSharedScan;
+  auto truth =
+      seedb_engine.Recommend("t", env.selection, truth_options).ValueOrDie();
+  auto truth_ids = bench::TopViewIds(truth);
+
+  struct Config {
+    const char* name;
+    core::OnlinePruner pruner;
+    size_t phases;
+    /// Hoeffding range for CI. The default (2.0) is provably safe for every
+    /// shipped metric but rarely separates on small utility gaps; the
+    /// tighter settings trade the guarantee for real pruning — exactly the
+    /// accuracy-vs-latency dial this experiment measures.
+    double utility_range;
+  };
+  std::vector<Config> configs = {
+      {"exhaustive", core::OnlinePruner::kNone, 1, 2.0},
+      {"ci-safe", core::OnlinePruner::kConfidenceInterval, 10, 2.0},
+      {"ci(r=.05)", core::OnlinePruner::kConfidenceInterval, 4, 0.05},
+      {"ci(r=.05)", core::OnlinePruner::kConfidenceInterval, 10, 0.05},
+      {"mab", core::OnlinePruner::kMultiArmedBandit, 4, 2.0},
+      {"mab", core::OnlinePruner::kMultiArmedBandit, 10, 2.0},
+  };
+
+  std::printf("%-12s %8s %8s %10s %12s %14s %10s\n", "pruner", "phases",
+              "views", "pruned", "latency(ms)", "per-phase(ms)", "recall@5");
+  for (const auto& config : configs) {
+    core::SeeDBOptions options;
+    options.k = 5;
+    options.strategy = core::ExecutionStrategy::kPhasedSharedScan;
+    options.online_pruning.pruner = config.pruner;
+    options.online_pruning.num_phases = config.phases;
+    options.online_pruning.delta = 0.05;
+    options.online_pruning.utility_range = config.utility_range;
+    core::RecommendationSet result;
+    double ms = bench::MedianSeconds([&] {
+                  result = seedb_engine
+                               .Recommend("t", env.selection, options)
+                               .ValueOrDie();
+                }) *
+                1e3;
+    double exec_ms = result.profile.execution_seconds * 1e3;
+    double per_phase_ms =
+        result.profile.phases_executed == 0
+            ? 0.0
+            : exec_ms / static_cast<double>(result.profile.phases_executed);
+    std::printf("%-12s %8zu %8zu %10zu %12.2f %14.2f %10.2f\n", config.name,
+                result.profile.phases_executed,
+                result.profile.views_executed -
+                    result.profile.views_pruned_online,
+                result.profile.views_pruned_online, ms, per_phase_ms,
+                bench::Recall(truth_ids, bench::TopViewIds(result)));
+  }
+  std::printf(
+      "\nExpected shape: both pruners keep recall@5 near 1.0 on this "
+      "workload (the planted view separates early) while retiring most "
+      "views well before the scan ends; MAB prunes on a fixed halving "
+      "schedule, CI only when the confidence bounds separate.\n");
+  bench::Footer();
+}
+
 void BM_PruneViews(benchmark::State& state) {
   Env env = BuildEnv();
   const db::Table* table = env.catalog->GetTable("t").ValueOrDie();
@@ -137,6 +218,7 @@ BENCHMARK(BM_PruneViews);
 
 int main(int argc, char** argv) {
   RunExperiment();
+  RunOnlinePruningExperiment();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

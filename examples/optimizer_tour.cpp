@@ -10,12 +10,9 @@
 
 namespace {
 
-void RunWith(const char* label, seedb::core::SeeDB* seedb,
-             seedb::data::Workload* w,
-             const seedb::core::OptimizerOptions& optimizer) {
-  seedb::core::SeeDBOptions options;
-  options.k = 3;
-  options.optimizer = optimizer;
+void RunOptions(const char* label, seedb::core::SeeDB* seedb,
+                seedb::data::Workload* w,
+                const seedb::core::SeeDBOptions& options) {
   w->engine->ResetStats();
   auto result = seedb->Recommend(w->table_name, w->selection, options);
   if (!result.ok()) {
@@ -23,12 +20,27 @@ void RunWith(const char* label, seedb::core::SeeDB* seedb,
                  result.status().ToString().c_str());
     return;
   }
-  std::printf("%-34s queries=%3zu scans=%3zu rows=%9llu top=%s (%.4f)\n",
+  std::printf("%-34s queries=%3zu scans=%3zu rows=%9llu top=%s (%.4f)",
               label, result->profile.queries_issued,
               result->profile.table_scans,
               static_cast<unsigned long long>(result->profile.rows_scanned),
               result->top_views[0].view().Id().c_str(),
               result->top_views[0].utility());
+  if (result->profile.phases_executed > 1) {
+    std::printf(" [%zu phases, %zu views pruned online]",
+                result->profile.phases_executed,
+                result->profile.views_pruned_online);
+  }
+  std::printf("\n");
+}
+
+void RunWith(const char* label, seedb::core::SeeDB* seedb,
+             seedb::data::Workload* w,
+             const seedb::core::OptimizerOptions& optimizer) {
+  seedb::core::SeeDBOptions options;
+  options.k = 3;
+  options.optimizer = optimizer;
+  RunOptions(label, seedb, w, options);
 }
 
 }  // namespace
@@ -83,6 +95,30 @@ int main() {
   OptimizerOptions sampled = all;
   sampled.sample_fraction = 0.1;
   RunWith("all + 10% sampling", &seedb, &*workload, sampled);
+
+  // The execution-layer knobs: the same (baseline) plan fused into one
+  // morsel-driven pass, then phased with each online pruner retiring
+  // low-utility views mid-scan (§3.3 pruning-based optimizations).
+  std::printf("\nExecution strategies on the un-combined plan:\n");
+  {
+    seedb::core::SeeDBOptions options;
+    options.k = 3;
+    options.optimizer = baseline;
+    options.strategy = seedb::core::ExecutionStrategy::kSharedScan;
+    options.parallelism = 4;
+    RunOptions("shared scan (fused)", &seedb, &*workload, options);
+
+    options.strategy = seedb::core::ExecutionStrategy::kPhasedSharedScan;
+    options.online_pruning.num_phases = 8;
+    options.online_pruning.pruner =
+        seedb::core::OnlinePruner::kConfidenceInterval;
+    options.online_pruning.delta = 0.05;
+    RunOptions("phased + CI pruning", &seedb, &*workload, options);
+
+    options.online_pruning.pruner =
+        seedb::core::OnlinePruner::kMultiArmedBandit;
+    RunOptions("phased + MAB halving", &seedb, &*workload, options);
+  }
 
   // Print the fully optimized plan so the query combining is visible.
   auto stats = workload->catalog->GetStats(workload->table_name);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <mutex>
+#include <unordered_map>
+#include <utility>
 
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -14,21 +16,179 @@ const char* ExecutionStrategyToString(ExecutionStrategy strategy) {
       return "per-query";
     case ExecutionStrategy::kSharedScan:
       return "shared-scan";
+    case ExecutionStrategy::kPhasedSharedScan:
+      return "phased-shared-scan";
   }
   return "?";
 }
 
-double ExecutionReport::MeanQuerySeconds() const {
-  if (query_seconds.empty()) return 0.0;
+namespace {
+
+double MeanOf(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
   double total = 0.0;
-  for (double s : query_seconds) total += s;
-  return total / static_cast<double>(query_seconds.size());
+  for (double s : v) total += s;
+  return total / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+double ExecutionReport::MeanQuerySeconds() const {
+  return MeanOf(query_seconds);
 }
 
 double ExecutionReport::MaxQuerySeconds() const {
   if (query_seconds.empty()) return 0.0;
   return *std::max_element(query_seconds.begin(), query_seconds.end());
 }
+
+double ExecutionReport::MeanPhaseSeconds() const {
+  return MeanOf(phase_seconds);
+}
+
+namespace {
+
+db::SharedScanOptions MakeScanOptions(const ExecutorOptions& options) {
+  db::SharedScanOptions scan;
+  scan.num_threads = options.parallelism;
+  scan.morsel_rows = options.morsel_rows;
+  return scan;
+}
+
+std::vector<db::GroupingSetsQuery> PlanQueries(const ExecutionPlan& plan) {
+  std::vector<db::GroupingSetsQuery> queries;
+  queries.reserve(plan.queries.size());
+  for (const PlannedQuery& pq : plan.queries) queries.push_back(pq.query);
+  return queries;
+}
+
+// The whole plan in ONE fused pass.
+Result<std::vector<ViewResult>> ExecuteFused(db::Engine* engine,
+                                             const ExecutionPlan& plan,
+                                             ViewProcessor* processor,
+                                             const ExecutorOptions& options,
+                                             ExecutionReport* report) {
+  Stopwatch qt;
+  SEEDB_ASSIGN_OR_RETURN(
+      std::vector<std::vector<db::Table>> all,
+      engine->ExecuteShared(PlanQueries(plan), MakeScanOptions(options)));
+  double fused = qt.ElapsedSeconds();
+  for (size_t i = 0; i < plan.queries.size(); ++i) {
+    SEEDB_RETURN_IF_ERROR(
+        processor->Consume(plan.queries[i], std::move(all[i])));
+  }
+  if (report) {
+    report->phase_seconds.assign(1, fused);
+    report->phases_executed = 1;
+  }
+  return processor->Finish();
+}
+
+// The fused pass split into sequential row-range phases with online view
+// pruning at each boundary (§3.3 "Pruning Optimizations").
+Result<std::vector<ViewResult>> ExecutePhased(db::Engine* engine,
+                                              const ExecutionPlan& plan,
+                                              DistanceMetric metric,
+                                              ViewProcessor* processor,
+                                              const ExecutorOptions& options,
+                                              ExecutionReport* report) {
+  SEEDB_ASSIGN_OR_RETURN(
+      db::SharedScanSession session,
+      engine->BeginShared(PlanQueries(plan), MakeScanOptions(options)));
+
+  // Dense view index across the plan, plus the wiring from each view to the
+  // planned queries carrying one of its halves. A query is retired from the
+  // scan once every view riding on it has been pruned.
+  std::vector<ViewDescriptor> views;
+  std::unordered_map<ViewDescriptor, size_t, ViewDescriptorHash> view_index;
+  std::vector<std::vector<size_t>> queries_of_view;
+  std::vector<size_t> live_slots(plan.queries.size(), 0);
+  for (size_t q = 0; q < plan.queries.size(); ++q) {
+    for (const ViewSlot& slot : plan.queries[q].slots) {
+      auto [it, inserted] = view_index.emplace(slot.view, views.size());
+      if (inserted) {
+        views.push_back(slot.view);
+        queries_of_view.emplace_back();
+      }
+      queries_of_view[it->second].push_back(q);
+      ++live_slots[q];
+    }
+  }
+
+  const OnlinePruningOptions& popts = options.online_pruning;
+  const size_t num_phases = std::max<size_t>(1, popts.num_phases);
+  OnlinePruningState pruner(views.size(), popts);
+  const auto include_active = [&](const ViewDescriptor& v) {
+    auto it = view_index.find(v);
+    return it != view_index.end() && pruner.IsActive(it->second);
+  };
+
+  const size_t n = session.num_rows();
+  size_t queries_deactivated = 0;
+  std::vector<double> phase_seconds;
+  phase_seconds.reserve(num_phases);
+
+  for (size_t p = 0; p < num_phases; ++p) {
+    Stopwatch phase_timer;
+    const size_t begin = n * p / num_phases;
+    const size_t end = n * (p + 1) / num_phases;
+    SEEDB_RETURN_IF_ERROR(session.RunPhase(begin, end));
+
+    const bool boundary = p + 1 < num_phases;
+    if (boundary && popts.pruner != OnlinePruner::kNone && popts.keep_k > 0 &&
+        pruner.num_active() > popts.keep_k && session.rows_consumed() > 0) {
+      // Score every surviving view on its running aggregates. Early slices
+      // can leave a view with two empty halves (nothing matched yet), which
+      // has no defined utility — skip this boundary rather than prune on
+      // undefined estimates; the next boundary sees more rows.
+      ViewProcessor estimator(metric);
+      Status consumed = Status::OK();
+      for (size_t q = 0; q < plan.queries.size() && consumed.ok(); ++q) {
+        if (!session.query_active(q)) continue;
+        SEEDB_ASSIGN_OR_RETURN(std::vector<db::Table> partial,
+                               session.PartialResults(q));
+        consumed = estimator.Consume(plan.queries[q], std::move(partial),
+                                     include_active);
+      }
+      Result<std::vector<ViewResult>> estimates =
+          consumed.ok() ? estimator.Finish()
+                        : Result<std::vector<ViewResult>>(consumed);
+      if (estimates.ok()) {
+        std::vector<double> utilities(views.size(), 0.0);
+        for (const ViewResult& vr : *estimates) {
+          utilities[view_index.at(vr.view)] = vr.utility;
+        }
+        for (size_t v : pruner.Observe(utilities)) {
+          for (size_t q : queries_of_view[v]) {
+            if (--live_slots[q] == 0 && session.query_active(q)) {
+              SEEDB_RETURN_IF_ERROR(session.DeactivateQuery(q));
+              ++queries_deactivated;
+            }
+          }
+        }
+      }
+    }
+    phase_seconds.push_back(phase_timer.ElapsedSeconds());
+  }
+
+  SEEDB_ASSIGN_OR_RETURN(std::vector<std::vector<db::Table>> all,
+                         session.Finalize());
+  for (size_t q = 0; q < plan.queries.size(); ++q) {
+    if (!session.query_active(q)) continue;
+    SEEDB_RETURN_IF_ERROR(
+        processor->Consume(plan.queries[q], std::move(all[q]),
+                           include_active));
+  }
+  if (report) {
+    report->phase_seconds = std::move(phase_seconds);
+    report->phases_executed = num_phases;
+    report->views_pruned_online = pruner.views_pruned();
+    report->queries_deactivated = queries_deactivated;
+  }
+  return processor->Finish();
+}
+
+}  // namespace
 
 Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
                                             const ExecutionPlan& plan,
@@ -37,27 +197,20 @@ Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
                                             ExecutionReport* report) {
   Stopwatch total_timer;
   ViewProcessor processor(metric);
-  std::vector<double> query_seconds(plan.queries.size(), 0.0);
 
-  if (options.strategy == ExecutionStrategy::kSharedScan &&
+  if (options.strategy != ExecutionStrategy::kPerQuery &&
       !plan.queries.empty()) {
-    std::vector<db::GroupingSetsQuery> queries;
-    queries.reserve(plan.queries.size());
-    for (const PlannedQuery& pq : plan.queries) queries.push_back(pq.query);
-    db::SharedScanOptions scan;
-    scan.num_threads = options.parallelism;
-    scan.morsel_rows = options.morsel_rows;
-    Stopwatch qt;
-    SEEDB_ASSIGN_OR_RETURN(std::vector<std::vector<db::Table>> all,
-                           engine->ExecuteShared(queries, scan));
-    double fused = qt.ElapsedSeconds();
-    for (size_t i = 0; i < plan.queries.size(); ++i) {
-      SEEDB_RETURN_IF_ERROR(
-          processor.Consume(plan.queries[i], std::move(all[i])));
-    }
-    std::fill(query_seconds.begin(), query_seconds.end(),
-              fused / static_cast<double>(plan.queries.size()));
-  } else if (options.parallelism <= 1) {
+    Result<std::vector<ViewResult>> views =
+        options.strategy == ExecutionStrategy::kSharedScan
+            ? ExecuteFused(engine, plan, &processor, options, report)
+            : ExecutePhased(engine, plan, metric, &processor, options, report);
+    SEEDB_RETURN_IF_ERROR(views.status());
+    if (report) report->total_seconds = total_timer.ElapsedSeconds();
+    return views;
+  }
+
+  std::vector<double> query_seconds(plan.queries.size(), 0.0);
+  if (options.parallelism <= 1) {
     for (size_t i = 0; i < plan.queries.size(); ++i) {
       Stopwatch qt;
       SEEDB_ASSIGN_OR_RETURN(std::vector<db::Table> results,
@@ -91,12 +244,12 @@ Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
     if (!first_error.ok()) return first_error;
   }
 
-  SEEDB_ASSIGN_OR_RETURN(std::vector<ViewResult> views, processor.Finish());
+  SEEDB_ASSIGN_OR_RETURN(std::vector<ViewResult> results, processor.Finish());
   if (report) {
     report->total_seconds = total_timer.ElapsedSeconds();
     report->query_seconds = std::move(query_seconds);
   }
-  return views;
+  return results;
 }
 
 }  // namespace seedb::core

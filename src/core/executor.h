@@ -7,12 +7,17 @@
 // over a thread pool; per-query latencies are recorded so benches can report
 // both sides of the trade-off.
 //
-// Two strategies are offered. kPerQuery is the paper's inter-query
+// Three strategies are offered. kPerQuery is the paper's inter-query
 // parallelism: each planned query is an independent pass over the table, and
 // the pool runs passes concurrently. kSharedScan is the logical endpoint of
 // §3.3's sharing argument: the whole plan is handed to db/shared_scan.h and
 // answered in ONE morsel-driven pass, with intra-scan parallelism — it gets
-// faster with cores, not with query count.
+// faster with cores, not with query count. kPhasedSharedScan runs that same
+// fused pass as N sequential table slices and, at each phase boundary,
+// re-estimates every surviving view's utility from its running (un-finalized)
+// aggregates and lets an online pruner (core/online_pruning.h) retire views
+// that provably — or probably, depending on the strategy — cannot make the
+// top k, so the remaining phases scan for fewer queries.
 
 #ifndef SEEDB_CORE_EXECUTOR_H_
 #define SEEDB_CORE_EXECUTOR_H_
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "core/metrics.h"
+#include "core/online_pruning.h"
 #include "core/optimizer.h"
 #include "core/view_processor.h"
 #include "db/engine.h"
@@ -34,32 +40,61 @@ enum class ExecutionStrategy {
   /// The whole plan fused into one morsel-driven table pass;
   /// `parallelism` worker threads inside the scan.
   kSharedScan,
+  /// The fused pass split into `online_pruning.num_phases` sequential row
+  /// slices with confidence-interval / MAB view pruning at each boundary.
+  kPhasedSharedScan,
 };
 
 const char* ExecutionStrategyToString(ExecutionStrategy strategy);
 
 struct ExecutorOptions {
   /// kPerQuery: queries executed concurrently (1 = serial).
-  /// kSharedScan: morsel worker threads (0 = hardware concurrency).
+  /// kSharedScan / kPhasedSharedScan: morsel worker threads (0 = hardware
+  /// concurrency).
   size_t parallelism = 1;
   ExecutionStrategy strategy = ExecutionStrategy::kPerQuery;
-  /// Rows per morsel for kSharedScan.
+  /// Rows per morsel for the fused strategies (0 = adaptive, derived from
+  /// row and thread count — db::AdaptiveMorselRows).
   size_t morsel_rows = db::SharedScanOptions{}.morsel_rows;
+  /// Phase count and mid-flight pruner for kPhasedSharedScan (ignored by
+  /// the other strategies). keep_k must be set for pruning to engage; the
+  /// SeeDB facade wires it to the top-k request.
+  OnlinePruningOptions online_pruning;
 };
 
+/// Latency breakdown of one plan execution. Which fields are populated
+/// depends on the strategy: per-query wall times only exist when queries
+/// actually run independently; a fused pass has per-*phase* wall times
+/// instead (one phase for kSharedScan). Nothing is ever attributed evenly
+/// across queries that shared a pass.
 struct ExecutionReport {
   /// Wall time to run the whole plan.
   double total_seconds = 0.0;
-  /// Per planned-query wall time, in plan order. Under kSharedScan the pass
-  /// is fused, so the fused wall time is attributed evenly across queries.
+  /// Per planned-query wall time, in plan order. Populated under kPerQuery
+  /// only; empty under the fused strategies.
   std::vector<double> query_seconds;
+  /// Per-phase wall time of the fused pass, including each boundary's
+  /// estimate/prune bookkeeping. One entry under kSharedScan, one per phase
+  /// under kPhasedSharedScan, empty under kPerQuery.
+  std::vector<double> phase_seconds;
+  /// Phases the fused pass ran (0 under kPerQuery).
+  size_t phases_executed = 0;
+  /// Views retired mid-flight by the online pruner.
+  size_t views_pruned_online = 0;
+  /// Planned queries the scan stopped computing because every view riding
+  /// on them had been pruned.
+  size_t queries_deactivated = 0;
 
   double MeanQuerySeconds() const;
   double MaxQuerySeconds() const;
+  double MeanPhaseSeconds() const;
 };
 
 /// Executes `plan` against `engine` and scores every view with `metric`.
-/// On success `report` (optional) carries the latency breakdown.
+/// On success `report` (optional) carries the latency breakdown. Under
+/// kPhasedSharedScan with a pruner configured, views retired mid-flight are
+/// absent from the result (that is the point — their queries stop running);
+/// every other configuration returns one ViewResult per plan view.
 Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
                                             const ExecutionPlan& plan,
                                             DistanceMetric metric,

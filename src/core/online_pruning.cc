@@ -1,0 +1,124 @@
+#include "core/online_pruning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/string_util.h"
+
+namespace seedb::core {
+
+const char* OnlinePrunerToString(OnlinePruner pruner) {
+  switch (pruner) {
+    case OnlinePruner::kNone:
+      return "none";
+    case OnlinePruner::kConfidenceInterval:
+      return "ci";
+    case OnlinePruner::kMultiArmedBandit:
+      return "mab";
+  }
+  return "?";
+}
+
+Result<OnlinePruner> ParseOnlinePruner(const std::string& name) {
+  std::string lower = ToLower(name);
+  if (lower == "none" || lower == "off") return OnlinePruner::kNone;
+  if (lower == "ci" || lower == "confidence") {
+    return OnlinePruner::kConfidenceInterval;
+  }
+  if (lower == "mab" || lower == "bandit") {
+    return OnlinePruner::kMultiArmedBandit;
+  }
+  return Status::InvalidArgument("unknown online pruner '" + name +
+                                 "' (expected none|ci|mab)");
+}
+
+OnlinePruningState::OnlinePruningState(size_t num_views,
+                                       const OnlinePruningOptions& options)
+    : options_(options),
+      active_(num_views, 1),
+      estimate_(num_views, 0.0) {}
+
+size_t OnlinePruningState::num_active() const {
+  return static_cast<size_t>(
+      std::count(active_.begin(), active_.end(), uint8_t{1}));
+}
+
+double OnlinePruningState::ConfidenceHalfWidth(
+    const OnlinePruningOptions& options, size_t phases_observed) {
+  if (options.delta <= 0.0 || phases_observed == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return options.utility_range *
+         std::sqrt(std::log(2.0 / options.delta) /
+                   (2.0 * static_cast<double>(phases_observed)));
+}
+
+std::vector<size_t> OnlinePruningState::Observe(
+    const std::vector<double>& utilities) {
+  ++phases_observed_;
+  for (size_t v = 0; v < active_.size() && v < utilities.size(); ++v) {
+    if (active_[v]) estimate_[v] = utilities[v];
+  }
+  if (options_.pruner == OnlinePruner::kNone || options_.keep_k == 0 ||
+      phases_observed_ < options_.warmup_phases ||
+      num_active() <= options_.keep_k) {
+    return {};
+  }
+  std::vector<size_t> pruned =
+      options_.pruner == OnlinePruner::kConfidenceInterval
+          ? PruneByConfidenceInterval()
+          : PruneBySuccessiveHalving();
+  for (size_t v : pruned) active_[v] = 0;
+  views_pruned_ += pruned.size();
+  return pruned;
+}
+
+std::vector<size_t> OnlinePruningState::PruneByConfidenceInterval() {
+  double eps = ConfidenceHalfWidth(options_, phases_observed_);
+  if (std::isinf(eps)) return {};  // delta <= 0: intervals never exclude
+
+  // The k-th largest lower bound among surviving views. Every estimate
+  // shares the same eps (all views observed the same phases), so lower
+  // bounds order like the estimates.
+  std::vector<double> lowers;
+  for (size_t v = 0; v < active_.size(); ++v) {
+    if (active_[v]) lowers.push_back(estimate_[v] - eps);
+  }
+  std::nth_element(lowers.begin(), lowers.begin() + (options_.keep_k - 1),
+                   lowers.end(), std::greater<double>());
+  double kth_lower = lowers[options_.keep_k - 1];
+
+  // Prune views whose upper bound cannot reach the k-th lower bound. Strict
+  // comparison: a view tied with the boundary stays in contention.
+  std::vector<size_t> pruned;
+  for (size_t v = 0; v < active_.size(); ++v) {
+    if (active_[v] && estimate_[v] + eps < kth_lower) pruned.push_back(v);
+  }
+  return pruned;
+}
+
+std::vector<size_t> OnlinePruningState::PruneBySuccessiveHalving() {
+  // Retire the worst-scoring half of the survivors, never dropping below
+  // keep_k. Ties break on view index (stable, deterministic).
+  std::vector<size_t> survivors;
+  for (size_t v = 0; v < active_.size(); ++v) {
+    if (active_[v]) survivors.push_back(v);
+  }
+  size_t target = std::max(options_.keep_k, (survivors.size() + 1) / 2);
+  if (target >= survivors.size()) return {};
+
+  std::sort(survivors.begin(), survivors.end(), [this](size_t a, size_t b) {
+    if (estimate_[a] != estimate_[b]) return estimate_[a] < estimate_[b];
+    return a > b;
+  });
+  std::vector<size_t> pruned(survivors.begin(),
+                             survivors.begin() +
+                                 static_cast<std::ptrdiff_t>(survivors.size() -
+                                                             target));
+  std::sort(pruned.begin(), pruned.end());
+  return pruned;
+}
+
+}  // namespace seedb::core

@@ -1,0 +1,114 @@
+// Pruning-based execution optimization (§3.3, "Pruning Optimizations"):
+// discard low-utility views *during* execution, not just before it.
+//
+// The phased executor (core/executor.h, kPhasedSharedScan) splits the table
+// into N sequential phases; after each phase every surviving view has a
+// running utility estimate computed from the rows seen so far. This module
+// decides which views to retire at each phase boundary. Two strategies from
+// the paper:
+//
+//   * Confidence-interval pruning — keep a Hoeffding-style interval
+//     estimate ± eps(m) around each view's running utility, eps shrinking
+//     with the number of phases m observed. A view is pruned when its upper
+//     bound falls below the k-th largest lower bound: it provably (w.h.p.)
+//     cannot make the top k. delta → 0 widens every interval to infinity,
+//     reproducing the exhaustive top-k exactly.
+//
+//   * Multi-armed bandit (successive halving) — at every phase boundary,
+//     retire the worst-scoring half of the surviving views until k remain.
+//     Aggressive and parameter-free; with a single phase there are no
+//     boundaries, so nothing is pruned and the result is exhaustive.
+//
+// Unlike core/pruning.h (static, pre-execution view-space pruning on column
+// statistics), this operates on measured utilities mid-flight.
+
+#ifndef SEEDB_CORE_ONLINE_PRUNING_H_
+#define SEEDB_CORE_ONLINE_PRUNING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace seedb::core {
+
+/// Mid-execution pruning strategy for the phased executor.
+enum class OnlinePruner {
+  /// Never prune: every view runs to completion (exhaustive).
+  kNone,
+  /// Hoeffding confidence intervals on running utility.
+  kConfidenceInterval,
+  /// Multi-armed-bandit successive halving.
+  kMultiArmedBandit,
+};
+
+const char* OnlinePrunerToString(OnlinePruner pruner);
+Result<OnlinePruner> ParseOnlinePruner(const std::string& name);
+
+struct OnlinePruningOptions {
+  /// Sequential table slices the phased executor runs. More phases = more
+  /// pruning opportunities (and estimate updates), at the cost of per-phase
+  /// merge/estimate overhead. 1 = a single monolithic pass, never prunes.
+  size_t num_phases = 10;
+  OnlinePruner pruner = OnlinePruner::kNone;
+  /// Confidence-interval failure probability: eps(m) =
+  /// utility_range * sqrt(ln(2/delta) / (2m)) after m phases. Smaller delta
+  /// = wider intervals = more conservative pruning; delta <= 0 means "never
+  /// wrong", i.e. intervals are infinite and nothing is ever pruned.
+  double delta = 0.05;
+  /// Range of the utility metric for the Hoeffding bound. All shipped
+  /// metrics on normalized distributions are O(1); 2.0 safely covers EMD /
+  /// L1 (bounded by 2x total variation).
+  double utility_range = 2.0;
+  /// Views that must survive — the k of the top-k request. 0 disables
+  /// pruning entirely (there is no target to prune toward).
+  size_t keep_k = 0;
+  /// Phase boundaries to observe before the first prune decision (an
+  /// estimate from a sliver of the table is noise). 1 = prune from the
+  /// first boundary on, the paper's behavior.
+  size_t warmup_phases = 1;
+};
+
+/// \brief Per-view survival state across the phases of one plan execution.
+///
+/// Views are identified by dense index [0, num_views). After each phase the
+/// executor calls Observe() with every view's current utility estimate
+/// (computed over all rows seen so far); the state updates its bookkeeping
+/// and returns the views newly retired at this boundary. Pruned views stay
+/// pruned. Never prunes below keep_k survivors.
+class OnlinePruningState {
+ public:
+  OnlinePruningState(size_t num_views, const OnlinePruningOptions& options);
+
+  /// `utilities` must have one entry per view (entries of already-pruned
+  /// views are ignored). Returns indices newly pruned, ascending.
+  std::vector<size_t> Observe(const std::vector<double>& utilities);
+
+  bool IsActive(size_t view) const { return active_[view] != 0; }
+  size_t num_views() const { return active_.size(); }
+  size_t num_active() const;
+  size_t views_pruned() const { return views_pruned_; }
+  size_t phases_observed() const { return phases_observed_; }
+  /// Last utility estimate fed for this view (0 before the first Observe).
+  double estimate(size_t view) const { return estimate_[view]; }
+
+  /// The Hoeffding half-width eps(m) after m observed phases under
+  /// `options`; infinite for delta <= 0. Exposed for tests and benches.
+  static double ConfidenceHalfWidth(const OnlinePruningOptions& options,
+                                    size_t phases_observed);
+
+ private:
+  std::vector<size_t> PruneByConfidenceInterval();
+  std::vector<size_t> PruneBySuccessiveHalving();
+
+  OnlinePruningOptions options_;
+  std::vector<uint8_t> active_;
+  std::vector<double> estimate_;
+  size_t views_pruned_ = 0;
+  size_t phases_observed_ = 0;
+};
+
+}  // namespace seedb::core
+
+#endif  // SEEDB_CORE_ONLINE_PRUNING_H_

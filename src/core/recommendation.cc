@@ -5,12 +5,17 @@
 namespace seedb::core {
 
 std::string ExecutionProfile::ToString() const {
-  return StringPrintf(
+  std::string s = StringPrintf(
       "views: %zu enumerated, %zu pruned, %zu executed | queries: %zu "
       "(%zu scans, %llu rows) | time: plan %.3fms + exec %.3fms = %.3fms",
       views_enumerated, views_pruned, views_executed, queries_issued,
       table_scans, static_cast<unsigned long long>(rows_scanned),
       planning_seconds * 1e3, execution_seconds * 1e3, total_seconds * 1e3);
+  if (phases_executed > 0) {
+    s += StringPrintf(" | phases: %zu, %zu views pruned online",
+                      phases_executed, views_pruned_online);
+  }
+  return s;
 }
 
 }  // namespace seedb::core

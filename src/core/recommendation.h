@@ -29,8 +29,13 @@ struct Recommendation {
 /// \brief Cost observables of one Recommend() call.
 struct ExecutionProfile {
   size_t views_enumerated = 0;
+  /// Dropped before execution by static view-space pruning (core/pruning.h).
   size_t views_pruned = 0;
   size_t views_executed = 0;
+  /// Retired mid-scan by the phased executor's online pruner (CI / MAB).
+  size_t views_pruned_online = 0;
+  /// Phases the fused scan ran (0 under per-query execution).
+  size_t phases_executed = 0;
   size_t queries_issued = 0;
   size_t table_scans = 0;
   uint64_t rows_scanned = 0;

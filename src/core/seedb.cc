@@ -79,6 +79,14 @@ Result<RecommendationSet> SeeDB::Recommend(const std::string& table,
   ExecutorOptions exec_options;
   exec_options.parallelism = options.parallelism;
   exec_options.strategy = options.strategy;
+  exec_options.online_pruning = options.online_pruning;
+  if (exec_options.online_pruning.keep_k == 0) {
+    // The online pruner protects the top-k views only. bottom_k cannot be
+    // protected by construction — pruning discards exactly the low-utility
+    // views — so a pruned run's low_utility_views rank survivors only
+    // (documented on SeeDBOptions::online_pruning).
+    exec_options.online_pruning.keep_k = options.k;
+  }
   ExecutionReport exec_report;
   SEEDB_ASSIGN_OR_RETURN(
       std::vector<ViewResult> results,
@@ -104,6 +112,8 @@ Result<RecommendationSet> SeeDB::Recommend(const std::string& table,
   set.profile.views_enumerated = pruning.total_considered();
   set.profile.views_pruned = pruning.pruned.size();
   set.profile.views_executed = pruning.kept.size();
+  set.profile.views_pruned_online = exec_report.views_pruned_online;
+  set.profile.phases_executed = exec_report.phases_executed;
   set.profile.queries_issued = after.queries_executed - before.queries_executed;
   set.profile.table_scans = after.table_scans - before.table_scans;
   set.profile.rows_scanned = after.rows_scanned - before.rows_scanned;

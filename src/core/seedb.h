@@ -54,11 +54,18 @@ struct SeeDBOptions {
   PruningOptions pruning;           // default: no pruning
   OptimizerOptions optimizer;       // default: all combining on
   /// Concurrent query execution (§3.3 "Parallel Query Execution"), or
-  /// morsel worker threads under kSharedScan.
+  /// morsel worker threads under the fused strategies.
   size_t parallelism = 1;
   /// kPerQuery runs each planned query as its own table pass; kSharedScan
-  /// fuses the whole plan into one morsel-driven pass (db/shared_scan.h).
+  /// fuses the whole plan into one morsel-driven pass (db/shared_scan.h);
+  /// kPhasedSharedScan additionally splits that pass into sequential phases
+  /// with online view pruning at each boundary.
   ExecutionStrategy strategy = ExecutionStrategy::kPerQuery;
+  /// Phase count and mid-flight pruner for kPhasedSharedScan. keep_k = 0
+  /// (the default) is wired to this request's k at execution time; online
+  /// pruning discards low-utility views mid-scan, so bottom_k under a
+  /// pruned run only ranks the survivors.
+  OnlinePruningOptions online_pruning;
 
   SamplingStrategy sampling = SamplingStrategy::kNone;
   /// Reservoir size for kMaterialized (ignored otherwise). Tables at or

@@ -84,9 +84,50 @@ Result<std::vector<Table>> Engine::Execute(const GroupingSetsQuery& query) {
   return results;
 }
 
-Result<std::vector<std::vector<Table>>> Engine::ExecuteShared(
-    const std::vector<GroupingSetsQuery>& queries,
-    const SharedScanOptions& options) {
+Status SharedScanSession::RunPhase(size_t row_begin, size_t row_end) {
+  Stopwatch timer;
+  Status s = state_.RunPhase(row_begin, row_end);
+  exec_micros_ += static_cast<uint64_t>(timer.ElapsedMicros());
+  return s;
+}
+
+Result<std::vector<std::vector<Table>>> SharedScanSession::Finalize() {
+  if (finalized_) {
+    return Status::Internal("shared-scan session already finalized");
+  }
+  Stopwatch timer;
+  SEEDB_ASSIGN_OR_RETURN(std::vector<std::vector<Table>> results,
+                         state_.FinalResults());
+  exec_micros_ += static_cast<uint64_t>(timer.ElapsedMicros());
+  finalized_ = true;
+  engine_->RecordSharedBatch(state_.queries(), state_.stats(), exec_micros_);
+  return results;
+}
+
+void Engine::RecordSharedBatch(const std::vector<GroupingSetsQuery>& queries,
+                               const SharedScanStats& stats,
+                               uint64_t exec_micros) {
+  queries_executed_.fetch_add(queries.size(), std::memory_order_relaxed);
+  // The fused batch is ONE pass over the base table, however many view
+  // queries (or phases) it spans — the invariant the shared-scan tests pin
+  // down.
+  table_scans_.fetch_add(1, std::memory_order_relaxed);
+  shared_scan_batches_.fetch_add(1, std::memory_order_relaxed);
+  rows_scanned_.fetch_add(stats.rows_scanned, std::memory_order_relaxed);
+  groups_created_.fetch_add(stats.total_groups, std::memory_order_relaxed);
+  UpdatePeak(&peak_agg_state_bytes_, stats.agg_state_bytes);
+  total_exec_micros_.fetch_add(exec_micros, std::memory_order_relaxed);
+  for (const auto& query : queries) {
+    std::vector<std::string> group_cols;
+    for (const auto& set : query.grouping_sets) {
+      group_cols.insert(group_cols.end(), set.begin(), set.end());
+    }
+    RecordAccess(query.table, group_cols, query.aggregates, query.where.get());
+  }
+}
+
+Result<SharedScanSession> Engine::BeginShared(
+    std::vector<GroupingSetsQuery> queries, const SharedScanOptions& options) {
   if (queries.empty()) {
     return Status::InvalidArgument("shared scan needs at least one query");
   }
@@ -99,28 +140,19 @@ Result<std::vector<std::vector<Table>>> Engine::ExecuteShared(
   }
   SEEDB_ASSIGN_OR_RETURN(const Table* table,
                          catalog_->GetTable(queries.front().table));
-  Stopwatch timer;
-  SharedScanStats sstats;
-  SEEDB_ASSIGN_OR_RETURN(std::vector<std::vector<Table>> results,
-                         ExecuteSharedScan(*table, queries, options, &sstats));
-  queries_executed_.fetch_add(queries.size(), std::memory_order_relaxed);
-  // The fused batch is ONE pass over the base table, however many view
-  // queries it answers — the invariant the shared-scan tests pin down.
-  table_scans_.fetch_add(1, std::memory_order_relaxed);
-  shared_scan_batches_.fetch_add(1, std::memory_order_relaxed);
-  rows_scanned_.fetch_add(sstats.rows_scanned, std::memory_order_relaxed);
-  groups_created_.fetch_add(sstats.total_groups, std::memory_order_relaxed);
-  UpdatePeak(&peak_agg_state_bytes_, sstats.agg_state_bytes);
-  total_exec_micros_.fetch_add(
-      static_cast<uint64_t>(timer.ElapsedMicros()), std::memory_order_relaxed);
-  for (const auto& query : queries) {
-    std::vector<std::string> group_cols;
-    for (const auto& set : query.grouping_sets) {
-      group_cols.insert(group_cols.end(), set.begin(), set.end());
-    }
-    RecordAccess(query.table, group_cols, query.aggregates, query.where.get());
-  }
-  return results;
+  SEEDB_ASSIGN_OR_RETURN(
+      SharedScanState state,
+      SharedScanState::Create(*table, std::move(queries), options));
+  return SharedScanSession(this, std::move(state));
+}
+
+Result<std::vector<std::vector<Table>>> Engine::ExecuteShared(
+    const std::vector<GroupingSetsQuery>& queries,
+    const SharedScanOptions& options) {
+  SEEDB_ASSIGN_OR_RETURN(SharedScanSession session,
+                         BeginShared(queries, options));
+  SEEDB_RETURN_IF_ERROR(session.RunPhase(0, session.num_rows()));
+  return session.Finalize();
 }
 
 Result<Table> Engine::ExecuteSql(const std::string& sql) {

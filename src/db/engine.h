@@ -40,6 +40,58 @@ struct EngineStatsSnapshot {
   std::string ToString() const;
 };
 
+class Engine;
+
+/// \brief A fused scan advancing through the table in caller-controlled
+/// phases, with engine stat accounting folded in at Finalize().
+///
+/// Created by Engine::BeginShared. The phased executor drives it: run a
+/// phase, inspect un-finalized per-query partials, retire queries whose
+/// views lost contention, repeat. However many phases the session runs, the
+/// whole batch still records exactly ONE table scan — phases partition one
+/// pass, they do not repeat it. A session abandoned without Finalize()
+/// records nothing.
+class SharedScanSession {
+ public:
+  SharedScanSession(SharedScanSession&&) noexcept = default;
+  SharedScanSession& operator=(SharedScanSession&&) noexcept = default;
+
+  size_t num_rows() const { return state_.num_rows(); }
+  size_t num_queries() const { return state_.num_queries(); }
+  size_t rows_consumed() const { return state_.rows_consumed(); }
+
+  /// Scans [row_begin, row_end) for every active query (phases must be
+  /// contiguous and forward; see db::SharedScanState::RunPhase).
+  Status RunPhase(size_t row_begin, size_t row_end);
+
+  bool query_active(size_t q) const { return state_.query_active(q); }
+  size_t active_queries() const { return state_.active_queries(); }
+  /// Retires query `q`: later phases stop scanning for it.
+  Status DeactivateQuery(size_t q) { return state_.DeactivateQuery(q); }
+
+  /// Query q's current partial results (un-finalized running aggregates).
+  Result<std::vector<Table>> PartialResults(size_t q) const {
+    return state_.PartialResults(q);
+  }
+
+  /// Terminal call: materializes every surviving query's results (retired
+  /// queries yield an empty vector) and records the whole session in the
+  /// engine's counters — queries_executed += batch size, table_scans += 1.
+  Result<std::vector<std::vector<Table>>> Finalize();
+
+  SharedScanStats stats() const { return state_.stats(); }
+
+ private:
+  friend class Engine;
+  SharedScanSession(Engine* engine, SharedScanState state)
+      : engine_(engine), state_(std::move(state)) {}
+
+  Engine* engine_;
+  SharedScanState state_;
+  uint64_t exec_micros_ = 0;
+  bool finalized_ = false;
+};
+
 /// \brief Executes queries against a Catalog, recording cost metrics and
 /// column access patterns.
 ///
@@ -69,6 +121,13 @@ class Engine {
       const std::vector<GroupingSetsQuery>& queries,
       const SharedScanOptions& options = {});
 
+  /// Opens a resumable fused scan over `queries` (all against one table)
+  /// that the caller advances phase by phase — the engine face of
+  /// db::SharedScanState, used by the phased executor's online pruning.
+  /// Cost accounting happens when the session finalizes.
+  Result<SharedScanSession> BeginShared(std::vector<GroupingSetsQuery> queries,
+                                        const SharedScanOptions& options = {});
+
   /// Parses and executes a SQL SELECT (the wrapper-deployment interface).
   /// Supports the dialect in db/sql/parser.h; GROUPING SETS queries return
   /// their first result set through this interface.
@@ -82,10 +141,17 @@ class Engine {
   void ResetStats();
 
  private:
+  friend class SharedScanSession;
+
   void RecordAccess(const std::string& table,
                     const std::vector<std::string>& group_cols,
                     const std::vector<AggregateSpec>& aggs,
                     const Predicate* where);
+  /// Folds one finished shared-scan batch (one-shot or phased session) into
+  /// the counters: 1 table scan, queries.size() queries, the batch's rows /
+  /// groups / working set, and access-tracker entries.
+  void RecordSharedBatch(const std::vector<GroupingSetsQuery>& queries,
+                         const SharedScanStats& stats, uint64_t exec_micros);
 
   Catalog* catalog_;
   AccessTracker tracker_;

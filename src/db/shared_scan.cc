@@ -36,6 +36,9 @@ struct AggRuntime {
 // (nullptr selects every row), grouping sets, aggregates.
 struct QuerySpec {
   const std::vector<uint8_t>* mask = nullptr;
+  /// Sample mask alone (nullptr = unsampled) — the rows the scan *visits*
+  /// for this query, the unit rows_scanned accounting uses.
+  const std::vector<uint8_t>* sample_mask = nullptr;
   std::vector<SetSpec> sets;
   std::vector<AggRuntime> aggs;
 };
@@ -61,12 +64,14 @@ struct LocalGroups {
   }
 };
 
-// Everything one worker accumulates: groups[q][s].
+// Everything one worker accumulates during one phase: groups[q][s].
 using WorkerState = std::vector<std::vector<LocalGroups>>;
 
-WorkerState MakeWorkerState(const std::vector<QuerySpec>& specs) {
+WorkerState MakeWorkerState(const std::vector<QuerySpec>& specs,
+                            const std::vector<uint8_t>& active) {
   WorkerState state(specs.size());
   for (size_t q = 0; q < specs.size(); ++q) {
+    if (!active[q]) continue;
     state[q].resize(specs[q].sets.size());
     for (size_t s = 0; s < specs[q].sets.size(); ++s) {
       LocalGroups& lg = state[q][s];
@@ -129,19 +134,23 @@ void ScanMorsel(const QuerySpec& spec, const SetSpec& set, LocalGroups* lg,
   }
 }
 
-// One worker: steal morsels off the shared counter until none remain. Each
-// worker's own additions happen in increasing row order, so partial states
-// stay deterministic per worker-to-morsel assignment.
-void WorkerLoop(const std::vector<QuerySpec>& specs, size_t num_rows,
-                size_t morsel_rows, std::atomic<size_t>* next_morsel,
-                size_t num_morsels, WorkerState* state) {
+// One worker: steal morsels of [row_begin, row_end) off the shared counter
+// until none remain. Each worker's own additions happen in increasing row
+// order, so partial states stay deterministic per worker-to-morsel
+// assignment.
+void WorkerLoop(const std::vector<QuerySpec>& specs,
+                const std::vector<uint8_t>& active, size_t row_begin,
+                size_t row_end, size_t morsel_rows,
+                std::atomic<size_t>* next_morsel, size_t num_morsels,
+                WorkerState* state) {
   std::vector<int64_t> key_scratch;
   for (size_t m = next_morsel->fetch_add(1, std::memory_order_relaxed);
        m < num_morsels;
        m = next_morsel->fetch_add(1, std::memory_order_relaxed)) {
-    size_t lo = m * morsel_rows;
-    size_t hi = std::min(num_rows, lo + morsel_rows);
+    size_t lo = row_begin + m * morsel_rows;
+    size_t hi = std::min(row_end, lo + morsel_rows);
     for (size_t q = 0; q < specs.size(); ++q) {
+      if (!active[q]) continue;
       for (size_t s = 0; s < specs[q].sets.size(); ++s) {
         ScanMorsel(specs[q], specs[q].sets[s], &(*state)[q][s], lo, hi,
                    &key_scratch);
@@ -150,7 +159,8 @@ void WorkerLoop(const std::vector<QuerySpec>& specs, size_t num_rows,
   }
 }
 
-// Merged (cross-worker) groups for one (query, set).
+// Merged (cross-worker, cross-phase) groups for one (query, set). Persists
+// across phases; each phase's worker partials fold into it.
 struct GlobalGroups {
   std::vector<int32_t> dense_to_global;
   std::unordered_map<std::vector<int64_t>, int32_t, internal::PackedKeyHash>
@@ -159,47 +169,55 @@ struct GlobalGroups {
   std::vector<std::vector<AggState>> states;
 };
 
-GlobalGroups MergePartials(const SetSpec& set, size_t num_aggs,
-                           const std::vector<WorkerState>& workers, size_t q,
-                           size_t s) {
-  GlobalGroups global;
-  global.states.resize(num_aggs);
-  if (set.dense_col) global.dense_to_global.assign(set.dense_slots, -1);
-  for (const WorkerState& worker : workers) {
-    const LocalGroups& lg = worker[q][s];
-    for (size_t l = 0; l < lg.rep_row.size(); ++l) {
-      int32_t gid;
-      if (set.dense_col) {
-        int32_t& slot_gid = global.dense_to_global[lg.dense_slot[l]];
-        if (slot_gid < 0) {
-          slot_gid = static_cast<int32_t>(global.rep_row.size());
-          global.rep_row.push_back(lg.rep_row[l]);
-          for (auto& per_agg : global.states) per_agg.emplace_back();
-        }
-        gid = slot_gid;
-      } else {
-        auto [it, inserted] = global.key_to_global.emplace(
-            lg.keys[l], static_cast<int32_t>(global.rep_row.size()));
-        if (inserted) {
-          global.rep_row.push_back(lg.rep_row[l]);
-          for (auto& per_agg : global.states) per_agg.emplace_back();
-        }
-        gid = it->second;
+// Folds one worker's partial state for one (query, set) into the persistent
+// global state. Key parts are table-global (dictionary codes / bit
+// patterns), so partials from different workers and phases merge correctly.
+void MergeWorkerInto(const SetSpec& set, size_t num_aggs,
+                     const LocalGroups& lg, GlobalGroups* global) {
+  for (size_t l = 0; l < lg.rep_row.size(); ++l) {
+    int32_t gid;
+    if (set.dense_col) {
+      int32_t& slot_gid = global->dense_to_global[lg.dense_slot[l]];
+      if (slot_gid < 0) {
+        slot_gid = static_cast<int32_t>(global->rep_row.size());
+        global->rep_row.push_back(lg.rep_row[l]);
+        for (auto& per_agg : global->states) per_agg.emplace_back();
       }
-      for (size_t j = 0; j < num_aggs; ++j) {
-        global.states[j][gid].Merge(lg.states[j][l]);
+      gid = slot_gid;
+    } else {
+      auto [it, inserted] = global->key_to_global.emplace(
+          lg.keys[l], static_cast<int32_t>(global->rep_row.size()));
+      if (inserted) {
+        global->rep_row.push_back(lg.rep_row[l]);
+        for (auto& per_agg : global->states) per_agg.emplace_back();
       }
+      gid = it->second;
+    }
+    for (size_t j = 0; j < num_aggs; ++j) {
+      global->states[j][gid].Merge(lg.states[j][l]);
     }
   }
-  return global;
 }
 
 // Materializes one (query, set) result through the shared grouped-output
 // shape (internal::MaterializeGroupedResult), so the fused path stays
-// byte-identical to ExecuteGroupingSets by construction.
+// byte-identical to ExecuteGroupingSets by construction. Works on partial
+// (mid-scan) state just as well as on final state — the caller decides when
+// the numbers mean something.
 Result<Table> MaterializeSet(const Table& table, const GroupingSetsQuery& query,
                              size_t set_index, const SetSpec& set,
                              const GlobalGroups& global) {
+  // A global aggregate (empty grouping set) always has its one group, even
+  // when no row passes the mask — matching GroupKeyBuilder, which creates
+  // group 0 unconditionally.
+  if (set.cols.empty() && global.rep_row.empty()) {
+    std::vector<std::vector<Value>> keys(1);
+    std::vector<std::vector<AggState>> states(query.aggregates.size());
+    for (auto& per_agg : states) per_agg.emplace_back();
+    return internal::MaterializeGroupedResult(
+        table, query.grouping_sets[set_index], query.aggregates,
+        std::move(keys), states);
+  }
   int32_t num_groups = static_cast<int32_t>(global.rep_row.size());
   std::vector<std::vector<Value>> keys(num_groups);
   for (int32_t g = 0; g < num_groups; ++g) {
@@ -214,7 +232,9 @@ Result<Table> MaterializeSet(const Table& table, const GroupingSetsQuery& query,
 }
 
 // Shared mask evaluation: every distinct predicate / sample configuration
-// across the whole batch is evaluated exactly once.
+// across the whole batch is evaluated exactly once. Mask vectors live in
+// node-stable maps, so pointers into the cache survive for the lifetime of
+// the scan state.
 class MaskCache {
  public:
   explicit MaskCache(const Table& table) : table_(table) {}
@@ -292,132 +312,314 @@ Status ValidateQuery(const Table& table, const GroupingSetsQuery& query) {
 
 }  // namespace
 
-Result<std::vector<std::vector<Table>>> ExecuteSharedScan(
-    const Table& table, const std::vector<GroupingSetsQuery>& queries,
-    const SharedScanOptions& options, SharedScanStats* stats) {
+size_t AdaptiveMorselRows(size_t num_rows, size_t num_threads) {
+  // ~4 morsels per worker keeps the shared counter load-balancing without
+  // shredding small tables into per-row tasks; the floor also caps the
+  // thread count on small tables (threads are clamped to the morsel count).
+  constexpr size_t kMinMorselRows = 4096;
+  constexpr size_t kMaxMorselRows = 65536;
+  constexpr size_t kMorselsPerThread = 4;
+  if (num_threads == 0) num_threads = 1;
+  size_t target = num_rows / (num_threads * kMorselsPerThread);
+  return std::clamp(target, kMinMorselRows, kMaxMorselRows);
+}
+
+class SharedScanState::Impl {
+ public:
+  Impl(const Table& table, std::vector<GroupingSetsQuery> queries)
+      : table_(table), queries_(std::move(queries)), masks_(table) {}
+
+  Status Init(const SharedScanOptions& options) {
+    threads_ = options.num_threads == 0
+                   ? std::max<size_t>(1, std::thread::hardware_concurrency())
+                   : options.num_threads;
+    morsel_rows_ = options.morsel_rows == 0
+                       ? AdaptiveMorselRows(table_.num_rows(), threads_)
+                       : options.morsel_rows;
+
+    // Resolve every query against the table, evaluating each distinct
+    // sample / WHERE / FILTER configuration exactly once for the batch.
+    specs_.resize(queries_.size());
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      const GroupingSetsQuery& query = queries_[q];
+      SEEDB_RETURN_IF_ERROR(ValidateQuery(table_, query));
+      QuerySpec& spec = specs_[q];
+      SEEDB_ASSIGN_OR_RETURN(
+          spec.mask, masks_.CombinedMask(query.sample_fraction,
+                                         query.sample_seed, query.where.get()));
+      spec.sample_mask =
+          masks_.SampleMask(query.sample_fraction, query.sample_seed);
+
+      for (const auto& set : query.grouping_sets) {
+        SetSpec resolved;
+        for (const auto& g : set) {
+          SEEDB_ASSIGN_OR_RETURN(size_t idx, table_.schema().FindColumn(g));
+          resolved.col_indices.push_back(idx);
+          resolved.cols.push_back(&table_.column(idx));
+        }
+        if (resolved.cols.size() == 1 &&
+            resolved.cols[0]->type() == ValueType::kString) {
+          resolved.dense_col = resolved.cols[0];
+          resolved.dense_slots = resolved.dense_col->dict_size() + 1;
+        }
+        spec.sets.push_back(std::move(resolved));
+      }
+      for (const auto& agg : query.aggregates) {
+        AggRuntime rt;
+        if (!agg.input.empty()) {
+          SEEDB_ASSIGN_OR_RETURN(rt.input, table_.ColumnByName(agg.input));
+        }
+        rt.count_only =
+            rt.input == nullptr || agg.func == AggregateFunction::kCount;
+        SEEDB_ASSIGN_OR_RETURN(rt.filter,
+                               masks_.PredicateMask(agg.filter.get()));
+        spec.aggs.push_back(rt);
+      }
+    }
+
+    active_.assign(queries_.size(), 1);
+    globals_.resize(queries_.size());
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      globals_[q].resize(specs_[q].sets.size());
+      for (size_t s = 0; s < specs_[q].sets.size(); ++s) {
+        GlobalGroups& global = globals_[q][s];
+        global.states.resize(specs_[q].aggs.size());
+        if (specs_[q].sets[s].dense_col) {
+          global.dense_to_global.assign(specs_[q].sets[s].dense_slots, -1);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  size_t num_rows() const { return table_.num_rows(); }
+  size_t num_queries() const { return queries_.size(); }
+  const std::vector<GroupingSetsQuery>& queries() const { return queries_; }
+  size_t rows_consumed() const { return rows_consumed_; }
+  bool query_active(size_t q) const { return active_[q] != 0; }
+
+  size_t active_queries() const {
+    return static_cast<size_t>(
+        std::count(active_.begin(), active_.end(), uint8_t{1}));
+  }
+
+  Status DeactivateQuery(size_t q) {
+    if (q >= queries_.size()) {
+      return Status::InvalidArgument("query index out of range");
+    }
+    active_[q] = 0;
+    return Status::OK();
+  }
+
+  Status RunPhase(size_t row_begin, size_t row_end) {
+    if (finalized_) {
+      return Status::Internal("shared scan already finalized");
+    }
+    if (row_begin != rows_consumed_) {
+      return Status::InvalidArgument(
+          "phases must be contiguous: expected row_begin " +
+          std::to_string(rows_consumed_) + ", got " +
+          std::to_string(row_begin));
+    }
+    if (row_end < row_begin || row_end > table_.num_rows()) {
+      return Status::InvalidArgument("phase row range out of bounds");
+    }
+    rows_consumed_ = row_end;
+    ++phases_;
+    if (row_begin == row_end) return Status::OK();
+
+    const size_t num_morsels =
+        (row_end - row_begin + morsel_rows_ - 1) / morsel_rows_;
+    const size_t threads = std::max<size_t>(1, std::min(threads_, num_morsels));
+
+    std::vector<WorkerState> workers;
+    workers.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      workers.push_back(MakeWorkerState(specs_, active_));
+    }
+
+    std::atomic<size_t> next_morsel{0};
+    if (threads == 1) {
+      WorkerLoop(specs_, active_, row_begin, row_end, morsel_rows_,
+                 &next_morsel, num_morsels, &workers[0]);
+    } else {
+      // The pool persists across phases — spawning threads per phase would
+      // bill their creation to every phase_seconds measurement.
+      if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_);
+      std::vector<std::future<void>> futures;
+      futures.reserve(threads);
+      for (size_t t = 0; t < threads; ++t) {
+        WorkerState* state = &workers[t];
+        futures.push_back(pool_->Submit([this, row_begin, row_end,
+                                         &next_morsel, num_morsels, state] {
+          WorkerLoop(specs_, active_, row_begin, row_end, morsel_rows_,
+                     &next_morsel, num_morsels, state);
+        }));
+      }
+      for (auto& f : futures) f.get();
+    }
+
+    // Fold every worker's partials into the persistent global state.
+    for (size_t q = 0; q < specs_.size(); ++q) {
+      if (!active_[q]) continue;
+      for (size_t s = 0; s < specs_[q].sets.size(); ++s) {
+        for (const WorkerState& worker : workers) {
+          MergeWorkerInto(specs_[q].sets[s], specs_[q].aggs.size(),
+                          worker[q][s], &globals_[q][s]);
+        }
+      }
+    }
+
+    // Rows visited this phase: the largest per-query sample-mask count among
+    // active queries (each distinct mask counted once).
+    size_t phase_rows = 0;
+    std::map<const std::vector<uint8_t>*, size_t> mask_counts;
+    for (size_t q = 0; q < specs_.size(); ++q) {
+      if (!active_[q]) continue;
+      const std::vector<uint8_t>* sample = specs_[q].sample_mask;
+      if (sample == nullptr) {
+        phase_rows = std::max(phase_rows, row_end - row_begin);
+        continue;
+      }
+      auto it = mask_counts.find(sample);
+      if (it == mask_counts.end()) {
+        size_t count = static_cast<size_t>(
+            std::count(sample->begin() + row_begin, sample->begin() + row_end,
+                       uint8_t{1}));
+        it = mask_counts.emplace(sample, count).first;
+      }
+      phase_rows = std::max(phase_rows, it->second);
+    }
+    rows_scanned_ += phase_rows;
+    morsels_ += num_morsels;
+    threads_used_ = std::max(threads_used_, threads);
+    return Status::OK();
+  }
+
+  Result<std::vector<Table>> PartialResults(size_t q) const {
+    if (q >= queries_.size()) {
+      return Status::InvalidArgument("query index out of range");
+    }
+    std::vector<Table> results;
+    results.reserve(specs_[q].sets.size());
+    for (size_t s = 0; s < specs_[q].sets.size(); ++s) {
+      SEEDB_ASSIGN_OR_RETURN(
+          Table out, MaterializeSet(table_, queries_[q], s, specs_[q].sets[s],
+                                    globals_[q][s]));
+      results.push_back(std::move(out));
+    }
+    return results;
+  }
+
+  Result<std::vector<std::vector<Table>>> FinalResults() {
+    finalized_ = true;
+    std::vector<std::vector<Table>> results(queries_.size());
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      if (!active_[q]) continue;  // retired queries yield no tables
+      SEEDB_ASSIGN_OR_RETURN(results[q], PartialResults(q));
+    }
+    return results;
+  }
+
+  SharedScanStats stats() const {
+    SharedScanStats s;
+    s.rows_scanned = rows_scanned_;
+    s.morsels = morsels_;
+    s.threads_used = threads_used_;
+    s.phases = phases_;
+    for (size_t q = 0; q < globals_.size(); ++q) {
+      for (size_t g = 0; g < globals_[q].size(); ++g) {
+        s.total_groups += globals_[q][g].rep_row.size();
+        s.agg_state_bytes +=
+            globals_[q][g].rep_row.size() * specs_[q].aggs.size() *
+            sizeof(AggState);
+      }
+    }
+    return s;
+  }
+
+ private:
+  const Table& table_;
+  std::vector<GroupingSetsQuery> queries_;
+  MaskCache masks_;
+  std::vector<QuerySpec> specs_;
+  std::vector<uint8_t> active_;
+  /// globals_[q][s]: merged groups, persistent across phases.
+  std::vector<std::vector<GlobalGroups>> globals_;
+
+  size_t threads_ = 1;
+  size_t morsel_rows_ = 0;
+  /// Lazily created on the first multi-threaded phase, reused after.
+  std::unique_ptr<ThreadPool> pool_;
+  size_t rows_consumed_ = 0;
+  bool finalized_ = false;
+
+  size_t rows_scanned_ = 0;
+  size_t morsels_ = 0;
+  size_t threads_used_ = 0;
+  size_t phases_ = 0;
+};
+
+SharedScanState::SharedScanState(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+SharedScanState::SharedScanState(SharedScanState&&) noexcept = default;
+SharedScanState& SharedScanState::operator=(SharedScanState&&) noexcept =
+    default;
+SharedScanState::~SharedScanState() = default;
+
+Result<SharedScanState> SharedScanState::Create(
+    const Table& table, std::vector<GroupingSetsQuery> queries,
+    const SharedScanOptions& options) {
   if (queries.empty()) {
     return Status::InvalidArgument("shared scan needs at least one query");
   }
-  if (options.morsel_rows == 0) {
-    return Status::InvalidArgument("morsel_rows must be positive");
-  }
-  for (const auto& query : queries) {
-    SEEDB_RETURN_IF_ERROR(ValidateQuery(table, query));
-  }
+  auto impl = std::make_unique<Impl>(table, std::move(queries));
+  SEEDB_RETURN_IF_ERROR(impl->Init(options));
+  return SharedScanState(std::move(impl));
+}
 
-  const size_t n = table.num_rows();
+size_t SharedScanState::num_rows() const { return impl_->num_rows(); }
+size_t SharedScanState::num_queries() const { return impl_->num_queries(); }
+const std::vector<GroupingSetsQuery>& SharedScanState::queries() const {
+  return impl_->queries();
+}
+size_t SharedScanState::rows_consumed() const {
+  return impl_->rows_consumed();
+}
 
-  // Resolve every query against the table, evaluating each distinct sample /
-  // WHERE / FILTER configuration exactly once for the whole batch.
-  MaskCache masks(table);
-  std::vector<QuerySpec> specs(queries.size());
-  size_t rows_scanned = 0;
-  for (size_t q = 0; q < queries.size(); ++q) {
-    const GroupingSetsQuery& query = queries[q];
-    QuerySpec& spec = specs[q];
-    SEEDB_ASSIGN_OR_RETURN(
-        spec.mask, masks.CombinedMask(query.sample_fraction, query.sample_seed,
-                                      query.where.get()));
-    const std::vector<uint8_t>* sample =
-        masks.SampleMask(query.sample_fraction, query.sample_seed);
-    size_t sampled =
-        sample == nullptr
-            ? n
-            : static_cast<size_t>(
-                  std::count(sample->begin(), sample->end(), uint8_t{1}));
-    rows_scanned = std::max(rows_scanned, sampled);
+Status SharedScanState::RunPhase(size_t row_begin, size_t row_end) {
+  return impl_->RunPhase(row_begin, row_end);
+}
 
-    for (const auto& set : query.grouping_sets) {
-      SetSpec resolved;
-      for (const auto& g : set) {
-        SEEDB_ASSIGN_OR_RETURN(size_t idx, table.schema().FindColumn(g));
-        resolved.col_indices.push_back(idx);
-        resolved.cols.push_back(&table.column(idx));
-      }
-      if (resolved.cols.size() == 1 &&
-          resolved.cols[0]->type() == ValueType::kString) {
-        resolved.dense_col = resolved.cols[0];
-        resolved.dense_slots = resolved.dense_col->dict_size() + 1;
-      }
-      spec.sets.push_back(std::move(resolved));
-    }
-    for (const auto& agg : query.aggregates) {
-      AggRuntime rt;
-      if (!agg.input.empty()) {
-        SEEDB_ASSIGN_OR_RETURN(rt.input, table.ColumnByName(agg.input));
-      }
-      rt.count_only =
-          rt.input == nullptr || agg.func == AggregateFunction::kCount;
-      SEEDB_ASSIGN_OR_RETURN(rt.filter, masks.PredicateMask(agg.filter.get()));
-      spec.aggs.push_back(rt);
-    }
-  }
+bool SharedScanState::query_active(size_t q) const {
+  return impl_->query_active(q);
+}
+size_t SharedScanState::active_queries() const {
+  return impl_->active_queries();
+}
+Status SharedScanState::DeactivateQuery(size_t q) {
+  return impl_->DeactivateQuery(q);
+}
 
-  // The morsel-driven pass: workers steal fixed-size row ranges off a shared
-  // counter and fold them into private partial states.
-  const size_t num_morsels = (n + options.morsel_rows - 1) / options.morsel_rows;
-  size_t threads = options.num_threads == 0
-                       ? std::max<size_t>(1, std::thread::hardware_concurrency())
-                       : options.num_threads;
-  threads = std::max<size_t>(1, std::min(threads, std::max<size_t>(1, num_morsels)));
+Result<std::vector<Table>> SharedScanState::PartialResults(size_t q) const {
+  return impl_->PartialResults(q);
+}
 
-  std::vector<WorkerState> workers;
-  workers.reserve(threads);
-  for (size_t t = 0; t < threads; ++t) workers.push_back(MakeWorkerState(specs));
+Result<std::vector<std::vector<Table>>> SharedScanState::FinalResults() {
+  return impl_->FinalResults();
+}
 
-  std::atomic<size_t> next_morsel{0};
-  if (threads == 1) {
-    WorkerLoop(specs, n, options.morsel_rows, &next_morsel, num_morsels,
-               &workers[0]);
-  } else {
-    ThreadPool pool(threads);
-    std::vector<std::future<void>> futures;
-    futures.reserve(threads);
-    for (size_t t = 0; t < threads; ++t) {
-      WorkerState* state = &workers[t];
-      futures.push_back(pool.Submit([&specs, n, &options, &next_morsel,
-                                     num_morsels, state] {
-        WorkerLoop(specs, n, options.morsel_rows, &next_morsel, num_morsels,
-                   state);
-      }));
-    }
-    for (auto& f : futures) f.get();
-  }
+SharedScanStats SharedScanState::stats() const { return impl_->stats(); }
 
-  // Merge partials and materialize, per (query, set).
-  std::vector<std::vector<Table>> results(queries.size());
-  size_t total_groups = 0;
-  size_t agg_state_bytes = 0;
-  for (size_t q = 0; q < queries.size(); ++q) {
-    results[q].reserve(specs[q].sets.size());
-    for (size_t s = 0; s < specs[q].sets.size(); ++s) {
-      GlobalGroups global =
-          MergePartials(specs[q].sets[s], specs[q].aggs.size(), workers, q, s);
-      // A global aggregate (empty grouping set) always has its one group,
-      // even when no row passes the mask — matching GroupKeyBuilder, which
-      // creates group 0 unconditionally. The representative row is never
-      // dereferenced (the key has no columns).
-      if (specs[q].sets[s].cols.empty() && global.rep_row.empty()) {
-        global.rep_row.push_back(0);
-        for (auto& per_agg : global.states) per_agg.emplace_back();
-      }
-      total_groups += global.rep_row.size();
-      agg_state_bytes +=
-          global.rep_row.size() * specs[q].aggs.size() * sizeof(AggState);
-      SEEDB_ASSIGN_OR_RETURN(
-          Table out,
-          MaterializeSet(table, queries[q], s, specs[q].sets[s], global));
-      results[q].push_back(std::move(out));
-    }
-  }
-
-  if (stats) {
-    stats->rows_scanned = rows_scanned;
-    stats->total_groups = total_groups;
-    stats->agg_state_bytes = agg_state_bytes;
-    stats->morsels = num_morsels;
-    stats->threads_used = threads;
-  }
+Result<std::vector<std::vector<Table>>> ExecuteSharedScan(
+    const Table& table, const std::vector<GroupingSetsQuery>& queries,
+    const SharedScanOptions& options, SharedScanStats* stats) {
+  SEEDB_ASSIGN_OR_RETURN(SharedScanState state,
+                         SharedScanState::Create(table, queries, options));
+  SEEDB_RETURN_IF_ERROR(state.RunPhase(0, table.num_rows()));
+  SEEDB_ASSIGN_OR_RETURN(std::vector<std::vector<Table>> results,
+                         state.FinalResults());
+  if (stats) *stats = state.stats();
   return results;
 }
 

@@ -1,17 +1,27 @@
 // Shared-scan fused execution: the entire batch of view queries answered in
-// ONE morsel-driven pass over the base table.
+// morsel-driven passes over the base table.
 //
 // SeeDB's §3.3 optimizations (combine target/comparison, combine aggregates,
 // combine group-bys) each reduce the *number* of scans; the logical endpoint
 // of that sharing argument is to stop scanning once per query altogether.
-// ExecuteSharedScan takes every GroupingSetsQuery of an execution plan at
-// once, splits the table into fixed-size row ranges (morsels), and hands
-// morsels to a worker pool. Each worker keeps private partial aggregation
-// states per (query, grouping set) — dense arrays keyed by dictionary code
-// for single string dimensions, hash tables over packed key tuples otherwise
-// — and the partials are merged after the pass. WHERE / FILTER / sample
-// masks are evaluated once per distinct predicate across the whole batch,
-// not once per query.
+// The table is split into fixed-size row ranges (morsels) handed to a worker
+// pool. Each worker keeps private partial aggregation states per
+// (query, grouping set) — dense arrays keyed by dictionary code for single
+// string dimensions, hash tables over packed key tuples otherwise — and the
+// partials are merged after each pass. WHERE / FILTER / sample masks are
+// evaluated once per distinct predicate across the whole batch, not once per
+// query.
+//
+// Two entry points:
+//
+//   * ExecuteSharedScan — the whole batch in ONE pass (the PR 1 interface).
+//   * SharedScanState   — the same machinery made *resumable*: RunPhase()
+//     scans one row-range slice and folds it into persistent merged state,
+//     so a plan executes as N sequential phases. Between phases the caller
+//     can read un-finalized per-query partials (PartialResults) and retire
+//     queries whose views lost contention (DeactivateQuery) — the substrate
+//     for the paper's §3.3 confidence-interval / multi-armed-bandit pruning
+//     (core/online_pruning.h).
 //
 // Result shape and values are identical to running every query through
 // ExecuteGroupingSets independently (per-group sums may differ by float
@@ -21,6 +31,7 @@
 #define SEEDB_DB_SHARED_SCAN_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "db/grouping_sets.h"
@@ -33,13 +44,23 @@ struct SharedScanOptions {
   /// Worker threads for the morsel pass; 0 = hardware concurrency, 1 runs
   /// the pass inline on the calling thread.
   size_t num_threads = 0;
-  /// Rows per morsel (the work-stealing unit).
-  size_t morsel_rows = 16384;
+  /// Rows per morsel (the work-stealing unit). 0 = adaptive: derived from
+  /// row and thread count via AdaptiveMorselRows(), so small tables stop
+  /// over-scheduling and large ones keep stealing granularity.
+  size_t morsel_rows = 0;
 };
 
+/// The morsel size `morsel_rows = 0` resolves to: aim for a handful of
+/// morsels per worker (so the shared counter still load-balances), with a
+/// floor that keeps small tables from being shredded into per-row tasks and
+/// a ceiling that preserves stealing granularity on big tables.
+size_t AdaptiveMorselRows(size_t num_rows, size_t num_threads);
+
 struct SharedScanStats {
-  /// Rows visited by the single fused pass (the largest sample mask; the
-  /// whole batch shares one pass, so rows are not re-counted per query).
+  /// Rows visited by the fused pass(es): per phase, the largest sample-mask
+  /// count among still-active queries (the whole batch shares one pass, so
+  /// rows are not re-counted per query; rows behind retired queries are not
+  /// re-counted either).
   size_t rows_scanned = 0;
   /// Groups materialized across all queries and grouping sets.
   size_t total_groups = 0;
@@ -48,6 +69,69 @@ struct SharedScanStats {
   size_t agg_state_bytes = 0;
   size_t morsels = 0;
   size_t threads_used = 0;
+  /// RunPhase() calls executed (1 for the one-shot ExecuteSharedScan).
+  size_t phases = 0;
+};
+
+/// \brief Resumable fused scan over one table: the whole query batch
+/// advances through the table in caller-controlled row-range phases.
+///
+/// Usage:
+///   SEEDB_ASSIGN_OR_RETURN(auto scan, SharedScanState::Create(t, qs, opts));
+///   scan.RunPhase(0, n/2);              // first half of the table
+///   scan.PartialResults(q);             // un-finalized per-query partials
+///   scan.DeactivateQuery(q);            // retire a low-utility query
+///   scan.RunPhase(n/2, n);              // remaining rows, survivors only
+///   scan.FinalResults();                // materialize survivors
+///
+/// Phases must be disjoint and strictly forward (row_begin == rows of every
+/// previous phase combined); results after scanning [0, n) are exactly
+/// ExecuteSharedScan's. Not thread-safe; parallelism lives inside RunPhase.
+class SharedScanState {
+ public:
+  /// Validates and resolves `queries` against `table` (masks evaluated once
+  /// per distinct predicate/sample config). `table` must outlive the state.
+  static Result<SharedScanState> Create(const Table& table,
+                                        std::vector<GroupingSetsQuery> queries,
+                                        const SharedScanOptions& options);
+
+  SharedScanState(SharedScanState&&) noexcept;
+  SharedScanState& operator=(SharedScanState&&) noexcept;
+  ~SharedScanState();
+
+  size_t num_rows() const;
+  size_t num_queries() const;
+  /// The stored query batch, in result order.
+  const std::vector<GroupingSetsQuery>& queries() const;
+  /// Rows covered by the phases run so far (the next phase's row_begin).
+  size_t rows_consumed() const;
+
+  /// Scans [row_begin, row_end) for every active query and merges worker
+  /// partials into the persistent per-(query, set) aggregation state.
+  Status RunPhase(size_t row_begin, size_t row_end);
+
+  bool query_active(size_t q) const;
+  size_t active_queries() const;
+  /// Retires query `q`: later phases skip it and FinalResults() leaves its
+  /// slot empty. Idempotent.
+  Status DeactivateQuery(size_t q);
+
+  /// Materializes query q's current partial results — same shape as the
+  /// final results, computed from the rows seen so far, without finalizing
+  /// the scan. Valid for retired queries (their state is frozen).
+  Result<std::vector<Table>> PartialResults(size_t q) const;
+
+  /// Materializes every query's results from the merged state. Retired
+  /// queries yield an empty result-set vector. The state stays readable but
+  /// further phases are rejected.
+  Result<std::vector<std::vector<Table>>> FinalResults();
+
+  SharedScanStats stats() const;
+
+ private:
+  class Impl;
+  explicit SharedScanState(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Answers all of `queries` in one morsel-driven pass over `table`.

@@ -1,0 +1,214 @@
+#include "core/online_pruning.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.h"
+#include "core/seedb.h"
+#include "db/engine.h"
+#include "db/predicate.h"
+
+namespace seedb::core {
+namespace {
+
+using ::seedb::testing::MakeLaserwaveTable;
+
+TEST(OnlinePrunerTest, ParseRoundTrips) {
+  for (OnlinePruner p : {OnlinePruner::kNone, OnlinePruner::kConfidenceInterval,
+                         OnlinePruner::kMultiArmedBandit}) {
+    auto parsed = ParseOnlinePruner(OnlinePrunerToString(p));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_TRUE(ParseOnlinePruner("CI").ok());
+  EXPECT_TRUE(ParseOnlinePruner("bandit").ok());
+  EXPECT_FALSE(ParseOnlinePruner("what").ok());
+}
+
+TEST(OnlinePrunerTest, ConfidenceHalfWidthShrinksWithPhases) {
+  OnlinePruningOptions options;
+  options.delta = 0.05;
+  options.utility_range = 1.0;
+  double e1 = OnlinePruningState::ConfidenceHalfWidth(options, 1);
+  double e4 = OnlinePruningState::ConfidenceHalfWidth(options, 4);
+  double e16 = OnlinePruningState::ConfidenceHalfWidth(options, 16);
+  EXPECT_GT(e1, e4);
+  EXPECT_GT(e4, e16);
+  // Hoeffding: eps halves when the phase count quadruples.
+  EXPECT_NEAR(e4, e1 / 2.0, 1e-12);
+  EXPECT_NEAR(e16, e1 / 4.0, 1e-12);
+
+  // delta -> 0 means "never wrong": the interval is infinite.
+  options.delta = 0.0;
+  EXPECT_TRUE(std::isinf(OnlinePruningState::ConfidenceHalfWidth(options, 8)));
+}
+
+TEST(OnlinePrunerTest, NonePrunerNeverPrunes) {
+  OnlinePruningOptions options;
+  options.pruner = OnlinePruner::kNone;
+  options.keep_k = 1;
+  OnlinePruningState state(8, options);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(state.Observe({0.9, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0})
+                    .empty());
+  }
+  EXPECT_EQ(state.num_active(), 8u);
+  EXPECT_EQ(state.views_pruned(), 0u);
+}
+
+TEST(OnlinePrunerTest, CiWithDeltaZeroNeverPrunes) {
+  OnlinePruningOptions options;
+  options.pruner = OnlinePruner::kConfidenceInterval;
+  options.delta = 0.0;
+  options.keep_k = 1;
+  OnlinePruningState state(4, options);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(state.Observe({1.0, 0.0, 0.0, 0.0}).empty());
+  }
+  EXPECT_EQ(state.num_active(), 4u);
+}
+
+TEST(OnlinePrunerTest, CiPrunesClearlySeparatedViews) {
+  OnlinePruningOptions options;
+  options.pruner = OnlinePruner::kConfidenceInterval;
+  options.delta = 0.5;
+  options.utility_range = 1.0;
+  options.keep_k = 2;
+  OnlinePruningState state(4, options);
+
+  // Views 0/1 high, views 2/3 hopeless. eps(1) ~ 0.83: nothing separable
+  // after one phase; by m=25 eps ~ 0.167 and the gap (0.9) dominates.
+  std::vector<double> utilities = {0.95, 0.90, 0.05, 0.02};
+  std::vector<size_t> all_pruned;
+  for (int i = 0; i < 25 && all_pruned.size() < 2; ++i) {
+    for (size_t v : state.Observe(utilities)) all_pruned.push_back(v);
+  }
+  ASSERT_EQ(all_pruned.size(), 2u);
+  EXPECT_EQ(all_pruned[0], 2u);
+  EXPECT_EQ(all_pruned[1], 3u);
+  EXPECT_TRUE(state.IsActive(0));
+  EXPECT_TRUE(state.IsActive(1));
+  EXPECT_EQ(state.views_pruned(), 2u);
+}
+
+TEST(OnlinePrunerTest, CiNeverPrunesBelowKeepK) {
+  OnlinePruningOptions options;
+  options.pruner = OnlinePruner::kConfidenceInterval;
+  options.delta = 0.999;  // razor-thin intervals
+  options.utility_range = 0.01;
+  options.keep_k = 3;
+  OnlinePruningState state(5, options);
+  for (int i = 0; i < 20; ++i) {
+    state.Observe({0.9, 0.8, 0.7, 0.0, 0.0});
+  }
+  EXPECT_EQ(state.num_active(), 3u);
+}
+
+TEST(OnlinePrunerTest, MabHalvesUntilKeepK) {
+  OnlinePruningOptions options;
+  options.pruner = OnlinePruner::kMultiArmedBandit;
+  options.keep_k = 3;
+  OnlinePruningState state(16, options);
+
+  // Utility = view index / 16 (higher index = better).
+  std::vector<double> utilities(16);
+  for (size_t v = 0; v < 16; ++v) {
+    utilities[v] = static_cast<double>(v) / 16.0;
+  }
+  EXPECT_EQ(state.Observe(utilities).size(), 8u);  // 16 -> 8
+  EXPECT_EQ(state.num_active(), 8u);
+  EXPECT_EQ(state.Observe(utilities).size(), 4u);  // 8 -> 4
+  EXPECT_EQ(state.Observe(utilities).size(), 1u);  // 4 -> 3 (floor at k)
+  EXPECT_EQ(state.Observe(utilities).size(), 0u);  // stays at k
+  EXPECT_EQ(state.num_active(), 3u);
+  // The survivors are exactly the 3 best arms.
+  for (size_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(state.IsActive(v), v >= 13) << v;
+  }
+}
+
+TEST(OnlinePrunerTest, MabRespectsWarmupPhases) {
+  OnlinePruningOptions options;
+  options.pruner = OnlinePruner::kMultiArmedBandit;
+  options.keep_k = 1;
+  options.warmup_phases = 3;
+  OnlinePruningState state(8, options);
+  std::vector<double> utilities = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_TRUE(state.Observe(utilities).empty());   // phase 1: warming up
+  EXPECT_TRUE(state.Observe(utilities).empty());   // phase 2: warming up
+  EXPECT_EQ(state.Observe(utilities).size(), 4u);  // phase 3: halve
+}
+
+// --- Acceptance pins on the paper's §1 Laserwave example: conservative
+// online-pruning configurations must reproduce the exhaustive top-k
+// EXACTLY (ids, order, utilities). ---
+
+class LaserwavePipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.AddTable("sales", MakeLaserwaveTable()).ok());
+    engine_ = std::make_unique<db::Engine>(&catalog_);
+    seedb_ = std::make_unique<SeeDB>(engine_.get());
+    selection_ =
+        db::PredicatePtr(db::Eq("product", db::Value("Laserwave")));
+  }
+
+  RecommendationSet Recommend(const SeeDBOptions& options) {
+    return seedb_->Recommend("sales", selection_, options).ValueOrDie();
+  }
+
+  static void ExpectSameRanking(const RecommendationSet& got,
+                                const RecommendationSet& want) {
+    ASSERT_EQ(got.top_views.size(), want.top_views.size());
+    for (size_t i = 0; i < want.top_views.size(); ++i) {
+      EXPECT_EQ(got.top_views[i].view().Id(), want.top_views[i].view().Id())
+          << "rank " << i + 1;
+      EXPECT_NEAR(got.top_views[i].utility(), want.top_views[i].utility(),
+                  1e-9)
+          << "rank " << i + 1;
+    }
+  }
+
+  db::Catalog catalog_;
+  std::unique_ptr<db::Engine> engine_;
+  std::unique_ptr<SeeDB> seedb_;
+  db::PredicatePtr selection_;
+};
+
+TEST_F(LaserwavePipelineTest, CiWithDeltaZeroMatchesExhaustiveTopK) {
+  SeeDBOptions exhaustive;
+  exhaustive.k = 3;
+  RecommendationSet truth = Recommend(exhaustive);
+
+  SeeDBOptions phased = exhaustive;
+  phased.strategy = ExecutionStrategy::kPhasedSharedScan;
+  phased.online_pruning.pruner = OnlinePruner::kConfidenceInterval;
+  phased.online_pruning.delta = 0.0;  // infinite intervals: never prune
+  phased.online_pruning.num_phases = 4;
+  RecommendationSet got = Recommend(phased);
+
+  ExpectSameRanking(got, truth);
+  EXPECT_EQ(got.profile.views_pruned_online, 0u);
+  EXPECT_EQ(got.profile.phases_executed, 4u);
+  EXPECT_EQ(got.profile.table_scans, 1u);
+}
+
+TEST_F(LaserwavePipelineTest, MabWithOnePhaseMatchesExhaustiveTopK) {
+  SeeDBOptions exhaustive;
+  exhaustive.k = 3;
+  RecommendationSet truth = Recommend(exhaustive);
+
+  SeeDBOptions phased = exhaustive;
+  phased.strategy = ExecutionStrategy::kPhasedSharedScan;
+  phased.online_pruning.pruner = OnlinePruner::kMultiArmedBandit;
+  phased.online_pruning.num_phases = 1;  // no boundaries: nothing to prune
+  RecommendationSet got = Recommend(phased);
+
+  ExpectSameRanking(got, truth);
+  EXPECT_EQ(got.profile.views_pruned_online, 0u);
+  EXPECT_EQ(got.profile.phases_executed, 1u);
+}
+
+}  // namespace
+}  // namespace seedb::core

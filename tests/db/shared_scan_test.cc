@@ -219,9 +219,270 @@ TEST(SharedScanTest, ValidationErrors) {
   q.sample_fraction = 0.0;
   EXPECT_FALSE(ExecuteSharedScan(t, {q}, options).ok());
 
+  // morsel_rows = 0 is NOT an error: it selects adaptive sizing.
   q.sample_fraction = 1.0;
   options.morsel_rows = 0;
-  EXPECT_FALSE(ExecuteSharedScan(t, {q}, options).ok());
+  EXPECT_TRUE(ExecuteSharedScan(t, {q}, options).ok());
+}
+
+TEST(SharedScanTest, AdaptiveMorselRowsHasFloorAndCeiling) {
+  // Small tables resolve to the floor: one morsel, no over-scheduling.
+  EXPECT_EQ(AdaptiveMorselRows(0, 8), AdaptiveMorselRows(1, 8));
+  EXPECT_EQ(AdaptiveMorselRows(5000, 8), AdaptiveMorselRows(1, 8));
+  // Large tables cap at the ceiling so work stealing keeps granularity.
+  EXPECT_EQ(AdaptiveMorselRows(100'000'000, 1), AdaptiveMorselRows(1u << 30, 1));
+  // In between, more threads mean smaller morsels.
+  EXPECT_LE(AdaptiveMorselRows(1'000'000, 8), AdaptiveMorselRows(1'000'000, 2));
+  // Never zero (it is a divisor in the scan).
+  EXPECT_GT(AdaptiveMorselRows(0, 0), 0u);
+}
+
+TEST(SharedScanTest, AdaptiveSizingCapsThreadsOnSmallTables) {
+  Table t = MakeTinyTable();  // 6 rows
+  GroupingSetsQuery q;
+  q.table = "t";
+  q.grouping_sets = {{"d"}};
+  q.aggregates = {AggregateSpec::Count("n")};
+  SharedScanOptions options;
+  options.num_threads = 8;
+  options.morsel_rows = 0;  // adaptive: 6 rows -> 1 morsel -> 1 thread
+  SharedScanStats stats;
+  ExpectParity(t, {q}, options, &stats);
+  EXPECT_EQ(stats.morsels, 1u);
+  EXPECT_EQ(stats.threads_used, 1u);
+}
+
+// --- Edge cases: degenerate tables and boundary alignment. ---
+
+TEST(SharedScanTest, EmptyTableParity) {
+  Table t(MakeTinyTable().schema());
+  ASSERT_EQ(t.num_rows(), 0u);
+
+  std::vector<GroupingSetsQuery> queries;
+  {
+    GroupingSetsQuery q;
+    q.table = "t";
+    q.grouping_sets = {{"d"}, {"d", "e"}};
+    q.aggregates = {AggregateSpec::Make(AggregateFunction::kSum, "m1"),
+                    AggregateSpec::Count("n")};
+    queries.push_back(q);
+  }
+  {
+    GroupingSetsQuery q;  // global aggregate keeps its one (empty) group
+    q.table = "t";
+    q.grouping_sets = {{}};
+    q.aggregates = {AggregateSpec::Count("n")};
+    queries.push_back(q);
+  }
+  SharedScanStats stats;
+  ExpectParity(t, queries, SharedScanOptions{}, &stats);
+  EXPECT_EQ(stats.rows_scanned, 0u);
+  EXPECT_EQ(stats.morsels, 0u);
+}
+
+TEST(SharedScanTest, SingleRowTableParity) {
+  Table t(MakeTinyTable().schema());
+  ASSERT_TRUE(
+      t.AppendRow({Value("a"), Value("x"), Value(1.5), Value(2.5)}).ok());
+
+  GroupingSetsQuery q;
+  q.table = "t";
+  q.grouping_sets = {{"d"}, {"e"}, {}};
+  q.aggregates = {AggregateSpec::Make(AggregateFunction::kAvg, "m1"),
+                  AggregateSpec::Make(AggregateFunction::kMax, "m2")};
+  for (size_t threads : {1, 4}) {
+    SharedScanOptions options;
+    options.num_threads = threads;
+    SharedScanStats stats;
+    ExpectParity(t, {q}, options, &stats);
+    EXPECT_EQ(stats.rows_scanned, 1u);
+  }
+}
+
+TEST(SharedScanTest, RowCountExactlyOnMorselBoundary) {
+  data::SyntheticSpec spec = data::SyntheticSpec::Simple(
+      /*rows=*/4096, /*num_dims=*/2, /*num_measures=*/1,
+      /*cardinality=*/5, /*seed=*/7);
+  auto dataset = data::GenerateSynthetic(spec).ValueOrDie();
+  const Table& t = dataset.table;
+
+  GroupingSetsQuery q;
+  q.table = "synthetic";
+  q.where = dataset.selection;
+  q.grouping_sets = {{"dim1"}};
+  q.aggregates = {AggregateSpec::Make(AggregateFunction::kSum, "m0")};
+
+  SharedScanOptions options;
+  options.num_threads = 4;
+  options.morsel_rows = 1024;  // divides 4096 exactly: no ragged tail morsel
+  SharedScanStats stats;
+  ExpectParity(t, {q}, options, &stats);
+  EXPECT_EQ(stats.morsels, 4u);
+}
+
+// --- Phased execution: SharedScanState slices must compose to the same
+// answer as the one-shot pass, whatever the boundaries. ---
+
+// Runs `queries` as explicit phases with the given boundaries and checks
+// the final results match the one-shot fused pass exactly.
+void ExpectPhasedParity(const Table& t,
+                        const std::vector<GroupingSetsQuery>& queries,
+                        const std::vector<size_t>& boundaries,
+                        const SharedScanOptions& options) {
+  auto state = SharedScanState::Create(t, queries, options);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  size_t begin = 0;
+  for (size_t end : boundaries) {
+    ASSERT_TRUE(state->RunPhase(begin, end).ok());
+    begin = end;
+  }
+  ASSERT_TRUE(state->RunPhase(begin, t.num_rows()).ok());
+  auto phased = state->FinalResults();
+  ASSERT_TRUE(phased.ok()) << phased.status().ToString();
+
+  SharedScanStats stats = state->stats();
+  EXPECT_EQ(stats.phases, boundaries.size() + 1);
+
+  auto one_shot = ExecuteSharedScan(t, queries, options);
+  ASSERT_TRUE(one_shot.ok());
+  ASSERT_EQ(phased->size(), one_shot->size());
+  for (size_t q = 0; q < one_shot->size(); ++q) {
+    ASSERT_EQ((*phased)[q].size(), (*one_shot)[q].size()) << "query " << q;
+    for (size_t s = 0; s < (*one_shot)[q].size(); ++s) {
+      ExpectTablesMatch((*phased)[q][s], (*one_shot)[q][s],
+                        "query " + std::to_string(q) + " set " +
+                            std::to_string(s));
+    }
+  }
+}
+
+TEST(SharedScanStateTest, PhasesComposeToOneShotResult) {
+  data::SyntheticSpec spec = data::SyntheticSpec::Simple(
+      /*rows=*/5000, /*num_dims=*/3, /*num_measures=*/2,
+      /*cardinality=*/7, /*seed=*/11);
+  auto dataset = data::GenerateSynthetic(spec).ValueOrDie();
+  const Table& t = dataset.table;
+
+  std::vector<GroupingSetsQuery> queries;
+  {
+    GroupingSetsQuery q;
+    q.table = "synthetic";
+    q.where = dataset.selection;
+    q.grouping_sets = {{"dim1"}, {"dim2"}};
+    q.aggregates = {AggregateSpec::Make(AggregateFunction::kSum, "m0"),
+                    AggregateSpec::Make(AggregateFunction::kAvg, "m1")};
+    queries.push_back(q);
+  }
+  {
+    GroupingSetsQuery q;  // sampled query: mask must slice consistently
+    q.table = "synthetic";
+    q.grouping_sets = {{"dim0"}};
+    q.aggregates = {AggregateSpec::Count("n")};
+    q.sample_fraction = 0.5;
+    q.sample_seed = 3;
+    queries.push_back(q);
+  }
+
+  SharedScanOptions options;
+  options.num_threads = 2;
+  options.morsel_rows = 512;
+  // Phase boundaries that do NOT divide the table evenly, including a
+  // mid-morsel split, a tiny sliver, and an empty phase.
+  ExpectPhasedParity(t, queries, {1, 1, 1700, 4999}, options);
+  ExpectPhasedParity(t, queries, {2500}, options);
+  ExpectPhasedParity(t, queries, {}, options);
+}
+
+TEST(SharedScanStateTest, PhasesMustBeContiguousAndForward) {
+  Table t = MakeTinyTable();
+  GroupingSetsQuery q;
+  q.table = "t";
+  q.grouping_sets = {{"d"}};
+  q.aggregates = {AggregateSpec::Count("n")};
+  auto state = SharedScanState::Create(t, {q}, SharedScanOptions{});
+  ASSERT_TRUE(state.ok());
+
+  EXPECT_FALSE(state->RunPhase(1, 3).ok());   // gap at the start
+  ASSERT_TRUE(state->RunPhase(0, 3).ok());
+  EXPECT_FALSE(state->RunPhase(0, 3).ok());   // re-scan
+  EXPECT_FALSE(state->RunPhase(2, 5).ok());   // overlap
+  EXPECT_FALSE(state->RunPhase(3, 99).ok());  // past the end
+  ASSERT_TRUE(state->RunPhase(3, t.num_rows()).ok());
+
+  ASSERT_TRUE(state->FinalResults().ok());
+  EXPECT_FALSE(state->RunPhase(6, 6).ok());   // finalized
+}
+
+TEST(SharedScanStateTest, PartialResultsTrackRowsSeenSoFar) {
+  Table t = MakeLaserwaveTable();  // 9 rows: 4 Laserwave then 5 Widget
+  GroupingSetsQuery q;
+  q.table = "sales";
+  q.grouping_sets = {{"store"}};
+  q.aggregates = {AggregateSpec::Make(AggregateFunction::kSum, "amount")};
+
+  auto state = SharedScanState::Create(t, {q}, SharedScanOptions{});
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE(state->RunPhase(0, 4).ok());  // the Laserwave rows only
+
+  auto partial = state->PartialResults(0);
+  ASSERT_TRUE(partial.ok());
+  const Table& by_store = (*partial)[0];
+  EXPECT_EQ(by_store.num_rows(), 4u);  // all 4 stores seen already
+  int cambridge =
+      ::seedb::testing::FindRowByKey(by_store, Value("Cambridge, MA"));
+  ASSERT_GE(cambridge, 0);
+  // Only the Laserwave Cambridge row so far (Widget's 1000.0 comes later).
+  EXPECT_DOUBLE_EQ(
+      by_store.ValueAt(cambridge, 1).ToDouble().ValueOrDie(), 180.55);
+
+  ASSERT_TRUE(state->RunPhase(4, t.num_rows()).ok());
+  auto full = state->FinalResults();
+  ASSERT_TRUE(full.ok());
+  cambridge = ::seedb::testing::FindRowByKey((*full)[0][0],
+                                             Value("Cambridge, MA"));
+  ASSERT_GE(cambridge, 0);
+  EXPECT_DOUBLE_EQ(
+      (*full)[0][0].ValueAt(cambridge, 1).ToDouble().ValueOrDie(), 1180.55);
+}
+
+TEST(SharedScanStateTest, DeactivatedQueryIsFrozenAndYieldsNoFinalTables) {
+  Table t = MakeLaserwaveTable();
+  GroupingSetsQuery by_store;
+  by_store.table = "sales";
+  by_store.grouping_sets = {{"store"}};
+  by_store.aggregates = {
+      AggregateSpec::Make(AggregateFunction::kSum, "amount")};
+  GroupingSetsQuery by_product = by_store;
+  by_product.grouping_sets = {{"product"}};
+
+  auto state =
+      SharedScanState::Create(t, {by_store, by_product}, SharedScanOptions{});
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE(state->RunPhase(0, 4).ok());
+  ASSERT_TRUE(state->DeactivateQuery(1).ok());
+  EXPECT_FALSE(state->query_active(1));
+  EXPECT_EQ(state->active_queries(), 1u);
+  ASSERT_TRUE(state->RunPhase(4, t.num_rows()).ok());
+
+  // The retired query's partials are frozen at the rows it saw.
+  auto frozen = state->PartialResults(1);
+  ASSERT_TRUE(frozen.ok());
+  int laserwave =
+      ::seedb::testing::FindRowByKey((*frozen)[0], Value("Laserwave"));
+  ASSERT_GE(laserwave, 0);
+  EXPECT_DOUBLE_EQ(
+      (*frozen)[0].ValueAt(laserwave, 1).ToDouble().ValueOrDie(),
+      180.55 + 145.50 + 122.00 + 90.13);
+
+  auto final_results = state->FinalResults();
+  ASSERT_TRUE(final_results.ok());
+  EXPECT_EQ((*final_results)[0].size(), 1u);  // survivor materialized
+  EXPECT_TRUE((*final_results)[1].empty());   // retired query: no tables
+
+  // The survivor still matches an independent full scan.
+  auto expected = ExecuteGroupingSets(t, by_store, nullptr);
+  ASSERT_TRUE(expected.ok());
+  ExpectTablesMatch((*final_results)[0][0], (*expected)[0], "survivor");
 }
 
 // The engine-level invariant the tentpole exists for: a fused batch is ONE

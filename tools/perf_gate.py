@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_parallel.json artifacts.
+
+Compares the fresh bench output against the previous CI run's artifact and
+fails (exit 1) when any matched configuration regressed by more than the
+threshold in total wall-clock. Configurations are matched on
+(strategy, threads, phases); configs present in only one file are reported
+but never fail the gate (the matrix is allowed to evolve).
+
+Emits GitHub Actions `::warning::` annotations so the result is visible on
+the job even when the calling step is non-blocking.
+
+Usage: perf_gate.py OLD.json NEW.json [--threshold 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    runs = {}
+    for run in doc.get("runs", []):
+        strategy = run.get("strategy")
+        # Artifacts written before the phased engine carry no "phases" key;
+        # normalize to what the bench emits today (0 under per-query — no
+        # fused pass — and 1 for a one-shot fused scan) so old-vs-new
+        # comparisons keep matching.
+        phases = run.get("phases", 0 if strategy == "per-query" else 1)
+        runs[(strategy, run.get("threads"), phases)] = run
+    return runs
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="previous run's BENCH_parallel.json")
+    parser.add_argument("new", help="this run's BENCH_parallel.json")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional total_ms growth (0.30 = 30%%)")
+    args = parser.parse_args()
+
+    old_runs = load_runs(args.old)
+    new_runs = load_runs(args.new)
+
+    regressions = []
+    print(f"{'strategy':>20} {'threads':>7} {'phases':>6} "
+          f"{'old(ms)':>10} {'new(ms)':>10} {'delta':>8}")
+    for key in sorted(new_runs, key=str):
+        new = new_runs[key]
+        old = old_runs.get(key)
+        strategy, threads, phases = key
+        if old is None:
+            print(f"{strategy:>20} {threads:>7} {phases:>6} "
+                  f"{'-':>10} {new['total_ms']:>10.2f}   (new config)")
+            continue
+        delta = (new["total_ms"] - old["total_ms"]) / max(old["total_ms"], 1e-9)
+        flag = " <-- REGRESSION" if delta > args.threshold else ""
+        print(f"{strategy:>20} {threads:>7} {phases:>6} "
+              f"{old['total_ms']:>10.2f} {new['total_ms']:>10.2f} "
+              f"{delta:>+7.1%}{flag}")
+        if delta > args.threshold:
+            regressions.append((key, old["total_ms"], new["total_ms"], delta))
+    for key in sorted(set(old_runs) - set(new_runs), key=str):
+        print(f"(config {key} disappeared from the bench matrix)")
+
+    if regressions:
+        for (strategy, threads, phases), old_ms, new_ms, delta in regressions:
+            print(f"::warning::perf regression: {strategy} threads={threads} "
+                  f"phases={phases} went {old_ms:.2f}ms -> {new_ms:.2f}ms "
+                  f"({delta:+.1%}, threshold {args.threshold:.0%})")
+        return 1
+    print(f"perf gate OK: no config regressed more than "
+          f"{args.threshold:.0%} ({len(new_runs)} configs checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,7 +81,11 @@ class Cli {
         "  \\tables / \\schema <t>            catalog inspection\n"
         "  \\bin <t> <measure> <bins>        derive a binned dimension\n"
         "  \\set k <n> | metric <name> | parallel <n> | prune on|off\n"
-        "  \\set strategy shared|perquery    fused shared-scan vs per-query\n"
+        "  \\set strategy shared|perquery|phased\n"
+        "                                   fused shared-scan, per-query, or\n"
+        "                                   phased scan with online pruning\n"
+        "  \\set phases <n>                  phase count for strategy phased\n"
+        "  \\set online_pruner none|ci|mab   mid-scan view pruner (phased)\n"
         "  \\q                               quit\n");
     return Status::OK();
   }
@@ -177,9 +181,28 @@ class Cli {
         options_.strategy = core::ExecutionStrategy::kSharedScan;
       } else if (name == "perquery") {
         options_.strategy = core::ExecutionStrategy::kPerQuery;
+      } else if (name == "phased") {
+        options_.strategy = core::ExecutionStrategy::kPhasedSharedScan;
       } else {
         return Status::InvalidArgument(
-            "usage: \\set strategy shared|perquery");
+            "usage: \\set strategy shared|perquery|phased");
+      }
+    } else if (key == "phases") {
+      size_t phases = 0;
+      in >> phases;
+      if (phases == 0) {
+        return Status::InvalidArgument("usage: \\set phases <n >= 1>");
+      }
+      options_.online_pruning.num_phases = phases;
+    } else if (key == "online_pruner") {
+      std::string name;
+      in >> name;
+      SEEDB_ASSIGN_OR_RETURN(options_.online_pruning.pruner,
+                             core::ParseOnlinePruner(name));
+      // The pruner only runs under the phased strategy; switch implicitly
+      // so the knob does something without a second command.
+      if (options_.online_pruning.pruner != core::OnlinePruner::kNone) {
+        options_.strategy = core::ExecutionStrategy::kPhasedSharedScan;
       }
     } else if (key == "prune") {
       std::string state;
@@ -189,12 +212,17 @@ class Cli {
     } else {
       return Status::InvalidArgument(
           "usage: \\set k <n> | metric <name> | parallel <n> | "
-          "strategy shared|perquery | prune on|off");
+          "strategy shared|perquery|phased | phases <n> | "
+          "online_pruner none|ci|mab | prune on|off");
     }
-    std::printf("ok (k=%zu metric=%s parallel=%zu strategy=%s)\n", options_.k,
-                core::DistanceMetricToString(options_.metric),
-                options_.parallelism,
-                core::ExecutionStrategyToString(options_.strategy));
+    std::printf(
+        "ok (k=%zu metric=%s parallel=%zu strategy=%s phases=%zu "
+        "online_pruner=%s)\n",
+        options_.k, core::DistanceMetricToString(options_.metric),
+        options_.parallelism,
+        core::ExecutionStrategyToString(options_.strategy),
+        options_.online_pruning.num_phases,
+        core::OnlinePrunerToString(options_.online_pruning.pruner));
     return Status::OK();
   }
 
