@@ -164,6 +164,15 @@ void RunOnlinePruningExperiment() {
       {"mab", core::OnlinePruner::kMultiArmedBandit, 10, 2.0},
   };
 
+  // Machine-readable mirror of the table, uploaded by CI next to
+  // BENCH_parallel.json for offline recall/latency trend tracking. (The
+  // perf gate itself compares only BENCH_parallel.json — these runs are
+  // keyed by pruner, not strategy/threads.)
+  bench::JsonWriter json;
+  json.BeginObject()
+      .Key("bench").Value("pruning")
+      .Key("runs").BeginArray();
+
   std::printf("%-12s %8s %8s %10s %12s %14s %10s\n", "pruner", "phases",
               "views", "pruned", "latency(ms)", "per-phase(ms)", "recall@5");
   for (const auto& config : configs) {
@@ -186,13 +195,24 @@ void RunOnlinePruningExperiment() {
         result.profile.phases_executed == 0
             ? 0.0
             : exec_ms / static_cast<double>(result.profile.phases_executed);
+    double recall = bench::Recall(truth_ids, bench::TopViewIds(result));
     std::printf("%-12s %8zu %8zu %10zu %12.2f %14.2f %10.2f\n", config.name,
                 result.profile.phases_executed,
                 result.profile.views_executed -
                     result.profile.views_pruned_online,
-                result.profile.views_pruned_online, ms, per_phase_ms,
-                bench::Recall(truth_ids, bench::TopViewIds(result)));
+                result.profile.views_pruned_online, ms, per_phase_ms, recall);
+    json.BeginObject()
+        .Key("pruner").Value(core::OnlinePrunerToString(config.pruner))
+        .Key("phases").Value(config.phases)
+        .Key("utility_range").Value(config.utility_range)
+        .Key("total_ms").Value(ms)
+        .Key("mean_unit_ms").Value(per_phase_ms)
+        .Key("views_pruned").Value(result.profile.views_pruned_online)
+        .Key("recall_at_5").Value(recall)
+        .EndObject();
   }
+  json.EndArray().EndObject();
+  json.WriteFile("BENCH_pruning.json");
   std::printf(
       "\nExpected shape: both pruners keep recall@5 near 1.0 on this "
       "workload (the planted view separates early) while retiring most "

@@ -1,6 +1,7 @@
 #include "core/executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
@@ -46,13 +47,24 @@ double ExecutionReport::MeanPhaseSeconds() const {
   return MeanOf(phase_seconds);
 }
 
+bool RanksBefore(const ViewEstimate& a, const ViewEstimate& b) {
+  if (a.utility != b.utility) return a.utility > b.utility;
+  return a.view.Id() < b.view.Id();
+}
+
 namespace {
 
 db::SharedScanOptions MakeScanOptions(const ExecutorOptions& options) {
   db::SharedScanOptions scan;
   scan.num_threads = options.parallelism;
   scan.morsel_rows = options.morsel_rows;
+  scan.cancel = options.cancel;
   return scan;
+}
+
+bool CancelRequested(const ExecutorOptions& options) {
+  return options.cancel != nullptr &&
+         options.cancel->load(std::memory_order_relaxed);
 }
 
 std::vector<db::GroupingSetsQuery> PlanQueries(const ExecutionPlan& plan) {
@@ -62,133 +74,263 @@ std::vector<db::GroupingSetsQuery> PlanQueries(const ExecutionPlan& plan) {
   return queries;
 }
 
-// The whole plan in ONE fused pass.
-Result<std::vector<ViewResult>> ExecuteFused(db::Engine* engine,
-                                             const ExecutionPlan& plan,
-                                             ViewProcessor* processor,
-                                             const ExecutorOptions& options,
-                                             ExecutionReport* report) {
-  Stopwatch qt;
-  SEEDB_ASSIGN_OR_RETURN(
-      std::vector<std::vector<db::Table>> all,
-      engine->ExecuteShared(PlanQueries(plan), MakeScanOptions(options)));
-  double fused = qt.ElapsedSeconds();
-  for (size_t i = 0; i < plan.queries.size(); ++i) {
-    SEEDB_RETURN_IF_ERROR(
-        processor->Consume(plan.queries[i], std::move(all[i])));
-  }
-  if (report) {
-    report->phase_seconds.assign(1, fused);
-    report->phases_executed = 1;
-  }
-  return processor->Finish();
-}
-
-// The fused pass split into sequential row-range phases with online view
-// pruning at each boundary (§3.3 "Pruning Optimizations").
-Result<std::vector<ViewResult>> ExecutePhased(db::Engine* engine,
-                                              const ExecutionPlan& plan,
-                                              DistanceMetric metric,
-                                              ViewProcessor* processor,
-                                              const ExecutorOptions& options,
-                                              ExecutionReport* report) {
-  SEEDB_ASSIGN_OR_RETURN(
-      db::SharedScanSession session,
-      engine->BeginShared(PlanQueries(plan), MakeScanOptions(options)));
-
-  // Dense view index across the plan, plus the wiring from each view to the
-  // planned queries carrying one of its halves. A query is retired from the
-  // scan once every view riding on it has been pruned.
-  std::vector<ViewDescriptor> views;
-  std::unordered_map<ViewDescriptor, size_t, ViewDescriptorHash> view_index;
-  std::vector<std::vector<size_t>> queries_of_view;
-  std::vector<size_t> live_slots(plan.queries.size(), 0);
-  for (size_t q = 0; q < plan.queries.size(); ++q) {
-    for (const ViewSlot& slot : plan.queries[q].slots) {
-      auto [it, inserted] = view_index.emplace(slot.view, views.size());
-      if (inserted) {
-        views.push_back(slot.view);
-        queries_of_view.emplace_back();
-      }
-      queries_of_view[it->second].push_back(q);
-      ++live_slots[q];
-    }
-  }
-
-  const OnlinePruningOptions& popts = options.online_pruning;
-  const size_t num_phases = std::max<size_t>(1, popts.num_phases);
-  OnlinePruningState pruner(views.size(), popts);
-  const auto include_active = [&](const ViewDescriptor& v) {
-    auto it = view_index.find(v);
-    return it != view_index.end() && pruner.IsActive(it->second);
-  };
-
-  const size_t n = session.num_rows();
-  size_t queries_deactivated = 0;
-  std::vector<double> phase_seconds;
-  phase_seconds.reserve(num_phases);
-
-  for (size_t p = 0; p < num_phases; ++p) {
-    Stopwatch phase_timer;
-    const size_t begin = n * p / num_phases;
-    const size_t end = n * (p + 1) / num_phases;
-    SEEDB_RETURN_IF_ERROR(session.RunPhase(begin, end));
-
-    const bool boundary = p + 1 < num_phases;
-    if (boundary && popts.pruner != OnlinePruner::kNone && popts.keep_k > 0 &&
-        pruner.num_active() > popts.keep_k && session.rows_consumed() > 0) {
-      // Score every surviving view on its running aggregates. Early slices
-      // can leave a view with two empty halves (nothing matched yet), which
-      // has no defined utility — skip this boundary rather than prune on
-      // undefined estimates; the next boundary sees more rows.
-      ViewProcessor estimator(metric);
-      Status consumed = Status::OK();
-      for (size_t q = 0; q < plan.queries.size() && consumed.ok(); ++q) {
-        if (!session.query_active(q)) continue;
-        SEEDB_ASSIGN_OR_RETURN(std::vector<db::Table> partial,
-                               session.PartialResults(q));
-        consumed = estimator.Consume(plan.queries[q], std::move(partial),
-                                     include_active);
-      }
-      Result<std::vector<ViewResult>> estimates =
-          consumed.ok() ? estimator.Finish()
-                        : Result<std::vector<ViewResult>>(consumed);
-      if (estimates.ok()) {
-        std::vector<double> utilities(views.size(), 0.0);
-        for (const ViewResult& vr : *estimates) {
-          utilities[view_index.at(vr.view)] = vr.utility;
-        }
-        for (size_t v : pruner.Observe(utilities)) {
-          for (size_t q : queries_of_view[v]) {
-            if (--live_slots[q] == 0 && session.query_active(q)) {
-              SEEDB_RETURN_IF_ERROR(session.DeactivateQuery(q));
-              ++queries_deactivated;
-            }
-          }
-        }
-      }
-    }
-    phase_seconds.push_back(phase_timer.ElapsedSeconds());
-  }
-
-  SEEDB_ASSIGN_OR_RETURN(std::vector<std::vector<db::Table>> all,
-                         session.Finalize());
-  for (size_t q = 0; q < plan.queries.size(); ++q) {
-    if (!session.query_active(q)) continue;
-    SEEDB_RETURN_IF_ERROR(
-        processor->Consume(plan.queries[q], std::move(all[q]),
-                           include_active));
-  }
-  if (report) {
-    report->phase_seconds = std::move(phase_seconds);
-    report->phases_executed = num_phases;
-    report->views_pruned_online = pruner.views_pruned();
-    report->queries_deactivated = queries_deactivated;
-  }
-  return processor->Finish();
+// The one-shot fused scan (kSharedScan) is the phased machinery with a
+// single phase and no pruner — one code path handles cancellation,
+// partial-result materialization and reporting for both fused strategies.
+ExecutorOptions SinglePhaseOptions(const ExecutorOptions& options) {
+  ExecutorOptions run = options;
+  run.online_pruning.num_phases = 1;
+  run.online_pruning.pruner = OnlinePruner::kNone;
+  run.online_pruning.early_stop_stable_phases = 0;
+  return run;
 }
 
 }  // namespace
+
+PhasedPlanExecution::PhasedPlanExecution(const ExecutionPlan* plan,
+                                         DistanceMetric metric,
+                                         ExecutorOptions options,
+                                         db::SharedScanSession session)
+    : plan_(plan),
+      metric_(metric),
+      options_(std::move(options)),
+      session_(std::move(session)),
+      live_slots_(plan->queries.size(), 0),
+      pruner_(0, options_.online_pruning) {
+  // Dense view index across the plan, plus the wiring from each view to the
+  // planned queries carrying one of its halves. A query is retired from the
+  // scan once every view riding on it has been pruned.
+  for (size_t q = 0; q < plan_->queries.size(); ++q) {
+    for (const ViewSlot& slot : plan_->queries[q].slots) {
+      auto [it, inserted] = view_index_.emplace(slot.view, views_.size());
+      if (inserted) {
+        views_.push_back(slot.view);
+        queries_of_view_.emplace_back();
+      }
+      queries_of_view_[it->second].push_back(q);
+      ++live_slots_[q];
+    }
+  }
+  pruner_ = OnlinePruningState(views_.size(), options_.online_pruning);
+  total_phases_ = std::max<size_t>(1, options_.online_pruning.num_phases);
+  phase_seconds_.reserve(total_phases_);
+}
+
+Result<PhasedPlanExecution> PhasedPlanExecution::Begin(
+    db::Engine* engine, const ExecutionPlan& plan, DistanceMetric metric,
+    const ExecutorOptions& options) {
+  SEEDB_ASSIGN_OR_RETURN(
+      db::SharedScanSession session,
+      engine->BeginShared(PlanQueries(plan), MakeScanOptions(options)));
+  return PhasedPlanExecution(&plan, metric, options, std::move(session));
+}
+
+bool PhasedPlanExecution::done() const {
+  return finished_ || cancelled_ || early_stopped_ ||
+         phases_run() >= total_phases_;
+}
+
+size_t PhasedPlanExecution::rows_consumed() const {
+  return session_.rows_consumed();
+}
+
+size_t PhasedPlanExecution::num_rows() const { return session_.num_rows(); }
+
+// Scores every surviving view on its running (un-finalized) aggregates.
+// Early slices can leave a view with two empty halves (nothing matched
+// yet), which has no defined utility — callers skip that boundary rather
+// than act on undefined estimates; the next boundary sees more rows.
+Result<std::vector<ViewEstimate>> PhasedPlanExecution::EstimateSurvivors()
+    const {
+  const auto include_active = [this](const ViewDescriptor& v) {
+    auto it = view_index_.find(v);
+    return it != view_index_.end() && pruner_.IsActive(it->second);
+  };
+  ViewProcessor estimator(metric_);
+  for (size_t q = 0; q < plan_->queries.size(); ++q) {
+    if (!session_.query_active(q)) continue;
+    SEEDB_ASSIGN_OR_RETURN(std::vector<db::Table> partial,
+                           session_.PartialResults(q));
+    SEEDB_RETURN_IF_ERROR(
+        estimator.Consume(plan_->queries[q], std::move(partial),
+                          include_active));
+  }
+  SEEDB_ASSIGN_OR_RETURN(std::vector<ViewResult> scored, estimator.Finish());
+  std::vector<ViewEstimate> estimates;
+  estimates.reserve(scored.size());
+  for (const ViewResult& vr : scored) {
+    estimates.push_back({vr.view, vr.utility});
+  }
+  return estimates;
+}
+
+// The top-k is "CI-stable" when the same ordered top-k appeared at
+// `early_stop_stable_phases` consecutive boundaries and every adjacent pair
+// in the ranking — including the boundary pair against the best excluded
+// view — is separated by more than 2*eps, i.e. the intervals cannot overlap
+// into a swap. Conservative by construction: infinite eps (delta <= 0)
+// never stops, reproducing the exhaustive scan.
+bool PhasedPlanExecution::EvaluateEarlyStop(
+    const std::vector<ViewEstimate>& estimates, double eps) {
+  const size_t stable = options_.online_pruning.early_stop_stable_phases;
+  if (stable == 0 || estimates.empty()) return false;
+  const size_t k = std::max<size_t>(1, options_.online_pruning.keep_k);
+
+  std::vector<const ViewEstimate*> order;
+  order.reserve(estimates.size());
+  for (const ViewEstimate& e : estimates) order.push_back(&e);
+  std::sort(order.begin(), order.end(),
+            [](const ViewEstimate* a, const ViewEstimate* b) {
+              return RanksBefore(*a, *b);
+            });
+
+  std::vector<std::string> top_ids;
+  const size_t top_n = std::min(k, order.size());
+  top_ids.reserve(top_n);
+  for (size_t i = 0; i < top_n; ++i) top_ids.push_back(order[i]->view.Id());
+  stable_streak_ = top_ids == last_top_ids_ ? stable_streak_ + 1 : 1;
+  last_top_ids_ = std::move(top_ids);
+  if (stable_streak_ < stable || !std::isfinite(eps)) return false;
+
+  // Adjacent separation over the top-k plus the best excluded view.
+  const size_t pairs = std::min(order.size() - 1, k);
+  for (size_t i = 0; i < pairs; ++i) {
+    if (order[i]->utility - eps <= order[i + 1]->utility + eps) return false;
+  }
+  return true;
+}
+
+Result<PhaseSnapshot> PhasedPlanExecution::Step(bool collect_estimates) {
+  if (done()) {
+    return Status::Internal("phased execution already done");
+  }
+  Stopwatch phase_timer;
+  const size_t p = phases_run();
+  const size_t n = session_.num_rows();
+  const size_t begin = n * p / total_phases_;
+  const size_t end = n * (p + 1) / total_phases_;
+  SEEDB_RETURN_IF_ERROR(session_.RunPhase(begin, end));
+
+  PhaseSnapshot snap;
+  snap.phase = p + 1;
+  snap.total_phases = total_phases_;
+  snap.views_active = pruner_.num_active();
+  snap.views_pruned = pruner_.views_pruned();
+
+  if (session_.cancelled()) {
+    cancelled_ = true;
+    snap.cancelled = true;
+    snap.rows_consumed = session_.rows_consumed();
+    // The cut-short phase observed no boundary: report the width the
+    // PREVIOUS boundaries earned (infinite before the first one) — never
+    // the zero-default, which would read as perfect confidence on the
+    // least-trustworthy estimates of the run.
+    snap.ci_half_width = OnlinePruningState::ConfidenceHalfWidth(
+        options_.online_pruning, boundaries_observed_);
+    phase_seconds_.push_back(phase_timer.ElapsedSeconds());
+    snap.phase_seconds = phase_seconds_.back();
+    return snap;
+  }
+
+  const OnlinePruningOptions& popts = options_.online_pruning;
+  const bool boundary = p + 1 < total_phases_;
+  const bool want_prune =
+      boundary && popts.pruner != OnlinePruner::kNone && popts.keep_k > 0 &&
+      pruner_.num_active() > popts.keep_k && session_.rows_consumed() > 0;
+  const bool want_early_stop =
+      boundary && popts.early_stop_stable_phases > 0;
+  ++boundaries_observed_;
+  snap.ci_half_width =
+      OnlinePruningState::ConfidenceHalfWidth(popts, boundaries_observed_);
+
+  if ((want_prune || want_early_stop || collect_estimates) &&
+      session_.rows_consumed() > 0) {
+    Result<std::vector<ViewEstimate>> estimates = EstimateSurvivors();
+    if (estimates.ok()) {
+      if (want_prune) {
+        std::vector<double> utilities(views_.size(), 0.0);
+        for (const ViewEstimate& e : *estimates) {
+          utilities[view_index_.at(e.view)] = e.utility;
+        }
+        for (size_t v : pruner_.Observe(utilities)) {
+          online_pruned_.push_back({views_[v], utilities[v], snap.phase,
+                                    session_.rows_consumed()});
+          for (size_t q : queries_of_view_[v]) {
+            if (--live_slots_[q] == 0 && session_.query_active(q)) {
+              SEEDB_RETURN_IF_ERROR(session_.DeactivateQuery(q));
+              ++queries_deactivated_;
+            }
+          }
+        }
+        // Drop the newly pruned views from the boundary estimates so the
+        // snapshot (and the early-stop policy) see survivors only.
+        std::erase_if(*estimates, [this](const ViewEstimate& e) {
+          return !pruner_.IsActive(view_index_.at(e.view));
+        });
+      }
+      if (want_early_stop &&
+          EvaluateEarlyStop(*estimates, snap.ci_half_width)) {
+        early_stopped_ = true;
+        snap.early_stopped = true;
+      }
+      if (collect_estimates) {
+        snap.has_estimates = true;
+        snap.estimates = std::move(*estimates);
+      }
+    }
+  }
+
+  snap.views_active = pruner_.num_active();
+  snap.views_pruned = pruner_.views_pruned();
+  snap.rows_consumed = session_.rows_consumed();
+  phase_seconds_.push_back(phase_timer.ElapsedSeconds());
+  snap.phase_seconds = phase_seconds_.back();
+  return snap;
+}
+
+Result<std::vector<ViewResult>> PhasedPlanExecution::Finish(
+    ExecutionReport* report) {
+  if (finished_) {
+    return Status::Internal("phased execution already finished");
+  }
+  finished_ = true;
+  Stopwatch finalize_timer;
+  const auto include_active = [this](const ViewDescriptor& v) {
+    auto it = view_index_.find(v);
+    return it != view_index_.end() && pruner_.IsActive(it->second);
+  };
+  ViewProcessor processor(metric_);
+  SEEDB_ASSIGN_OR_RETURN(std::vector<std::vector<db::Table>> all,
+                         session_.Finalize());
+  for (size_t q = 0; q < plan_->queries.size(); ++q) {
+    if (!session_.query_active(q)) continue;
+    SEEDB_RETURN_IF_ERROR(
+        processor.Consume(plan_->queries[q], std::move(all[q]),
+                          include_active));
+  }
+  if (report) {
+    report->phase_seconds = phase_seconds_;
+    report->phases_executed = phases_run();
+    report->views_pruned_online = pruner_.views_pruned();
+    report->online_pruned = online_pruned_;
+    report->queries_deactivated = queries_deactivated_;
+    report->early_stopped = early_stopped_;
+    report->cancelled = cancelled_;
+    report->total_seconds = finalize_timer.ElapsedSeconds();
+    for (double s : phase_seconds_) report->total_seconds += s;
+    // Exact per-run engine work, mirroring what Finalize() just folded into
+    // the engine counters (one scan per batch, every query counted).
+    report->queries_executed = plan_->queries.size();
+    report->table_scans = 1;
+    report->rows_scanned = session_.stats().rows_scanned;
+  }
+  // A run that stopped before consuming every row (cancelled, or stopped
+  // before the first phase) can hold views with no data at all; drop those
+  // instead of failing. Fully scanned runs keep the strict check.
+  const bool partial =
+      cancelled_ || session_.rows_consumed() < session_.num_rows();
+  return processor.Finish(/*allow_partial=*/partial);
+}
 
 Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
                                             const ExecutionPlan& plan,
@@ -196,26 +338,40 @@ Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
                                             const ExecutorOptions& options,
                                             ExecutionReport* report) {
   Stopwatch total_timer;
-  ViewProcessor processor(metric);
 
   if (options.strategy != ExecutionStrategy::kPerQuery &&
       !plan.queries.empty()) {
-    Result<std::vector<ViewResult>> views =
-        options.strategy == ExecutionStrategy::kSharedScan
-            ? ExecuteFused(engine, plan, &processor, options, report)
-            : ExecutePhased(engine, plan, metric, &processor, options, report);
+    SEEDB_ASSIGN_OR_RETURN(
+        PhasedPlanExecution run,
+        PhasedPlanExecution::Begin(
+            engine, plan, metric,
+            options.strategy == ExecutionStrategy::kSharedScan
+                ? SinglePhaseOptions(options)
+                : options));
+    while (!run.done()) {
+      SEEDB_RETURN_IF_ERROR(run.Step(/*collect_estimates=*/false).status());
+    }
+    Result<std::vector<ViewResult>> views = run.Finish(report);
     SEEDB_RETURN_IF_ERROR(views.status());
     if (report) report->total_seconds = total_timer.ElapsedSeconds();
     return views;
   }
 
+  ViewProcessor processor(metric);
+  bool cancelled = false;
+  size_t queries_executed = 0;
   std::vector<double> query_seconds(plan.queries.size(), 0.0);
   if (options.parallelism <= 1) {
     for (size_t i = 0; i < plan.queries.size(); ++i) {
+      if (CancelRequested(options)) {
+        cancelled = true;
+        break;
+      }
       Stopwatch qt;
       SEEDB_ASSIGN_OR_RETURN(std::vector<db::Table> results,
                              engine->Execute(plan.queries[i].query));
       query_seconds[i] = qt.ElapsedSeconds();
+      ++queries_executed;
       SEEDB_RETURN_IF_ERROR(
           processor.Consume(plan.queries[i], std::move(results)));
     }
@@ -226,11 +382,17 @@ Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
     std::mutex mu;
     Status first_error = Status::OK();
     pool.ParallelFor(0, plan.queries.size(), [&](size_t i) {
+      if (CancelRequested(options)) {
+        std::lock_guard<std::mutex> lock(mu);
+        cancelled = true;
+        return;
+      }
       Stopwatch qt;
       auto result = engine->Execute(plan.queries[i].query);
       double elapsed = qt.ElapsedSeconds();
       std::lock_guard<std::mutex> lock(mu);
       query_seconds[i] = elapsed;
+      ++queries_executed;
       if (!result.ok()) {
         if (first_error.ok()) first_error = result.status();
         return;
@@ -244,10 +406,15 @@ Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
     if (!first_error.ok()) return first_error;
   }
 
-  SEEDB_ASSIGN_OR_RETURN(std::vector<ViewResult> results, processor.Finish());
+  // A cancelled per-query run may hold views with only one half consumed
+  // (the other query never ran); those are dropped rather than scored.
+  SEEDB_ASSIGN_OR_RETURN(std::vector<ViewResult> results,
+                         processor.Finish(/*allow_partial=*/cancelled));
   if (report) {
     report->total_seconds = total_timer.ElapsedSeconds();
     report->query_seconds = std::move(query_seconds);
+    report->cancelled = cancelled;
+    report->queries_executed = queries_executed;
   }
   return results;
 }

@@ -22,6 +22,9 @@
 #ifndef SEEDB_CORE_EXECUTOR_H_
 #define SEEDB_CORE_EXECUTOR_H_
 
+#include <atomic>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/metrics.h"
@@ -53,13 +56,20 @@ struct ExecutorOptions {
   /// concurrency).
   size_t parallelism = 1;
   ExecutionStrategy strategy = ExecutionStrategy::kPerQuery;
-  /// Rows per morsel for the fused strategies (0 = adaptive, derived from
-  /// row and thread count — db::AdaptiveMorselRows).
+  /// Rows per morsel for the fused strategies (0 = adaptive, re-derived at
+  /// every phase start from the phase's rows and the surviving query count —
+  /// db::AdaptiveMorselRows).
   size_t morsel_rows = db::SharedScanOptions{}.morsel_rows;
-  /// Phase count and mid-flight pruner for kPhasedSharedScan (ignored by
-  /// the other strategies). keep_k must be set for pruning to engage; the
-  /// SeeDB facade wires it to the top-k request.
+  /// Phase count, mid-flight pruner and early-stop policy for
+  /// kPhasedSharedScan (ignored by the other strategies). keep_k must be set
+  /// for pruning to engage; the SeeDB facade wires it to the top-k request.
   OnlinePruningOptions online_pruning;
+  /// Cooperative cancellation token. Under the fused strategies it is
+  /// observed at morsel boundaries inside the scan; under kPerQuery between
+  /// queries. On cancellation the executor returns the views completed so
+  /// far (fused strategies: every survivor, estimated over the rows seen)
+  /// and sets ExecutionReport::cancelled. nullptr = not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Latency breakdown of one plan execution. Which fields are populated
@@ -77,24 +87,174 @@ struct ExecutionReport {
   /// estimate/prune bookkeeping. One entry under kSharedScan, one per phase
   /// under kPhasedSharedScan, empty under kPerQuery.
   std::vector<double> phase_seconds;
-  /// Phases the fused pass ran (0 under kPerQuery).
+  /// Phases the fused pass ran (0 under kPerQuery). Smaller than the
+  /// requested phase count when the run early-stopped or was cancelled.
   size_t phases_executed = 0;
-  /// Views retired mid-flight by the online pruner.
+  /// Views retired mid-flight by the online pruner (= online_pruned.size()).
   size_t views_pruned_online = 0;
+  /// The retired views themselves, each with the partial utility estimate it
+  /// carried at retirement — surfaced to RecommendationSet for the
+  /// frontend's "views not examined" display.
+  std::vector<OnlinePrunedView> online_pruned;
   /// Planned queries the scan stopped computing because every view riding
   /// on them had been pruned.
   size_t queries_deactivated = 0;
+  /// The run stopped scanning before the last requested phase because the
+  /// top-k was CI-stable (OnlinePruningOptions::early_stop_stable_phases);
+  /// utilities are estimates over the rows seen.
+  bool early_stopped = false;
+  /// The run was cut short by ExecutorOptions::cancel; results are partial.
+  bool cancelled = false;
+  /// Engine work attributable to THIS run, so concurrent runs on one
+  /// engine do not bleed into each other's profiles. The fused strategies
+  /// fill all three exactly (table_scans = 1 per batch); kPerQuery fills
+  /// queries_executed only (table_scans stays 0 — the facade falls back to
+  /// engine-wide counter deltas there).
+  size_t queries_executed = 0;
+  size_t table_scans = 0;
+  uint64_t rows_scanned = 0;
 
   double MeanQuerySeconds() const;
   double MaxQuerySeconds() const;
   double MeanPhaseSeconds() const;
 };
 
+/// A running utility estimate for one surviving view mid-scan.
+struct ViewEstimate {
+  ViewDescriptor view;
+  /// Utility computed over the rows the scan has consumed so far.
+  double utility = 0.0;
+};
+
+/// The provisional-ranking order: utility descending, ties on view id so
+/// rankings are deterministic. The early-stop policy and the streaming
+/// session's top-k display both rank with this — they must agree on what
+/// "the current top-k" is.
+bool RanksBefore(const ViewEstimate& a, const ViewEstimate& b);
+
+/// Observable state of one phase of a PhasedPlanExecution, produced by
+/// Step() right after the phase's boundary bookkeeping ran.
+struct PhaseSnapshot {
+  /// 1-based index of the phase just completed.
+  size_t phase = 0;
+  size_t total_phases = 0;
+  /// Wall time of the phase including boundary estimate/prune bookkeeping.
+  double phase_seconds = 0.0;
+  /// Rows of the table consumed so far (estimated under cancellation).
+  size_t rows_consumed = 0;
+  size_t views_active = 0;
+  /// Views retired by the online pruner so far (cumulative).
+  size_t views_pruned = 0;
+  /// Hoeffding half-width eps(m) after this many boundaries under the run's
+  /// delta / utility_range; infinite when delta <= 0.
+  double ci_half_width = 0.0;
+  /// Surviving views' running utilities, when estimate collection was
+  /// requested (or needed by the pruner / early-stop policy) and the
+  /// boundary estimates were computable.
+  bool has_estimates = false;
+  std::vector<ViewEstimate> estimates;
+  /// This boundary triggered early stop (the run is now done).
+  bool early_stopped = false;
+  /// The cancel token cut this phase short (the run is now done).
+  bool cancelled = false;
+};
+
+/// \brief A kPhasedSharedScan plan execution advanced one phase at a time —
+/// the machinery behind both blocking ExecutePlan() and the streaming
+/// RecommendationSession (core/session.h).
+///
+/// Usage:
+///   SEEDB_ASSIGN_OR_RETURN(auto run, PhasedPlanExecution::Begin(...));
+///   while (!run.done()) { auto snap = run.Step(true); ... }
+///   auto results = run.Finish(&report);
+///
+/// Not thread-safe, with one exception: the ExecutorOptions::cancel token
+/// may be flipped from another thread while Step() runs; the in-flight
+/// phase then returns within one morsel granule.
+class PhasedPlanExecution {
+ public:
+  static Result<PhasedPlanExecution> Begin(db::Engine* engine,
+                                           const ExecutionPlan& plan,
+                                           DistanceMetric metric,
+                                           const ExecutorOptions& options);
+
+  size_t total_phases() const { return total_phases_; }
+  size_t phases_run() const { return phase_seconds_.size(); }
+  /// True when every phase ran, early stop fired, or the run was cancelled;
+  /// Step() must not be called once done.
+  bool done() const;
+  bool early_stopped() const { return early_stopped_; }
+  bool cancelled() const { return cancelled_; }
+  size_t rows_consumed() const;
+  size_t num_rows() const;
+
+  /// Runs the next phase and its boundary bookkeeping: prune (when a pruner
+  /// is engaged and phases remain), collect estimates (when requested or
+  /// needed), and evaluate the early-stop policy. `collect_estimates` asks
+  /// for the surviving views' running utilities in the snapshot even when
+  /// no pruner needs them — the streaming session's provisional top-k.
+  Result<PhaseSnapshot> Step(bool collect_estimates);
+
+  /// Stops the run here: remaining phases are skipped and Finish()
+  /// materializes results from the rows seen so far.
+  void StopEarly() { early_stopped_ = true; }
+
+  /// Terminal: finalizes the scan (recording engine stats), consumes every
+  /// surviving view and scores it with the run's metric. After early stop
+  /// or cancellation the utilities are estimates over the rows consumed.
+  /// `report` (optional) receives the full latency/pruning breakdown.
+  Result<std::vector<ViewResult>> Finish(ExecutionReport* report = nullptr);
+
+  /// Views retired so far, with their partial utility estimates.
+  const std::vector<OnlinePrunedView>& online_pruned() const {
+    return online_pruned_;
+  }
+
+ private:
+  PhasedPlanExecution(const ExecutionPlan* plan, DistanceMetric metric,
+                      ExecutorOptions options, db::SharedScanSession session);
+
+  Result<std::vector<ViewEstimate>> EstimateSurvivors() const;
+  bool EvaluateEarlyStop(const std::vector<ViewEstimate>& estimates,
+                         double eps);
+
+  const ExecutionPlan* plan_;
+  DistanceMetric metric_;
+  ExecutorOptions options_;
+  db::SharedScanSession session_;
+
+  /// Dense view index across the plan plus the wiring from each view to the
+  /// planned queries carrying one of its halves.
+  std::vector<ViewDescriptor> views_;
+  std::unordered_map<ViewDescriptor, size_t, ViewDescriptorHash> view_index_;
+  std::vector<std::vector<size_t>> queries_of_view_;
+  std::vector<size_t> live_slots_;
+
+  OnlinePruningState pruner_;
+  size_t total_phases_ = 1;
+  std::vector<double> phase_seconds_;
+  std::vector<OnlinePrunedView> online_pruned_;
+  size_t queries_deactivated_ = 0;
+  bool early_stopped_ = false;
+  bool cancelled_ = false;
+  bool finished_ = false;
+
+  /// Boundaries this run has observed — drives the displayed Hoeffding
+  /// half-width (the pruner keeps its own count, which only advances when
+  /// pruning is engaged).
+  size_t boundaries_observed_ = 0;
+  /// Early-stop bookkeeping: the previous boundary's ordered top-k and how
+  /// many consecutive boundaries produced it.
+  std::vector<std::string> last_top_ids_;
+  size_t stable_streak_ = 0;
+};
+
 /// Executes `plan` against `engine` and scores every view with `metric`.
 /// On success `report` (optional) carries the latency breakdown. Under
 /// kPhasedSharedScan with a pruner configured, views retired mid-flight are
 /// absent from the result (that is the point — their queries stop running);
-/// every other configuration returns one ViewResult per plan view.
+/// every other configuration returns one ViewResult per plan view, except
+/// that a cancelled run returns only the views completed so far.
 Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
                                             const ExecutionPlan& plan,
                                             DistanceMetric metric,

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "core/view.h"
 #include "util/result.h"
 
 namespace seedb::core {
@@ -68,6 +69,27 @@ struct OnlinePruningOptions {
   /// estimate from a sliver of the table is noise). 1 = prune from the
   /// first boundary on, the paper's behavior.
   size_t warmup_phases = 1;
+  /// Early-stop sampling (§3.3's endgame): stop scanning entirely once the
+  /// provisional top-k ranking has been identical for this many consecutive
+  /// phase boundaries AND every adjacent pair in it (plus the best excluded
+  /// view) is separated by more than twice the Hoeffding half-width derived
+  /// from delta / utility_range. The final utilities are then estimates
+  /// over the rows seen so far. 0 disables; delta <= 0 makes the half-width
+  /// infinite, so early stop never fires and the run stays exhaustive.
+  size_t early_stop_stable_phases = 0;
+};
+
+/// \brief A view the online pruner retired mid-scan, with the running
+/// utility estimate it carried at retirement — the frontend's "views not
+/// examined" display (bottom-k and final rankings cover survivors only).
+struct OnlinePrunedView {
+  ViewDescriptor view;
+  /// Utility estimate over the rows seen when the view was retired.
+  double partial_utility = 0.0;
+  /// 1-based phase boundary at which it was retired.
+  size_t pruned_at_phase = 0;
+  /// Rows of the table consumed at that boundary.
+  uint64_t rows_seen = 0;
 };
 
 /// \brief Per-view survival state across the phases of one plan execution.

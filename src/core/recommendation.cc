@@ -12,9 +12,12 @@ std::string ExecutionProfile::ToString() const {
       table_scans, static_cast<unsigned long long>(rows_scanned),
       planning_seconds * 1e3, execution_seconds * 1e3, total_seconds * 1e3);
   if (phases_executed > 0) {
-    s += StringPrintf(" | phases: %zu, %zu views pruned online",
-                      phases_executed, views_pruned_online);
+    s += StringPrintf(" | phases: %zu, %zu views pruned online, %zu examined",
+                      phases_executed, views_pruned_online,
+                      examined_view_count);
   }
+  if (early_stopped) s += " | early-stopped (CI-stable top-k)";
+  if (cancelled) s += " | CANCELLED (partial results)";
   return s;
 }
 

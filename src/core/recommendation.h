@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/metrics.h"
+#include "core/online_pruning.h"
 #include "core/pruning.h"
 #include "core/view_processor.h"
 
@@ -34,11 +35,23 @@ struct ExecutionProfile {
   size_t views_executed = 0;
   /// Retired mid-scan by the phased executor's online pruner (CI / MAB).
   size_t views_pruned_online = 0;
+  /// Views that ran to the end of execution and were actually ranked —
+  /// views_executed minus the online-pruned (and, after cancellation, minus
+  /// views whose queries never completed). Top-k AND bottom-k rank these
+  /// survivors only: online pruning discards exactly the low-utility views,
+  /// so a pruned run's low_utility_views are the worst *examined* views,
+  /// not the worst candidates.
+  size_t examined_view_count = 0;
   /// Phases the fused scan ran (0 under per-query execution).
   size_t phases_executed = 0;
   size_t queries_issued = 0;
   size_t table_scans = 0;
   uint64_t rows_scanned = 0;
+  /// The scan stopped before the last requested phase because the top-k was
+  /// CI-stable; utilities are estimates over the rows seen.
+  bool early_stopped = false;
+  /// The run was cancelled mid-flight; results cover the rows seen so far.
+  bool cancelled = false;
 
   double planning_seconds = 0.0;
   double execution_seconds = 0.0;
@@ -51,9 +64,16 @@ struct ExecutionProfile {
 /// for contrast (§4 Scenario 1), pruning details, and the cost profile.
 struct RecommendationSet {
   std::vector<Recommendation> top_views;
-  /// Lowest-utility views, ascending (empty unless requested).
+  /// Lowest-utility views, ascending (empty unless requested). Ranks only
+  /// the views examined to completion — see
+  /// ExecutionProfile::examined_view_count.
   std::vector<Recommendation> low_utility_views;
+  /// Dropped before execution by static view-space pruning.
   std::vector<PrunedView> pruned_views;
+  /// Retired mid-scan by the online pruner, each with the partial utility
+  /// estimate it carried at retirement — the frontend's "views not
+  /// examined" display.
+  std::vector<OnlinePrunedView> online_pruned_views;
   DistanceMetric metric = DistanceMetric::kEarthMovers;
   ExecutionProfile profile;
 };

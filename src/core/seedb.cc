@@ -1,132 +1,25 @@
 #include "core/seedb.h"
 
-#include "core/query_generator.h"
-#include "core/topk.h"
-#include "db/sampler.h"
-#include "db/sql/parser.h"
-#include "util/string_util.h"
-#include "util/timer.h"
+#include "core/session.h"
 
 namespace seedb::core {
-namespace {
 
-Recommendation MakeRecommendation(size_t rank, ViewResult result,
-                                  const std::string& table,
-                                  const db::PredicatePtr& selection) {
-  Recommendation rec;
-  rec.rank = rank;
-  rec.target_sql = TargetViewQuery(result.view, table, selection).ToSql();
-  rec.comparison_sql = ComparisonViewQuery(result.view, table).ToSql();
-  rec.combined_sql = CombinedViewQuery(result.view, table, selection).ToSql();
-  rec.result = std::move(result);
-  return rec;
-}
-
-}  // namespace
+// The historical blocking entry points, kept as thin wrappers over the
+// streaming session API (core/session.h): build a request, run it to
+// completion.
 
 Result<RecommendationSet> SeeDB::Recommend(const std::string& table,
                                            db::PredicatePtr selection,
                                            const SeeDBOptions& options) {
-  Stopwatch total_timer;
-  RecommendationSet set;
-  set.metric = options.metric;
-
-  // Metadata collection + query generation (enumerate, prune).
-  Stopwatch plan_timer;
-  SEEDB_ASSIGN_OR_RETURN(
-      GeneratedViews generated,
-      GenerateViews(engine_, table, selection, options.view_space,
-                    options.pruning));
-  const PruningReport& pruning = generated.pruning;
-  set.pruned_views = pruning.pruned;
-  if (pruning.kept.empty()) {
-    return Status::InvalidArgument("pruning removed every candidate view");
-  }
-
-  // Sampling strategy: kMaterialized builds (or reuses) an in-memory
-  // reservoir sample and redirects every view query to it (§3.3).
-  std::string exec_table = table;
-  if (options.sampling == SamplingStrategy::kMaterialized) {
-    SEEDB_ASSIGN_OR_RETURN(const db::Table* data,
-                           engine_->catalog()->GetTable(table));
-    if (data->num_rows() > options.sample_rows && options.sample_rows > 0) {
-      std::string sample_name = StringPrintf(
-          "__%s_sample_%zu_%llu", table.c_str(), options.sample_rows,
-          static_cast<unsigned long long>(options.sample_seed));
-      if (!engine_->catalog()->HasTable(sample_name)) {
-        SEEDB_ASSIGN_OR_RETURN(
-            db::Table sample,
-            db::MaterializeReservoirSample(*data, options.sample_rows,
-                                           options.sample_seed));
-        engine_->catalog()->PutTable(sample_name, std::move(sample));
-      }
-      exec_table = std::move(sample_name);
-    }
-  }
-
-  // Optimization: build the combined-query execution plan. Group-count
-  // estimates come from the table the plan will actually scan.
-  SEEDB_ASSIGN_OR_RETURN(const db::TableStats* stats,
-                         engine_->catalog()->GetStats(exec_table));
-  SEEDB_ASSIGN_OR_RETURN(
-      ExecutionPlan plan,
-      BuildExecutionPlan(pruning.kept, exec_table, selection, *stats,
-                         options.optimizer));
-  set.profile.planning_seconds = plan_timer.ElapsedSeconds();
-
-  // Execution + view processing.
-  db::EngineStatsSnapshot before = engine_->stats();
-  ExecutorOptions exec_options;
-  exec_options.parallelism = options.parallelism;
-  exec_options.strategy = options.strategy;
-  exec_options.online_pruning = options.online_pruning;
-  if (exec_options.online_pruning.keep_k == 0) {
-    // The online pruner protects the top-k views only. bottom_k cannot be
-    // protected by construction — pruning discards exactly the low-utility
-    // views — so a pruned run's low_utility_views rank survivors only
-    // (documented on SeeDBOptions::online_pruning).
-    exec_options.online_pruning.keep_k = options.k;
-  }
-  ExecutionReport exec_report;
-  SEEDB_ASSIGN_OR_RETURN(
-      std::vector<ViewResult> results,
-      ExecutePlan(engine_, plan, options.metric, exec_options, &exec_report));
-  db::EngineStatsSnapshot after = engine_->stats();
-
-  // Ranking.
-  if (options.bottom_k > 0) {
-    std::vector<ViewResult> copy = results;
-    std::vector<ViewResult> worst = SelectBottomK(std::move(copy),
-                                                  options.bottom_k);
-    for (size_t i = 0; i < worst.size(); ++i) {
-      set.low_utility_views.push_back(
-          MakeRecommendation(i + 1, std::move(worst[i]), table, selection));
-    }
-  }
-  std::vector<ViewResult> best = SelectTopK(std::move(results), options.k);
-  for (size_t i = 0; i < best.size(); ++i) {
-    set.top_views.push_back(
-        MakeRecommendation(i + 1, std::move(best[i]), table, selection));
-  }
-
-  set.profile.views_enumerated = pruning.total_considered();
-  set.profile.views_pruned = pruning.pruned.size();
-  set.profile.views_executed = pruning.kept.size();
-  set.profile.views_pruned_online = exec_report.views_pruned_online;
-  set.profile.phases_executed = exec_report.phases_executed;
-  set.profile.queries_issued = after.queries_executed - before.queries_executed;
-  set.profile.table_scans = after.table_scans - before.table_scans;
-  set.profile.rows_scanned = after.rows_scanned - before.rows_scanned;
-  set.profile.execution_seconds = exec_report.total_seconds;
-  set.profile.total_seconds = total_timer.ElapsedSeconds();
-  return set;
+  return Run(SeeDBRequest(table).Where(std::move(selection))
+                 .WithOptions(options));
 }
 
 Result<RecommendationSet> SeeDB::RecommendSql(const std::string& input_query,
                                               const SeeDBOptions& options) {
-  SEEDB_ASSIGN_OR_RETURN(db::sql::InputQuery q,
-                         db::sql::ParseInputQuery(input_query));
-  return Recommend(q.table, q.selection, options);
+  SEEDB_ASSIGN_OR_RETURN(SeeDBRequest request,
+                         SeeDBRequest::FromSql(input_query));
+  return Run(request.WithOptions(options));
 }
 
 }  // namespace seedb::core

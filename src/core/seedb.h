@@ -47,7 +47,12 @@ struct SeeDBOptions {
   size_t k = 5;
   /// Utility metric S.
   DistanceMetric metric = DistanceMetric::kEarthMovers;
-  /// Also return this many lowest-utility "bad views" (0 = none).
+  /// Also return this many lowest-utility "bad views" (0 = none). Under
+  /// online pruning, bottom-k ranks only the views examined to completion —
+  /// the pruner discards exactly the low-utility views mid-scan, so the
+  /// worst candidates land in RecommendationSet::online_pruned_views
+  /// instead; ExecutionProfile::examined_view_count says how many views the
+  /// ranking actually covers.
   size_t bottom_k = 0;
 
   ViewSpaceOptions view_space;
@@ -74,17 +79,35 @@ struct SeeDBOptions {
   uint64_t sample_seed = 0;
 };
 
+class SeeDBRequest;
+class RecommendationSession;
+
 /// \brief The SeeDB recommendation engine over an embedded DBMS.
 ///
-/// Thread-compatible: concurrent Recommend() calls on distinct SeeDB
-/// instances sharing one Engine are safe (the engine is concurrent).
+/// The primary entry point is the streaming session API (core/session.h):
+/// build a SeeDBRequest, Open() a RecommendationSession, drive it phase by
+/// phase (or Run() it to completion). The blocking Recommend()/
+/// RecommendSql() overloads survive as thin wrappers over Run().
+///
+/// Thread-compatible: concurrent sessions / Recommend() calls on one SeeDB
+/// (or on distinct SeeDB instances sharing one Engine) are safe — all
+/// per-request state lives in the session, and the engine is concurrent.
 class SeeDB {
  public:
   /// `engine` must outlive this object.
   explicit SeeDB(db::Engine* engine) : engine_(engine) {}
 
+  /// Opens a streaming recommendation session for `request`: planning runs
+  /// here; execution happens as the caller drives the session. The SeeDB's
+  /// engine must outlive the session.
+  Result<RecommendationSession> Open(const SeeDBRequest& request);
+
+  /// Runs `request` to completion: Open() + Finish() in one call.
+  Result<RecommendationSet> Run(const SeeDBRequest& request);
+
   /// Recommends views for analyst selection `selection` over `table`
   /// (null selection = whole table; every view then has utility ~0).
+  /// Wrapper over Run().
   Result<RecommendationSet> Recommend(const std::string& table,
                                       db::PredicatePtr selection,
                                       const SeeDBOptions& options = {});

@@ -53,7 +53,7 @@ Status ViewProcessor::Consume(const PlannedQuery& planned,
   return Status::OK();
 }
 
-Result<std::vector<ViewResult>> ViewProcessor::Finish() {
+Result<std::vector<ViewResult>> ViewProcessor::Finish(bool allow_partial) {
   std::vector<ViewResult> results;
   results.reserve(order_.size());
   for (const ViewDescriptor& view : order_) {
@@ -61,24 +61,37 @@ Result<std::vector<ViewResult>> ViewProcessor::Finish() {
     ViewResult vr;
     vr.view = view;
     if (pv.combined != nullptr) {
-      SEEDB_ASSIGN_OR_RETURN(
-          vr.distributions,
+      Result<AlignedPair> aligned =
           AlignFromCombined(*pv.combined, pv.combined_target_col,
-                            pv.combined_comparison_col));
+                            pv.combined_comparison_col);
+      if (!aligned.ok()) {
+        if (allow_partial) continue;
+        return aligned.status();
+      }
+      vr.distributions = std::move(*aligned);
     } else {
       if (pv.target.table == nullptr || pv.comparison.table == nullptr) {
+        if (allow_partial) continue;
         return Status::Internal("view '" + view.Id() +
                                 "' is missing a target or comparison half");
       }
-      SEEDB_ASSIGN_OR_RETURN(
-          vr.distributions,
+      Result<AlignedPair> aligned =
           AlignFromTables(*pv.target.table, pv.target.value_col,
-                          *pv.comparison.table, pv.comparison.value_col));
+                          *pv.comparison.table, pv.comparison.value_col);
+      if (!aligned.ok()) {
+        if (allow_partial) continue;
+        return aligned.status();
+      }
+      vr.distributions = std::move(*aligned);
     }
-    SEEDB_ASSIGN_OR_RETURN(
-        vr.utility,
+    Result<double> utility =
         Distance(vr.distributions.target.probabilities,
-                 vr.distributions.comparison.probabilities, metric_));
+                 vr.distributions.comparison.probabilities, metric_);
+    if (!utility.ok()) {
+      if (allow_partial) continue;
+      return utility.status();
+    }
+    vr.utility = *utility;
     results.push_back(std::move(vr));
   }
   return results;

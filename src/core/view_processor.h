@@ -61,8 +61,10 @@ class ViewProcessor {
                  std::vector<db::Table> result_sets,
                  const ViewFilter& include);
 
-  /// Completes processing; fails if any view is missing a half.
-  Result<std::vector<ViewResult>> Finish();
+  /// Completes processing; fails if any view is missing a half. With
+  /// `allow_partial`, views missing a half are silently dropped instead —
+  /// what a cancelled execution wants (one of the view's queries never ran).
+  Result<std::vector<ViewResult>> Finish(bool allow_partial = false);
 
  private:
   struct Half {

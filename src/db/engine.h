@@ -64,6 +64,10 @@ class SharedScanSession {
   /// contiguous and forward; see db::SharedScanState::RunPhase).
   Status RunPhase(size_t row_begin, size_t row_end);
 
+  /// True once the options' cancel token cut a phase short; the session can
+  /// only be finalized (on partial data) from here on.
+  bool cancelled() const { return state_.cancelled(); }
+
   bool query_active(size_t q) const { return state_.query_active(q); }
   size_t active_queries() const { return state_.active_queries(); }
   /// Retires query `q`: later phases stop scanning for it.

@@ -135,18 +135,22 @@ void ScanMorsel(const QuerySpec& spec, const SetSpec& set, LocalGroups* lg,
 }
 
 // One worker: steal morsels of [row_begin, row_end) off the shared counter
-// until none remain. Each worker's own additions happen in increasing row
-// order, so partial states stay deterministic per worker-to-morsel
-// assignment.
+// until none remain or the cancel token fires. The token is checked at
+// morsel-claim time only, so a claimed morsel always completes for every
+// active query — all partial states describe exactly the same row set. Each
+// worker's own additions happen in increasing row order, so partial states
+// stay deterministic per worker-to-morsel assignment.
 void WorkerLoop(const std::vector<QuerySpec>& specs,
                 const std::vector<uint8_t>& active, size_t row_begin,
                 size_t row_end, size_t morsel_rows,
                 std::atomic<size_t>* next_morsel, size_t num_morsels,
-                WorkerState* state) {
+                const std::atomic<bool>* cancel,
+                std::atomic<size_t>* morsels_done, WorkerState* state) {
   std::vector<int64_t> key_scratch;
   for (size_t m = next_morsel->fetch_add(1, std::memory_order_relaxed);
        m < num_morsels;
        m = next_morsel->fetch_add(1, std::memory_order_relaxed)) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return;
     size_t lo = row_begin + m * morsel_rows;
     size_t hi = std::min(row_end, lo + morsel_rows);
     for (size_t q = 0; q < specs.size(); ++q) {
@@ -156,6 +160,7 @@ void WorkerLoop(const std::vector<QuerySpec>& specs,
                    &key_scratch);
       }
     }
+    morsels_done->fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -333,9 +338,11 @@ class SharedScanState::Impl {
     threads_ = options.num_threads == 0
                    ? std::max<size_t>(1, std::thread::hardware_concurrency())
                    : options.num_threads;
-    morsel_rows_ = options.morsel_rows == 0
+    adaptive_morsels_ = options.morsel_rows == 0;
+    morsel_rows_ = adaptive_morsels_
                        ? AdaptiveMorselRows(table_.num_rows(), threads_)
                        : options.morsel_rows;
+    cancel_ = options.cancel;
 
     // Resolve every query against the table, evaluating each distinct
     // sample / WHERE / FILTER configuration exactly once for the batch.
@@ -415,6 +422,9 @@ class SharedScanState::Impl {
     if (finalized_) {
       return Status::Internal("shared scan already finalized");
     }
+    if (cancelled_) {
+      return Status::Internal("shared scan was cancelled");
+    }
     if (row_begin != rows_consumed_) {
       return Status::InvalidArgument(
           "phases must be contiguous: expected row_begin " +
@@ -428,8 +438,26 @@ class SharedScanState::Impl {
     ++phases_;
     if (row_begin == row_end) return Status::OK();
 
+    // Adaptive mode re-derives the morsel size per phase: from the phase's
+    // own row range (phases are slices of the table; sizing them off the
+    // whole table would make early phases one giant morsel) scaled up by the
+    // fraction of queries already retired — each retired query cuts
+    // per-morsel work, so surviving phases take proportionally coarser
+    // morsels instead of over-scheduling the pool.
+    size_t morsel_rows = morsel_rows_;
+    if (adaptive_morsels_) {
+      const size_t base = AdaptiveMorselRows(row_end - row_begin, threads_);
+      const size_t live = std::max<size_t>(1, active_queries());
+      const size_t coarse = base * std::max<size_t>(1, specs_.size() / live);
+      // Never coarser than one morsel per worker (while rows allow it).
+      const size_t per_worker =
+          (row_end - row_begin + threads_ - 1) / std::max<size_t>(1, threads_);
+      morsel_rows = std::clamp(coarse, base, std::max(base, per_worker));
+    }
+    last_phase_morsel_rows_ = morsel_rows;
+
     const size_t num_morsels =
-        (row_end - row_begin + morsel_rows_ - 1) / morsel_rows_;
+        (row_end - row_begin + morsel_rows - 1) / morsel_rows;
     const size_t threads = std::max<size_t>(1, std::min(threads_, num_morsels));
 
     std::vector<WorkerState> workers;
@@ -439,9 +467,11 @@ class SharedScanState::Impl {
     }
 
     std::atomic<size_t> next_morsel{0};
+    std::atomic<size_t> morsels_done{0};
     if (threads == 1) {
-      WorkerLoop(specs_, active_, row_begin, row_end, morsel_rows_,
-                 &next_morsel, num_morsels, &workers[0]);
+      WorkerLoop(specs_, active_, row_begin, row_end, morsel_rows,
+                 &next_morsel, num_morsels, cancel_, &morsels_done,
+                 &workers[0]);
     } else {
       // The pool persists across phases — spawning threads per phase would
       // bill their creation to every phase_seconds measurement.
@@ -450,16 +480,20 @@ class SharedScanState::Impl {
       futures.reserve(threads);
       for (size_t t = 0; t < threads; ++t) {
         WorkerState* state = &workers[t];
-        futures.push_back(pool_->Submit([this, row_begin, row_end,
-                                         &next_morsel, num_morsels, state] {
-          WorkerLoop(specs_, active_, row_begin, row_end, morsel_rows_,
-                     &next_morsel, num_morsels, state);
+        futures.push_back(pool_->Submit([this, row_begin, row_end, morsel_rows,
+                                         &next_morsel, num_morsels,
+                                         &morsels_done, state] {
+          WorkerLoop(specs_, active_, row_begin, row_end, morsel_rows,
+                     &next_morsel, num_morsels, cancel_, &morsels_done, state);
         }));
       }
       for (auto& f : futures) f.get();
     }
 
-    // Fold every worker's partials into the persistent global state.
+    // Fold every worker's partials into the persistent global state. Under
+    // cancellation this still runs: the completed morsels are a consistent
+    // (if non-prefix) row subset shared by every query, exactly what a
+    // partial-result estimate wants.
     for (size_t q = 0; q < specs_.size(); ++q) {
       if (!active_[q]) continue;
       for (size_t s = 0; s < specs_[q].sets.size(); ++s) {
@@ -470,8 +504,21 @@ class SharedScanState::Impl {
       }
     }
 
+    const size_t done = morsels_done.load(std::memory_order_relaxed);
+    const bool cut_short =
+        cancel_ != nullptr && cancel_->load(std::memory_order_relaxed) &&
+        done < num_morsels;
+    if (cut_short) {
+      cancelled_ = true;
+      // Completed morsels are an arbitrary subset of the phase, so report
+      // the covered rows as an estimate and freeze the scan here.
+      rows_consumed_ =
+          std::min(row_end, row_begin + done * morsel_rows);
+    }
+
     // Rows visited this phase: the largest per-query sample-mask count among
-    // active queries (each distinct mask counted once).
+    // active queries (each distinct mask counted once). Under cancellation,
+    // scale by the fraction of morsels that actually completed.
     size_t phase_rows = 0;
     std::map<const std::vector<uint8_t>*, size_t> mask_counts;
     for (size_t q = 0; q < specs_.size(); ++q) {
@@ -490,11 +537,16 @@ class SharedScanState::Impl {
       }
       phase_rows = std::max(phase_rows, it->second);
     }
+    if (cut_short && num_morsels > 0) {
+      phase_rows = phase_rows * done / num_morsels;
+    }
     rows_scanned_ += phase_rows;
-    morsels_ += num_morsels;
+    morsels_ += cut_short ? done : num_morsels;
     threads_used_ = std::max(threads_used_, threads);
     return Status::OK();
   }
+
+  bool cancelled() const { return cancelled_; }
 
   Result<std::vector<Table>> PartialResults(size_t q) const {
     if (q >= queries_.size()) {
@@ -527,6 +579,7 @@ class SharedScanState::Impl {
     s.morsels = morsels_;
     s.threads_used = threads_used_;
     s.phases = phases_;
+    s.last_phase_morsel_rows = last_phase_morsel_rows_;
     for (size_t q = 0; q < globals_.size(); ++q) {
       for (size_t g = 0; g < globals_[q].size(); ++g) {
         s.total_groups += globals_[q][g].rep_row.size();
@@ -549,15 +602,19 @@ class SharedScanState::Impl {
 
   size_t threads_ = 1;
   size_t morsel_rows_ = 0;
+  bool adaptive_morsels_ = false;
+  const std::atomic<bool>* cancel_ = nullptr;
   /// Lazily created on the first multi-threaded phase, reused after.
   std::unique_ptr<ThreadPool> pool_;
   size_t rows_consumed_ = 0;
   bool finalized_ = false;
+  bool cancelled_ = false;
 
   size_t rows_scanned_ = 0;
   size_t morsels_ = 0;
   size_t threads_used_ = 0;
   size_t phases_ = 0;
+  size_t last_phase_morsel_rows_ = 0;
 };
 
 SharedScanState::SharedScanState(std::unique_ptr<Impl> impl)
@@ -590,6 +647,8 @@ size_t SharedScanState::rows_consumed() const {
 Status SharedScanState::RunPhase(size_t row_begin, size_t row_end) {
   return impl_->RunPhase(row_begin, row_end);
 }
+
+bool SharedScanState::cancelled() const { return impl_->cancelled(); }
 
 bool SharedScanState::query_active(size_t q) const {
   return impl_->query_active(q);

@@ -30,6 +30,7 @@
 #ifndef SEEDB_DB_SHARED_SCAN_H_
 #define SEEDB_DB_SHARED_SCAN_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -45,9 +46,17 @@ struct SharedScanOptions {
   /// the pass inline on the calling thread.
   size_t num_threads = 0;
   /// Rows per morsel (the work-stealing unit). 0 = adaptive: derived from
-  /// row and thread count via AdaptiveMorselRows(), so small tables stop
-  /// over-scheduling and large ones keep stealing granularity.
+  /// row and thread count via AdaptiveMorselRows() — re-derived at every
+  /// phase start from the phase's row range and the fraction of queries
+  /// still active — so small tables (and late, mostly-pruned phases) stop
+  /// over-scheduling while large ones keep stealing granularity.
   size_t morsel_rows = 0;
+  /// Cooperative cancellation token, observed at morsel boundaries: once it
+  /// reads true, workers stop claiming morsels (each in-flight morsel
+  /// completes, so every query has seen exactly the same rows), the phase
+  /// merges what was scanned, and the state refuses further phases. The
+  /// pointee must outlive the scan; nullptr = not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// The morsel size `morsel_rows = 0` resolves to: aim for a handful of
@@ -71,6 +80,10 @@ struct SharedScanStats {
   size_t threads_used = 0;
   /// RunPhase() calls executed (1 for the one-shot ExecuteSharedScan).
   size_t phases = 0;
+  /// Morsel size the most recent phase resolved to (equals the configured
+  /// morsel_rows unless adaptive sizing is on, which coarsens morsels as
+  /// queries retire).
+  size_t last_phase_morsel_rows = 0;
 };
 
 /// \brief Resumable fused scan over one table: the whole query batch
@@ -107,8 +120,15 @@ class SharedScanState {
   size_t rows_consumed() const;
 
   /// Scans [row_begin, row_end) for every active query and merges worker
-  /// partials into the persistent per-(query, set) aggregation state.
+  /// partials into the persistent per-(query, set) aggregation state. If the
+  /// options' cancel token fires mid-phase, returns OK with whatever morsels
+  /// completed merged in (see cancelled()); later phases are rejected.
   Status RunPhase(size_t row_begin, size_t row_end);
+
+  /// True once a phase was cut short by the cancel token. rows_consumed()
+  /// then reports an estimate of the rows actually covered (completed
+  /// morsels are not necessarily a prefix of the phase's range).
+  bool cancelled() const;
 
   bool query_active(size_t q) const;
   size_t active_queries() const;

@@ -1,0 +1,482 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "../test_util.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+
+namespace seedb::core {
+namespace {
+
+// Shared environment: a synthetic dataset with a planted deviation, big
+// enough for multi-phase runs to see several boundaries.
+class SessionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticSpec spec = data::SyntheticSpec::Simple(
+        /*rows=*/8000, /*num_dims=*/4, /*num_measures=*/2,
+        /*cardinality=*/6, /*seed=*/123);
+    spec.deviation->strength = 6.0;
+    auto dataset = data::GenerateSynthetic(spec).ValueOrDie();
+    catalog_ = new db::Catalog();
+    ASSERT_TRUE(catalog_->AddTable("synth", std::move(dataset.table)).ok());
+    engine_ = new db::Engine(catalog_);
+    selection_ = dataset.selection;
+    // Warm the stats cache so concurrent sessions do not race on first use.
+    ASSERT_TRUE(catalog_->GetStats("synth").ok());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete catalog_;
+    engine_ = nullptr;
+    catalog_ = nullptr;
+  }
+
+  static SeeDBRequest PhasedRequest(size_t phases, size_t k = 3) {
+    return SeeDBRequest("synth")
+        .Where(selection_)
+        .WithTopK(k)
+        .WithPhases(phases);
+  }
+
+  static std::vector<std::string> TopIds(const RecommendationSet& set) {
+    std::vector<std::string> ids;
+    for (const auto& rec : set.top_views) ids.push_back(rec.view().Id());
+    return ids;
+  }
+
+  static db::Catalog* catalog_;
+  static db::Engine* engine_;
+  static db::PredicatePtr selection_;
+};
+
+db::Catalog* SessionTest::catalog_ = nullptr;
+db::Engine* SessionTest::engine_ = nullptr;
+db::PredicatePtr SessionTest::selection_;
+
+TEST_F(SessionTest, OneProgressUpdatePerPhase) {
+  SeeDB seedb(engine_);
+  auto session = seedb.Open(PhasedRequest(5));
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  size_t updates = 0;
+  uint64_t last_rows = 0;
+  while (true) {
+    auto update = session->Next();
+    ASSERT_TRUE(update.ok()) << update.status();
+    if (!update->has_value()) break;
+    const ProgressUpdate& u = **update;
+    ++updates;
+    EXPECT_EQ(u.phase, updates);
+    EXPECT_EQ(u.total_phases, 5u);
+    EXPECT_GT(u.rows_scanned, last_rows);
+    last_rows = u.rows_scanned;
+    EXPECT_EQ(u.total_rows, 8000u);
+    EXPECT_GT(u.views_active, 0u);
+    // Every boundary carries a provisional top-k with CI bounds around the
+    // running estimate.
+    ASSERT_FALSE(u.top_views.empty());
+    EXPECT_LE(u.top_views.size(), 3u);
+    for (const ProvisionalView& pv : u.top_views) {
+      EXPECT_LE(pv.lower, pv.utility);
+      EXPECT_GE(pv.upper, pv.utility);
+    }
+    for (size_t i = 1; i < u.top_views.size(); ++i) {
+      EXPECT_GE(u.top_views[i - 1].utility, u.top_views[i].utility);
+    }
+  }
+  EXPECT_EQ(updates, 5u);
+  EXPECT_EQ(last_rows, 8000u);
+
+  auto set = session->Finish();
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_EQ(set->profile.phases_executed, 5u);
+  EXPECT_FALSE(set->profile.cancelled);
+}
+
+TEST_F(SessionTest, DrainedSessionMatchesBlockingRecommend) {
+  SeeDB seedb(engine_);
+  auto session = seedb.Open(PhasedRequest(4));
+  ASSERT_TRUE(session.ok());
+  while ((*session->Next())->phase < 4) {
+  }
+  auto streamed = session->Finish();
+  ASSERT_TRUE(streamed.ok());
+
+  SeeDBOptions options;
+  options.k = 3;
+  options.strategy = ExecutionStrategy::kPhasedSharedScan;
+  options.online_pruning.num_phases = 4;
+  auto blocking = seedb.Recommend("synth", selection_, options);
+  ASSERT_TRUE(blocking.ok());
+
+  ASSERT_EQ(streamed->top_views.size(), blocking->top_views.size());
+  for (size_t i = 0; i < streamed->top_views.size(); ++i) {
+    EXPECT_EQ(streamed->top_views[i].view(), blocking->top_views[i].view());
+    EXPECT_NEAR(streamed->top_views[i].utility(),
+                blocking->top_views[i].utility(), 1e-12);
+  }
+}
+
+TEST_F(SessionTest, LastUpdateOfNonPhasedStrategiesCarriesFinalRanking) {
+  for (ExecutionStrategy strategy :
+       {ExecutionStrategy::kPerQuery, ExecutionStrategy::kSharedScan}) {
+    SeeDB seedb(engine_);
+    auto session = seedb.Open(
+        SeeDBRequest("synth").Where(selection_).WithTopK(2).WithStrategy(
+            strategy));
+    ASSERT_TRUE(session.ok());
+    auto update = session->Next();
+    ASSERT_TRUE(update.ok());
+    ASSERT_TRUE(update->has_value());
+    EXPECT_EQ((*update)->phase, 1u);
+    ASSERT_EQ((*update)->top_views.size(), 2u);
+    auto none = session->Next();
+    ASSERT_TRUE(none.ok());
+    EXPECT_FALSE(none->has_value());
+    auto set = session->Finish();
+    ASSERT_TRUE(set.ok());
+    EXPECT_EQ((*update)->top_views[0].view, set->top_views[0].view());
+  }
+}
+
+TEST_F(SessionTest, CancelBetweenPhasesYieldsPartialResults) {
+  SeeDB seedb(engine_);
+  auto session = seedb.Open(PhasedRequest(8));
+  ASSERT_TRUE(session.ok());
+  auto first = session->Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+
+  session->Cancel();
+  EXPECT_TRUE(session->done());
+  auto none = session->Next();
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+
+  auto set = session->Finish();
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_TRUE(set->profile.cancelled);
+  // Only the first of 8 phases ran; results estimate from that slice.
+  EXPECT_EQ(set->profile.phases_executed, 1u);
+  EXPECT_FALSE(set->top_views.empty());
+  EXPECT_LT(set->profile.rows_scanned, 8000u);
+}
+
+TEST_F(SessionTest, CancelledSessionLeavesEngineReusable) {
+  SeeDB seedb(engine_);
+  auto session = seedb.Open(PhasedRequest(8));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->Next().ok());
+  session->Cancel();
+  ASSERT_TRUE(session->Finish().ok());
+
+  // The same engine serves a fresh full run afterwards.
+  auto fresh = seedb.Run(PhasedRequest(4));
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_FALSE(fresh->top_views.empty());
+  EXPECT_FALSE(fresh->profile.cancelled);
+}
+
+TEST_F(SessionTest, CancelBeforeFirstPhaseReturnsImmediately) {
+  SeeDB seedb(engine_);
+  auto session = seedb.Open(PhasedRequest(4));
+  ASSERT_TRUE(session.ok());
+  session->Cancel();
+  auto none = session->Next();
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+  auto set = session->Finish();
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_TRUE(set->profile.cancelled);
+  EXPECT_TRUE(set->top_views.empty());  // nothing was scanned
+}
+
+TEST_F(SessionTest, CancelFromAnotherThreadMidRun) {
+  SeeDB seedb(engine_);
+  auto session = seedb.Open(PhasedRequest(16));
+  ASSERT_TRUE(session.ok());
+
+  std::atomic<bool> started{false};
+  std::thread canceller([&] {
+    while (!started.load()) std::this_thread::yield();
+    session->Cancel();
+  });
+  size_t updates = 0;
+  while (true) {
+    started.store(true);
+    auto update = session->Next();
+    ASSERT_TRUE(update.ok());
+    if (!update->has_value()) break;
+    ++updates;
+  }
+  canceller.join();
+  EXPECT_LE(updates, 16u);
+  auto set = session->Finish();
+  ASSERT_TRUE(set.ok()) << set.status();
+  // The cancel may race past the last phase; "cancelled" is only flagged
+  // when the scan was actually truncated.
+  EXPECT_EQ(set->profile.cancelled, set->profile.phases_executed < 16u);
+}
+
+TEST_F(SessionTest, ConcurrentSessionsOnOneEngineAreSafe) {
+  SeeDB seedb(engine_);
+  auto serial = seedb.Run(PhasedRequest(4));
+  ASSERT_TRUE(serial.ok());
+  const std::vector<std::string> expected = TopIds(*serial);
+
+  constexpr int kSessions = 4;
+  std::vector<std::vector<std::string>> results(kSessions);
+  std::vector<ExecutionProfile> profiles(kSessions);
+  std::vector<Status> statuses(kSessions, Status::OK());
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      auto session = seedb.Open(PhasedRequest(4));
+      if (!session.ok()) {
+        statuses[i] = session.status();
+        return;
+      }
+      while (true) {
+        auto update = session->Next();
+        if (!update.ok()) {
+          statuses[i] = update.status();
+          return;
+        }
+        if (!update->has_value()) break;
+      }
+      auto set = session->Finish();
+      if (!set.ok()) {
+        statuses[i] = set.status();
+        return;
+      }
+      results[i] = TopIds(*set);
+      profiles[i] = set->profile;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kSessions; ++i) {
+    ASSERT_TRUE(statuses[i].ok()) << statuses[i];
+    EXPECT_EQ(results[i], expected) << "session " << i;
+    // Profiles attribute the session's OWN work, not the engine-wide total
+    // the overlapping sessions racked up together.
+    EXPECT_EQ(profiles[i].table_scans, 1u) << "session " << i;
+    EXPECT_EQ(profiles[i].rows_scanned, 8000u) << "session " << i;
+  }
+}
+
+TEST_F(SessionTest, SharedScanStrategyIsCancellableToo) {
+  SeeDB seedb(engine_);
+  auto session = seedb.Open(SeeDBRequest("synth")
+                                .Where(selection_)
+                                .WithTopK(3)
+                                .WithStrategy(ExecutionStrategy::kSharedScan));
+  ASSERT_TRUE(session.ok());
+  session->Cancel();
+  // The one-shot fused scan observes the token before any morsel: the run
+  // completes with partial (here: empty) results, not an error.
+  auto set = session->Finish();
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_TRUE(set->profile.cancelled);
+  EXPECT_EQ(set->profile.rows_scanned, 0u);
+}
+
+TEST_F(SessionTest, OnlinePrunedViewsCarryPartialEstimates) {
+  SeeDB seedb(engine_);
+  OnlinePruningOptions pruning;
+  pruning.num_phases = 4;
+  pruning.pruner = OnlinePruner::kMultiArmedBandit;
+  auto set = seedb.Run(SeeDBRequest("synth")
+                           .Where(selection_)
+                           .WithTopK(2)
+                           .WithOnlinePruning(pruning));
+  ASSERT_TRUE(set.ok()) << set.status();
+
+  ASSERT_GT(set->online_pruned_views.size(), 0u);
+  EXPECT_EQ(set->online_pruned_views.size(),
+            set->profile.views_pruned_online);
+  EXPECT_EQ(set->profile.examined_view_count,
+            set->profile.views_executed - set->profile.views_pruned_online);
+
+  std::set<std::string> survivors;
+  for (const auto& rec : set->top_views) survivors.insert(rec.view().Id());
+  for (const OnlinePrunedView& pv : set->online_pruned_views) {
+    EXPECT_GE(pv.pruned_at_phase, 1u);
+    EXPECT_LT(pv.pruned_at_phase, 4u);
+    EXPECT_GT(pv.rows_seen, 0u);
+    EXPECT_GE(pv.partial_utility, 0.0);
+    EXPECT_FALSE(survivors.count(pv.view.Id()))
+        << pv.view.Id() << " was pruned yet recommended";
+  }
+}
+
+TEST_F(SessionTest, BottomKRanksOnlyExaminedSurvivors) {
+  SeeDB seedb(engine_);
+  OnlinePruningOptions pruning;
+  pruning.num_phases = 4;
+  pruning.pruner = OnlinePruner::kMultiArmedBandit;
+  auto set = seedb.Run(SeeDBRequest("synth")
+                           .Where(selection_)
+                           .WithTopK(2)
+                           .WithBottomK(3)
+                           .WithOnlinePruning(pruning));
+  ASSERT_TRUE(set.ok()) << set.status();
+  ASSERT_GT(set->online_pruned_views.size(), 0u);
+  ASSERT_FALSE(set->low_utility_views.empty());
+
+  // Bottom-k never resurrects a pruned view: it ranks survivors only.
+  std::set<std::string> pruned;
+  for (const auto& pv : set->online_pruned_views) pruned.insert(pv.view.Id());
+  for (const auto& rec : set->low_utility_views) {
+    EXPECT_FALSE(pruned.count(rec.view().Id())) << rec.view().Id();
+  }
+  EXPECT_LE(set->low_utility_views.size(),
+            set->profile.examined_view_count);
+}
+
+TEST_F(SessionTest, RequestFromSqlMatchesRecommendSql) {
+  data::SyntheticSpec spec = data::SyntheticSpec::Simple(500, 3, 1, 4, 7);
+  auto dataset = data::GenerateSynthetic(spec).ValueOrDie();
+  db::Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable("t", std::move(dataset.table)).ok());
+  db::Engine engine(&catalog);
+  SeeDB seedb(&engine);
+
+  auto request = SeeDBRequest::FromSql("SELECT * FROM t WHERE dim0 = 'v0'");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->table(), "t");
+  auto via_request = seedb.Run(request->WithTopK(2));
+  ASSERT_TRUE(via_request.ok());
+
+  SeeDBOptions options;
+  options.k = 2;
+  auto via_sql =
+      seedb.RecommendSql("SELECT * FROM t WHERE dim0 = 'v0'", options);
+  ASSERT_TRUE(via_sql.ok());
+  ASSERT_EQ(via_request->top_views.size(), via_sql->top_views.size());
+  for (size_t i = 0; i < via_sql->top_views.size(); ++i) {
+    EXPECT_EQ(via_request->top_views[i].view(), via_sql->top_views[i].view());
+  }
+
+  EXPECT_FALSE(SeeDBRequest::FromSql("SELECT broken").ok());
+}
+
+// The acceptance shape, pinned on the E8 bench workload itself: one update
+// per phase, each carrying a provisional top-k; the final set lists pruned
+// views with partial estimates.
+TEST(SessionE8WorkloadTest, ProgressPerPhaseWithProvisionalTopK) {
+  data::WorkloadSpec spec;
+  spec.rows = 20000;
+  spec.num_dims = 5;
+  spec.num_measures = 2;
+  auto workload = data::BuildWorkload(spec).ValueOrDie();
+  SeeDB seedb(workload.engine.get());
+
+  OnlinePruningOptions pruning;
+  pruning.num_phases = 6;
+  pruning.pruner = OnlinePruner::kMultiArmedBandit;
+  auto session = seedb.Open(SeeDBRequest(workload.table_name)
+                                .Where(workload.selection)
+                                .WithTopK(3)
+                                .WithOnlinePruning(pruning));
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  size_t updates = 0;
+  while (true) {
+    auto update = session->Next();
+    ASSERT_TRUE(update.ok()) << update.status();
+    if (!update->has_value()) break;
+    ++updates;
+    EXPECT_EQ((*update)->phase, updates);
+    EXPECT_FALSE((*update)->top_views.empty());
+  }
+  EXPECT_EQ(updates, 6u);
+
+  auto set = session->Finish();
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_GT(set->online_pruned_views.size(), 0u);
+  for (const auto& pv : set->online_pruned_views) {
+    EXPECT_GT(pv.rows_seen, 0u);
+  }
+
+  // The blocking wrapper with identical options lands on the identical
+  // ranking — Recommend() really is a thin wrapper over the session.
+  SeeDBOptions options;
+  options.k = 3;
+  options.strategy = ExecutionStrategy::kPhasedSharedScan;
+  options.online_pruning = pruning;
+  auto blocking =
+      seedb.Recommend(workload.table_name, workload.selection, options);
+  ASSERT_TRUE(blocking.ok());
+  ASSERT_EQ(blocking->top_views.size(), set->top_views.size());
+  for (size_t i = 0; i < set->top_views.size(); ++i) {
+    EXPECT_EQ(blocking->top_views[i].view(), set->top_views[i].view());
+  }
+  EXPECT_EQ(blocking->online_pruned_views.size(),
+            set->online_pruned_views.size());
+}
+
+// --- Early stop (§3.3 endgame): CI-stable top-k ends the scan. ---
+
+TEST(SessionEarlyStopTest, EarlyStopMatchesExhaustiveOnLaserwave) {
+  db::Catalog catalog;
+  ASSERT_TRUE(
+      catalog.AddTable("sales", ::seedb::testing::MakeLaserwaveTable()).ok());
+  db::Engine engine(&catalog);
+  SeeDB seedb(&engine);
+  auto laserwave = db::PredicatePtr(db::Eq("product", db::Value("Laserwave")));
+
+  SeeDBRequest exhaustive("sales");
+  exhaustive.Where(laserwave).WithTopK(1).WithPhases(9);
+  auto truth = seedb.Run(exhaustive);
+  ASSERT_TRUE(truth.ok()) << truth.status();
+  ASSERT_FALSE(truth->profile.early_stopped);
+
+  // Loose delta and a tight utility range shrink the Hoeffding interval
+  // enough to separate the top view after a few boundaries.
+  SeeDBRequest stopping("sales");
+  stopping.Where(laserwave).WithTopK(1).WithPhases(9).WithEarlyStop(2);
+  {
+    SeeDBOptions opts = stopping.options();
+    opts.online_pruning.delta = 0.5;
+    opts.online_pruning.utility_range = 0.05;
+    stopping.WithOptions(opts);
+  }
+  auto stopped = seedb.Run(stopping);
+  ASSERT_TRUE(stopped.ok()) << stopped.status();
+  EXPECT_TRUE(stopped->profile.early_stopped);
+  EXPECT_LT(stopped->profile.phases_executed, 9u);
+
+  // The early-stopped top-k names the same view the exhaustive scan does.
+  ASSERT_FALSE(stopped->top_views.empty());
+  EXPECT_EQ(stopped->top_views[0].view(), truth->top_views[0].view());
+}
+
+TEST(SessionEarlyStopTest, DeltaZeroNeverStopsEarly) {
+  db::Catalog catalog;
+  ASSERT_TRUE(
+      catalog.AddTable("sales", ::seedb::testing::MakeLaserwaveTable()).ok());
+  db::Engine engine(&catalog);
+  SeeDB seedb(&engine);
+
+  SeeDBRequest request("sales");
+  request.Where(db::PredicatePtr(db::Eq("product", db::Value("Laserwave"))))
+      .WithTopK(1)
+      .WithPhases(6)
+      .WithEarlyStop(1);
+  SeeDBOptions opts = request.options();
+  opts.online_pruning.delta = 0.0;  // infinite intervals: provably never
+  request.WithOptions(opts);
+  auto set = seedb.Run(request);
+  ASSERT_TRUE(set.ok());
+  EXPECT_FALSE(set->profile.early_stopped);
+  EXPECT_EQ(set->profile.phases_executed, 6u);
+}
+
+}  // namespace
+}  // namespace seedb::core

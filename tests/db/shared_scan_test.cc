@@ -519,5 +519,95 @@ TEST(SharedScanTest, EngineCountsOneScanPerBatch) {
   EXPECT_FALSE(engine.ExecuteShared(queries).ok());
 }
 
+// --- Cooperative cancellation (observed at morsel boundaries). ---
+
+TEST(SharedScanStateTest, CancelTokenStopsPhaseAtMorselGranularity) {
+  data::SyntheticSpec spec = data::SyntheticSpec::Simple(5000, 2, 1, 4, 11);
+  auto dataset = data::GenerateSynthetic(spec).ValueOrDie();
+  Table t = std::move(dataset.table);
+
+  GroupingSetsQuery q;
+  q.table = "synthetic";
+  q.grouping_sets = {{"dim0"}};
+  q.aggregates = {AggregateSpec::Make(AggregateFunction::kSum, "m0")};
+
+  std::atomic<bool> cancel{false};
+  SharedScanOptions options;
+  options.num_threads = 1;
+  options.morsel_rows = 512;
+  options.cancel = &cancel;
+
+  auto state = SharedScanState::Create(t, {q}, options);
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE(state->RunPhase(0, 2000).ok());
+  EXPECT_FALSE(state->cancelled());
+
+  // A token already set when the phase starts stops it before any morsel.
+  cancel.store(true);
+  ASSERT_TRUE(state->RunPhase(2000, t.num_rows()).ok());
+  EXPECT_TRUE(state->cancelled());
+  EXPECT_EQ(state->rows_consumed(), 2000u);  // nothing new was covered
+  EXPECT_EQ(state->stats().morsels, 4u);     // phase 1's morsels only
+
+  // A cancelled scan refuses further phases but still materializes what it
+  // saw — and the partial equals an honest scan of the first phase's rows.
+  EXPECT_FALSE(state->RunPhase(2000, t.num_rows()).ok());
+  auto final_results = state->FinalResults();
+  ASSERT_TRUE(final_results.ok());
+
+  auto prefix = SharedScanState::Create(t, {q}, SharedScanOptions{});
+  ASSERT_TRUE(prefix.ok());
+  ASSERT_TRUE(prefix->RunPhase(0, 2000).ok());
+  auto expected = prefix->PartialResults(0);
+  ASSERT_TRUE(expected.ok());
+  ExpectTablesMatch((*final_results)[0][0], (*expected)[0], "cancelled");
+}
+
+// --- Per-phase adaptive morsel sizing. ---
+
+TEST(SharedScanStateTest, AdaptiveMorselsCoarsenAsQueriesRetire) {
+  data::SyntheticSpec spec = data::SyntheticSpec::Simple(40000, 4, 2, 8, 5);
+  auto dataset = data::GenerateSynthetic(spec).ValueOrDie();
+  Table t = std::move(dataset.table);
+
+  // Eight single-dimension queries riding one scan.
+  std::vector<GroupingSetsQuery> queries;
+  for (int d = 0; d < 4; ++d) {
+    for (int m = 0; m < 2; ++m) {
+      GroupingSetsQuery q;
+      q.table = "synthetic";
+      q.grouping_sets = {{"dim" + std::to_string(d)}};
+      q.aggregates = {AggregateSpec::Make(AggregateFunction::kSum,
+                                          "m" + std::to_string(m))};
+      queries.push_back(q);
+    }
+  }
+
+  SharedScanOptions options;
+  options.num_threads = 2;
+  options.morsel_rows = 0;  // adaptive
+
+  auto state = SharedScanState::Create(t, queries, options);
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE(state->RunPhase(0, 20000).ok());
+  const size_t full_batch_morsel = state->stats().last_phase_morsel_rows;
+  EXPECT_GT(full_batch_morsel, 0u);
+
+  // Retire 7 of 8 queries: the same-sized next phase takes coarser morsels
+  // (same rows, an eighth of the per-row work — no point over-scheduling).
+  for (size_t q = 1; q < queries.size(); ++q) {
+    ASSERT_TRUE(state->DeactivateQuery(q).ok());
+  }
+  ASSERT_TRUE(state->RunPhase(20000, 40000).ok());
+  EXPECT_GT(state->stats().last_phase_morsel_rows, full_batch_morsel);
+
+  // The survivor still matches an independent full scan.
+  auto final_results = state->FinalResults();
+  ASSERT_TRUE(final_results.ok());
+  auto expected = ExecuteGroupingSets(t, queries[0], nullptr);
+  ASSERT_TRUE(expected.ok());
+  ExpectTablesMatch((*final_results)[0][0], (*expected)[0], "survivor");
+}
+
 }  // namespace
 }  // namespace seedb::db

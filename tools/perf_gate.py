@@ -7,6 +7,12 @@ threshold in total wall-clock. Configurations are matched on
 (strategy, threads, phases); configs present in only one file are reported
 but never fail the gate (the matrix is allowed to evolve).
 
+Per-phase mean latencies (`mean_unit_ms`: mean phase time under the fused
+strategies, mean query time under per-query) are compared too, but only as
+advisory `::warning::` annotations — phase-time variance on shared runners
+is higher than total wall-clock variance, so unit regressions never flip
+the exit code.
+
 Emits GitHub Actions `::warning::` annotations so the result is visible on
 the job even when the calling step is non-blocking.
 
@@ -45,8 +51,10 @@ def main():
     new_runs = load_runs(args.new)
 
     regressions = []
+    unit_regressions = []
     print(f"{'strategy':>20} {'threads':>7} {'phases':>6} "
-          f"{'old(ms)':>10} {'new(ms)':>10} {'delta':>8}")
+          f"{'old(ms)':>10} {'new(ms)':>10} {'delta':>8} "
+          f"{'old-unit':>9} {'new-unit':>9} {'u-delta':>8}")
     for key in sorted(new_runs, key=str):
         new = new_runs[key]
         old = old_runs.get(key)
@@ -57,14 +65,30 @@ def main():
             continue
         delta = (new["total_ms"] - old["total_ms"]) / max(old["total_ms"], 1e-9)
         flag = " <-- REGRESSION" if delta > args.threshold else ""
+        # Per-phase / per-query mean latency: advisory only. Artifacts
+        # written before the streaming-session PR carry no mean_unit_ms.
+        old_unit = old.get("mean_unit_ms")
+        new_unit = new.get("mean_unit_ms")
+        unit_cols = f"{'-':>9} {'-':>9} {'-':>8}"
+        if old_unit is not None and new_unit is not None and old_unit > 0:
+            unit_delta = (new_unit - old_unit) / old_unit
+            unit_cols = (f"{old_unit:>9.3f} {new_unit:>9.3f} "
+                         f"{unit_delta:>+7.1%}")
+            if unit_delta > args.threshold:
+                unit_regressions.append((key, old_unit, new_unit, unit_delta))
         print(f"{strategy:>20} {threads:>7} {phases:>6} "
               f"{old['total_ms']:>10.2f} {new['total_ms']:>10.2f} "
-              f"{delta:>+7.1%}{flag}")
+              f"{delta:>+7.1%} {unit_cols}{flag}")
         if delta > args.threshold:
             regressions.append((key, old["total_ms"], new["total_ms"], delta))
     for key in sorted(set(old_runs) - set(new_runs), key=str):
         print(f"(config {key} disappeared from the bench matrix)")
 
+    for (strategy, threads, phases), old_ms, new_ms, delta in unit_regressions:
+        print(f"::warning::per-phase latency regression (advisory): "
+              f"{strategy} threads={threads} phases={phases} mean unit went "
+              f"{old_ms:.3f}ms -> {new_ms:.3f}ms ({delta:+.1%}, threshold "
+              f"{args.threshold:.0%})")
     if regressions:
         for (strategy, threads, phases), old_ms, new_ms, delta in regressions:
             print(f"::warning::perf regression: {strategy} threads={threads} "
@@ -72,7 +96,9 @@ def main():
                   f"({delta:+.1%}, threshold {args.threshold:.0%})")
         return 1
     print(f"perf gate OK: no config regressed more than "
-          f"{args.threshold:.0%} ({len(new_runs)} configs checked)")
+          f"{args.threshold:.0%} in total wall-clock "
+          f"({len(new_runs)} configs checked, "
+          f"{len(unit_regressions)} advisory unit warnings)")
     return 0
 
 

@@ -9,12 +9,15 @@
 //
 // Run interactively, or pipe a script:  echo '\demo orders' | seedb_cli
 
+#include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "core/seedb.h"
+#include "core/session.h"
 #include "core/templates.h"
 #include "data/elections.h"
 #include "data/medical.h"
@@ -63,6 +66,7 @@ class Cli {
     if (cmd == "schema") return SchemaOf(in);
     if (cmd == "bin") return Bin(in);
     if (cmd == "set") return Set(in);
+    if (cmd == "cancel") return ArmCancel(in);
     if (cmd == "where") return Builder(in);
     if (cmd == "template") return Template(in);
     return Status::InvalidArgument("unknown command \\" + cmd +
@@ -86,7 +90,13 @@ class Cli {
         "                                   phased scan with online pruning\n"
         "  \\set phases <n>                  phase count for strategy phased\n"
         "  \\set online_pruner none|ci|mab   mid-scan view pruner (phased)\n"
-        "  \\q                               quit\n");
+        "  \\set early_stop <n>              stop once top-k is CI-stable for\n"
+        "                                   n boundaries (0 = off; phased)\n"
+        "  \\cancel [n]                      cancel the NEXT query's scan\n"
+        "                                   after n phases (default 1)\n"
+        "  \\q                               quit\n"
+        "Under strategy phased, queries stream: one progress line per phase\n"
+        "(provisional top view, CI half-width, views pruned, rows).\n");
     return Status::OK();
   }
 
@@ -194,6 +204,13 @@ class Cli {
         return Status::InvalidArgument("usage: \\set phases <n >= 1>");
       }
       options_.online_pruning.num_phases = phases;
+    } else if (key == "early_stop") {
+      size_t stable = 0;
+      in >> stable;
+      options_.online_pruning.early_stop_stable_phases = stable;
+      if (stable > 0) {
+        options_.strategy = core::ExecutionStrategy::kPhasedSharedScan;
+      }
     } else if (key == "online_pruner") {
       std::string name;
       in >> name;
@@ -213,7 +230,7 @@ class Cli {
       return Status::InvalidArgument(
           "usage: \\set k <n> | metric <name> | parallel <n> | "
           "strategy shared|perquery|phased | phases <n> | "
-          "online_pruner none|ci|mab | prune on|off");
+          "online_pruner none|ci|mab | early_stop <n> | prune on|off");
     }
     std::printf(
         "ok (k=%zu metric=%s parallel=%zu strategy=%s phases=%zu "
@@ -276,22 +293,94 @@ class Cli {
     return RunQuery(q.sql);
   }
 
+  Status ArmCancel(std::istringstream& in) {
+    if (options_.strategy != core::ExecutionStrategy::kPhasedSharedScan) {
+      return Status::InvalidArgument(
+          "\\cancel applies to the streaming strategy only — run "
+          "\\set strategy phased first (non-phased queries execute in one "
+          "blocking shot, so there is no phase boundary to cancel at)");
+    }
+    size_t phases = 1;
+    in >> phases;
+    cancel_after_phases_ = phases == 0 ? 1 : phases;
+    std::printf("armed: the next query's scan cancels after phase %zu "
+                "(partial results will be shown)\n",
+                cancel_after_phases_);
+    return Status::OK();
+  }
+
   Status RunQuery(const std::string& sql) {
-    SEEDB_ASSIGN_OR_RETURN(core::RecommendationSet result,
-                           seedb_.RecommendSql(sql, options_));
+    SEEDB_ASSIGN_OR_RETURN(core::SeeDBRequest request,
+                           core::SeeDBRequest::FromSql(sql));
+    request.WithOptions(options_);
+    SEEDB_ASSIGN_OR_RETURN(core::RecommendationSession session,
+                           seedb_.Open(request));
+
+    // Stream the phased scan: one progress line per phase, so a long scan
+    // shows the provisional top view tightening instead of a frozen prompt.
+    // Non-phased strategies run in one blocking shot inside Finish().
+    const bool streaming =
+        options_.strategy == core::ExecutionStrategy::kPhasedSharedScan;
+    const size_t cancel_after = cancel_after_phases_;
+    cancel_after_phases_ = 0;  // one-shot
+    while (streaming) {
+      SEEDB_ASSIGN_OR_RETURN(std::optional<core::ProgressUpdate> update,
+                             session.Next());
+      if (!update.has_value()) break;
+      PrintProgress(*update);
+      if (update->cancelled || update->early_stopped) break;
+      if (cancel_after > 0 && update->phase >= cancel_after) {
+        session.Cancel();
+        std::printf("  \\cancel: scan cancelled after phase %zu\n",
+                    update->phase);
+        break;
+      }
+    }
+
+    SEEDB_ASSIGN_OR_RETURN(core::RecommendationSet result, session.Finish());
     for (const auto& rec : result.top_views) {
       std::printf("%s", viz::RenderRecommendation(rec).c_str());
       std::printf("    metadata: %s\n\n",
                   viz::ComputeViewMetadata(rec.result).ToString().c_str());
     }
+    if (!result.online_pruned_views.empty()) {
+      std::printf("views not examined (pruned mid-scan, est. utility at "
+                  "retirement):\n");
+      for (const auto& pv : result.online_pruned_views) {
+        std::printf("  %-40s ~%.4f (phase %zu)\n", pv.view.Id().c_str(),
+                    pv.partial_utility, pv.pruned_at_phase);
+      }
+    }
     std::printf("%s\n", result.profile.ToString().c_str());
     return Status::OK();
+  }
+
+  void PrintProgress(const core::ProgressUpdate& u) {
+    std::printf("  phase %zu/%zu  %6.1fms  rows %llu/%llu  active %zu  "
+                "pruned %zu",
+                u.phase, u.total_phases, u.phase_seconds * 1e3,
+                static_cast<unsigned long long>(u.rows_scanned),
+                static_cast<unsigned long long>(u.total_rows), u.views_active,
+                u.views_pruned_online);
+    if (!u.top_views.empty()) {
+      const auto& top = u.top_views[0];
+      std::printf("  top: %s ~%.4f", top.view.Id().c_str(), top.utility);
+      if (std::isfinite(u.ci_half_width)) {
+        std::printf(" ±%.4f", u.ci_half_width);
+      }
+    }
+    if (u.early_stopped) std::printf("  [early stop: top-k CI-stable]");
+    if (u.cancelled) std::printf("  [cancelled]");
+    std::printf("\n");
   }
 
   db::Catalog catalog_;
   db::Engine engine_;
   core::SeeDB seedb_;
   core::SeeDBOptions options_;
+  /// Armed by \cancel: auto-cancel the next query's scan after this phase
+  /// (0 = not armed). Lets scripted runs exercise mid-scan cancellation.
+  size_t cancel_after_phases_ = 0;
 };
 
 }  // namespace
