@@ -1,0 +1,209 @@
+// E13 — the serving layer: sessions/sec and per-`next` latency of the
+// recommendation server (src/server) under rising client concurrency.
+//
+// SeeDB was built as middleware that clients query interactively (§5); the
+// question for the serving loop is what the wire + registry add on top of
+// the engine: how many full open -> next* -> finish sessions per second one
+// server sustains, and what a single `next` round-trip costs at p50/p99
+// while N clients hammer the same Engine. Emits BENCH_server.json so CI
+// tracks the trajectory (advisory diff in tools/perf_gate.py).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/workload.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace seedb;  // NOLINT
+
+double PercentileMs(std::vector<double>* seconds, double p) {
+  if (seconds->empty()) return 0.0;
+  std::sort(seconds->begin(), seconds->end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(seconds->size()));
+  idx = std::min(idx, seconds->size() - 1);
+  return (*seconds)[idx] * 1e3;
+}
+
+void RunExperiment() {
+  bench::Banner(
+      "E13 (serving layer)",
+      "wire-protocol session throughput and next-latency vs client count",
+      "the middleware deployment (§5): one engine serves many interactive "
+      "clients; the serving loop should add protocol overhead, not "
+      "serialization — throughput grows with clients until cores saturate");
+
+  data::WorkloadSpec spec;
+  spec.rows = 30000;
+  spec.num_dims = 5;
+  spec.num_measures = 2;
+  auto workload = data::BuildWorkload(spec).ValueOrDie();
+
+  const std::string socket_path =
+      "/tmp/seedb_bench_server_" + std::to_string(::getpid()) + ".sock";
+  server::ServerOptions options;
+  options.unix_path = socket_path;
+  server::RecommendationServer srv(workload.engine.get(), options);
+  auto started = srv.Start();
+  if (!started.ok()) {
+    std::printf("cannot start server: %s\n", started.ToString().c_str());
+    return;
+  }
+
+  constexpr size_t kPhases = 4;
+  constexpr size_t kSessionsPerClient = 6;
+  // The analyst query all sessions run (the workload's planted deviation).
+  server::OpenSpec open_spec;
+  open_spec.table = workload.table_name;
+  open_spec.k = 3;
+  open_spec.phases = kPhases;
+  open_spec.strategy = "phased-shared-scan";
+
+  std::printf("table: %zu rows; %zu sessions x %zu phases per config\n\n",
+              workload.rows, kSessionsPerClient, kPhases);
+  std::printf("%10s %8s %10s %14s %12s %12s\n", "clients", "sessions",
+              "total(ms)", "sessions/sec", "next p50(ms)", "next p99(ms)");
+
+  bench::JsonWriter json;
+  json.BeginObject()
+      .Key("bench").Value("server")
+      .Key("rows").Value(workload.rows)
+      .Key("sessions_per_client").Value(kSessionsPerClient)
+      .Key("runs").BeginArray();
+
+  for (size_t clients : {1, 2, 4, 8}) {
+    std::vector<std::vector<double>> next_seconds(clients);
+    std::atomic<size_t> failures{0};
+    Stopwatch wall;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = server::Client::ConnectUnix(socket_path);
+        if (!client.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (size_t s = 0; s < kSessionsPerClient; ++s) {
+          const std::string id =
+              "bench-" + std::to_string(c) + "-" + std::to_string(s);
+          if (!client->Open(id, open_spec).ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          while (true) {
+            Stopwatch next_timer;
+            auto progress = client->Next(id);
+            if (!progress.ok()) {
+              failures.fetch_add(1);
+              return;
+            }
+            if (!progress->has_value()) break;
+            next_seconds[c].push_back(next_timer.ElapsedSeconds());
+          }
+          if (!client->Finish(id).ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double total_ms = wall.ElapsedSeconds() * 1e3;
+    if (failures.load() > 0) {
+      std::printf("%10zu  FAILED (%zu errors)\n", clients, failures.load());
+      continue;
+    }
+    std::vector<double> all_next;
+    for (auto& per_client : next_seconds) {
+      all_next.insert(all_next.end(), per_client.begin(), per_client.end());
+    }
+    const size_t sessions = clients * kSessionsPerClient;
+    const double sessions_per_sec =
+        static_cast<double>(sessions) / (total_ms / 1e3);
+    const double p50 = PercentileMs(&all_next, 0.50);
+    const double p99 = PercentileMs(&all_next, 0.99);
+    std::printf("%10zu %8zu %10.1f %14.1f %12.3f %12.3f\n", clients, sessions,
+                total_ms, sessions_per_sec, p50, p99);
+    json.BeginObject()
+        .Key("transport").Value("unix")
+        .Key("clients").Value(clients)
+        .Key("phases").Value(kPhases)
+        .Key("sessions").Value(sessions)
+        .Key("total_ms").Value(total_ms)
+        .Key("sessions_per_sec").Value(sessions_per_sec)
+        .Key("next_p50_ms").Value(p50)
+        .Key("next_p99_ms").Value(p99)
+        .EndObject();
+  }
+  json.EndArray().EndObject();
+  json.WriteFile("BENCH_server.json");
+  srv.Stop();
+
+  std::printf("\nExpected shape: p50 next-latency ~= one phase of the fused "
+              "scan plus a socket round-trip; sessions/sec grows with "
+              "clients while the engine has idle cores, then flattens — the "
+              "registry itself never serializes distinct sessions.\n");
+  bench::Footer();
+}
+
+// Micro: one full session round-trip over the wire (open + drain + finish),
+// single client — the protocol + registry overhead in isolation.
+void BM_ServerSessionRoundTrip(benchmark::State& state) {
+  data::WorkloadSpec spec;
+  spec.rows = 10000;
+  spec.num_dims = 3;
+  spec.num_measures = 1;
+  auto workload = data::BuildWorkload(spec).ValueOrDie();
+  const std::string socket_path =
+      "/tmp/seedb_bench_rt_" + std::to_string(::getpid()) + ".sock";
+  server::ServerOptions options;
+  options.unix_path = socket_path;
+  server::RecommendationServer srv(workload.engine.get(), options);
+  if (!srv.Start().ok()) {
+    state.SkipWithError("cannot start server");
+    return;
+  }
+  auto client = server::Client::ConnectUnix(socket_path);
+  if (!client.ok()) {
+    state.SkipWithError("cannot connect");
+    return;
+  }
+  server::OpenSpec open_spec;
+  open_spec.table = workload.table_name;
+  open_spec.k = 2;
+  open_spec.phases = 2;
+  open_spec.strategy = "phased-shared-scan";
+  size_t n = 0;
+  for (auto _ : state) {
+    const std::string id = "rt-" + std::to_string(n++);
+    bool ok = client->Open(id, open_spec).ok();
+    while (ok) {
+      auto progress = client->Next(id);
+      if (!progress.ok() || !progress->has_value()) break;
+    }
+    auto result = client->Finish(id);
+    benchmark::DoNotOptimize(result);
+  }
+  srv.Stop();
+}
+BENCHMARK(BM_ServerSessionRoundTrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -136,6 +136,26 @@ size_t PhasedPlanExecution::rows_consumed() const {
 
 size_t PhasedPlanExecution::num_rows() const { return session_.num_rows(); }
 
+size_t PhasedPlanExecution::agg_state_bytes() const {
+  return session_.stats().agg_state_bytes;
+}
+
+Status PhasedPlanExecution::Resume() {
+  if (finished_) {
+    return Status::Internal("phased execution already finished");
+  }
+  if (!cancelled_) {
+    return Status::InvalidArgument("phased execution is not cancelled");
+  }
+  if (session_.cancelled()) {
+    SEEDB_RETURN_IF_ERROR(session_.ResumeAfterCancel());
+    // The token may have fired again mid-resume; stay cancelled then.
+    if (session_.cancelled()) return Status::OK();
+  }
+  cancelled_ = false;
+  return Status::OK();
+}
+
 // Scores every surviving view on its running (un-finalized) aggregates.
 // Early slices can leave a view with two empty halves (nothing matched
 // yet), which has no defined utility — callers skip that boundary rather

@@ -199,6 +199,19 @@ class PhasedPlanExecution {
   /// materializes results from the rows seen so far.
   void StopEarly() { early_stopped_ = true; }
 
+  /// Re-opens a cancelled run instead of discarding it: the cut-short
+  /// phase's missed morsels are scanned now (exactly — every row of that
+  /// phase ends up covered once), after which Step() continues from the
+  /// next phase. The caller must reset the cancel token before calling; a
+  /// token still reading true cancels the resume again (cancelled() stays
+  /// true, and another Resume() may follow). Errors when the run was not
+  /// cancelled or already finished.
+  Status Resume();
+
+  /// Merged aggregation-state footprint of the underlying scan so far, in
+  /// bytes — what a per-session memory budget meters.
+  size_t agg_state_bytes() const;
+
   /// Terminal: finalizes the scan (recording engine stats), consumes every
   /// surviving view and scores it with the run's metric. After early stop
   /// or cancellation the utilities are estimates over the rows consumed.

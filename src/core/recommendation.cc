@@ -18,6 +18,7 @@ std::string ExecutionProfile::ToString() const {
   }
   if (early_stopped) s += " | early-stopped (CI-stable top-k)";
   if (cancelled) s += " | CANCELLED (partial results)";
+  if (budget_exceeded) s += " | MEMORY BUDGET EXCEEDED (partial results)";
   return s;
 }
 

@@ -52,6 +52,9 @@ struct ExecutionProfile {
   bool early_stopped = false;
   /// The run was cancelled mid-flight; results cover the rows seen so far.
   bool cancelled = false;
+  /// The session's memory budget (SeeDBOptions::memory_budget_bytes) was
+  /// exceeded mid-scan; results cover the rows seen so far.
+  bool budget_exceeded = false;
 
   double planning_seconds = 0.0;
   double execution_seconds = 0.0;

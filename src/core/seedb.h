@@ -77,6 +77,15 @@ struct SeeDBOptions {
   /// below this size run un-sampled.
   size_t sample_rows = 100000;
   uint64_t sample_seed = 0;
+
+  /// Per-session cap on the merged aggregation-state footprint (bytes) of
+  /// the fused scan — the working-memory trade-off §3.3 describes, made a
+  /// hard limit so one greedy session cannot starve a multi-tenant server.
+  /// Metered at phase boundaries under kPhasedSharedScan: the Next() whose
+  /// phase pushed the footprint past the budget returns a graceful error,
+  /// and Finish() assembles partial results from the rows already scanned
+  /// (profile.budget_exceeded = true). 0 = unlimited.
+  size_t memory_budget_bytes = 0;
 };
 
 class SeeDBRequest;

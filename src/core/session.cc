@@ -143,8 +143,12 @@ size_t RecommendationSession::phases_run() const {
   return executed_ ? 1 : 0;
 }
 
+uint64_t RecommendationSession::memory_bytes() const {
+  return phased_ != nullptr ? phased_->agg_state_bytes() : 0;
+}
+
 bool RecommendationSession::done() const {
-  if (finished_) return true;
+  if (finished_ || budget_exceeded_) return true;
   if (phased_ != nullptr) return phased_->done() || cancelled();
   return executed_;
 }
@@ -152,6 +156,43 @@ bool RecommendationSession::done() const {
 Result<std::optional<ProgressUpdate>> RecommendationSession::Next() {
   if (done()) return std::optional<ProgressUpdate>();
   return phased_ != nullptr ? NextPhased() : NextBlocking();
+}
+
+Status RecommendationSession::Resume() {
+  if (finished_) {
+    return Status::Internal("recommendation session already finished");
+  }
+  if (!cancelled()) {
+    return Status::InvalidArgument("session is not cancelled");
+  }
+  if (phased_ == nullptr && executed_) {
+    return Status::InvalidArgument(
+        "blocking strategies execute in one shot and cannot resume a "
+        "cancelled run; use the phased strategy for resumable sessions");
+  }
+  // Reset the token BEFORE re-opening the scan, or the resume pass would
+  // observe it and cancel itself immediately.
+  cancel_->store(false, std::memory_order_relaxed);
+  if (phased_ != nullptr && phased_->cancelled()) {
+    SEEDB_RETURN_IF_ERROR(phased_->Resume());
+    if (phased_->cancelled()) return Status::OK();  // re-cancelled mid-resume
+  }
+  observed_cancel_ = false;
+  return Status::OK();
+}
+
+Status RecommendationSession::CheckBudget() {
+  if (options_.memory_budget_bytes == 0 || phased_ == nullptr) {
+    return Status::OK();
+  }
+  const size_t footprint = phased_->agg_state_bytes();
+  if (footprint <= options_.memory_budget_bytes) return Status::OK();
+  budget_exceeded_ = true;
+  return Status::OutOfRange(StringPrintf(
+      "session memory budget exceeded: aggregation state is %zu bytes, "
+      "budget %zu bytes (Finish() returns partial results over the rows "
+      "scanned so far)",
+      footprint, options_.memory_budget_bytes));
 }
 
 Result<std::optional<ProgressUpdate>> RecommendationSession::NextPhased() {
@@ -166,13 +207,18 @@ Result<std::optional<ProgressUpdate>> RecommendationSession::NextPhased() {
   update.views_active = snap.views_active;
   update.views_pruned_online = snap.views_pruned;
   update.ci_half_width = snap.ci_half_width;
+  update.memory_bytes = phased_->agg_state_bytes();
   update.early_stopped = snap.early_stopped;
   update.cancelled = snap.cancelled;
   if (snap.cancelled) observed_cancel_ = true;
+  // The phase that blew the budget yields no update: the graceful error IS
+  // the report, and done() is true from here on.
+  SEEDB_RETURN_IF_ERROR(CheckBudget());
   if (snap.has_estimates) {
     update.top_views = ProvisionalTopK(std::move(snap.estimates), options_.k,
                                        snap.ci_half_width);
   }
+  if (sink_) sink_(update);
   return std::optional<ProgressUpdate>(std::move(update));
 }
 
@@ -214,6 +260,7 @@ Result<std::optional<ProgressUpdate>> RecommendationSession::NextBlocking() {
     pv.view = std::move(vr.view);
     update.top_views.push_back(std::move(pv));
   }
+  if (sink_) sink_(update);
   return std::optional<ProgressUpdate>(std::move(update));
 }
 
@@ -222,22 +269,43 @@ Result<RecommendationSet> RecommendationSession::Finish() {
     return Status::Internal("recommendation session already finished");
   }
 
-  // Complete any remaining work without yielding updates. A cancelled
-  // session skips straight to assembling partial results.
+  // Complete any remaining work. A cancelled or budget-stopped session
+  // skips straight to assembling partial results. Without a sink the drain
+  // is silent (Step without estimates — the cheap path); with one, each
+  // drained phase goes through NextPhased() so the sink sees every update.
   std::vector<ViewResult> results;
   if (phased_ != nullptr) {
-    while (!phased_->done() && !cancelled()) {
-      SEEDB_RETURN_IF_ERROR(
-          phased_->Step(/*collect_estimates=*/false).status());
+    while (!done()) {
+      if (sink_) {
+        Result<std::optional<ProgressUpdate>> update = NextPhased();
+        if (!update.ok()) {
+          // A budget breach mid-drain stops the drain, not the Finish();
+          // any other error is real.
+          if (!budget_exceeded_) return update.status();
+          break;
+        }
+      } else {
+        SEEDB_RETURN_IF_ERROR(
+            phased_->Step(/*collect_estimates=*/false).status());
+        Status budget = CheckBudget();
+        if (!budget.ok()) break;  // stop the drain; assemble partial results
+      }
     }
     SEEDB_ASSIGN_OR_RETURN(results, phased_->Finish(&report_));
   } else {
     if (!executed_) {
-      SEEDB_ASSIGN_OR_RETURN(
-          results,
-          ExecutePlan(engine_, *plan_, options_.metric, ExecOptions(),
-                      &report_));
-      if (report_.cancelled) observed_cancel_ = true;
+      if (sink_) {
+        // Route through NextBlocking() so the single update reaches the
+        // sink even when the caller skips straight to Finish().
+        SEEDB_RETURN_IF_ERROR(NextBlocking().status());
+        results = std::move(*blocking_results_);
+      } else {
+        SEEDB_ASSIGN_OR_RETURN(
+            results,
+            ExecutePlan(engine_, *plan_, options_.metric, ExecOptions(),
+                        &report_));
+        if (report_.cancelled) observed_cancel_ = true;
+      }
     } else {
       results = std::move(*blocking_results_);
     }
@@ -281,6 +349,7 @@ Result<RecommendationSet> RecommendationSession::Finish() {
       report_.cancelled ||
       (phased_ != nullptr && cancelled() && !report_.early_stopped &&
        phased_->rows_consumed() < phased_->num_rows());
+  set.profile.budget_exceeded = budget_exceeded_;
   if (report_.table_scans > 0) {
     // Exact per-run counts from the scan itself: concurrent sessions on
     // one engine do not bleed into each other's profiles.

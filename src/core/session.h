@@ -25,6 +25,7 @@
 #define SEEDB_CORE_SESSION_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -133,6 +134,13 @@ class SeeDBRequest {
     options_.sample_seed = sample_seed;
     return *this;
   }
+  /// Per-session cap on the fused scan's merged aggregation-state footprint
+  /// (bytes), metered at phase boundaries; see
+  /// SeeDBOptions::memory_budget_bytes. 0 = unlimited.
+  SeeDBRequest& WithMemoryBudget(size_t budget_bytes) {
+    options_.memory_budget_bytes = budget_bytes;
+    return *this;
+  }
   /// Wholesale replacement of the payload — the migration path for call
   /// sites that already hold a SeeDBOptions.
   SeeDBRequest& WithOptions(const SeeDBOptions& options) {
@@ -177,14 +185,26 @@ struct ProgressUpdate {
   size_t views_pruned_online = 0;
   /// The Hoeffding half-width behind the provisional bounds.
   double ci_half_width = 0.0;
+  /// Merged aggregation-state footprint of the scan after this phase, in
+  /// bytes — what SeeDBOptions::memory_budget_bytes meters (0 under the
+  /// blocking strategies, which do not surface per-run footprints).
+  uint64_t memory_bytes = 0;
   /// Provisional top-k, utility descending. Empty when this boundary's
   /// estimates were not computable (e.g. no row matched the selection yet).
   std::vector<ProvisionalView> top_views;
   /// This boundary triggered early stop; the session is done.
   bool early_stopped = false;
-  /// The session was cancelled during this phase; the session is done.
+  /// The session was cancelled during this phase; the session is done
+  /// (unless Resume() re-opens it).
   bool cancelled = false;
 };
+
+/// Push-style consumer of ProgressUpdates — the event-driven alternative to
+/// polling Next(). Invoked on the thread driving the session, once per
+/// completed phase, before that phase's update is returned (and for the
+/// phases Finish() runs when draining a session with a sink attached, which
+/// would otherwise complete silently). Must not call back into the session.
+using ProgressSink = std::function<void(const ProgressUpdate&)>;
 
 /// \brief A streaming recommendation run: phases under caller control.
 ///
@@ -211,19 +231,46 @@ class RecommendationSession {
 
   /// Requests cooperative cancellation. An in-flight phase stops within one
   /// morsel granule; Finish() then returns partial results over the rows
-  /// scanned so far. Safe from any thread; idempotent.
+  /// scanned so far — or Resume() re-opens the session. Safe from any
+  /// thread; idempotent.
   void Cancel() { cancel_->store(true, std::memory_order_relaxed); }
 
+  /// Re-opens a cancelled session instead of discarding it: the cancel
+  /// token is reset, the cut-short phase's missed morsels are scanned now
+  /// (keeping the merged cross-phase aggregates — every row ends up covered
+  /// exactly once), and Next() continues from the next phase; the final
+  /// top-k equals an uninterrupted run's. Only the phased strategy is
+  /// resumable — the blocking strategies execute in one shot, so a
+  /// cancelled run's work is gone (error), except that a session cancelled
+  /// before its first Next() just re-arms. Errors when the session is not
+  /// cancelled or already finished.
+  Status Resume();
+
+  /// Attaches a push-style consumer: every ProgressUpdate this session
+  /// produces is passed to `sink` as soon as the phase completes —
+  /// including the phases a Finish() drain runs, which are silent without a
+  /// sink. Pass nullptr to detach.
+  void SetProgressSink(ProgressSink sink) { sink_ = std::move(sink); }
+
   /// No more phases will run: every phase completed, or the session was
-  /// cancelled or early-stopped.
+  /// cancelled, early-stopped, or stopped by its memory budget.
   bool done() const;
   bool cancelled() const {
     return cancel_->load(std::memory_order_relaxed) || observed_cancel_;
   }
+  /// A phase pushed the aggregation-state footprint past
+  /// SeeDBOptions::memory_budget_bytes; the session stopped there and
+  /// Finish() assembles partial results.
+  bool budget_exceeded() const { return budget_exceeded_; }
 
   /// Phases actually executed so far — keeps counting when Finish() runs
   /// the remaining phases silently (1 after a completed blocking run).
   size_t phases_run() const;
+
+  /// Merged aggregation-state footprint of the scan so far, in bytes (0
+  /// under the blocking strategies, which do not surface per-run
+  /// footprints) — what the memory budget meters.
+  uint64_t memory_bytes() const;
 
   /// Terminal call: completes any remaining work (silently, no updates) and
   /// assembles the final RecommendationSet — ranked survivors, bottom-k
@@ -238,6 +285,8 @@ class RecommendationSession {
   ExecutorOptions ExecOptions() const;
   Result<std::optional<ProgressUpdate>> NextPhased();
   Result<std::optional<ProgressUpdate>> NextBlocking();
+  /// OutOfRange when the scan's footprint exceeds the session budget.
+  Status CheckBudget();
 
   db::Engine* engine_ = nullptr;
   std::string table_;
@@ -267,6 +316,8 @@ class RecommendationSession {
   std::shared_ptr<std::atomic<bool>> cancel_ =
       std::make_shared<std::atomic<bool>>(false);
   bool observed_cancel_ = false;
+  bool budget_exceeded_ = false;
+  ProgressSink sink_;
 };
 
 }  // namespace seedb::core

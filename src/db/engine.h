@@ -65,8 +65,13 @@ class SharedScanSession {
   Status RunPhase(size_t row_begin, size_t row_end);
 
   /// True once the options' cancel token cut a phase short; the session can
-  /// only be finalized (on partial data) from here on.
+  /// be finalized on partial data, or re-opened with ResumeAfterCancel().
   bool cancelled() const { return state_.cancelled(); }
+
+  /// Re-opens a cancelled scan: the cut-short phase's missed morsels are
+  /// scanned now and later phases run again (the caller resets the cancel
+  /// token first). See db::SharedScanState::ResumeAfterCancel.
+  Status ResumeAfterCancel() { return state_.ResumeAfterCancel(); }
 
   bool query_active(size_t q) const { return state_.query_active(q); }
   size_t active_queries() const { return state_.active_queries(); }

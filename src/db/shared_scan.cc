@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -134,23 +135,30 @@ void ScanMorsel(const QuerySpec& spec, const SetSpec& set, LocalGroups* lg,
   }
 }
 
-// One worker: steal morsels of [row_begin, row_end) off the shared counter
-// until none remain or the cancel token fires. The token is checked at
-// morsel-claim time only, so a claimed morsel always completes for every
-// active query — all partial states describe exactly the same row set. Each
-// worker's own additions happen in increasing row order, so partial states
-// stay deterministic per worker-to-morsel assignment.
+// One worker: steal morsels off the shared counter until none remain or the
+// cancel token fires. `morsel_ids` lists the morsels of the phase grid this
+// pass covers — the full grid on a normal phase, only the missed morsels
+// when resuming a cut-short one. The token is checked at morsel-claim time
+// only, so a claimed morsel always completes for every active query — all
+// partial states describe exactly the same row set. Each worker's own
+// additions happen in increasing row order, so partial states stay
+// deterministic per worker-to-morsel assignment. `completed` marks each
+// scanned morsel (distinct bytes per morsel, so workers never contend) —
+// the record a later ResumeAfterCancel() scans the complement of.
 void WorkerLoop(const std::vector<QuerySpec>& specs,
                 const std::vector<uint8_t>& active, size_t row_begin,
                 size_t row_end, size_t morsel_rows,
-                std::atomic<size_t>* next_morsel, size_t num_morsels,
+                const std::vector<size_t>& morsel_ids,
+                std::atomic<size_t>* next_morsel,
                 const std::atomic<bool>* cancel,
-                std::atomic<size_t>* morsels_done, WorkerState* state) {
+                std::atomic<size_t>* morsels_done,
+                std::vector<uint8_t>* completed, WorkerState* state) {
   std::vector<int64_t> key_scratch;
-  for (size_t m = next_morsel->fetch_add(1, std::memory_order_relaxed);
-       m < num_morsels;
-       m = next_morsel->fetch_add(1, std::memory_order_relaxed)) {
+  for (size_t i = next_morsel->fetch_add(1, std::memory_order_relaxed);
+       i < morsel_ids.size();
+       i = next_morsel->fetch_add(1, std::memory_order_relaxed)) {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return;
+    const size_t m = morsel_ids[i];
     size_t lo = row_begin + m * morsel_rows;
     size_t hi = std::min(row_end, lo + morsel_rows);
     for (size_t q = 0; q < specs.size(); ++q) {
@@ -160,6 +168,7 @@ void WorkerLoop(const std::vector<QuerySpec>& specs,
                    &key_scratch);
       }
     }
+    (*completed)[m] = 1;
     morsels_done->fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -458,63 +467,15 @@ class SharedScanState::Impl {
 
     const size_t num_morsels =
         (row_end - row_begin + morsel_rows - 1) / morsel_rows;
-    const size_t threads = std::max<size_t>(1, std::min(threads_, num_morsels));
+    std::vector<size_t> all(num_morsels);
+    for (size_t m = 0; m < num_morsels; ++m) all[m] = m;
+    std::vector<uint8_t> completed(num_morsels, 0);
+    const size_t done =
+        ScanMorsels(all, row_begin, row_end, morsel_rows, &completed);
 
-    std::vector<WorkerState> workers;
-    workers.reserve(threads);
-    for (size_t t = 0; t < threads; ++t) {
-      workers.push_back(MakeWorkerState(specs_, active_));
-    }
-
-    std::atomic<size_t> next_morsel{0};
-    std::atomic<size_t> morsels_done{0};
-    if (threads == 1) {
-      WorkerLoop(specs_, active_, row_begin, row_end, morsel_rows,
-                 &next_morsel, num_morsels, cancel_, &morsels_done,
-                 &workers[0]);
-    } else {
-      // The pool persists across phases — spawning threads per phase would
-      // bill their creation to every phase_seconds measurement.
-      if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_);
-      std::vector<std::future<void>> futures;
-      futures.reserve(threads);
-      for (size_t t = 0; t < threads; ++t) {
-        WorkerState* state = &workers[t];
-        futures.push_back(pool_->Submit([this, row_begin, row_end, morsel_rows,
-                                         &next_morsel, num_morsels,
-                                         &morsels_done, state] {
-          WorkerLoop(specs_, active_, row_begin, row_end, morsel_rows,
-                     &next_morsel, num_morsels, cancel_, &morsels_done, state);
-        }));
-      }
-      for (auto& f : futures) f.get();
-    }
-
-    // Fold every worker's partials into the persistent global state. Under
-    // cancellation this still runs: the completed morsels are a consistent
-    // (if non-prefix) row subset shared by every query, exactly what a
-    // partial-result estimate wants.
-    for (size_t q = 0; q < specs_.size(); ++q) {
-      if (!active_[q]) continue;
-      for (size_t s = 0; s < specs_[q].sets.size(); ++s) {
-        for (const WorkerState& worker : workers) {
-          MergeWorkerInto(specs_[q].sets[s], specs_[q].aggs.size(),
-                          worker[q][s], &globals_[q][s]);
-        }
-      }
-    }
-
-    const size_t done = morsels_done.load(std::memory_order_relaxed);
     const bool cut_short =
         cancel_ != nullptr && cancel_->load(std::memory_order_relaxed) &&
         done < num_morsels;
-    if (cut_short) {
-      cancelled_ = true;
-      // Completed morsels are an arbitrary subset of the phase, so report
-      // the covered rows as an estimate and freeze the scan here.
-      rows_consumed_ =
-          std::min(row_end, row_begin + done * morsel_rows);
-    }
 
     // Rows visited this phase: the largest per-query sample-mask count among
     // active queries (each distinct mask counted once). Under cancellation,
@@ -537,16 +498,125 @@ class SharedScanState::Impl {
       }
       phase_rows = std::max(phase_rows, it->second);
     }
-    if (cut_short && num_morsels > 0) {
-      phase_rows = phase_rows * done / num_morsels;
+    size_t counted_rows = phase_rows;
+    if (cut_short) {
+      cancelled_ = true;
+      // Completed morsels are an arbitrary subset of the phase, so report
+      // the covered rows as an estimate and freeze the scan here — keeping
+      // the completed-morsel record so ResumeAfterCancel() can scan exactly
+      // the complement instead of discarding the session.
+      rows_consumed_ = std::min(row_end, row_begin + done * morsel_rows);
+      if (num_morsels > 0) counted_rows = phase_rows * done / num_morsels;
+      pending_ = PendingPhase{row_begin,   row_end,      morsel_rows,
+                             phase_rows,  counted_rows, std::move(completed)};
     }
-    rows_scanned_ += phase_rows;
-    morsels_ += cut_short ? done : num_morsels;
-    threads_used_ = std::max(threads_used_, threads);
+    rows_scanned_ += counted_rows;
+    morsels_ += done;
     return Status::OK();
   }
 
   bool cancelled() const { return cancelled_; }
+
+  // Completes the morsels of a cut-short phase that never ran, merging them
+  // into the persistent state, then clears the cancelled flag so later
+  // phases may run. The caller must have reset the cancel token first —
+  // a still-set token simply cancels the resume again.
+  Status ResumeAfterCancel() {
+    if (finalized_) {
+      return Status::Internal("shared scan already finalized");
+    }
+    if (!cancelled_) {
+      return Status::InvalidArgument("shared scan is not cancelled");
+    }
+    cancelled_ = false;
+    if (!pending_.has_value()) return Status::OK();  // between phases
+    PendingPhase pending = std::move(*pending_);
+    pending_.reset();
+
+    std::vector<size_t> missing;
+    for (size_t m = 0; m < pending.completed.size(); ++m) {
+      if (!pending.completed[m]) missing.push_back(m);
+    }
+    const size_t done = ScanMorsels(missing, pending.row_begin,
+                                    pending.row_end, pending.morsel_rows,
+                                    &pending.completed);
+    morsels_ += done;
+    if (done < missing.size() && cancel_ != nullptr &&
+        cancel_->load(std::memory_order_relaxed)) {
+      // Cancelled again mid-resume: freeze with the updated record; a later
+      // resume scans the (smaller) complement.
+      cancelled_ = true;
+      const size_t total = pending.completed.size();
+      const size_t covered = total - (missing.size() - done);
+      rows_consumed_ = std::min(pending.row_end,
+                                pending.row_begin +
+                                    covered * pending.morsel_rows);
+      size_t counted = total > 0
+                           ? pending.phase_rows_full * covered / total
+                           : pending.phase_rows_full;
+      counted = std::max(counted, pending.phase_rows_counted);
+      rows_scanned_ += counted - pending.phase_rows_counted;
+      pending.phase_rows_counted = counted;
+      pending_ = std::move(pending);
+      return Status::OK();
+    }
+    rows_consumed_ = pending.row_end;
+    rows_scanned_ += pending.phase_rows_full - pending.phase_rows_counted;
+    return Status::OK();
+  }
+
+  // Dispatches the given morsels of one phase grid to the worker pool and
+  // folds every worker's partials into the persistent global state. Returns
+  // the number of morsels actually completed (less than ids.size() only when
+  // the cancel token fired). The merge runs even when cut short: completed
+  // morsels are a consistent (if non-prefix) row subset shared by every
+  // query, exactly what a partial-result estimate wants.
+  size_t ScanMorsels(const std::vector<size_t>& ids, size_t row_begin,
+                     size_t row_end, size_t morsel_rows,
+                     std::vector<uint8_t>* completed) {
+    if (ids.empty()) return 0;
+    const size_t threads = std::max<size_t>(1, std::min(threads_, ids.size()));
+    std::vector<WorkerState> workers;
+    workers.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      workers.push_back(MakeWorkerState(specs_, active_));
+    }
+
+    std::atomic<size_t> next_morsel{0};
+    std::atomic<size_t> morsels_done{0};
+    if (threads == 1) {
+      WorkerLoop(specs_, active_, row_begin, row_end, morsel_rows, ids,
+                 &next_morsel, cancel_, &morsels_done, completed, &workers[0]);
+    } else {
+      // The pool persists across phases — spawning threads per phase would
+      // bill their creation to every phase_seconds measurement.
+      if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_);
+      std::vector<std::future<void>> futures;
+      futures.reserve(threads);
+      for (size_t t = 0; t < threads; ++t) {
+        WorkerState* state = &workers[t];
+        futures.push_back(pool_->Submit([this, row_begin, row_end, morsel_rows,
+                                         &ids, &next_morsel, &morsels_done,
+                                         completed, state] {
+          WorkerLoop(specs_, active_, row_begin, row_end, morsel_rows, ids,
+                     &next_morsel, cancel_, &morsels_done, completed, state);
+        }));
+      }
+      for (auto& f : futures) f.get();
+    }
+
+    for (size_t q = 0; q < specs_.size(); ++q) {
+      if (!active_[q]) continue;
+      for (size_t s = 0; s < specs_[q].sets.size(); ++s) {
+        for (const WorkerState& worker : workers) {
+          MergeWorkerInto(specs_[q].sets[s], specs_[q].aggs.size(),
+                          worker[q][s], &globals_[q][s]);
+        }
+      }
+    }
+    threads_used_ = std::max(threads_used_, threads);
+    return morsels_done.load(std::memory_order_relaxed);
+  }
 
   Result<std::vector<Table>> PartialResults(size_t q) const {
     if (q >= queries_.size()) {
@@ -592,6 +662,21 @@ class SharedScanState::Impl {
   }
 
  private:
+  /// The interrupted phase of a cancelled scan: its grid geometry, the
+  /// per-morsel completion record, and how much of the phase's row count was
+  /// already folded into rows_scanned_ — everything ResumeAfterCancel()
+  /// needs to finish exactly the rows the cancel skipped.
+  struct PendingPhase {
+    size_t row_begin = 0;
+    size_t row_end = 0;
+    size_t morsel_rows = 0;
+    /// Full-phase visited-row count (mask-based), and the portion already
+    /// added to rows_scanned_ at cancellation time.
+    size_t phase_rows_full = 0;
+    size_t phase_rows_counted = 0;
+    std::vector<uint8_t> completed;
+  };
+
   const Table& table_;
   std::vector<GroupingSetsQuery> queries_;
   MaskCache masks_;
@@ -609,6 +694,7 @@ class SharedScanState::Impl {
   size_t rows_consumed_ = 0;
   bool finalized_ = false;
   bool cancelled_ = false;
+  std::optional<PendingPhase> pending_;
 
   size_t rows_scanned_ = 0;
   size_t morsels_ = 0;
@@ -649,6 +735,10 @@ Status SharedScanState::RunPhase(size_t row_begin, size_t row_end) {
 }
 
 bool SharedScanState::cancelled() const { return impl_->cancelled(); }
+
+Status SharedScanState::ResumeAfterCancel() {
+  return impl_->ResumeAfterCancel();
+}
 
 bool SharedScanState::query_active(size_t q) const {
   return impl_->query_active(q);

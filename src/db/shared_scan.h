@@ -130,6 +130,16 @@ class SharedScanState {
   /// morsels are not necessarily a prefix of the phase's range).
   bool cancelled() const;
 
+  /// Re-opens a cancelled scan instead of discarding it: the morsels of the
+  /// cut-short phase that never completed are scanned now (the per-morsel
+  /// completion record makes this exact — every row of the phase ends up
+  /// covered exactly once), and later phases are accepted again. The caller
+  /// must reset the cancel token first; a token still reading true simply
+  /// cancels the resume again (the completion record shrinks and another
+  /// resume may follow). Errors when the scan was not cancelled or was
+  /// already finalized.
+  Status ResumeAfterCancel();
+
   bool query_active(size_t q) const;
   size_t active_queries() const;
   /// Retires query `q`: later phases skip it and FinalResults() leaves its

@@ -1,0 +1,161 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "server/net_util.h"
+
+namespace seedb::server {
+namespace {
+
+/// An ack/typed response, or the Status an error frame carries.
+Status CheckOk(const JsonValue& response) {
+  if (response.GetBool("ok")) return Status::OK();
+  return StatusFromErrorResponse(response);
+}
+
+}  // namespace
+
+Result<Client> Client::ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket(AF_UNIX)");
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = ErrnoStatus("connect(" + path + ")");
+    ::close(fd);
+    return s;
+  }
+  return Client(fd);
+}
+
+Result<Client> Client::ConnectTcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket(AF_INET)");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = ErrnoStatus("connect(" + host + ":" + std::to_string(port) + ")");
+    ::close(fd);
+    return s;
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::string> Client::ReadLine() {
+  while (true) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::IOError("server closed the connection");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<std::string> Client::CallRaw(const std::string& line) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  std::string framed = line;
+  framed.push_back('\n');
+  if (!WriteAll(fd_, framed)) return ErrnoStatus("send");
+  return ReadLine();
+}
+
+Result<JsonValue> Client::Call(const JsonValue& request) {
+  SEEDB_ASSIGN_OR_RETURN(std::string line, CallRaw(request.Dump()));
+  return ParseJson(line);
+}
+
+Status Client::Open(const std::string& id, const OpenSpec& spec) {
+  SEEDB_ASSIGN_OR_RETURN(JsonValue response,
+                         Call(OpenRequestToJson(id, spec)));
+  return CheckOk(response);
+}
+
+Result<std::optional<RemoteProgress>> Client::Next(const std::string& id) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue::Str("next"));
+  request.Set("id", JsonValue::Str(id));
+  SEEDB_ASSIGN_OR_RETURN(JsonValue response, Call(request));
+  SEEDB_RETURN_IF_ERROR(CheckOk(response));
+  if (response.GetString("type") == "drained") {
+    return std::optional<RemoteProgress>();
+  }
+  SEEDB_ASSIGN_OR_RETURN(RemoteProgress progress, ProgressFromJson(response));
+  return std::optional<RemoteProgress>(std::move(progress));
+}
+
+Status Client::Cancel(const std::string& id) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue::Str("cancel"));
+  request.Set("id", JsonValue::Str(id));
+  SEEDB_ASSIGN_OR_RETURN(JsonValue response, Call(request));
+  return CheckOk(response);
+}
+
+Status Client::Resume(const std::string& id) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue::Str("resume"));
+  request.Set("id", JsonValue::Str(id));
+  SEEDB_ASSIGN_OR_RETURN(JsonValue response, Call(request));
+  return CheckOk(response);
+}
+
+Result<RemoteResult> Client::Finish(const std::string& id) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue::Str("finish"));
+  request.Set("id", JsonValue::Str(id));
+  SEEDB_ASSIGN_OR_RETURN(JsonValue response, Call(request));
+  SEEDB_RETURN_IF_ERROR(CheckOk(response));
+  return ResultFromJson(response);
+}
+
+Result<RemoteStatus> Client::GetStatus(const std::string& id) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue::Str("status"));
+  if (!id.empty()) request.Set("id", JsonValue::Str(id));
+  SEEDB_ASSIGN_OR_RETURN(JsonValue response, Call(request));
+  SEEDB_RETURN_IF_ERROR(CheckOk(response));
+  return StatusFromJson(response);
+}
+
+}  // namespace seedb::server

@@ -1,0 +1,80 @@
+// Client library for the recommendation server: a blocking connection
+// speaking the line-delimited JSON protocol of server/protocol.h, with
+// typed wrappers mirroring the RecommendationSession surface.
+//
+//   SEEDB_ASSIGN_OR_RETURN(auto client, Client::ConnectUnix("/tmp/seedb.sock"));
+//   OpenSpec spec;
+//   spec.sql = "SELECT * FROM sales WHERE product = 'Laserwave'";
+//   spec.k = 3;
+//   spec.phases = 8;
+//   SEEDB_RETURN_IF_ERROR(client.Open("s1", spec));
+//   while (true) {
+//     SEEDB_ASSIGN_OR_RETURN(auto progress, client.Next("s1"));
+//     if (!progress.has_value()) break;     // drained
+//     ...  // provisional top-k, rows scanned, memory footprint
+//   }
+//   SEEDB_ASSIGN_OR_RETURN(RemoteResult result, client.Finish("s1"));
+//
+// Server-side failures come back as the Status the server produced (codes
+// round-trip through the protocol's error tokens) — a budget breach is the
+// same OutOfRange the in-process session returns. Used by the CLI's
+// \connect mode, the differential/stress suites, and bench_server.
+
+#ifndef SEEDB_SERVER_CLIENT_H_
+#define SEEDB_SERVER_CLIENT_H_
+
+#include <optional>
+#include <string>
+
+#include "server/protocol.h"
+#include "util/result.h"
+
+namespace seedb::server {
+
+/// \brief One connection to a RecommendationServer. Blocking, not
+/// thread-safe (one request in flight at a time); open several clients for
+/// concurrency — sessions live server-side and any connection may address
+/// any session id.
+class Client {
+ public:
+  static Result<Client> ConnectUnix(const std::string& path);
+  /// `host` is a numeric IPv4 address, e.g. "127.0.0.1".
+  static Result<Client> ConnectTcp(const std::string& host, int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  ~Client();
+
+  /// Sends one request object and returns the parsed response frame
+  /// (including {"ok":false,...} error frames — the typed wrappers below
+  /// convert those to Status).
+  Result<JsonValue> Call(const JsonValue& request);
+
+  /// Sends a raw line verbatim and returns the raw response line — the
+  /// protocol tests' hatch for malformed input the typed API cannot send.
+  Result<std::string> CallRaw(const std::string& line);
+
+  Status Open(const std::string& id, const OpenSpec& spec);
+  /// nullopt once the session is drained (every phase ran, or it was
+  /// cancelled / early-stopped / budget-stopped before this call).
+  Result<std::optional<RemoteProgress>> Next(const std::string& id);
+  Status Cancel(const std::string& id);
+  Status Resume(const std::string& id);
+  /// Terminal: the final ranking; the server forgets the id afterwards.
+  Result<RemoteResult> Finish(const std::string& id);
+  /// Session status, or server-wide status when `id` is empty.
+  Result<RemoteStatus> GetStatus(const std::string& id = "");
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  Result<std::string> ReadLine();
+
+  int fd_ = -1;
+  /// Bytes read past the last returned line.
+  std::string buffer_;
+};
+
+}  // namespace seedb::server
+
+#endif  // SEEDB_SERVER_CLIENT_H_

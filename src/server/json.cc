@@ -1,0 +1,391 @@
+#include "server/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace seedb::server {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+/// Cursor over the input with the shared error shape.
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && (text[pos] == ' ' || text[pos] == '\t' ||
+                        text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos) + ": " + what);
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  Status Expect(std::string_view literal) {
+    if (text.size() - pos < literal.size() ||
+        text.substr(pos, literal.size()) != literal) {
+      return Error("expected '" + std::string(literal) + "'");
+    }
+    pos += literal.size();
+    return Status::OK();
+  }
+
+  Result<JsonValue> ParseValue(int depth);
+  Result<std::string> ParseString();
+  Result<JsonValue> ParseNumber();
+};
+
+void AppendUtf8(std::string* out, uint32_t cp) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+Result<std::string> Parser::ParseString() {
+  if (!Consume('"')) return Error("expected '\"'");
+  std::string out;
+  while (true) {
+    if (AtEnd()) return Error("unterminated string");
+    char c = text[pos++];
+    if (c == '"') return out;
+    if (static_cast<unsigned char>(c) < 0x20) {
+      return Error("unescaped control character in string");
+    }
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (AtEnd()) return Error("unterminated escape");
+    char e = text[pos++];
+    switch (e) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (text.size() - pos < 4) return Error("truncated \\u escape");
+        uint32_t cp = 0;
+        for (int i = 0; i < 4; ++i) {
+          char h = text[pos++];
+          cp <<= 4;
+          if (h >= '0' && h <= '9') {
+            cp |= static_cast<uint32_t>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            cp |= static_cast<uint32_t>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            cp |= static_cast<uint32_t>(h - 'A' + 10);
+          } else {
+            return Error("bad hex digit in \\u escape");
+          }
+        }
+        // Surrogate pair (two \uXXXX escapes) for astral code points.
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+          if (text.size() - pos < 6 || text[pos] != '\\' ||
+              text[pos + 1] != 'u') {
+            return Error("unpaired high surrogate");
+          }
+          pos += 2;
+          uint32_t lo = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            lo <<= 4;
+            if (h >= '0' && h <= '9') {
+              lo |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              lo |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              lo |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          if (lo < 0xDC00 || lo > 0xDFFF) {
+            return Error("invalid low surrogate");
+          }
+          cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+          return Error("unpaired low surrogate");
+        }
+        AppendUtf8(&out, cp);
+        break;
+      }
+      default:
+        return Error("unknown escape '\\" + std::string(1, e) + "'");
+    }
+  }
+}
+
+Result<JsonValue> Parser::ParseNumber() {
+  const size_t start = pos;
+  if (Consume('-')) {
+    // sign consumed
+  }
+  if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+    return Error("malformed number");
+  }
+  // JSON's integer grammar: "0" or a non-zero digit followed by digits —
+  // a leading zero ("01") is malformed.
+  if (Peek() == '0') {
+    ++pos;
+    if (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Error("malformed number: leading zero");
+    }
+  } else {
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      ++pos;
+    }
+  }
+  if (Consume('.')) {
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Error("malformed number: digits must follow '.'");
+    }
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos;
+  }
+  if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+    ++pos;
+    if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos;
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Error("malformed number: empty exponent");
+    }
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos;
+  }
+  const std::string token(text.substr(start, pos - start));
+  char* end = nullptr;
+  double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) {
+    return Error("malformed number");
+  }
+  return JsonValue::Number(value);
+}
+
+Result<JsonValue> Parser::ParseValue(int depth) {
+  if (depth > kMaxDepth) return Error("nesting too deep");
+  SkipWhitespace();
+  if (AtEnd()) return Error("unexpected end of input");
+  const char c = Peek();
+  if (c == '{') {
+    ++pos;
+    JsonValue obj = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWhitespace();
+      SEEDB_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SEEDB_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      obj.Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+  if (c == '[') {
+    ++pos;
+    JsonValue arr = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return arr;
+    while (true) {
+      SEEDB_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      arr.Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+  if (c == '"') {
+    SEEDB_ASSIGN_OR_RETURN(std::string s, ParseString());
+    return JsonValue::Str(std::move(s));
+  }
+  if (c == 't') {
+    SEEDB_RETURN_IF_ERROR(Expect("true"));
+    return JsonValue::Bool(true);
+  }
+  if (c == 'f') {
+    SEEDB_RETURN_IF_ERROR(Expect("false"));
+    return JsonValue::Bool(false);
+  }
+  if (c == 'n') {
+    SEEDB_RETURN_IF_ERROR(Expect("null"));
+    return JsonValue::Null();
+  }
+  if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+    return ParseNumber();
+  }
+  return Error(std::string("unexpected character '") + c + "'");
+}
+
+void DumpTo(const JsonValue& v, std::string* out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      *out += v.AsBool() ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber: {
+      const double d = v.AsDouble();
+      // Non-finite values have no JSON spelling; emit null (callers omit
+      // such fields in the first place).
+      if (!std::isfinite(d)) {
+        *out += "null";
+        return;
+      }
+      const double r = std::nearbyint(d);
+      if (r == d && std::fabs(d) < 9.2e18) {
+        *out += std::to_string(static_cast<int64_t>(d));
+        return;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      *out += buf;
+      return;
+    }
+    case JsonValue::Kind::kString:
+      *out += JsonQuote(v.AsString());
+      return;
+    case JsonValue::Kind::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) *out += ',';
+        first = false;
+        DumpTo(item, out);
+      }
+      *out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, value] : v.members()) {
+        if (!first) *out += ',';
+        first = false;
+        *out += JsonQuote(key);
+        *out += ':';
+        DumpTo(value, out);
+      }
+      *out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue v) {
+  kind_ = Kind::kObject;
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->AsString() : fallback;
+}
+
+double JsonValue::GetDouble(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->AsDouble() : fallback;
+}
+
+int64_t JsonValue::GetInt(const std::string& key, int64_t fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->AsInt() : fallback;
+}
+
+bool JsonValue::GetBool(const std::string& key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_bool() ? v->AsBool() : fallback;
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(*this, &out);
+  return out;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  Parser parser{text};
+  SEEDB_ASSIGN_OR_RETURN(JsonValue value, parser.ParseValue(0));
+  parser.SkipWhitespace();
+  if (!parser.AtEnd()) {
+    return parser.Error("trailing characters after document");
+  }
+  return value;
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace seedb::server

@@ -1,0 +1,142 @@
+// Minimal JSON value / parser / writer for the wire protocol.
+//
+// The serving layer (src/server) frames every message as one JSON object per
+// line. This module is deliberately small: a tagged value type with
+// insertion-ordered objects, a recursive-descent parser hardened against
+// malformed input (truncated documents, bad escapes, absurd nesting — all
+// graceful Status errors, never crashes), and a compact writer whose number
+// formatting round-trips IEEE doubles exactly (%.17g), so utilities fetched
+// over the wire compare equal to in-process results bit for bit.
+//
+// Not a general-purpose JSON library: no comments, no NaN/Infinity tokens
+// (callers omit non-finite fields), no streaming. bench/bench_util.h keeps
+// its own tiny writer for artifacts; this one exists because the server also
+// needs to *parse*.
+
+#ifndef SEEDB_SERVER_JSON_H_
+#define SEEDB_SERVER_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace seedb::server {
+
+/// \brief A parsed JSON document node (null / bool / number / string /
+/// array / object). Object keys keep insertion order, so dumped messages are
+/// stable and diffable.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.num_ = d;
+    return v;
+  }
+  static JsonValue Str(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.str_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Loose accessors: return the payload when the kind matches, the given
+  /// fallback otherwise — protocol handlers treat wrong-typed fields like
+  /// absent ones.
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0.0) const {
+    return is_number() ? num_ : fallback;
+  }
+  int64_t AsInt(int64_t fallback = 0) const {
+    return is_number() ? static_cast<int64_t>(num_) : fallback;
+  }
+  const std::string& AsString() const {
+    static const std::string kEmpty;
+    return is_string() ? str_ : kEmpty;
+  }
+
+  // --- Array access ---
+  size_t size() const { return arr_.size(); }
+  const JsonValue& at(size_t i) const { return arr_[i]; }
+  const std::vector<JsonValue>& items() const { return arr_; }
+  JsonValue& Append(JsonValue v) {
+    arr_.push_back(std::move(v));
+    return *this;
+  }
+
+  // --- Object access ---
+  /// The member named `key`, or nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+  /// Sets (or replaces) a member; creates object semantics on a fresh value.
+  JsonValue& Set(const std::string& key, JsonValue v);
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return obj_;
+  }
+
+  /// Typed object-member lookup with fallback: absent or wrong-typed
+  /// members yield the fallback.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  /// Compact serialization (no whitespace). Doubles print as %.17g so they
+  /// round-trip exactly; integral doubles in the int64 range print without
+  /// an exponent or decimal point.
+  std::string Dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// Parses one JSON document. The whole input must be consumed (trailing
+/// whitespace allowed); malformed input of any shape is an InvalidArgument
+/// Status, never undefined behavior. Nesting is capped (64 levels).
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// `s` as a quoted JSON string literal (escaping ", \, and control bytes).
+std::string JsonQuote(const std::string& s);
+
+}  // namespace seedb::server
+
+#endif  // SEEDB_SERVER_JSON_H_

@@ -1,0 +1,22 @@
+// Socket primitives shared by the server and client sides of the wire
+// protocol, so framing behavior cannot silently diverge between them.
+
+#ifndef SEEDB_SERVER_NET_UTIL_H_
+#define SEEDB_SERVER_NET_UTIL_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace seedb::server {
+
+/// IOError carrying errno's message: "what: <strerror>".
+Status ErrnoStatus(const std::string& what);
+
+/// Writes the whole buffer, riding out short writes and EINTR. MSG_NOSIGNAL
+/// turns a peer that hung up into a false return instead of SIGPIPE.
+bool WriteAll(int fd, const std::string& data);
+
+}  // namespace seedb::server
+
+#endif  // SEEDB_SERVER_NET_UTIL_H_

@@ -1,0 +1,434 @@
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "server/net_util.h"
+#include "server/protocol.h"
+
+namespace seedb::server {
+
+RecommendationServer::RecommendationServer(db::Engine* engine,
+                                           ServerOptions options)
+    : engine_(engine), seedb_(engine), options_(std::move(options)) {}
+
+RecommendationServer::~RecommendationServer() { Stop(); }
+
+Status RecommendationServer::Start() {
+  if (running_.load()) return Status::Internal("server already started");
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     options_.unix_path);
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return ErrnoStatus("socket(AF_UNIX)");
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_path.c_str());  // stale socket from a prior run
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      Status s = ErrnoStatus("bind(" + options_.unix_path + ")");
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return s;
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return ErrnoStatus("socket(AF_INET)");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      Status s = ErrnoStatus("bind(127.0.0.1:" + std::to_string(options_.tcp_port) +
+                       ")");
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return s;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status s = ErrnoStatus("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void RecommendationServer::Stop() {
+  if (!running_.exchange(false)) {
+    // Never started (or already stopped): nothing to unwind beyond a
+    // possibly half-open listener.
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  // Expedite in-flight phases: flip every session's cancel token so a long
+  // scan stops at the next morsel instead of holding up shutdown.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& [id, session] : sessions_) session->session.Cancel();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  // The accept thread is gone, so conns_ can no longer grow and no reaper
+  // runs concurrently: wake every live reader, join, close, drop.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  std::vector<std::unique_ptr<Connection>> remaining;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    remaining.swap(conns_);
+  }
+  for (auto& conn : remaining) {
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+  }
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.clear();
+}
+
+ServerStats RecommendationServer::stats() const {
+  ServerStats s;
+  s.connections = connections_.load();
+  s.requests = requests_.load();
+  s.errors = errors_.load();
+  s.sessions_opened = sessions_opened_.load();
+  s.sessions_finished = sessions_finished_.load();
+  return s;
+}
+
+size_t RecommendationServer::open_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+void RecommendationServer::ReapFinishedConnections() {
+  std::vector<std::unique_ptr<Connection>> dead;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) {
+      if (conn->done.load(std::memory_order_acquire)) {
+        dead.push_back(std::move(conn));
+      }
+    }
+    std::erase_if(conns_, [](const std::unique_ptr<Connection>& conn) {
+      return conn == nullptr;
+    });
+  }
+  for (auto& conn : dead) {
+    conn->thread.join();  // the reader already exited; this returns at once
+    ::close(conn->fd);
+  }
+}
+
+void RecommendationServer::AcceptLoop() {
+  while (running_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (!running_.load()) break;
+    // Reap disconnected clients between accepts, so a long-lived server
+    // serving many short connections does not accumulate fds and exited
+    // threads until Stop().
+    ReapFinishedConnections();
+    if (ready <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections_.fetch_add(1);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] { ConnectionLoop(raw); });
+  }
+}
+
+void RecommendationServer::ConnectionLoop(Connection* conn) {
+  const int fd = conn->fd;
+  std::string buffer;
+  char chunk[4096];
+  while (running_.load()) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    size_t newline;
+    while ((newline = buffer.find('\n', start)) != std::string::npos) {
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string response = HandleLine(line);
+      response.push_back('\n');
+      if (!WriteAll(fd, response)) {
+        buffer.clear();
+        start = 0;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > options_.max_line_bytes) {
+      // A request line that long is hostile or broken either way; answer
+      // once and drop the connection rather than buffering without bound.
+      std::string response =
+          ErrorResponse(Status::InvalidArgument("request line too long"), "")
+              .Dump();
+      response.push_back('\n');
+      WriteAll(fd, response);
+      break;
+    }
+  }
+  // Closing the fd here would race a concurrent Stop() shutting the same
+  // descriptor; instead flag the entry and let whoever owns it next — the
+  // accept loop's reaper, or Stop() — join and close it.
+  conn->done.store(true, std::memory_order_release);
+}
+
+std::string RecommendationServer::HandleLine(const std::string& line) {
+  requests_.fetch_add(1);
+  Result<JsonValue> parsed = ParseJson(line);
+  if (!parsed.ok()) {
+    errors_.fetch_add(1);
+    return ErrorResponse(parsed.status(), "").Dump();
+  }
+  if (!parsed->is_object()) {
+    errors_.fetch_add(1);
+    return ErrorResponse(
+               Status::InvalidArgument("request must be a JSON object"), "")
+        .Dump();
+  }
+  JsonValue response = Dispatch(*parsed);
+  if (!response.GetBool("ok")) errors_.fetch_add(1);
+  return response.Dump();
+}
+
+JsonValue RecommendationServer::Dispatch(const JsonValue& request) {
+  const std::string op = request.GetString("op");
+  const std::string id = request.GetString("id");
+  if (op.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing \"op\" (expected "
+                                "open|next|cancel|resume|finish|status)"),
+        id);
+  }
+  if (op == "status") return HandleStatus(id);
+  if (id.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("op \"" + op + "\" needs a session \"id\""),
+        id);
+  }
+  if (op == "open") return HandleOpen(id, request);
+  if (op == "next") return HandleNext(id);
+  if (op == "cancel") return HandleCancel(id);
+  if (op == "resume") return HandleResume(id);
+  if (op == "finish") return HandleFinish(id);
+  return ErrorResponse(Status::InvalidArgument("unknown op \"" + op + "\""),
+                       id);
+}
+
+std::shared_ptr<RecommendationServer::ServerSession>
+RecommendationServer::FindSession(const std::string& id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+JsonValue RecommendationServer::HandleOpen(const std::string& id,
+                                           const JsonValue& request) {
+  Result<core::SeeDBRequest> parsed = OpenRequestFromJson(request);
+  if (!parsed.ok()) return ErrorResponse(parsed.status(), id);
+  {
+    // Early refusal so an over-limit or duplicate open skips the planning
+    // work; the authoritative checks repeat at insert time below.
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (sessions_.count(id) > 0) {
+      return ErrorResponse(
+          Status::AlreadyExists("session \"" + id + "\" already open"), id);
+    }
+    if (sessions_.size() >= options_.max_sessions) {
+      return ErrorResponse(
+          Status::OutOfRange("server session limit reached (" +
+                             std::to_string(options_.max_sessions) + ")"),
+          id);
+    }
+  }
+  // Planning runs outside the registry lock — it scans catalog statistics
+  // and may take a while. Racing opens all plan; the losers are refused at
+  // insert, where the duplicate-id and session-cap checks are re-run under
+  // the same lock acquisition that inserts.
+  Result<core::RecommendationSession> session = seedb_.Open(*parsed);
+  if (!session.ok()) return ErrorResponse(session.status(), id);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      return ErrorResponse(
+          Status::OutOfRange("server session limit reached (" +
+                             std::to_string(options_.max_sessions) + ")"),
+          id);
+    }
+    auto [it, inserted] = sessions_.emplace(
+        id, std::make_shared<ServerSession>(std::move(*session)));
+    if (!inserted) {
+      return ErrorResponse(
+          Status::AlreadyExists("session \"" + id + "\" already open"), id);
+    }
+  }
+  sessions_opened_.fetch_add(1);
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", JsonValue::Bool(true));
+  response.Set("id", JsonValue::Str(id));
+  response.Set("type", JsonValue::Str("opened"));
+  return response;
+}
+
+JsonValue RecommendationServer::HandleNext(const std::string& id) {
+  std::shared_ptr<ServerSession> entry = FindSession(id);
+  if (entry == nullptr) {
+    return ErrorResponse(Status::NotFound("unknown session \"" + id + "\""),
+                         id);
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  Result<std::optional<core::ProgressUpdate>> update = entry->session.Next();
+  if (!update.ok()) return ErrorResponse(update.status(), id);
+  if (!update->has_value()) {
+    JsonValue response = JsonValue::Object();
+    response.Set("ok", JsonValue::Bool(true));
+    response.Set("id", JsonValue::Str(id));
+    response.Set("type", JsonValue::Str("drained"));
+    return response;
+  }
+  return ProgressToJson(id, **update);
+}
+
+JsonValue RecommendationServer::HandleCancel(const std::string& id) {
+  std::shared_ptr<ServerSession> entry = FindSession(id);
+  if (entry == nullptr) {
+    return ErrorResponse(Status::NotFound("unknown session \"" + id + "\""),
+                         id);
+  }
+  // No session lock: Cancel only flips the shared atomic token, which is
+  // exactly how a cancel reaches a Next() in flight on another connection.
+  entry->session.Cancel();
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", JsonValue::Bool(true));
+  response.Set("id", JsonValue::Str(id));
+  response.Set("type", JsonValue::Str("ack"));
+  return response;
+}
+
+JsonValue RecommendationServer::HandleResume(const std::string& id) {
+  std::shared_ptr<ServerSession> entry = FindSession(id);
+  if (entry == nullptr) {
+    return ErrorResponse(Status::NotFound("unknown session \"" + id + "\""),
+                         id);
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->finished) {
+    return ErrorResponse(
+        Status::NotFound("session \"" + id + "\" already finished"), id);
+  }
+  Status resumed = entry->session.Resume();
+  if (!resumed.ok()) return ErrorResponse(resumed, id);
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", JsonValue::Bool(true));
+  response.Set("id", JsonValue::Str(id));
+  response.Set("type", JsonValue::Str("ack"));
+  return response;
+}
+
+JsonValue RecommendationServer::HandleFinish(const std::string& id) {
+  std::shared_ptr<ServerSession> entry = FindSession(id);
+  if (entry == nullptr) {
+    return ErrorResponse(Status::NotFound("unknown session \"" + id + "\""),
+                         id);
+  }
+  JsonValue response;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (entry->finished) {
+      return ErrorResponse(
+          Status::NotFound("session \"" + id + "\" already finished"), id);
+    }
+    entry->finished = true;
+    Result<core::RecommendationSet> set = entry->session.Finish();
+    response = set.ok() ? ResultToJson(id, *set)
+                        : ErrorResponse(set.status(), id);
+  }
+  // The id is gone either way — a failed Finish() leaves no session worth
+  // keeping, and later ops on it answer not_found.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.erase(id);
+  }
+  sessions_finished_.fetch_add(1);
+  return response;
+}
+
+JsonValue RecommendationServer::HandleStatus(const std::string& id) {
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", JsonValue::Bool(true));
+  if (!id.empty()) response.Set("id", JsonValue::Str(id));
+  response.Set("type", JsonValue::Str("status"));
+  if (id.empty()) {
+    response.Set("sessions",
+                 JsonValue::Number(static_cast<double>(open_sessions())));
+    response.Set("requests",
+                 JsonValue::Number(static_cast<double>(requests_.load())));
+    return response;
+  }
+  std::shared_ptr<ServerSession> entry = FindSession(id);
+  if (entry == nullptr) {
+    return ErrorResponse(Status::NotFound("unknown session \"" + id + "\""),
+                         id);
+  }
+  // Locked: phases_run / memory_bytes read execution state a concurrent
+  // Next() mutates.
+  std::lock_guard<std::mutex> lock(entry->mu);
+  response.Set("session", JsonValue::Bool(true));
+  response.Set("done", JsonValue::Bool(entry->session.done()));
+  response.Set("cancelled", JsonValue::Bool(entry->session.cancelled()));
+  response.Set("budget_exceeded",
+               JsonValue::Bool(entry->session.budget_exceeded()));
+  response.Set("phases_run",
+               JsonValue::Number(
+                   static_cast<double>(entry->session.phases_run())));
+  response.Set("memory_bytes",
+               JsonValue::Number(
+                   static_cast<double>(entry->session.memory_bytes())));
+  return response;
+}
+
+}  // namespace seedb::server

@@ -1,0 +1,154 @@
+// RecommendationServer: many streaming sessions, one Engine, one socket —
+// SeeDB as the middleware layer the paper deploys it as (§5), serving
+// interactive clients over the line-delimited JSON protocol of
+// server/protocol.h.
+//
+// Shape: an accept loop hands each connection to a reader thread; requests
+// on a connection are processed in arrival order, and every session lives
+// in a server-wide registry, so a session opened on one connection can be
+// cancelled — or, after a disconnect, resumed — from another. Heavy work
+// (Next / Finish) serializes per session under that session's own lock;
+// cancellation only flips the session's atomic token, so a `cancel` from a
+// second connection lands mid-phase and is observed at morsel granularity.
+// The Engine itself is concurrent, so sessions on different connections
+// scan in parallel — the registry multiplexes sessions, the engine
+// multiplexes cores.
+//
+// Malformed input (truncated JSON, unknown ops, ids after finish) produces
+// an {"ok":false,...} response and leaves the loop intact; only an
+// over-long line (memory protection) closes the offending connection.
+
+#ifndef SEEDB_SERVER_SERVER_H_
+#define SEEDB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/seedb.h"
+#include "core/session.h"
+#include "server/json.h"
+#include "util/result.h"
+
+namespace seedb::server {
+
+struct ServerOptions {
+  /// Listen on a unix-domain socket at this path (preferred for tests and
+  /// local tooling: no ports to collide on). Takes precedence over TCP.
+  std::string unix_path;
+  /// Listen on TCP 127.0.0.1:tcp_port when unix_path is empty; 0 binds an
+  /// ephemeral port (read it back with port()).
+  int tcp_port = 0;
+  /// Requests longer than this close the connection (memory protection).
+  size_t max_line_bytes = 1 << 20;
+  /// `open` beyond this many live sessions is refused (per server).
+  size_t max_sessions = 1024;
+};
+
+struct ServerStats {
+  uint64_t connections = 0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_finished = 0;
+};
+
+/// \brief The serving loop: accepts connections, frames request lines, and
+/// drives RecommendationSessions against one shared Engine.
+///
+/// Start() binds and spawns the accept thread; Stop() (idempotent, also run
+/// by the destructor) closes the listener and every connection, joins all
+/// threads, and drops any unfinished sessions. Thread-safe.
+class RecommendationServer {
+ public:
+  /// `engine` must outlive the server and have its tables registered before
+  /// requests arrive (the server adds nothing to the catalog).
+  RecommendationServer(db::Engine* engine, ServerOptions options);
+  ~RecommendationServer();
+
+  RecommendationServer(const RecommendationServer&) = delete;
+  RecommendationServer& operator=(const RecommendationServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  /// The bound TCP port (after Start(), TCP mode only).
+  int port() const { return port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+
+  ServerStats stats() const;
+  size_t open_sessions() const;
+
+  /// Handles one request line and returns the response line (no trailing
+  /// newline). Public so protocol tests can drive the dispatcher without a
+  /// socket; the connection threads call exactly this.
+  std::string HandleLine(const std::string& line);
+
+ private:
+  /// One registry entry: the session plus the lock serializing its heavy
+  /// operations (Next / Finish / Resume). Cancel needs no lock — it only
+  /// flips the session's shared atomic token.
+  struct ServerSession {
+    explicit ServerSession(core::RecommendationSession session)
+        : session(std::move(session)) {}
+    std::mutex mu;
+    core::RecommendationSession session;
+    /// Set (under mu) once a `finish` ran: a second finisher racing the
+    /// registry erase gets a clean not_found instead of an internal error.
+    bool finished = false;
+  };
+
+  /// One live (or just-exited) connection: its socket and reader thread.
+  /// `done` flips as the reader's last act, telling the accept loop's
+  /// reaper this entry can be joined and closed.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  JsonValue Dispatch(const JsonValue& request);
+  JsonValue HandleOpen(const std::string& id, const JsonValue& request);
+  JsonValue HandleNext(const std::string& id);
+  JsonValue HandleCancel(const std::string& id);
+  JsonValue HandleResume(const std::string& id);
+  JsonValue HandleFinish(const std::string& id);
+  JsonValue HandleStatus(const std::string& id);
+  std::shared_ptr<ServerSession> FindSession(const std::string& id);
+
+  void AcceptLoop();
+  void ConnectionLoop(Connection* conn);
+  /// Joins and closes connections whose readers have exited. Runs on the
+  /// accept thread (between accepts) and once more from Stop() after that
+  /// thread is joined — never concurrently with itself.
+  void ReapFinishedConnections();
+
+  db::Engine* engine_;
+  core::SeeDB seedb_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<std::string, std::shared_ptr<ServerSession>> sessions_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> sessions_finished_{0};
+};
+
+}  // namespace seedb::server
+
+#endif  // SEEDB_SERVER_SERVER_H_

@@ -457,6 +457,277 @@ TEST(SessionEarlyStopTest, EarlyStopMatchesExhaustiveOnLaserwave) {
   EXPECT_EQ(stopped->top_views[0].view(), truth->top_views[0].view());
 }
 
+// --- Per-session memory budgets (SeeDBOptions::memory_budget_bytes). ---
+
+TEST_F(SessionTest, MemoryBudgetExceededMidScanIsACleanError) {
+  SeeDB seedb(engine_);
+  // A budget no real aggregation state fits: the first phase trips it.
+  auto session = seedb.Open(PhasedRequest(4).WithMemoryBudget(64));
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto update = session->Next();
+  ASSERT_FALSE(update.ok());
+  EXPECT_EQ(update.status().code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(session->budget_exceeded());
+  EXPECT_TRUE(session->done());
+  // Further Next()s are a clean no-more-work, not another error.
+  auto drained = session->Next();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_FALSE(drained->has_value());
+
+  // Finish() assembles partial results over the one phase that ran.
+  auto set = session->Finish();
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_TRUE(set->profile.budget_exceeded);
+  EXPECT_EQ(set->profile.phases_executed, 1u);
+  EXPECT_LT(set->profile.rows_scanned, 8000u);
+  EXPECT_FALSE(set->top_views.empty());
+
+  // The engine is unharmed: a budget-free run still works.
+  auto fresh = seedb.Run(PhasedRequest(4));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->profile.budget_exceeded);
+}
+
+TEST_F(SessionTest, GenerousMemoryBudgetNeverTriggers) {
+  SeeDB seedb(engine_);
+  auto set = seedb.Run(PhasedRequest(4).WithMemoryBudget(1ull << 30));
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_FALSE(set->profile.budget_exceeded);
+  EXPECT_EQ(set->profile.phases_executed, 4u);
+}
+
+TEST_F(SessionTest, BudgetStopsTheSilentFinishDrainToo) {
+  SeeDB seedb(engine_);
+  // Finish() without any Next(): the drain itself must respect the budget
+  // instead of scanning to the end.
+  auto session = seedb.Open(PhasedRequest(8).WithMemoryBudget(64));
+  ASSERT_TRUE(session.ok());
+  auto set = session->Finish();
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_TRUE(set->profile.budget_exceeded);
+  EXPECT_EQ(set->profile.phases_executed, 1u);
+  EXPECT_TRUE(session->budget_exceeded());
+}
+
+TEST_F(SessionTest, ProgressUpdatesCarryTheMemoryFootprint) {
+  SeeDB seedb(engine_);
+  auto session = seedb.Open(PhasedRequest(3));
+  ASSERT_TRUE(session.ok());
+  auto update = session->Next();
+  ASSERT_TRUE(update.ok());
+  ASSERT_TRUE(update->has_value());
+  EXPECT_GT((*update)->memory_bytes, 0u);
+  EXPECT_EQ((*update)->memory_bytes, session->memory_bytes());
+  ASSERT_TRUE(session->Finish().ok());
+}
+
+// --- ProgressSink: push-style updates. ---
+
+TEST_F(SessionTest, ProgressSinkSeesEveryPhaseIncludingFinishDrain) {
+  SeeDB seedb(engine_);
+  auto session = seedb.Open(PhasedRequest(5));
+  ASSERT_TRUE(session.ok());
+  std::vector<ProgressUpdate> pushed;
+  session->SetProgressSink(
+      [&pushed](const ProgressUpdate& u) { pushed.push_back(u); });
+
+  // Two polled phases, then Finish() drains the remaining three — the sink
+  // must see all five, in order, with the drained phases' provisional
+  // rankings included (a sink-less Finish drain skips estimate collection).
+  ASSERT_TRUE(session->Next().ok());
+  ASSERT_TRUE(session->Next().ok());
+  auto set = session->Finish();
+  ASSERT_TRUE(set.ok()) << set.status();
+  ASSERT_EQ(pushed.size(), 5u);
+  for (size_t i = 0; i < pushed.size(); ++i) {
+    EXPECT_EQ(pushed[i].phase, i + 1);
+    EXPECT_FALSE(pushed[i].top_views.empty()) << "phase " << i + 1;
+  }
+  EXPECT_EQ(set->profile.phases_executed, 5u);
+}
+
+TEST_F(SessionTest, ProgressSinkFiresOnceForBlockingStrategies) {
+  SeeDB seedb(engine_);
+  auto session = seedb.Open(SeeDBRequest("synth")
+                                .Where(selection_)
+                                .WithTopK(2)
+                                .WithStrategy(ExecutionStrategy::kSharedScan));
+  ASSERT_TRUE(session.ok());
+  size_t pushes = 0;
+  ProvisionalView first_top;
+  session->SetProgressSink([&](const ProgressUpdate& u) {
+    ++pushes;
+    if (!u.top_views.empty()) first_top = u.top_views[0];
+  });
+  auto set = session->Finish();  // no Next() at all
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(pushes, 1u);
+  ASSERT_FALSE(set->top_views.empty());
+  EXPECT_EQ(first_top.view, set->top_views[0].view());
+}
+
+// --- Resume-after-cancel: the session keeps its merged aggregates. ---
+
+class SessionResumeTest : public ::testing::Test {
+ protected:
+  SessionResumeTest() : engine_(&catalog_) {
+    Status added =
+        catalog_.AddTable("sales", ::seedb::testing::MakeLaserwaveTable());
+    EXPECT_TRUE(added.ok());
+    laserwave_ = db::PredicatePtr(db::Eq("product", db::Value("Laserwave")));
+  }
+
+  SeeDBRequest Request(size_t phases) {
+    return SeeDBRequest("sales").Where(laserwave_).WithTopK(2).WithPhases(
+        phases);
+  }
+
+  db::Catalog catalog_;
+  db::Engine engine_;
+  db::PredicatePtr laserwave_;
+};
+
+TEST_F(SessionResumeTest, CancelThenResumeEqualsUninterruptedRun) {
+  SeeDB seedb(&engine_);
+  auto truth = seedb.Run(Request(6));
+  ASSERT_TRUE(truth.ok()) << truth.status();
+
+  auto session = seedb.Open(Request(6));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->Next().ok());
+  session->Cancel();
+  EXPECT_TRUE(session->done());
+  {
+    auto drained = session->Next();
+    ASSERT_TRUE(drained.ok());
+    EXPECT_FALSE(drained->has_value());
+  }
+
+  ASSERT_TRUE(session->Resume().ok());
+  EXPECT_FALSE(session->cancelled());
+  EXPECT_FALSE(session->done());
+  size_t more = 0;
+  while (true) {
+    auto update = session->Next();
+    ASSERT_TRUE(update.ok());
+    if (!update->has_value()) break;
+    ++more;
+  }
+  EXPECT_EQ(more, 5u);  // phases 2..6 after the resume
+
+  auto set = session->Finish();
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_FALSE(set->profile.cancelled);
+  EXPECT_EQ(set->profile.phases_executed, 6u);
+  EXPECT_EQ(set->profile.rows_scanned, truth->profile.rows_scanned);
+  ASSERT_EQ(set->top_views.size(), truth->top_views.size());
+  for (size_t i = 0; i < set->top_views.size(); ++i) {
+    EXPECT_EQ(set->top_views[i].view(), truth->top_views[i].view());
+    // Bit-identical: the resumed scan covered exactly the same rows in the
+    // same single-worker order as the uninterrupted one.
+    EXPECT_EQ(set->top_views[i].utility(), truth->top_views[i].utility());
+  }
+}
+
+TEST_F(SessionResumeTest, CancelBeforeFirstPhaseThenResumeRunsInFull) {
+  SeeDB seedb(&engine_);
+  auto truth = seedb.Run(Request(4));
+  ASSERT_TRUE(truth.ok());
+
+  auto session = seedb.Open(Request(4));
+  ASSERT_TRUE(session.ok());
+  session->Cancel();
+  ASSERT_TRUE(session->Resume().ok());
+  auto set = session->Finish();
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_FALSE(set->profile.cancelled);
+  EXPECT_EQ(set->profile.phases_executed, 4u);
+  ASSERT_FALSE(set->top_views.empty());
+  EXPECT_EQ(set->top_views[0].view(), truth->top_views[0].view());
+  EXPECT_EQ(set->top_views[0].utility(), truth->top_views[0].utility());
+}
+
+TEST_F(SessionResumeTest, ResumeDemandsACancelledUnfinishedSession) {
+  SeeDB seedb(&engine_);
+  auto session = seedb.Open(Request(4));
+  ASSERT_TRUE(session.ok());
+  // Not cancelled: refused.
+  EXPECT_FALSE(session->Resume().ok());
+  session->Cancel();
+  ASSERT_TRUE(session->Finish().ok());
+  // Finished: refused (even though it was cancelled).
+  EXPECT_FALSE(session->Resume().ok());
+
+  // Blocking strategies cannot resume a cancelled run...
+  auto blocking = seedb.Open(SeeDBRequest("sales")
+                                 .Where(laserwave_)
+                                 .WithTopK(1)
+                                 .WithStrategy(
+                                     ExecutionStrategy::kSharedScan));
+  ASSERT_TRUE(blocking.ok());
+  ASSERT_TRUE(blocking->Next().ok());  // executes the one-shot run
+  blocking->Cancel();
+  EXPECT_FALSE(blocking->Resume().ok());
+
+  // ...except a cancel that landed before the first Next() just re-arms.
+  auto unstarted = seedb.Open(SeeDBRequest("sales")
+                                  .Where(laserwave_)
+                                  .WithTopK(1)
+                                  .WithStrategy(
+                                      ExecutionStrategy::kSharedScan));
+  ASSERT_TRUE(unstarted.ok());
+  unstarted->Cancel();
+  ASSERT_TRUE(unstarted->Resume().ok());
+  auto set = unstarted->Finish();
+  ASSERT_TRUE(set.ok());
+  EXPECT_FALSE(set->profile.cancelled);
+  EXPECT_FALSE(set->top_views.empty());
+}
+
+TEST_F(SessionTest, MidScanCancelFromAnotherThreadThenResumeMatchesSerial) {
+  SeeDB seedb(engine_);
+  auto truth = seedb.Run(PhasedRequest(8));
+  ASSERT_TRUE(truth.ok());
+  const std::vector<std::string> expected = TopIds(*truth);
+
+  auto session = seedb.Open(PhasedRequest(8));
+  ASSERT_TRUE(session.ok());
+  std::atomic<bool> started{false};
+  std::thread canceller([&] {
+    while (!started.load()) std::this_thread::yield();
+    session->Cancel();
+  });
+  while (true) {
+    started.store(true);
+    auto update = session->Next();
+    ASSERT_TRUE(update.ok());
+    if (!update->has_value()) break;
+  }
+  canceller.join();
+
+  // Wherever the cancel landed — mid-phase, between phases, or after the
+  // last one — resuming (when still possible) and draining must land on
+  // the serial run's ranking, with every row covered exactly once.
+  if (session->cancelled()) {
+    ASSERT_TRUE(session->Resume().ok());
+    while (true) {
+      auto update = session->Next();
+      ASSERT_TRUE(update.ok());
+      if (!update->has_value()) break;
+    }
+  }
+  auto set = session->Finish();
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_FALSE(set->profile.cancelled);
+  EXPECT_EQ(set->profile.rows_scanned, 8000u);
+  EXPECT_EQ(set->profile.phases_executed, 8u);
+  EXPECT_EQ(TopIds(*set), expected);
+  for (size_t i = 0; i < set->top_views.size(); ++i) {
+    EXPECT_NEAR(set->top_views[i].utility(), truth->top_views[i].utility(),
+                1e-9);
+  }
+}
+
 TEST(SessionEarlyStopTest, DeltaZeroNeverStopsEarly) {
   db::Catalog catalog;
   ASSERT_TRUE(

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "../test_util.h"
 #include "data/synthetic.h"
 #include "db/engine.h"
@@ -561,6 +564,107 @@ TEST(SharedScanStateTest, CancelTokenStopsPhaseAtMorselGranularity) {
   auto expected = prefix->PartialResults(0);
   ASSERT_TRUE(expected.ok());
   ExpectTablesMatch((*final_results)[0][0], (*expected)[0], "cancelled");
+}
+
+// A cancelled scan is not dead: ResumeAfterCancel() scans exactly the
+// morsels the cancel skipped, and the final results equal an uninterrupted
+// scan's bit for bit (single worker: same accumulation order).
+TEST(SharedScanStateTest, ResumeAfterCancelCompletesExactly) {
+  data::SyntheticSpec spec = data::SyntheticSpec::Simple(5000, 2, 1, 4, 11);
+  auto dataset = data::GenerateSynthetic(spec).ValueOrDie();
+  Table t = std::move(dataset.table);
+
+  GroupingSetsQuery q;
+  q.table = "synthetic";
+  q.grouping_sets = {{"dim0"}};
+  q.aggregates = {AggregateSpec::Make(AggregateFunction::kSum, "m0")};
+
+  std::atomic<bool> cancel{false};
+  SharedScanOptions options;
+  options.num_threads = 1;
+  options.morsel_rows = 512;
+  options.cancel = &cancel;
+
+  auto state = SharedScanState::Create(t, {q}, options);
+  ASSERT_TRUE(state.ok());
+  // Resume without a cancellation is refused.
+  EXPECT_FALSE(state->ResumeAfterCancel().ok());
+
+  ASSERT_TRUE(state->RunPhase(0, 2000).ok());
+  cancel.store(true);
+  ASSERT_TRUE(state->RunPhase(2000, t.num_rows()).ok());
+  ASSERT_TRUE(state->cancelled());
+  EXPECT_EQ(state->rows_consumed(), 2000u);
+
+  // A resume with the token STILL SET cancels itself again — the pending
+  // record survives for the next attempt.
+  ASSERT_TRUE(state->ResumeAfterCancel().ok());
+  EXPECT_TRUE(state->cancelled());
+
+  cancel.store(false);
+  ASSERT_TRUE(state->ResumeAfterCancel().ok());
+  EXPECT_FALSE(state->cancelled());
+  EXPECT_EQ(state->rows_consumed(), t.num_rows());
+  EXPECT_EQ(state->stats().rows_scanned, t.num_rows());
+
+  auto resumed = state->FinalResults();
+  ASSERT_TRUE(resumed.ok());
+
+  // Identical to a never-cancelled scan — morsel for morsel.
+  SharedScanOptions clean;
+  clean.num_threads = 1;
+  clean.morsel_rows = 512;
+  auto baseline = ExecuteSharedScan(t, {q}, clean);
+  ASSERT_TRUE(baseline.ok());
+  ExpectTablesMatch((*resumed)[0][0], (*baseline)[0][0], "resumed");
+}
+
+// Cancel landing mid-phase (some morsels done): the resume covers the
+// complement only, so every row is aggregated exactly once. Driven with
+// threads so the completed set is a nondeterministic non-prefix subset —
+// parity with the per-query baseline is the invariant.
+TEST(SharedScanStateTest, ThreadedCancelThenResumeKeepsParity) {
+  data::SyntheticSpec spec = data::SyntheticSpec::Simple(20000, 2, 1, 6, 3);
+  auto dataset = data::GenerateSynthetic(spec).ValueOrDie();
+  Table t = std::move(dataset.table);
+
+  GroupingSetsQuery q;
+  q.table = "synthetic";
+  q.grouping_sets = {{"dim0"}, {"dim1"}};
+  q.aggregates = {AggregateSpec::Make(AggregateFunction::kSum, "m0"),
+                  AggregateSpec::Make(AggregateFunction::kCount, "")};
+
+  std::atomic<bool> cancel{false};
+  SharedScanOptions options;
+  options.num_threads = 4;
+  options.morsel_rows = 256;
+  options.cancel = &cancel;
+
+  auto state = SharedScanState::Create(t, {q}, options);
+  ASSERT_TRUE(state.ok());
+
+  // Fire the cancel from another thread while the phase runs; wherever it
+  // lands (possibly after the phase completed), resume + finish must agree
+  // with the uninterrupted result.
+  std::thread canceller([&cancel] { cancel.store(true); });
+  ASSERT_TRUE(state->RunPhase(0, t.num_rows()).ok());
+  canceller.join();
+  if (state->cancelled()) {
+    cancel.store(false);
+    ASSERT_TRUE(state->ResumeAfterCancel().ok());
+  }
+  ASSERT_FALSE(state->cancelled());
+  EXPECT_EQ(state->rows_consumed(), t.num_rows());
+
+  auto resumed = state->FinalResults();
+  ASSERT_TRUE(resumed.ok());
+  auto expected = ExecuteGroupingSets(t, q, nullptr);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ((*resumed)[0].size(), expected->size());
+  for (size_t s = 0; s < expected->size(); ++s) {
+    ExpectTablesMatch((*resumed)[0][s], (*expected)[s],
+                      "set " + std::to_string(s));
+  }
 }
 
 // --- Per-phase adaptive morsel sizing. ---

@@ -16,7 +16,15 @@ the exit code.
 Emits GitHub Actions `::warning::` annotations so the result is visible on
 the job even when the calling step is non-blocking.
 
+`--server-old/--server-new` additionally diff BENCH_server.json artifacts
+(the serving-layer bench: sessions/sec and p50/p99 `next` latency per
+(transport, clients, phases) configuration). Server numbers ride on socket
+round-trips, whose shared-runner variance is even higher than phase
+timings, so they are ALWAYS advisory `::warning::` only — they never flip
+the exit code.
+
 Usage: perf_gate.py OLD.json NEW.json [--threshold 0.30]
+                    [--server-old OLD_SERVER.json --server-new NEW_SERVER.json]
 """
 
 import argparse
@@ -39,12 +47,58 @@ def load_runs(path):
     return runs
 
 
+def compare_server(old_path, new_path, threshold):
+    """Advisory diff of BENCH_server.json artifacts: warn when throughput
+    (sessions/sec) drops or p99 `next` latency grows past the threshold.
+    Returns the number of advisory warnings; never fails the gate."""
+    def load(path):
+        with open(path) as f:
+            doc = json.load(f)
+        return {(r.get("transport"), r.get("clients"), r.get("phases")): r
+                for r in doc.get("runs", [])}
+
+    old_runs, new_runs = load(old_path), load(new_path)
+    warnings = 0
+    print(f"\n{'server config':>28} {'old s/s':>9} {'new s/s':>9} "
+          f"{'old p99':>9} {'new p99':>9}")
+    for key in sorted(new_runs, key=str):
+        transport, clients, phases = key
+        label = f"{transport} c={clients} p={phases}"
+        new = new_runs[key]
+        old = old_runs.get(key)
+        if old is None:
+            print(f"{label:>28} {'-':>9} {new.get('sessions_per_sec', 0):>9.1f}"
+                  f" {'-':>9} {new.get('next_p99_ms', 0):>9.3f}  (new config)")
+            continue
+        old_sps = old.get("sessions_per_sec", 0)
+        new_sps = new.get("sessions_per_sec", 0)
+        old_p99 = old.get("next_p99_ms", 0)
+        new_p99 = new.get("next_p99_ms", 0)
+        print(f"{label:>28} {old_sps:>9.1f} {new_sps:>9.1f} "
+              f"{old_p99:>9.3f} {new_p99:>9.3f}")
+        if old_sps > 0 and (old_sps - new_sps) / old_sps > threshold:
+            warnings += 1
+            print(f"::warning::server throughput regression (advisory): "
+                  f"{label} went {old_sps:.1f} -> {new_sps:.1f} sessions/sec "
+                  f"(threshold {threshold:.0%})")
+        if old_p99 > 0 and (new_p99 - old_p99) / old_p99 > threshold:
+            warnings += 1
+            print(f"::warning::server p99 next-latency regression (advisory): "
+                  f"{label} went {old_p99:.3f}ms -> {new_p99:.3f}ms "
+                  f"(threshold {threshold:.0%})")
+    return warnings
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("old", help="previous run's BENCH_parallel.json")
     parser.add_argument("new", help="this run's BENCH_parallel.json")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="allowed fractional total_ms growth (0.30 = 30%%)")
+    parser.add_argument("--server-old", default=None,
+                        help="previous run's BENCH_server.json (advisory)")
+    parser.add_argument("--server-new", default=None,
+                        help="this run's BENCH_server.json (advisory)")
     args = parser.parse_args()
 
     old_runs = load_runs(args.old)
@@ -89,6 +143,10 @@ def main():
               f"{strategy} threads={threads} phases={phases} mean unit went "
               f"{old_ms:.3f}ms -> {new_ms:.3f}ms ({delta:+.1%}, threshold "
               f"{args.threshold:.0%})")
+    server_warnings = 0
+    if args.server_old and args.server_new:
+        server_warnings = compare_server(args.server_old, args.server_new,
+                                         args.threshold)
     if regressions:
         for (strategy, threads, phases), old_ms, new_ms, delta in regressions:
             print(f"::warning::perf regression: {strategy} threads={threads} "
@@ -98,7 +156,8 @@ def main():
     print(f"perf gate OK: no config regressed more than "
           f"{args.threshold:.0%} in total wall-clock "
           f"({len(new_runs)} configs checked, "
-          f"{len(unit_regressions)} advisory unit warnings)")
+          f"{len(unit_regressions)} advisory unit warnings, "
+          f"{server_warnings} advisory server warnings)")
     return 0
 
 

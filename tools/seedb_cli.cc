@@ -25,6 +25,7 @@
 #include "db/binning.h"
 #include "db/csv.h"
 #include "db/engine.h"
+#include "server/client.h"
 #include "util/string_util.h"
 #include "viz/ascii_renderer.h"
 #include "viz/metadata.h"
@@ -69,6 +70,8 @@ class Cli {
     if (cmd == "cancel") return ArmCancel(in);
     if (cmd == "where") return Builder(in);
     if (cmd == "template") return Template(in);
+    if (cmd == "connect") return Connect(in);
+    if (cmd == "disconnect") return Disconnect();
     return Status::InvalidArgument("unknown command \\" + cmd +
                                    " (try \\help)");
   }
@@ -94,6 +97,10 @@ class Cli {
         "                                   n boundaries (0 = off; phased)\n"
         "  \\cancel [n]                      cancel the NEXT query's scan\n"
         "                                   after n phases (default 1)\n"
+        "  \\set budget <bytes>              per-session memory budget\n"
+        "                                   (0 = unlimited; phased)\n"
+        "  \\connect <socket|host:port|port> route queries to a seedb_server\n"
+        "  \\disconnect                      back to in-process execution\n"
         "  \\q                               quit\n"
         "Under strategy phased, queries stream: one progress line per phase\n"
         "(provisional top view, CI half-width, views pruned, rows).\n");
@@ -221,6 +228,8 @@ class Cli {
       if (options_.online_pruning.pruner != core::OnlinePruner::kNone) {
         options_.strategy = core::ExecutionStrategy::kPhasedSharedScan;
       }
+    } else if (key == "budget") {
+      in >> options_.memory_budget_bytes;
     } else if (key == "prune") {
       std::string state;
       in >> state;
@@ -230,7 +239,8 @@ class Cli {
       return Status::InvalidArgument(
           "usage: \\set k <n> | metric <name> | parallel <n> | "
           "strategy shared|perquery|phased | phases <n> | "
-          "online_pruner none|ci|mab | early_stop <n> | prune on|off");
+          "online_pruner none|ci|mab | early_stop <n> | budget <bytes> | "
+          "prune on|off");
     }
     std::printf(
         "ok (k=%zu metric=%s parallel=%zu strategy=%s phases=%zu "
@@ -309,7 +319,137 @@ class Cli {
     return Status::OK();
   }
 
+  Status Connect(std::istringstream& in) {
+    std::string target;
+    in >> target;
+    if (target.empty()) {
+      return Status::InvalidArgument(
+          "usage: \\connect <unix-socket-path | host:port | port>");
+    }
+    Result<server::Client> client = Status::InvalidArgument("unreachable");
+    if (target.find('/') != std::string::npos) {
+      client = server::Client::ConnectUnix(target);
+    } else if (size_t colon = target.find(':'); colon != std::string::npos) {
+      client = server::Client::ConnectTcp(target.substr(0, colon),
+                                          std::atoi(target.c_str() + colon +
+                                                    1));
+    } else {
+      client = server::Client::ConnectTcp("127.0.0.1", std::atoi(
+                                                           target.c_str()));
+    }
+    SEEDB_RETURN_IF_ERROR(client.status());
+    remote_.emplace(std::move(*client));
+    SEEDB_ASSIGN_OR_RETURN(server::RemoteStatus status,
+                           remote_->GetStatus());
+    std::printf("connected to %s (%zu open sessions); queries now run "
+                "remotely — \\disconnect to go back\n",
+                target.c_str(), status.sessions);
+    return Status::OK();
+  }
+
+  Status Disconnect() {
+    if (!remote_.has_value()) {
+      return Status::InvalidArgument("not connected");
+    }
+    remote_.reset();
+    std::printf("disconnected; queries run in-process again\n");
+    return Status::OK();
+  }
+
+  /// Remote execution: same streaming shape as the in-process path, driven
+  /// over the wire. Results print as a compact table — the raw view data
+  /// needed for ASCII charts stays server-side.
+  Status RunRemoteQuery(const std::string& sql) {
+    server::OpenSpec spec;
+    spec.sql = sql;
+    spec.k = options_.k;
+    spec.bottom_k = options_.bottom_k;
+    spec.metric = core::DistanceMetricToString(options_.metric);
+    spec.strategy = core::ExecutionStrategyToString(options_.strategy);
+    spec.parallelism = options_.parallelism;
+    spec.memory_budget = options_.memory_budget_bytes;
+    if (options_.strategy == core::ExecutionStrategy::kPhasedSharedScan) {
+      spec.phases = options_.online_pruning.num_phases;
+      spec.pruner =
+          core::OnlinePrunerToString(options_.online_pruning.pruner);
+      spec.early_stop = options_.online_pruning.early_stop_stable_phases;
+    }
+    const std::string id = "cli-" + std::to_string(next_remote_id_++);
+    SEEDB_RETURN_IF_ERROR(remote_->Open(id, spec));
+
+    // From here on the session exists server-side: every early exit must
+    // still finish it, or failed queries would pile sessions up in the
+    // server registry until its cap refuses everyone.
+    Status drive = DriveRemoteSession(id);
+    if (!drive.ok() && drive.code() != StatusCode::kOutOfRange) {
+      (void)remote_->Finish(id);  // best-effort release
+      return drive;
+    }
+    if (!drive.ok()) {
+      // Budget breach: report it, then show the partial results Finish()
+      // assembles — the same contract as the in-process session.
+      std::printf("  %s\n", drive.ToString().c_str());
+    }
+
+    SEEDB_ASSIGN_OR_RETURN(server::RemoteResult result, remote_->Finish(id));
+    for (const server::RemoteRecommendation& rec : result.top) {
+      std::printf("%zu. %-40s utility %.6f\n   %s\n", rec.rank,
+                  rec.view_id.c_str(), rec.utility, rec.target_sql.c_str());
+    }
+    if (!result.pruned_online.empty()) {
+      std::printf("views not examined (pruned mid-scan):\n");
+      for (const server::RemotePrunedView& pv : result.pruned_online) {
+        std::printf("  %-40s ~%.4f (phase %zu)\n", pv.view_id.c_str(),
+                    pv.partial_utility, pv.pruned_at_phase);
+      }
+    }
+    std::printf("remote: %zu phases, %zu table scans, %llu rows%s%s%s\n",
+                result.profile.phases_executed, result.profile.table_scans,
+                static_cast<unsigned long long>(result.profile.rows_scanned),
+                result.profile.early_stopped ? ", early-stopped" : "",
+                result.profile.cancelled ? ", CANCELLED" : "",
+                result.profile.budget_exceeded ? ", BUDGET EXCEEDED" : "");
+    return Status::OK();
+  }
+
+  /// The streaming loop of one remote query: one printed line per progress
+  /// frame, with the armed \cancel applied. Finishing (and thus releasing)
+  /// the session stays with the caller.
+  Status DriveRemoteSession(const std::string& id) {
+    const size_t cancel_after = cancel_after_phases_;
+    cancel_after_phases_ = 0;  // one-shot
+    while (true) {
+      SEEDB_ASSIGN_OR_RETURN(std::optional<server::RemoteProgress> progress,
+                             remote_->Next(id));
+      if (!progress.has_value()) break;
+      std::printf("  phase %zu/%zu  %6.1fms  rows %llu/%llu  active %zu  "
+                  "pruned %zu  mem %llu B",
+                  progress->phase, progress->total_phases,
+                  progress->phase_seconds * 1e3,
+                  static_cast<unsigned long long>(progress->rows_scanned),
+                  static_cast<unsigned long long>(progress->total_rows),
+                  progress->views_active, progress->views_pruned,
+                  static_cast<unsigned long long>(progress->memory_bytes));
+      if (!progress->top.empty()) {
+        std::printf("  top: %s ~%.4f", progress->top[0].id.c_str(),
+                    progress->top[0].utility);
+      }
+      if (progress->early_stopped) std::printf("  [early stop]");
+      if (progress->cancelled) std::printf("  [cancelled]");
+      std::printf("\n");
+      if (progress->cancelled || progress->early_stopped) break;
+      if (cancel_after > 0 && progress->phase >= cancel_after) {
+        SEEDB_RETURN_IF_ERROR(remote_->Cancel(id));
+        std::printf("  \\cancel: scan cancelled after phase %zu\n",
+                    progress->phase);
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
   Status RunQuery(const std::string& sql) {
+    if (remote_.has_value()) return RunRemoteQuery(sql);
     SEEDB_ASSIGN_OR_RETURN(core::SeeDBRequest request,
                            core::SeeDBRequest::FromSql(sql));
     request.WithOptions(options_);
@@ -381,6 +521,10 @@ class Cli {
   /// Armed by \cancel: auto-cancel the next query's scan after this phase
   /// (0 = not armed). Lets scripted runs exercise mid-scan cancellation.
   size_t cancel_after_phases_ = 0;
+  /// Engaged by \connect: queries stream through this wire connection
+  /// instead of the in-process engine.
+  std::optional<server::Client> remote_;
+  size_t next_remote_id_ = 1;
 };
 
 }  // namespace

@@ -1,0 +1,193 @@
+// seedb_server — the SeeDB middleware as a standalone process (§5's
+// deployment shape): load data into the embedded engine, then serve
+// streaming recommendation sessions over the line-delimited JSON protocol
+// (src/server/protocol.h) on a unix-domain or TCP socket.
+//
+//   seedb_server --unix /tmp/seedb.sock --demo
+//   seedb_server --port 7265 --synthetic 100000,5,2,25,42
+//   seedb_server --port 0 --csv sales=data.csv     # 0 = ephemeral, printed
+//
+// Stops cleanly on SIGINT/SIGTERM: in-flight scans are cancelled at morsel
+// granularity, connections drained, and the socket removed. Drive it with
+// the client library (src/server/client.h), the CLI's \connect, or netcat:
+//
+//   echo '{"op":"open","id":"s1","sql":"SELECT * FROM orders WHERE ..."}' \
+//     | nc -U /tmp/seedb.sock
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "data/elections.h"
+#include "data/medical.h"
+#include "data/store_orders.h"
+#include "data/synthetic.h"
+#include "db/csv.h"
+#include "db/engine.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace seedb;  // NOLINT
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--unix PATH | --port N] [--demo] [--csv NAME=FILE]...\n"
+      "          [--synthetic ROWS[,DIMS[,MEASURES[,CARDINALITY[,SEED]]]]]\n"
+      "  --unix PATH   listen on a unix-domain socket (removed on exit)\n"
+      "  --port N      listen on TCP 127.0.0.1:N (0 = ephemeral, printed)\n"
+      "  --demo        load the demo datasets (orders, elections, medical)\n"
+      "  --csv N=F     load CSV file F as table N (schema inferred)\n"
+      "  --synthetic   load a synthetic benchmark table named 'synth'\n"
+      "With no data flags, --demo is implied (a server with no tables "
+      "answers every open with not_found).\n",
+      argv0);
+  return 2;
+}
+
+Status LoadDemo(db::Catalog* catalog) {
+  SEEDB_ASSIGN_OR_RETURN(data::DemoDataset orders, data::MakeStoreOrders({}));
+  catalog->PutTable(orders.table_name, std::move(orders.table));
+  std::printf("loaded demo table 'orders'\n");
+  SEEDB_ASSIGN_OR_RETURN(data::DemoDataset elections, data::MakeElections({}));
+  catalog->PutTable(elections.table_name, std::move(elections.table));
+  std::printf("loaded demo table 'elections'\n");
+  SEEDB_ASSIGN_OR_RETURN(data::DemoDataset medical, data::MakeMedical({}));
+  catalog->PutTable(medical.table_name, std::move(medical.table));
+  std::printf("loaded demo table 'medical'\n");
+  return Status::OK();
+}
+
+Status LoadSynthetic(db::Catalog* catalog, const std::string& spec_text) {
+  size_t rows = 100000, dims = 5, measures = 2, cardinality = 25;
+  uint64_t seed = 42;
+  if (!spec_text.empty()) {
+    if (std::sscanf(spec_text.c_str(), "%zu,%zu,%zu,%zu,%llu", &rows, &dims,
+                    &measures, &cardinality,
+                    reinterpret_cast<unsigned long long*>(&seed)) < 1) {
+      return Status::InvalidArgument("bad --synthetic spec: " + spec_text);
+    }
+  }
+  data::SyntheticSpec spec = data::SyntheticSpec::Simple(
+      rows, dims, measures, cardinality, seed);
+  SEEDB_ASSIGN_OR_RETURN(data::SyntheticDataset dataset,
+                         data::GenerateSynthetic(spec));
+  catalog->PutTable("synth", std::move(dataset.table));
+  std::printf("loaded synthetic table 'synth' (%zu rows, %zu dims, "
+              "%zu measures)\n",
+              rows, dims, measures);
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::ServerOptions options;
+  options.tcp_port = 0;
+  bool want_demo = false;
+  bool loaded_any = false;
+
+  db::Catalog catalog;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--unix") {
+      const char* value = next_value("--unix");
+      if (value == nullptr) return Usage(argv[0]);
+      options.unix_path = value;
+    } else if (arg == "--port") {
+      const char* value = next_value("--port");
+      if (value == nullptr) return Usage(argv[0]);
+      options.tcp_port = std::atoi(value);
+    } else if (arg == "--demo") {
+      want_demo = true;
+    } else if (arg == "--csv") {
+      const char* value = next_value("--csv");
+      if (value == nullptr) return Usage(argv[0]);
+      const char* eq = std::strchr(value, '=');
+      if (eq == nullptr) {
+        std::fprintf(stderr, "--csv wants NAME=FILE, got '%s'\n", value);
+        return Usage(argv[0]);
+      }
+      std::string name(value, eq - value);
+      auto table = db::ReadCsvInferSchema(eq + 1);
+      if (!table.ok()) {
+        std::fprintf(stderr, "cannot load %s: %s\n", eq + 1,
+                     table.status().ToString().c_str());
+        return 1;
+      }
+      size_t rows = table->num_rows();
+      catalog.PutTable(name, std::move(*table));
+      std::printf("loaded '%s' from %s (%zu rows)\n", name.c_str(), eq + 1,
+                  rows);
+      loaded_any = true;
+    } else if (arg == "--synthetic") {
+      // The spec value is optional: accept "--synthetic" at end-of-args or
+      // followed by another flag.
+      std::string spec_text;
+      if (i + 1 < argc && argv[i + 1][0] != '-') spec_text = argv[++i];
+      Status s = LoadSynthetic(&catalog, spec_text);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      loaded_any = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+
+  if (want_demo || !loaded_any) {
+    Status s = LoadDemo(&catalog);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  db::Engine engine(&catalog);
+  server::RecommendationServer server(&engine, options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  if (!options.unix_path.empty()) {
+    std::printf("seedb_server listening on unix socket %s\n",
+                options.unix_path.c_str());
+  } else {
+    std::printf("seedb_server listening on 127.0.0.1:%d\n", server.port());
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  server::ServerStats stats = server.stats();
+  std::printf("shutdown: %llu connections, %llu requests (%llu errors), "
+              "%llu sessions opened, %llu finished\n",
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.errors),
+              static_cast<unsigned long long>(stats.sessions_opened),
+              static_cast<unsigned long long>(stats.sessions_finished));
+  return 0;
+}
