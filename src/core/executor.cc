@@ -116,13 +116,42 @@ PhasedPlanExecution::PhasedPlanExecution(const ExecutionPlan* plan,
   phase_seconds_.reserve(total_phases_);
 }
 
+Result<double> AutoUtilityRange(db::Engine* engine, const ExecutionPlan& plan,
+                                DistanceMetric metric) {
+  if (plan.queries.empty()) return MetricUtilityRange(metric, 1);
+  SEEDB_ASSIGN_OR_RETURN(
+      const db::TableStats* stats,
+      engine->catalog()->GetStats(plan.queries[0].query.table));
+  double range = 0.0;
+  for (const PlannedQuery& pq : plan.queries) {
+    for (const ViewSlot& slot : pq.slots) {
+      size_t groups = 1;
+      if (Result<const db::ColumnStats*> col =
+              stats->Find(slot.view.dimension);
+          col.ok()) {
+        groups = (*col)->distinct_count + ((*col)->null_count > 0 ? 1 : 0);
+      }
+      range = std::max(range, MetricUtilityRange(metric, groups));
+    }
+  }
+  return range > 0.0 ? range : MetricUtilityRange(metric, 1);
+}
+
 Result<PhasedPlanExecution> PhasedPlanExecution::Begin(
     db::Engine* engine, const ExecutionPlan& plan, DistanceMetric metric,
     const ExecutorOptions& options) {
+  ExecutorOptions resolved = options;
+  // utility_range <= 0 asks for auto-calibration from the metric and the
+  // plan's per-view group counts (the EMD case the manual knob cannot
+  // cover); every CI computation downstream sees the resolved range.
+  if (resolved.online_pruning.utility_range <= 0.0) {
+    SEEDB_ASSIGN_OR_RETURN(resolved.online_pruning.utility_range,
+                           AutoUtilityRange(engine, plan, metric));
+  }
   SEEDB_ASSIGN_OR_RETURN(
       db::SharedScanSession session,
-      engine->BeginShared(PlanQueries(plan), MakeScanOptions(options)));
-  return PhasedPlanExecution(&plan, metric, options, std::move(session));
+      engine->BeginShared(PlanQueries(plan), MakeScanOptions(resolved)));
+  return PhasedPlanExecution(&plan, metric, resolved, std::move(session));
 }
 
 bool PhasedPlanExecution::done() const {
@@ -342,7 +371,10 @@ Result<std::vector<ViewResult>> PhasedPlanExecution::Finish(
     // the engine counters (one scan per batch, every query counted).
     report->queries_executed = plan_->queries.size();
     report->table_scans = 1;
-    report->rows_scanned = session_.stats().rows_scanned;
+    const db::SharedScanStats scan_stats = session_.stats();
+    report->rows_scanned = scan_stats.rows_scanned;
+    report->vectorized_morsels = scan_stats.vectorized_morsels;
+    report->agg_state_bytes = scan_stats.agg_state_bytes;
   }
   // A run that stopped before consuming every row (cancelled, or stopped
   // before the first phase) can hold views with no data at all; drop those
@@ -368,19 +400,43 @@ Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
             options.strategy == ExecutionStrategy::kSharedScan
                 ? SinglePhaseOptions(options)
                 : options));
+    bool budget_exceeded = false;
     while (!run.done()) {
       SEEDB_RETURN_IF_ERROR(run.Step(/*collect_estimates=*/false).status());
+      // Budget metering at the phase boundary (the one boundary a
+      // single-phase kSharedScan run has): a breach stops the scan here and
+      // the run finishes gracefully on the rows already merged.
+      if (options.memory_budget_bytes > 0 &&
+          run.agg_state_bytes() > options.memory_budget_bytes) {
+        budget_exceeded = true;
+        break;
+      }
     }
     Result<std::vector<ViewResult>> views = run.Finish(report);
     SEEDB_RETURN_IF_ERROR(views.status());
-    if (report) report->total_seconds = total_timer.ElapsedSeconds();
+    if (report) {
+      report->total_seconds = total_timer.ElapsedSeconds();
+      report->budget_exceeded = budget_exceeded;
+    }
     return views;
   }
 
   ViewProcessor processor(metric);
   bool cancelled = false;
+  bool budget_exceeded = false;
   size_t queries_executed = 0;
+  size_t agg_state_bytes = 0;
   std::vector<double> query_seconds(plan.queries.size(), 0.0);
+  // The per-query analogue of the fused scan's merged-state footprint: all
+  // result groups are retained in the processor until Finish, so the
+  // metered unit is the cumulative groups x aggregates x sizeof(AggState)
+  // across the queries executed so far.
+  const auto result_bytes = [](const PlannedQuery& pq,
+                               const std::vector<db::Table>& results) {
+    size_t groups = 0;
+    for (const db::Table& t : results) groups += t.num_rows();
+    return groups * pq.query.aggregates.size() * sizeof(db::AggState);
+  };
   if (options.parallelism <= 1) {
     for (size_t i = 0; i < plan.queries.size(); ++i) {
       if (CancelRequested(options)) {
@@ -392,12 +448,19 @@ Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
                              engine->Execute(plan.queries[i].query));
       query_seconds[i] = qt.ElapsedSeconds();
       ++queries_executed;
+      agg_state_bytes += result_bytes(plan.queries[i], results);
       SEEDB_RETURN_IF_ERROR(
           processor.Consume(plan.queries[i], std::move(results)));
+      if (options.memory_budget_bytes > 0 &&
+          agg_state_bytes > options.memory_budget_bytes) {
+        budget_exceeded = true;
+        break;
+      }
     }
   } else {
     // Parallel execution: queries run concurrently on the pool; consumption
-    // (cheap) is serialized under a mutex.
+    // (cheap) is serialized under a mutex. A budget breach stops further
+    // queries from being issued, like cancellation.
     ThreadPool pool(options.parallelism);
     std::mutex mu;
     Status first_error = Status::OK();
@@ -406,6 +469,10 @@ Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
         std::lock_guard<std::mutex> lock(mu);
         cancelled = true;
         return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (budget_exceeded) return;
       }
       Stopwatch qt;
       auto result = engine->Execute(plan.queries[i].query);
@@ -418,23 +485,32 @@ Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
         return;
       }
       if (first_error.ok()) {
+        agg_state_bytes += result_bytes(plan.queries[i], *result);
         Status s =
             processor.Consume(plan.queries[i], std::move(result).ValueOrDie());
         if (!s.ok()) first_error = s;
+        if (options.memory_budget_bytes > 0 &&
+            agg_state_bytes > options.memory_budget_bytes) {
+          budget_exceeded = true;
+        }
       }
     });
     if (!first_error.ok()) return first_error;
   }
 
-  // A cancelled per-query run may hold views with only one half consumed
-  // (the other query never ran); those are dropped rather than scored.
-  SEEDB_ASSIGN_OR_RETURN(std::vector<ViewResult> results,
-                         processor.Finish(/*allow_partial=*/cancelled));
+  // A cancelled or budget-stopped per-query run may hold views with only
+  // one half consumed (the other query never ran); those are dropped rather
+  // than scored.
+  SEEDB_ASSIGN_OR_RETURN(
+      std::vector<ViewResult> results,
+      processor.Finish(/*allow_partial=*/cancelled || budget_exceeded));
   if (report) {
     report->total_seconds = total_timer.ElapsedSeconds();
     report->query_seconds = std::move(query_seconds);
     report->cancelled = cancelled;
+    report->budget_exceeded = budget_exceeded;
     report->queries_executed = queries_executed;
+    report->agg_state_bytes = agg_state_bytes;
   }
   return results;
 }

@@ -70,6 +70,15 @@ struct ExecutorOptions {
   /// far (fused strategies: every survivor, estimated over the rows seen)
   /// and sets ExecutionReport::cancelled. nullptr = not cancellable.
   const std::atomic<bool>* cancel = nullptr;
+  /// Cap on the plan's aggregation-state footprint in bytes; 0 = unlimited.
+  /// Fused strategies meter the scan's merged agg state at every phase
+  /// boundary (one boundary for kSharedScan); kPerQuery meters the
+  /// cumulative groups x aggregates x sizeof(AggState) of the results
+  /// retained so far and stops issuing queries on a breach. Either way the
+  /// run ends gracefully with ExecutionReport::budget_exceeded set and
+  /// partial results over the work already done — the same contract as
+  /// SeeDBOptions::memory_budget_bytes under the phased session.
+  size_t memory_budget_bytes = 0;
 };
 
 /// Latency breakdown of one plan execution. Which fields are populated
@@ -113,6 +122,19 @@ struct ExecutionReport {
   size_t queries_executed = 0;
   size_t table_scans = 0;
   uint64_t rows_scanned = 0;
+  /// Morsels of the fused pass whose inner loop ran the vectorized kernels
+  /// (db/vec/) for at least one grouping set; 0 under kPerQuery or when
+  /// every set fell back to the hash path.
+  uint64_t vectorized_morsels = 0;
+  /// Aggregation-state footprint of the run in bytes: the fused scan's
+  /// merged state, or the cumulative groups x aggregates x sizeof(AggState)
+  /// of per-query results — what memory_budget_bytes is metered against.
+  size_t agg_state_bytes = 0;
+  /// The run stopped before completing every planned unit of work because
+  /// the aggregation-state footprint crossed
+  /// ExecutorOptions::memory_budget_bytes; results cover the work finished
+  /// before the breach.
+  bool budget_exceeded = false;
 
   double MeanQuerySeconds() const;
   double MaxQuerySeconds() const;
@@ -261,6 +283,14 @@ class PhasedPlanExecution {
   std::vector<std::string> last_top_ids_;
   size_t stable_streak_ = 0;
 };
+
+/// Resolves OnlinePruningOptions::utility_range <= 0 ("auto-calibrate"):
+/// the largest MetricUtilityRange(metric, group_count) across `plan`'s
+/// views, with each view's group count taken from catalog statistics of the
+/// plan's table (dimension distinct count, +1 when the column holds nulls).
+/// Exposed for tests and benches; PhasedPlanExecution::Begin applies it.
+Result<double> AutoUtilityRange(db::Engine* engine, const ExecutionPlan& plan,
+                                DistanceMetric metric);
 
 /// Executes `plan` against `engine` and scores every view with `metric`.
 /// On success `report` (optional) carries the latency breakdown. Under

@@ -146,4 +146,32 @@ Result<double> Distance(const std::vector<double>& p,
   return Status::Internal("unreachable");
 }
 
+double MetricUtilityRange(DistanceMetric metric, size_t group_count) {
+  const double groups = static_cast<double>(std::max<size_t>(group_count, 1));
+  switch (metric) {
+    case DistanceMetric::kEarthMovers:
+      // Worst case: all mass at opposite ends of the G-bin ground line,
+      // |CDF diff| = 1 over G-1 prefixes. A 1-bin space has diameter 0 but
+      // the bound must stay positive for the CI math, hence the floor of 1.
+      return std::max(1.0, groups - 1.0);
+    case DistanceMetric::kEuclidean:
+      // Disjoint point masses: sqrt(1^2 + 1^2).
+      return std::sqrt(2.0);
+    case DistanceMetric::kKullbackLeibler:
+      // Zero comparison bins are smoothed to kKlEpsilon, so
+      // sum p_i * log(p_i / q_i') <= log(1 / kKlEpsilon).
+      return std::log(1.0 / kKlEpsilon);
+    case DistanceMetric::kJensenShannon:
+      // JS distance with natural log is bounded by sqrt(ln 2).
+      return std::sqrt(std::log(2.0));
+    case DistanceMetric::kL1:
+      return 2.0;  // 2x total variation
+    case DistanceMetric::kChebyshev:
+      return 1.0;
+    case DistanceMetric::kHellinger:
+      return 1.0;
+  }
+  return 2.0;
+}
+
 }  // namespace seedb::core

@@ -46,6 +46,15 @@ const std::vector<DistanceMetric>& AllDistanceMetrics();
 Result<double> Distance(const std::vector<double>& p,
                         const std::vector<double>& q, DistanceMetric metric);
 
+/// Tight upper bound on `metric` over two probability vectors of
+/// `group_count` bins — the Hoeffding utility range the online pruner's
+/// confidence intervals scale with (core/online_pruning.h). Most shipped
+/// metrics have an O(1) diameter; EMD's grows with the group count (point
+/// masses at opposite ends of a G-bin ground line are G-1 apart), which is
+/// why a manual constant knob cannot be right for EMD across views with
+/// different dimension cardinalities.
+double MetricUtilityRange(DistanceMetric metric, size_t group_count);
+
 /// Epsilon used to smooth zero bins in KL divergence.
 inline constexpr double kKlEpsilon = 1e-9;
 

@@ -47,7 +47,12 @@ size_t OnlinePruningState::num_active() const {
 
 double OnlinePruningState::ConfidenceHalfWidth(
     const OnlinePruningOptions& options, size_t phases_observed) {
-  if (options.delta <= 0.0 || phases_observed == 0) {
+  // utility_range <= 0 means "auto, not yet resolved" (the phased executor
+  // resolves it from the metric and the plan's group counts at Begin); an
+  // unresolved range must never read as zero-width intervals, which would
+  // prune everything below the top k at the first boundary.
+  if (options.delta <= 0.0 || options.utility_range <= 0.0 ||
+      phases_observed == 0) {
     return std::numeric_limits<double>::infinity();
   }
   return options.utility_range *

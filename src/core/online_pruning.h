@@ -58,9 +58,16 @@ struct OnlinePruningOptions {
   /// = wider intervals = more conservative pruning; delta <= 0 means "never
   /// wrong", i.e. intervals are infinite and nothing is ever pruned.
   double delta = 0.05;
-  /// Range of the utility metric for the Hoeffding bound. All shipped
-  /// metrics on normalized distributions are O(1); 2.0 safely covers EMD /
-  /// L1 (bounded by 2x total variation).
+  /// Range of the utility metric for the Hoeffding bound. 0 (or negative)
+  /// means auto-calibrate: the phased executor resolves it at Begin to the
+  /// largest MetricUtilityRange(metric, group_count) across the plan's
+  /// views, with per-dimension group counts from catalog statistics — the
+  /// right behavior for EMD, whose true range grows with the view's group
+  /// count (a manual constant is either unsound for wide dimensions or
+  /// over-conservative for narrow ones). An explicit positive value is used
+  /// as-is; the 2.0 default safely covers every O(1)-diameter metric
+  /// (L1 = 2x total variation is the widest). Until resolved, a
+  /// non-positive range yields infinite intervals (never prunes).
   double utility_range = 2.0;
   /// Views that must survive — the k of the top-k request. 0 disables
   /// pruning entirely (there is no target to prune toward).

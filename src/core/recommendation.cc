@@ -16,6 +16,10 @@ std::string ExecutionProfile::ToString() const {
                       phases_executed, views_pruned_online,
                       examined_view_count);
   }
+  if (vectorized_morsels > 0) {
+    s += StringPrintf(" | vectorized morsels: %llu",
+                      static_cast<unsigned long long>(vectorized_morsels));
+  }
   if (early_stopped) s += " | early-stopped (CI-stable top-k)";
   if (cancelled) s += " | CANCELLED (partial results)";
   if (budget_exceeded) s += " | MEMORY BUDGET EXCEEDED (partial results)";

@@ -47,6 +47,10 @@ struct ExecutionProfile {
   size_t queries_issued = 0;
   size_t table_scans = 0;
   uint64_t rows_scanned = 0;
+  /// Morsels of the fused scan whose inner loop ran the vectorized kernels
+  /// (db/vec/) — 0 under per-query execution or when every grouping set
+  /// fell back to the hash path.
+  uint64_t vectorized_morsels = 0;
   /// The scan stopped before the last requested phase because the top-k was
   /// CI-stable; utilities are estimates over the rows seen.
   bool early_stopped = false;

@@ -78,13 +78,15 @@ struct SeeDBOptions {
   size_t sample_rows = 100000;
   uint64_t sample_seed = 0;
 
-  /// Per-session cap on the merged aggregation-state footprint (bytes) of
-  /// the fused scan — the working-memory trade-off §3.3 describes, made a
-  /// hard limit so one greedy session cannot starve a multi-tenant server.
-  /// Metered at phase boundaries under kPhasedSharedScan: the Next() whose
-  /// phase pushed the footprint past the budget returns a graceful error,
-  /// and Finish() assembles partial results from the rows already scanned
-  /// (profile.budget_exceeded = true). 0 = unlimited.
+  /// Per-session cap on the run's aggregation-state footprint (bytes) — the
+  /// working-memory trade-off §3.3 describes, made a hard limit so one
+  /// greedy session cannot starve a multi-tenant server. Enforced under
+  /// every strategy: the fused strategies meter the scan's merged state at
+  /// phase boundaries (one boundary for kSharedScan); kPerQuery meters the
+  /// cumulative per-query result state and stops issuing queries on a
+  /// breach. The Next() that observed the breach returns a graceful
+  /// OutOfRange, and Finish() assembles partial results from the work
+  /// already completed (profile.budget_exceeded = true). 0 = unlimited.
   size_t memory_budget_bytes = 0;
 };
 

@@ -135,6 +135,10 @@ ExecutorOptions RecommendationSession::ExecOptions() const {
     exec.online_pruning.keep_k = options_.k;
   }
   exec.cancel = cancel_.get();
+  // The blocking strategies enforce the session budget inside ExecutePlan
+  // (the phased session meters it itself at phase boundaries — CheckBudget —
+  // so PhasedPlanExecution ignores this field).
+  exec.memory_budget_bytes = options_.memory_budget_bytes;
   return exec;
 }
 
@@ -233,6 +237,17 @@ Result<std::optional<ProgressUpdate>> RecommendationSession::NextBlocking() {
   executed_ = true;
   blocking_results_ = std::move(results);
   if (report_.cancelled) observed_cancel_ = true;
+  if (report_.budget_exceeded) {
+    // Same contract as the phased path: the Next() that observed the breach
+    // yields no update — the graceful error IS the report — and Finish()
+    // assembles partial results from the work completed before it.
+    budget_exceeded_ = true;
+    return Status::OutOfRange(StringPrintf(
+        "session memory budget exceeded: aggregation state is %zu bytes, "
+        "budget %zu bytes (Finish() returns partial results over the work "
+        "completed so far)",
+        report_.agg_state_bytes, options_.memory_budget_bytes));
+  }
 
   ProgressUpdate update;
   update.phase = 1;
@@ -296,8 +311,11 @@ Result<RecommendationSet> RecommendationSession::Finish() {
     if (!executed_) {
       if (sink_) {
         // Route through NextBlocking() so the single update reaches the
-        // sink even when the caller skips straight to Finish().
-        SEEDB_RETURN_IF_ERROR(NextBlocking().status());
+        // sink even when the caller skips straight to Finish(). A budget
+        // breach surfaces there as OutOfRange; Finish() still assembles the
+        // partial results like the phased drain does.
+        Status drive = NextBlocking().status();
+        if (!drive.ok() && !budget_exceeded_) return drive;
         results = std::move(*blocking_results_);
       } else {
         SEEDB_ASSIGN_OR_RETURN(
@@ -305,6 +323,7 @@ Result<RecommendationSet> RecommendationSession::Finish() {
             ExecutePlan(engine_, *plan_, options_.metric, ExecOptions(),
                         &report_));
         if (report_.cancelled) observed_cancel_ = true;
+        if (report_.budget_exceeded) budget_exceeded_ = true;
       }
     } else {
       results = std::move(*blocking_results_);
@@ -356,6 +375,7 @@ Result<RecommendationSet> RecommendationSession::Finish() {
     set.profile.queries_issued = report_.queries_executed;
     set.profile.table_scans = report_.table_scans;
     set.profile.rows_scanned = report_.rows_scanned;
+    set.profile.vectorized_morsels = report_.vectorized_morsels;
   } else {
     // kPerQuery: engine-wide counter deltas (no per-run accounting there;
     // concurrent runs may interleave).

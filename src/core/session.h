@@ -134,8 +134,9 @@ class SeeDBRequest {
     options_.sample_seed = sample_seed;
     return *this;
   }
-  /// Per-session cap on the fused scan's merged aggregation-state footprint
-  /// (bytes), metered at phase boundaries; see
+  /// Per-session cap on the run's aggregation-state footprint (bytes):
+  /// the fused scan's merged state, metered at phase boundaries, or the
+  /// cumulative per-query result state under kPerQuery; see
   /// SeeDBOptions::memory_budget_bytes. 0 = unlimited.
   SeeDBRequest& WithMemoryBudget(size_t budget_bytes) {
     options_.memory_budget_bytes = budget_bytes;
@@ -186,8 +187,8 @@ struct ProgressUpdate {
   /// The Hoeffding half-width behind the provisional bounds.
   double ci_half_width = 0.0;
   /// Merged aggregation-state footprint of the scan after this phase, in
-  /// bytes — what SeeDBOptions::memory_budget_bytes meters (0 under the
-  /// blocking strategies, which do not surface per-run footprints).
+  /// bytes — what SeeDBOptions::memory_budget_bytes meters (0 mid-run under
+  /// the blocking strategies, whose footprint is only known at the end).
   uint64_t memory_bytes = 0;
   /// Provisional top-k, utility descending. Empty when this boundary's
   /// estimates were not computable (e.g. no row matched the selection yet).

@@ -65,6 +65,10 @@ class Column {
   const std::vector<int64_t>& int64_data() const { return int64_data_; }
   const std::vector<double>& double_data() const { return double_data_; }
   const std::vector<int32_t>& codes() const { return codes_; }
+  /// Raw validity bytes (1 = valid, 0 = null); EMPTY means "no nulls". The
+  /// vectorized kernels (db/vec/) take this as a nullable pointer:
+  /// `validity().empty() ? nullptr : validity().data()`.
+  const std::vector<uint8_t>& validity() const { return validity_; }
 
   /// Dictionary for string columns.
   size_t dict_size() const { return dict_.size(); }

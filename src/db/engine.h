@@ -31,6 +31,10 @@ struct EngineStatsSnapshot {
   uint64_t table_scans = 0;
   /// Fused shared-scan batches executed (each contributed one table scan).
   uint64_t shared_scan_batches = 0;
+  /// Morsels of those batches whose inner loop ran the vectorized kernels
+  /// (db/vec/) for at least one grouping set — 0 when every set fell back
+  /// to the hash path.
+  uint64_t vectorized_morsels = 0;
   uint64_t rows_scanned = 0;
   uint64_t groups_created = 0;
   /// Largest per-query aggregation working set seen.
@@ -168,6 +172,7 @@ class Engine {
   std::atomic<uint64_t> queries_executed_{0};
   std::atomic<uint64_t> table_scans_{0};
   std::atomic<uint64_t> shared_scan_batches_{0};
+  std::atomic<uint64_t> vectorized_morsels_{0};
   std::atomic<uint64_t> rows_scanned_{0};
   std::atomic<uint64_t> groups_created_{0};
   std::atomic<uint64_t> peak_agg_state_bytes_{0};

@@ -3,27 +3,41 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 
 #include "db/group_by.h"
+#include "db/vec/aggregate_kernels.h"
+#include "db/vec/group_ids.h"
 #include "util/thread_pool.h"
 
 namespace seedb::db {
 namespace {
 
 // One grouping set of one query, resolved against the table for the scan.
-// Single string dimensions (the common SeeDB case) take a dense path keyed
-// by dictionary code; everything else hashes packed key tuples.
+// Three inner-loop modes, decided once at Init:
+//   * vectorized — every grouping column is dictionary-coded and the
+//     composed group space fits the dense-slot budget: group ids come from
+//     the db/vec/ radix kernels and aggregates accumulate into flat slabs;
+//   * scalar dense — exactly one string column but vectorization is off (or
+//     the dictionary exceeds the budget): per-row code-indexed array;
+//   * hash — anything else: packed key tuples row at a time.
 struct SetSpec {
   std::vector<const Column*> cols;
   std::vector<size_t> col_indices;
-  /// Set iff the set is exactly one string column.
+  /// Set iff the set runs the scalar dense path (one string column).
   const Column* dense_col = nullptr;
-  /// dict_size() + 1; the last slot stands for null.
+  /// Group-space slot count for either dense mode (scalar: dict_size() + 1
+  /// with the last slot standing for null; vectorized: the radix product of
+  /// per-column slot counts). 0 for the hash path.
   size_t dense_slots = 0;
+  /// True when the set takes the vectorized kernels.
+  bool vectorized = false;
+  /// Raw column arrays for the vectorized group-id kernels.
+  std::vector<vec::DenseDim> dims;
 };
 
 // One aggregate of one query, resolved for the scan.
@@ -65,8 +79,15 @@ struct LocalGroups {
   }
 };
 
-// Everything one worker accumulates during one phase: groups[q][s].
-using WorkerState = std::vector<std::vector<LocalGroups>>;
+// Per-worker accumulation state for one (query, grouping set): the hash /
+// scalar-dense LocalGroups or the vectorized flat slab, per the set's mode.
+struct SetAccum {
+  LocalGroups lg;
+  vec::DenseAggTable dense;
+};
+
+// Everything one worker accumulates during one phase: accums[q][s].
+using WorkerState = std::vector<std::vector<SetAccum>>;
 
 WorkerState MakeWorkerState(const std::vector<QuerySpec>& specs,
                             const std::vector<uint8_t>& active) {
@@ -75,11 +96,17 @@ WorkerState MakeWorkerState(const std::vector<QuerySpec>& specs,
     if (!active[q]) continue;
     state[q].resize(specs[q].sets.size());
     for (size_t s = 0; s < specs[q].sets.size(); ++s) {
-      LocalGroups& lg = state[q][s];
-      if (specs[q].sets[s].dense_col) {
-        lg.dense_to_local.assign(specs[q].sets[s].dense_slots, -1);
+      const SetSpec& set = specs[q].sets[s];
+      SetAccum& accum = state[q][s];
+      if (set.vectorized) {
+        accum.dense.Init(static_cast<uint32_t>(set.dense_slots),
+                         static_cast<uint32_t>(specs[q].aggs.size()));
+        continue;
       }
-      lg.states.resize(specs[q].aggs.size());
+      if (set.dense_col) {
+        accum.lg.dense_to_local.assign(set.dense_slots, -1);
+      }
+      accum.lg.states.resize(specs[q].aggs.size());
     }
   }
   return state;
@@ -135,6 +162,84 @@ void ScanMorsel(const QuerySpec& spec, const SetSpec& set, LocalGroups* lg,
   }
 }
 
+// Per-worker, per-morsel scratch for the vectorized inner loop: the
+// selection vectors built from each distinct mask this morsel (shared by
+// every query whose combined mask is the same cached vector — pointer
+// identity, courtesy of MaskCache) and the reusable group-id buffer.
+struct VecScratch {
+  std::vector<std::pair<const std::vector<uint8_t>*, vec::SelectionVector>>
+      selections;
+  std::vector<uint32_t> gids;
+
+  void StartMorsel() { selections.clear(); }
+
+  const vec::SelectionVector* Selection(const std::vector<uint8_t>* mask,
+                                        size_t lo, size_t hi) {
+    for (auto& [m, sel] : selections) {
+      if (m == mask) return &sel;
+    }
+    selections.emplace_back(mask, vec::SelectionVector{});
+    vec::SelectionVector* sel = &selections.back().second;
+    vec::SelectFromMask(mask->data(), lo, hi, sel);
+    return sel;
+  }
+};
+
+// The vectorized inner loop for one (query, set) over one morsel: group ids
+// once (radix kernel), group creation once (touch kernel), then one typed
+// flat-slab kernel per aggregate. `sel == nullptr` means the query selects
+// the whole morsel and the kernels walk [lo, hi) directly.
+void ScanMorselVec(const QuerySpec& spec, const SetSpec& set, SetAccum* accum,
+                   size_t lo, size_t hi, const vec::SelectionVector* sel,
+                   VecScratch* scratch) {
+  const size_t n = sel != nullptr ? sel->size() : hi - lo;
+  if (n == 0) return;
+  if (scratch->gids.size() < n) scratch->gids.resize(n);
+  uint32_t* gids = scratch->gids.data();
+  vec::DenseAggTable* t = &accum->dense;
+  if (sel != nullptr) {
+    vec::GroupIdsSel(set.dims.data(), set.dims.size(), *sel, gids);
+    vec::TouchGroupsSel(gids, *sel, t);
+  } else {
+    vec::GroupIdsRange(set.dims.data(), set.dims.size(), lo, hi, gids);
+    vec::TouchGroupsRange(gids, lo, n, t);
+  }
+  for (size_t j = 0; j < spec.aggs.size(); ++j) {
+    const AggRuntime& a = spec.aggs[j];
+    const uint8_t* filter = a.filter != nullptr ? a.filter->data() : nullptr;
+    const uint8_t* validity =
+        (a.input != nullptr && !a.input->validity().empty())
+            ? a.input->validity().data()
+            : nullptr;
+    AggState* slab = t->slab(static_cast<uint32_t>(j));
+    if (a.count_only) {
+      // COUNT(*) has no input (validity nullptr counts every selected row);
+      // COUNT(col) skips null inputs via the column's validity bytes.
+      if (sel != nullptr) {
+        vec::AccumulateCountSel(gids, *sel, filter, validity, slab);
+      } else {
+        vec::AccumulateCountRange(gids, lo, n, filter, validity, slab);
+      }
+      continue;
+    }
+    if (a.input->type() == ValueType::kInt64) {
+      const int64_t* data = a.input->int64_data().data();
+      if (sel != nullptr) {
+        vec::AccumulateInt64Sel(gids, *sel, data, filter, validity, slab);
+      } else {
+        vec::AccumulateInt64Range(gids, lo, n, data, filter, validity, slab);
+      }
+    } else {
+      const double* data = a.input->double_data().data();
+      if (sel != nullptr) {
+        vec::AccumulateDoubleSel(gids, *sel, data, filter, validity, slab);
+      } else {
+        vec::AccumulateDoubleRange(gids, lo, n, data, filter, validity, slab);
+      }
+    }
+  }
+}
+
 // One worker: steal morsels off the shared counter until none remain or the
 // cancel token fires. `morsel_ids` lists the morsels of the phase grid this
 // pass covers — the full grid on a normal phase, only the missed morsels
@@ -152,8 +257,10 @@ void WorkerLoop(const std::vector<QuerySpec>& specs,
                 std::atomic<size_t>* next_morsel,
                 const std::atomic<bool>* cancel,
                 std::atomic<size_t>* morsels_done,
+                std::atomic<size_t>* vec_morsels,
                 std::vector<uint8_t>* completed, WorkerState* state) {
   std::vector<int64_t> key_scratch;
+  VecScratch vec_scratch;
   for (size_t i = next_morsel->fetch_add(1, std::memory_order_relaxed);
        i < morsel_ids.size();
        i = next_morsel->fetch_add(1, std::memory_order_relaxed)) {
@@ -161,15 +268,28 @@ void WorkerLoop(const std::vector<QuerySpec>& specs,
     const size_t m = morsel_ids[i];
     size_t lo = row_begin + m * morsel_rows;
     size_t hi = std::min(row_end, lo + morsel_rows);
+    vec_scratch.StartMorsel();
+    bool used_vec = false;
     for (size_t q = 0; q < specs.size(); ++q) {
       if (!active[q]) continue;
       for (size_t s = 0; s < specs[q].sets.size(); ++s) {
-        ScanMorsel(specs[q], specs[q].sets[s], &(*state)[q][s], lo, hi,
-                   &key_scratch);
+        const SetSpec& set = specs[q].sets[s];
+        if (set.vectorized) {
+          const vec::SelectionVector* sel =
+              specs[q].mask != nullptr
+                  ? vec_scratch.Selection(specs[q].mask, lo, hi)
+                  : nullptr;
+          ScanMorselVec(specs[q], set, &(*state)[q][s], lo, hi, sel,
+                        &vec_scratch);
+          used_vec = true;
+          continue;
+        }
+        ScanMorsel(specs[q], set, &(*state)[q][s].lg, lo, hi, &key_scratch);
       }
     }
     (*completed)[m] = 1;
     morsels_done->fetch_add(1, std::memory_order_relaxed);
+    if (used_vec) vec_morsels->fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -209,6 +329,28 @@ void MergeWorkerInto(const SetSpec& set, size_t num_aggs,
     }
     for (size_t j = 0; j < num_aggs; ++j) {
       global->states[j][gid].Merge(lg.states[j][l]);
+    }
+  }
+}
+
+// Folds one worker's vectorized flat slab into the persistent global state:
+// touched slots only, in first-seen order — the same group-creation order as
+// the scalar path's lazy creation, so global group ids (and therefore the
+// float merge order) are identical whichever inner loop ran. That is what
+// makes dense and hash paths bit-identical, not merely close.
+void MergeDenseInto(size_t num_aggs, const vec::DenseAggTable& t,
+                    GlobalGroups* global) {
+  for (size_t i = 0; i < t.touched.size(); ++i) {
+    const uint32_t slot = t.touched[i];
+    int32_t& slot_gid = global->dense_to_global[slot];
+    if (slot_gid < 0) {
+      slot_gid = static_cast<int32_t>(global->rep_row.size());
+      global->rep_row.push_back(t.rep_row[i]);
+      for (auto& per_agg : global->states) per_agg.emplace_back();
+    }
+    for (size_t j = 0; j < num_aggs; ++j) {
+      global->states[j][slot_gid].Merge(
+          t.slab(static_cast<uint32_t>(j))[slot]);
     }
   }
 }
@@ -368,16 +510,45 @@ class SharedScanState::Impl {
 
       for (const auto& set : query.grouping_sets) {
         SetSpec resolved;
+        bool all_dict = true;
         for (const auto& g : set) {
           SEEDB_ASSIGN_OR_RETURN(size_t idx, table_.schema().FindColumn(g));
           resolved.col_indices.push_back(idx);
-          resolved.cols.push_back(&table_.column(idx));
+          const Column* col = &table_.column(idx);
+          resolved.cols.push_back(col);
+          if (col->type() == ValueType::kString) {
+            vec::DenseDim dim;
+            dim.codes = col->codes().data();
+            dim.validity =
+                col->validity().empty() ? nullptr : col->validity().data();
+            dim.slots = static_cast<uint32_t>(col->dict_size() + 1);
+            resolved.dims.push_back(dim);
+          } else {
+            all_dict = false;
+          }
         }
-        if (resolved.cols.size() == 1 &&
-            resolved.cols[0]->type() == ValueType::kString) {
+        // Kernel selection: dense vectorized kernels when every grouping
+        // column is dictionary-coded and the radix-composed group space
+        // fits the slot budget (the empty set — a global aggregate — is a
+        // 1-slot dense space); single oversized string dimensions keep the
+        // scalar dense path; everything else hashes packed key tuples.
+        // The budget is clamped to what the uint32 gid kernels can index —
+        // a larger configured budget must fall back to the hash path, not
+        // truncate slot counts into out-of-bounds slab writes.
+        const size_t slot_budget =
+            std::min<size_t>(options.dense_slot_budget,
+                             std::numeric_limits<uint32_t>::max());
+        const size_t dense_slots =
+            all_dict ? vec::DenseSlotCount(resolved.dims, slot_budget) : 0;
+        if (options.enable_vectorized && all_dict && dense_slots > 0) {
+          resolved.vectorized = true;
+          resolved.dense_slots = dense_slots;
+        } else if (resolved.cols.size() == 1 &&
+                   resolved.cols[0]->type() == ValueType::kString) {
           resolved.dense_col = resolved.cols[0];
           resolved.dense_slots = resolved.dense_col->dict_size() + 1;
         }
+        if (!resolved.vectorized) resolved.dims.clear();
         spec.sets.push_back(std::move(resolved));
       }
       for (const auto& agg : query.aggregates) {
@@ -400,7 +571,7 @@ class SharedScanState::Impl {
       for (size_t s = 0; s < specs_[q].sets.size(); ++s) {
         GlobalGroups& global = globals_[q][s];
         global.states.resize(specs_[q].aggs.size());
-        if (specs_[q].sets[s].dense_col) {
+        if (specs_[q].sets[s].dense_slots > 0) {
           global.dense_to_global.assign(specs_[q].sets[s].dense_slots, -1);
         }
       }
@@ -584,9 +755,11 @@ class SharedScanState::Impl {
 
     std::atomic<size_t> next_morsel{0};
     std::atomic<size_t> morsels_done{0};
+    std::atomic<size_t> vec_morsels{0};
     if (threads == 1) {
       WorkerLoop(specs_, active_, row_begin, row_end, morsel_rows, ids,
-                 &next_morsel, cancel_, &morsels_done, completed, &workers[0]);
+                 &next_morsel, cancel_, &morsels_done, &vec_morsels, completed,
+                 &workers[0]);
     } else {
       // The pool persists across phases — spawning threads per phase would
       // bill their creation to every phase_seconds measurement.
@@ -597,9 +770,10 @@ class SharedScanState::Impl {
         WorkerState* state = &workers[t];
         futures.push_back(pool_->Submit([this, row_begin, row_end, morsel_rows,
                                          &ids, &next_morsel, &morsels_done,
-                                         completed, state] {
+                                         &vec_morsels, completed, state] {
           WorkerLoop(specs_, active_, row_begin, row_end, morsel_rows, ids,
-                     &next_morsel, cancel_, &morsels_done, completed, state);
+                     &next_morsel, cancel_, &morsels_done, &vec_morsels,
+                     completed, state);
         }));
       }
       for (auto& f : futures) f.get();
@@ -609,12 +783,18 @@ class SharedScanState::Impl {
       if (!active_[q]) continue;
       for (size_t s = 0; s < specs_[q].sets.size(); ++s) {
         for (const WorkerState& worker : workers) {
-          MergeWorkerInto(specs_[q].sets[s], specs_[q].aggs.size(),
-                          worker[q][s], &globals_[q][s]);
+          if (specs_[q].sets[s].vectorized) {
+            MergeDenseInto(specs_[q].aggs.size(), worker[q][s].dense,
+                           &globals_[q][s]);
+          } else {
+            MergeWorkerInto(specs_[q].sets[s], specs_[q].aggs.size(),
+                            worker[q][s].lg, &globals_[q][s]);
+          }
         }
       }
     }
     threads_used_ = std::max(threads_used_, threads);
+    vectorized_morsels_ += vec_morsels.load(std::memory_order_relaxed);
     return morsels_done.load(std::memory_order_relaxed);
   }
 
@@ -647,6 +827,7 @@ class SharedScanState::Impl {
     SharedScanStats s;
     s.rows_scanned = rows_scanned_;
     s.morsels = morsels_;
+    s.vectorized_morsels = vectorized_morsels_;
     s.threads_used = threads_used_;
     s.phases = phases_;
     s.last_phase_morsel_rows = last_phase_morsel_rows_;
@@ -698,6 +879,7 @@ class SharedScanState::Impl {
 
   size_t rows_scanned_ = 0;
   size_t morsels_ = 0;
+  size_t vectorized_morsels_ = 0;
   size_t threads_used_ = 0;
   size_t phases_ = 0;
   size_t last_phase_morsel_rows_ = 0;

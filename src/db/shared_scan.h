@@ -6,11 +6,14 @@
 // of that sharing argument is to stop scanning once per query altogether.
 // The table is split into fixed-size row ranges (morsels) handed to a worker
 // pool. Each worker keeps private partial aggregation states per
-// (query, grouping set) — dense arrays keyed by dictionary code for single
-// string dimensions, hash tables over packed key tuples otherwise — and the
-// partials are merged after each pass. WHERE / FILTER / sample masks are
-// evaluated once per distinct predicate across the whole batch, not once per
-// query.
+// (query, grouping set): categorical sets whose composed group space fits
+// the dense-slot budget take the vectorized kernels (db/vec/ — selection
+// vectors shared per distinct mask per morsel, dictionary codes radix-
+// composed straight to flat aggregation slabs), everything else hashes
+// packed key tuples row at a time. The partials are merged after each pass.
+// WHERE / FILTER / sample masks are evaluated once per distinct predicate
+// across the whole batch, not once per query. Both inner loops produce
+// bit-identical aggregates (pinned by tests/db/vec_equivalence_test.cc).
 //
 // Two entry points:
 //
@@ -57,6 +60,17 @@ struct SharedScanOptions {
   /// merges what was scanned, and the state refuses further phases. The
   /// pointee must outlive the scan; nullptr = not cancellable.
   const std::atomic<bool>* cancel = nullptr;
+  /// Vectorized morsel inner loop (db/vec/): WHERE masks become selection
+  /// vectors once per morsel, categorical grouping sets map dictionary codes
+  /// (radix-composed for multi-attribute sets) straight to flat aggregation
+  /// slabs — no packed-key hash. Off forces every grouping set onto the
+  /// hash / scalar-dense path; both paths produce bit-identical results.
+  bool enable_vectorized = true;
+  /// Largest composed group-space (product of per-column dict_size + 1) a
+  /// grouping set may have and still take the dense kernels; above this the
+  /// set falls back to the hash path. Bounds per-worker slab memory at
+  /// slots * aggregates * sizeof(AggState).
+  size_t dense_slot_budget = 16384;
 };
 
 /// The morsel size `morsel_rows = 0` resolves to: aim for a handful of
@@ -77,6 +91,10 @@ struct SharedScanStats {
   /// tables are live at once, the working-memory trade-off §3.3 describes.
   size_t agg_state_bytes = 0;
   size_t morsels = 0;
+  /// Morsels whose inner loop ran the vectorized kernels (dense group-id +
+  /// flat-slab aggregation, db/vec/) for at least one grouping set. 0 means
+  /// the fast path was never taken — every set fell back to the hash path.
+  size_t vectorized_morsels = 0;
   size_t threads_used = 0;
   /// RunPhase() calls executed (1 for the one-shot ExecuteSharedScan).
   size_t phases = 0;

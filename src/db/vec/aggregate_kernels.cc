@@ -1,0 +1,169 @@
+#include "db/vec/aggregate_kernels.h"
+
+namespace seedb::db::vec {
+namespace {
+
+// One instantiation per (filter, validity) presence: both predicates hoist
+// out of the row loop. The per-row update IS AggState::Add /
+// AddCountOnly (inlined from the header), so dense and hash paths stay
+// bit-identical by construction, not by a hand-kept copy.
+template <bool kFilter, bool kValid>
+void CountLoopRange(const uint32_t* gids, size_t row_begin, size_t n,
+                    const uint8_t* filter, const uint8_t* validity,
+                    AggState* slab) {
+  for (size_t k = 0; k < n; ++k) {
+    const size_t row = row_begin + k;
+    if (kFilter && !filter[row]) continue;
+    if (kValid && !validity[row]) continue;
+    slab[gids[k]].AddCountOnly();
+  }
+}
+
+template <bool kFilter, bool kValid>
+void CountLoopSel(const uint32_t* gids, const SelectionVector& sel,
+                  const uint8_t* filter, const uint8_t* validity,
+                  AggState* slab) {
+  for (size_t k = 0; k < sel.size(); ++k) {
+    const size_t row = sel[k];
+    if (kFilter && !filter[row]) continue;
+    if (kValid && !validity[row]) continue;
+    slab[gids[k]].AddCountOnly();
+  }
+}
+
+template <typename T, bool kFilter, bool kValid>
+void AccumLoopRange(const uint32_t* gids, size_t row_begin, size_t n,
+                    const T* data, const uint8_t* filter,
+                    const uint8_t* validity, AggState* slab) {
+  for (size_t k = 0; k < n; ++k) {
+    const size_t row = row_begin + k;
+    if (kFilter && !filter[row]) continue;
+    if (kValid && !validity[row]) continue;
+    slab[gids[k]].Add(static_cast<double>(data[row]));
+  }
+}
+
+template <typename T, bool kFilter, bool kValid>
+void AccumLoopSel(const uint32_t* gids, const SelectionVector& sel,
+                  const T* data, const uint8_t* filter,
+                  const uint8_t* validity, AggState* slab) {
+  for (size_t k = 0; k < sel.size(); ++k) {
+    const size_t row = sel[k];
+    if (kFilter && !filter[row]) continue;
+    if (kValid && !validity[row]) continue;
+    slab[gids[k]].Add(static_cast<double>(data[row]));
+  }
+}
+
+template <typename T>
+void AccumRange(const uint32_t* gids, size_t row_begin, size_t n,
+                const T* data, const uint8_t* filter, const uint8_t* validity,
+                AggState* slab) {
+  if (filter == nullptr && validity == nullptr) {
+    AccumLoopRange<T, false, false>(gids, row_begin, n, data, filter,
+                                    validity, slab);
+  } else if (filter == nullptr) {
+    AccumLoopRange<T, false, true>(gids, row_begin, n, data, filter, validity,
+                                   slab);
+  } else if (validity == nullptr) {
+    AccumLoopRange<T, true, false>(gids, row_begin, n, data, filter, validity,
+                                   slab);
+  } else {
+    AccumLoopRange<T, true, true>(gids, row_begin, n, data, filter, validity,
+                                  slab);
+  }
+}
+
+template <typename T>
+void AccumSel(const uint32_t* gids, const SelectionVector& sel, const T* data,
+              const uint8_t* filter, const uint8_t* validity, AggState* slab) {
+  if (filter == nullptr && validity == nullptr) {
+    AccumLoopSel<T, false, false>(gids, sel, data, filter, validity, slab);
+  } else if (filter == nullptr) {
+    AccumLoopSel<T, false, true>(gids, sel, data, filter, validity, slab);
+  } else if (validity == nullptr) {
+    AccumLoopSel<T, true, false>(gids, sel, data, filter, validity, slab);
+  } else {
+    AccumLoopSel<T, true, true>(gids, sel, data, filter, validity, slab);
+  }
+}
+
+}  // namespace
+
+void TouchGroupsRange(const uint32_t* gids, size_t row_begin, size_t n,
+                      DenseAggTable* t) {
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t slot = gids[k];
+    if (!t->seen[slot]) {
+      t->seen[slot] = 1;
+      t->touched.push_back(slot);
+      t->rep_row.push_back(static_cast<uint32_t>(row_begin + k));
+    }
+  }
+}
+
+void TouchGroupsSel(const uint32_t* gids, const SelectionVector& sel,
+                    DenseAggTable* t) {
+  for (size_t k = 0; k < sel.size(); ++k) {
+    const uint32_t slot = gids[k];
+    if (!t->seen[slot]) {
+      t->seen[slot] = 1;
+      t->touched.push_back(slot);
+      t->rep_row.push_back(sel[k]);
+    }
+  }
+}
+
+void AccumulateCountRange(const uint32_t* gids, size_t row_begin, size_t n,
+                          const uint8_t* filter, const uint8_t* validity,
+                          AggState* slab) {
+  if (filter == nullptr && validity == nullptr) {
+    CountLoopRange<false, false>(gids, row_begin, n, filter, validity, slab);
+  } else if (filter == nullptr) {
+    CountLoopRange<false, true>(gids, row_begin, n, filter, validity, slab);
+  } else if (validity == nullptr) {
+    CountLoopRange<true, false>(gids, row_begin, n, filter, validity, slab);
+  } else {
+    CountLoopRange<true, true>(gids, row_begin, n, filter, validity, slab);
+  }
+}
+
+void AccumulateCountSel(const uint32_t* gids, const SelectionVector& sel,
+                        const uint8_t* filter, const uint8_t* validity,
+                        AggState* slab) {
+  if (filter == nullptr && validity == nullptr) {
+    CountLoopSel<false, false>(gids, sel, filter, validity, slab);
+  } else if (filter == nullptr) {
+    CountLoopSel<false, true>(gids, sel, filter, validity, slab);
+  } else if (validity == nullptr) {
+    CountLoopSel<true, false>(gids, sel, filter, validity, slab);
+  } else {
+    CountLoopSel<true, true>(gids, sel, filter, validity, slab);
+  }
+}
+
+void AccumulateInt64Range(const uint32_t* gids, size_t row_begin, size_t n,
+                          const int64_t* data, const uint8_t* filter,
+                          const uint8_t* validity, AggState* slab) {
+  AccumRange(gids, row_begin, n, data, filter, validity, slab);
+}
+
+void AccumulateInt64Sel(const uint32_t* gids, const SelectionVector& sel,
+                        const int64_t* data, const uint8_t* filter,
+                        const uint8_t* validity, AggState* slab) {
+  AccumSel(gids, sel, data, filter, validity, slab);
+}
+
+void AccumulateDoubleRange(const uint32_t* gids, size_t row_begin, size_t n,
+                           const double* data, const uint8_t* filter,
+                           const uint8_t* validity, AggState* slab) {
+  AccumRange(gids, row_begin, n, data, filter, validity, slab);
+}
+
+void AccumulateDoubleSel(const uint32_t* gids, const SelectionVector& sel,
+                         const double* data, const uint8_t* filter,
+                         const uint8_t* validity, AggState* slab) {
+  AccumSel(gids, sel, data, filter, validity, slab);
+}
+
+}  // namespace seedb::db::vec

@@ -1,0 +1,85 @@
+#include "db/vec/group_ids.h"
+
+namespace seedb::db::vec {
+namespace {
+
+inline uint32_t SlotOf(const DenseDim& d, size_t row) {
+  return (d.validity != nullptr && !d.validity[row])
+             ? d.slots - 1
+             : static_cast<uint32_t>(d.codes[row]);
+}
+
+// Single-dimension loops with the validity branch hoisted: the common SeeDB
+// case (one categorical dimension per view) compiles down to a gather.
+void SingleDimRange(const DenseDim& d, size_t row_begin, size_t row_end,
+                    uint32_t* gids) {
+  if (d.validity == nullptr) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      gids[i - row_begin] = static_cast<uint32_t>(d.codes[i]);
+    }
+    return;
+  }
+  for (size_t i = row_begin; i < row_end; ++i) {
+    gids[i - row_begin] = SlotOf(d, i);
+  }
+}
+
+void SingleDimSel(const DenseDim& d, const SelectionVector& sel,
+                  uint32_t* gids) {
+  if (d.validity == nullptr) {
+    for (size_t k = 0; k < sel.size(); ++k) {
+      gids[k] = static_cast<uint32_t>(d.codes[sel[k]]);
+    }
+    return;
+  }
+  for (size_t k = 0; k < sel.size(); ++k) {
+    gids[k] = SlotOf(d, sel[k]);
+  }
+}
+
+}  // namespace
+
+size_t DenseSlotCount(const std::vector<DenseDim>& dims, size_t limit) {
+  size_t slots = 1;
+  for (const DenseDim& d : dims) {
+    if (d.slots == 0) return 0;
+    if (slots > limit / d.slots) return 0;  // overflow-safe product cap
+    slots *= d.slots;
+  }
+  return slots <= limit ? slots : 0;
+}
+
+void GroupIdsRange(const DenseDim* dims, size_t num_dims, size_t row_begin,
+                   size_t row_end, uint32_t* gids) {
+  if (num_dims == 0) {
+    for (size_t i = row_begin; i < row_end; ++i) gids[i - row_begin] = 0;
+    return;
+  }
+  if (num_dims == 1) return SingleDimRange(dims[0], row_begin, row_end, gids);
+  for (size_t i = row_begin; i < row_end; ++i) {
+    uint32_t gid = SlotOf(dims[0], i);
+    for (size_t d = 1; d < num_dims; ++d) {
+      gid = gid * dims[d].slots + SlotOf(dims[d], i);
+    }
+    gids[i - row_begin] = gid;
+  }
+}
+
+void GroupIdsSel(const DenseDim* dims, size_t num_dims,
+                 const SelectionVector& sel, uint32_t* gids) {
+  if (num_dims == 0) {
+    for (size_t k = 0; k < sel.size(); ++k) gids[k] = 0;
+    return;
+  }
+  if (num_dims == 1) return SingleDimSel(dims[0], sel, gids);
+  for (size_t k = 0; k < sel.size(); ++k) {
+    const size_t row = sel[k];
+    uint32_t gid = SlotOf(dims[0], row);
+    for (size_t d = 1; d < num_dims; ++d) {
+      gid = gid * dims[d].slots + SlotOf(dims[d], row);
+    }
+    gids[k] = gid;
+  }
+}
+
+}  // namespace seedb::db::vec

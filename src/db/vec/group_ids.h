@@ -1,0 +1,49 @@
+// Dense group-id kernels: dictionary codes straight to flat slot indices.
+//
+// db/column.h dictionary-encodes every string column, so a categorical
+// group-by is an array-of-ints problem: a single dimension's group id IS its
+// dictionary code (with one extra slot for null), and a multi-attribute key
+// composes by radix — group_id = c0 * |dict1 + 1| + c1 — as long as the
+// group-space product stays below the scan's slot budget. This removes the
+// packed-key hash from the fused scan's inner loop entirely; the hash path
+// remains as the fallback for non-categorical or oversized group spaces.
+
+#ifndef SEEDB_DB_VEC_GROUP_IDS_H_
+#define SEEDB_DB_VEC_GROUP_IDS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "db/vec/selection_vector.h"
+
+namespace seedb::db::vec {
+
+/// \brief One dictionary-coded grouping column as raw arrays.
+struct DenseDim {
+  const int32_t* codes = nullptr;
+  /// Validity bytes; nullptr when the column holds no nulls. A null row
+  /// takes the column's LAST slot (slots - 1), mirroring the scalar dense
+  /// path and keeping dictionary code 0 distinct from null.
+  const uint8_t* validity = nullptr;
+  /// dict_size + 1 (the +1 is the null slot).
+  uint32_t slots = 0;
+};
+
+/// Composed group-space size: product of every dim's slots (1 for the empty
+/// dimension list — the global aggregate's single group). Returns 0 when the
+/// product exceeds `limit` (the caller falls back to the hash path).
+size_t DenseSlotCount(const std::vector<DenseDim>& dims, size_t limit);
+
+/// gids[i - row_begin] = composed radix slot of row i, for the contiguous
+/// range [row_begin, row_end).
+void GroupIdsRange(const DenseDim* dims, size_t num_dims, size_t row_begin,
+                   size_t row_end, uint32_t* gids);
+
+/// gids[k] = composed radix slot of row sel[k].
+void GroupIdsSel(const DenseDim* dims, size_t num_dims,
+                 const SelectionVector& sel, uint32_t* gids);
+
+}  // namespace seedb::db::vec
+
+#endif  // SEEDB_DB_VEC_GROUP_IDS_H_

@@ -1,0 +1,140 @@
+#include "db/vec/selection_vector.h"
+
+#include <utility>
+
+namespace seedb::db::vec {
+namespace {
+
+template <typename T>
+bool Compare(T v, CompareOp op, T lit) {
+  switch (op) {
+    case CompareOp::kEq:
+      return v == lit;
+    case CompareOp::kNe:
+      return v != lit;
+    case CompareOp::kLt:
+      return v < lit;
+    case CompareOp::kLe:
+      return v <= lit;
+    case CompareOp::kGt:
+      return v > lit;
+    case CompareOp::kGe:
+      return v >= lit;
+  }
+  return false;
+}
+
+// One instantiation per (type, op, nullability): the comparison and the
+// validity check hoist out of the row loop, leaving a branch the compiler
+// can turn into SIMD compares + compressed stores.
+template <typename T, CompareOp kOp, bool kValid>
+void CompareLoop(const T* data, const uint8_t* validity, T literal,
+                 size_t row_begin, size_t row_end, SelectionVector* sel) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    if (kValid && !validity[i]) continue;
+    if (Compare(data[i], kOp, literal)) {
+      sel->Append(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+template <typename T, CompareOp kOp>
+void CompareDispatchValidity(const T* data, const uint8_t* validity, T literal,
+                             size_t row_begin, size_t row_end,
+                             SelectionVector* sel) {
+  if (validity == nullptr) {
+    CompareLoop<T, kOp, false>(data, nullptr, literal, row_begin, row_end,
+                               sel);
+  } else {
+    CompareLoop<T, kOp, true>(data, validity, literal, row_begin, row_end,
+                              sel);
+  }
+}
+
+template <typename T>
+void CompareDispatch(const T* data, const uint8_t* validity, CompareOp op,
+                     T literal, size_t row_begin, size_t row_end,
+                     SelectionVector* sel) {
+  sel->Clear();
+  sel->Reserve(row_end - row_begin);
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareDispatchValidity<T, CompareOp::kEq>(
+          data, validity, literal, row_begin, row_end, sel);
+    case CompareOp::kNe:
+      return CompareDispatchValidity<T, CompareOp::kNe>(
+          data, validity, literal, row_begin, row_end, sel);
+    case CompareOp::kLt:
+      return CompareDispatchValidity<T, CompareOp::kLt>(
+          data, validity, literal, row_begin, row_end, sel);
+    case CompareOp::kLe:
+      return CompareDispatchValidity<T, CompareOp::kLe>(
+          data, validity, literal, row_begin, row_end, sel);
+    case CompareOp::kGt:
+      return CompareDispatchValidity<T, CompareOp::kGt>(
+          data, validity, literal, row_begin, row_end, sel);
+    case CompareOp::kGe:
+      return CompareDispatchValidity<T, CompareOp::kGe>(
+          data, validity, literal, row_begin, row_end, sel);
+  }
+}
+
+}  // namespace
+
+void SelectFromMask(const uint8_t* mask, size_t row_begin, size_t row_end,
+                    SelectionVector* sel) {
+  sel->Clear();
+  sel->Reserve(row_end - row_begin);
+  for (size_t i = row_begin; i < row_end; ++i) {
+    if (mask[i]) sel->Append(static_cast<uint32_t>(i));
+  }
+}
+
+void SelectAll(size_t row_begin, size_t row_end, SelectionVector* sel) {
+  sel->Clear();
+  sel->Reserve(row_end - row_begin);
+  for (size_t i = row_begin; i < row_end; ++i) {
+    sel->Append(static_cast<uint32_t>(i));
+  }
+}
+
+void Refine(const uint8_t* mask, SelectionVector* sel) {
+  SelectionVector kept;
+  kept.Reserve(sel->size());
+  for (size_t k = 0; k < sel->size(); ++k) {
+    if (mask[(*sel)[k]]) kept.Append((*sel)[k]);
+  }
+  *sel = std::move(kept);
+}
+
+void SelectCompareInt64(const int64_t* data, const uint8_t* validity,
+                        CompareOp op, int64_t literal, size_t row_begin,
+                        size_t row_end, SelectionVector* sel) {
+  CompareDispatch(data, validity, op, literal, row_begin, row_end, sel);
+}
+
+void SelectCompareDouble(const double* data, const uint8_t* validity,
+                         CompareOp op, double literal, size_t row_begin,
+                         size_t row_end, SelectionVector* sel) {
+  CompareDispatch(data, validity, op, literal, row_begin, row_end, sel);
+}
+
+void SelectCompareCode(const int32_t* codes, const uint8_t* validity,
+                       const uint8_t* code_match, size_t row_begin,
+                       size_t row_end, SelectionVector* sel) {
+  sel->Clear();
+  sel->Reserve(row_end - row_begin);
+  if (validity == nullptr) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      if (code_match[codes[i]]) sel->Append(static_cast<uint32_t>(i));
+    }
+    return;
+  }
+  for (size_t i = row_begin; i < row_end; ++i) {
+    if (validity[i] && code_match[codes[i]]) {
+      sel->Append(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+}  // namespace seedb::db::vec

@@ -1,0 +1,81 @@
+// Selection vectors: the batch-at-a-time row-filter representation of the
+// vectorized kernel subsystem (MonetDB/X100 style).
+//
+// A morsel's WHERE predicate is evaluated over raw column vectors into a
+// SelectionVector ONCE, then every query in the fused plan with an identical
+// filter iterates the selected rows without re-testing the mask per row per
+// query. The scan keeps one selection per distinct mask per morsel (mask
+// pointers are already deduplicated by db/shared_scan.h's MaskCache, so
+// pointer identity is filter identity).
+
+#ifndef SEEDB_DB_VEC_SELECTION_VECTOR_H_
+#define SEEDB_DB_VEC_SELECTION_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "db/predicate.h"
+
+namespace seedb::db::vec {
+
+/// \brief Row indices (table-absolute, ascending) selected within a morsel.
+///
+/// Kernels come in two variants: `...Range` walks a contiguous [begin, end)
+/// row range (the no-filter fast path — zero indirection), `...Sel` walks a
+/// SelectionVector. Keeping "which rows" out of the aggregation kernels is
+/// what lets one selection be shared by every query with the same filter.
+class SelectionVector {
+ public:
+  void Clear() { rows_.clear(); }
+  void Reserve(size_t n) { rows_.reserve(n); }
+  void Append(uint32_t row) { rows_.push_back(row); }
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const uint32_t* data() const { return rows_.data(); }
+  uint32_t operator[](size_t i) const { return rows_[i]; }
+
+ private:
+  std::vector<uint32_t> rows_;
+};
+
+/// Rows of [row_begin, row_end) with a non-zero mask byte. `sel` is
+/// replaced, not appended to.
+void SelectFromMask(const uint8_t* mask, size_t row_begin, size_t row_end,
+                    SelectionVector* sel);
+
+/// Every row of [row_begin, row_end) (the explicit form of the Range fast
+/// path, for callers that need a materialized selection).
+void SelectAll(size_t row_begin, size_t row_end, SelectionVector* sel);
+
+/// In-place AND: drops selected rows whose mask byte is zero.
+void Refine(const uint8_t* mask, SelectionVector* sel);
+
+// -- Batch filter kernels ----------------------------------------------------
+//
+// WHERE-predicate evaluation over raw column vectors straight into a
+// selection vector. Null rows never match (the engine's two-valued logic);
+// `validity` is the column's validity bytes, nullptr when the column has no
+// nulls.
+
+/// data[row] <op> literal over [row_begin, row_end).
+void SelectCompareInt64(const int64_t* data, const uint8_t* validity,
+                        CompareOp op, int64_t literal, size_t row_begin,
+                        size_t row_end, SelectionVector* sel);
+
+/// data[row] <op> literal over [row_begin, row_end).
+void SelectCompareDouble(const double* data, const uint8_t* validity,
+                         CompareOp op, double literal, size_t row_begin,
+                         size_t row_end, SelectionVector* sel);
+
+/// Dictionary-coded comparison: `code_match[codes[row]]` decides each row
+/// (the caller precomputes the per-code truth table once per predicate, so
+/// arbitrary string comparisons cost one byte lookup per row).
+void SelectCompareCode(const int32_t* codes, const uint8_t* validity,
+                       const uint8_t* code_match, size_t row_begin,
+                       size_t row_end, SelectionVector* sel);
+
+}  // namespace seedb::db::vec
+
+#endif  // SEEDB_DB_VEC_SELECTION_VECTOR_H_

@@ -205,6 +205,90 @@ TEST_F(ExecutorTest, SharedScanReportRecordsTheFusedPassNotFakeQueryTimes) {
   EXPECT_EQ(report.views_pruned_online, 0u);
 }
 
+TEST_F(ExecutorTest, SharedScanReportCountsVectorizedMorsels) {
+  ExecutionReport report;
+  auto results = Run(OptimizerOptions::All(), 1, &report,
+                     ExecutionStrategy::kSharedScan);
+  EXPECT_FALSE(results.empty());
+  // Every grouping set here is categorical with a small dictionary, so the
+  // whole fused pass must take the vectorized inner loop.
+  EXPECT_GT(report.vectorized_morsels, 0u);
+  EXPECT_GT(report.agg_state_bytes, 0u);
+}
+
+// --- Utility-range auto-calibration (OnlinePruningOptions::utility_range
+// <= 0): the Hoeffding range comes from the metric and the plan's group
+// counts instead of the manual knob. ---
+
+TEST_F(ExecutorTest, AutoUtilityRangeDerivesEmdRangeFromGroupCounts) {
+  const db::TableStats* stats = catalog_->GetStats("t").ValueOrDie();
+  ExecutionPlan plan = BuildExecutionPlan(views_, "t", selection_, *stats,
+                                          OptimizerOptions::All())
+                           .ValueOrDie();
+  // Synthetic dims have cardinality 6 and no nulls: EMD's diameter over a
+  // 6-bin ground line is 5 — what the manual 2.0 default under-covers.
+  auto range =
+      AutoUtilityRange(engine_, plan, DistanceMetric::kEarthMovers);
+  ASSERT_TRUE(range.ok()) << range.status();
+  EXPECT_DOUBLE_EQ(*range, 5.0);
+  // O(1)-diameter metrics ignore the group count.
+  auto l1 = AutoUtilityRange(engine_, plan, DistanceMetric::kL1);
+  ASSERT_TRUE(l1.ok());
+  EXPECT_DOUBLE_EQ(*l1, 2.0);
+}
+
+// --- Memory budgets under the blocking strategies (the phased session's
+// OutOfRange contract, extended to kPerQuery / kSharedScan). ---
+
+TEST_F(ExecutorTest, PerQueryBudgetStopsIssuingQueriesGracefully) {
+  const db::TableStats* stats = catalog_->GetStats("t").ValueOrDie();
+  // Baseline = many small queries, so the cumulative footprint grows query
+  // by query and a tiny budget trips after the first one.
+  ExecutionPlan plan = BuildExecutionPlan(views_, "t", selection_, *stats,
+                                          OptimizerOptions::Baseline())
+                           .ValueOrDie();
+  ExecutorOptions exec;
+  exec.strategy = ExecutionStrategy::kPerQuery;
+  exec.memory_budget_bytes = 64;
+  ExecutionReport report;
+  auto results = ExecutePlan(engine_, plan, DistanceMetric::kEarthMovers,
+                             exec, &report);
+  ASSERT_TRUE(results.ok()) << results.status();
+  EXPECT_TRUE(report.budget_exceeded);
+  EXPECT_LT(report.queries_executed, plan.queries.size());
+  EXPECT_GT(report.agg_state_bytes, 64u);
+  // Parallel per-query runs observe the same budget.
+  exec.parallelism = 4;
+  ExecutionReport parallel_report;
+  auto parallel = ExecutePlan(engine_, plan, DistanceMetric::kEarthMovers,
+                              exec, &parallel_report);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_TRUE(parallel_report.budget_exceeded);
+}
+
+TEST_F(ExecutorTest, SharedScanBudgetFlagsTheBreachAtItsOneBoundary) {
+  ExecutionReport report;
+  const db::TableStats* stats = catalog_->GetStats("t").ValueOrDie();
+  ExecutionPlan plan = BuildExecutionPlan(views_, "t", selection_, *stats,
+                                          OptimizerOptions::All())
+                           .ValueOrDie();
+  ExecutorOptions exec;
+  exec.strategy = ExecutionStrategy::kSharedScan;
+  exec.memory_budget_bytes = 64;
+  auto results = ExecutePlan(engine_, plan, DistanceMetric::kEarthMovers,
+                             exec, &report);
+  ASSERT_TRUE(results.ok()) << results.status();
+  EXPECT_TRUE(report.budget_exceeded);
+  EXPECT_GT(report.agg_state_bytes, 64u);
+  // A generous budget never trips.
+  exec.memory_budget_bytes = 1ull << 30;
+  ExecutionReport ok_report;
+  auto fine = ExecutePlan(engine_, plan, DistanceMetric::kEarthMovers, exec,
+                          &ok_report);
+  ASSERT_TRUE(fine.ok());
+  EXPECT_FALSE(ok_report.budget_exceeded);
+}
+
 // --- Phased execution (kPhasedSharedScan + core/online_pruning.h). ---
 
 class PhasedExecutorTest : public ExecutorTest {
@@ -225,6 +309,24 @@ class PhasedExecutorTest : public ExecutorTest {
         .ValueOrDie();
   }
 };
+
+TEST_F(PhasedExecutorTest, BlockingPhasedRunStopsAtTheBoundaryTheBudgetBreaks) {
+  const db::TableStats* stats = catalog_->GetStats("t").ValueOrDie();
+  ExecutionPlan plan = BuildExecutionPlan(views_, "t", selection_, *stats,
+                                          OptimizerOptions::All())
+                           .ValueOrDie();
+  ExecutorOptions exec;
+  exec.strategy = ExecutionStrategy::kPhasedSharedScan;
+  exec.online_pruning.num_phases = 6;
+  exec.memory_budget_bytes = 64;
+  ExecutionReport report;
+  auto results = ExecutePlan(engine_, plan, DistanceMetric::kEarthMovers,
+                             exec, &report);
+  ASSERT_TRUE(results.ok()) << results.status();
+  EXPECT_TRUE(report.budget_exceeded);
+  // The first boundary already exceeds 64 bytes, so later phases never ran.
+  EXPECT_EQ(report.phases_executed, 1u);
+}
 
 // Phases are a pure execution-layer transformation: with no pruner the
 // phased scan computes identical utilities for every optimizer combination.

@@ -163,5 +163,33 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(DistanceMetricToString(info.param));
     });
 
+// MetricUtilityRange is the Hoeffding range the online pruner's intervals
+// scale with: it must dominate every achievable distance at the given group
+// count (otherwise CI pruning could discard a true top-k view).
+TEST(MetricUtilityRangeTest, EmdRangeGrowsWithGroupCount) {
+  EXPECT_DOUBLE_EQ(MetricUtilityRange(DistanceMetric::kEarthMovers, 2), 1.0);
+  EXPECT_DOUBLE_EQ(MetricUtilityRange(DistanceMetric::kEarthMovers, 6), 5.0);
+  EXPECT_DOUBLE_EQ(MetricUtilityRange(DistanceMetric::kEarthMovers, 101),
+                   100.0);
+  // Degenerate group counts still yield a positive range.
+  EXPECT_GT(MetricUtilityRange(DistanceMetric::kEarthMovers, 0), 0.0);
+  EXPECT_GT(MetricUtilityRange(DistanceMetric::kEarthMovers, 1), 0.0);
+}
+
+TEST(MetricUtilityRangeTest, RangesDominateTheWorstCaseDistance) {
+  // Worst case over G bins: all target mass on the first bin, all
+  // comparison mass on the last.
+  for (DistanceMetric metric : AllDistanceMetrics()) {
+    for (size_t groups : {2u, 5u, 23u}) {
+      std::vector<double> p(groups, 0.0), q(groups, 0.0);
+      p.front() = 1.0;
+      q.back() = 1.0;
+      double d = Distance(p, q, metric).ValueOrDie();
+      EXPECT_LE(d, MetricUtilityRange(metric, groups) + 1e-9)
+          << DistanceMetricToString(metric) << " groups=" << groups;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace seedb::core

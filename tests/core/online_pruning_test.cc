@@ -194,6 +194,45 @@ TEST_F(LaserwavePipelineTest, CiWithDeltaZeroMatchesExhaustiveTopK) {
   EXPECT_EQ(got.profile.table_scans, 1u);
 }
 
+// Auto-calibrated utility range (utility_range = 0: derived from the metric
+// and each view's group count) composed with delta -> 0 must still
+// reproduce the exhaustive top-k exactly — auto-calibration changes how
+// wide the intervals are, never whether delta = 0 means "never wrong".
+TEST_F(LaserwavePipelineTest, CiAutoRangeWithDeltaZeroMatchesExhaustiveTopK) {
+  SeeDBOptions exhaustive;
+  exhaustive.k = 3;
+  RecommendationSet truth = Recommend(exhaustive);
+
+  SeeDBOptions phased = exhaustive;
+  phased.strategy = ExecutionStrategy::kPhasedSharedScan;
+  phased.online_pruning.pruner = OnlinePruner::kConfidenceInterval;
+  phased.online_pruning.delta = 0.0;
+  phased.online_pruning.utility_range = 0.0;  // auto-calibrate per metric
+  phased.online_pruning.num_phases = 4;
+  RecommendationSet got = Recommend(phased);
+
+  ExpectSameRanking(got, truth);
+  EXPECT_EQ(got.profile.views_pruned_online, 0u);
+  EXPECT_EQ(got.profile.phases_executed, 4u);
+}
+
+// An unresolved non-positive range fed straight to the CI math (bypassing
+// the executor's resolution) must read as infinite intervals, never as
+// zero-width ones that would prune everything at the first boundary.
+TEST(OnlinePrunerTest, UnresolvedAutoRangeNeverPrunes) {
+  OnlinePruningOptions options;
+  options.pruner = OnlinePruner::kConfidenceInterval;
+  options.delta = 0.5;
+  options.utility_range = 0.0;
+  options.keep_k = 1;
+  EXPECT_TRUE(std::isinf(
+      OnlinePruningState::ConfidenceHalfWidth(options, /*phases=*/5)));
+  OnlinePruningState state(4, options);
+  EXPECT_TRUE(state.Observe({0.9, 0.1, 0.1, 0.1}).empty());
+  EXPECT_TRUE(state.Observe({0.9, 0.1, 0.1, 0.1}).empty());
+  EXPECT_EQ(state.num_active(), 4u);
+}
+
 TEST_F(LaserwavePipelineTest, MabWithOnePhaseMatchesExhaustiveTopK) {
   SeeDBOptions exhaustive;
   exhaustive.k = 3;

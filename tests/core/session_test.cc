@@ -509,6 +509,68 @@ TEST_F(SessionTest, BudgetStopsTheSilentFinishDrainToo) {
   EXPECT_TRUE(session->budget_exceeded());
 }
 
+// Budget enforcement is strategy-complete: the blocking strategies return
+// the same graceful OutOfRange from Next() as the phased path, and Finish()
+// assembles partial results with profile.budget_exceeded set.
+TEST_F(SessionTest, BlockingStrategiesEnforceTheBudgetToo) {
+  SeeDB seedb(engine_);
+  for (ExecutionStrategy strategy :
+       {ExecutionStrategy::kPerQuery, ExecutionStrategy::kSharedScan}) {
+    SeeDBRequest request =
+        SeeDBRequest("synth").Where(selection_).WithTopK(3).WithMemoryBudget(
+            64);
+    {
+      SeeDBOptions opts = request.options();
+      opts.strategy = strategy;
+      request.WithOptions(opts);
+    }
+    auto session = seedb.Open(request);
+    ASSERT_TRUE(session.ok()) << session.status();
+    auto update = session->Next();
+    ASSERT_FALSE(update.ok())
+        << ExecutionStrategyToString(strategy) << " ignored the budget";
+    EXPECT_EQ(update.status().code(), StatusCode::kOutOfRange);
+    EXPECT_TRUE(session->budget_exceeded());
+    EXPECT_TRUE(session->done());
+    auto set = session->Finish();
+    ASSERT_TRUE(set.ok()) << set.status();
+    EXPECT_TRUE(set->profile.budget_exceeded);
+
+    // A generous budget under the same strategy is untouched.
+    SeeDBRequest fine =
+        SeeDBRequest("synth").Where(selection_).WithTopK(3).WithMemoryBudget(
+            1ull << 30);
+    {
+      SeeDBOptions opts = fine.options();
+      opts.strategy = strategy;
+      fine.WithOptions(opts);
+    }
+    auto ok = seedb.Run(fine);
+    ASSERT_TRUE(ok.ok()) << ok.status();
+    EXPECT_FALSE(ok->profile.budget_exceeded);
+    EXPECT_FALSE(ok->top_views.empty());
+  }
+}
+
+TEST_F(SessionTest, FusedProfileReportsVectorizedMorsels) {
+  SeeDB seedb(engine_);
+  SeeDBRequest request = SeeDBRequest("synth").Where(selection_).WithTopK(3);
+  {
+    SeeDBOptions opts = request.options();
+    opts.strategy = ExecutionStrategy::kSharedScan;
+    request.WithOptions(opts);
+  }
+  auto set = seedb.Run(request);
+  ASSERT_TRUE(set.ok()) << set.status();
+  // Synthetic dimensions are small categorical dictionaries: the fused scan
+  // must take the vectorized inner loop for every morsel.
+  EXPECT_GT(set->profile.vectorized_morsels, 0u);
+
+  auto per_query = seedb.Run(SeeDBRequest("synth").Where(selection_));
+  ASSERT_TRUE(per_query.ok());
+  EXPECT_EQ(per_query->profile.vectorized_morsels, 0u);
+}
+
 TEST_F(SessionTest, ProgressUpdatesCarryTheMemoryFootprint) {
   SeeDB seedb(engine_);
   auto session = seedb.Open(PhasedRequest(3));

@@ -102,5 +102,71 @@ TEST(ColumnTest, NullFirstRowThenValues) {
   EXPECT_EQ(c.GetValue(1), Value("z"));
 }
 
+// The invariants the vectorized kernels (db/vec/) lean on. A null string
+// row's slot physically holds code 0 — the same code the first interned
+// value gets — so null-vs-code-0 must be distinguished by the validity
+// vector alone.
+TEST(ColumnTest, DictionaryCodeZeroDistinctFromNull) {
+  Column c(ValueType::kString);
+  c.AppendNull();        // slot holds code 0, validity 0
+  c.AppendString("a");   // interned at code 0, validity 1
+  c.AppendString("a");
+  c.AppendNull();
+  ASSERT_EQ(c.codes().size(), 4u);
+  EXPECT_EQ(c.codes()[0], 0);  // placeholder ...
+  EXPECT_EQ(c.codes()[1], 0);  // ... and the real code 0 look identical
+  ASSERT_EQ(c.validity().size(), 4u);
+  EXPECT_EQ(c.validity()[0], 0);  // only validity separates them
+  EXPECT_EQ(c.validity()[1], 1);
+  EXPECT_EQ(c.FindCode("a"), 0);
+  EXPECT_EQ(c.dict_size(), 1u);
+  EXPECT_EQ(c.null_count(), 2u);
+}
+
+// validity() is empty until the first null (the kernels' "no nulls" fast
+// path), then tracks every row.
+TEST(ColumnTest, ValidityVectorAllocatedOnFirstNull) {
+  Column c(ValueType::kInt64);
+  c.AppendInt64(1);
+  c.AppendInt64(2);
+  EXPECT_TRUE(c.validity().empty());
+  c.AppendNull();
+  ASSERT_EQ(c.validity().size(), 3u);
+  EXPECT_EQ(c.validity()[0], 1);
+  EXPECT_EQ(c.validity()[1], 1);
+  EXPECT_EQ(c.validity()[2], 0);
+}
+
+TEST(ColumnTest, CountDistinctInt64WithValidityVector) {
+  Column c(ValueType::kInt64);
+  c.AppendInt64(7);
+  c.AppendNull();   // slot holds 0
+  c.AppendInt64(0); // a REAL zero — must count despite matching the null slot
+  c.AppendInt64(7);
+  c.AppendNull();
+  EXPECT_EQ(c.CountDistinct(), 2u);  // {7, 0}; nulls excluded
+  EXPECT_EQ(c.null_count(), 2u);
+}
+
+TEST(ColumnTest, CountDistinctStringWithValidityVectorExact) {
+  Column c(ValueType::kString);
+  c.AppendString("x");
+  c.AppendNull();
+  c.AppendString("y");
+  c.AppendString("x");
+  // Dictionary holds 2 entries; nulls never intern and never count.
+  EXPECT_EQ(c.CountDistinct(), 2u);
+  EXPECT_EQ(c.dict_size(), 2u);
+}
+
+TEST(ColumnTest, AllNullColumnHasZeroDistinct) {
+  Column c(ValueType::kDouble);
+  c.AppendNull();
+  c.AppendNull();
+  EXPECT_EQ(c.CountDistinct(), 0u);
+  EXPECT_EQ(c.null_count(), 2u);
+  EXPECT_EQ(c.validity().size(), 2u);
+}
+
 }  // namespace
 }  // namespace seedb::db

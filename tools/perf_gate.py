@@ -23,8 +23,16 @@ round-trips, whose shared-runner variance is even higher than phase
 timings, so they are ALWAYS advisory `::warning::` only — they never flip
 the exit code.
 
+`--vectorized-old/--vectorized-new` additionally diff BENCH_vectorized.json
+artifacts (per-kernel throughput and the fused-plan wall clock of the dense
+inner loop vs the hash path vs ExecuteGroupingSets). Like the server bench
+these are ALWAYS advisory `::warning::` only — except that the gate also
+warns (still advisory) if the dense path stopped beating
+ExecuteGroupingSets, the exact regression the subsystem exists to close.
+
 Usage: perf_gate.py OLD.json NEW.json [--threshold 0.30]
                     [--server-old OLD_SERVER.json --server-new NEW_SERVER.json]
+                    [--vectorized-old OLD_VEC.json --vectorized-new NEW_VEC.json]
 """
 
 import argparse
@@ -89,6 +97,44 @@ def compare_server(old_path, new_path, threshold):
     return warnings
 
 
+def compare_vectorized(old_path, new_path, threshold):
+    """Advisory diff of BENCH_vectorized.json artifacts: warn when a kernel
+    or fused-path run slowed past the threshold, or when the dense path no
+    longer beats ExecuteGroupingSets. Returns the number of advisory
+    warnings; never fails the gate."""
+    def load(path):
+        with open(path) as f:
+            return json.load(f)
+
+    old_doc, new_doc = load(old_path), load(new_path)
+    old_runs = {r.get("name"): r for r in old_doc.get("runs", [])}
+    new_runs = {r.get("name"): r for r in new_doc.get("runs", [])}
+    warnings = 0
+    print(f"\n{'vectorized run':>30} {'old(ms)':>10} {'new(ms)':>10} "
+          f"{'delta':>8}")
+    for name in sorted(new_runs):
+        new = new_runs[name]
+        old = old_runs.get(name)
+        if old is None:
+            print(f"{name:>30} {'-':>10} {new.get('total_ms', 0):>10.2f}"
+                  f"   (new run)")
+            continue
+        old_ms, new_ms = old.get("total_ms", 0), new.get("total_ms", 0)
+        delta = (new_ms - old_ms) / max(old_ms, 1e-9)
+        print(f"{name:>30} {old_ms:>10.2f} {new_ms:>10.2f} {delta:>+7.1%}")
+        if delta > threshold:
+            warnings += 1
+            print(f"::warning::vectorized bench regression (advisory): "
+                  f"{name} went {old_ms:.2f}ms -> {new_ms:.2f}ms "
+                  f"({delta:+.1%}, threshold {threshold:.0%})")
+    if not new_doc.get("vec_beats_grouping_sets", True):
+        warnings += 1
+        print("::warning::vectorized fused plan no longer beats "
+              "ExecuteGroupingSets on one core (advisory) — the regression "
+              "the dense kernels exist to close is back")
+    return warnings
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("old", help="previous run's BENCH_parallel.json")
@@ -99,6 +145,10 @@ def main():
                         help="previous run's BENCH_server.json (advisory)")
     parser.add_argument("--server-new", default=None,
                         help="this run's BENCH_server.json (advisory)")
+    parser.add_argument("--vectorized-old", default=None,
+                        help="previous run's BENCH_vectorized.json (advisory)")
+    parser.add_argument("--vectorized-new", default=None,
+                        help="this run's BENCH_vectorized.json (advisory)")
     args = parser.parse_args()
 
     old_runs = load_runs(args.old)
@@ -147,6 +197,10 @@ def main():
     if args.server_old and args.server_new:
         server_warnings = compare_server(args.server_old, args.server_new,
                                          args.threshold)
+    vectorized_warnings = 0
+    if args.vectorized_old and args.vectorized_new:
+        vectorized_warnings = compare_vectorized(
+            args.vectorized_old, args.vectorized_new, args.threshold)
     if regressions:
         for (strategy, threads, phases), old_ms, new_ms, delta in regressions:
             print(f"::warning::perf regression: {strategy} threads={threads} "
@@ -157,7 +211,8 @@ def main():
           f"{args.threshold:.0%} in total wall-clock "
           f"({len(new_runs)} configs checked, "
           f"{len(unit_regressions)} advisory unit warnings, "
-          f"{server_warnings} advisory server warnings)")
+          f"{server_warnings} advisory server warnings, "
+          f"{vectorized_warnings} advisory vectorized warnings)")
     return 0
 
 

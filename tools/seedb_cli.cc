@@ -72,6 +72,7 @@ class Cli {
     if (cmd == "template") return Template(in);
     if (cmd == "connect") return Connect(in);
     if (cmd == "disconnect") return Disconnect();
+    if (cmd == "stats") return Stats();
     return Status::InvalidArgument("unknown command \\" + cmd +
                                    " (try \\help)");
   }
@@ -98,7 +99,9 @@ class Cli {
         "  \\cancel [n]                      cancel the NEXT query's scan\n"
         "                                   after n phases (default 1)\n"
         "  \\set budget <bytes>              per-session memory budget\n"
-        "                                   (0 = unlimited; phased)\n"
+        "                                   (0 = unlimited)\n"
+        "  \\stats                           engine counters (scans, rows,\n"
+        "                                   vectorized morsels, ...)\n"
         "  \\connect <socket|host:port|port> route queries to a seedb_server\n"
         "  \\disconnect                      back to in-process execution\n"
         "  \\q                               quit\n"
@@ -353,6 +356,20 @@ class Cli {
     }
     remote_.reset();
     std::printf("disconnected; queries run in-process again\n");
+    return Status::OK();
+  }
+
+  // Engine-wide execution counters, cumulative over this CLI session —
+  // vec_morsels shows whether the fused scans actually took the vectorized
+  // inner loop or fell back to the hash path. In remote mode the queries
+  // ran on the server's engine, whose counters these are NOT.
+  Status Stats() {
+    if (remote_.has_value()) {
+      std::printf("note: connected to a server — queries ran on the "
+                  "server's engine; the counters below cover only this "
+                  "CLI's in-process engine\n");
+    }
+    std::printf("%s\n", engine_.stats().ToString().c_str());
     return Status::OK();
   }
 
