@@ -2,14 +2,16 @@
 //
 // With no arguments, spins up an in-process RecommendationServer on a
 // private unix socket over the store-orders demo table, then drives it the
-// way an interactive frontend would: open a streaming session, watch
-// per-phase progress arrive over the wire, cancel mid-scan, RESUME the
-// cancelled session (its merged aggregates survive — the final top-k equals
-// an uninterrupted run's), and fetch the final recommendations.
+// way an interactive frontend would under protocol v2: negotiate push with
+// `hello`, open a server-driven session, watch per-phase progress frames
+// arrive as unsolicited pushes (no polling round-trips), cancel mid-scan,
+// RESUME the cancelled session (its merged aggregates survive — the final
+// top-k equals an uninterrupted run's), and fetch the final recommendations.
 //
 // With a unix-socket path argument it skips the in-process server and
 // drives an external `seedb_server` instead — CI's smoke test runs exactly
-// that:
+// that, and asserts on the "push sessions completed" line this binary
+// prints:
 //
 //   seedb_server --unix /tmp/seedb.sock --demo &
 //   example_server_client /tmp/seedb.sock
@@ -66,27 +68,37 @@ int main(int argc, char** argv) {
   auto client = server::Client::ConnectUnix(socket_path);
   if (!client.ok()) return Fail(client.status(), "connect");
 
-  // -- A streaming session over the wire. ---------------------------------
-  // The protocol mirrors the in-process API: open = plan, next = one phase,
-  // finish = final ranking. Every field below rides in line-delimited JSON.
+  // -- Protocol v2 handshake. ---------------------------------------------
+  // `hello` negotiates the version and the push capability. Against an old
+  // server the call still succeeds and the connection silently stays on v1
+  // polling — everything below would keep working, one round-trip per phase.
+  Status hello = client->Hello();
+  if (!hello.ok()) return Fail(hello, "hello");
+  std::printf("negotiated protocol v%d (%s)\n\n",
+              client->handshake().version,
+              client->push_enabled() ? "server push" : "v1 polling");
+
+  size_t push_sessions_completed = 0;
+
+  // -- A server-driven streaming session. ---------------------------------
+  // open = plan + the server starts driving; every phase's progress arrives
+  // as an unsolicited push frame. Await() pumps the stream to `drained`,
+  // hands each frame to the OnProgress callback, then finishes the session.
+  // The only request round-trips on the wire are open and finish.
   server::OpenSpec spec;
   spec.sql = "SELECT * FROM orders WHERE category = 'Furniture'";
   spec.k = 3;
   spec.phases = 6;
   spec.pruner = "mab";  // retire half the views at every boundary
-  Status opened = client->Open("walkthrough", spec);
-  if (!opened.ok()) return Fail(opened, "open");
+  auto session = client->OpenSession("walkthrough", spec);
+  if (!session.ok()) return Fail(session.status(), "open");
   std::printf("opened session \"walkthrough\": %s (k=%zu, %zu phases, "
               "MAB pruning)\n",
               spec.sql.c_str(), spec.k, spec.phases);
 
-  while (true) {
-    auto progress = client->Next("walkthrough");
-    if (!progress.ok()) return Fail(progress.status(), "next");
-    if (!progress->has_value()) break;
-    const server::RemoteProgress& p = **progress;
-    std::printf("  phase %zu/%zu: rows %llu/%llu, %zu views active, "
-                "%zu pruned, agg state %llu bytes",
+  session->OnProgress([](const server::RemoteProgress& p) {
+    std::printf("  phase %zu/%zu (pushed): rows %llu/%llu, %zu views "
+                "active, %zu pruned, agg state %llu bytes",
                 p.phase, p.total_phases,
                 static_cast<unsigned long long>(p.rows_scanned),
                 static_cast<unsigned long long>(p.total_rows),
@@ -97,10 +109,11 @@ int main(int argc, char** argv) {
                   p.top[0].utility);
     }
     std::printf("\n");
-  }
+  });
+  auto result = session->Await();
+  if (!result.ok()) return Fail(result.status(), "await");
+  ++push_sessions_completed;
 
-  auto result = client->Finish("walkthrough");
-  if (!result.ok()) return Fail(result.status(), "finish");
   std::printf("\nfinal ranking (metric %s):\n", result->metric.c_str());
   for (const server::RemoteRecommendation& rec : result->top) {
     std::printf("  %zu. %-36s utility %.6f\n", rec.rank, rec.view_id.c_str(),
@@ -113,34 +126,42 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result->profile.rows_scanned));
 
   // -- Cancel, then resume: the session keeps its aggregates. -------------
-  // A cancelled session is not discarded: `resume` re-opens it, the scan
-  // completes exactly the rows the cancel skipped, and the final ranking is
-  // the one an uninterrupted run produces.
+  // A cancelled session is not discarded: `resume` re-opens it, the server
+  // resumes driving, and the final ranking is the one an uninterrupted run
+  // produces. This block consumes the stream through the deprecated Next()
+  // shim — v1-shaped loops keep compiling, but on a push connection each
+  // call pops an already-pushed frame instead of making a round-trip.
   server::OpenSpec second = spec;
   second.pruner.clear();  // exhaustive, so the resumed ranking is exact
-  Status opened2 = client->Open("resumable", second);
-  if (!opened2.ok()) return Fail(opened2, "open resumable");
-  auto first_phase = client->Next("resumable");
+  auto resumable = client->OpenSession("resumable", second);
+  if (!resumable.ok()) return Fail(resumable.status(), "open resumable");
+  auto first_phase = resumable->Next();
   if (!first_phase.ok()) return Fail(first_phase.status(), "next");
-  Status cancelled = client->Cancel("resumable");
+  Status cancelled = resumable->Cancel();
   if (!cancelled.ok()) return Fail(cancelled, "cancel");
-  auto after_cancel = client->Next("resumable");
-  if (!after_cancel.ok()) return Fail(after_cancel.status(), "next");
-  std::printf("\ncancelled session \"resumable\" after phase 1: next says "
-              "%s\n",
-              after_cancel->has_value() ? "still running?!" : "drained");
+  size_t drained_after = 0;
+  while (true) {
+    auto progress = resumable->Next();
+    if (!progress.ok()) return Fail(progress.status(), "next after cancel");
+    if (!progress->has_value()) break;
+    ++drained_after;
+  }
+  std::printf("\ncancelled session \"resumable\" after phase 1: stream "
+              "drained (%zu in-flight frame(s) delivered first)\n",
+              drained_after);
 
-  Status resumed = client->Resume("resumable");
+  Status resumed = resumable->Resume();
   if (!resumed.ok()) return Fail(resumed, "resume");
   size_t resumed_phases = 0;
   while (true) {
-    auto progress = client->Next("resumable");
+    auto progress = resumable->Next();
     if (!progress.ok()) return Fail(progress.status(), "next after resume");
     if (!progress->has_value()) break;
     ++resumed_phases;
   }
-  auto resumed_result = client->Finish("resumable");
+  auto resumed_result = resumable->Finish();
   if (!resumed_result.ok()) return Fail(resumed_result.status(), "finish");
+  ++push_sessions_completed;
   std::printf("resumed and ran %zu more phases; top view: %s (cancelled "
               "flag: %s)\n",
               resumed_phases,
@@ -157,6 +178,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(status->requests));
 
   if (local_server != nullptr) local_server->Stop();
-  std::printf("\n=== walkthrough complete ===\n");
+  // CI greps this exact line: the smoke test is only meaningful if at least
+  // one session actually streamed over server push.
+  std::printf("\npush sessions completed: %zu\n",
+              client->push_enabled() ? push_sessions_completed : size_t{0});
+  std::printf("=== walkthrough complete ===\n");
   return 0;
 }

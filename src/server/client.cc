@@ -58,13 +58,18 @@ Result<Client> Client::ConnectTcp(const std::string& host, int port) {
 }
 
 Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)),
+      handshake_(other.handshake_),
+      push_(std::move(other.push_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
     buffer_ = std::move(other.buffer_);
+    handshake_ = other.handshake_;
+    push_ = std::move(other.push_);
   }
   return *this;
 }
@@ -92,6 +97,42 @@ Result<std::string> Client::ReadLine() {
   }
 }
 
+Result<JsonValue> Client::ReadFrame() {
+  SEEDB_ASSIGN_OR_RETURN(std::string line, ReadLine());
+  return ParseJson(line);
+}
+
+void Client::StashPush(JsonValue frame) {
+  PushStream& stream = push_[frame.GetString("id")];
+  if (frame.GetString("type") == "drained") stream.drained = true;
+  stream.frames.push_back(std::move(frame));
+}
+
+Result<JsonValue> Client::NextPushFrame(const std::string& id) {
+  while (true) {
+    PushStream& stream = push_[id];
+    if (!stream.frames.empty()) {
+      JsonValue frame = std::move(stream.frames.front());
+      stream.frames.pop_front();
+      return frame;
+    }
+    if (stream.drained) {
+      // The stream already ended; keep answering drained instead of
+      // blocking on a socket that will stay silent for this id.
+      JsonValue frame = JsonValue::Object();
+      frame.Set("ok", JsonValue::Bool(true));
+      frame.Set("id", JsonValue::Str(id));
+      frame.Set("type", JsonValue::Str("drained"));
+      return frame;
+    }
+    SEEDB_ASSIGN_OR_RETURN(JsonValue frame, ReadFrame());
+    if (!frame.GetBool("push")) {
+      return Status::Internal("unsolicited non-push frame: " + frame.Dump());
+    }
+    StashPush(std::move(frame));  // note: push_[...] may rehash; loop re-looks-up
+  }
+}
+
 Result<std::string> Client::CallRaw(const std::string& line) {
   if (fd_ < 0) return Status::Internal("client not connected");
   std::string framed = line;
@@ -101,8 +142,35 @@ Result<std::string> Client::CallRaw(const std::string& line) {
 }
 
 Result<JsonValue> Client::Call(const JsonValue& request) {
-  SEEDB_ASSIGN_OR_RETURN(std::string line, CallRaw(request.Dump()));
-  return ParseJson(line);
+  if (fd_ < 0) return Status::Internal("client not connected");
+  std::string framed = request.Dump();
+  framed.push_back('\n');
+  if (!WriteAll(fd_, framed)) return ErrnoStatus("send");
+  // Responses arrive in request order; push frames may interleave ahead of
+  // the response and are stashed for their sessions.
+  while (true) {
+    SEEDB_ASSIGN_OR_RETURN(JsonValue frame, ReadFrame());
+    if (frame.GetBool("push")) {
+      StashPush(std::move(frame));
+      continue;
+    }
+    return frame;
+  }
+}
+
+Status Client::Hello(int version, bool request_push) {
+  std::vector<std::string> capabilities;
+  if (request_push) capabilities.push_back(kCapPush);
+  SEEDB_ASSIGN_OR_RETURN(JsonValue response,
+                         Call(HelloRequestToJson(version, capabilities)));
+  if (!response.GetBool("ok")) {
+    // A pre-v2 server: unknown op. Stay on v1 — everything still works,
+    // just by polling.
+    handshake_ = Handshake{};
+    return Status::OK();
+  }
+  SEEDB_ASSIGN_OR_RETURN(handshake_, HandshakeFromJson(response));
+  return Status::OK();
 }
 
 Status Client::Open(const std::string& id, const OpenSpec& spec) {
@@ -111,7 +179,28 @@ Status Client::Open(const std::string& id, const OpenSpec& spec) {
   return CheckOk(response);
 }
 
+Result<RemoteSession> Client::OpenSession(const std::string& id,
+                                          const OpenSpec& spec) {
+  if (!push_enabled()) {
+    return Status::InvalidArgument(
+        "OpenSession needs a push-mode connection (call Hello() first)");
+  }
+  SEEDB_RETURN_IF_ERROR(Open(id, spec));
+  return RemoteSession(this, id);
+}
+
 Result<std::optional<RemoteProgress>> Client::Next(const std::string& id) {
+  if (push_enabled()) {
+    // Deprecated shim: the server already pushed every update; drain the
+    // local queue instead of making a polling round-trip.
+    SEEDB_ASSIGN_OR_RETURN(JsonValue frame, NextPushFrame(id));
+    SEEDB_RETURN_IF_ERROR(CheckOk(frame));
+    if (frame.GetString("type") == "drained") {
+      return std::optional<RemoteProgress>();
+    }
+    SEEDB_ASSIGN_OR_RETURN(RemoteProgress progress, ProgressFromJson(frame));
+    return std::optional<RemoteProgress>(std::move(progress));
+  }
   JsonValue request = JsonValue::Object();
   request.Set("op", JsonValue::Str("next"));
   request.Set("id", JsonValue::Str(id));
@@ -137,7 +226,11 @@ Status Client::Resume(const std::string& id) {
   request.Set("op", JsonValue::Str("resume"));
   request.Set("id", JsonValue::Str(id));
   SEEDB_ASSIGN_OR_RETURN(JsonValue response, Call(request));
-  return CheckOk(response);
+  SEEDB_RETURN_IF_ERROR(CheckOk(response));
+  // The server drives again after a push-mode resume: reopen the local
+  // stream so the new frames are consumable past the old drained marker.
+  if (push_enabled()) push_[id].drained = false;
+  return Status::OK();
 }
 
 Result<RemoteResult> Client::Finish(const std::string& id) {
@@ -146,6 +239,7 @@ Result<RemoteResult> Client::Finish(const std::string& id) {
   request.Set("id", JsonValue::Str(id));
   SEEDB_ASSIGN_OR_RETURN(JsonValue response, Call(request));
   SEEDB_RETURN_IF_ERROR(CheckOk(response));
+  push_.erase(id);
   return ResultFromJson(response);
 }
 
@@ -157,5 +251,34 @@ Result<RemoteStatus> Client::GetStatus(const std::string& id) {
   SEEDB_RETURN_IF_ERROR(CheckOk(response));
   return StatusFromJson(response);
 }
+
+Result<RemoteResult> RemoteSession::Await() {
+  while (true) {
+    SEEDB_ASSIGN_OR_RETURN(JsonValue frame, client_->NextPushFrame(id_));
+    const std::string type = frame.GetString("type");
+    if (type == "drained") break;
+    if (!frame.GetBool("ok")) {
+      // Mid-stream failure (budget breach, execution error): remember it,
+      // keep pumping to the drained marker, still fetch partial results.
+      last_error_ = StatusFromErrorResponse(frame);
+      continue;
+    }
+    if (type == "progress" && on_progress_) {
+      SEEDB_ASSIGN_OR_RETURN(RemoteProgress progress, ProgressFromJson(frame));
+      on_progress_(progress);
+    }
+  }
+  return client_->Finish(id_);
+}
+
+Result<std::optional<RemoteProgress>> RemoteSession::Next() {
+  Result<std::optional<RemoteProgress>> next = client_->Next(id_);
+  if (!next.ok()) last_error_ = next.status();
+  return next;
+}
+
+Status RemoteSession::Cancel() { return client_->Cancel(id_); }
+
+Status RemoteSession::Resume() { return client_->Resume(id_); }
 
 }  // namespace seedb::server

@@ -1,35 +1,52 @@
 // Client library for the recommendation server: a blocking connection
-// speaking the line-delimited JSON protocol of server/protocol.h, with
-// typed wrappers mirroring the RecommendationSession surface.
+// speaking the line-delimited JSON protocol of server/protocol.h.
+//
+// Protocol v2 (the default): Hello() negotiates the `push` capability, and
+// sessions opened on the connection are driven by the server — progress
+// arrives as unsolicited push frames, consumed through a RemoteSession:
 //
 //   SEEDB_ASSIGN_OR_RETURN(auto client, Client::ConnectUnix("/tmp/seedb.sock"));
+//   SEEDB_RETURN_IF_ERROR(client.Hello());
 //   OpenSpec spec;
 //   spec.sql = "SELECT * FROM sales WHERE product = 'Laserwave'";
 //   spec.k = 3;
 //   spec.phases = 8;
-//   SEEDB_RETURN_IF_ERROR(client.Open("s1", spec));
-//   while (true) {
-//     SEEDB_ASSIGN_OR_RETURN(auto progress, client.Next("s1"));
-//     if (!progress.has_value()) break;     // drained
-//     ...  // provisional top-k, rows scanned, memory footprint
-//   }
-//   SEEDB_ASSIGN_OR_RETURN(RemoteResult result, client.Finish("s1"));
+//   SEEDB_ASSIGN_OR_RETURN(RemoteSession session, client.OpenSession("s1", spec));
+//   session.OnProgress([](const RemoteProgress& p) { ... });  // per phase
+//   SEEDB_ASSIGN_OR_RETURN(RemoteResult result, session.Await());
+//
+// Await() pumps the push stream — no polling round-trips — delivering each
+// phase's frame to the OnProgress callback, and finishes the session once
+// the server signals `drained`. A mid-stream server error (e.g. a memory
+// budget breach) is remembered in last_error() and Await() still finishes,
+// so partial results come back exactly as they do in-process.
+//
+// Legacy v1: skip Hello() and the connection polls — Open() / Next() /
+// Finish() make one request round-trip each, unchanged. On a push-mode
+// connection Next() survives as a DEPRECATED shim that drains the local
+// push queue (again no round-trips), so v1-shaped loops keep working.
 //
 // Server-side failures come back as the Status the server produced (codes
 // round-trip through the protocol's error tokens) — a budget breach is the
-// same OutOfRange the in-process session returns. Used by the CLI's
-// \connect mode, the differential/stress suites, and bench_server.
+// same OutOfRange the in-process session returns, admission shedding is
+// kUnavailable ("busy"). Used by the CLI's \connect mode, the
+// differential/stress suites, and bench_server.
 
 #ifndef SEEDB_SERVER_CLIENT_H_
 #define SEEDB_SERVER_CLIENT_H_
 
+#include <deque>
+#include <functional>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "server/protocol.h"
 #include "util/result.h"
 
 namespace seedb::server {
+
+class RemoteSession;
 
 /// \brief One connection to a RecommendationServer. Blocking, not
 /// thread-safe (one request in flight at a time); open several clients for
@@ -45,18 +62,37 @@ class Client {
   Client& operator=(Client&& other) noexcept;
   ~Client();
 
+  /// Negotiates the protocol version and capabilities (push on by
+  /// default). A server predating `hello` answers with an error; the
+  /// client then stays on v1 silently, so connecting tooling works against
+  /// either generation.
+  Status Hello(int version = kProtocolVersion, bool request_push = true);
+  const Handshake& handshake() const { return handshake_; }
+  /// True once Hello() negotiated server-driven push frames.
+  bool push_enabled() const { return handshake_.push; }
+  /// The raw socket (bench_server multiplexes many clients via poll()).
+  int fd() const { return fd_; }
+
   /// Sends one request object and returns the parsed response frame
   /// (including {"ok":false,...} error frames — the typed wrappers below
-  /// convert those to Status).
+  /// convert those to Status). Push frames arriving ahead of the response
+  /// are stashed into their sessions' queues, never lost.
   Result<JsonValue> Call(const JsonValue& request);
 
   /// Sends a raw line verbatim and returns the raw response line — the
   /// protocol tests' hatch for malformed input the typed API cannot send.
+  /// Does NOT sift push frames; use on v1 connections.
   Result<std::string> CallRaw(const std::string& line);
 
   Status Open(const std::string& id, const OpenSpec& spec);
-  /// nullopt once the session is drained (every phase ran, or it was
-  /// cancelled / early-stopped / budget-stopped before this call).
+  /// Protocol v2: opens a server-driven session and returns its handle.
+  /// The handle borrows this client — keep the client alive (and unmoved)
+  /// while using it.
+  Result<RemoteSession> OpenSession(const std::string& id,
+                                    const OpenSpec& spec);
+  /// v1: one polling round-trip; nullopt once the session is drained. On a
+  /// push connection this is the deprecated compatibility shim — it pops
+  /// the next pushed update instead (no request is sent).
   Result<std::optional<RemoteProgress>> Next(const std::string& id);
   Status Cancel(const std::string& id);
   Status Resume(const std::string& id);
@@ -66,13 +102,80 @@ class Client {
   Result<RemoteStatus> GetStatus(const std::string& id = "");
 
  private:
+  friend class RemoteSession;
+
   explicit Client(int fd) : fd_(fd) {}
 
   Result<std::string> ReadLine();
+  Result<JsonValue> ReadFrame();
+  /// Files a push frame into its session's queue.
+  void StashPush(JsonValue frame);
+  /// The next push frame addressed to `id`, reading off the socket as
+  /// needed. Once the stream drained, synthesizes further drained frames
+  /// instead of blocking on a socket that will stay silent.
+  Result<JsonValue> NextPushFrame(const std::string& id);
+
+  /// Per-session push stream: frames not yet consumed, and whether the
+  /// server already said `drained`.
+  struct PushStream {
+    std::deque<JsonValue> frames;
+    bool drained = false;
+  };
 
   int fd_ = -1;
   /// Bytes read past the last returned line.
   std::string buffer_;
+  Handshake handshake_;
+  std::unordered_map<std::string, PushStream> push_;
+};
+
+/// \brief Handle to one server-driven session on a push-mode connection.
+///
+/// Borrows its Client (which must outlive it); not thread-safe, same as the
+/// client. Progress consumption is callback-style — OnProgress + Await —
+/// or, for v1-shaped code, the deprecated Next() shim.
+class RemoteSession {
+ public:
+  const std::string& id() const { return id_; }
+
+  /// Registers the callback Await() hands each pushed progress frame to.
+  void OnProgress(std::function<void(const RemoteProgress&)> fn) {
+    on_progress_ = std::move(fn);
+  }
+
+  /// Pumps the push stream until the server signals drained — delivering
+  /// every progress frame to the OnProgress callback — then finishes the
+  /// session and returns the final result. A mid-stream error frame (e.g.
+  /// budget breach) is stored in last_error() and Await() still finishes:
+  /// partial results return exactly as in-process.
+  Result<RemoteResult> Await();
+
+  /// DEPRECATED v1-compatibility shim: pops the next pushed update,
+  /// nullopt once drained. No polling round-trip is made — the frames were
+  /// already pushed. New code should use OnProgress + Await.
+  Result<std::optional<RemoteProgress>> Next();
+
+  /// Flips the server-side cancel token; the in-flight phase stops at
+  /// morsel granularity and the stream then drains.
+  Status Cancel();
+  /// Re-opens a cancelled session; the server resumes driving and pushing
+  /// to this connection.
+  Status Resume();
+  /// Explicit finish (Await() does this for you).
+  Result<RemoteResult> Finish() { return client_->Finish(id_); }
+
+  /// The last mid-stream error frame Await()/Next() saw (OK if none).
+  const Status& last_error() const { return last_error_; }
+
+ private:
+  friend class Client;
+  RemoteSession(Client* client, std::string id)
+      : client_(client), id_(std::move(id)) {}
+
+  Client* client_;
+  std::string id_;
+  std::function<void(const RemoteProgress&)> on_progress_;
+  Status last_error_;
 };
 
 }  // namespace seedb::server

@@ -1,5 +1,6 @@
 #include "server/net_util.h"
 
+#include <fcntl.h>
 #include <sys/socket.h>
 
 #include <cerrno>
@@ -22,6 +23,15 @@ bool WriteAll(int fd, const std::string& data) {
     off += static_cast<size_t>(n);
   }
   return true;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return ErrnoStatus("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::OK();
 }
 
 }  // namespace seedb::server

@@ -17,6 +17,9 @@ Status ErrnoStatus(const std::string& what);
 /// turns a peer that hung up into a false return instead of SIGPIPE.
 bool WriteAll(int fd, const std::string& data);
 
+/// Puts the descriptor in non-blocking mode (the event loop's sockets).
+Status SetNonBlocking(int fd);
+
 }  // namespace seedb::server
 
 #endif  // SEEDB_SERVER_NET_UTIL_H_

@@ -1,5 +1,6 @@
 #include "server/protocol.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -82,6 +83,8 @@ const char* StatusCodeToken(StatusCode code) {
       return "io_error";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kUnavailable:
+      return "busy";
   }
   return "internal";
 }
@@ -94,6 +97,7 @@ StatusCode StatusCodeFromToken(const std::string& token) {
   if (token == "out_of_range") return StatusCode::kOutOfRange;
   if (token == "not_implemented") return StatusCode::kNotImplemented;
   if (token == "io_error") return StatusCode::kIOError;
+  if (token == "busy") return StatusCode::kUnavailable;
   return StatusCode::kInternal;
 }
 
@@ -111,6 +115,62 @@ Status StatusFromErrorResponse(const JsonValue& response) {
   std::string message = response.GetString("error", "server error");
   if (code == StatusCode::kOk) code = StatusCode::kInternal;
   return Status(code, std::move(message));
+}
+
+JsonValue HelloRequestToJson(int version,
+                             const std::vector<std::string>& capabilities) {
+  JsonValue v = JsonValue::Object();
+  v.Set("op", JsonValue::Str("hello"));
+  v.Set("version", JsonValue::Number(static_cast<double>(version)));
+  JsonValue caps = JsonValue::Array();
+  for (const std::string& cap : capabilities) caps.Append(JsonValue::Str(cap));
+  v.Set("capabilities", std::move(caps));
+  return v;
+}
+
+Handshake NegotiateHello(const JsonValue& request) {
+  Handshake hs;
+  int64_t requested = request.GetInt("version", 1);
+  if (requested < 1) requested = 1;
+  hs.version = static_cast<int>(
+      std::min<int64_t>(requested, kProtocolVersion));
+  if (hs.version >= 2) {
+    if (const JsonValue* caps = request.Find("capabilities");
+        caps != nullptr && caps->is_array()) {
+      for (const JsonValue& cap : caps->items()) {
+        // Only `push` is supported; `binary_frames` and anything unknown are
+        // silently dropped from the intersection.
+        if (cap.is_string() && cap.AsString() == kCapPush) hs.push = true;
+      }
+    }
+  }
+  return hs;
+}
+
+JsonValue HelloResponseToJson(const Handshake& handshake) {
+  JsonValue v = JsonValue::Object();
+  v.Set("ok", JsonValue::Bool(true));
+  v.Set("type", JsonValue::Str("hello"));
+  v.Set("version", JsonValue::Number(static_cast<double>(handshake.version)));
+  JsonValue caps = JsonValue::Array();
+  if (handshake.push) caps.Append(JsonValue::Str(kCapPush));
+  v.Set("capabilities", std::move(caps));
+  return v;
+}
+
+Result<Handshake> HandshakeFromJson(const JsonValue& response) {
+  if (response.GetString("type") != "hello") {
+    return Status::InvalidArgument("not a hello frame: " + response.Dump());
+  }
+  Handshake hs;
+  hs.version = static_cast<int>(response.GetInt("version", 1));
+  if (const JsonValue* caps = response.Find("capabilities");
+      caps != nullptr && caps->is_array()) {
+    for (const JsonValue& cap : caps->items()) {
+      if (cap.is_string() && cap.AsString() == kCapPush) hs.push = true;
+    }
+  }
+  return hs;
 }
 
 JsonValue OpenRequestToJson(const std::string& id, const OpenSpec& spec) {

@@ -1,8 +1,10 @@
 // Wire protocol of the recommendation server: line-delimited JSON.
 //
 // Every message is one JSON object on one line. Requests name an operation
-// and (except server-wide `status`) a client-chosen session id:
+// and (except `hello` and server-wide `status`) a client-chosen session id:
 //
+//   {"op":"hello","version":2,"capabilities":["push"]}
+//                                                  -> {"ok":true,"type":"hello",...}
 //   {"op":"open","id":"s1","sql":"SELECT * FROM sales WHERE ...","k":3,
 //    "phases":8,"pruner":"ci"}                     -> {"ok":true,"type":"opened",...}
 //   {"op":"next","id":"s1"}                        -> {"ok":true,"type":"progress",...}
@@ -12,12 +14,30 @@
 //   {"op":"status","id":"s1"} / {"op":"status"}    -> {"ok":true,"type":"status",...}
 //   {"op":"finish","id":"s1"}                      -> {"ok":true,"type":"result",...}
 //
+// Protocol v2 (negotiated by `hello` with the `push` capability): a session
+// opened on a v2 connection is DRIVEN BY THE SERVER — every completed
+// phase's ProgressUpdate arrives as an unsolicited push frame the moment it
+// completes, no `next` polling. Push frames are distinguished from
+// responses by "push":true and carry a per-session "seq" plus the server's
+// steady-clock send stamp "ts_us" (frame-delivery latency measurement):
+//
+//   {"ok":true,"id":"s1","type":"progress","push":true,"seq":1,...}
+//   {"ok":true,"id":"s1","type":"drained","push":true,"seq":4}
+//
+// After the drained push frame the client sends `finish` and receives the
+// same `result` frame v1 gets — results over push are bit-identical to v1
+// and to in-process runs. Connections that skip `hello` get the legacy v1
+// polling behavior unchanged. The `binary_frames` capability name is
+// RESERVED for bulk view data; the server never advertises it yet.
+//
 // Failures are {"ok":false,"error":"...","code":"invalid_argument"|...} and
 // never tear down the connection; the error codes round-trip seedb::Status
 // codes so the client library can hand callers the same Status the server
-// produced. Doubles are serialized with %.17g (see server/json.h), so
-// utilities fetched over the wire compare EQUAL to in-process results — the
-// server_equivalence differential suite pins that.
+// produced ("busy" maps to kUnavailable — admission control shedding an
+// `open`; such frames carry a "retry_after_ms" hint). Doubles are
+// serialized with %.17g (see server/json.h), so utilities fetched over the
+// wire compare EQUAL to in-process results — the server_equivalence
+// differential suite pins that.
 //
 // This header is shared by the server (encode results / decode requests)
 // and the client library (the reverse); the Remote* structs are the
@@ -37,6 +57,13 @@
 
 namespace seedb::server {
 
+/// The highest protocol version this build speaks.
+inline constexpr int kProtocolVersion = 2;
+/// Capability tokens. kCapPush: server-driven push frames. kCapBinaryFrames
+/// is reserved (never advertised yet).
+inline constexpr const char* kCapPush = "push";
+inline constexpr const char* kCapBinaryFrames = "binary_frames";
+
 // --- Status <-> error-code tokens ---
 
 /// Stable lower-case token for an error code ("invalid_argument", ...).
@@ -48,6 +75,30 @@ JsonValue ErrorResponse(const Status& status, const std::string& id);
 
 /// Reconstructs the Status carried by an {"ok":false,...} response.
 Status StatusFromErrorResponse(const JsonValue& response);
+
+// --- Protocol v2 handshake ---
+
+/// What a `hello` negotiated: the version both sides speak and whether the
+/// connection is in push mode.
+struct Handshake {
+  int version = 1;
+  bool push = false;
+};
+
+/// The client's `hello` line: requested version + capabilities.
+JsonValue HelloRequestToJson(int version, const std::vector<std::string>& capabilities);
+
+/// Server side: negotiates against `request` (min of versions, intersection
+/// of capabilities with what this build supports). Unknown requested
+/// capabilities are ignored, never errors — forward compatibility.
+Handshake NegotiateHello(const JsonValue& request);
+
+/// {"ok":true,"type":"hello","version":...,"capabilities":[...]} for a
+/// completed negotiation.
+JsonValue HelloResponseToJson(const Handshake& handshake);
+
+/// Client side: the Handshake a server's hello response describes.
+Result<Handshake> HandshakeFromJson(const JsonValue& response);
 
 // --- Open requests ---
 

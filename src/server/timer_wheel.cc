@@ -1,0 +1,67 @@
+#include "server/timer_wheel.h"
+
+#include <algorithm>
+
+namespace seedb::server {
+
+TimerWheel::TimerWheel(uint64_t tick_ms, size_t num_slots)
+    : tick_ms_(tick_ms == 0 ? 1 : tick_ms),
+      slots_(std::max<size_t>(num_slots, 2)) {}
+
+void TimerWheel::Schedule(const std::string& key, uint64_t now_ms,
+                          uint64_t delay_ms) {
+  if (!started_) {
+    // Anchor the wheel's epoch at the first schedule, so absolute times
+    // from any clock base work.
+    current_tick_ = now_ms / tick_ms_;
+    started_ = true;
+  }
+  Cancel(key);
+  // Round the due time UP to a tick so a timer never fires early, and park
+  // entries scheduled for ticks the cursor already passed in the next slot.
+  const uint64_t due_tick =
+      std::max((now_ms + delay_ms + tick_ms_ - 1) / tick_ms_,
+               current_tick_ + 1);
+  const uint64_t ticks_ahead = due_tick - current_tick_;
+  Entry entry;
+  entry.slot = (cursor_ + ticks_ahead) % slots_.size();
+  entry.rounds = ticks_ahead / slots_.size();
+  slots_[entry.slot].push_back(key);
+  entries_[key] = entry;
+}
+
+void TimerWheel::Cancel(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  std::vector<std::string>& slot = slots_[it->second.slot];
+  slot.erase(std::remove(slot.begin(), slot.end(), key), slot.end());
+  entries_.erase(it);
+}
+
+void TimerWheel::Advance(uint64_t now_ms, std::vector<std::string>* expired) {
+  if (!started_) return;
+  const uint64_t target_tick = now_ms / tick_ms_;
+  while (current_tick_ < target_tick) {
+    ++current_tick_;
+    cursor_ = (cursor_ + 1) % slots_.size();
+    std::vector<std::string>& slot = slots_[cursor_];
+    size_t kept = 0;
+    for (size_t i = 0; i < slot.size(); ++i) {
+      auto it = entries_.find(slot[i]);
+      if (it == entries_.end()) continue;  // cancelled but not yet swept
+      if (it->second.rounds > 0) {
+        --it->second.rounds;
+        // Compact in place; guard the kept==i case (self-move would
+        // corrupt the key).
+        if (kept != i) slot[kept] = std::move(slot[i]);
+        ++kept;
+        continue;
+      }
+      entries_.erase(it);
+      expired->push_back(std::move(slot[i]));
+    }
+    slot.resize(kept);
+  }
+}
+
+}  // namespace seedb::server

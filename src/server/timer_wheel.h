@@ -1,0 +1,66 @@
+// A hashed timer wheel for the serving loop's session idle-timeout
+// eviction: O(1) schedule/cancel, O(slots touched) advance, no per-timer
+// allocation churn beyond the entry itself.
+//
+// The wheel is an array of slots, each one tick wide; a timer due in d ms
+// lands in slot (cursor + d/tick) % slots, carrying a rounds counter for
+// delays longer than one full revolution. Advance(now) walks the slots the
+// clock has passed and returns the keys whose timers expired. Rescheduling
+// an existing key moves its (single) timer — the serving loop re-arms a
+// session's eviction timer on every touch via the lazy pattern: expire,
+// check the session's real last-activity stamp, re-schedule the remainder
+// if it was touched since.
+//
+// Thread-safety: externally synchronized (the event loop owns the wheel and
+// guards it with one mutex — see RecommendationServer).
+
+#ifndef SEEDB_SERVER_TIMER_WHEEL_H_
+#define SEEDB_SERVER_TIMER_WHEEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace seedb::server {
+
+class TimerWheel {
+ public:
+  /// `tick_ms` is the expiry granularity; `num_slots` * `tick_ms` is the
+  /// span one revolution covers (longer delays take extra rounds).
+  explicit TimerWheel(uint64_t tick_ms = 100, size_t num_slots = 512);
+
+  /// Schedules (or moves) `key` to fire `delay_ms` from `now_ms`. A delay
+  /// of zero fires on the next Advance() that crosses a tick boundary.
+  void Schedule(const std::string& key, uint64_t now_ms, uint64_t delay_ms);
+
+  /// Drops `key`'s pending timer, if any.
+  void Cancel(const std::string& key);
+
+  /// Advances the wheel to `now_ms` and appends every expired key to
+  /// `expired` (unordered across slots). Keys fire at most once per
+  /// Schedule().
+  void Advance(uint64_t now_ms, std::vector<std::string>* expired);
+
+  size_t pending() const { return entries_.size(); }
+  uint64_t tick_ms() const { return tick_ms_; }
+
+ private:
+  struct Entry {
+    size_t slot = 0;
+    /// Full revolutions left before this entry may fire.
+    uint64_t rounds = 0;
+  };
+
+  uint64_t tick_ms_;
+  std::vector<std::vector<std::string>> slots_;
+  std::unordered_map<std::string, Entry> entries_;
+  /// The slot the cursor sits on and the absolute tick it represents.
+  size_t cursor_ = 0;
+  uint64_t current_tick_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace seedb::server
+
+#endif  // SEEDB_SERVER_TIMER_WHEEL_H_

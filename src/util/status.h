@@ -22,6 +22,10 @@ enum class StatusCode {
   kNotImplemented,
   kIOError,
   kInternal,
+  /// The service is saturated and shedding load; retry later. The serving
+  /// layer's admission control answers `open` with this ("busy" on the wire)
+  /// when the Engine has no phase capacity left.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("Invalid argument",
@@ -61,6 +65,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -187,6 +187,82 @@ TEST_F(ServerEquivalenceTest, WireResultsEqualInProcessRunAcrossMatrix) {
   }
 }
 
+// The same differential oracle under protocol v2: results consumed from
+// the server-driven push stream (hello -> open -> Await) must STILL be
+// bit-identical to in-process Run() — the transport changed, the numbers
+// must not. Progress frames are compared too: the pushed per-phase
+// rankings equal the in-process session's, phase for phase.
+TEST_F(ServerEquivalenceTest, PushWireResultsEqualInProcessRunAcrossMatrix) {
+  auto client = Client::ConnectUnix(*socket_path_);
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE(client->Hello().ok());
+  ASSERT_TRUE(client->push_enabled());
+  core::SeeDB seedb(engine_);
+
+  size_t config_index = 0;
+  for (const MatrixConfig& config : BuildMatrix()) {
+    SCOPED_TRACE(config.label);
+    const std::string id = "push-matrix-" + std::to_string(config_index++);
+
+    // In-process truth: the full streaming session, phase by phase.
+    auto request = OpenRequestFromJson(OpenRequestToJson(id, config.spec));
+    ASSERT_TRUE(request.ok()) << request.status();
+    auto local = seedb.Open(*request);
+    ASSERT_TRUE(local.ok()) << local.status();
+    std::vector<core::ProgressUpdate> local_updates;
+    while (true) {
+      auto update = local->Next();
+      ASSERT_TRUE(update.ok()) << update.status();
+      if (!update->has_value()) break;
+      local_updates.push_back(**update);
+    }
+    auto local_result = local->Finish();
+    ASSERT_TRUE(local_result.ok()) << local_result.status();
+
+    // The same config as a server-driven push session.
+    auto session = client->OpenSession(id, config.spec);
+    ASSERT_TRUE(session.ok()) << session.status();
+    std::vector<RemoteProgress> pushed;
+    session->OnProgress(
+        [&](const RemoteProgress& p) { pushed.push_back(p); });
+    auto remote = session->Await();
+    ASSERT_TRUE(remote.ok()) << remote.status();
+    EXPECT_TRUE(session->last_error().ok());
+
+    // Streamed frames: same count, same provisional rankings, exact.
+    ASSERT_EQ(pushed.size(), local_updates.size());
+    for (size_t i = 0; i < pushed.size(); ++i) {
+      EXPECT_EQ(pushed[i].phase, local_updates[i].phase);
+      EXPECT_EQ(pushed[i].rows_scanned, local_updates[i].rows_scanned);
+      EXPECT_EQ(pushed[i].views_active, local_updates[i].views_active);
+      ASSERT_EQ(pushed[i].top.size(), local_updates[i].top_views.size());
+      for (size_t j = 0; j < pushed[i].top.size(); ++j) {
+        EXPECT_EQ(pushed[i].top[j].id,
+                  local_updates[i].top_views[j].view.Id());
+        EXPECT_EQ(pushed[i].top[j].utility,
+                  local_updates[i].top_views[j].utility);
+      }
+    }
+
+    // Final ranking: view set, order, utilities — bit-identical.
+    ASSERT_EQ(remote->top.size(), local_result->top_views.size());
+    for (size_t i = 0; i < remote->top.size(); ++i) {
+      EXPECT_EQ(remote->top[i].view_id,
+                local_result->top_views[i].view().Id())
+          << "rank " << i + 1;
+      EXPECT_EQ(remote->top[i].utility,
+                local_result->top_views[i].utility())
+          << "rank " << i + 1 << " utility must be bit-identical";
+    }
+    EXPECT_EQ(remote->profile.phases_executed,
+              local_result->profile.phases_executed);
+    EXPECT_EQ(remote->profile.table_scans,
+              local_result->profile.table_scans);
+    EXPECT_EQ(remote->profile.rows_scanned,
+              local_result->profile.rows_scanned);
+  }
+}
+
 // Streaming equivalence: the per-phase progress frames a wire session
 // yields carry the same provisional rankings the in-process session
 // produces, phase for phase.

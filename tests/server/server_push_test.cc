@@ -1,0 +1,512 @@
+// Protocol v2 serving tests: hello negotiation, server-driven push
+// sessions (no polling round-trips), the v1 golden back-compat path,
+// idle-session eviction via the timer wheel, and admission control under
+// both deterministic and 8-thread contended load. ASan/UBSan-clean — CI
+// runs the sanitizer matrix over this file.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../test_util.h"
+#include "db/engine.h"
+#include "server/client.h"
+#include "server/json.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace seedb::server {
+namespace {
+
+// --- Hello negotiation (pure protocol layer) ---
+
+TEST(HelloTest, NegotiatesVersionAndPush) {
+  auto negotiate = [](const std::string& line) {
+    auto parsed = ParseJson(line);
+    EXPECT_TRUE(parsed.ok()) << line;
+    return NegotiateHello(*parsed);
+  };
+  Handshake v2 = negotiate("{\"op\":\"hello\",\"version\":2,"
+                           "\"capabilities\":[\"push\"]}");
+  EXPECT_EQ(v2.version, 2);
+  EXPECT_TRUE(v2.push);
+
+  // A newer client is clamped to what this server speaks.
+  Handshake v9 = negotiate("{\"op\":\"hello\",\"version\":9,"
+                           "\"capabilities\":[\"push\"]}");
+  EXPECT_EQ(v9.version, kProtocolVersion);
+  EXPECT_TRUE(v9.push);
+
+  // v1 never gets push, even if requested.
+  Handshake v1 = negotiate("{\"op\":\"hello\",\"version\":1,"
+                           "\"capabilities\":[\"push\"]}");
+  EXPECT_EQ(v1.version, 1);
+  EXPECT_FALSE(v1.push);
+
+  // No capabilities: v2 framing, but polling.
+  Handshake plain = negotiate("{\"op\":\"hello\",\"version\":2}");
+  EXPECT_EQ(plain.version, 2);
+  EXPECT_FALSE(plain.push);
+
+  // Unknown capabilities are dropped silently (forward compatibility —
+  // binary_frames is reserved but not implemented).
+  Handshake unknown = negotiate(
+      "{\"op\":\"hello\",\"version\":2,"
+      "\"capabilities\":[\"binary_frames\",\"telepathy\",\"push\"]}");
+  EXPECT_TRUE(unknown.push);
+}
+
+TEST(HelloTest, ResponseRoundTripsThroughJson) {
+  Handshake handshake;
+  handshake.version = 2;
+  handshake.push = true;
+  auto back = HandshakeFromJson(HelloResponseToJson(handshake));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->version, 2);
+  EXPECT_TRUE(back->push);
+}
+
+TEST(HelloTest, BusyStatusRoundTripsThroughErrorFrames) {
+  Status busy = Status::Unavailable("server at capacity");
+  JsonValue frame = ErrorResponse(busy, "s1");
+  EXPECT_EQ(frame.GetString("code"), "busy");
+  Status back = StatusFromErrorResponse(frame);
+  EXPECT_EQ(back.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(back.message(), "server at capacity");
+}
+
+// --- Fixture: a live server over the Laserwave table ---
+
+class PushServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options) {
+    socket_path_ = "/tmp/seedb_push_test_" + std::to_string(::getpid()) +
+                   ".sock";
+    ASSERT_TRUE(
+        catalog_.AddTable("sales", ::seedb::testing::MakeLaserwaveTable())
+            .ok());
+    engine_ = std::make_unique<db::Engine>(&catalog_);
+    options.unix_path = socket_path_;
+    server_ = std::make_unique<RecommendationServer>(engine_.get(), options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  OpenSpec LaserwaveSpec(size_t phases = 4) {
+    OpenSpec spec;
+    spec.sql = "SELECT * FROM sales WHERE product = 'Laserwave'";
+    spec.k = 2;
+    spec.phases = phases;
+    return spec;
+  }
+
+  db::Catalog catalog_;
+  std::unique_ptr<db::Engine> engine_;
+  std::unique_ptr<RecommendationServer> server_;
+  std::string socket_path_;
+};
+
+// --- v1 golden back-compat: a client that never says hello ---
+
+TEST_F(PushServerTest, V1ClientWithoutHelloStillPolls) {
+  StartServer(ServerOptions{});
+  auto client = Client::ConnectUnix(socket_path_);
+  ASSERT_TRUE(client.ok());
+  ASSERT_FALSE(client->push_enabled());
+
+  ASSERT_TRUE(client->Open("legacy", LaserwaveSpec(3)).ok());
+  for (int i = 1; i <= 3; ++i) {
+    auto progress = client->Next("legacy");
+    ASSERT_TRUE(progress.ok()) << progress.status();
+    ASSERT_TRUE(progress->has_value());
+    EXPECT_EQ((**progress).phase, static_cast<size_t>(i));
+  }
+  auto drained = client->Next("legacy");
+  ASSERT_TRUE(drained.ok());
+  EXPECT_FALSE(drained->has_value());
+  auto result = client->Finish("legacy");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->top.size(), 2u);
+
+  // The golden property: no hello, no pushes — the server never sent an
+  // unsolicited frame, and every progress update cost one round-trip.
+  ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.push_frames_sent, 0u);
+  EXPECT_EQ(stats.requests, 6u);  // open + 4 next + finish
+}
+
+// The raw v1 wire shape is pinned byte-level: responses carry no "push",
+// "seq", or "ts_us" members, so pre-v2 clients never see unknown keys.
+TEST_F(PushServerTest, V1ResponsesCarryNoV2Markers) {
+  StartServer(ServerOptions{});
+  auto client = Client::ConnectUnix(socket_path_);
+  ASSERT_TRUE(client.ok());
+  std::vector<std::string> responses;
+  for (const char* request :
+       {"{\"op\":\"open\",\"id\":\"shape\",\"sql\":"
+        "\"SELECT * FROM sales WHERE product = 'Laserwave'\",\"phases\":2}",
+        "{\"op\":\"next\",\"id\":\"shape\"}", "{\"op\":\"status\"}"}) {
+    auto raw = client->CallRaw(request);
+    ASSERT_TRUE(raw.ok()) << request;
+    responses.push_back(*raw);
+  }
+  for (const std::string& response : responses) {
+    EXPECT_EQ(response.find("\"push\""), std::string::npos) << response;
+    EXPECT_EQ(response.find("\"seq\""), std::string::npos) << response;
+    EXPECT_EQ(response.find("\"ts_us\""), std::string::npos) << response;
+  }
+}
+
+// --- v2 push sessions ---
+
+TEST_F(PushServerTest, PushSessionStreamsWithoutPollingRoundTrips) {
+  StartServer(ServerOptions{});
+  auto client = Client::ConnectUnix(socket_path_);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Hello().ok());
+  ASSERT_TRUE(client->push_enabled());
+  EXPECT_EQ(client->handshake().version, 2);
+
+  auto session = client->OpenSession("pushed", LaserwaveSpec(4));
+  ASSERT_TRUE(session.ok()) << session.status();
+  std::vector<size_t> phases;
+  session->OnProgress(
+      [&](const RemoteProgress& p) { phases.push_back(p.phase); });
+  auto result = session->Await();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(session->last_error().ok());
+  EXPECT_EQ(phases, (std::vector<size_t>{1, 2, 3, 4}));
+  EXPECT_EQ(result->top.size(), 2u);
+  EXPECT_EQ(result->profile.phases_executed, 4u);
+
+  // THE regression pin for the busy-wait fix: a v2 session costs exactly
+  // three request round-trips — hello, open, finish. Every progress frame
+  // arrived as a push; `next` never touched the wire.
+  ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_GE(stats.push_frames_sent, 5u);  // 4 progress + drained
+}
+
+TEST_F(PushServerTest, PushFramesCarrySequencedV2Markers) {
+  StartServer(ServerOptions{});
+  // Raw socket: pin the wire shape of the push stream itself.
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path_.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string requests =
+      "{\"op\":\"hello\",\"version\":2,\"capabilities\":[\"push\"]}\n"
+      "{\"op\":\"open\",\"id\":\"wire\",\"sql\":"
+      "\"SELECT * FROM sales WHERE product = 'Laserwave'\",\"phases\":3}\n";
+  ASSERT_EQ(::send(fd, requests.data(), requests.size(), 0),
+            static_cast<ssize_t>(requests.size()));
+
+  // Expect: hello ack, opened ack, then 3 progress pushes + drained push.
+  std::string buffer;
+  char chunk[65536];
+  while (std::count(buffer.begin(), buffer.end(), '\n') < 6) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    ASSERT_GT(n, 0) << "server closed early; got: " << buffer;
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  std::vector<JsonValue> frames;
+  size_t start = 0;
+  for (size_t end = buffer.find('\n'); end != std::string::npos;
+       end = buffer.find('\n', start)) {
+    auto frame = ParseJson(buffer.substr(start, end - start));
+    ASSERT_TRUE(frame.ok());
+    frames.push_back(std::move(*frame));
+    start = end + 1;
+  }
+  ASSERT_GE(frames.size(), 6u);
+  EXPECT_EQ(frames[0].GetString("type"), "hello");
+  EXPECT_FALSE(frames[0].GetBool("push"));
+  EXPECT_EQ(frames[1].GetString("type"), "opened");
+  EXPECT_FALSE(frames[1].GetBool("push"));
+  int64_t last_seq = 0;
+  for (size_t i = 2; i < 6; ++i) {
+    EXPECT_TRUE(frames[i].GetBool("push")) << frames[i].Dump();
+    EXPECT_EQ(frames[i].GetString("id"), "wire");
+    EXPECT_GT(frames[i].GetInt("seq"), last_seq) << "seq must increase";
+    last_seq = frames[i].GetInt("seq");
+    EXPECT_GT(frames[i].GetInt("ts_us"), 0) << "missing send stamp";
+    EXPECT_EQ(frames[i].GetString("type"), i < 5 ? "progress" : "drained");
+  }
+  ::close(fd);
+}
+
+TEST_F(PushServerTest, DeprecatedNextShimDrainsThePushQueue) {
+  StartServer(ServerOptions{});
+  auto client = Client::ConnectUnix(socket_path_);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Hello().ok());
+  auto session = client->OpenSession("shim", LaserwaveSpec(3));
+  ASSERT_TRUE(session.ok());
+  size_t phases = 0;
+  while (true) {
+    auto progress = session->Next();
+    ASSERT_TRUE(progress.ok()) << progress.status();
+    if (!progress->has_value()) break;
+    ++phases;
+  }
+  EXPECT_EQ(phases, 3u);
+  ASSERT_TRUE(session->Finish().ok());
+  // Still 3 round-trips: the shim consumed pushes, it did not poll.
+  EXPECT_EQ(server_->stats().requests, 3u);
+}
+
+TEST_F(PushServerTest, CancelAndResumeKeepStreamingOnAPushConnection) {
+  StartServer(ServerOptions{});
+  auto client = Client::ConnectUnix(socket_path_);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Hello().ok());
+  auto session = client->OpenSession("cr", LaserwaveSpec(6));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->Cancel().ok());
+  // The stream drains (possibly after frames already in flight).
+  while (true) {
+    auto progress = session->Next();
+    ASSERT_TRUE(progress.ok()) << progress.status();
+    if (!progress->has_value()) break;
+  }
+  Status resumed_status = session->Resume();
+  if (!resumed_status.ok()) {
+    // The run was already complete before the cancel token landed (the
+    // server drives fast): nothing to resume, which the server reports as
+    // invalid_argument — same as the in-process session.
+    EXPECT_EQ(resumed_status.code(), StatusCode::kInvalidArgument);
+  }
+  auto result = session->Await();
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The run completed: all 6 phases executed across cancel+resume, and the
+  // final profile is a full clean scan.
+  EXPECT_EQ(result->profile.phases_executed, 6u);
+  EXPECT_FALSE(result->profile.cancelled);
+}
+
+// --- Eviction ---
+
+TEST_F(PushServerTest, IdleSessionsAreEvictedAndMemoryAccountedToZero) {
+  ServerOptions options;
+  options.session_idle_timeout_ms = 200;
+  StartServer(options);
+  auto client = Client::ConnectUnix(socket_path_);
+  ASSERT_TRUE(client.ok());
+
+  // Two abandoned v1 sessions: opened, partially driven, never finished.
+  ASSERT_TRUE(client->Open("idle-a", LaserwaveSpec()).ok());
+  ASSERT_TRUE(client->Open("idle-b", LaserwaveSpec()).ok());
+  ASSERT_TRUE(client->Next("idle-a").ok());
+  auto before = client->GetStatus();
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->sessions, 2u);
+  EXPECT_GT(before->memory_bytes, 0u) << "driven session holds agg state";
+
+  // Idle out both sessions. The wheel ticks at timeout/4; give it slack.
+  for (int i = 0; i < 100 && server_->open_sessions() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(server_->open_sessions(), 0u);
+  ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.sessions_evicted, 2u);
+
+  // Evicted ids answer not_found on every op.
+  for (const char* id : {"idle-a", "idle-b"}) {
+    auto next = client->Next(id);
+    EXPECT_FALSE(next.ok());
+    EXPECT_EQ(next.status().code(), StatusCode::kNotFound) << id;
+    auto finish = client->Finish(id);
+    EXPECT_EQ(finish.status().code(), StatusCode::kNotFound) << id;
+  }
+
+  // And the server-wide memory accounting is back to zero.
+  auto after = client->GetStatus();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->sessions, 0u);
+  EXPECT_EQ(after->memory_bytes, 0u);
+}
+
+TEST_F(PushServerTest, ActiveSessionsSurviveTheIdleTimeout) {
+  ServerOptions options;
+  options.session_idle_timeout_ms = 300;
+  StartServer(options);
+  auto client = Client::ConnectUnix(socket_path_);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Open("busy-bee", LaserwaveSpec(4)).ok());
+  // Touch the session well past several timeout windows: activity must
+  // re-arm the (lazy) timer, not race it.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(900);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto status = client->GetStatus("busy-bee");
+    ASSERT_TRUE(status.ok()) << "evicted while active: " << status.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(server_->stats().sessions_evicted, 0u);
+  ASSERT_TRUE(client->Finish("busy-bee").ok());
+}
+
+// --- Admission control ---
+
+TEST_F(PushServerTest, SaturatedOpensShedBusyWithoutRegistryCorruption) {
+  ServerOptions options;
+  options.max_inflight_phases = 2;
+  StartServer(options);
+  auto client = Client::ConnectUnix(socket_path_);
+  ASSERT_TRUE(client.ok());
+
+  // Fill the two admission slots with v1 sessions (in flight until
+  // finished or evicted).
+  ASSERT_TRUE(client->Open("slot-a", LaserwaveSpec()).ok());
+  ASSERT_TRUE(client->Open("slot-b", LaserwaveSpec()).ok());
+
+  // The third open is shed with the structured Busy frame.
+  auto raw = client->CallRaw(
+      "{\"op\":\"open\",\"id\":\"shed\",\"sql\":"
+      "\"SELECT * FROM sales WHERE product = 'Laserwave'\"}");
+  ASSERT_TRUE(raw.ok());
+  auto busy = ParseJson(*raw);
+  ASSERT_TRUE(busy.ok());
+  EXPECT_FALSE(busy->GetBool("ok"));
+  EXPECT_EQ(busy->GetString("code"), "busy");
+  EXPECT_EQ(busy->GetInt("retry_after_ms"), 100);
+  EXPECT_EQ(StatusFromErrorResponse(*busy).code(),
+            StatusCode::kUnavailable);
+
+  // The registry is uncorrupted: both admitted sessions still work, the
+  // shed id does not exist.
+  EXPECT_EQ(server_->open_sessions(), 2u);
+  EXPECT_EQ(client->Next("shed").status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(client->Next("slot-a").ok());
+
+  // Finishing one releases a slot; the retried open is admitted.
+  ASSERT_TRUE(client->Finish("slot-a").ok());
+  ASSERT_TRUE(client->Open("shed", LaserwaveSpec()).ok());
+  ASSERT_TRUE(client->Finish("shed").ok());
+  ASSERT_TRUE(client->Finish("slot-b").ok());
+  ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.sessions_rejected, 1u);
+  EXPECT_EQ(stats.sessions_opened, 3u);
+  EXPECT_EQ(stats.sessions_finished, 3u);
+  EXPECT_EQ(server_->open_sessions(), 0u);
+}
+
+TEST_F(PushServerTest, CompletedPushSessionsReleaseAdmissionSlots) {
+  ServerOptions options;
+  options.max_inflight_phases = 1;
+  StartServer(options);
+  auto client = Client::ConnectUnix(socket_path_);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Hello().ok());
+  // A v2 session leaves the in-flight set once its stream drains — even
+  // before finish — so back-to-back Await loops never trip the limit.
+  for (int i = 0; i < 3; ++i) {
+    auto session =
+        client->OpenSession("seq-" + std::to_string(i), LaserwaveSpec(2));
+    ASSERT_TRUE(session.ok()) << "open " << i << ": " << session.status();
+    ASSERT_TRUE(session->Await().ok());
+  }
+  EXPECT_EQ(server_->stats().sessions_rejected, 0u);
+}
+
+TEST_F(PushServerTest, AdmissionUnderEightThreadStress) {
+  ServerOptions options;
+  options.max_inflight_phases = 3;
+  StartServer(options);
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 6;
+  std::vector<std::string> failures(kThreads);
+  std::atomic<size_t> admitted{0};
+  std::atomic<size_t> shed{0};
+
+  auto worker = [&](int t) {
+    auto client_or = Client::ConnectUnix(socket_path_);
+    if (!client_or.ok()) {
+      failures[t] = "connect: " + client_or.status().ToString();
+      return;
+    }
+    Client client = std::move(*client_or);
+    if (t % 2 == 0) {
+      // Half the threads negotiate push; the server must shed/admit both
+      // generations with one counter.
+      if (Status s = client.Hello(); !s.ok()) {
+        failures[t] = "hello: " + s.ToString();
+        return;
+      }
+    }
+    OpenSpec spec;
+    spec.sql = "SELECT * FROM sales WHERE product = 'Laserwave'";
+    spec.k = 2;
+    spec.phases = 2;
+    for (int i = 0; i < kItersPerThread && failures[t].empty(); ++i) {
+      const std::string id =
+          "adm-" + std::to_string(t) + "-" + std::to_string(i);
+      Status opened = client.Open(id, spec);
+      if (opened.code() == StatusCode::kUnavailable) {
+        // Shed: legal, and the id must NOT have been registered. The probe
+        // only runs on polling clients — on a push connection Next() would
+        // wait on frames the server (correctly) never sends for this id.
+        shed.fetch_add(1);
+        if (!client.push_enabled()) {
+          auto probe = client.Next(id);
+          if (probe.status().code() != StatusCode::kNotFound) {
+            failures[t] = "shed id registered: " + probe.status().ToString();
+          }
+        }
+        continue;
+      }
+      if (!opened.ok()) {
+        failures[t] = "open: " + opened.ToString();
+        break;
+      }
+      admitted.fetch_add(1);
+      while (true) {
+        auto progress = client.Next(id);
+        if (!progress.ok()) {
+          failures[t] = "next: " + progress.status().ToString();
+          return;
+        }
+        if (!progress->has_value()) break;
+      }
+      auto result = client.Finish(id);
+      if (!result.ok()) failures[t] = "finish: " + result.status().ToString();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(failures[t].empty()) << "thread " << t << ": " << failures[t];
+  }
+
+  // Registry coherence after the storm: everything admitted was finished,
+  // the books balance, and the counters agree with what the threads saw.
+  ServerStats stats = server_->stats();
+  EXPECT_EQ(server_->open_sessions(), 0u);
+  EXPECT_EQ(stats.sessions_opened, admitted.load());
+  EXPECT_EQ(stats.sessions_finished, admitted.load());
+  EXPECT_EQ(stats.sessions_rejected, shed.load());
+  EXPECT_EQ(admitted.load() + shed.load(),
+            static_cast<size_t>(kThreads) * kItersPerThread);
+}
+
+}  // namespace
+}  // namespace seedb::server

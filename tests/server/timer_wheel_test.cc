@@ -1,0 +1,107 @@
+// Timer-wheel unit tests: scheduling, cancellation, re-scheduling (the
+// lazy re-arm pattern the server's eviction uses), multi-revolution
+// delays, and the at-most-once firing guarantee.
+
+#include "server/timer_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace seedb::server {
+namespace {
+
+std::vector<std::string> AdvanceTo(TimerWheel* wheel, uint64_t now_ms) {
+  std::vector<std::string> expired;
+  wheel->Advance(now_ms, &expired);
+  std::sort(expired.begin(), expired.end());
+  return expired;
+}
+
+TEST(TimerWheelTest, FiresAtTheScheduledDelay) {
+  TimerWheel wheel(/*tick_ms=*/10, /*num_slots=*/8);
+  wheel.Schedule("a", /*now_ms=*/1000, /*delay_ms=*/50);
+  EXPECT_EQ(wheel.pending(), 1u);
+  EXPECT_TRUE(AdvanceTo(&wheel, 1040).empty());
+  EXPECT_EQ(AdvanceTo(&wheel, 1060), std::vector<std::string>{"a"});
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, ZeroDelayFiresOnTheNextTick) {
+  TimerWheel wheel(10, 8);
+  wheel.Schedule("now", 500, 0);
+  // Same instant: the tick boundary has not been crossed yet.
+  EXPECT_TRUE(AdvanceTo(&wheel, 500).empty());
+  EXPECT_EQ(AdvanceTo(&wheel, 520), std::vector<std::string>{"now"});
+}
+
+TEST(TimerWheelTest, CancelDropsThePendingTimer) {
+  TimerWheel wheel(10, 8);
+  wheel.Schedule("a", 0, 30);
+  wheel.Schedule("b", 0, 30);
+  wheel.Cancel("a");
+  EXPECT_EQ(wheel.pending(), 1u);
+  EXPECT_EQ(AdvanceTo(&wheel, 100), std::vector<std::string>{"b"});
+  // Cancelling an unknown key is a no-op.
+  wheel.Cancel("ghost");
+}
+
+TEST(TimerWheelTest, RescheduleMovesTheSingleTimer) {
+  // The eviction loop's lazy re-arm: a touched session gets its timer
+  // pushed out; it must NOT also fire at the original deadline.
+  TimerWheel wheel(10, 16);
+  wheel.Schedule("s", 0, 40);
+  wheel.Schedule("s", 20, 100);  // touched at t=20: due moves to t=120
+  EXPECT_EQ(wheel.pending(), 1u);
+  EXPECT_TRUE(AdvanceTo(&wheel, 60).empty()) << "fired at the stale deadline";
+  EXPECT_EQ(AdvanceTo(&wheel, 130), std::vector<std::string>{"s"});
+}
+
+TEST(TimerWheelTest, DelaysBeyondOneRevolutionTakeExtraRounds) {
+  // 8 slots * 10ms = one 80ms revolution; 250ms needs 3+ passes.
+  TimerWheel wheel(10, 8);
+  wheel.Schedule("long", 0, 250);
+  EXPECT_TRUE(AdvanceTo(&wheel, 80).empty());
+  EXPECT_TRUE(AdvanceTo(&wheel, 160).empty());
+  EXPECT_TRUE(AdvanceTo(&wheel, 240).empty());
+  EXPECT_EQ(AdvanceTo(&wheel, 260), std::vector<std::string>{"long"});
+}
+
+TEST(TimerWheelTest, ManyTimersExpireTogetherAndAtMostOnce) {
+  TimerWheel wheel(10, 32);
+  std::vector<std::string> want;
+  for (int i = 0; i < 100; ++i) {
+    std::string key = "k" + std::to_string(i);
+    wheel.Schedule(key, 0, 10 + (i % 7) * 10);
+    want.push_back(std::move(key));
+  }
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(AdvanceTo(&wheel, 200), want);
+  EXPECT_EQ(wheel.pending(), 0u);
+  // Nothing fires twice.
+  EXPECT_TRUE(AdvanceTo(&wheel, 10000).empty());
+}
+
+TEST(TimerWheelTest, AdvanceFarPastManyRevolutionsStillFiresEverything) {
+  TimerWheel wheel(10, 8);
+  wheel.Schedule("a", 0, 20);
+  wheel.Schedule("b", 0, 500);
+  // One giant jump (the loop was blocked): both timers are overdue.
+  std::vector<std::string> both = AdvanceTo(&wheel, 100000);
+  EXPECT_EQ(both, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TimerWheelTest, EpochAnchorsAtTheFirstSchedule) {
+  // Wall-clock-like now_ms values (large absolute numbers) must not make
+  // the wheel spin from zero.
+  TimerWheel wheel(100, 512);
+  const uint64_t now = 1723100000000ull;
+  wheel.Schedule("s", now, 300);
+  EXPECT_TRUE(AdvanceTo(&wheel, now + 200).empty());
+  EXPECT_EQ(AdvanceTo(&wheel, now + 400), std::vector<std::string>{"s"});
+}
+
+}  // namespace
+}  // namespace seedb::server

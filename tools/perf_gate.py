@@ -55,18 +55,63 @@ def load_runs(path):
     return runs
 
 
+def compare_server_sweep(old_doc, new_doc, threshold):
+    """Advisory diff of the protocol-v2 connection sweep (64/256/1k push
+    sessions on one epoll loop): warn when p99 frame-delivery latency or
+    session throughput regressed past the threshold. Artifacts written
+    before the event-loop PR carry no "sweep" key and are skipped."""
+    old_runs = {(r.get("transport"), r.get("sessions"), r.get("phases")): r
+                for r in old_doc.get("sweep", [])}
+    new_runs = {(r.get("transport"), r.get("sessions"), r.get("phases")): r
+                for r in new_doc.get("sweep", [])}
+    warnings = 0
+    if not new_runs:
+        return warnings
+    print(f"\n{'sweep config':>28} {'old s/s':>9} {'new s/s':>9} "
+          f"{'old fp99':>9} {'new fp99':>9}")
+    for key in sorted(new_runs, key=str):
+        transport, sessions, phases = key
+        label = f"{transport} n={sessions} p={phases}"
+        new = new_runs[key]
+        old = old_runs.get(key)
+        if old is None:
+            print(f"{label:>28} {'-':>9} {new.get('sessions_per_sec', 0):>9.1f}"
+                  f" {'-':>9} {new.get('frame_p99_ms', 0):>9.3f}  (new config)")
+            continue
+        old_sps = old.get("sessions_per_sec", 0)
+        new_sps = new.get("sessions_per_sec", 0)
+        old_p99 = old.get("frame_p99_ms", 0)
+        new_p99 = new.get("frame_p99_ms", 0)
+        print(f"{label:>28} {old_sps:>9.1f} {new_sps:>9.1f} "
+              f"{old_p99:>9.3f} {new_p99:>9.3f}")
+        if old_sps > 0 and (old_sps - new_sps) / old_sps > threshold:
+            warnings += 1
+            print(f"::warning::sweep throughput regression (advisory): "
+                  f"{label} went {old_sps:.1f} -> {new_sps:.1f} sessions/sec "
+                  f"(threshold {threshold:.0%})")
+        if old_p99 > 0 and (new_p99 - old_p99) / old_p99 > threshold:
+            warnings += 1
+            print(f"::warning::sweep p99 frame-delivery regression "
+                  f"(advisory): {label} went {old_p99:.3f}ms -> "
+                  f"{new_p99:.3f}ms (threshold {threshold:.0%})")
+    return warnings
+
+
 def compare_server(old_path, new_path, threshold):
     """Advisory diff of BENCH_server.json artifacts: warn when throughput
-    (sessions/sec) drops or p99 `next` latency grows past the threshold.
+    (sessions/sec) drops, p99 `next` latency grows past the threshold, or
+    the v2 connection sweep's frame-delivery latency regressed.
     Returns the number of advisory warnings; never fails the gate."""
     def load(path):
         with open(path) as f:
-            doc = json.load(f)
-        return {(r.get("transport"), r.get("clients"), r.get("phases")): r
-                for r in doc.get("runs", [])}
+            return json.load(f)
 
-    old_runs, new_runs = load(old_path), load(new_path)
-    warnings = 0
+    old_doc, new_doc = load(old_path), load(new_path)
+    old_runs = {(r.get("transport"), r.get("clients"), r.get("phases")): r
+                for r in old_doc.get("runs", [])}
+    new_runs = {(r.get("transport"), r.get("clients"), r.get("phases")): r
+                for r in new_doc.get("runs", [])}
+    warnings = compare_server_sweep(old_doc, new_doc, threshold)
     print(f"\n{'server config':>28} {'old s/s':>9} {'new s/s':>9} "
           f"{'old p99':>9} {'new p99':>9}")
     for key in sorted(new_runs, key=str):

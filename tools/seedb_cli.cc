@@ -342,11 +342,17 @@ class Cli {
     }
     SEEDB_RETURN_IF_ERROR(client.status());
     remote_.emplace(std::move(*client));
+    // Negotiate protocol v2: the server then pushes progress frames and the
+    // drive loop below consumes them without polling round-trips. An old
+    // server fails the hello and the client silently stays on v1.
+    SEEDB_RETURN_IF_ERROR(remote_->Hello());
     SEEDB_ASSIGN_OR_RETURN(server::RemoteStatus status,
                            remote_->GetStatus());
-    std::printf("connected to %s (%zu open sessions); queries now run "
-                "remotely — \\disconnect to go back\n",
-                target.c_str(), status.sessions);
+    std::printf("connected to %s (%zu open sessions, protocol v%d%s); "
+                "queries now run remotely — \\disconnect to go back\n",
+                target.c_str(), status.sessions,
+                remote_->handshake().version,
+                remote_->push_enabled() ? ", push" : ", polling");
     return Status::OK();
   }
 
@@ -431,7 +437,10 @@ class Cli {
 
   /// The streaming loop of one remote query: one printed line per progress
   /// frame, with the armed \cancel applied. Finishing (and thus releasing)
-  /// the session stays with the caller.
+  /// the session stays with the caller. On a protocol-v2 connection
+  /// Next() consumes server-pushed frames — each loop turn pops a frame
+  /// that already arrived (or blocks for the next push); no `next`
+  /// requests go over the wire.
   Status DriveRemoteSession(const std::string& id) {
     const size_t cancel_after = cancel_after_phases_;
     cancel_after_phases_ = 0;  // one-shot

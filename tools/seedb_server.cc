@@ -42,11 +42,16 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--unix PATH | --port N] [--demo] [--csv NAME=FILE]...\n"
       "          [--synthetic ROWS[,DIMS[,MEASURES[,CARDINALITY[,SEED]]]]]\n"
+      "          [--workers N] [--idle-timeout-ms MS] [--max-inflight N]\n"
       "  --unix PATH   listen on a unix-domain socket (removed on exit)\n"
       "  --port N      listen on TCP 127.0.0.1:N (0 = ephemeral, printed)\n"
       "  --demo        load the demo datasets (orders, elections, medical)\n"
       "  --csv N=F     load CSV file F as table N (schema inferred)\n"
       "  --synthetic   load a synthetic benchmark table named 'synth'\n"
+      "  --workers N         size of the worker pool (0 = auto)\n"
+      "  --idle-timeout-ms   evict sessions idle this long (0 = never)\n"
+      "  --max-inflight N    shed opens past N in-flight sessions with\n"
+      "                      a busy response (0 = unlimited)\n"
       "With no data flags, --demo is implied (a server with no tables "
       "answers every open with not_found).\n",
       argv0);
@@ -113,6 +118,19 @@ int main(int argc, char** argv) {
       const char* value = next_value("--port");
       if (value == nullptr) return Usage(argv[0]);
       options.tcp_port = std::atoi(value);
+    } else if (arg == "--workers") {
+      const char* value = next_value("--workers");
+      if (value == nullptr) return Usage(argv[0]);
+      options.worker_threads = static_cast<size_t>(std::atoi(value));
+    } else if (arg == "--idle-timeout-ms") {
+      const char* value = next_value("--idle-timeout-ms");
+      if (value == nullptr) return Usage(argv[0]);
+      options.session_idle_timeout_ms =
+          static_cast<uint64_t>(std::atoll(value));
+    } else if (arg == "--max-inflight") {
+      const char* value = next_value("--max-inflight");
+      if (value == nullptr) return Usage(argv[0]);
+      options.max_inflight_phases = static_cast<size_t>(std::atoi(value));
     } else if (arg == "--demo") {
       want_demo = true;
     } else if (arg == "--csv") {
@@ -183,11 +201,15 @@ int main(int argc, char** argv) {
   server.Stop();
   server::ServerStats stats = server.stats();
   std::printf("shutdown: %llu connections, %llu requests (%llu errors), "
-              "%llu sessions opened, %llu finished\n",
+              "%llu sessions opened, %llu finished, %llu evicted, "
+              "%llu rejected, %llu push frames\n",
               static_cast<unsigned long long>(stats.connections),
               static_cast<unsigned long long>(stats.requests),
               static_cast<unsigned long long>(stats.errors),
               static_cast<unsigned long long>(stats.sessions_opened),
-              static_cast<unsigned long long>(stats.sessions_finished));
+              static_cast<unsigned long long>(stats.sessions_finished),
+              static_cast<unsigned long long>(stats.sessions_evicted),
+              static_cast<unsigned long long>(stats.sessions_rejected),
+              static_cast<unsigned long long>(stats.push_frames_sent));
   return 0;
 }
