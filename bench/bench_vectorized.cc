@@ -8,6 +8,12 @@
 // fused plan must win on one core — pinned by CI reading
 // BENCH_vectorized.json (which also asserts the fast path actually engaged
 // via vectorized_morsels >= 1).
+//
+// The explicit-SIMD tier (db/vec/simd/) adds simd-vs-scalar rows for the
+// compare/select/accumulate kernels plus a fused WHERE'd plan pair, and the
+// summary records simd_isa / speedups / fused_simd_morsels — CI asserts the
+// tier engaged on AVX2 legs, and tools/perf_gate.py warns whenever the simd
+// compare kernel fails to beat the scalar one.
 
 #include <benchmark/benchmark.h>
 
@@ -22,6 +28,7 @@
 #include "db/vec/aggregate_kernels.h"
 #include "db/vec/group_ids.h"
 #include "db/vec/selection_vector.h"
+#include "db/vec/simd/simd.h"
 #include "util/random.h"
 
 namespace {
@@ -64,30 +71,67 @@ void RunExperiment() {
   };
 
   // --- Per-kernel throughput over synthetic arrays. ---
+  double simd_compare_speedup = 0.0;
+  double simd_accumulate_speedup = 0.0;
   {
     Random rng(7);
     std::vector<uint8_t> mask(kKernelRows);
     std::vector<int32_t> codes(kKernelRows);
     std::vector<double> values(kKernelRows);
+    std::vector<int64_t> ints(kKernelRows);
     for (size_t i = 0; i < kKernelRows; ++i) {
       mask[i] = rng.Bernoulli(0.5) ? 1 : 0;
       codes[i] = static_cast<int32_t>(rng.UniformInt(0, 23));
       values[i] = rng.UniformDouble(-100.0, 100.0);
+      ints[i] = rng.UniformInt(-1000, 1000);
     }
     db::vec::SelectionVector sel;
     double rps = KernelRowsPerSec(
         [&] { db::vec::SelectFromMask(mask.data(), 0, kKernelRows, &sel); },
         kKernelRows);
     emit("kernel:select_from_mask", kKernelRows / rps * 1e3, rps, 0);
-
     rps = KernelRowsPerSec(
+        [&] {
+          db::vec::simd::SelectFromMask(mask.data(), 0, kKernelRows, &sel);
+        },
+        kKernelRows);
+    emit("kernel:select_from_mask_simd", kKernelRows / rps * 1e3, rps, 0);
+
+    double scalar_cmp = KernelRowsPerSec(
         [&] {
           db::vec::SelectCompareDouble(values.data(), nullptr,
                                        db::CompareOp::kGt, 0.0, 0,
                                        kKernelRows, &sel);
         },
         kKernelRows);
-    emit("kernel:select_compare_double", kKernelRows / rps * 1e3, rps, 0);
+    emit("kernel:select_compare_double", kKernelRows / scalar_cmp * 1e3,
+         scalar_cmp, 0);
+    double simd_cmp = KernelRowsPerSec(
+        [&] {
+          db::vec::simd::SelectCompareDouble(values.data(), nullptr,
+                                             db::CompareOp::kGt, 0.0, 0,
+                                             kKernelRows, &sel);
+        },
+        kKernelRows);
+    emit("kernel:select_compare_double_simd", kKernelRows / simd_cmp * 1e3,
+         simd_cmp, 0);
+    simd_compare_speedup = scalar_cmp > 0.0 ? simd_cmp / scalar_cmp : 0.0;
+
+    rps = KernelRowsPerSec(
+        [&] {
+          db::vec::SelectCompareInt64(ints.data(), nullptr, db::CompareOp::kLt,
+                                      0, 0, kKernelRows, &sel);
+        },
+        kKernelRows);
+    emit("kernel:select_compare_int64", kKernelRows / rps * 1e3, rps, 0);
+    rps = KernelRowsPerSec(
+        [&] {
+          db::vec::simd::SelectCompareInt64(ints.data(), nullptr,
+                                            db::CompareOp::kLt, 0, 0,
+                                            kKernelRows, &sel);
+        },
+        kKernelRows);
+    emit("kernel:select_compare_int64_simd", kKernelRows / rps * 1e3, rps, 0);
 
     db::vec::DenseDim dim{codes.data(), nullptr, 25};
     std::vector<uint32_t> gids(kKernelRows);
@@ -108,6 +152,62 @@ void RunExperiment() {
         },
         kKernelRows);
     emit("kernel:accumulate_double", kKernelRows / rps * 1e3, rps, 0);
+
+    // Run-accumulation: CLUSTERED group ids (the shape sorted/low-cardinality
+    // dimension scans produce) are where the simd run-hoisted accumulators
+    // break the scalar loop's per-row read-modify-write dependency chain.
+    std::vector<uint32_t> run_gids(kKernelRows);
+    {
+      uint32_t g = 0;
+      size_t left = 0;
+      Random run_rng(11);
+      for (size_t i = 0; i < kKernelRows; ++i) {
+        if (left == 0) {
+          left = static_cast<size_t>(run_rng.UniformInt(64, 512));
+          g = static_cast<uint32_t>(run_rng.UniformInt(0, 24));
+        }
+        --left;
+        run_gids[i] = g;
+      }
+    }
+    double scalar_acc = KernelRowsPerSec(
+        [&] {
+          slab.Init(25, 1);
+          db::vec::AccumulateDoubleRange(run_gids.data(), 0, kKernelRows,
+                                         values.data(), nullptr, nullptr,
+                                         slab.slab(0));
+        },
+        kKernelRows);
+    emit("kernel:accumulate_double_runs", kKernelRows / scalar_acc * 1e3,
+         scalar_acc, 0);
+    double simd_acc = KernelRowsPerSec(
+        [&] {
+          slab.Init(25, 1);
+          db::vec::simd::AccumulateDoubleRange(run_gids.data(), 0, kKernelRows,
+                                               values.data(), nullptr, nullptr,
+                                               slab.slab(0));
+        },
+        kKernelRows);
+    emit("kernel:accumulate_double_runs_simd", kKernelRows / simd_acc * 1e3,
+         simd_acc, 0);
+    simd_accumulate_speedup = scalar_acc > 0.0 ? simd_acc / scalar_acc : 0.0;
+
+    rps = KernelRowsPerSec(
+        [&] {
+          slab.Init(25, 1);
+          db::vec::AccumulateCountRange(run_gids.data(), 0, kKernelRows,
+                                        nullptr, nullptr, slab.slab(0));
+        },
+        kKernelRows);
+    emit("kernel:count_runs", kKernelRows / rps * 1e3, rps, 0);
+    rps = KernelRowsPerSec(
+        [&] {
+          slab.Init(25, 1);
+          db::vec::simd::AccumulateCountRange(run_gids.data(), 0, kKernelRows,
+                                              nullptr, nullptr, slab.slab(0));
+        },
+        kKernelRows);
+    emit("kernel:count_runs_simd", kKernelRows / rps * 1e3, rps, 0);
   }
 
   // --- Fused single-query plan vs ExecuteGroupingSets, one core. ---
@@ -178,11 +278,55 @@ void RunExperiment() {
   emit("fused:shared_scan_vectorized", vec_ms,
        table->num_rows() / (vec_ms / 1e3), vec_stats.vectorized_morsels);
 
+  // --- Fused WHERE'd plan: predicate->selection fusion, simd vs scalar. ---
+  // The WHERE comparison fuses into selection building on the vectorized
+  // path (no byte mask is materialized), so this pair exercises the typed
+  // compare kernels end to end inside the scan.
+  db::GroupingSetsQuery where_query = query;
+  where_query.where = db::PredicatePtr(db::Gt("m0", db::Value(0.0)));
+
+  db::SharedScanOptions simd_off = vec_options;
+  simd_off.enable_simd = false;
+  db::SharedScanStats where_scalar_stats;
+  double where_scalar_ms =
+      bench::MedianSeconds(
+          [&] {
+            auto r = db::ExecuteSharedScan(*table, {where_query}, simd_off,
+                                           &where_scalar_stats);
+            (void)r.ValueOrDie();
+          },
+          3) *
+      1e3;
+  emit("fused:where_scan_scalar", where_scalar_ms,
+       table->num_rows() / (where_scalar_ms / 1e3),
+       where_scalar_stats.vectorized_morsels);
+
+  db::SharedScanStats where_simd_stats;
+  double where_simd_ms =
+      bench::MedianSeconds(
+          [&] {
+            auto r = db::ExecuteSharedScan(*table, {where_query}, vec_options,
+                                           &where_simd_stats);
+            (void)r.ValueOrDie();
+          },
+          3) *
+      1e3;
+  emit("fused:where_scan_simd", where_simd_ms,
+       table->num_rows() / (where_simd_ms / 1e3),
+       where_simd_stats.vectorized_morsels);
+
   json.EndArray()
       .Key("fused_vectorized_morsels").Value(vec_stats.vectorized_morsels)
       .Key("vec_beats_grouping_sets").Value(vec_ms < gs_ms)
       .Key("speedup_vs_grouping_sets").Value(gs_ms / vec_ms)
       .Key("speedup_vs_hash").Value(hash_ms / vec_ms)
+      .Key("simd_isa").Value(db::vec::simd::IsaName())
+      .Key("simd_compare_speedup").Value(simd_compare_speedup)
+      .Key("simd_accumulate_speedup").Value(simd_accumulate_speedup)
+      .Key("fused_simd_morsels").Value(where_simd_stats.simd_morsels)
+      .Key("simd_beats_scalar_compare").Value(simd_compare_speedup > 1.0)
+      .Key("where_speedup_simd_vs_scalar")
+      .Value(where_scalar_ms / where_simd_ms)
       .EndObject();
   json.WriteFile("BENCH_vectorized.json");
 
@@ -191,6 +335,11 @@ void RunExperiment() {
               gs_ms / vec_ms, hash_ms / vec_ms,
               vec_ms < gs_ms ? "dense kernels WIN on one core"
                              : "REGRESSION: dense kernels lost");
+  std::printf("simd tier (%s): compare %.2fx, run-accumulate %.2fx vs the "
+              "scalar kernels; WHERE'd fused plan %.2fx (simd_morsels=%zu)\n",
+              db::vec::simd::IsaName(), simd_compare_speedup,
+              simd_accumulate_speedup, where_scalar_ms / where_simd_ms,
+              where_simd_stats.simd_morsels);
   bench::Footer();
 }
 

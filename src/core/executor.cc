@@ -59,6 +59,7 @@ db::SharedScanOptions MakeScanOptions(const ExecutorOptions& options) {
   scan.num_threads = options.parallelism;
   scan.morsel_rows = options.morsel_rows;
   scan.cancel = options.cancel;
+  scan.enable_simd = options.enable_simd;
   return scan;
 }
 
@@ -374,6 +375,7 @@ Result<std::vector<ViewResult>> PhasedPlanExecution::Finish(
     const db::SharedScanStats scan_stats = session_.stats();
     report->rows_scanned = scan_stats.rows_scanned;
     report->vectorized_morsels = scan_stats.vectorized_morsels;
+    report->simd_morsels = scan_stats.simd_morsels;
     report->agg_state_bytes = scan_stats.agg_state_bytes;
   }
   // A run that stopped before consuming every row (cancelled, or stopped

@@ -60,6 +60,10 @@ struct ExecutorOptions {
   /// every phase start from the phase's rows and the surviving query count —
   /// db::AdaptiveMorselRows).
   size_t morsel_rows = db::SharedScanOptions{}.morsel_rows;
+  /// Explicit-SIMD kernel tier inside the fused strategies' vectorized
+  /// morsels (db/vec/simd/). Kill switch — results are bit-identical either
+  /// way; the tier also self-disables on builds/CPUs without the ISA.
+  bool enable_simd = true;
   /// Phase count, mid-flight pruner and early-stop policy for
   /// kPhasedSharedScan (ignored by the other strategies). keep_k must be set
   /// for pruning to engage; the SeeDB facade wires it to the top-k request.
@@ -126,6 +130,9 @@ struct ExecutionReport {
   /// (db/vec/) for at least one grouping set; 0 under kPerQuery or when
   /// every set fell back to the hash path.
   uint64_t vectorized_morsels = 0;
+  /// Of those, morsels that additionally ran the explicit-SIMD kernel tier
+  /// (db/vec/simd/); 0 when the tier is off or unavailable.
+  uint64_t simd_morsels = 0;
   /// Aggregation-state footprint of the run in bytes: the fused scan's
   /// merged state, or the cumulative groups x aggregates x sizeof(AggState)
   /// of per-query results — what memory_budget_bytes is metered against.

@@ -17,8 +17,9 @@ std::string ExecutionProfile::ToString() const {
                       examined_view_count);
   }
   if (vectorized_morsels > 0) {
-    s += StringPrintf(" | vectorized morsels: %llu",
-                      static_cast<unsigned long long>(vectorized_morsels));
+    s += StringPrintf(" | vectorized morsels: %llu (simd: %llu)",
+                      static_cast<unsigned long long>(vectorized_morsels),
+                      static_cast<unsigned long long>(simd_morsels));
   }
   if (early_stopped) s += " | early-stopped (CI-stable top-k)";
   if (cancelled) s += " | CANCELLED (partial results)";

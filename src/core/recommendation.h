@@ -51,6 +51,10 @@ struct ExecutionProfile {
   /// (db/vec/) — 0 under per-query execution or when every grouping set
   /// fell back to the hash path.
   uint64_t vectorized_morsels = 0;
+  /// Of those, morsels that additionally ran the explicit-SIMD kernel tier
+  /// (db/vec/simd/) — 0 when the tier is off, built scalar, or the CPU
+  /// lacks the ISA.
+  uint64_t simd_morsels = 0;
   /// The scan stopped before the last requested phase because the top-k was
   /// CI-stable; utilities are estimates over the rows seen.
   bool early_stopped = false;

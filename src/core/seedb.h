@@ -61,6 +61,10 @@ struct SeeDBOptions {
   /// Concurrent query execution (§3.3 "Parallel Query Execution"), or
   /// morsel worker threads under the fused strategies.
   size_t parallelism = 1;
+  /// Explicit-SIMD kernel tier (db/vec/simd/) inside the fused strategies'
+  /// vectorized morsels. Kill switch — results are bit-identical either
+  /// way, and the tier self-disables on builds/CPUs without the ISA.
+  bool enable_simd = true;
   /// kPerQuery runs each planned query as its own table pass; kSharedScan
   /// fuses the whole plan into one morsel-driven pass (db/shared_scan.h);
   /// kPhasedSharedScan additionally splits that pass into sequential phases

@@ -125,6 +125,7 @@ Result<RecommendationSession> SeeDB::Open(const SeeDBRequest& request) {
 ExecutorOptions RecommendationSession::ExecOptions() const {
   ExecutorOptions exec;
   exec.parallelism = options_.parallelism;
+  exec.enable_simd = options_.enable_simd;
   exec.strategy = options_.strategy;
   exec.online_pruning = options_.online_pruning;
   if (exec.online_pruning.keep_k == 0) {
@@ -376,6 +377,7 @@ Result<RecommendationSet> RecommendationSession::Finish() {
     set.profile.table_scans = report_.table_scans;
     set.profile.rows_scanned = report_.rows_scanned;
     set.profile.vectorized_morsels = report_.vectorized_morsels;
+    set.profile.simd_morsels = report_.simd_morsels;
   } else {
     // kPerQuery: engine-wide counter deltas (no per-run accounting there;
     // concurrent runs may interleave).

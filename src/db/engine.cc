@@ -9,11 +9,13 @@ namespace seedb::db {
 std::string EngineStatsSnapshot::ToString() const {
   return StringPrintf(
       "queries=%llu scans=%llu shared_batches=%llu vec_morsels=%llu "
-      "rows_scanned=%llu groups=%llu peak_agg_state=%lluB exec=%.3fms",
+      "simd_morsels=%llu rows_scanned=%llu groups=%llu peak_agg_state=%lluB "
+      "exec=%.3fms",
       static_cast<unsigned long long>(queries_executed),
       static_cast<unsigned long long>(table_scans),
       static_cast<unsigned long long>(shared_scan_batches),
       static_cast<unsigned long long>(vectorized_morsels),
+      static_cast<unsigned long long>(simd_morsels),
       static_cast<unsigned long long>(rows_scanned),
       static_cast<unsigned long long>(groups_created),
       static_cast<unsigned long long>(peak_agg_state_bytes),
@@ -116,6 +118,7 @@ void Engine::RecordSharedBatch(const std::vector<GroupingSetsQuery>& queries,
   shared_scan_batches_.fetch_add(1, std::memory_order_relaxed);
   vectorized_morsels_.fetch_add(stats.vectorized_morsels,
                                 std::memory_order_relaxed);
+  simd_morsels_.fetch_add(stats.simd_morsels, std::memory_order_relaxed);
   rows_scanned_.fetch_add(stats.rows_scanned, std::memory_order_relaxed);
   groups_created_.fetch_add(stats.total_groups, std::memory_order_relaxed);
   UpdatePeak(&peak_agg_state_bytes_, stats.agg_state_bytes);
@@ -177,6 +180,7 @@ EngineStatsSnapshot Engine::stats() const {
   s.table_scans = table_scans_.load(std::memory_order_relaxed);
   s.shared_scan_batches = shared_scan_batches_.load(std::memory_order_relaxed);
   s.vectorized_morsels = vectorized_morsels_.load(std::memory_order_relaxed);
+  s.simd_morsels = simd_morsels_.load(std::memory_order_relaxed);
   s.rows_scanned = rows_scanned_.load(std::memory_order_relaxed);
   s.groups_created = groups_created_.load(std::memory_order_relaxed);
   s.peak_agg_state_bytes =
@@ -190,6 +194,7 @@ void Engine::ResetStats() {
   table_scans_.store(0, std::memory_order_relaxed);
   shared_scan_batches_.store(0, std::memory_order_relaxed);
   vectorized_morsels_.store(0, std::memory_order_relaxed);
+  simd_morsels_.store(0, std::memory_order_relaxed);
   rows_scanned_.store(0, std::memory_order_relaxed);
   groups_created_.store(0, std::memory_order_relaxed);
   peak_agg_state_bytes_.store(0, std::memory_order_relaxed);

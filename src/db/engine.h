@@ -35,6 +35,10 @@ struct EngineStatsSnapshot {
   /// (db/vec/) for at least one grouping set — 0 when every set fell back
   /// to the hash path.
   uint64_t vectorized_morsels = 0;
+  /// Of those, morsels whose vectorized loop additionally ran the
+  /// explicit-SIMD kernel tier (db/vec/simd/) — 0 when the tier is switched
+  /// off, built scalar, or the CPU lacks the ISA.
+  uint64_t simd_morsels = 0;
   uint64_t rows_scanned = 0;
   uint64_t groups_created = 0;
   /// Largest per-query aggregation working set seen.
@@ -173,6 +177,7 @@ class Engine {
   std::atomic<uint64_t> table_scans_{0};
   std::atomic<uint64_t> shared_scan_batches_{0};
   std::atomic<uint64_t> vectorized_morsels_{0};
+  std::atomic<uint64_t> simd_morsels_{0};
   std::atomic<uint64_t> rows_scanned_{0};
   std::atomic<uint64_t> groups_created_{0};
   std::atomic<uint64_t> peak_agg_state_bytes_{0};

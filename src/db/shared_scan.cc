@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -12,6 +13,7 @@
 #include "db/group_by.h"
 #include "db/vec/aggregate_kernels.h"
 #include "db/vec/group_ids.h"
+#include "db/vec/simd/simd.h"
 #include "util/thread_pool.h"
 
 namespace seedb::db {
@@ -56,7 +58,65 @@ struct QuerySpec {
   const std::vector<uint8_t>* sample_mask = nullptr;
   std::vector<SetSpec> sets;
   std::vector<AggRuntime> aggs;
+  /// Index into the scan's selection-recipe list; -1 = no row filter, the
+  /// vectorized kernels walk the whole morsel directly.
+  int recipe = -1;
 };
+
+// How a vectorized query's row filter becomes a per-morsel selection vector.
+// kMask converts a cached full-table byte mask (the general path). The
+// kCompare kinds are the fused predicate->selection path: a simple WHERE
+// comparison is evaluated over the raw column for [lo, hi) straight into
+// the selection by the typed compare kernels — no full-table predicate
+// mask is ever materialized for such queries. Recipes are deduplicated by
+// fingerprint (mask pointer, or column + op + literal + sample mask), which
+// preserves the sharing pointer-identical masks gave: queries with the same
+// filter still build one selection per morsel between them.
+struct SelRecipe {
+  enum class Kind { kMask, kCompareInt64, kCompareDouble, kCompareCode };
+  Kind kind = Kind::kMask;
+  /// kMask: the combined sample & WHERE byte mask.
+  const std::vector<uint8_t>* mask = nullptr;
+  /// kCompare*: sample mask Refine()d in after the compare (nullptr =
+  /// unsampled).
+  const std::vector<uint8_t>* sample = nullptr;
+  const Column* column = nullptr;
+  CompareOp op = CompareOp::kEq;
+  /// Literal as written, for fingerprint comparison.
+  Value literal;
+  int64_t literal_i64 = 0;
+  double literal_f64 = 0.0;
+  /// kCompareCode: per-dictionary-code truth table, built once per recipe
+  /// exactly as ComparisonPredicate::EvaluateMask builds it.
+  std::vector<uint8_t> code_match;
+};
+
+bool SameRecipe(const SelRecipe& a, const SelRecipe& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == SelRecipe::Kind::kMask) return a.mask == b.mask;
+  return a.column == b.column && a.op == b.op && a.sample == b.sample &&
+         a.literal == b.literal;
+}
+
+// Mirror of predicate.cc's CompareValues (file-local there) for building
+// code_match truth tables with identical semantics.
+bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
 
 // Partial aggregation state one worker holds for one (query, grouping set).
 // Groups are created lazily from the masked rows the worker actually saw;
@@ -77,6 +137,18 @@ struct LocalGroups {
     for (auto& per_agg : states) per_agg.emplace_back();
     return gid;
   }
+
+  /// Capacity-preserving per-phase reset, mirroring DenseAggTable::Reset:
+  /// only the dense_to_local slots mapped last phase are un-mapped (via the
+  /// dense_slot record) instead of re-assigning the whole array.
+  void Reset() {
+    for (size_t slot : dense_slot) dense_to_local[slot] = -1;
+    key_to_local.clear();
+    rep_row.clear();
+    dense_slot.clear();
+    keys.clear();
+    for (auto& per_agg : states) per_agg.clear();
+  }
 };
 
 // Per-worker accumulation state for one (query, grouping set): the hash /
@@ -89,27 +161,45 @@ struct SetAccum {
 // Everything one worker accumulates during one phase: accums[q][s].
 using WorkerState = std::vector<std::vector<SetAccum>>;
 
-WorkerState MakeWorkerState(const std::vector<QuerySpec>& specs,
-                            const std::vector<uint8_t>& active) {
-  WorkerState state(specs.size());
+// Prepares one worker's accumulation state for a phase. States persist in
+// the Impl across phases: each (query, set) is allocated lazily the first
+// phase the worker scans it and RESET (capacity-preserving) on reuse, so
+// dense slabs are allocated exactly once per worker for the scan's
+// lifetime no matter how many phases run — pinned by
+// SharedScanStats::agg_slab_allocations.
+void PrepareWorkerState(const std::vector<QuerySpec>& specs,
+                        const std::vector<uint8_t>& active,
+                        WorkerState* state) {
+  if (state->size() != specs.size()) {
+    state->assign(specs.size(), std::vector<SetAccum>{});
+  }
   for (size_t q = 0; q < specs.size(); ++q) {
     if (!active[q]) continue;
-    state[q].resize(specs[q].sets.size());
+    std::vector<SetAccum>& sets = (*state)[q];
+    const bool fresh = sets.empty();
+    if (fresh) sets.resize(specs[q].sets.size());
     for (size_t s = 0; s < specs[q].sets.size(); ++s) {
       const SetSpec& set = specs[q].sets[s];
-      SetAccum& accum = state[q][s];
+      SetAccum& accum = sets[s];
       if (set.vectorized) {
-        accum.dense.Init(static_cast<uint32_t>(set.dense_slots),
-                         static_cast<uint32_t>(specs[q].aggs.size()));
+        if (fresh) {
+          accum.dense.Init(static_cast<uint32_t>(set.dense_slots),
+                           static_cast<uint32_t>(specs[q].aggs.size()));
+        } else {
+          accum.dense.Reset();
+        }
         continue;
       }
-      if (set.dense_col) {
-        accum.lg.dense_to_local.assign(set.dense_slots, -1);
+      if (fresh) {
+        if (set.dense_col) {
+          accum.lg.dense_to_local.assign(set.dense_slots, -1);
+        }
+        accum.lg.states.resize(specs[q].aggs.size());
+      } else {
+        accum.lg.Reset();
       }
-      accum.lg.states.resize(specs[q].aggs.size());
     }
   }
-  return state;
 }
 
 void AccumulateRow(const QuerySpec& spec, LocalGroups* lg, int32_t gid,
@@ -162,26 +252,96 @@ void ScanMorsel(const QuerySpec& spec, const SetSpec& set, LocalGroups* lg,
   }
 }
 
-// Per-worker, per-morsel scratch for the vectorized inner loop: the
-// selection vectors built from each distinct mask this morsel (shared by
-// every query whose combined mask is the same cached vector — pointer
-// identity, courtesy of MaskCache) and the reusable group-id buffer.
-struct VecScratch {
-  std::vector<std::pair<const std::vector<uint8_t>*, vec::SelectionVector>>
-      selections;
-  std::vector<uint32_t> gids;
-
-  void StartMorsel() { selections.clear(); }
-
-  const vec::SelectionVector* Selection(const std::vector<uint8_t>* mask,
-                                        size_t lo, size_t hi) {
-    for (auto& [m, sel] : selections) {
-      if (m == mask) return &sel;
+// EvaluateIntoSelection: materializes one recipe's selection for morsel
+// rows [lo, hi). kMask converts the cached byte mask; the kCompare kinds
+// run the typed compare kernel over the raw column slice (then Refine by
+// the sample mask when the query samples) — the WHERE mask never exists.
+// `use_simd` picks the explicit-SIMD kernel tier; both tiers emit
+// identical selections.
+void EvaluateIntoSelection(const SelRecipe& r, size_t lo, size_t hi,
+                           bool use_simd, vec::SelectionVector* sel) {
+  switch (r.kind) {
+    case SelRecipe::Kind::kMask:
+      if (use_simd) {
+        vec::simd::SelectFromMask(r.mask->data(), lo, hi, sel);
+      } else {
+        vec::SelectFromMask(r.mask->data(), lo, hi, sel);
+      }
+      return;  // the combined mask already includes any sampling
+    case SelRecipe::Kind::kCompareInt64: {
+      const uint8_t* validity =
+          r.column->validity().empty() ? nullptr : r.column->validity().data();
+      const int64_t* data = r.column->int64_data().data();
+      if (use_simd) {
+        vec::simd::SelectCompareInt64(data, validity, r.op, r.literal_i64, lo,
+                                      hi, sel);
+      } else {
+        vec::SelectCompareInt64(data, validity, r.op, r.literal_i64, lo, hi,
+                                sel);
+      }
+      break;
     }
-    selections.emplace_back(mask, vec::SelectionVector{});
-    vec::SelectionVector* sel = &selections.back().second;
-    vec::SelectFromMask(mask->data(), lo, hi, sel);
-    return sel;
+    case SelRecipe::Kind::kCompareDouble: {
+      const uint8_t* validity =
+          r.column->validity().empty() ? nullptr : r.column->validity().data();
+      const double* data = r.column->double_data().data();
+      if (use_simd) {
+        vec::simd::SelectCompareDouble(data, validity, r.op, r.literal_f64, lo,
+                                       hi, sel);
+      } else {
+        vec::SelectCompareDouble(data, validity, r.op, r.literal_f64, lo, hi,
+                                 sel);
+      }
+      break;
+    }
+    case SelRecipe::Kind::kCompareCode: {
+      const uint8_t* validity =
+          r.column->validity().empty() ? nullptr : r.column->validity().data();
+      if (use_simd) {
+        vec::simd::SelectCompareCode(r.column->codes().data(), validity,
+                                     r.code_match.data(), lo, hi, sel);
+      } else {
+        vec::SelectCompareCode(r.column->codes().data(), validity,
+                               r.code_match.data(), lo, hi, sel);
+      }
+      break;
+    }
+  }
+  if (r.sample != nullptr) {
+    if (use_simd) {
+      vec::simd::Refine(r.sample->data(), sel);
+    } else {
+      vec::Refine(r.sample->data(), sel);
+    }
+  }
+}
+
+// Per-worker, per-morsel scratch for the vectorized inner loop: selections
+// indexed flat by recipe id (built lazily per morsel, shared by every query
+// with the same recipe — the old linear pointer-keyed lookup is gone) and
+// the reusable group-id buffer. Selection capacity persists across morsels.
+struct VecScratch {
+  std::vector<vec::SelectionVector> selections;
+  std::vector<uint8_t> built;
+  std::vector<uint32_t> gids;
+  bool use_simd = false;
+
+  void Prepare(size_t num_recipes, bool simd) {
+    selections.resize(num_recipes);
+    built.assign(num_recipes, 0);
+    use_simd = simd;
+  }
+
+  void StartMorsel() { std::fill(built.begin(), built.end(), 0); }
+
+  const vec::SelectionVector* Selection(const SelRecipe& recipe, int id,
+                                        size_t lo, size_t hi) {
+    const size_t idx = static_cast<size_t>(id);
+    if (!built[idx]) {
+      EvaluateIntoSelection(recipe, lo, hi, use_simd, &selections[idx]);
+      built[idx] = 1;
+    }
+    return &selections[idx];
   }
 };
 
@@ -192,6 +352,7 @@ struct VecScratch {
 void ScanMorselVec(const QuerySpec& spec, const SetSpec& set, SetAccum* accum,
                    size_t lo, size_t hi, const vec::SelectionVector* sel,
                    VecScratch* scratch) {
+  const bool use_simd = scratch->use_simd;
   const size_t n = sel != nullptr ? sel->size() : hi - lo;
   if (n == 0) return;
   if (scratch->gids.size() < n) scratch->gids.resize(n);
@@ -217,6 +378,8 @@ void ScanMorselVec(const QuerySpec& spec, const SetSpec& set, SetAccum* accum,
       // COUNT(col) skips null inputs via the column's validity bytes.
       if (sel != nullptr) {
         vec::AccumulateCountSel(gids, *sel, filter, validity, slab);
+      } else if (use_simd) {
+        vec::simd::AccumulateCountRange(gids, lo, n, filter, validity, slab);
       } else {
         vec::AccumulateCountRange(gids, lo, n, filter, validity, slab);
       }
@@ -226,6 +389,9 @@ void ScanMorselVec(const QuerySpec& spec, const SetSpec& set, SetAccum* accum,
       const int64_t* data = a.input->int64_data().data();
       if (sel != nullptr) {
         vec::AccumulateInt64Sel(gids, *sel, data, filter, validity, slab);
+      } else if (use_simd) {
+        vec::simd::AccumulateInt64Range(gids, lo, n, data, filter, validity,
+                                        slab);
       } else {
         vec::AccumulateInt64Range(gids, lo, n, data, filter, validity, slab);
       }
@@ -233,6 +399,9 @@ void ScanMorselVec(const QuerySpec& spec, const SetSpec& set, SetAccum* accum,
       const double* data = a.input->double_data().data();
       if (sel != nullptr) {
         vec::AccumulateDoubleSel(gids, *sel, data, filter, validity, slab);
+      } else if (use_simd) {
+        vec::simd::AccumulateDoubleRange(gids, lo, n, data, filter, validity,
+                                         slab);
       } else {
         vec::AccumulateDoubleRange(gids, lo, n, data, filter, validity, slab);
       }
@@ -251,16 +420,19 @@ void ScanMorselVec(const QuerySpec& spec, const SetSpec& set, SetAccum* accum,
 // scanned morsel (distinct bytes per morsel, so workers never contend) —
 // the record a later ResumeAfterCancel() scans the complement of.
 void WorkerLoop(const std::vector<QuerySpec>& specs,
+                const std::vector<SelRecipe>& recipes,
                 const std::vector<uint8_t>& active, size_t row_begin,
                 size_t row_end, size_t morsel_rows,
-                const std::vector<size_t>& morsel_ids,
+                const std::vector<size_t>& morsel_ids, bool use_simd,
                 std::atomic<size_t>* next_morsel,
                 const std::atomic<bool>* cancel,
                 std::atomic<size_t>* morsels_done,
                 std::atomic<size_t>* vec_morsels,
+                std::atomic<size_t>* simd_morsels,
                 std::vector<uint8_t>* completed, WorkerState* state) {
   std::vector<int64_t> key_scratch;
   VecScratch vec_scratch;
+  vec_scratch.Prepare(recipes.size(), use_simd);
   for (size_t i = next_morsel->fetch_add(1, std::memory_order_relaxed);
        i < morsel_ids.size();
        i = next_morsel->fetch_add(1, std::memory_order_relaxed)) {
@@ -275,10 +447,10 @@ void WorkerLoop(const std::vector<QuerySpec>& specs,
       for (size_t s = 0; s < specs[q].sets.size(); ++s) {
         const SetSpec& set = specs[q].sets[s];
         if (set.vectorized) {
+          const int rid = specs[q].recipe;
           const vec::SelectionVector* sel =
-              specs[q].mask != nullptr
-                  ? vec_scratch.Selection(specs[q].mask, lo, hi)
-                  : nullptr;
+              rid >= 0 ? vec_scratch.Selection(recipes[rid], rid, lo, hi)
+                       : nullptr;
           ScanMorselVec(specs[q], set, &(*state)[q][s], lo, hi, sel,
                         &vec_scratch);
           used_vec = true;
@@ -289,7 +461,10 @@ void WorkerLoop(const std::vector<QuerySpec>& specs,
     }
     (*completed)[m] = 1;
     morsels_done->fetch_add(1, std::memory_order_relaxed);
-    if (used_vec) vec_morsels->fetch_add(1, std::memory_order_relaxed);
+    if (used_vec) {
+      vec_morsels->fetch_add(1, std::memory_order_relaxed);
+      if (use_simd) simd_morsels->fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -494,6 +669,8 @@ class SharedScanState::Impl {
                        ? AdaptiveMorselRows(table_.num_rows(), threads_)
                        : options.morsel_rows;
     cancel_ = options.cancel;
+    use_simd_ = options.enable_vectorized && options.enable_simd &&
+                vec::simd::Available();
 
     // Resolve every query against the table, evaluating each distinct
     // sample / WHERE / FILTER configuration exactly once for the batch.
@@ -502,9 +679,6 @@ class SharedScanState::Impl {
       const GroupingSetsQuery& query = queries_[q];
       SEEDB_RETURN_IF_ERROR(ValidateQuery(table_, query));
       QuerySpec& spec = specs_[q];
-      SEEDB_ASSIGN_OR_RETURN(
-          spec.mask, masks_.CombinedMask(query.sample_fraction,
-                                         query.sample_seed, query.where.get()));
       spec.sample_mask =
           masks_.SampleMask(query.sample_fraction, query.sample_seed);
 
@@ -551,6 +725,27 @@ class SharedScanState::Impl {
         if (!resolved.vectorized) resolved.dims.clear();
         spec.sets.push_back(std::move(resolved));
       }
+
+      // Row-filter resolution. Queries whose every grouping set runs the
+      // vectorized kernels may fuse a simple WHERE comparison straight into
+      // selection building (no byte mask is materialized for them at all);
+      // everyone else gets the cached combined mask — still evaluated once
+      // per distinct configuration — wrapped in a kMask recipe so the
+      // vectorized inner loop shares selections per recipe id.
+      bool all_vec = !spec.sets.empty();
+      for (const SetSpec& set : spec.sets) all_vec &= set.vectorized;
+      bool fused = false;
+      if (all_vec && query.where != nullptr) {
+        SEEDB_ASSIGN_OR_RETURN(fused, TryFuseCompare(query, &spec));
+      }
+      if (!fused) {
+        SEEDB_ASSIGN_OR_RETURN(
+            spec.mask,
+            masks_.CombinedMask(query.sample_fraction, query.sample_seed,
+                                query.where.get()));
+        if (spec.mask != nullptr) spec.recipe = MaskRecipe(spec.mask);
+      }
+
       for (const auto& agg : query.aggregates) {
         AggRuntime rt;
         if (!agg.input.empty()) {
@@ -577,6 +772,87 @@ class SharedScanState::Impl {
       }
     }
     return Status::OK();
+  }
+
+  // Attempts to resolve `query`'s WHERE as a fused compare recipe (kind
+  // kCompare*). Returns false — caller falls back to the byte-mask path —
+  // when the predicate is not a plain column-vs-literal comparison or the
+  // comparison cannot reproduce EvaluateMask's semantics exactly:
+  // EvaluateMask compares int64 columns in the DOUBLE domain (NumericAt),
+  // so an int64 compare fuses only for integral literals with |lit| <=
+  // 2^51, where the int64-domain kernel is provably divergence-free.
+  Result<bool> TryFuseCompare(const GroupingSetsQuery& query,
+                              QuerySpec* spec) {
+    const auto* cmp =
+        dynamic_cast<const ComparisonPredicate*>(query.where.get());
+    if (cmp == nullptr) return false;
+    // The mask path validates inside EvaluateMask; fusing skips that call,
+    // so run the same check explicitly.
+    SEEDB_RETURN_IF_ERROR(cmp->Validate(table_.schema()));
+    SEEDB_ASSIGN_OR_RETURN(const Column* col,
+                           table_.ColumnByName(cmp->column()));
+    SelRecipe r;
+    r.sample = spec->sample_mask;
+    r.column = col;
+    r.op = cmp->op();
+    r.literal = cmp->literal();
+    switch (col->type()) {
+      case ValueType::kString:
+        r.kind = SelRecipe::Kind::kCompareCode;
+        break;
+      case ValueType::kDouble: {
+        r.kind = SelRecipe::Kind::kCompareDouble;
+        SEEDB_ASSIGN_OR_RETURN(r.literal_f64, cmp->literal().ToDouble());
+        break;
+      }
+      case ValueType::kInt64: {
+        SEEDB_ASSIGN_OR_RETURN(double lit, cmp->literal().ToDouble());
+        constexpr double kExactLimit = 2251799813685248.0;  // 2^51
+        if (std::floor(lit) != lit || std::fabs(lit) > kExactLimit) {
+          return false;
+        }
+        r.kind = SelRecipe::Kind::kCompareInt64;
+        r.literal_i64 = static_cast<int64_t>(lit);
+        break;
+      }
+      default:
+        return false;
+    }
+    for (size_t i = 0; i < recipes_.size(); ++i) {
+      if (SameRecipe(recipes_[i], r)) {
+        spec->recipe = static_cast<int>(i);
+        return true;
+      }
+    }
+    if (r.kind == SelRecipe::Kind::kCompareCode) {
+      r.code_match.resize(col->dict_size());
+      for (size_t c = 0; c < r.code_match.size(); ++c) {
+        r.code_match[c] = CompareValues(Value(col->dict_value(
+                                            static_cast<int32_t>(c))),
+                                        r.op, cmp->literal())
+                              ? 1
+                              : 0;
+      }
+    }
+    spec->recipe = static_cast<int>(recipes_.size());
+    recipes_.push_back(std::move(r));
+    return true;
+  }
+
+  // Recipe id for a byte-mask filter, deduplicated by mask pointer (the
+  // MaskCache guarantees pointer identity per distinct configuration).
+  int MaskRecipe(const std::vector<uint8_t>* mask) {
+    for (size_t i = 0; i < recipes_.size(); ++i) {
+      if (recipes_[i].kind == SelRecipe::Kind::kMask &&
+          recipes_[i].mask == mask) {
+        return static_cast<int>(i);
+      }
+    }
+    SelRecipe r;
+    r.kind = SelRecipe::Kind::kMask;
+    r.mask = mask;
+    recipes_.push_back(std::move(r));
+    return static_cast<int>(recipes_.size() - 1);
   }
 
   size_t num_rows() const { return table_.num_rows(); }
@@ -652,7 +928,9 @@ class SharedScanState::Impl {
     // active queries (each distinct mask counted once). Under cancellation,
     // scale by the fraction of morsels that actually completed.
     size_t phase_rows = 0;
-    std::map<const std::vector<uint8_t>*, size_t> mask_counts;
+    // Distinct sample masks per batch are few (MaskCache dedups by pointer),
+    // so a flat vector with linear probes beats a node-based map here.
+    std::vector<std::pair<const std::vector<uint8_t>*, size_t>> mask_counts;
     for (size_t q = 0; q < specs_.size(); ++q) {
       if (!active_[q]) continue;
       const std::vector<uint8_t>* sample = specs_[q].sample_mask;
@@ -660,14 +938,22 @@ class SharedScanState::Impl {
         phase_rows = std::max(phase_rows, row_end - row_begin);
         continue;
       }
-      auto it = mask_counts.find(sample);
-      if (it == mask_counts.end()) {
-        size_t count = static_cast<size_t>(
+      size_t count = 0;
+      bool found = false;
+      for (const auto& [mask, cached] : mask_counts) {
+        if (mask == sample) {
+          count = cached;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        count = static_cast<size_t>(
             std::count(sample->begin() + row_begin, sample->begin() + row_end,
                        uint8_t{1}));
-        it = mask_counts.emplace(sample, count).first;
+        mask_counts.emplace_back(sample, count);
       }
-      phase_rows = std::max(phase_rows, it->second);
+      phase_rows = std::max(phase_rows, count);
     }
     size_t counted_rows = phase_rows;
     if (cut_short) {
@@ -747,19 +1033,22 @@ class SharedScanState::Impl {
                      std::vector<uint8_t>* completed) {
     if (ids.empty()) return 0;
     const size_t threads = std::max<size_t>(1, std::min(threads_, ids.size()));
-    std::vector<WorkerState> workers;
-    workers.reserve(threads);
+    // Worker accumulation state persists in the Impl and is reset (capacity-
+    // preserving) per pass, so dense slabs are allocated once per worker for
+    // the scan's lifetime instead of once per phase.
+    if (worker_states_.size() < threads) worker_states_.resize(threads);
     for (size_t t = 0; t < threads; ++t) {
-      workers.push_back(MakeWorkerState(specs_, active_));
+      PrepareWorkerState(specs_, active_, &worker_states_[t]);
     }
 
     std::atomic<size_t> next_morsel{0};
     std::atomic<size_t> morsels_done{0};
     std::atomic<size_t> vec_morsels{0};
+    std::atomic<size_t> simd_morsels{0};
     if (threads == 1) {
-      WorkerLoop(specs_, active_, row_begin, row_end, morsel_rows, ids,
-                 &next_morsel, cancel_, &morsels_done, &vec_morsels, completed,
-                 &workers[0]);
+      WorkerLoop(specs_, recipes_, active_, row_begin, row_end, morsel_rows,
+                 ids, use_simd_, &next_morsel, cancel_, &morsels_done,
+                 &vec_morsels, &simd_morsels, completed, &worker_states_[0]);
     } else {
       // The pool persists across phases — spawning threads per phase would
       // bill their creation to every phase_seconds measurement.
@@ -767,13 +1056,15 @@ class SharedScanState::Impl {
       std::vector<std::future<void>> futures;
       futures.reserve(threads);
       for (size_t t = 0; t < threads; ++t) {
-        WorkerState* state = &workers[t];
+        WorkerState* state = &worker_states_[t];
         futures.push_back(pool_->Submit([this, row_begin, row_end, morsel_rows,
                                          &ids, &next_morsel, &morsels_done,
-                                         &vec_morsels, completed, state] {
-          WorkerLoop(specs_, active_, row_begin, row_end, morsel_rows, ids,
-                     &next_morsel, cancel_, &morsels_done, &vec_morsels,
-                     completed, state);
+                                         &vec_morsels, &simd_morsels, completed,
+                                         state] {
+          WorkerLoop(specs_, recipes_, active_, row_begin, row_end,
+                     morsel_rows, ids, use_simd_, &next_morsel, cancel_,
+                     &morsels_done, &vec_morsels, &simd_morsels, completed,
+                     state);
         }));
       }
       for (auto& f : futures) f.get();
@@ -782,7 +1073,8 @@ class SharedScanState::Impl {
     for (size_t q = 0; q < specs_.size(); ++q) {
       if (!active_[q]) continue;
       for (size_t s = 0; s < specs_[q].sets.size(); ++s) {
-        for (const WorkerState& worker : workers) {
+        for (size_t t = 0; t < threads; ++t) {
+          const WorkerState& worker = worker_states_[t];
           if (specs_[q].sets[s].vectorized) {
             MergeDenseInto(specs_[q].aggs.size(), worker[q][s].dense,
                            &globals_[q][s]);
@@ -795,6 +1087,7 @@ class SharedScanState::Impl {
     }
     threads_used_ = std::max(threads_used_, threads);
     vectorized_morsels_ += vec_morsels.load(std::memory_order_relaxed);
+    simd_morsels_ += simd_morsels.load(std::memory_order_relaxed);
     return morsels_done.load(std::memory_order_relaxed);
   }
 
@@ -828,6 +1121,14 @@ class SharedScanState::Impl {
     s.rows_scanned = rows_scanned_;
     s.morsels = morsels_;
     s.vectorized_morsels = vectorized_morsels_;
+    s.simd_morsels = simd_morsels_;
+    for (const WorkerState& worker : worker_states_) {
+      for (const auto& sets : worker) {
+        for (const SetAccum& accum : sets) {
+          s.agg_slab_allocations += accum.dense.allocations;
+        }
+      }
+    }
     s.threads_used = threads_used_;
     s.phases = phases_;
     s.last_phase_morsel_rows = last_phase_morsel_rows_;
@@ -862,7 +1163,13 @@ class SharedScanState::Impl {
   std::vector<GroupingSetsQuery> queries_;
   MaskCache masks_;
   std::vector<QuerySpec> specs_;
+  /// Selection recipes (fused compares + mask conversions) referenced by
+  /// QuerySpec::recipe; deduplicated, shared across queries.
+  std::vector<SelRecipe> recipes_;
+  bool use_simd_ = false;
   std::vector<uint8_t> active_;
+  /// Per-worker accumulation state, persistent across phases (slab reuse).
+  std::vector<WorkerState> worker_states_;
   /// globals_[q][s]: merged groups, persistent across phases.
   std::vector<std::vector<GlobalGroups>> globals_;
 
@@ -880,6 +1187,7 @@ class SharedScanState::Impl {
   size_t rows_scanned_ = 0;
   size_t morsels_ = 0;
   size_t vectorized_morsels_ = 0;
+  size_t simd_morsels_ = 0;
   size_t threads_used_ = 0;
   size_t phases_ = 0;
   size_t last_phase_morsel_rows_ = 0;

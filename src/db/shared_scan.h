@@ -66,6 +66,13 @@ struct SharedScanOptions {
   /// slabs — no packed-key hash. Off forces every grouping set onto the
   /// hash / scalar-dense path; both paths produce bit-identical results.
   bool enable_vectorized = true;
+  /// Explicit-SIMD kernel tier (db/vec/simd/) inside vectorized morsels:
+  /// predicate compares, selection construction and run-accumulation use the
+  /// ISA the binary was built for (AVX2 / NEON). Kill switch only — the
+  /// tier also self-disables when the build or the CPU lacks the ISA
+  /// (vec::simd::Available()), and results are bit-identical either way.
+  /// No effect when enable_vectorized is false.
+  bool enable_simd = true;
   /// Largest composed group-space (product of per-column dict_size + 1) a
   /// grouping set may have and still take the dense kernels; above this the
   /// set falls back to the hash path. Bounds per-worker slab memory at
@@ -95,6 +102,15 @@ struct SharedScanStats {
   /// flat-slab aggregation, db/vec/) for at least one grouping set. 0 means
   /// the fast path was never taken — every set fell back to the hash path.
   size_t vectorized_morsels = 0;
+  /// Morsels whose vectorized inner loop additionally ran the explicit-SIMD
+  /// kernel tier (db/vec/simd/). Always <= vectorized_morsels; 0 when
+  /// enable_simd is off, the build is scalar, or the CPU lacks the ISA.
+  size_t simd_morsels = 0;
+  /// DenseAggTable slab allocations across all workers since Create().
+  /// Multi-phase runs reuse per-worker slabs (capacity-preserving Reset), so
+  /// this stays at one per (worker, query, vectorized set) no matter how
+  /// many phases run.
+  size_t agg_slab_allocations = 0;
   size_t threads_used = 0;
   /// RunPhase() calls executed (1 for the one-shot ExecuteSharedScan).
   size_t phases = 0;

@@ -42,12 +42,33 @@ struct DenseAggTable {
   std::vector<uint32_t> touched;
   /// rep_row[i] = first selected row of touched[i] (key materialization).
   std::vector<uint32_t> rep_row;
+  /// Slab allocations performed by Init since construction; Reset never
+  /// adds to it. Surfaced as SharedScanStats::agg_slab_allocations so tests
+  /// can pin that multi-phase runs reuse worker slabs instead of
+  /// reallocating per phase.
+  size_t allocations = 0;
 
   void Init(uint32_t num_slots, uint32_t aggs) {
     slots = num_slots;
     num_aggs = aggs;
     states.assign(static_cast<size_t>(slots) * num_aggs, AggState{});
     seen.assign(slots, 0);
+    touched.clear();
+    rep_row.clear();
+    ++allocations;
+  }
+
+  /// Capacity-preserving reset for slab reuse across phases: re-zeroes only
+  /// the slots touched since Init / the last Reset and keeps every
+  /// allocation. Equivalent to Init(slots, num_aggs) for kernel purposes
+  /// but O(touched) instead of O(slots * num_aggs).
+  void Reset() {
+    for (uint32_t slot : touched) {
+      seen[slot] = 0;
+      for (uint32_t a = 0; a < num_aggs; ++a) {
+        states[static_cast<size_t>(a) * slots + slot] = AggState{};
+      }
+    }
     touched.clear();
     rep_row.clear();
   }

@@ -36,6 +36,12 @@ class SelectionVector {
   const uint32_t* data() const { return rows_.data(); }
   uint32_t operator[](size_t i) const { return rows_[i]; }
 
+  /// Bulk-write access for the SIMD kernels (db/vec/simd/): they size the
+  /// vector to the candidate row count up front, compress-store selected
+  /// indices through mutable_data(), then Resize down to the emitted count.
+  void Resize(size_t n) { rows_.resize(n); }
+  uint32_t* mutable_data() { return rows_.data(); }
+
  private:
   std::vector<uint32_t> rows_;
 };

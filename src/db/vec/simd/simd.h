@@ -1,0 +1,107 @@
+// Explicit-SIMD kernel tier: vector-ISA variants of the db/vec/ compare,
+// selection-construction and accumulate kernels.
+//
+// The ISA is selected at COMPILE time inside simd_kernels.cc (AVX2 on
+// x86-64, NEON on aarch64, scalar otherwise — see simd_internal.h); this
+// header is ISA-agnostic so every other translation unit builds without
+// vector flags. At RUN time two switches gate the tier: Available() (the
+// binary was built with a vector ISA and the CPU actually supports it) and
+// SharedScanOptions::enable_simd (the kill switch). When either says no,
+// callers use the scalar db/vec/ kernels; in a scalar build the functions
+// below forward to them, so simd:: is always safe to call.
+//
+// Equivalence bar (same as scalar-vec vs hash): every kernel here is
+// BIT-identical to its scalar counterpart. Selection construction preserves
+// row order exactly; COUNT is integer; MIN/MAX mirror AggState's
+// `if (v < min)` semantics lane-wise (NaN never wins, first-seen ties are
+// value-equal); double SUM stays a sequential left-fold in row order —
+// lane-parallel float summation would reassociate and is deliberately NOT
+// done. Int64 SUM is vectorized only when an exactness precheck proves the
+// scalar fold is exact integer arithmetic (all partials well under 2^53),
+// in which case any association gives the same bits.
+//
+// Byte masks passed to these kernels (filter / validity / selection masks)
+// must hold 0 or 1 per byte — the engine-wide convention.
+
+#ifndef SEEDB_DB_VEC_SIMD_SIMD_H_
+#define SEEDB_DB_VEC_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "db/vec/aggregate_kernels.h"
+#include "db/vec/selection_vector.h"
+
+namespace seedb::db::vec::simd {
+
+/// Compile-time ISA of simd_kernels.cc: "avx2", "neon" or "scalar".
+const char* IsaName();
+
+/// True when the kernels were compiled with a vector ISA AND the running
+/// CPU supports it (checked once, cached). False in scalar builds or on
+/// hardware older than the build target — callers then take the scalar
+/// db/vec/ path and SharedScanStats::simd_morsels stays 0.
+bool Available();
+
+// -- Selection construction (movemask-based) ---------------------------------
+
+/// SIMD SelectFromMask: non-zero mask bytes of [row_begin, row_end) become
+/// selected rows. Identical output to vec::SelectFromMask.
+void SelectFromMask(const uint8_t* mask, size_t row_begin, size_t row_end,
+                    SelectionVector* sel);
+
+/// SIMD in-place AND with a byte mask. Identical output to vec::Refine.
+void Refine(const uint8_t* mask, SelectionVector* sel);
+
+// -- Compare kernels (predicate -> selection) --------------------------------
+//
+// Same contracts as the scalar kernels in selection_vector.h: null rows
+// (validity byte 0) never match; `sel` is replaced.
+
+void SelectCompareInt64(const int64_t* data, const uint8_t* validity,
+                        CompareOp op, int64_t literal, size_t row_begin,
+                        size_t row_end, SelectionVector* sel);
+
+void SelectCompareDouble(const double* data, const uint8_t* validity,
+                         CompareOp op, double literal, size_t row_begin,
+                         size_t row_end, SelectionVector* sel);
+
+void SelectCompareCode(const int32_t* codes, const uint8_t* validity,
+                       const uint8_t* code_match, size_t row_begin,
+                       size_t row_end, SelectionVector* sel);
+
+// -- Accumulate kernels over contiguous gid runs -----------------------------
+//
+// Same contracts as aggregate_kernels.h. The Range variants segment the gid
+// vector into runs of equal group id (one cheap vector compare per block)
+// and vectorize within long runs: COUNT becomes a popcount of the pass
+// mask, MIN/MAX a lane-wise compare+blend fold, int64 SUM an integer vector
+// sum when provably exact; short runs and filtered/nullable rows fall back
+// to the per-row AggState update, so results stay bit-identical on any gid
+// distribution. The Sel variants (gathered rows) stay scalar — they forward
+// to the vec:: kernels.
+
+void AccumulateCountRange(const uint32_t* gids, size_t row_begin, size_t n,
+                          const uint8_t* filter, const uint8_t* validity,
+                          AggState* slab);
+void AccumulateCountSel(const uint32_t* gids, const SelectionVector& sel,
+                        const uint8_t* filter, const uint8_t* validity,
+                        AggState* slab);
+
+void AccumulateInt64Range(const uint32_t* gids, size_t row_begin, size_t n,
+                          const int64_t* data, const uint8_t* filter,
+                          const uint8_t* validity, AggState* slab);
+void AccumulateInt64Sel(const uint32_t* gids, const SelectionVector& sel,
+                        const int64_t* data, const uint8_t* filter,
+                        const uint8_t* validity, AggState* slab);
+
+void AccumulateDoubleRange(const uint32_t* gids, size_t row_begin, size_t n,
+                           const double* data, const uint8_t* filter,
+                           const uint8_t* validity, AggState* slab);
+void AccumulateDoubleSel(const uint32_t* gids, const SelectionVector& sel,
+                         const double* data, const uint8_t* filter,
+                         const uint8_t* validity, AggState* slab);
+
+}  // namespace seedb::db::vec::simd
+
+#endif  // SEEDB_DB_VEC_SIMD_SIMD_H_

@@ -15,6 +15,7 @@
 #include "db/predicate.h"
 #include "db/shared_scan.h"
 #include "db/table.h"
+#include "db/vec/simd/simd.h"
 #include "util/random.h"
 
 namespace seedb::db {
@@ -100,6 +101,31 @@ std::vector<GroupingSetsQuery> MatrixQueries() {
   sampled.sample_fraction = 0.6;
   sampled.sample_seed = 17;
   queries.push_back(sampled);
+
+  // int64-column WHERE: fuses to the typed int64 compare recipe on the
+  // vectorized path (the literal is integral and small, so the int64-domain
+  // compare provably matches EvaluateMask's double-domain semantics).
+  GroupingSetsQuery int_where;
+  int_where.table = "t";
+  int_where.where = PredicatePtr(Ge("m_int", Value(static_cast<int64_t>(3))));
+  int_where.grouping_sets = {{"d_small"}, {}};
+  int_where.aggregates = {
+      AggregateSpec::Count(),
+      AggregateSpec::Make(AggregateFunction::kSum, "m_double"),
+  };
+  queries.push_back(int_where);
+
+  // Sampled AND filtered: the fused compare must Refine by the sample mask
+  // after the compare, matching the combined-mask path exactly.
+  GroupingSetsQuery sampled_where;
+  sampled_where.table = "t";
+  sampled_where.where = PredicatePtr(Lt("m_double", Value(10.0)));
+  sampled_where.grouping_sets = {{"d_small", "d_nullable"}};
+  sampled_where.aggregates = {
+      AggregateSpec::Make(AggregateFunction::kSum, "m_int")};
+  sampled_where.sample_fraction = 0.5;
+  sampled_where.sample_seed = 23;
+  queries.push_back(sampled_where);
 
   return queries;
 }
@@ -235,6 +261,111 @@ TEST(VecEquivalenceTest, SlotBudgetFallbackStaysCorrect) {
     for (size_t s = 0; s < (*constrained)[q].size(); ++s) {
       ExpectTablesBitIdentical((*constrained)[q][s], (*normal)[q][s],
                                "query " + std::to_string(q) + " set " +
+                                   std::to_string(s));
+    }
+  }
+}
+
+// The explicit-SIMD tier is a third leg of the equivalence matrix: with the
+// tier enabled, disabled, and the whole vectorized path off, results must
+// be BIT-identical — the simd kernels share the scalar kernels' exact
+// accumulation order by construction, and this is the pin.
+TEST(VecEquivalenceTest, SimdTierMatchesScalarTierBitForBit) {
+  Table table = MakeMatrixTable(7, 2500);
+  std::vector<GroupingSetsQuery> queries = MatrixQueries();
+
+  SharedScanOptions simd_on;
+  simd_on.num_threads = 1;
+  simd_on.morsel_rows = 333;  // partial tail morsel
+  simd_on.enable_simd = true;
+
+  SharedScanOptions simd_off = simd_on;
+  simd_off.enable_simd = false;
+
+  SharedScanOptions hash = simd_on;
+  hash.enable_vectorized = false;
+
+  SharedScanStats on_stats, off_stats, hash_stats;
+  auto with_simd = ExecuteSharedScan(table, queries, simd_on, &on_stats);
+  auto without = ExecuteSharedScan(table, queries, simd_off, &off_stats);
+  auto hashed = ExecuteSharedScan(table, queries, hash, &hash_stats);
+  ASSERT_TRUE(with_simd.ok()) << with_simd.status().ToString();
+  ASSERT_TRUE(without.ok()) << without.status().ToString();
+  ASSERT_TRUE(hashed.ok()) << hashed.status().ToString();
+
+  // The tier engages on every vectorized morsel when the build and CPU
+  // support it, never when switched off (and never on the hash path).
+  if (vec::simd::Available()) {
+    EXPECT_EQ(on_stats.simd_morsels, on_stats.morsels);
+    EXPECT_GT(on_stats.simd_morsels, 0u);
+  } else {
+    EXPECT_EQ(on_stats.simd_morsels, 0u);
+  }
+  EXPECT_EQ(off_stats.simd_morsels, 0u);
+  EXPECT_EQ(hash_stats.simd_morsels, 0u);
+
+  ASSERT_EQ(with_simd->size(), without->size());
+  for (size_t q = 0; q < with_simd->size(); ++q) {
+    for (size_t s = 0; s < (*with_simd)[q].size(); ++s) {
+      const std::string label =
+          "query " + std::to_string(q) + " set " + std::to_string(s);
+      ExpectTablesBitIdentical((*with_simd)[q][s], (*without)[q][s],
+                               label + " (simd vs scalar tier)");
+      ExpectTablesBitIdentical((*with_simd)[q][s], (*hashed)[q][s],
+                               label + " (simd vs hash)");
+    }
+  }
+}
+
+// Slab reuse across phases: a two-phase run must allocate each worker's
+// dense slabs exactly once — the second phase reuses them via the
+// capacity-preserving Reset instead of reallocating.
+TEST(VecEquivalenceTest, PhasedRunAllocatesWorkerSlabsOnce) {
+  Table table = MakeMatrixTable(9, 2000);
+  std::vector<GroupingSetsQuery> queries = MatrixQueries();
+
+  SharedScanOptions options;
+  options.num_threads = 1;
+  options.morsel_rows = 128;
+  auto scan = SharedScanState::Create(table, queries, options);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+
+  ASSERT_TRUE(scan->RunPhase(0, 1000).ok());
+  const size_t after_one = scan->stats().agg_slab_allocations;
+  EXPECT_GT(after_one, 0u);
+  ASSERT_TRUE(scan->RunPhase(1000, 2000).ok());
+  EXPECT_EQ(scan->stats().agg_slab_allocations, after_one)
+      << "second phase must reuse the first phase's slabs";
+
+  // One allocation per (query, vectorized set) for the single worker.
+  size_t vec_sets = 0;
+  SharedScanOptions probe_opts = options;
+  {
+    SharedScanStats stats;
+    auto probe = ExecuteSharedScan(table, queries, probe_opts, &stats);
+    ASSERT_TRUE(probe.ok());
+    vec_sets = stats.agg_slab_allocations;
+  }
+  EXPECT_EQ(after_one, vec_sets);
+
+  // And the reused-slab results still match a hash-path run with the SAME
+  // phase structure bit for bit (phased vs one-shot may differ by float
+  // reassociation at the phase boundary — that is documented — but vec vs
+  // hash under identical phases must not).
+  auto phased = scan->FinalResults();
+  ASSERT_TRUE(phased.ok());
+  SharedScanOptions hash_options = options;
+  hash_options.enable_vectorized = false;
+  auto hash_scan = SharedScanState::Create(table, queries, hash_options);
+  ASSERT_TRUE(hash_scan.ok());
+  ASSERT_TRUE(hash_scan->RunPhase(0, 1000).ok());
+  ASSERT_TRUE(hash_scan->RunPhase(1000, 2000).ok());
+  auto hash_results = hash_scan->FinalResults();
+  ASSERT_TRUE(hash_results.ok());
+  for (size_t q = 0; q < phased->size(); ++q) {
+    for (size_t s = 0; s < (*phased)[q].size(); ++s) {
+      ExpectTablesBitIdentical((*phased)[q][s], (*hash_results)[q][s],
+                               "phased query " + std::to_string(q) + " set " +
                                    std::to_string(s));
     }
   }

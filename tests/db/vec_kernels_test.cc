@@ -1,16 +1,24 @@
 // Unit tests for the vectorized kernel subsystem (db/vec/): selection
 // vectors, batch filter kernels, dense group-id composition, and flat-slab
 // aggregation kernels — the pieces db/shared_scan.cc wires into its morsel
-// inner loop.
+// inner loop — plus the explicit-SIMD tier (db/vec/simd/), which must agree
+// with the scalar-vectorized kernels BIT for bit on every input shape:
+// lane-width tails, unaligned range starts, validity masks, all-null runs.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "db/vec/aggregate_kernels.h"
 #include "db/vec/group_ids.h"
 #include "db/vec/selection_vector.h"
+#include "db/vec/simd/simd.h"
+#include "util/random.h"
 
 namespace seedb::db::vec {
 namespace {
@@ -205,6 +213,284 @@ TEST(AggregateKernelsTest, AllNullInputLeavesEmptyAccumulators) {
   EXPECT_EQ(t.touched.size(), 1u);
   EXPECT_EQ(t.slab(0)[0].count, 0);
   EXPECT_EQ(t.slab(0)[0].sum, 0.0);
+}
+
+TEST(AggregateKernelsTest, ResetReusesSlabWithoutReallocating) {
+  DenseAggTable t;
+  t.Init(8, 2);
+  EXPECT_EQ(t.allocations, 1u);
+  const AggState* slab_before = t.slab(0);
+
+  const std::vector<uint32_t> gids = {3, 5, 3};
+  const std::vector<double> data = {1.0, 2.0, 4.0};
+  TouchGroupsRange(gids.data(), 0, 3, &t);
+  AccumulateDoubleRange(gids.data(), 0, 3, data.data(), nullptr, nullptr,
+                        t.slab(0));
+  ASSERT_EQ(t.touched, (std::vector<uint32_t>{3, 5}));
+  EXPECT_EQ(t.slab(0)[3].sum, 5.0);
+
+  t.Reset();
+  EXPECT_EQ(t.allocations, 1u);        // Reset never reallocates
+  EXPECT_EQ(t.slab(0), slab_before);   // same slab memory
+  EXPECT_TRUE(t.touched.empty());
+  EXPECT_TRUE(t.rep_row.empty());
+  // Every previously touched slot is back to the empty accumulator, in both
+  // aggregates' slabs.
+  for (uint32_t slot : {3u, 5u}) {
+    for (uint32_t a = 0; a < 2; ++a) {
+      EXPECT_EQ(t.slab(a)[slot].count, 0) << "agg " << a << " slot " << slot;
+      EXPECT_EQ(t.slab(a)[slot].sum, 0.0);
+      EXPECT_EQ(t.seen[slot], 0);
+    }
+  }
+  // The table accumulates correctly again after Reset.
+  TouchGroupsRange(gids.data(), 0, 3, &t);
+  AccumulateDoubleRange(gids.data(), 0, 3, data.data(), nullptr, nullptr,
+                        t.slab(0));
+  EXPECT_EQ(t.slab(0)[3].count, 2);
+  EXPECT_EQ(t.slab(0)[3].sum, 5.0);
+}
+
+// -- Explicit-SIMD tier equivalence -----------------------------------------
+//
+// Every simd:: kernel must emit exactly what its vec:: counterpart emits —
+// same rows, same order, same accumulator BITS — across a fuzz matrix of
+// sizes chosen to hit every lane-width tail (0..2·lane+3), range offsets
+// that misalign the 8-row blocks, and validity shapes including all-null
+// and null runs straddling the 8-byte mask words the AVX2 path consumes.
+
+constexpr CompareOp kAllOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                 CompareOp::kLt, CompareOp::kLe,
+                                 CompareOp::kGt, CompareOp::kGe};
+
+void ExpectSameSelection(const SelectionVector& got,
+                         const SelectionVector& want,
+                         const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << label << " index " << i;
+  }
+}
+
+TEST(SimdEquivalenceTest, SelectFromMaskMatchesScalarOnAllShapes) {
+  Random rng(101);
+  for (size_t n : {0, 1, 7, 8, 9, 31, 32, 33, 63, 64, 70, 257}) {
+    for (size_t offset : {0, 1, 3, 13}) {
+      std::vector<uint8_t> mask(offset + n);
+      for (auto& b : mask) b = rng.Bernoulli(0.4) ? 1 : 0;
+      SelectionVector simd_sel, scalar_sel;
+      simd::SelectFromMask(mask.data(), offset, offset + n, &simd_sel);
+      SelectFromMask(mask.data(), offset, offset + n, &scalar_sel);
+      ExpectSameSelection(simd_sel, scalar_sel,
+                          "mask n=" + std::to_string(n) +
+                              " off=" + std::to_string(offset));
+      // Degenerate shapes the block loops special-case: all-zero, all-one.
+      std::fill(mask.begin(), mask.end(), 0);
+      simd::SelectFromMask(mask.data(), offset, offset + n, &simd_sel);
+      EXPECT_TRUE(simd_sel.empty());
+      std::fill(mask.begin(), mask.end(), 1);
+      simd::SelectFromMask(mask.data(), offset, offset + n, &simd_sel);
+      SelectFromMask(mask.data(), offset, offset + n, &scalar_sel);
+      ExpectSameSelection(simd_sel, scalar_sel,
+                          "all-ones n=" + std::to_string(n));
+    }
+  }
+}
+
+TEST(SimdEquivalenceTest, RefineMatchesScalarOnAllShapes) {
+  Random rng(102);
+  for (size_t n : {0, 1, 7, 8, 9, 31, 32, 33, 70}) {
+    std::vector<uint8_t> base(2 * n + 8, 0), refine(2 * n + 8, 0);
+    for (auto& b : base) b = rng.Bernoulli(0.6) ? 1 : 0;
+    for (auto& b : refine) b = rng.Bernoulli(0.5) ? 1 : 0;
+    SelectionVector simd_sel, scalar_sel;
+    simd::SelectFromMask(base.data(), 0, n, &simd_sel);
+    SelectFromMask(base.data(), 0, n, &scalar_sel);
+    simd::Refine(refine.data(), &simd_sel);
+    Refine(refine.data(), &scalar_sel);
+    ExpectSameSelection(simd_sel, scalar_sel, "refine n=" + std::to_string(n));
+  }
+}
+
+TEST(SimdEquivalenceTest, CompareKernelsMatchScalarOnAllOpsAndShapes) {
+  Random rng(103);
+  for (size_t n : {0, 1, 3, 7, 8, 9, 15, 16, 17, 33, 64, 67}) {
+    for (size_t offset : {0, 1, 3}) {
+      const size_t total = offset + n;
+      std::vector<int64_t> i64(total);
+      std::vector<double> f64(total);
+      std::vector<int32_t> codes(total);
+      std::vector<uint8_t> validity(total);
+      for (size_t i = 0; i < total; ++i) {
+        i64[i] = rng.UniformInt(-5, 5);
+        f64[i] = rng.Bernoulli(0.1) ? std::numeric_limits<double>::quiet_NaN()
+                                    : rng.UniformDouble(-5.0, 5.0);
+        codes[i] = static_cast<int32_t>(rng.UniformInt(0, 3));
+        validity[i] = rng.Bernoulli(0.25) ? 0 : 1;
+      }
+      const std::vector<uint8_t> code_match = {1, 0, 1, 0};
+      for (const uint8_t* v :
+           {(const uint8_t*)validity.data(), (const uint8_t*)nullptr}) {
+        for (CompareOp op : kAllOps) {
+          const std::string label =
+              "n=" + std::to_string(n) + " off=" + std::to_string(offset) +
+              " op=" + std::to_string(static_cast<int>(op)) +
+              (v ? " valid" : " novalid");
+          SelectionVector simd_sel, scalar_sel;
+          simd::SelectCompareInt64(i64.data(), v, op, 1, offset, total,
+                                   &simd_sel);
+          SelectCompareInt64(i64.data(), v, op, 1, offset, total,
+                             &scalar_sel);
+          ExpectSameSelection(simd_sel, scalar_sel, "i64 " + label);
+          // NaN rows must never be selected, matching scalar semantics for
+          // every op — including kNe.
+          simd::SelectCompareDouble(f64.data(), v, op, 0.5, offset, total,
+                                    &simd_sel);
+          SelectCompareDouble(f64.data(), v, op, 0.5, offset, total,
+                              &scalar_sel);
+          ExpectSameSelection(simd_sel, scalar_sel, "f64 " + label);
+        }
+        SelectionVector simd_sel, scalar_sel;
+        simd::SelectCompareCode(codes.data(), v, code_match.data(), offset,
+                                total, &simd_sel);
+        SelectCompareCode(codes.data(), v, code_match.data(), offset, total,
+                          &scalar_sel);
+        ExpectSameSelection(simd_sel, scalar_sel,
+                            "code n=" + std::to_string(n));
+      }
+      // All-null: nothing selected on either tier.
+      std::vector<uint8_t> none(total, 0);
+      SelectionVector simd_sel;
+      simd::SelectCompareInt64(i64.data(), none.data(), CompareOp::kGe,
+                               -100, offset, total, &simd_sel);
+      EXPECT_TRUE(simd_sel.empty());
+    }
+  }
+}
+
+// Accumulation: run the simd Range kernels against the scalar ones over the
+// same inputs and require bitwise-equal AggStates — count, sum, min, max.
+// Gid layouts cover long runs (the vector fast path), run-length-1 data
+// (pure scalar probing), and runs straddling the kernel's internal
+// block boundaries.
+void ExpectSlabsBitIdentical(const std::vector<AggState>& got,
+                             const std::vector<AggState>& want,
+                             const std::string& label) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].count, want[i].count) << label << " slot " << i;
+    // Bitwise, not ==: distinguishes +0.0 / -0.0 and fails on NaN drift.
+    EXPECT_EQ(std::memcmp(&got[i].sum, &want[i].sum, sizeof(double)), 0)
+        << label << " slot " << i << " sum " << got[i].sum << " vs "
+        << want[i].sum;
+    EXPECT_EQ(std::memcmp(&got[i].min, &want[i].min, sizeof(double)), 0)
+        << label << " slot " << i;
+    EXPECT_EQ(std::memcmp(&got[i].max, &want[i].max, sizeof(double)), 0)
+        << label << " slot " << i;
+  }
+}
+
+std::vector<uint32_t> MakeGids(Random* rng, size_t n, bool clustered) {
+  std::vector<uint32_t> gids(n);
+  uint32_t g = 0;
+  size_t run_left = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (clustered) {
+      if (run_left == 0) {
+        run_left = static_cast<size_t>(rng->UniformInt(1, 40));
+        g = static_cast<uint32_t>(rng->UniformInt(0, 7));
+      }
+      --run_left;
+      gids[i] = g;
+    } else {
+      gids[i] = static_cast<uint32_t>(rng->UniformInt(0, 7));
+    }
+  }
+  return gids;
+}
+
+TEST(SimdEquivalenceTest, AccumulateKernelsMatchScalarBitForBit) {
+  Random rng(104);
+  for (bool clustered : {true, false}) {
+    for (size_t n : {0, 1, 15, 16, 17, 100, 1000}) {
+      for (size_t offset : {0, 3}) {
+        const size_t total = offset + n;
+        std::vector<uint32_t> gids = MakeGids(&rng, total, clustered);
+        std::vector<int64_t> i64(total);
+        std::vector<double> f64(total);
+        std::vector<uint8_t> validity(total), filter(total);
+        for (size_t i = 0; i < total; ++i) {
+          i64[i] = rng.UniformInt(-1000, 1000);
+          f64[i] = rng.UniformDouble(-1000.0, 1000.0);
+          validity[i] = rng.Bernoulli(0.2) ? 0 : 1;
+          filter[i] = rng.Bernoulli(0.3) ? 0 : 1;
+        }
+        const std::string label = std::string(clustered ? "runs" : "random") +
+                                  " n=" + std::to_string(n) +
+                                  " off=" + std::to_string(offset);
+        // Filter/validity combinations; the (nullptr, nullptr) case is the
+        // one the vector run fast path accelerates.
+        for (const uint8_t* f :
+             {(const uint8_t*)nullptr, (const uint8_t*)filter.data()}) {
+          for (const uint8_t* v :
+               {(const uint8_t*)nullptr, (const uint8_t*)validity.data()}) {
+            std::vector<AggState> simd_slab(8), scalar_slab(8);
+            simd::AccumulateCountRange(gids.data(), offset, n, f, v,
+                                       simd_slab.data());
+            AccumulateCountRange(gids.data(), offset, n, f, v,
+                                 scalar_slab.data());
+            ExpectSlabsBitIdentical(simd_slab, scalar_slab, "count " + label);
+
+            simd_slab.assign(8, AggState{});
+            scalar_slab.assign(8, AggState{});
+            simd::AccumulateInt64Range(gids.data(), offset, n, i64.data(), f,
+                                       v, simd_slab.data());
+            AccumulateInt64Range(gids.data(), offset, n, i64.data(), f, v,
+                                 scalar_slab.data());
+            ExpectSlabsBitIdentical(simd_slab, scalar_slab, "i64 " + label);
+
+            simd_slab.assign(8, AggState{});
+            scalar_slab.assign(8, AggState{});
+            simd::AccumulateDoubleRange(gids.data(), offset, n, f64.data(), f,
+                                        v, simd_slab.data());
+            AccumulateDoubleRange(gids.data(), offset, n, f64.data(), f, v,
+                                  scalar_slab.data());
+            ExpectSlabsBitIdentical(simd_slab, scalar_slab, "f64 " + label);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdEquivalenceTest, Int64SumExactnessPrecheckFallsBackBitIdentically) {
+  // Values large enough that a double-rounded vector sum would diverge from
+  // the scalar left-fold: the kernel's exactness precheck must reject the
+  // vector path and fall back per-row, keeping the sums bit-identical.
+  const int64_t big = (int64_t{1} << 62) + 12345;
+  std::vector<uint32_t> gids(64, 0);
+  std::vector<int64_t> data(64);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = (i % 2 == 0) ? big : -big + static_cast<int64_t>(i);
+  }
+  std::vector<AggState> simd_slab(1), scalar_slab(1);
+  simd::AccumulateInt64Range(gids.data(), 0, data.size(), data.data(),
+                             nullptr, nullptr, simd_slab.data());
+  AccumulateInt64Range(gids.data(), 0, data.size(), data.data(), nullptr,
+                       nullptr, scalar_slab.data());
+  ExpectSlabsBitIdentical(simd_slab, scalar_slab, "big-int64");
+}
+
+TEST(SimdEquivalenceTest, IsaNameIsConsistentWithAvailability) {
+  // Whatever the build/CPU, the pair (IsaName, Available) must be coherent:
+  // a scalar build never reports available, and an available tier reports
+  // a vector ISA name.
+  if (simd::Available()) {
+    EXPECT_NE(std::string(simd::IsaName()), "scalar");
+  }
+  if (std::string(simd::IsaName()) == "scalar") {
+    EXPECT_FALSE(simd::Available());
+  }
 }
 
 }  // namespace

@@ -177,6 +177,12 @@ def compare_vectorized(old_path, new_path, threshold):
         print("::warning::vectorized fused plan no longer beats "
               "ExecuteGroupingSets on one core (advisory) — the regression "
               "the dense kernels exist to close is back")
+    if (new_doc.get("simd_isa", "scalar") != "scalar"
+            and not new_doc.get("simd_beats_scalar_compare", True)):
+        warnings += 1
+        print("::warning::simd compare kernel no longer beats the scalar "
+              "kernel (advisory) — the explicit-SIMD tier is not paying "
+              f"for itself (isa={new_doc.get('simd_isa')})")
     return warnings
 
 

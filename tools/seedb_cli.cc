@@ -99,6 +99,7 @@ class Cli {
         "  \\cancel [n]                      cancel the NEXT query's scan\n"
         "                                   after n phases (default 1)\n"
         "  \\set budget <bytes>              per-session memory budget\n"
+        "  \\set simd on|off                 explicit-SIMD kernel tier\n"
         "                                   (0 = unlimited)\n"
         "  \\stats                           engine counters (scans, rows,\n"
         "                                   vectorized morsels, ...)\n"
@@ -233,6 +234,13 @@ class Cli {
       }
     } else if (key == "budget") {
       in >> options_.memory_budget_bytes;
+    } else if (key == "simd") {
+      std::string state;
+      in >> state;
+      if (state != "on" && state != "off") {
+        return Status::InvalidArgument("usage: \\set simd on|off");
+      }
+      options_.enable_simd = state == "on";
     } else if (key == "prune") {
       std::string state;
       in >> state;
@@ -243,16 +251,17 @@ class Cli {
           "usage: \\set k <n> | metric <name> | parallel <n> | "
           "strategy shared|perquery|phased | phases <n> | "
           "online_pruner none|ci|mab | early_stop <n> | budget <bytes> | "
-          "prune on|off");
+          "simd on|off | prune on|off");
     }
     std::printf(
         "ok (k=%zu metric=%s parallel=%zu strategy=%s phases=%zu "
-        "online_pruner=%s)\n",
+        "online_pruner=%s simd=%s)\n",
         options_.k, core::DistanceMetricToString(options_.metric),
         options_.parallelism,
         core::ExecutionStrategyToString(options_.strategy),
         options_.online_pruning.num_phases,
-        core::OnlinePrunerToString(options_.online_pruning.pruner));
+        core::OnlinePrunerToString(options_.online_pruning.pruner),
+        options_.enable_simd ? "on" : "off");
     return Status::OK();
   }
 
