@@ -1,0 +1,30 @@
+// libFuzzer target for the wire JSON parser (server/json.h): untrusted
+// clients feed this parser directly, one line per request. Invariants are in
+// fuzz/harness.h; any violation aborts, which libFuzzer records as a crash
+// with a reproducer that then becomes a corpus seed + regression input.
+//
+// Built two ways (see fuzz/CMakeLists.txt): with clang as a real libFuzzer
+// binary (-fsanitize=fuzzer,address), otherwise as a standalone driver that
+// replays the files given on the command line.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string violation = seedb::fuzz::RunJsonInput(
+      std::string_view(reinterpret_cast<const char*>(data), size));
+  if (!violation.empty()) {
+    std::fprintf(stderr, "fuzz_json invariant violated: %s\n",
+                 violation.c_str());
+    std::abort();
+  }
+  return 0;
+}
+
+#if defined(SEEDB_FUZZ_STANDALONE)
+#include "fuzz/standalone_main.inc"
+#endif

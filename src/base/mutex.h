@@ -1,0 +1,95 @@
+// Annotated mutex wrappers: the only locking primitives the codebase uses.
+//
+// base::Mutex / base::MutexLock / base::CondVar wrap the std primitives 1:1
+// (zero overhead — everything inlines to the std call) but carry the clang
+// thread-safety-analysis attributes from base/thread_annotations.h, so the
+// clang CI leg (-Wthread-safety -Werror) proves every access to GUARDED_BY
+// state happens under the right lock. tools/lint.py enforces that no naked
+// std::mutex / std::lock_guard / std::condition_variable appears outside
+// src/base/ — declare shared state GUARDED_BY a base::Mutex instead.
+//
+// The repo's lock-ordering hierarchy is documented in
+// base/thread_annotations.h; keep it current when adding locks.
+
+#ifndef SEEDB_BASE_MUTEX_H_
+#define SEEDB_BASE_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "base/thread_annotations.h"
+
+namespace seedb::base {
+
+/// \brief std::mutex with capability annotations. Satisfies *Lockable*, so
+/// CondVar (condition_variable_any) can wait on it directly.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII lock for a whole scope (std::lock_guard with annotations).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief Condition variable tied to base::Mutex. Wait() atomically releases
+/// and reacquires the mutex, which the analysis treats as continuously held
+/// (the std behavior guarantees it is held again whenever Wait returns).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's scope still owns the mutex
+  }
+
+  template <typename Predicate>
+  void Wait(Mutex* mu, Predicate pred) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();
+  }
+
+  template <typename Rep, typename Period, typename Predicate>
+  bool WaitFor(Mutex* mu, const std::chrono::duration<Rep, Period>& timeout,
+               Predicate pred) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const bool satisfied = cv_.wait_for(lock, timeout, std::move(pred));
+    lock.release();
+    return satisfied;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace seedb::base
+
+#endif  // SEEDB_BASE_MUTEX_H_

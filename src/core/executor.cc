@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "base/mutex.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -464,22 +464,22 @@ Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,
     // (cheap) is serialized under a mutex. A budget breach stops further
     // queries from being issued, like cancellation.
     ThreadPool pool(options.parallelism);
-    std::mutex mu;
+    base::Mutex mu;
     Status first_error = Status::OK();
     pool.ParallelFor(0, plan.queries.size(), [&](size_t i) {
       if (CancelRequested(options)) {
-        std::lock_guard<std::mutex> lock(mu);
+        base::MutexLock lock(&mu);
         cancelled = true;
         return;
       }
       {
-        std::lock_guard<std::mutex> lock(mu);
+        base::MutexLock lock(&mu);
         if (budget_exceeded) return;
       }
       Stopwatch qt;
       auto result = engine->Execute(plan.queries[i].query);
       double elapsed = qt.ElapsedSeconds();
-      std::lock_guard<std::mutex> lock(mu);
+      base::MutexLock lock(&mu);
       query_seconds[i] = elapsed;
       ++queries_executed;
       if (!result.ok()) {

@@ -19,7 +19,7 @@ void AccessTracker::RecordQuery(const std::string& table,
                                 const std::vector<std::string>& columns) {
   // Dedupe: a column referenced by both WHERE and GROUP BY counts once.
   std::set<std::string> unique(columns.begin(), columns.end());
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   ++query_counts_[table];
   for (const auto& c : unique) {
     ++access_counts_[Key(table, c)];
@@ -27,14 +27,14 @@ void AccessTracker::RecordQuery(const std::string& table,
 }
 
 uint64_t AccessTracker::QueryCount(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   auto it = query_counts_.find(table);
   return it == query_counts_.end() ? 0 : it->second;
 }
 
 uint64_t AccessTracker::AccessCount(const std::string& table,
                                     const std::string& column) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   auto it = access_counts_.find(Key(table, column));
   return it == access_counts_.end() ? 0 : it->second;
 }
@@ -51,7 +51,7 @@ std::vector<std::pair<std::string, uint64_t>> AccessTracker::TopColumns(
     const std::string& table) const {
   std::vector<std::pair<std::string, uint64_t>> out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(&mutex_);
     std::string prefix = table;
     prefix.push_back('\0');
     for (const auto& [key, count] : access_counts_) {
@@ -69,7 +69,7 @@ std::vector<std::pair<std::string, uint64_t>> AccessTracker::TopColumns(
 }
 
 void AccessTracker::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   query_counts_.clear();
   access_counts_.clear();
 }

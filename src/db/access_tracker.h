@@ -9,10 +9,11 @@
 #define SEEDB_DB_ACCESS_TRACKER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "base/mutex.h"
 
 namespace seedb::db {
 
@@ -44,10 +45,10 @@ class AccessTracker {
   void Reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, uint64_t> query_counts_;
+  mutable base::Mutex mutex_;
+  std::unordered_map<std::string, uint64_t> query_counts_ GUARDED_BY(mutex_);
   /// Key: table + '\0' + column.
-  std::unordered_map<std::string, uint64_t> access_counts_;
+  std::unordered_map<std::string, uint64_t> access_counts_ GUARDED_BY(mutex_);
 };
 
 }  // namespace seedb::db

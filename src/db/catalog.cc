@@ -31,7 +31,7 @@ void EraseCramersEntries(std::unordered_map<std::string, double>* cache,
 }  // namespace
 
 Status Catalog::AddTable(const std::string& name, Table table) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   if (tables_.count(name)) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
@@ -40,14 +40,14 @@ Status Catalog::AddTable(const std::string& name, Table table) {
 }
 
 void Catalog::PutTable(const std::string& name, Table table) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   tables_[name] = std::make_unique<Table>(std::move(table));
   stats_.erase(name);
   EraseCramersEntries(&cramers_cache_, name);
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   if (!tables_.erase(name)) {
     return Status::NotFound("table '" + name + "' does not exist");
   }
@@ -61,19 +61,19 @@ Result<double> Catalog::GetCramersV(const std::string& table,
                                     const std::string& b) {
   std::string key = CramersKey(table, a, b);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(&mutex_);
     auto it = cramers_cache_.find(key);
     if (it != cramers_cache_.end()) return it->second;
   }
   SEEDB_ASSIGN_OR_RETURN(const Table* data, GetTable(table));
   SEEDB_ASSIGN_OR_RETURN(double v, CramersV(*data, a, b));
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   cramers_cache_.emplace(std::move(key), v);
   return v;
 }
 
 Result<const Table*> Catalog::GetTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
@@ -82,12 +82,12 @@ Result<const Table*> Catalog::GetTable(const std::string& name) const {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   return tables_.count(name) > 0;
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);
@@ -96,13 +96,13 @@ std::vector<std::string> Catalog::TableNames() const {
 
 Result<const TableStats*> Catalog::GetStats(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(&mutex_);
     auto it = stats_.find(name);
     if (it != stats_.end()) return static_cast<const TableStats*>(it->second.get());
   }
   SEEDB_ASSIGN_OR_RETURN(const Table* table, GetTable(name));
   auto computed = std::make_unique<TableStats>(ComputeTableStats(*table, name));
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(&mutex_);
   auto [it, _] = stats_.emplace(name, std::move(computed));
   return static_cast<const TableStats*>(it->second.get());
 }

@@ -5,11 +5,11 @@
 #define SEEDB_DB_CATALOG_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "base/mutex.h"
 #include "db/statistics.h"
 #include "db/table.h"
 #include "util/result.h"
@@ -50,11 +50,15 @@ class Catalog {
                              const std::string& b);
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
-  std::unordered_map<std::string, std::unique_ptr<TableStats>> stats_;
+  mutable base::Mutex mutex_;
+  /// Values are unique_ptrs so returned Table* / TableStats* stay stable
+  /// across rehashes; the pointees are immutable once published.
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_
+      GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::unique_ptr<TableStats>> stats_
+      GUARDED_BY(mutex_);
   /// Key: table + '\0' + min(a,b) + '\0' + max(a,b).
-  std::unordered_map<std::string, double> cramers_cache_;
+  std::unordered_map<std::string, double> cramers_cache_ GUARDED_BY(mutex_);
 };
 
 }  // namespace seedb::db

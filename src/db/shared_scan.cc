@@ -618,9 +618,17 @@ class MaskCache {
 
  private:
   const Table& table_;
-  std::map<std::pair<double, uint64_t>, std::vector<uint8_t>> sample_;
-  std::map<const Predicate*, std::vector<uint8_t>> predicate_;
-  std::map<std::pair<const std::vector<uint8_t>*, const std::vector<uint8_t>*>,
+  // These maps are populated at scan setup, not in the per-row hot loop, and
+  // node stability matters: GetCombined keys on the addresses of entries in
+  // sample_/predicate_, which std::map guarantees across inserts.
+  std::map<std::pair<double, uint64_t>,  // lint: allow-map (node-stable)
+           std::vector<uint8_t>>
+      sample_;
+  std::map<const Predicate*,  // lint: allow-map (node-stable)
+           std::vector<uint8_t>>
+      predicate_;
+  std::map<std::pair<const std::vector<uint8_t>*,  // lint: allow-map
+                     const std::vector<uint8_t>*>,
            std::vector<uint8_t>>
       combined_;
 };

@@ -10,6 +10,11 @@ namespace {
 
 constexpr int kMaxDepth = 64;
 
+/// Longest accepted number token. 17 significant digits + sign, point, and
+/// a 3-digit exponent fit in ~25 bytes; anything past this cap is either an
+/// attack on strtod or garbage, and is rejected before strtod ever runs.
+constexpr size_t kMaxNumberChars = 64;
+
 /// Cursor over the input with the shared error shape.
 struct Parser {
   std::string_view text;
@@ -151,6 +156,13 @@ Result<JsonValue> Parser::ParseNumber() {
   if (Consume('-')) {
     // sign consumed
   }
+  if (!AtEnd() && (Peek() == 'N' || Peek() == 'n' || Peek() == 'I' ||
+                   Peek() == 'i')) {
+    // Explicitly rejected rather than left to the digit check: strtod would
+    // happily parse "NaN" / "Infinity", and a non-finite value has no JSON
+    // spelling — it must never enter a wire frame.
+    return Error("NaN/Infinity are not valid JSON numbers");
+  }
   if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
     return Error("malformed number");
   }
@@ -180,11 +192,21 @@ Result<JsonValue> Parser::ParseNumber() {
     }
     while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos;
   }
+  if (pos - start > kMaxNumberChars) {
+    return Error("number token too long (" + std::to_string(pos - start) +
+                 " > " + std::to_string(kMaxNumberChars) + " chars)");
+  }
   const std::string token(text.substr(start, pos - start));
   char* end = nullptr;
   double value = std::strtod(token.c_str(), &end);
   if (end != token.c_str() + token.size()) {
     return Error("malformed number");
+  }
+  // Overflow ("1e999") saturates strtod to +/-HUGE_VAL; such a value would
+  // be indistinguishable from a client sending Infinity. Underflow to 0 is
+  // accepted (a denormal rounding toward zero loses precision, not kind).
+  if (!std::isfinite(value)) {
+    return Error("number out of double range");
   }
   return JsonValue::Number(value);
 }

@@ -141,7 +141,7 @@ void RecommendationServer::Stop() {
   // ends push-driver chains — a cancelled session drains on its next phase
   // job, and PostJob refuses re-enqueues once running_ is false.
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    base::MutexLock lock(&sessions_mu_);
     for (auto& [id, session] : sessions_) session->session.Cancel();
   }
   WakeLoop();
@@ -159,7 +159,7 @@ void RecommendationServer::Stop() {
   if (wake_fd_ >= 0) ::close(wake_fd_);
   listen_fd_ = epoll_fd_ = wake_fd_ = -1;
   if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  base::MutexLock lock(&sessions_mu_);
   sessions_.clear();
   inflight_sessions_.store(0);
 }
@@ -178,7 +178,7 @@ ServerStats RecommendationServer::stats() const {
 }
 
 size_t RecommendationServer::open_sessions() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  base::MutexLock lock(&sessions_mu_);
   return sessions_.size();
 }
 
@@ -225,7 +225,7 @@ void RecommendationServer::EventLoop() {
     // Output queued by workers since the last pass.
     std::vector<std::weak_ptr<Conn>> dirty;
     {
-      std::lock_guard<std::mutex> lock(dirty_mu_);
+      base::MutexLock lock(&dirty_mu_);
       dirty.swap(dirty_);
     }
     for (auto& weak : dirty) {
@@ -288,7 +288,7 @@ void RecommendationServer::ReadReady(const std::shared_ptr<Conn>& conn) {
   conn->rbuf.erase(0, start);
   bool schedule = false;
   if (!fresh.empty()) {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    base::MutexLock lock(&conn->mu);
     for (std::string& line : fresh) conn->lines.push_back(std::move(line));
     if (!conn->strand_scheduled) {
       conn->strand_scheduled = true;
@@ -306,7 +306,7 @@ void RecommendationServer::ReadReady(const std::shared_ptr<Conn>& conn) {
             .Dump();
     response.push_back('\n');
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      base::MutexLock lock(&conn->mu);
       conn->outbox += response;
       conn->close_after_flush = true;
     }
@@ -318,7 +318,7 @@ void RecommendationServer::ReadReady(const std::shared_ptr<Conn>& conn) {
   if (eof) {
     bool pending;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      base::MutexLock lock(&conn->mu);
       pending = !conn->outbox.empty() || !conn->lines.empty() ||
                 conn->strand_scheduled;
       if (pending) conn->close_after_flush = true;
@@ -338,7 +338,7 @@ void RecommendationServer::FlushConn(const std::shared_ptr<Conn>& conn) {
   bool close_now = false;
   bool want = false;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    base::MutexLock lock(&conn->mu);
     size_t off = 0;
     while (off < conn->outbox.size()) {
       ssize_t n = ::send(conn->fd, conn->outbox.data() + off,
@@ -404,7 +404,7 @@ void RecommendationServer::WakeLoop() {
 
 void RecommendationServer::MarkDirty(const std::shared_ptr<Conn>& conn) {
   {
-    std::lock_guard<std::mutex> lock(dirty_mu_);
+    base::MutexLock lock(&dirty_mu_);
     dirty_.push_back(conn);
   }
   WakeLoop();
@@ -413,7 +413,7 @@ void RecommendationServer::MarkDirty(const std::shared_ptr<Conn>& conn) {
 void RecommendationServer::EnqueueOutput(const std::shared_ptr<Conn>& conn,
                                          std::string frame) {
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    base::MutexLock lock(&conn->mu);
     if (conn->closed.load(std::memory_order_acquire)) return;
     conn->outbox += frame;
     if (conn->outbox.size() > options_.max_write_queue_bytes) {
@@ -428,7 +428,7 @@ void RecommendationServer::RunStrand(std::shared_ptr<Conn> conn) {
   while (true) {
     std::string line;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      base::MutexLock lock(&conn->mu);
       if (conn->lines.empty()) {
         conn->strand_scheduled = false;
         break;
@@ -447,7 +447,7 @@ void RecommendationServer::RunStrand(std::shared_ptr<Conn> conn) {
   }
   bool flush_close;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    base::MutexLock lock(&conn->mu);
     flush_close = conn->close_after_flush;
   }
   // A draining connection waits on this strand; re-check the close now.
@@ -471,6 +471,15 @@ void RecommendationServer::PushFrameLocked(ServerSession* entry,
   push_frames_sent_.fetch_add(1);
 }
 
+void RecommendationServer::PushProgress(ServerSession* entry,
+                                        const std::string& id,
+                                        const core::ProgressUpdate& update) {
+  // The sink fires inside entry->session.Next()/Finish(), whose call sites
+  // (DrivePhase, HandleNext, HandleFinish) all hold entry->mu — see the
+  // declaration for why this is asserted rather than REQUIRES'd.
+  PushFrameLocked(entry, ProgressToJson(id, update));
+}
+
 void RecommendationServer::MarkDrained(
     const std::shared_ptr<ServerSession>& entry) {
   if (entry->counted_inflight.exchange(false)) {
@@ -479,8 +488,7 @@ void RecommendationServer::MarkDrained(
 }
 
 void RecommendationServer::StartDrivingLocked(
-    const std::shared_ptr<ServerSession>& entry,
-    const std::shared_ptr<Conn>& conn) {
+    ServerSession* entry, const std::shared_ptr<Conn>& conn) {
   entry->push_conn = conn;
   entry->driving = true;
   if (!entry->counted_inflight.exchange(true)) {
@@ -491,31 +499,32 @@ void RecommendationServer::StartDrivingLocked(
 void RecommendationServer::DrivePhase(std::shared_ptr<ServerSession> entry,
                                       std::string id) {
   bool requeue = false;
+  ServerSession* s = entry.get();
   {
-    std::lock_guard<std::mutex> lock(entry->mu);
-    if (entry->finished || !entry->driving) {
-      entry->driving = false;
+    base::MutexLock lock(&s->mu);
+    if (s->finished || !s->driving) {
+      s->driving = false;
       return;
     }
-    std::shared_ptr<Conn> conn = entry->push_conn.lock();
+    std::shared_ptr<Conn> conn = s->push_conn.lock();
     if (conn == nullptr || conn->closed.load(std::memory_order_acquire)) {
       // The subscriber disconnected mid-run: stop scanning on its behalf
       // but keep the session (cancelled, resumable from a reconnect).
-      entry->driving = false;
-      entry->session.Cancel();
+      s->driving = false;
+      s->session.Cancel();
       MarkDrained(entry);
       return;
     }
-    entry->last_active_ms.store(NowMs(), std::memory_order_relaxed);
-    Result<std::optional<core::ProgressUpdate>> update = entry->session.Next();
-    entry->last_active_ms.store(NowMs(), std::memory_order_relaxed);
+    s->last_active_ms.store(NowMs(), std::memory_order_relaxed);
+    Result<std::optional<core::ProgressUpdate>> update = s->session.Next();
+    s->last_active_ms.store(NowMs(), std::memory_order_relaxed);
     if (!update.ok()) {
       // Budget breach (OutOfRange) or execution failure: push the error,
       // then drained — the client surfaces the Status and `finish` still
       // returns partial results.
-      PushFrameLocked(entry.get(), ErrorResponse(update.status(), id));
+      PushFrameLocked(s, ErrorResponse(update.status(), id));
     }
-    if (update.ok() && update->has_value() && !entry->session.done()) {
+    if (update.ok() && update->has_value() && !s->session.done()) {
       // The sink already pushed this phase's frame; more phases remain.
       requeue = true;
     } else {
@@ -523,8 +532,8 @@ void RecommendationServer::DrivePhase(std::shared_ptr<ServerSession> entry,
       drained.Set("ok", JsonValue::Bool(true));
       drained.Set("id", JsonValue::Str(id));
       drained.Set("type", JsonValue::Str("drained"));
-      PushFrameLocked(entry.get(), std::move(drained));
-      entry->driving = false;
+      PushFrameLocked(s, std::move(drained));
+      s->driving = false;
       MarkDrained(entry);
     }
   }
@@ -553,7 +562,7 @@ void RecommendationServer::AdvanceWheel() {
   const int64_t now = NowMs();
   std::vector<std::string> expired;
   {
-    std::lock_guard<std::mutex> lock(wheel_mu_);
+    base::MutexLock lock(&wheel_mu_);
     wheel_.Advance(static_cast<uint64_t>(now), &expired);
   }
   const int64_t timeout =
@@ -568,7 +577,7 @@ void RecommendationServer::AdvanceWheel() {
     } else {
       // Lazy re-arm: the session was touched since the timer was set;
       // sleep out the remainder instead of rescheduling on every touch.
-      std::lock_guard<std::mutex> lock(wheel_mu_);
+      base::MutexLock lock(&wheel_mu_);
       wheel_.Schedule(id, static_cast<uint64_t>(now),
                       static_cast<uint64_t>(timeout - idle));
     }
@@ -578,7 +587,7 @@ void RecommendationServer::AdvanceWheel() {
 void RecommendationServer::EvictSession(
     const std::string& id, const std::shared_ptr<ServerSession>& entry) {
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    base::MutexLock lock(&sessions_mu_);
     auto it = sessions_.find(id);
     if (it == sessions_.end() || it->second != entry) return;
     sessions_.erase(it);
@@ -646,7 +655,7 @@ JsonValue RecommendationServer::Dispatch(const JsonValue& request,
 
 std::shared_ptr<RecommendationServer::ServerSession>
 RecommendationServer::FindSession(const std::string& id) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  base::MutexLock lock(&sessions_mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -667,7 +676,7 @@ JsonValue RecommendationServer::HandleOpen(const std::string& id,
   {
     // Early refusal so an over-limit or duplicate open skips the planning
     // work; the authoritative checks repeat at insert time below.
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    base::MutexLock lock(&sessions_mu_);
     if (sessions_.count(id) > 0) {
       return ErrorResponse(
           Status::AlreadyExists("session \"" + id + "\" already open"), id);
@@ -701,7 +710,7 @@ JsonValue RecommendationServer::HandleOpen(const std::string& id,
   if (!session.ok()) return ErrorResponse(session.status(), id);
   std::shared_ptr<ServerSession> entry;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    base::MutexLock lock(&sessions_mu_);
     if (sessions_.size() >= options_.max_sessions) {
       return ErrorResponse(
           Status::OutOfRange("server session limit reached (" +
@@ -722,7 +731,7 @@ JsonValue RecommendationServer::HandleOpen(const std::string& id,
   }
   sessions_opened_.fetch_add(1);
   if (options_.session_idle_timeout_ms > 0) {
-    std::lock_guard<std::mutex> lock(wheel_mu_);
+    base::MutexLock lock(&wheel_mu_);
     wheel_.Schedule(id, static_cast<uint64_t>(NowMs()),
                     options_.session_idle_timeout_ms);
   }
@@ -733,14 +742,14 @@ JsonValue RecommendationServer::HandleOpen(const std::string& id,
     std::weak_ptr<ServerSession> weak = entry;
     entry->session.SetProgressSink(
         [this, weak, id](const core::ProgressUpdate& update) {
-          // Runs under the entry's mu (held by whoever drives the phase).
           std::shared_ptr<ServerSession> e = weak.lock();
           if (e == nullptr) return;
-          PushFrameLocked(e.get(), ProgressToJson(id, update));
+          PushProgress(e.get(), id, update);
         });
     {
-      std::lock_guard<std::mutex> lock(entry->mu);
-      StartDrivingLocked(entry, ctx->conn);
+      ServerSession* s = entry.get();
+      base::MutexLock lock(&s->mu);
+      StartDrivingLocked(s, ctx->conn);
     }
     ctx->after_send = [this, entry, id] {
       PostJob([this, entry, id] { DrivePhase(entry, id); });
@@ -760,7 +769,7 @@ JsonValue RecommendationServer::HandleNext(const std::string& id) {
                          id);
   }
   Touch(entry.get());
-  std::lock_guard<std::mutex> lock(entry->mu);
+  base::MutexLock lock(&entry->mu);
   Result<std::optional<core::ProgressUpdate>> update = entry->session.Next();
   if (!update.ok()) return ErrorResponse(update.status(), id);
   if (!update->has_value()) {
@@ -801,18 +810,19 @@ JsonValue RecommendationServer::HandleResume(const std::string& id,
   Touch(entry.get());
   bool start_driving = false;
   {
-    std::lock_guard<std::mutex> lock(entry->mu);
-    if (entry->finished) {
+    ServerSession* s = entry.get();
+    base::MutexLock lock(&s->mu);
+    if (s->finished) {
       return ErrorResponse(
           Status::NotFound("session \"" + id + "\" already finished"), id);
     }
-    Status resumed = entry->session.Resume();
+    Status resumed = s->session.Resume();
     if (!resumed.ok()) return ErrorResponse(resumed, id);
     if (ctx->conn != nullptr && ctx->conn->handshake.push) {
       // Rebind the push stream to the resuming connection (it may be a
       // reconnect after the original subscriber went away).
-      if (!entry->driving) start_driving = true;
-      StartDrivingLocked(entry, ctx->conn);
+      if (!s->driving) start_driving = true;
+      StartDrivingLocked(s, ctx->conn);
     }
   }
   if (start_driving) {
@@ -836,7 +846,7 @@ JsonValue RecommendationServer::HandleFinish(const std::string& id) {
   Touch(entry.get());
   JsonValue response;
   {
-    std::lock_guard<std::mutex> lock(entry->mu);
+    base::MutexLock lock(&entry->mu);
     if (entry->finished) {
       return ErrorResponse(
           Status::NotFound("session \"" + id + "\" already finished"), id);
@@ -850,11 +860,11 @@ JsonValue RecommendationServer::HandleFinish(const std::string& id) {
   // The id is gone either way — a failed Finish() leaves no session worth
   // keeping, and later ops on it answer not_found.
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    base::MutexLock lock(&sessions_mu_);
     sessions_.erase(id);
   }
   {
-    std::lock_guard<std::mutex> lock(wheel_mu_);
+    base::MutexLock lock(&wheel_mu_);
     wheel_.Cancel(id);
   }
   MarkDrained(entry);
@@ -870,13 +880,13 @@ JsonValue RecommendationServer::HandleStatus(const std::string& id) {
   if (id.empty()) {
     std::vector<std::shared_ptr<ServerSession>> entries;
     {
-      std::lock_guard<std::mutex> lock(sessions_mu_);
+      base::MutexLock lock(&sessions_mu_);
       entries.reserve(sessions_.size());
       for (auto& [sid, entry] : sessions_) entries.push_back(entry);
     }
     uint64_t memory = 0;
     for (auto& entry : entries) {
-      std::lock_guard<std::mutex> lock(entry->mu);
+      base::MutexLock lock(&entry->mu);
       memory += entry->session.memory_bytes();
     }
     response.Set("sessions",
@@ -895,7 +905,7 @@ JsonValue RecommendationServer::HandleStatus(const std::string& id) {
   Touch(entry.get());
   // Locked: phases_run / memory_bytes read execution state a concurrent
   // Next() mutates.
-  std::lock_guard<std::mutex> lock(entry->mu);
+  base::MutexLock lock(&entry->mu);
   response.Set("session", JsonValue::Bool(true));
   response.Set("done", JsonValue::Bool(entry->session.done()));
   response.Set("cancelled", JsonValue::Bool(entry->session.cancelled()));

@@ -46,12 +46,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "base/mutex.h"
 #include "core/seedb.h"
 #include "core/session.h"
 #include "server/json.h"
@@ -149,13 +149,12 @@ class RecommendationServer {
     bool want_write = false;
     bool read_shut = false;
 
-    std::mutex mu;
-    // Under mu:
-    std::deque<std::string> lines;
-    bool strand_scheduled = false;
-    std::string outbox;
-    bool close_after_flush = false;
-    bool overflowed = false;
+    base::Mutex mu;
+    std::deque<std::string> lines GUARDED_BY(mu);
+    bool strand_scheduled GUARDED_BY(mu) = false;
+    std::string outbox GUARDED_BY(mu);
+    bool close_after_flush GUARDED_BY(mu) = false;
+    bool overflowed GUARDED_BY(mu) = false;
 
     // Strand-only state (see class comment).
     Handshake handshake;
@@ -167,11 +166,14 @@ class RecommendationServer {
   struct ServerSession {
     explicit ServerSession(core::RecommendationSession session)
         : session(std::move(session)) {}
-    std::mutex mu;
+    base::Mutex mu;
+    /// Heavy operations (Next / Finish / Resume) serialize under mu; NOT
+    /// GUARDED_BY because Cancel() is deliberately lock-free — it only
+    /// flips the session's shared atomic token from any thread.
     core::RecommendationSession session;
-    /// Set (under mu) once a `finish` ran: a second finisher racing the
-    /// registry erase gets a clean not_found instead of an internal error.
-    bool finished = false;
+    /// Set once a `finish` ran: a second finisher racing the registry
+    /// erase gets a clean not_found instead of an internal error.
+    bool finished GUARDED_BY(mu) = false;
 
     /// Wall stamp of the last request (or server-driven phase) touching
     /// this session; the timer wheel's expiry check reads it to tell idle
@@ -181,12 +183,12 @@ class RecommendationServer {
     /// drains (v2), finishes, or is evicted; resume re-arms it.
     std::atomic<bool> counted_inflight{false};
 
-    // Under mu: protocol-v2 push-driving state.
-    bool driving = false;
-    uint64_t push_seq = 0;
+    // Protocol-v2 push-driving state.
+    bool driving GUARDED_BY(mu) = false;
+    uint64_t push_seq GUARDED_BY(mu) = 0;
     /// The connection receiving this session's push frames (rebound by a
     /// `resume` from another connection; cancelled when it disconnects).
-    std::weak_ptr<Conn> push_conn;
+    std::weak_ptr<Conn> push_conn GUARDED_BY(mu);
   };
 
   /// Per-request context: the connection a line arrived on (null for the
@@ -209,24 +211,35 @@ class RecommendationServer {
   JsonValue HandleResume(const std::string& id, ReqCtx* ctx);
   JsonValue HandleFinish(const std::string& id);
   JsonValue HandleStatus(const std::string& id);
-  std::shared_ptr<ServerSession> FindSession(const std::string& id);
+  std::shared_ptr<ServerSession> FindSession(const std::string& id)
+      EXCLUDES(sessions_mu_);
   /// Refreshes the session's idle stamp (every op that names a live id).
   void Touch(ServerSession* entry);
 
   // Push driving (workers).
-  void StartDrivingLocked(const std::shared_ptr<ServerSession>& entry,
-                          const std::shared_ptr<Conn>& conn);
+  void StartDrivingLocked(ServerSession* entry,
+                          const std::shared_ptr<Conn>& conn)
+      REQUIRES(entry->mu);
   void DrivePhase(std::shared_ptr<ServerSession> entry, std::string id);
   /// Serializes `frame` (+ push/seq/ts_us markers) into the session's bound
-  /// connection. Caller holds entry->mu.
-  void PushFrameLocked(ServerSession* entry, JsonValue frame);
+  /// connection.
+  void PushFrameLocked(ServerSession* entry, JsonValue frame)
+      REQUIRES(entry->mu);
+  /// ProgressSink trampoline. The sink only ever fires inside a Next() /
+  /// Finish() call, and every such call site holds the entry's mu — but the
+  /// analysis cannot see through the std::function boundary, so the
+  /// requirement is asserted here by hand instead of REQUIRES.
+  void PushProgress(ServerSession* entry, const std::string& id,
+                    const core::ProgressUpdate& update)
+      NO_THREAD_SAFETY_ANALYSIS;
   void MarkDrained(const std::shared_ptr<ServerSession>& entry);
 
   // Admission / eviction.
   bool AdmitOpen() const;
-  void AdvanceWheel();
+  void AdvanceWheel() EXCLUDES(wheel_mu_);
   void EvictSession(const std::string& id,
-                    const std::shared_ptr<ServerSession>& entry);
+                    const std::shared_ptr<ServerSession>& entry)
+      EXCLUDES(sessions_mu_);
   static int64_t NowMs();
   static int64_t NowUs();
 
@@ -257,8 +270,9 @@ class RecommendationServer {
   std::thread loop_thread_;
   std::unique_ptr<ThreadPool> workers_;
 
-  mutable std::mutex sessions_mu_;
-  std::unordered_map<std::string, std::shared_ptr<ServerSession>> sessions_;
+  mutable base::Mutex sessions_mu_;
+  std::unordered_map<std::string, std::shared_ptr<ServerSession>> sessions_
+      GUARDED_BY(sessions_mu_);
   /// Sessions counted against max_inflight_phases (open, phases left).
   std::atomic<size_t> inflight_sessions_{0};
 
@@ -266,12 +280,12 @@ class RecommendationServer {
   std::unordered_map<int, std::shared_ptr<Conn>> conns_;
 
   /// Connections with freshly queued output, handed worker -> loop.
-  std::mutex dirty_mu_;
-  std::vector<std::weak_ptr<Conn>> dirty_;
+  base::Mutex dirty_mu_;
+  std::vector<std::weak_ptr<Conn>> dirty_ GUARDED_BY(dirty_mu_);
 
   /// Idle-eviction wheel; armed per `open`, advanced by the event loop.
-  std::mutex wheel_mu_;
-  TimerWheel wheel_;
+  base::Mutex wheel_mu_;
+  TimerWheel wheel_ GUARDED_BY(wheel_mu_);
 
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> requests_{0};

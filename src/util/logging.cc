@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "base/mutex.h"
 
 namespace seedb {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+base::Mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -52,7 +53,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  base::MutexLock lock(&g_log_mutex);
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

@@ -15,10 +15,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(&mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -26,8 +26,11 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      base::MutexLock lock(&mutex_);
+      cv_.Wait(&mutex_, [this]() NO_THREAD_SAFETY_ANALYSIS {
+        // Runs with mutex_ held (CondVar::Wait re-locks before evaluating).
+        return stop_ || !tasks_.empty();
+      });
       if (tasks_.empty()) {
         if (stop_) return;
         continue;

@@ -4,14 +4,14 @@
 #ifndef SEEDB_UTIL_THREAD_POOL_H_
 #define SEEDB_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "base/mutex.h"
 
 namespace seedb {
 
@@ -36,10 +36,10 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      base::MutexLock lock(&mutex_);
       tasks_.emplace([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return fut;
   }
 
@@ -54,10 +54,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  base::Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  base::CondVar cv_;
+  bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace seedb

@@ -105,6 +105,38 @@ TEST(JsonTest, MalformedInputsErrorGracefully) {
   }
 }
 
+TEST(JsonTest, NonFiniteAndOverlongNumbersAreRejectedExplicitly) {
+  // A non-finite value has no JSON spelling and must never enter a wire
+  // frame — these are rejected with a clean parse error, not passed through
+  // strtod (which accepts "NaN"/"Infinity" and saturates "1e999" to inf).
+  const char* cases[] = {
+      "NaN",       "-NaN",       "nan",  "Infinity", "-Infinity",
+      "infinity",  "Inf",        "-inf", "1e999",    "-1e999",
+      "1e308999",  "{\"v\":NaN}", "[Infinity]",
+  };
+  for (const char* text : cases) {
+    auto v = ParseJson(text);
+    EXPECT_FALSE(v.ok()) << "'" << text << "' should not parse";
+    if (!v.ok()) {
+      EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+  // Overlong tokens are rejected before strtod ever runs.
+  const std::string overlong_int = std::string(200, '9');
+  EXPECT_FALSE(ParseJson(overlong_int).ok());
+  const std::string overlong_frac = "1." + std::string(200, '3');
+  EXPECT_FALSE(ParseJson(overlong_frac).ok());
+  // The extremes that must still parse: max double, denormals, and an
+  // underflow that rounds to zero (loses precision, not kind).
+  EXPECT_DOUBLE_EQ(ParseJson("1.7976931348623157e308")->AsDouble(),
+                   std::numeric_limits<double>::max());
+  EXPECT_DOUBLE_EQ(ParseJson("-1.7976931348623157e308")->AsDouble(),
+                   std::numeric_limits<double>::lowest());
+  EXPECT_DOUBLE_EQ(ParseJson("5e-324")->AsDouble(),
+                   std::numeric_limits<double>::denorm_min());
+  EXPECT_DOUBLE_EQ(ParseJson("1e-999")->AsDouble(), 0.0);
+}
+
 TEST(JsonTest, DeepNestingIsRejectedNotOverflowed) {
   std::string deep(1000, '[');
   deep += std::string(1000, ']');

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules that clang-tidy cannot express.
+
+Run from anywhere: paths resolve relative to the repo root (the parent of
+this script's directory). Exit 0 = clean, 1 = violations (printed as
+file:line: message, one per line, like a compiler).
+
+Rules:
+  R1  No naked synchronization primitives (std::mutex, std::lock_guard,
+      std::unique_lock, std::scoped_lock, std::condition_variable) anywhere
+      under src/ except src/base/ itself. Shared state must use the
+      annotated wrappers (base::Mutex / base::MutexLock / base::CondVar from
+      src/base/mutex.h) so clang's -Wthread-safety analysis sees every lock.
+  R2  printf-family float conversions in wire-facing code (src/server/) must
+      be exactly %.17g: the protocol promises bit-identical doubles across
+      the wire, and a stray %g or %f silently truncates utilities.
+  R3  No std::map / std::multimap in the shared-scan hot path
+      (src/db/shared_scan.cc, src/db/vec/): the inner loop is engineered for
+      contiguous access, and a node-based container on that path is almost
+      always an accident. Deliberate node-stable caches carry a
+      "lint: allow-map" marker on the declaration line.
+
+Suppression: append "lint: allow-<rule>" in a comment on the offending line
+(allow-mutex, allow-float-format, allow-map). Use sparingly and say why.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+NAKED_SYNC = re.compile(
+    r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable)\b"
+)
+# %[flags][width][.precision]conversion for float conversions.
+FLOAT_FORMAT = re.compile(r"%[-+ #0]*\d*(?:\.\d+)?[efgEFG]")
+STD_MAP = re.compile(r"std::(?:multi)?map\s*<")
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def source_files(root: pathlib.Path) -> list[pathlib.Path]:
+    return sorted(
+        p for p in root.rglob("*") if p.suffix in (".h", ".cc", ".inc")
+    )
+
+
+def strip_comment(line: str) -> str:
+    return LINE_COMMENT.sub("", line)
+
+
+def check() -> list[str]:
+    errors: list[str] = []
+
+    # R1: naked sync primitives outside src/base/.
+    for path in source_files(REPO / "src"):
+        if (REPO / "src" / "base") in path.parents:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if "lint: allow-mutex" in line:
+                continue
+            if NAKED_SYNC.search(strip_comment(line)):
+                errors.append(
+                    f"{path.relative_to(REPO)}:{lineno}: naked std "
+                    "synchronization primitive; use base::Mutex / "
+                    "base::MutexLock / base::CondVar (src/base/mutex.h) so "
+                    "-Wthread-safety sees the lock [allow-mutex]"
+                )
+
+    # R2: float formats in the serving layer must be %.17g.
+    for path in source_files(REPO / "src" / "server"):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if "lint: allow-float-format" in line:
+                continue
+            for fmt in FLOAT_FORMAT.findall(strip_comment(line)):
+                if fmt != "%.17g":
+                    errors.append(
+                        f"{path.relative_to(REPO)}:{lineno}: float format "
+                        f"'{fmt}' in wire-facing code; the protocol "
+                        "round-trips doubles via %.17g only "
+                        "[allow-float-format]"
+                    )
+
+    # R3: node-based maps on the shared-scan hot path.
+    hot = [REPO / "src" / "db" / "shared_scan.cc"]
+    hot += source_files(REPO / "src" / "db" / "vec")
+    for path in hot:
+        if not path.exists():
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if "lint: allow-map" in line:
+                continue
+            if STD_MAP.search(strip_comment(line)):
+                errors.append(
+                    f"{path.relative_to(REPO)}:{lineno}: std::map on the "
+                    "shared-scan hot path; use a vector/flat layout, or mark "
+                    "a deliberate node-stable cache [allow-map]"
+                )
+
+    return errors
+
+
+def main() -> int:
+    errors = check()
+    for err in errors:
+        print(err)
+    if errors:
+        print(f"lint: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
