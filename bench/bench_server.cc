@@ -26,6 +26,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -237,6 +238,163 @@ void RunConnectionSweep(bench::JsonWriter* json) {
               "thread-per-connection cost.\n");
 }
 
+/// E13c — the result-cache scenario: a zipfian near-duplicate request mix
+/// (interactive analysts keep re-asking the popular questions) against two
+/// otherwise identical servers, one with the partial-aggregate cache off
+/// and one with it on. Reports sessions/sec for both, the speedup, the
+/// warm server's cache counters, and whether every session's final ranking
+/// was bit-identical across the two servers (it must be — the cache adopts
+/// merged state, it never recomputes).
+void RunResultCacheScenario(bench::JsonWriter* json) {
+  std::printf("\n-- result cache: zipfian near-duplicate requests --\n");
+  // Big enough that a cold session is scan-dominated (the protocol's fixed
+  // per-session round-trips would otherwise cap the visible speedup), with
+  // few enough phases that polling overhead stays small.
+  constexpr size_t kSessions = 40;
+  constexpr size_t kPoolSize = 8;
+  constexpr size_t kPhases = 2;
+
+  // Deterministic zipf-ish draw over the query pool: weight 1/(rank+1).
+  std::vector<size_t> draws;
+  draws.reserve(kSessions);
+  {
+    std::minstd_rand rng(42);
+    std::vector<double> weights(kPoolSize);
+    for (size_t r = 0; r < kPoolSize; ++r) {
+      weights[r] = 1.0 / static_cast<double>(r + 1);
+    }
+    std::discrete_distribution<size_t> zipf(weights.begin(), weights.end());
+    for (size_t s = 0; s < kSessions; ++s) draws.push_back(zipf(rng));
+  }
+  std::vector<bool> seen(kPoolSize, false);
+  size_t repeats = 0;
+  for (size_t d : draws) {
+    if (seen[d]) ++repeats;
+    seen[d] = true;
+  }
+  const double overlap =
+      static_cast<double>(repeats) / static_cast<double>(kSessions);
+
+  // One run against a freshly built server; identical WorkloadSpec seeds
+  // mean both servers answer over byte-identical tables.
+  struct ScenarioResult {
+    double wall_ms = 0.0;
+    std::vector<std::string> signatures;  // per-session final-ranking pin
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    bool failed = false;
+  };
+  auto run_against = [&](bool cache_on) {
+    ScenarioResult out;
+    data::WorkloadSpec spec;
+    spec.rows = 960000;
+    spec.num_dims = 4;
+    spec.num_measures = 2;
+    auto workload = data::BuildWorkload(spec).ValueOrDie();
+    if (cache_on) {
+      workload.engine->EnableResultCache(64ull * 1024 * 1024);
+    }
+    const std::string socket_path = "/tmp/seedb_bench_cache_" +
+                                    std::to_string(::getpid()) +
+                                    (cache_on ? "_warm" : "_cold") + ".sock";
+    server::ServerOptions options;
+    options.unix_path = socket_path;
+    server::RecommendationServer srv(workload.engine.get(), options);
+    if (!srv.Start().ok()) {
+      out.failed = true;
+      return out;
+    }
+    auto client = server::Client::ConnectUnix(socket_path);
+    if (!client.ok()) {
+      out.failed = true;
+      srv.Stop();
+      return out;
+    }
+    // Parallelism 1: deterministic merges, so the bit-identity comparison
+    // below is exact double equality, not tolerance.
+    Stopwatch wall;
+    for (size_t s = 0; s < kSessions && !out.failed; ++s) {
+      server::OpenSpec open_spec;
+      open_spec.sql = "SELECT * FROM " + workload.table_name +
+                      " WHERE dim0 = 'dim0_v" + std::to_string(draws[s]) +
+                      "'";
+      open_spec.k = 3;
+      open_spec.phases = kPhases;
+      open_spec.strategy = "phased-shared-scan";
+      open_spec.parallelism = 1;
+      const std::string id = "zipf-" + std::to_string(s);
+      if (!client->Open(id, open_spec).ok()) {
+        out.failed = true;
+        break;
+      }
+      while (true) {
+        auto progress = client->Next(id);
+        if (!progress.ok()) {
+          out.failed = true;
+          break;
+        }
+        if (!progress->has_value()) break;
+      }
+      auto result = client->Finish(id);
+      if (!result.ok()) {
+        out.failed = true;
+        break;
+      }
+      std::string signature;
+      for (const server::RemoteRecommendation& rec : result->top) {
+        char line[256];
+        std::snprintf(line, sizeof(line), "%zu:%s:%.17g;", rec.rank,
+                      rec.view_id.c_str(), rec.utility);
+        signature += line;
+      }
+      out.signatures.push_back(std::move(signature));
+    }
+    out.wall_ms = wall.ElapsedSeconds() * 1e3;
+    if (auto status = client->GetStatus(); status.ok()) {
+      out.cache_hits = status->cache_hits;
+      out.cache_misses = status->cache_misses;
+    }
+    srv.Stop();
+    return out;
+  };
+
+  ScenarioResult cold = run_against(/*cache_on=*/false);
+  ScenarioResult warm = run_against(/*cache_on=*/true);
+  if (cold.failed || warm.failed) {
+    std::printf("result-cache scenario FAILED\n");
+    return;
+  }
+  const bool bit_identical = cold.signatures == warm.signatures;
+  const double cold_sps =
+      static_cast<double>(kSessions) / (cold.wall_ms / 1e3);
+  const double warm_sps =
+      static_cast<double>(kSessions) / (warm.wall_ms / 1e3);
+  const double speedup = cold.wall_ms > 0.0 ? cold.wall_ms / warm.wall_ms
+                                            : 0.0;
+  std::printf("%zu sessions, pool %zu, overlap %.0f%%: cold %.1f "
+              "sessions/sec, warm %.1f sessions/sec (%.1fx); warm cache "
+              "%llu hits / %llu misses; results %s\n",
+              kSessions, kPoolSize, overlap * 100.0, cold_sps, warm_sps,
+              speedup, static_cast<unsigned long long>(warm.cache_hits),
+              static_cast<unsigned long long>(warm.cache_misses),
+              bit_identical ? "bit-identical" : "DIVERGED");
+
+  json->Key("result_cache").BeginObject()
+      .Key("sessions").Value(kSessions)
+      .Key("pool").Value(kPoolSize)
+      .Key("phases").Value(kPhases)
+      .Key("overlap").Value(overlap)
+      .Key("cold_wall_ms").Value(cold.wall_ms)
+      .Key("warm_wall_ms").Value(warm.wall_ms)
+      .Key("cold_sessions_per_sec").Value(cold_sps)
+      .Key("warm_sessions_per_sec").Value(warm_sps)
+      .Key("speedup").Value(speedup)
+      .Key("cache_hits").Value(warm.cache_hits)
+      .Key("cache_misses").Value(warm.cache_misses)
+      .Key("bit_identical").Value(bit_identical)
+      .EndObject();
+}
+
 void RunExperiment() {
   bench::Banner(
       "E13 (serving layer)",
@@ -357,6 +515,7 @@ void RunExperiment() {
               "registry itself never serializes distinct sessions.\n");
 
   RunConnectionSweep(&json);
+  RunResultCacheScenario(&json);
   json.EndObject();
   json.WriteFile("BENCH_server.json");
   bench::Footer();

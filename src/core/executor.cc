@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 #include <utility>
 
 #include "base/mutex.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -60,6 +62,14 @@ db::SharedScanOptions MakeScanOptions(const ExecutorOptions& options) {
   scan.morsel_rows = options.morsel_rows;
   scan.cancel = options.cancel;
   scan.enable_simd = options.enable_simd;
+  // The MAB pruner halves by per-phase estimate ORDER, and cache adoption
+  // makes adopted views' estimates final from phase 1 — a warm MAB run
+  // would halve different views than the cold run that seeded it. Bypass
+  // the cache so warm and cold MAB runs stay bit-identical; the safe CI
+  // pruner (bound-based, never discards a potential top-k view) adopts
+  // freely.
+  scan.use_result_cache =
+      options.online_pruning.pruner != OnlinePruner::kMultiArmedBandit;
   return scan;
 }
 
@@ -152,7 +162,42 @@ Result<PhasedPlanExecution> PhasedPlanExecution::Begin(
   SEEDB_ASSIGN_OR_RETURN(
       db::SharedScanSession session,
       engine->BeginShared(PlanQueries(plan), MakeScanOptions(resolved)));
-  return PhasedPlanExecution(&plan, metric, resolved, std::move(session));
+  PhasedPlanExecution run(&plan, metric, resolved, std::move(session));
+  // Same bit-identity gate as MakeScanOptions: prior-tightened intervals
+  // would also shift the MAB's estimate-order halving.
+  if (db::PartialAggCache* cache = engine->result_cache();
+      cache != nullptr && resolved.online_pruning.pruner !=
+                              OnlinePruner::kMultiArmedBandit) {
+    run.SeedUtilityPriors(
+        cache,
+        engine->catalog()->TableVersion(plan.queries[0].query.table));
+  }
+  return run;
+}
+
+void PhasedPlanExecution::SeedUtilityPriors(db::PartialAggCache* cache,
+                                            uint64_t table_version) {
+  prior_cache_ = cache;
+  prior_key_prefix_ = StringPrintf(
+      "%s#v%llu|%s|u:", plan_->queries[0].query.table.c_str(),
+      static_cast<unsigned long long>(table_version),
+      DistanceMetricToString(metric_));
+  if (views_.empty()) return;
+  std::vector<double> priors(views_.size(), 0.0);
+  uint64_t min_weight = std::numeric_limits<uint64_t>::max();
+  for (size_t v = 0; v < views_.size(); ++v) {
+    double utility = 0.0;
+    uint64_t weight = 0;
+    if (!cache->LookupUtilityPrior(prior_key_prefix_ + views_[v].Id(),
+                                   &utility, &weight)) {
+      return;  // a cold view: warm-starting the rest would mis-prune it
+    }
+    priors[v] = utility;
+    min_weight = std::min(min_weight, weight);
+  }
+  options_.online_pruning.prior_estimates = std::move(priors);
+  options_.online_pruning.prior_weight = static_cast<size_t>(min_weight);
+  pruner_ = OnlinePruningState(views_.size(), options_.online_pruning);
 }
 
 bool PhasedPlanExecution::done() const {
@@ -377,13 +422,25 @@ Result<std::vector<ViewResult>> PhasedPlanExecution::Finish(
     report->vectorized_morsels = scan_stats.vectorized_morsels;
     report->simd_morsels = scan_stats.simd_morsels;
     report->agg_state_bytes = scan_stats.agg_state_bytes;
+    report->cache_hits = scan_stats.cache_hits;
+    report->cache_misses = scan_stats.cache_misses;
   }
   // A run that stopped before consuming every row (cancelled, or stopped
   // before the first phase) can hold views with no data at all; drop those
   // instead of failing. Fully scanned runs keep the strict check.
   const bool partial =
       cancelled_ || session_.rows_consumed() < session_.num_rows();
-  return processor.Finish(/*allow_partial=*/partial);
+  SEEDB_ASSIGN_OR_RETURN(std::vector<ViewResult> results,
+                         processor.Finish(/*allow_partial=*/partial));
+  // Publish warm-start priors: only a full, un-cancelled scan's utilities
+  // are exact, and their evidence weight is the phases that produced them.
+  if (prior_cache_ != nullptr && !partial) {
+    for (const ViewResult& vr : results) {
+      prior_cache_->PutUtilityPrior(prior_key_prefix_ + vr.view.Id(),
+                                    vr.utility, phases_run());
+    }
+  }
+  return results;
 }
 
 Result<std::vector<ViewResult>> ExecutePlan(db::Engine* engine,

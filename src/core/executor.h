@@ -133,6 +133,11 @@ struct ExecutionReport {
   /// Of those, morsels that additionally ran the explicit-SIMD kernel tier
   /// (db/vec/simd/); 0 when the tier is off or unavailable.
   uint64_t simd_morsels = 0;
+  /// (query, grouping set) pairs this run adopted from / missed in the
+  /// engine's cross-session result cache (db/scan_cache.h). Both 0 under
+  /// kPerQuery or when the engine cache is disabled.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
   /// Aggregation-state footprint of the run in bytes: the fused scan's
   /// merged state, or the cumulative groups x aggregates x sizeof(AggState)
   /// of per-query results — what memory_budget_bytes is metered against.
@@ -256,6 +261,14 @@ class PhasedPlanExecution {
   PhasedPlanExecution(const ExecutionPlan* plan, DistanceMetric metric,
                       ExecutorOptions options, db::SharedScanSession session);
 
+  /// Result-cache warm start: looks up each plan view's utility prior under
+  /// `table_version` and, when EVERY view has one (a partial prior set would
+  /// give cold views tight intervals around 0 and mis-prune them), rebuilds
+  /// the pruner with those estimates and the smallest prior weight found.
+  /// Always remembers the cache so Finish() can publish this run's final
+  /// utilities back. Called by Begin() when the engine cache is enabled.
+  void SeedUtilityPriors(db::PartialAggCache* cache, uint64_t table_version);
+
   Result<std::vector<ViewEstimate>> EstimateSurvivors() const;
   bool EvaluateEarlyStop(const std::vector<ViewEstimate>& estimates,
                          double eps);
@@ -289,6 +302,12 @@ class PhasedPlanExecution {
   /// many consecutive boundaries produced it.
   std::vector<std::string> last_top_ids_;
   size_t stable_streak_ = 0;
+
+  /// Utility-prior side channel of the engine's result cache; null while the
+  /// cache is disabled. Finish() publishes full un-cancelled runs' final
+  /// utilities here under prior_key_prefix_ + view id.
+  db::PartialAggCache* prior_cache_ = nullptr;
+  std::string prior_key_prefix_;
 };
 
 /// Resolves OnlinePruningOptions::utility_range <= 0 ("auto-calibrate"):

@@ -38,7 +38,15 @@ OnlinePruningState::OnlinePruningState(size_t num_views,
                                        const OnlinePruningOptions& options)
     : options_(options),
       active_(num_views, 1),
-      estimate_(num_views, 0.0) {}
+      estimate_(num_views, 0.0) {
+  if (!options_.prior_estimates.empty()) {
+    for (size_t v = 0;
+         v < num_views && v < options_.prior_estimates.size(); ++v) {
+      estimate_[v] = options_.prior_estimates[v];
+    }
+    prior_phases_ = options_.prior_weight;
+  }
+}
 
 size_t OnlinePruningState::num_active() const {
   return static_cast<size_t>(
@@ -67,7 +75,7 @@ std::vector<size_t> OnlinePruningState::Observe(
     if (active_[v]) estimate_[v] = utilities[v];
   }
   if (options_.pruner == OnlinePruner::kNone || options_.keep_k == 0 ||
-      phases_observed_ < options_.warmup_phases ||
+      phases_observed_ + prior_phases_ < options_.warmup_phases ||
       num_active() <= options_.keep_k) {
     return {};
   }
@@ -81,7 +89,9 @@ std::vector<size_t> OnlinePruningState::Observe(
 }
 
 std::vector<size_t> OnlinePruningState::PruneByConfidenceInterval() {
-  double eps = ConfidenceHalfWidth(options_, phases_observed_);
+  // Prior evidence counts as already-observed phases: warm intervals start
+  // tight, which is the whole point of the cache's utility priors.
+  double eps = ConfidenceHalfWidth(options_, phases_observed_ + prior_phases_);
   if (std::isinf(eps)) return {};  // delta <= 0: intervals never exclude
 
   // The k-th largest lower bound among surviving views. Every estimate

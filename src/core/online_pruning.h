@@ -76,6 +76,17 @@ struct OnlinePruningOptions {
   /// estimate from a sliver of the table is noise). 1 = prune from the
   /// first boundary on, the paper's behavior.
   size_t warmup_phases = 1;
+  /// Warm-start priors (result-cache integration): per-view utility
+  /// estimates carried over from an earlier execution of the same plan
+  /// shape, indexed like the views fed to Observe(). Views beyond the
+  /// vector's length (or a shorter vector) start cold at 0. Empty = no
+  /// priors.
+  std::vector<double> prior_estimates;
+  /// Evidence weight of those priors, in phases: the Hoeffding half-width
+  /// and the warmup gate behave as if this many phase boundaries had
+  /// already been observed, so intervals start tight and views retire
+  /// earlier. 0 = priors seed the estimates but carry no confidence.
+  size_t prior_weight = 0;
   /// Early-stop sampling (§3.3's endgame): stop scanning entirely once the
   /// provisional top-k ranking has been identical for this many consecutive
   /// phase boundaries AND every adjacent pair in it (plus the best excluded
@@ -119,6 +130,9 @@ class OnlinePruningState {
   size_t num_active() const;
   size_t views_pruned() const { return views_pruned_; }
   size_t phases_observed() const { return phases_observed_; }
+  /// Phases of prior evidence the state was constructed with (the effective
+  /// observation count is phases_observed() + prior_phases()).
+  size_t prior_phases() const { return prior_phases_; }
   /// Last utility estimate fed for this view (0 before the first Observe).
   double estimate(size_t view) const { return estimate_[view]; }
 
@@ -136,6 +150,8 @@ class OnlinePruningState {
   std::vector<double> estimate_;
   size_t views_pruned_ = 0;
   size_t phases_observed_ = 0;
+  /// Prior evidence weight (options.prior_weight when priors were supplied).
+  size_t prior_phases_ = 0;
 };
 
 }  // namespace seedb::core

@@ -21,6 +21,11 @@ std::string ExecutionProfile::ToString() const {
                       static_cast<unsigned long long>(vectorized_morsels),
                       static_cast<unsigned long long>(simd_morsels));
   }
+  if (cache_hits + cache_misses > 0) {
+    s += StringPrintf(" | result cache: %llu hits, %llu misses",
+                      static_cast<unsigned long long>(cache_hits),
+                      static_cast<unsigned long long>(cache_misses));
+  }
   if (early_stopped) s += " | early-stopped (CI-stable top-k)";
   if (cancelled) s += " | CANCELLED (partial results)";
   if (budget_exceeded) s += " | MEMORY BUDGET EXCEEDED (partial results)";

@@ -55,6 +55,11 @@ struct ExecutionProfile {
   /// (db/vec/simd/) — 0 when the tier is off, built scalar, or the CPU
   /// lacks the ISA.
   uint64_t simd_morsels = 0;
+  /// (query, grouping set) pairs this run adopted from / missed in the
+  /// engine's cross-session result cache (db/scan_cache.h) — both 0 when
+  /// the cache is disabled or under per-query execution.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
   /// The scan stopped before the last requested phase because the top-k was
   /// CI-stable; utilities are estimates over the rows seen.
   bool early_stopped = false;

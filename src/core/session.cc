@@ -378,6 +378,8 @@ Result<RecommendationSet> RecommendationSession::Finish() {
     set.profile.rows_scanned = report_.rows_scanned;
     set.profile.vectorized_morsels = report_.vectorized_morsels;
     set.profile.simd_morsels = report_.simd_morsels;
+    set.profile.cache_hits = report_.cache_hits;
+    set.profile.cache_misses = report_.cache_misses;
   } else {
     // kPerQuery: engine-wide counter deltas (no per-run accounting there;
     // concurrent runs may interleave).

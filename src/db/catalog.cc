@@ -36,6 +36,7 @@ Status Catalog::AddTable(const std::string& name, Table table) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
   tables_.emplace(name, std::make_unique<Table>(std::move(table)));
+  ++versions_[name];
   return Status::OK();
 }
 
@@ -44,6 +45,7 @@ void Catalog::PutTable(const std::string& name, Table table) {
   tables_[name] = std::make_unique<Table>(std::move(table));
   stats_.erase(name);
   EraseCramersEntries(&cramers_cache_, name);
+  ++versions_[name];
 }
 
 Status Catalog::DropTable(const std::string& name) {
@@ -53,7 +55,14 @@ Status Catalog::DropTable(const std::string& name) {
   }
   stats_.erase(name);
   EraseCramersEntries(&cramers_cache_, name);
+  ++versions_[name];
   return Status::OK();
+}
+
+uint64_t Catalog::TableVersion(const std::string& name) const {
+  base::MutexLock lock(&mutex_);
+  auto it = versions_.find(name);
+  return it == versions_.end() ? 0 : it->second;
 }
 
 Result<double> Catalog::GetCramersV(const std::string& table,

@@ -4,6 +4,7 @@
 #ifndef SEEDB_DB_CATALOG_H_
 #define SEEDB_DB_CATALOG_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -39,6 +40,13 @@ class Catalog {
   bool HasTable(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
+  /// Monotonic per-name version, bumped on every AddTable / PutTable /
+  /// DropTable touching `name` (including re-creations after a drop, so a
+  /// re-added table never resumes an old version). 0 means the name was
+  /// never registered. Cross-session cache keys embed this so any table
+  /// replacement invalidates every entry derived from the old contents.
+  uint64_t TableVersion(const std::string& name) const;
+
   /// Table statistics, computed on first request and cached. Invalidated when
   /// the table is replaced.
   Result<const TableStats*> GetStats(const std::string& name);
@@ -59,6 +67,9 @@ class Catalog {
       GUARDED_BY(mutex_);
   /// Key: table + '\0' + min(a,b) + '\0' + max(a,b).
   std::unordered_map<std::string, double> cramers_cache_ GUARDED_BY(mutex_);
+  /// Monotonic per-name versions; entries survive DropTable so versions
+  /// never run backwards for a re-created name.
+  std::unordered_map<std::string, uint64_t> versions_ GUARDED_BY(mutex_);
 };
 
 }  // namespace seedb::db

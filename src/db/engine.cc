@@ -7,7 +7,7 @@
 namespace seedb::db {
 
 std::string EngineStatsSnapshot::ToString() const {
-  return StringPrintf(
+  std::string s = StringPrintf(
       "queries=%llu scans=%llu shared_batches=%llu vec_morsels=%llu "
       "simd_morsels=%llu rows_scanned=%llu groups=%llu peak_agg_state=%lluB "
       "exec=%.3fms",
@@ -20,6 +20,16 @@ std::string EngineStatsSnapshot::ToString() const {
       static_cast<unsigned long long>(groups_created),
       static_cast<unsigned long long>(peak_agg_state_bytes),
       static_cast<double>(total_exec_micros) / 1000.0);
+  if (result_cache_enabled) {
+    s += StringPrintf(
+        " cache_hits=%llu cache_misses=%llu cache_bytes=%lluB "
+        "cache_evictions=%llu",
+        static_cast<unsigned long long>(cache_hits),
+        static_cast<unsigned long long>(cache_misses),
+        static_cast<unsigned long long>(cache_bytes),
+        static_cast<unsigned long long>(cache_evictions));
+  }
+  return s;
 }
 
 void Engine::RecordAccess(const std::string& table,
@@ -123,6 +133,8 @@ void Engine::RecordSharedBatch(const std::vector<GroupingSetsQuery>& queries,
   groups_created_.fetch_add(stats.total_groups, std::memory_order_relaxed);
   UpdatePeak(&peak_agg_state_bytes_, stats.agg_state_bytes);
   total_exec_micros_.fetch_add(exec_micros, std::memory_order_relaxed);
+  cache_hits_.fetch_add(stats.cache_hits, std::memory_order_relaxed);
+  cache_misses_.fetch_add(stats.cache_misses, std::memory_order_relaxed);
   for (const auto& query : queries) {
     std::vector<std::string> group_cols;
     for (const auto& set : query.grouping_sets) {
@@ -146,10 +158,20 @@ Result<SharedScanSession> Engine::BeginShared(
   }
   SEEDB_ASSIGN_OR_RETURN(const Table* table,
                          catalog_->GetTable(queries.front().table));
+  SharedScanOptions resolved = options;
+  if (cache_ != nullptr && resolved.cache == nullptr &&
+      resolved.use_result_cache) {
+    resolved.cache = cache_.get();
+    resolved.table_version = catalog_->TableVersion(queries.front().table);
+  }
   SEEDB_ASSIGN_OR_RETURN(
       SharedScanState state,
-      SharedScanState::Create(*table, std::move(queries), options));
+      SharedScanState::Create(*table, std::move(queries), resolved));
   return SharedScanSession(this, std::move(state));
+}
+
+void Engine::EnableResultCache(size_t budget_bytes) {
+  cache_ = std::make_unique<PartialAggCache>(budget_bytes);
 }
 
 Result<std::vector<std::vector<Table>>> Engine::ExecuteShared(
@@ -186,6 +208,14 @@ EngineStatsSnapshot Engine::stats() const {
   s.peak_agg_state_bytes =
       peak_agg_state_bytes_.load(std::memory_order_relaxed);
   s.total_exec_micros = total_exec_micros_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) {
+    s.result_cache_enabled = true;
+    const ScanCacheStats cs = cache_->stats();
+    s.cache_bytes = cs.bytes;
+    s.cache_evictions = cs.evictions;
+  }
   return s;
 }
 
@@ -199,6 +229,8 @@ void Engine::ResetStats() {
   groups_created_.store(0, std::memory_order_relaxed);
   peak_agg_state_bytes_.store(0, std::memory_order_relaxed);
   total_exec_micros_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace seedb::db

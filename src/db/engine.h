@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "db/catalog.h"
 #include "db/group_by.h"
 #include "db/grouping_sets.h"
+#include "db/scan_cache.h"
 #include "db/shared_scan.h"
 #include "util/result.h"
 
@@ -44,6 +46,15 @@ struct EngineStatsSnapshot {
   /// Largest per-query aggregation working set seen.
   uint64_t peak_agg_state_bytes = 0;
   uint64_t total_exec_micros = 0;
+  /// Cross-session result cache (EnableResultCache): (query, grouping set)
+  /// pairs adopted from / missed in the cache across all shared batches,
+  /// plus the cache's current footprint and lifetime eviction count. All
+  /// zero — and omitted from ToString() — while the cache is disabled.
+  bool result_cache_enabled = false;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_bytes = 0;
+  uint64_t cache_evictions = 0;
 
   std::string ToString() const;
 };
@@ -154,6 +165,17 @@ class Engine {
   const Catalog* catalog() const { return catalog_; }
   AccessTracker* access_tracker() { return &tracker_; }
 
+  /// Switches on the cross-session partial-aggregate cache (off by
+  /// default): every BeginShared / ExecuteShared call afterwards consults
+  /// and feeds it, keyed by (table version, predicate fingerprint, grouping
+  /// set) — see db/scan_cache.h. `budget_bytes` caps the LRU footprint
+  /// under the same accounting unit as agg_state_bytes. Call before serving
+  /// traffic; not concurrency-safe against in-flight scans.
+  void EnableResultCache(size_t budget_bytes);
+  /// The cache, or nullptr while disabled.
+  PartialAggCache* result_cache() { return cache_.get(); }
+  const PartialAggCache* result_cache() const { return cache_.get(); }
+
   EngineStatsSnapshot stats() const;
   void ResetStats();
 
@@ -172,6 +194,8 @@ class Engine {
 
   Catalog* catalog_;
   AccessTracker tracker_;
+  /// Cross-session partial-aggregate cache; null until EnableResultCache.
+  std::unique_ptr<PartialAggCache> cache_;
 
   std::atomic<uint64_t> queries_executed_{0};
   std::atomic<uint64_t> table_scans_{0};
@@ -182,6 +206,8 @@ class Engine {
   std::atomic<uint64_t> groups_created_{0};
   std::atomic<uint64_t> peak_agg_state_bytes_{0};
   std::atomic<uint64_t> total_exec_micros_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
 };
 
 }  // namespace seedb::db

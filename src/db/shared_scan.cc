@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "db/group_by.h"
+#include "db/scan_cache.h"
 #include "db/vec/aggregate_kernels.h"
 #include "db/vec/group_ids.h"
 #include "db/vec/simd/simd.h"
@@ -38,6 +39,10 @@ struct SetSpec {
   size_t dense_slots = 0;
   /// True when the set takes the vectorized kernels.
   bool vectorized = false;
+  /// True when this (query, set) pair was adopted from the cross-session
+  /// cache at Init: its merged state is already final, so workers never
+  /// scan or merge it again.
+  bool adopted = false;
   /// Raw column arrays for the vectorized group-id kernels.
   std::vector<vec::DenseDim> dims;
 };
@@ -69,9 +74,11 @@ struct QuerySpec {
 // comparison is evaluated over the raw column for [lo, hi) straight into
 // the selection by the typed compare kernels — no full-table predicate
 // mask is ever materialized for such queries. Recipes are deduplicated by
-// fingerprint (mask pointer, or column + op + literal + sample mask), which
+// fingerprint (mask pointer, or column + op + sample mask + the literal
+// normalized into the kernel's own domain — see SameRecipe), which
 // preserves the sharing pointer-identical masks gave: queries with the same
-// filter still build one selection per morsel between them.
+// filter still build one selection per morsel between them, however the
+// literal was spelled.
 struct SelRecipe {
   enum class Kind { kMask, kCompareInt64, kCompareDouble, kCompareCode };
   Kind kind = Kind::kMask;
@@ -82,7 +89,10 @@ struct SelRecipe {
   const std::vector<uint8_t>* sample = nullptr;
   const Column* column = nullptr;
   CompareOp op = CompareOp::kEq;
-  /// Literal as written, for fingerprint comparison.
+  /// Literal as written — consulted only for kCompareCode dedup (the truth
+  /// table derives from it via Value comparison, which is itself numeric
+  /// across int/double spellings). The typed kinds dedup on the
+  /// kernel-domain fields below instead.
   Value literal;
   int64_t literal_i64 = 0;
   double literal_f64 = 0.0;
@@ -91,11 +101,29 @@ struct SelRecipe {
   std::vector<uint8_t> code_match;
 };
 
+// Recipe equality for dedup. Literals compare in the kernel's own domain,
+// never "as written": `x = 1` and `x = 1.0` resolve to one recipe (one
+// SelectionVector per morsel serves both), `+0.0` and `-0.0` collapse under
+// IEEE equality, and recipes over different columns (hence different types)
+// can never merge because the column pointer differs. This is the same
+// normalization db/scan_cache.h applies when the fingerprint graduates to a
+// cross-session cache key.
 bool SameRecipe(const SelRecipe& a, const SelRecipe& b) {
   if (a.kind != b.kind) return false;
   if (a.kind == SelRecipe::Kind::kMask) return a.mask == b.mask;
-  return a.column == b.column && a.op == b.op && a.sample == b.sample &&
-         a.literal == b.literal;
+  if (a.column != b.column || a.op != b.op || a.sample != b.sample) {
+    return false;
+  }
+  switch (a.kind) {
+    case SelRecipe::Kind::kCompareInt64:
+      return a.literal_i64 == b.literal_i64;
+    case SelRecipe::Kind::kCompareDouble:
+      return a.literal_f64 == b.literal_f64;
+    default:
+      // kCompareCode: Value equality is numeric across int/double spellings
+      // and the per-code truth table is a pure function of (op, literal).
+      return a.literal == b.literal;
+  }
 }
 
 // Mirror of predicate.cc's CompareValues (file-local there) for building
@@ -180,6 +208,7 @@ void PrepareWorkerState(const std::vector<QuerySpec>& specs,
     if (fresh) sets.resize(specs[q].sets.size());
     for (size_t s = 0; s < specs[q].sets.size(); ++s) {
       const SetSpec& set = specs[q].sets[s];
+      if (set.adopted) continue;  // cache-adopted pairs never accumulate
       SetAccum& accum = sets[s];
       if (set.vectorized) {
         if (fresh) {
@@ -446,6 +475,7 @@ void WorkerLoop(const std::vector<QuerySpec>& specs,
       if (!active[q]) continue;
       for (size_t s = 0; s < specs[q].sets.size(); ++s) {
         const SetSpec& set = specs[q].sets[s];
+        if (set.adopted) continue;  // final state came from the cache
         if (set.vectorized) {
           const int rid = specs[q].recipe;
           const vec::SelectionVector* sel =
@@ -669,6 +699,8 @@ class SharedScanState::Impl {
       : table_(table), queries_(std::move(queries)), masks_(table) {}
 
   Status Init(const SharedScanOptions& options) {
+    cache_ = options.cache;
+    table_version_ = options.table_version;
     threads_ = options.num_threads == 0
                    ? std::max<size_t>(1, std::thread::hardware_concurrency())
                    : options.num_threads;
@@ -768,6 +800,7 @@ class SharedScanState::Impl {
     }
 
     active_.assign(queries_.size(), 1);
+    scan_active_.assign(queries_.size(), 1);
     globals_.resize(queries_.size());
     for (size_t q = 0; q < queries_.size(); ++q) {
       globals_[q].resize(specs_[q].sets.size());
@@ -777,6 +810,36 @@ class SharedScanState::Impl {
         if (specs_[q].sets[s].dense_slots > 0) {
           global.dense_to_global.assign(specs_[q].sets[s].dense_slots, -1);
         }
+      }
+    }
+
+    // Cross-session cache partition: every (query, grouping set) pair whose
+    // key hits adopts the cached merged state verbatim — bit-identical to
+    // having scanned, because entries are only ever published from full
+    // uncancelled passes over this exact table version. A query whose every
+    // pair hit drops out of the scan entirely.
+    if (cache_ != nullptr) {
+      cache_keys_.resize(queries_.size());
+      for (size_t q = 0; q < queries_.size(); ++q) {
+        cache_keys_[q].resize(specs_[q].sets.size());
+        bool all_adopted = true;
+        for (size_t s = 0; s < specs_[q].sets.size(); ++s) {
+          cache_keys_[q][s] =
+              PartialAggCacheKey(table_, table_version_, queries_[q], s);
+          std::shared_ptr<const CachedPartialAgg> entry =
+              cache_->Lookup(cache_keys_[q][s]);
+          if (entry == nullptr ||
+              entry->states.size() != specs_[q].aggs.size()) {
+            ++cache_misses_;
+            all_adopted = false;
+            continue;
+          }
+          ++cache_hits_;
+          globals_[q][s].rep_row = entry->rep_row;
+          globals_[q][s].states = entry->states;
+          specs_[q].sets[s].adopted = true;
+        }
+        if (all_adopted) scan_active_[q] = 0;
       }
     }
     return Status::OK();
@@ -874,11 +937,19 @@ class SharedScanState::Impl {
         std::count(active_.begin(), active_.end(), uint8_t{1}));
   }
 
+  /// Queries the scan still visits rows for: active and not fully
+  /// cache-adopted.
+  size_t scan_active_queries() const {
+    return static_cast<size_t>(
+        std::count(scan_active_.begin(), scan_active_.end(), uint8_t{1}));
+  }
+
   Status DeactivateQuery(size_t q) {
     if (q >= queries_.size()) {
       return Status::InvalidArgument("query index out of range");
     }
     active_[q] = 0;
+    scan_active_[q] = 0;
     return Status::OK();
   }
 
@@ -911,7 +982,7 @@ class SharedScanState::Impl {
     size_t morsel_rows = morsel_rows_;
     if (adaptive_morsels_) {
       const size_t base = AdaptiveMorselRows(row_end - row_begin, threads_);
-      const size_t live = std::max<size_t>(1, active_queries());
+      const size_t live = std::max<size_t>(1, scan_active_queries());
       const size_t coarse = base * std::max<size_t>(1, specs_.size() / live);
       // Never coarser than one morsel per worker (while rows allow it).
       const size_t per_worker =
@@ -925,8 +996,15 @@ class SharedScanState::Impl {
     std::vector<size_t> all(num_morsels);
     for (size_t m = 0; m < num_morsels; ++m) all[m] = m;
     std::vector<uint8_t> completed(num_morsels, 0);
-    const size_t done =
-        ScanMorsels(all, row_begin, row_end, morsel_rows, &completed);
+    size_t done = num_morsels;
+    if (scan_active_queries() > 0) {
+      done = ScanMorsels(all, row_begin, row_end, morsel_rows, &completed);
+    } else {
+      // Every query was either cache-adopted or retired: the phase is a
+      // no-op over the row range, advancing rows_consumed_ without touching
+      // a single row (rows_scanned stays put — that is the cache's win).
+      std::fill(completed.begin(), completed.end(), uint8_t{1});
+    }
 
     const bool cut_short =
         cancel_ != nullptr && cancel_->load(std::memory_order_relaxed) &&
@@ -940,7 +1018,7 @@ class SharedScanState::Impl {
     // so a flat vector with linear probes beats a node-based map here.
     std::vector<std::pair<const std::vector<uint8_t>*, size_t>> mask_counts;
     for (size_t q = 0; q < specs_.size(); ++q) {
-      if (!active_[q]) continue;
+      if (!scan_active_[q]) continue;
       const std::vector<uint8_t>* sample = specs_[q].sample_mask;
       if (sample == nullptr) {
         phase_rows = std::max(phase_rows, row_end - row_begin);
@@ -1046,7 +1124,7 @@ class SharedScanState::Impl {
     // the scan's lifetime instead of once per phase.
     if (worker_states_.size() < threads) worker_states_.resize(threads);
     for (size_t t = 0; t < threads; ++t) {
-      PrepareWorkerState(specs_, active_, &worker_states_[t]);
+      PrepareWorkerState(specs_, scan_active_, &worker_states_[t]);
     }
 
     std::atomic<size_t> next_morsel{0};
@@ -1054,9 +1132,10 @@ class SharedScanState::Impl {
     std::atomic<size_t> vec_morsels{0};
     std::atomic<size_t> simd_morsels{0};
     if (threads == 1) {
-      WorkerLoop(specs_, recipes_, active_, row_begin, row_end, morsel_rows,
-                 ids, use_simd_, &next_morsel, cancel_, &morsels_done,
-                 &vec_morsels, &simd_morsels, completed, &worker_states_[0]);
+      WorkerLoop(specs_, recipes_, scan_active_, row_begin, row_end,
+                 morsel_rows, ids, use_simd_, &next_morsel, cancel_,
+                 &morsels_done, &vec_morsels, &simd_morsels, completed,
+                 &worker_states_[0]);
     } else {
       // The pool persists across phases — spawning threads per phase would
       // bill their creation to every phase_seconds measurement.
@@ -1069,7 +1148,7 @@ class SharedScanState::Impl {
                                          &ids, &next_morsel, &morsels_done,
                                          &vec_morsels, &simd_morsels, completed,
                                          state] {
-          WorkerLoop(specs_, recipes_, active_, row_begin, row_end,
+          WorkerLoop(specs_, recipes_, scan_active_, row_begin, row_end,
                      morsel_rows, ids, use_simd_, &next_morsel, cancel_,
                      &morsels_done, &vec_morsels, &simd_morsels, completed,
                      state);
@@ -1079,8 +1158,9 @@ class SharedScanState::Impl {
     }
 
     for (size_t q = 0; q < specs_.size(); ++q) {
-      if (!active_[q]) continue;
+      if (!scan_active_[q]) continue;
       for (size_t s = 0; s < specs_[q].sets.size(); ++s) {
+        if (specs_[q].sets[s].adopted) continue;
         for (size_t t = 0; t < threads; ++t) {
           const WorkerState& worker = worker_states_[t];
           if (specs_[q].sets[s].vectorized) {
@@ -1116,12 +1196,35 @@ class SharedScanState::Impl {
 
   Result<std::vector<std::vector<Table>>> FinalResults() {
     finalized_ = true;
+    PublishToCache();
     std::vector<std::vector<Table>> results(queries_.size());
     for (size_t q = 0; q < queries_.size(); ++q) {
       if (!active_[q]) continue;  // retired queries yield no tables
       SEEDB_ASSIGN_OR_RETURN(results[q], PartialResults(q));
     }
     return results;
+  }
+
+  // Publishes every scanned (query, set) pair's merged state to the
+  // cross-session cache — only when the scan covered the whole table
+  // uncancelled and only for queries that stayed active throughout (a
+  // retired query's state stops at its retirement phase and must never be
+  // adopted as final). Adopted pairs are skipped: they are already cached.
+  void PublishToCache() {
+    if (cache_ == nullptr || cancelled_ ||
+        rows_consumed_ != table_.num_rows()) {
+      return;
+    }
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      if (!active_[q]) continue;
+      for (size_t s = 0; s < specs_[q].sets.size(); ++s) {
+        if (specs_[q].sets[s].adopted) continue;
+        CachedPartialAgg entry;
+        entry.rep_row = globals_[q][s].rep_row;
+        entry.states = globals_[q][s].states;
+        cache_->Insert(cache_keys_[q][s], std::move(entry));
+      }
+    }
   }
 
   SharedScanStats stats() const {
@@ -1140,6 +1243,9 @@ class SharedScanState::Impl {
     s.threads_used = threads_used_;
     s.phases = phases_;
     s.last_phase_morsel_rows = last_phase_morsel_rows_;
+    s.selection_recipes = recipes_.size();
+    s.cache_hits = cache_hits_;
+    s.cache_misses = cache_misses_;
     for (size_t q = 0; q < globals_.size(); ++q) {
       for (size_t g = 0; g < globals_[q].size(); ++g) {
         s.total_groups += globals_[q][g].rep_row.size();
@@ -1176,6 +1282,15 @@ class SharedScanState::Impl {
   std::vector<SelRecipe> recipes_;
   bool use_simd_ = false;
   std::vector<uint8_t> active_;
+  /// active_ minus fully cache-adopted queries: the rows workers visit.
+  std::vector<uint8_t> scan_active_;
+  /// Cross-session cache wiring; keys are precomputed per (query, set) at
+  /// Init (empty when cache_ is null).
+  PartialAggCache* cache_ = nullptr;
+  uint64_t table_version_ = 0;
+  std::vector<std::vector<std::string>> cache_keys_;
+  size_t cache_hits_ = 0;
+  size_t cache_misses_ = 0;
   /// Per-worker accumulation state, persistent across phases (slab reuse).
   std::vector<WorkerState> worker_states_;
   /// globals_[q][s]: merged groups, persistent across phases.

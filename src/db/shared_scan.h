@@ -44,6 +44,8 @@
 
 namespace seedb::db {
 
+class PartialAggCache;
+
 struct SharedScanOptions {
   /// Worker threads for the morsel pass; 0 = hardware concurrency, 1 runs
   /// the pass inline on the calling thread.
@@ -78,6 +80,22 @@ struct SharedScanOptions {
   /// set falls back to the hash path. Bounds per-worker slab memory at
   /// slots * aggregates * sizeof(AggState).
   size_t dense_slot_budget = 16384;
+  /// Cross-session partial-aggregate cache (db/scan_cache.h); nullptr = off.
+  /// With a cache, Init() partitions the batch's (query, grouping set)
+  /// pairs into hits — merged states adopted directly, never scanned — and
+  /// misses, which scan as usual and are published back at FinalResults()
+  /// when the scan covered the whole table uncancelled. The pointee must
+  /// outlive the scan state.
+  PartialAggCache* cache = nullptr;
+  /// Catalog version of the scanned table (db::Catalog::TableVersion),
+  /// embedded in every cache key so stale entries can never be adopted.
+  uint64_t table_version = 0;
+  /// Opt-out honored by Engine::BeginShared when wiring its own cache in:
+  /// callers whose downstream decisions are estimate-order-sensitive (the
+  /// MAB pruner halves by per-phase estimate, and adoption makes adopted
+  /// views' estimates final from phase 1) set this false so warm runs stay
+  /// bit-identical to cold ones. An explicitly set `cache` wins over this.
+  bool use_result_cache = true;
 };
 
 /// The morsel size `morsel_rows = 0` resolves to: aim for a handful of
@@ -118,6 +136,15 @@ struct SharedScanStats {
   /// morsel_rows unless adaptive sizing is on, which coarsens morsels as
   /// queries retire).
   size_t last_phase_morsel_rows = 0;
+  /// Distinct selection recipes (fused compares + mask conversions) the
+  /// batch resolved to. Queries whose row filters are semantically equal —
+  /// however the literal was spelled — share one recipe, hence one
+  /// SelectionVector per morsel between them.
+  size_t selection_recipes = 0;
+  /// (query, grouping set) pairs adopted from / missed in the cross-session
+  /// cache at Init. Both stay 0 when no cache is configured.
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
 };
 
 /// \brief Resumable fused scan over one table: the whole query batch

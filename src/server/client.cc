@@ -13,15 +13,21 @@
 #include "server/net_util.h"
 
 namespace seedb::server {
-namespace {
 
-/// An ack/typed response, or the Status an error frame carries.
-Status CheckOk(const JsonValue& response) {
+Status Client::CheckOk(const JsonValue& response) {
+  last_retry_after_ms_ = static_cast<int>(response.GetInt("retry_after_ms"));
   if (response.GetBool("ok")) return Status::OK();
-  return StatusFromErrorResponse(response);
+  Status status = StatusFromErrorResponse(response);
+  if (last_retry_after_ms_ > 0) {
+    // Admission-control busy frames say when capacity is expected back;
+    // keep the hint on the Status so every caller that prints the error
+    // sees it, and machine-readable via last_retry_after_ms().
+    return Status(status.code(),
+                  status.message() + " (retry after " +
+                      std::to_string(last_retry_after_ms_) + " ms)");
+  }
+  return status;
 }
-
-}  // namespace
 
 Result<Client> Client::ConnectUnix(const std::string& path) {
   sockaddr_un addr{};
@@ -61,6 +67,7 @@ Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       buffer_(std::move(other.buffer_)),
       handshake_(other.handshake_),
+      last_retry_after_ms_(other.last_retry_after_ms_),
       push_(std::move(other.push_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
@@ -69,6 +76,7 @@ Client& Client::operator=(Client&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     buffer_ = std::move(other.buffer_);
     handshake_ = other.handshake_;
+    last_retry_after_ms_ = other.last_retry_after_ms_;
     push_ = std::move(other.push_);
   }
   return *this;

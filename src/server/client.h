@@ -84,6 +84,13 @@ class Client {
   /// Does NOT sift push frames; use on v1 connections.
   Result<std::string> CallRaw(const std::string& line);
 
+  /// The "retry_after_ms" hint of the last error response, 0 when the last
+  /// response carried none. Admission control answers a shed `open` with
+  /// busy (kUnavailable) plus this hint; callers that see Unavailable can
+  /// back off exactly this long instead of guessing. The hint is also
+  /// appended to the returned Status message ("... (retry after N ms)").
+  int last_retry_after_ms() const { return last_retry_after_ms_; }
+
   Status Open(const std::string& id, const OpenSpec& spec);
   /// Protocol v2: opens a server-driven session and returns its handle.
   /// The handle borrows this client — keep the client alive (and unmoved)
@@ -108,6 +115,10 @@ class Client {
 
   Result<std::string> ReadLine();
   Result<JsonValue> ReadFrame();
+  /// OK for an ack/typed response; for {"ok":false,...} the Status the
+  /// frame carries, with the retry_after_ms hint (if any) recorded and
+  /// appended to the message.
+  Status CheckOk(const JsonValue& response);
   /// Files a push frame into its session's queue.
   void StashPush(JsonValue frame);
   /// The next push frame addressed to `id`, reading off the socket as
@@ -126,6 +137,7 @@ class Client {
   /// Bytes read past the last returned line.
   std::string buffer_;
   Handshake handshake_;
+  int last_retry_after_ms_ = 0;
   std::unordered_map<std::string, PushStream> push_;
 };
 

@@ -397,6 +397,10 @@ JsonValue ResultToJson(const std::string& id,
               JsonValue::Number(static_cast<double>(prof.table_scans)));
   profile.Set("rows_scanned",
               JsonValue::Number(static_cast<double>(prof.rows_scanned)));
+  profile.Set("cache_hits",
+              JsonValue::Number(static_cast<double>(prof.cache_hits)));
+  profile.Set("cache_misses",
+              JsonValue::Number(static_cast<double>(prof.cache_misses)));
   profile.Set("early_stopped", JsonValue::Bool(prof.early_stopped));
   profile.Set("cancelled", JsonValue::Bool(prof.cancelled));
   profile.Set("budget_exceeded", JsonValue::Bool(prof.budget_exceeded));
@@ -449,6 +453,8 @@ Result<RemoteResult> ResultFromJson(const JsonValue& frame) {
     p.queries_issued = static_cast<size_t>(profile->GetInt("queries_issued"));
     p.table_scans = static_cast<size_t>(profile->GetInt("table_scans"));
     p.rows_scanned = static_cast<uint64_t>(profile->GetInt("rows_scanned"));
+    p.cache_hits = static_cast<uint64_t>(profile->GetInt("cache_hits"));
+    p.cache_misses = static_cast<uint64_t>(profile->GetInt("cache_misses"));
     p.early_stopped = profile->GetBool("early_stopped");
     p.cancelled = profile->GetBool("cancelled");
     p.budget_exceeded = profile->GetBool("budget_exceeded");
@@ -469,6 +475,12 @@ Result<RemoteStatus> StatusFromJson(const JsonValue& frame) {
   status.memory_bytes = static_cast<uint64_t>(frame.GetInt("memory_bytes"));
   status.sessions = static_cast<size_t>(frame.GetInt("sessions"));
   status.requests = static_cast<uint64_t>(frame.GetInt("requests"));
+  status.cache_enabled = frame.GetBool("cache_enabled");
+  status.cache_hits = static_cast<uint64_t>(frame.GetInt("cache_hits"));
+  status.cache_misses = static_cast<uint64_t>(frame.GetInt("cache_misses"));
+  status.cache_bytes = static_cast<uint64_t>(frame.GetInt("cache_bytes"));
+  status.cache_evictions =
+      static_cast<uint64_t>(frame.GetInt("cache_evictions"));
   return status;
 }
 

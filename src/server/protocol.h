@@ -197,6 +197,10 @@ struct RemoteProfile {
   size_t queries_issued = 0;
   size_t table_scans = 0;
   uint64_t rows_scanned = 0;
+  /// (query, grouping set) pairs adopted from / missed in the server
+  /// engine's result cache during this run; both 0 while the cache is off.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
   bool early_stopped = false;
   bool cancelled = false;
   bool budget_exceeded = false;
@@ -222,6 +226,13 @@ struct RemoteStatus {
   uint64_t memory_bytes = 0;
   size_t sessions = 0;
   uint64_t requests = 0;
+  /// Server-wide result-cache counters (db/scan_cache.h via the engine);
+  /// all zero while the server runs with the cache disabled.
+  bool cache_enabled = false;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_bytes = 0;
+  uint64_t cache_evictions = 0;
 };
 
 Result<RemoteProgress> ProgressFromJson(const JsonValue& frame);

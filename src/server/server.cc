@@ -456,10 +456,20 @@ void RecommendationServer::RunStrand(std::shared_ptr<Conn> conn) {
 
 // --- Push driving ---------------------------------------------------------
 
-void RecommendationServer::PushFrameLocked(ServerSession* entry,
-                                           JsonValue frame) {
+bool RecommendationServer::PushFrameLocked(ServerSession* entry,
+                                           JsonValue frame,
+                                           bool even_if_evicted) {
+  // An evicted session's terminal `drained` is pushed by EvictSession
+  // itself; everything else this incarnation still emits (an in-flight
+  // Next's progress, a queued phase job's frames) is dropped so `drained`
+  // stays the last frame the subscriber sees for this id.
+  if (entry->evicted.load(std::memory_order_acquire) && !even_if_evicted) {
+    return false;
+  }
   std::shared_ptr<Conn> conn = entry->push_conn.lock();
-  if (conn == nullptr || conn->closed.load(std::memory_order_acquire)) return;
+  if (conn == nullptr || conn->closed.load(std::memory_order_acquire)) {
+    return false;
+  }
   frame.Set("push", JsonValue::Bool(true));
   frame.Set("seq", JsonValue::Number(static_cast<double>(++entry->push_seq)));
   // Send stamp (steady clock, µs): bench_server measures frame-delivery
@@ -469,6 +479,7 @@ void RecommendationServer::PushFrameLocked(ServerSession* entry,
   line.push_back('\n');
   EnqueueOutput(conn, std::move(line));
   push_frames_sent_.fetch_add(1);
+  return true;
 }
 
 void RecommendationServer::PushProgress(ServerSession* entry,
@@ -502,7 +513,8 @@ void RecommendationServer::DrivePhase(std::shared_ptr<ServerSession> entry,
   ServerSession* s = entry.get();
   {
     base::MutexLock lock(&s->mu);
-    if (s->finished || !s->driving) {
+    if (s->finished || !s->driving ||
+        s->evicted.load(std::memory_order_acquire)) {
       s->driving = false;
       return;
     }
@@ -532,7 +544,7 @@ void RecommendationServer::DrivePhase(std::shared_ptr<ServerSession> entry,
       drained.Set("ok", JsonValue::Bool(true));
       drained.Set("id", JsonValue::Str(id));
       drained.Set("type", JsonValue::Str("drained"));
-      PushFrameLocked(s, std::move(drained));
+      if (PushFrameLocked(s, std::move(drained))) s->drained_sent = true;
       s->driving = false;
       MarkDrained(entry);
     }
@@ -592,10 +604,28 @@ void RecommendationServer::EvictSession(
     if (it == sessions_.end() || it->second != entry) return;
     sessions_.erase(it);
   }
-  // Flip the token only — never wait for entry->mu here (a phase may be in
-  // flight); the driver or a blocked v1 Next observes the cancel and the
-  // entry's memory goes with the last shared_ptr.
+  // Cancel first, lock-free: an in-flight phase observes the token at
+  // morsel granularity, so the entry->mu wait below is bounded by one
+  // morsel, not a whole phase. The evicted flag then mutes every frame this
+  // incarnation might still emit (a queued phase job, a Next mid-cut).
   entry->session.Cancel();
+  entry->evicted.store(true, std::memory_order_release);
+  {
+    base::MutexLock lock(&entry->mu);
+    if (!entry->drained_sent) {
+      // Tell the v2 subscriber NOW that the stream is over — before the
+      // fix, a queued phase job delivered `drained` arbitrarily late (or
+      // emitted frames after it when the id was reopened).
+      JsonValue drained = JsonValue::Object();
+      drained.Set("ok", JsonValue::Bool(true));
+      drained.Set("id", JsonValue::Str(id));
+      drained.Set("type", JsonValue::Str("drained"));
+      entry->drained_sent =
+          PushFrameLocked(entry.get(), std::move(drained),
+                          /*even_if_evicted=*/true);
+    }
+    entry->driving = false;
+  }
   MarkDrained(entry);
   sessions_evicted_.fetch_add(1);
 }
@@ -895,6 +925,22 @@ JsonValue RecommendationServer::HandleStatus(const std::string& id) {
                  JsonValue::Number(static_cast<double>(requests_.load())));
     response.Set("memory_bytes",
                  JsonValue::Number(static_cast<double>(memory)));
+    const db::EngineStatsSnapshot engine_stats = engine_->stats();
+    if (engine_stats.result_cache_enabled) {
+      response.Set("cache_enabled", JsonValue::Bool(true));
+      response.Set("cache_hits",
+                   JsonValue::Number(
+                       static_cast<double>(engine_stats.cache_hits)));
+      response.Set("cache_misses",
+                   JsonValue::Number(
+                       static_cast<double>(engine_stats.cache_misses)));
+      response.Set("cache_bytes",
+                   JsonValue::Number(
+                       static_cast<double>(engine_stats.cache_bytes)));
+      response.Set("cache_evictions",
+                   JsonValue::Number(
+                       static_cast<double>(engine_stats.cache_evictions)));
+    }
     return response;
   }
   std::shared_ptr<ServerSession> entry = FindSession(id);

@@ -179,6 +179,11 @@ class RecommendationServer {
     /// this session; the timer wheel's expiry check reads it to tell idle
     /// sessions from merely long-scheduled ones.
     std::atomic<int64_t> last_active_ms{0};
+    /// Set by EvictSession after the registry forgets the id. From then on
+    /// PushFrameLocked drops this incarnation's frames (a queued phase job
+    /// or an in-flight Next must not emit after the terminal `drained`);
+    /// only the eviction-sent drained itself bypasses the suppression.
+    std::atomic<bool> evicted{false};
     /// Counted against max_inflight_phases. Cleared once the session
     /// drains (v2), finishes, or is evicted; resume re-arms it.
     std::atomic<bool> counted_inflight{false};
@@ -186,6 +191,10 @@ class RecommendationServer {
     // Protocol-v2 push-driving state.
     bool driving GUARDED_BY(mu) = false;
     uint64_t push_seq GUARDED_BY(mu) = 0;
+    /// A terminal `drained` frame actually reached the push connection's
+    /// write queue — exactly-once bookkeeping between the phase driver and
+    /// eviction.
+    bool drained_sent GUARDED_BY(mu) = false;
     /// The connection receiving this session's push frames (rebound by a
     /// `resume` from another connection; cancelled when it disconnects).
     std::weak_ptr<Conn> push_conn GUARDED_BY(mu);
@@ -222,9 +231,11 @@ class RecommendationServer {
       REQUIRES(entry->mu);
   void DrivePhase(std::shared_ptr<ServerSession> entry, std::string id);
   /// Serializes `frame` (+ push/seq/ts_us markers) into the session's bound
-  /// connection.
-  void PushFrameLocked(ServerSession* entry, JsonValue frame)
-      REQUIRES(entry->mu);
+  /// connection. Returns whether the frame reached a write queue; frames of
+  /// evicted sessions are dropped unless `even_if_evicted` (the eviction
+  /// path's own terminal `drained`).
+  bool PushFrameLocked(ServerSession* entry, JsonValue frame,
+                       bool even_if_evicted = false) REQUIRES(entry->mu);
   /// ProgressSink trampoline. The sink only ever fires inside a Next() /
   /// Finish() call, and every such call site holds the entry's mu — but the
   /// analysis cannot see through the std::function boundary, so the

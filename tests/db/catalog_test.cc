@@ -62,6 +62,28 @@ TEST(CatalogTest, StatsCachedAndInvalidatedOnPut) {
   EXPECT_EQ((*s3)->num_rows, 9u);
 }
 
+TEST(CatalogTest, TableVersionsAreMonotonic) {
+  Catalog c;
+  EXPECT_EQ(c.TableVersion("t"), 0u);  // never registered
+  ASSERT_TRUE(c.AddTable("t", ::seedb::testing::MakeTinyTable()).ok());
+  uint64_t v1 = c.TableVersion("t");
+  EXPECT_GT(v1, 0u);
+  c.PutTable("t", ::seedb::testing::MakeLaserwaveTable());
+  uint64_t v2 = c.TableVersion("t");
+  EXPECT_GT(v2, v1);
+  // Versions survive a drop, so a re-created name never reuses an old one.
+  ASSERT_TRUE(c.DropTable("t").ok());
+  uint64_t v3 = c.TableVersion("t");
+  EXPECT_GT(v3, v2);
+  ASSERT_TRUE(c.AddTable("t", ::seedb::testing::MakeTinyTable()).ok());
+  EXPECT_GT(c.TableVersion("t"), v3);
+  // A failed mutation does not bump.
+  uint64_t v4 = c.TableVersion("t");
+  EXPECT_EQ(c.AddTable("t", ::seedb::testing::MakeTinyTable()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(c.TableVersion("t"), v4);
+}
+
 TEST(CatalogTest, StatsForMissingTableFails) {
   Catalog c;
   EXPECT_FALSE(c.GetStats("ghost").ok());

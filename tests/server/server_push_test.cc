@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "../test_util.h"
+#include "data/synthetic.h"
 #include "db/engine.h"
 #include "server/client.h"
 #include "server/json.h"
@@ -361,6 +362,93 @@ TEST_F(PushServerTest, ActiveSessionsSurviveTheIdleTimeout) {
   ASSERT_TRUE(client->Finish("busy-bee").ok());
 }
 
+// Raw-socket pin for the eviction fix: on a v2 connection an evicted
+// session's stream ends with EXACTLY ONE `drained`, and no frame for that
+// id follows it. The table is big enough (and parallelism 1) that a single
+// phase can outlive the idle timeout, in which case eviction lands
+// mid-drive and must deliver the terminal drained itself while muting the
+// driver's late frames; on a fast box the driver drains first and eviction
+// must add nothing. The invariant below holds either way.
+TEST_F(PushServerTest, EvictedPushSessionDrainedIsTheLastFrame) {
+  {
+    auto dataset = ::seedb::data::GenerateSynthetic(
+        ::seedb::data::SyntheticSpec::Simple(800000, 3, 2, 8, 7));
+    ASSERT_TRUE(dataset.ok()) << dataset.status();
+    ASSERT_TRUE(catalog_.AddTable("big", std::move(dataset->table)).ok());
+  }
+  ServerOptions options;
+  options.session_idle_timeout_ms = 30;
+  StartServer(options);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path_.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string requests =
+      "{\"op\":\"hello\",\"version\":2,\"capabilities\":[\"push\"]}\n"
+      "{\"op\":\"open\",\"id\":\"doomed\",\"table\":\"big\",\"phases\":1,"
+      "\"parallelism\":1,\"k\":2}\n";
+  ASSERT_EQ(::send(fd, requests.data(), requests.size(), 0),
+            static_cast<ssize_t>(requests.size()));
+
+  // Never finish the session: the wheel must evict it. Read everything the
+  // server sends until eviction happened AND the socket stayed silent
+  // through a grace window — late frames after drained are exactly what
+  // the fix forbids.
+  timeval tv{};
+  tv.tv_usec = 100 * 1000;  // 100ms read slices
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)), 0);
+  std::string buffer;
+  char chunk[65536];
+  int silent_slices = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer.append(chunk, static_cast<size_t>(n));
+      silent_slices = 0;
+      continue;
+    }
+    if (n == 0) break;  // server closed — nothing more can arrive
+    ASSERT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK) << strerror(errno);
+    // Stop after eviction plus >= 500ms of silence (5 empty slices).
+    if (server_->stats().sessions_evicted >= 1 && ++silent_slices >= 5) {
+      break;
+    }
+  }
+  ::close(fd);
+  EXPECT_EQ(server_->stats().sessions_evicted, 1u);
+  EXPECT_EQ(server_->open_sessions(), 0u);
+
+  std::vector<JsonValue> frames;
+  size_t start = 0;
+  for (size_t end = buffer.find('\n'); end != std::string::npos;
+       end = buffer.find('\n', start)) {
+    auto frame = ParseJson(buffer.substr(start, end - start));
+    ASSERT_TRUE(frame.ok()) << buffer.substr(start, end - start);
+    frames.push_back(std::move(*frame));
+    start = end + 1;
+  }
+  // hello ack + opened ack + at least the drained push.
+  ASSERT_GE(frames.size(), 3u) << buffer;
+  EXPECT_EQ(frames[0].GetString("type"), "hello");
+  EXPECT_EQ(frames[1].GetString("type"), "opened");
+  size_t drained_count = 0;
+  for (size_t i = 2; i < frames.size(); ++i) {
+    EXPECT_TRUE(frames[i].GetBool("push")) << frames[i].Dump();
+    EXPECT_EQ(frames[i].GetString("id"), "doomed");
+    if (frames[i].GetString("type") == "drained") ++drained_count;
+  }
+  EXPECT_EQ(drained_count, 1u) << buffer;
+  EXPECT_EQ(frames.back().GetString("type"), "drained")
+      << "frames after the terminal drained: " << frames.back().Dump();
+}
+
 // --- Admission control ---
 
 TEST_F(PushServerTest, SaturatedOpensShedBusyWithoutRegistryCorruption) {
@@ -404,6 +492,30 @@ TEST_F(PushServerTest, SaturatedOpensShedBusyWithoutRegistryCorruption) {
   EXPECT_EQ(stats.sessions_opened, 3u);
   EXPECT_EQ(stats.sessions_finished, 3u);
   EXPECT_EQ(server_->open_sessions(), 0u);
+}
+
+// End-to-end for the client-side retry hint: a shed open's busy frame
+// carries retry_after_ms, which the client records (machine-readable) and
+// folds into the returned Status message (human-readable).
+TEST_F(PushServerTest, ShedOpenSurfacesRetryAfterHintOnClientStatus) {
+  ServerOptions options;
+  options.max_inflight_phases = 1;
+  StartServer(options);
+  auto client = Client::ConnectUnix(socket_path_);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Open("holder", LaserwaveSpec()).ok());
+  EXPECT_EQ(client->last_retry_after_ms(), 0);
+
+  Status shed = client->Open("shed", LaserwaveSpec());
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(client->last_retry_after_ms(), 100);
+  EXPECT_NE(shed.message().find("retry after 100 ms"), std::string::npos)
+      << shed.message();
+
+  // The hint is per-response: the next successful call clears it.
+  ASSERT_TRUE(client->Next("holder").ok());
+  EXPECT_EQ(client->last_retry_after_ms(), 0);
+  ASSERT_TRUE(client->Finish("holder").ok());
 }
 
 TEST_F(PushServerTest, CompletedPushSessionsReleaseAdmissionSlots) {

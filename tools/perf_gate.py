@@ -97,6 +97,44 @@ def compare_server_sweep(old_doc, new_doc, threshold):
     return warnings
 
 
+def compare_result_cache(old_doc, new_doc, threshold):
+    """Advisory diff of the zipfian result-cache scenario: warm-vs-cold
+    sessions/sec on a near-duplicate request mix. Warns when the warm-run
+    speedup shrank past the threshold, when the bench stopped exercising
+    the cache (0 hits), or when warm results diverged from cold ones.
+    Artifacts written before the cache PR carry no "result_cache" key and
+    are skipped."""
+    new = new_doc.get("result_cache")
+    warnings = 0
+    if not new:
+        return warnings
+    old = old_doc.get("result_cache")
+    print(f"\n{'result cache':>28} {'cold s/s':>9} {'warm s/s':>9} "
+          f"{'speedup':>8} {'hits':>6}")
+    old_speedup = old.get("speedup", 0) if old else 0
+    new_speedup = new.get("speedup", 0)
+    label = (f"zipf n={new.get('sessions')} pool={new.get('pool')} "
+             f"ov={new.get('overlap', 0):.0%}")
+    print(f"{label:>28} {new.get('cold_sessions_per_sec', 0):>9.1f} "
+          f"{new.get('warm_sessions_per_sec', 0):>9.1f} "
+          f"{new_speedup:>7.1f}x {new.get('cache_hits', 0):>6}")
+    if not new.get("bit_identical", True):
+        warnings += 1
+        print("::warning::result cache DIVERGENCE (advisory): warm sessions "
+              "returned different rankings than cold ones — the cache must "
+              "never change answers")
+    if new.get("cache_hits", 0) == 0:
+        warnings += 1
+        print("::warning::result cache scenario recorded 0 hits (advisory): "
+              "the zipfian mix no longer exercises adoption")
+    if old_speedup > 0 and (old_speedup - new_speedup) / old_speedup > threshold:
+        warnings += 1
+        print(f"::warning::result cache speedup regression (advisory): "
+              f"warm-vs-cold went {old_speedup:.1f}x -> {new_speedup:.1f}x "
+              f"(threshold {threshold:.0%})")
+    return warnings
+
+
 def compare_server(old_path, new_path, threshold):
     """Advisory diff of BENCH_server.json artifacts: warn when throughput
     (sessions/sec) drops, p99 `next` latency grows past the threshold, or
@@ -112,6 +150,7 @@ def compare_server(old_path, new_path, threshold):
     new_runs = {(r.get("transport"), r.get("clients"), r.get("phases")): r
                 for r in new_doc.get("runs", [])}
     warnings = compare_server_sweep(old_doc, new_doc, threshold)
+    warnings += compare_result_cache(old_doc, new_doc, threshold)
     print(f"\n{'server config':>28} {'old s/s':>9} {'new s/s':>9} "
           f"{'old p99':>9} {'new p99':>9}")
     for key in sorted(new_runs, key=str):

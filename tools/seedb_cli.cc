@@ -362,6 +362,14 @@ class Cli {
                 target.c_str(), status.sessions,
                 remote_->handshake().version,
                 remote_->push_enabled() ? ", push" : ", polling");
+    if (status.cache_enabled) {
+      std::printf("server result cache: %llu hits, %llu misses, %llu bytes, "
+                  "%llu evictions\n",
+                  static_cast<unsigned long long>(status.cache_hits),
+                  static_cast<unsigned long long>(status.cache_misses),
+                  static_cast<unsigned long long>(status.cache_bytes),
+                  static_cast<unsigned long long>(status.cache_evictions));
+    }
     return Status::OK();
   }
 
@@ -407,7 +415,17 @@ class Cli {
       spec.early_stop = options_.online_pruning.early_stop_stable_phases;
     }
     const std::string id = "cli-" + std::to_string(next_remote_id_++);
-    SEEDB_RETURN_IF_ERROR(remote_->Open(id, spec));
+    Status opened = remote_->Open(id, spec);
+    if (!opened.ok()) {
+      // Admission control sheds with busy + a retry hint; surface the hint
+      // so the analyst knows when capacity comes back instead of guessing.
+      if (opened.code() == StatusCode::kUnavailable &&
+          remote_->last_retry_after_ms() > 0) {
+        std::printf("server busy — retry in %d ms\n",
+                    remote_->last_retry_after_ms());
+      }
+      return opened;
+    }
 
     // From here on the session exists server-side: every early exit must
     // still finish it, or failed queries would pile sessions up in the
@@ -441,6 +459,11 @@ class Cli {
                 result.profile.early_stopped ? ", early-stopped" : "",
                 result.profile.cancelled ? ", CANCELLED" : "",
                 result.profile.budget_exceeded ? ", BUDGET EXCEEDED" : "");
+    if (result.profile.cache_hits + result.profile.cache_misses > 0) {
+      std::printf("remote result cache: %llu hits, %llu misses\n",
+                  static_cast<unsigned long long>(result.profile.cache_hits),
+                  static_cast<unsigned long long>(result.profile.cache_misses));
+    }
     return Status::OK();
   }
 

@@ -43,6 +43,7 @@ int Usage(const char* argv0) {
       "usage: %s [--unix PATH | --port N] [--demo] [--csv NAME=FILE]...\n"
       "          [--synthetic ROWS[,DIMS[,MEASURES[,CARDINALITY[,SEED]]]]]\n"
       "          [--workers N] [--idle-timeout-ms MS] [--max-inflight N]\n"
+      "          [--cache-mb N]\n"
       "  --unix PATH   listen on a unix-domain socket (removed on exit)\n"
       "  --port N      listen on TCP 127.0.0.1:N (0 = ephemeral, printed)\n"
       "  --demo        load the demo datasets (orders, elections, medical)\n"
@@ -52,6 +53,8 @@ int Usage(const char* argv0) {
       "  --idle-timeout-ms   evict sessions idle this long (0 = never)\n"
       "  --max-inflight N    shed opens past N in-flight sessions with\n"
       "                      a busy response (0 = unlimited)\n"
+      "  --cache-mb N        partial-aggregate result cache budget in MiB\n"
+      "                      (default 64; 0 disables the cache)\n"
       "With no data flags, --demo is implied (a server with no tables "
       "answers every open with not_found).\n",
       argv0);
@@ -99,6 +102,7 @@ int main(int argc, char** argv) {
   options.tcp_port = 0;
   bool want_demo = false;
   bool loaded_any = false;
+  size_t cache_mb = 64;
 
   db::Catalog catalog;
   for (int i = 1; i < argc; ++i) {
@@ -131,6 +135,10 @@ int main(int argc, char** argv) {
       const char* value = next_value("--max-inflight");
       if (value == nullptr) return Usage(argv[0]);
       options.max_inflight_phases = static_cast<size_t>(std::atoi(value));
+    } else if (arg == "--cache-mb") {
+      const char* value = next_value("--cache-mb");
+      if (value == nullptr) return Usage(argv[0]);
+      cache_mb = static_cast<size_t>(std::atoi(value));
     } else if (arg == "--demo") {
       want_demo = true;
     } else if (arg == "--csv") {
@@ -179,6 +187,10 @@ int main(int argc, char** argv) {
   }
 
   db::Engine engine(&catalog);
+  if (cache_mb > 0) {
+    engine.EnableResultCache(cache_mb * size_t{1024} * 1024);
+    std::printf("result cache enabled (%zu MiB budget)\n", cache_mb);
+  }
   server::RecommendationServer server(&engine, options);
   Status started = server.Start();
   if (!started.ok()) {
