@@ -95,6 +95,7 @@ void RunConnectionSweep(bench::JsonWriter* json) {
     std::vector<double> frame_seconds;
     frame_seconds.reserve(n * (kPhases + 1));
     size_t failures = 0;
+    size_t negative_frames = 0;
     Stopwatch wall;
     for (size_t i = 0; i < n; ++i) {
       int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -174,7 +175,13 @@ void RunConnectionSweep(bench::JsonWriter* json) {
           const std::string type = frame->GetString("type");
           if (frame->GetBool("push")) {
             const int64_t sent_us = frame->GetInt("ts_us");
-            if (sent_us > 0) {
+            // ts_us and recv_us share one steady-clock base (server is
+            // in-process), so a negative delta is a measurement artifact —
+            // a frame stamped after this read() batch was captured. Skip
+            // the sample rather than poisoning the percentiles.
+            if (sent_us > 0 && recv_us < sent_us) {
+              ++negative_frames;
+            } else if (sent_us > 0) {
               frame_seconds.push_back(
                   static_cast<double>(recv_us - sent_us) / 1e6);
             }
@@ -218,11 +225,16 @@ void RunConnectionSweep(bench::JsonWriter* json) {
     const double p99 = PercentileMs(&frame_seconds, 0.99);
     std::printf("%10zu %10zu %10.1f %14.1f %13.3f %13.3f\n", n, frames,
                 wall_ms, sessions_per_sec, p50, p99);
+    if (negative_frames > 0) {
+      std::printf("warning: %zu negative-latency frame samples skipped\n",
+                  negative_frames);
+    }
     json->BeginObject()
         .Key("transport").Value("unix")
         .Key("sessions").Value(n)
         .Key("phases").Value(kPhases)
         .Key("frames").Value(frames)
+        .Key("negative_frames").Value(negative_frames)
         .Key("wall_ms").Value(wall_ms)
         .Key("sessions_per_sec").Value(sessions_per_sec)
         .Key("frame_p50_ms").Value(p50)
@@ -230,6 +242,31 @@ void RunConnectionSweep(bench::JsonWriter* json) {
         .EndObject();
   }
   json->EndArray();
+
+  // Server-side view of the same sweep: the obs registry's request-latency
+  // histograms, measured where the work happened (no socket hop). perf_gate
+  // diffs these advisorily against the baseline artifact.
+  {
+    auto metrics_client = server::Client::ConnectUnix(socket_path);
+    if (metrics_client.ok()) {
+      auto metrics = metrics_client->Metrics();
+      if (metrics.ok()) {
+        json->Key("server_metrics").BeginObject();
+        const server::JsonValue* hists = metrics->Find("histograms");
+        if (hists != nullptr) {
+          for (const auto& [name, hist] : hists->members()) {
+            json->Key(name).BeginObject()
+                .Key("count").Value(hist.GetInt("count"))
+                .Key("p50_us").Value(hist.GetInt("p50_us"))
+                .Key("p95_us").Value(hist.GetInt("p95_us"))
+                .Key("p99_us").Value(hist.GetInt("p99_us"))
+                .EndObject();
+          }
+        }
+        json->EndObject();
+      }
+    }
+  }
   srv.Stop();
   std::printf("\nExpected shape: delivery latency is the outbox + socket "
               "hop, so p50 stays near-flat with connection count; p99 "

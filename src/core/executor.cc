@@ -62,6 +62,7 @@ db::SharedScanOptions MakeScanOptions(const ExecutorOptions& options) {
   scan.morsel_rows = options.morsel_rows;
   scan.cancel = options.cancel;
   scan.enable_simd = options.enable_simd;
+  scan.trace = options.trace;
   // The MAB pruner halves by per-phase estimate ORDER, and cache adoption
   // makes adopted views' estimates final from phase 1 — a warm MAB run
   // would halve different views than the cold run that seeded it. Bypass

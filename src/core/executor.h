@@ -74,6 +74,9 @@ struct ExecutorOptions {
   /// far (fused strategies: every survivor, estimated over the rows seen)
   /// and sets ExecutionReport::cancelled. nullptr = not cancellable.
   const std::atomic<bool>* cancel = nullptr;
+  /// Record obs trace spans for this run's scan phases and worker merge
+  /// steps even when the recorder is not tracing all sessions.
+  bool trace = false;
   /// Cap on the plan's aggregation-state footprint in bytes; 0 = unlimited.
   /// Fused strategies meter the scan's merged agg state at every phase
   /// boundary (one boundary for kSharedScan); kPerQuery meters the

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace seedb::core {
@@ -85,6 +86,11 @@ std::vector<size_t> OnlinePruningState::Observe(
           : PruneBySuccessiveHalving();
   for (size_t v : pruned) active_[v] = 0;
   views_pruned_ += pruned.size();
+  if (!pruned.empty()) {
+    static obs::Counter* retired =
+        obs::Registry::Global().GetCounter("engine.pruning.views_retired");
+    retired->Add(pruned.size());
+  }
   return pruned;
 }
 

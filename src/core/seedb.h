@@ -92,6 +92,12 @@ struct SeeDBOptions {
   /// OutOfRange, and Finish() assembles partial results from the work
   /// already completed (profile.budget_exceeded = true). 0 = unlimited.
   size_t memory_budget_bytes = 0;
+
+  /// Record obs trace spans (session lifecycle, scan phases, worker merge
+  /// steps) for this run even when the active obs::TraceRecorder was not
+  /// started with trace_all_sessions. No effect while no recorder is
+  /// active — spans cost one relaxed load then.
+  bool trace = false;
 };
 
 class SeeDBRequest;

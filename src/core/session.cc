@@ -8,6 +8,7 @@
 #include "core/topk.h"
 #include "db/sampler.h"
 #include "db/sql/parser.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace seedb::core {
@@ -55,12 +56,17 @@ Result<SeeDBRequest> SeeDBRequest::FromSql(const std::string& input_query) {
 }
 
 Result<RecommendationSession> SeeDB::Open(const SeeDBRequest& request) {
+  static std::atomic<uint64_t> next_trace_id{1};
   RecommendationSession session;
   session.engine_ = engine_;
   session.table_ = request.table();
   session.selection_ = request.selection();
   session.options_ = request.options();
+  session.trace_id_ =
+      next_trace_id.fetch_add(1, std::memory_order_relaxed);
   const SeeDBOptions& options = session.options_;
+  SEEDB_TRACE_SPAN_IF(open_span, "session.open", session.trace_id_,
+                      obs::TraceRecorder::ShouldTrace(options.trace));
 
   // Metadata collection + query generation (enumerate, prune).
   Stopwatch plan_timer;
@@ -136,6 +142,7 @@ ExecutorOptions RecommendationSession::ExecOptions() const {
     exec.online_pruning.keep_k = options_.k;
   }
   exec.cancel = cancel_.get();
+  exec.trace = options_.trace;
   // The blocking strategies enforce the session budget inside ExecutePlan
   // (the phased session meters it itself at phase boundaries — CheckBudget —
   // so PhasedPlanExecution ignores this field).
@@ -201,6 +208,8 @@ Status RecommendationSession::CheckBudget() {
 }
 
 Result<std::optional<ProgressUpdate>> RecommendationSession::NextPhased() {
+  SEEDB_TRACE_SPAN_IF(next_span, "session.next_phase", trace_id_,
+                      obs::TraceRecorder::ShouldTrace(options_.trace));
   SEEDB_ASSIGN_OR_RETURN(PhaseSnapshot snap,
                          phased_->Step(/*collect_estimates=*/true));
   ProgressUpdate update;
@@ -231,6 +240,8 @@ Result<std::optional<ProgressUpdate>> RecommendationSession::NextPhased() {
 // whole plan and yields a single update carrying the final ranking with
 // degenerate (zero-width) bounds.
 Result<std::optional<ProgressUpdate>> RecommendationSession::NextBlocking() {
+  SEEDB_TRACE_SPAN_IF(next_span, "session.next_phase", trace_id_,
+                      obs::TraceRecorder::ShouldTrace(options_.trace));
   Stopwatch exec_timer;
   SEEDB_ASSIGN_OR_RETURN(
       std::vector<ViewResult> results,
@@ -284,6 +295,8 @@ Result<RecommendationSet> RecommendationSession::Finish() {
   if (finished_) {
     return Status::Internal("recommendation session already finished");
   }
+  SEEDB_TRACE_SPAN_IF(finish_span, "session.finalize", trace_id_,
+                      obs::TraceRecorder::ShouldTrace(options_.trace));
 
   // Complete any remaining work. A cancelled or budget-stopped session
   // skips straight to assembling partial results. Without a sink the drain

@@ -142,6 +142,13 @@ class SeeDBRequest {
     options_.memory_budget_bytes = budget_bytes;
     return *this;
   }
+  /// Mark this session's spans recordable by an active obs::TraceRecorder
+  /// even when the recorder was not started with trace_all_sessions (see
+  /// SeeDBOptions::trace). Wire sessions set this via OpenSpec.trace.
+  SeeDBRequest& WithTrace(bool trace = true) {
+    options_.trace = trace;
+    return *this;
+  }
   /// Wholesale replacement of the payload — the migration path for call
   /// sites that already hold a SeeDBOptions.
   SeeDBRequest& WithOptions(const SeeDBOptions& options) {
@@ -293,6 +300,9 @@ class RecommendationSession {
   std::string table_;
   db::PredicatePtr selection_;
   SeeDBOptions options_;
+  /// Process-unique id stamped at Open(); the `session` arg on this
+  /// session's obs trace spans.
+  uint64_t trace_id_ = 0;
 
   // Planning products, fixed at Open() time.
   PruningReport static_pruning_;

@@ -1,6 +1,7 @@
 #include "db/engine.h"
 
 #include "db/sql/parser.h"
+#include "obs/metrics.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -68,8 +69,17 @@ Result<Table> Engine::Execute(const GroupByQuery& query) {
   rows_scanned_.fetch_add(qstats.rows_scanned, std::memory_order_relaxed);
   groups_created_.fetch_add(qstats.num_groups, std::memory_order_relaxed);
   UpdatePeak(&peak_agg_state_bytes_, qstats.agg_state_bytes);
-  total_exec_micros_.fetch_add(
-      static_cast<uint64_t>(timer.ElapsedMicros()), std::memory_order_relaxed);
+  const uint64_t exec_us = static_cast<uint64_t>(timer.ElapsedMicros());
+  total_exec_micros_.fetch_add(exec_us, std::memory_order_relaxed);
+  // The per-query path never enters the shared-scan machinery, so it feeds
+  // the registry here: engine.phase.latency_us has no analogue (there are
+  // no phases), engine.query.latency_us is its standalone counterpart.
+  static obs::Histogram* query_latency =
+      obs::Registry::Global().GetHistogram("engine.query.latency_us");
+  static obs::Counter* obs_rows =
+      obs::Registry::Global().GetCounter("engine.scan.rows");
+  query_latency->Observe(exec_us);
+  obs_rows->Add(qstats.rows_scanned);
   RecordAccess(query.table, query.group_by, query.aggregates,
                query.where.get());
   return result;
@@ -87,8 +97,16 @@ Result<std::vector<Table>> Engine::Execute(const GroupingSetsQuery& query) {
   rows_scanned_.fetch_add(qstats.rows_scanned, std::memory_order_relaxed);
   groups_created_.fetch_add(qstats.total_groups, std::memory_order_relaxed);
   UpdatePeak(&peak_agg_state_bytes_, qstats.agg_state_bytes);
-  total_exec_micros_.fetch_add(
-      static_cast<uint64_t>(timer.ElapsedMicros()), std::memory_order_relaxed);
+  const uint64_t exec_us = static_cast<uint64_t>(timer.ElapsedMicros());
+  total_exec_micros_.fetch_add(exec_us, std::memory_order_relaxed);
+  // Same registry feed as the GroupByQuery overload: this is the fused
+  // per-query path (one scan, no phases).
+  static obs::Histogram* query_latency =
+      obs::Registry::Global().GetHistogram("engine.query.latency_us");
+  static obs::Counter* obs_rows =
+      obs::Registry::Global().GetCounter("engine.scan.rows");
+  query_latency->Observe(exec_us);
+  obs_rows->Add(qstats.rows_scanned);
   std::vector<std::string> group_cols;
   for (const auto& set : query.grouping_sets) {
     group_cols.insert(group_cols.end(), set.begin(), set.end());
@@ -135,6 +153,12 @@ void Engine::RecordSharedBatch(const std::vector<GroupingSetsQuery>& queries,
   total_exec_micros_.fetch_add(exec_micros, std::memory_order_relaxed);
   cache_hits_.fetch_add(stats.cache_hits, std::memory_order_relaxed);
   cache_misses_.fetch_add(stats.cache_misses, std::memory_order_relaxed);
+  static obs::Counter* obs_hits =
+      obs::Registry::Global().GetCounter("engine.cache.hits");
+  static obs::Counter* obs_misses =
+      obs::Registry::Global().GetCounter("engine.cache.misses");
+  obs_hits->Add(stats.cache_hits);
+  obs_misses->Add(stats.cache_misses);
   for (const auto& query : queries) {
     std::vector<std::string> group_cols;
     for (const auto& set : query.grouping_sets) {

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace seedb::db {
@@ -137,6 +138,9 @@ void PartialAggCache::Insert(const std::string& key, CachedPartialAgg entry) {
     map_.erase(vit);
     lru_.pop_back();
     ++evictions_;
+    static obs::Counter* obs_evictions =
+        obs::Registry::Global().GetCounter("engine.cache.evictions");
+    obs_evictions->Add();
   }
 }
 

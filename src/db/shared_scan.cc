@@ -12,6 +12,8 @@
 
 #include "db/group_by.h"
 #include "db/scan_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "db/vec/aggregate_kernels.h"
 #include "db/vec/group_ids.h"
 #include "db/vec/simd/simd.h"
@@ -709,6 +711,7 @@ class SharedScanState::Impl {
                        ? AdaptiveMorselRows(table_.num_rows(), threads_)
                        : options.morsel_rows;
     cancel_ = options.cancel;
+    trace_ = options.trace;
     use_simd_ = options.enable_vectorized && options.enable_simd &&
                 vec::simd::Available();
 
@@ -973,6 +976,15 @@ class SharedScanState::Impl {
     ++phases_;
     if (row_begin == row_end) return Status::OK();
 
+    // Per-phase wall time feeds the registry histogram (phase granularity,
+    // never per morsel — morsels/sec derives from the morsel counter over
+    // this latency); the span shows up as one block per phase in Perfetto.
+    static obs::Histogram* phase_latency =
+        obs::Registry::Global().GetHistogram("engine.phase.latency_us");
+    obs::ScopedTimer phase_obs_timer(phase_latency);
+    SEEDB_TRACE_SPAN_IF(phase_span, "scan.phase", 0,
+                        obs::TraceRecorder::ShouldTrace(trace_));
+
     // Adaptive mode re-derives the morsel size per phase: from the phase's
     // own row range (phases are slices of the table; sizing them off the
     // whole table would make early phases one giant morsel) scaled up by the
@@ -1055,6 +1067,12 @@ class SharedScanState::Impl {
     }
     rows_scanned_ += counted_rows;
     morsels_ += done;
+    static obs::Counter* obs_morsels =
+        obs::Registry::Global().GetCounter("engine.scan.morsels");
+    static obs::Counter* obs_rows =
+        obs::Registry::Global().GetCounter("engine.scan.rows");
+    obs_morsels->Add(done);
+    obs_rows->Add(counted_rows);
     return Status::OK();
   }
 
@@ -1131,7 +1149,9 @@ class SharedScanState::Impl {
     std::atomic<size_t> morsels_done{0};
     std::atomic<size_t> vec_morsels{0};
     std::atomic<size_t> simd_morsels{0};
+    const bool record_spans = obs::TraceRecorder::ShouldTrace(trace_);
     if (threads == 1) {
+      SEEDB_TRACE_SPAN_IF(worker_span, "scan.worker", 0, record_spans);
       WorkerLoop(specs_, recipes_, scan_active_, row_begin, row_end,
                  morsel_rows, ids, use_simd_, &next_morsel, cancel_,
                  &morsels_done, &vec_morsels, &simd_morsels, completed,
@@ -1147,7 +1167,8 @@ class SharedScanState::Impl {
         futures.push_back(pool_->Submit([this, row_begin, row_end, morsel_rows,
                                          &ids, &next_morsel, &morsels_done,
                                          &vec_morsels, &simd_morsels, completed,
-                                         state] {
+                                         record_spans, state] {
+          SEEDB_TRACE_SPAN_IF(worker_span, "scan.worker", 0, record_spans);
           WorkerLoop(specs_, recipes_, scan_active_, row_begin, row_end,
                      morsel_rows, ids, use_simd_, &next_morsel, cancel_,
                      &morsels_done, &vec_morsels, &simd_morsels, completed,
@@ -1157,6 +1178,7 @@ class SharedScanState::Impl {
       for (auto& f : futures) f.get();
     }
 
+    SEEDB_TRACE_SPAN_IF(merge_span, "scan.merge", 0, record_spans);
     for (size_t q = 0; q < specs_.size(); ++q) {
       if (!scan_active_[q]) continue;
       for (size_t s = 0; s < specs_[q].sets.size(); ++s) {
@@ -1299,6 +1321,7 @@ class SharedScanState::Impl {
   size_t threads_ = 1;
   size_t morsel_rows_ = 0;
   bool adaptive_morsels_ = false;
+  bool trace_ = false;
   const std::atomic<bool>* cancel_ = nullptr;
   /// Lazily created on the first multi-threaded phase, reused after.
   std::unique_ptr<ThreadPool> pool_;

@@ -96,6 +96,10 @@ struct SharedScanOptions {
   /// views' estimates final from phase 1) set this false so warm runs stay
   /// bit-identical to cold ones. An explicitly set `cache` wins over this.
   bool use_result_cache = true;
+  /// Record obs trace spans (scan.phase / scan.worker / scan.merge) for
+  /// this scan even when the active obs::TraceRecorder was not started
+  /// with trace_all_sessions. No effect while no recorder is active.
+  bool trace = false;
 };
 
 /// The morsel size `morsel_rows = 0` resolves to: aim for a handful of

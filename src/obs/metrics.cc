@@ -1,0 +1,194 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace seedb::obs {
+
+uint64_t BucketUpperBoundUs(size_t i) {
+  // Buckets 0..25 end at 2^0 .. 2^25 us; the overflow bucket (26) is
+  // unbounded and reports the last finite boundary.
+  const size_t capped = std::min(i, kHistogramBuckets - 2);
+  return uint64_t{1} << capped;
+}
+
+namespace internal {
+size_t ThisThreadSlot() {
+  thread_local const size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kMetricSlots;
+  return slot;
+}
+}  // namespace internal
+
+size_t Histogram::BucketIndex(uint64_t value_us) {
+  // Bucket i covers (2^(i-1), 2^i] us; bucket 0 covers [0, 1] us.
+  size_t i = 0;
+  while (i < kHistogramBuckets - 1 && value_us > BucketUpperBoundUs(i)) ++i;
+  return i;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (const Shard& s : shards_) {
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum_us += s.sum_us.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      s.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum_us.store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t HistogramSnapshot::QuantileUs(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile observation, 1-based (nearest-rank method).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(count) + 0.5));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return BucketUpperBoundUs(b);
+  }
+  return BucketUpperBoundUs(kHistogramBuckets - 1);
+}
+
+Registry& Registry::Global() {
+  static Registry* g = new Registry();  // never destroyed
+  return *g;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  base::MutexLock lock(&mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  base::MutexLock lock(&mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name) {
+  base::MutexLock lock(&mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  Snapshot snap;
+  base::MutexLock lock(&mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back({name, h->Snapshot()});
+  }
+  return snap;
+}
+
+void Registry::Reset() {
+  base::MutexLock lock(&mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+namespace {
+void AppendHistogramLine(const std::string& name,
+                         const HistogramSnapshot& h, std::string* out) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s count=%" PRIu64 " mean_us=%.1f p50_us=%" PRIu64
+                " p95_us=%" PRIu64 " p99_us=%" PRIu64 "\n",
+                name.c_str(), h.count, h.MeanUs(), h.QuantileUs(0.50),
+                h.QuantileUs(0.95), h.QuantileUs(0.99));
+  *out += buf;
+}
+}  // namespace
+
+std::string Snapshot::ToString() const {
+  std::string out;
+  char buf[192];
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const CounterValue& c : counters) {
+      std::snprintf(buf, sizeof(buf), "  %s = %" PRIu64 "\n", c.name.c_str(),
+                    c.value);
+      out += buf;
+    }
+  }
+  if (!gauges.empty()) {
+    out += "gauges:\n";
+    for (const GaugeValue& g : gauges) {
+      std::snprintf(buf, sizeof(buf), "  %s = %" PRId64 "\n", g.name.c_str(),
+                    g.value);
+      out += buf;
+    }
+  }
+  if (!histograms.empty()) {
+    out += "histograms:\n";
+    for (const HistogramValue& h : histograms) {
+      out += "  ";
+      AppendHistogramLine(h.name, h.snapshot, &out);
+    }
+  }
+  if (out.empty()) out = "(no metrics registered)\n";
+  return out;
+}
+
+std::string Snapshot::ToOneLine() const {
+  std::string out = "metrics:";
+  char buf[192];
+  for (const CounterValue& c : counters) {
+    std::snprintf(buf, sizeof(buf), " %s=%" PRIu64, c.name.c_str(), c.value);
+    out += buf;
+  }
+  for (const GaugeValue& g : gauges) {
+    std::snprintf(buf, sizeof(buf), " %s=%" PRId64, g.name.c_str(), g.value);
+    out += buf;
+  }
+  for (const HistogramValue& h : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  " %s{count=%" PRIu64 ",p50=%" PRIu64 ",p99=%" PRIu64 "}",
+                  h.name.c_str(), h.snapshot.count, h.snapshot.QuantileUs(0.5),
+                  h.snapshot.QuantileUs(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace seedb::obs

@@ -1,0 +1,242 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// latency histograms with near-zero hot-path cost.
+//
+// Hot-path writes never take a lock: every Counter/Histogram is sharded
+// into cache-line-padded per-thread slots (thread id hashed to a slot once,
+// cached thread_local), and a write is a single relaxed fetch_add on one
+// slot. Readers merge the slots on demand — totals are exact because every
+// increment lands in exactly one slot. The registry's name->instrument map
+// is behind an annotated base::Mutex, but call sites look an instrument up
+// once (function-local static) and keep the pointer: instruments are never
+// destroyed, so the pointer stays valid for the life of the process.
+//
+// Histograms use fixed log-spaced bucket boundaries in microseconds
+// (1us, 2us, 4us, ... ~67s, +overflow), so p50/p95/p99 are computed
+// deterministically from the bucket counts — the reported quantile is the
+// upper boundary of the bucket the rank falls in, an upper bound on the
+// true quantile that is exact to within one bucket (<= 2x).
+//
+// Convention: histogram names end in `_us` and observe microseconds;
+// counters are monotonic event counts; gauges are instantaneous values.
+// New subsystem counters must go through this registry (CONTRIBUTING.md),
+// not bare atomics, so `\metrics`, the `metrics` wire request, and
+// --metrics-dump-sec see them for free.
+
+#ifndef SEEDB_OBS_METRICS_H_
+#define SEEDB_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/mutex.h"
+
+namespace seedb::obs {
+
+/// Per-thread write shards. A power of two so the slot hash is a mask.
+inline constexpr size_t kMetricSlots = 16;
+
+/// Histogram bucket count: boundaries 2^0 .. 2^25 microseconds (~67s),
+/// plus one overflow bucket.
+inline constexpr size_t kHistogramBuckets = 27;
+
+/// Upper boundary (inclusive) of histogram bucket `i`, in microseconds.
+/// The last bucket is unbounded; its reported boundary is the previous
+/// boundary (quantiles landing there are reported as ">= 2^25 us").
+uint64_t BucketUpperBoundUs(size_t i);
+
+namespace internal {
+/// Index of this thread's write slot (hashed thread id, cached).
+size_t ThisThreadSlot();
+}  // namespace internal
+
+/// \brief Monotonic event counter, sharded per thread.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta = 1) {
+    slots_[internal::ThisThreadSlot()].v.fetch_add(delta,
+                                                   std::memory_order_relaxed);
+  }
+
+  /// Exact merged total across all slots.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Slot& s : slots_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void Reset() {
+    for (Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> v{0};
+  };
+  Slot slots_[kMetricSlots];
+};
+
+/// \brief Instantaneous signed value (set wins; Add for deltas).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Merged read-side view of one histogram.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum_us = 0;
+  uint64_t buckets[kHistogramBuckets] = {};
+
+  /// Quantile in [0,1] -> upper boundary (us) of the bucket holding that
+  /// rank; 0 when empty. Deterministic: derived from bucket counts only.
+  uint64_t QuantileUs(double q) const;
+  double MeanUs() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum_us) / count;
+  }
+};
+
+/// \brief Fixed-bucket latency histogram (microseconds), sharded per thread.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(uint64_t value_us) {
+    Shard& s = shards_[internal::ThisThreadSlot()];
+    s.buckets[BucketIndex(value_us)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum_us.fetch_add(value_us, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  /// Bucket index for a value: floor(log2(v)) clamped to the table.
+  static size_t BucketIndex(uint64_t value_us);
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kHistogramBuckets] = {};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_us{0};
+  };
+  Shard shards_[kMetricSlots];
+};
+
+/// One named instrument inside a Snapshot.
+struct CounterValue {
+  std::string name;
+  uint64_t value = 0;
+};
+struct GaugeValue {
+  std::string name;
+  int64_t value = 0;
+};
+struct HistogramValue {
+  std::string name;
+  HistogramSnapshot snapshot;
+};
+
+/// \brief Point-in-time merged view of every registered instrument,
+/// name-sorted. Plain data: the server layer renders it to JSON, the CLI
+/// and --metrics-dump-sec render it to text.
+struct Snapshot {
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Multi-line human-readable dump (CLI `\metrics`).
+  std::string ToString() const;
+  /// Single-line key=value dump (--metrics-dump-sec stderr line).
+  std::string ToOneLine() const;
+};
+
+/// \brief Process-wide instrument registry.
+///
+/// GetCounter/GetGauge/GetHistogram return a stable pointer for the life of
+/// the process (instruments are never destroyed); call sites should look a
+/// name up once and cache the pointer:
+///
+///   static obs::Counter* hits =
+///       obs::Registry::Global().GetCounter("engine.cache.hits");
+///   hits->Add();
+class Registry {
+ public:
+  static Registry& Global();
+
+  /// Instantiable for tests that want an isolated namespace; everything in
+  /// the process shares Global() otherwise.
+  Registry() = default;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Merged view of every instrument, name-sorted.
+  Snapshot TakeSnapshot() const;
+
+  /// Zeroes every instrument (registration survives). `\stats reset`.
+  void Reset();
+
+ private:
+  mutable base::Mutex mu_;
+  // Instruments are heap-allocated once and never freed; the maps only
+  // ever grow. std::map keeps snapshot output name-sorted for free.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mu_);
+};
+
+/// Steady-clock microseconds since an arbitrary process-local epoch. The
+/// single time source for every obs timestamp (never system_clock: wire and
+/// trace timestamps must be immune to wall-clock jumps).
+inline uint64_t SteadyNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// \brief RAII latency sample: observes elapsed us into `h` on destruction.
+/// Accepts nullptr (no-op) so call sites can gate on a condition.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) : h_(h), start_us_(SteadyNowUs()) {}
+  ~ScopedTimer() {
+    if (h_ != nullptr) h_->Observe(SteadyNowUs() - start_us_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  uint64_t start_us_;
+};
+
+}  // namespace seedb::obs
+
+#endif  // SEEDB_OBS_METRICS_H_

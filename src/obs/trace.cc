@@ -1,0 +1,105 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace seedb::obs {
+
+std::atomic<bool> TraceRecorder::enabled_{false};
+std::atomic<bool> TraceRecorder::trace_all_{false};
+
+namespace {
+
+// Recorder state. One process-wide file; the mutex serializes appends,
+// which also keeps each event's JSON intact. Writes go through the stdio
+// buffer, so a span costs a short lock + buffered formatting, not a
+// syscall.
+base::Mutex g_mu;
+FILE* g_file GUARDED_BY(g_mu) = nullptr;
+bool g_first_event GUARDED_BY(g_mu) = true;
+uint64_t g_event_count GUARDED_BY(g_mu) = 0;
+uint64_t g_start_us GUARDED_BY(g_mu) = 0;
+
+// Small stable per-thread ids (1, 2, 3, ...) so traces are readable and
+// tools/validate_trace.py can group events by thread.
+std::atomic<uint64_t> g_next_tid{1};
+uint64_t ThisThreadTraceId() {
+  thread_local const uint64_t tid =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void EmitEvent(char phase, const char* name, uint64_t session) {
+  const uint64_t tid = ThisThreadTraceId();
+  const uint64_t now_us = SteadyNowUs();
+  base::MutexLock lock(&g_mu);
+  if (g_file == nullptr) return;  // raced StopGlobal; drop the event
+  const uint64_t ts = now_us >= g_start_us ? now_us - g_start_us : 0;
+  if (!g_first_event) std::fputs(",\n", g_file);
+  g_first_event = false;
+  if (session != 0) {
+    std::fprintf(g_file,
+                 "{\"name\":\"%s\",\"ph\":\"%c\",\"ts\":%" PRIu64
+                 ",\"pid\":1,\"tid\":%" PRIu64
+                 ",\"args\":{\"session\":%" PRIu64 "}}",
+                 name, phase, ts, tid, session);
+  } else {
+    std::fprintf(g_file,
+                 "{\"name\":\"%s\",\"ph\":\"%c\",\"ts\":%" PRIu64
+                 ",\"pid\":1,\"tid\":%" PRIu64 "}",
+                 name, phase, ts, tid);
+  }
+  ++g_event_count;
+}
+
+}  // namespace
+
+Status TraceRecorder::StartGlobal(const std::string& path,
+                                  bool trace_all_sessions) {
+  base::MutexLock lock(&g_mu);
+  if (g_file != nullptr) {
+    return Status::AlreadyExists("trace recorder already active");
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file: " + path);
+  }
+  std::fputs("[\n", f);
+  g_file = f;
+  g_first_event = true;
+  g_event_count = 0;
+  g_start_us = SteadyNowUs();
+  trace_all_.store(trace_all_sessions, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void TraceRecorder::StopGlobal() {
+  // Flip the fast-path flag first so new spans stop enqueueing; in-flight
+  // EmitEvent calls either land before the close below or see the null
+  // file and drop.
+  enabled_.store(false, std::memory_order_release);
+  base::MutexLock lock(&g_mu);
+  if (g_file == nullptr) return;
+  std::fputs("\n]\n", g_file);
+  std::fclose(g_file);
+  g_file = nullptr;
+  trace_all_.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::EmitBegin(const char* name, uint64_t session) {
+  EmitEvent('B', name, session);
+}
+
+void TraceRecorder::EmitEnd(const char* name, uint64_t session) {
+  EmitEvent('E', name, session);
+}
+
+uint64_t TraceRecorder::EventCount() {
+  base::MutexLock lock(&g_mu);
+  return g_event_count;
+}
+
+}  // namespace seedb::obs

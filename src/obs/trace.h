@@ -1,0 +1,129 @@
+// Lightweight trace-span recorder emitting Chrome trace-event JSON.
+//
+// Spans wrap the phases that matter — session lifecycle (open / next-phase
+// / finalize), shared-scan phases and per-worker merge steps, server
+// request dispatch — and the output file loads directly in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Events are the classic
+// B/E (duration begin/end) form:
+//
+//   {"name":"scan.phase","ph":"B","ts":123,"pid":1,"tid":7,
+//    "args":{"session":3}}
+//
+// Timestamps are steady-clock microseconds relative to recorder start
+// (never system_clock — trace order must survive wall-clock jumps), and
+// each event is written at the moment it happens, so events are
+// ts-monotonic per thread in file order (tools/validate_trace.py checks
+// this, plus begin/end balance).
+//
+// Cost model: when no recorder is active, a span is one relaxed atomic
+// load and two branches. When SEEDB_DISABLE_TRACING is defined the
+// SEEDB_TRACE_SPAN macros compile to nothing at all. When recording, each
+// event takes a short critical section to append to the output file's
+// stdio buffer — spans are phase/request granularity, so this never sits
+// on a morsel-level hot path.
+//
+// Enablement is two-level:
+//   * process: TraceRecorder::StartGlobal(path, trace_all_sessions)
+//     (the seedb_server --trace-out flag passes trace_all_sessions=true);
+//   * session: SeeDBRequest::WithTrace(true) (wire: OpenSpec.trace) marks
+//     one session's engine-side spans recordable even when
+//     trace_all_sessions is false.
+// Server dispatch spans follow trace_all_sessions; engine/session spans
+// emit when ShouldTrace(session_traced) says so.
+
+#ifndef SEEDB_OBS_TRACE_H_
+#define SEEDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "base/mutex.h"
+#include "util/status.h"
+
+namespace seedb::obs {
+
+/// \brief Process-wide Chrome trace-event recorder. All methods are
+/// thread-safe; Emit* are no-ops while no recorder is active.
+class TraceRecorder {
+ public:
+  /// Opens `path` and starts recording. `trace_all_sessions` makes every
+  /// session's spans recordable regardless of their per-session flag.
+  /// Errors if a recorder is already active or the file cannot be opened.
+  static Status StartGlobal(const std::string& path, bool trace_all_sessions);
+
+  /// Flushes, closes the file (terminating the JSON array), and stops.
+  /// No-op when not recording.
+  static void StopGlobal();
+
+  /// A recorder is active.
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Should engine/session-level spans for a session with per-session
+  /// trace flag `session_traced` be recorded right now?
+  static bool ShouldTrace(bool session_traced) {
+    return Enabled() &&
+           (session_traced || trace_all_.load(std::memory_order_relaxed));
+  }
+
+  /// Emits a begin/end event pair marker. `session` 0 = no session arg.
+  /// `name` must outlive the call (string literals at every call site).
+  static void EmitBegin(const char* name, uint64_t session);
+  static void EmitEnd(const char* name, uint64_t session);
+
+  /// Events written since StartGlobal (for tests; 0 when not recording).
+  static uint64_t EventCount();
+
+ private:
+  static std::atomic<bool> enabled_;
+  static std::atomic<bool> trace_all_;
+};
+
+/// \brief RAII span: emits B on construction, E on destruction, when
+/// `record` is true and a recorder is active. The common disabled path is
+/// one relaxed load. `name` must be a string literal.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, uint64_t session = 0,
+                     bool record = true)
+      : name_(nullptr) {
+    if (record && TraceRecorder::Enabled()) {
+      name_ = name;
+      session_ = session;
+      TraceRecorder::EmitBegin(name_, session_);
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) TraceRecorder::EmitEnd(name_, session_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t session_ = 0;
+};
+
+// Span macros: the only spellings instrumentation sites should use, so a
+// build with SEEDB_DISABLE_TRACING compiles every span to nothing.
+#ifdef SEEDB_DISABLE_TRACING
+#define SEEDB_TRACE_SPAN(var, name, session) \
+  do {                                       \
+  } while (false)
+#define SEEDB_TRACE_SPAN_IF(var, name, session, cond) \
+  do {                                                \
+  } while (false)
+#else
+/// Unconditional span (recorded whenever a recorder is active).
+#define SEEDB_TRACE_SPAN(var, name, session) \
+  ::seedb::obs::TraceSpan var((name), (session))
+/// Span gated on a per-session condition (TraceRecorder::ShouldTrace).
+#define SEEDB_TRACE_SPAN_IF(var, name, session, cond) \
+  ::seedb::obs::TraceSpan var((name), (session), (cond))
+#endif
+
+}  // namespace seedb::obs
+
+#endif  // SEEDB_OBS_TRACE_H_

@@ -260,6 +260,12 @@ Result<RemoteStatus> Client::GetStatus(const std::string& id) {
   return StatusFromJson(response);
 }
 
+Result<JsonValue> Client::Metrics() {
+  SEEDB_ASSIGN_OR_RETURN(JsonValue response, Call(MetricsRequestToJson()));
+  SEEDB_RETURN_IF_ERROR(CheckOk(response));
+  return response;
+}
+
 Result<RemoteResult> RemoteSession::Await() {
   while (true) {
     SEEDB_ASSIGN_OR_RETURN(JsonValue frame, client_->NextPushFrame(id_));

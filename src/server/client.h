@@ -107,6 +107,10 @@ class Client {
   Result<RemoteResult> Finish(const std::string& id);
   /// Session status, or server-wide status when `id` is empty.
   Result<RemoteStatus> GetStatus(const std::string& id = "");
+  /// The server's metrics snapshot (`{"op":"metrics"}`) as the raw frame —
+  /// counters/gauges/histograms per protocol.h. Returned untyped so tooling
+  /// can render new metrics without a client-library release.
+  Result<JsonValue> Metrics();
 
  private:
   friend class RemoteSession;

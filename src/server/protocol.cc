@@ -205,6 +205,7 @@ JsonValue OpenRequestToJson(const std::string& id, const OpenSpec& spec) {
     v.Set("parallelism",
           JsonValue::Number(static_cast<double>(spec.parallelism)));
   }
+  if (spec.trace) v.Set("trace", JsonValue::Bool(true));
   return v;
 }
 
@@ -272,7 +273,56 @@ Result<core::SeeDBRequest> OpenRequestFromJson(const JsonValue& request) {
   if (int64_t parallelism = request.GetInt("parallelism"); parallelism > 0) {
     req->WithParallelism(static_cast<size_t>(parallelism));
   }
+  if (request.GetBool("trace")) req->WithTrace(true);
   return std::move(*req);
+}
+
+JsonValue MetricsRequestToJson() {
+  JsonValue v = JsonValue::Object();
+  v.Set("op", JsonValue::Str("metrics"));
+  return v;
+}
+
+JsonValue MetricsToJson(const obs::Snapshot& snapshot) {
+  JsonValue v = JsonValue::Object();
+  v.Set("ok", JsonValue::Bool(true));
+  v.Set("type", JsonValue::Str("metrics"));
+  JsonValue counters = JsonValue::Object();
+  for (const obs::CounterValue& c : snapshot.counters) {
+    counters.Set(c.name, JsonValue::Number(static_cast<double>(c.value)));
+  }
+  v.Set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::Object();
+  for (const obs::GaugeValue& g : snapshot.gauges) {
+    gauges.Set(g.name, JsonValue::Number(static_cast<double>(g.value)));
+  }
+  v.Set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::Object();
+  for (const obs::HistogramValue& h : snapshot.histograms) {
+    const obs::HistogramSnapshot& s = h.snapshot;
+    JsonValue hist = JsonValue::Object();
+    hist.Set("count", JsonValue::Number(static_cast<double>(s.count)));
+    hist.Set("sum_us", JsonValue::Number(static_cast<double>(s.sum_us)));
+    hist.Set("mean_us", JsonValue::Number(s.MeanUs()));
+    hist.Set("p50_us",
+             JsonValue::Number(static_cast<double>(s.QuantileUs(0.50))));
+    hist.Set("p95_us",
+             JsonValue::Number(static_cast<double>(s.QuantileUs(0.95))));
+    hist.Set("p99_us",
+             JsonValue::Number(static_cast<double>(s.QuantileUs(0.99))));
+    JsonValue bounds = JsonValue::Array();
+    JsonValue counts = JsonValue::Array();
+    for (size_t b = 0; b < obs::kHistogramBuckets; ++b) {
+      bounds.Append(JsonValue::Number(
+          static_cast<double>(obs::BucketUpperBoundUs(b))));
+      counts.Append(JsonValue::Number(static_cast<double>(s.buckets[b])));
+    }
+    hist.Set("bucket_le_us", std::move(bounds));
+    hist.Set("bucket_counts", std::move(counts));
+    histograms.Set(h.name, std::move(hist));
+  }
+  v.Set("histograms", std::move(histograms));
+  return v;
 }
 
 JsonValue ProgressToJson(const std::string& id,

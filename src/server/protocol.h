@@ -13,6 +13,7 @@
 //   {"op":"resume","id":"s1"}                      -> {"ok":true,"type":"ack"}
 //   {"op":"status","id":"s1"} / {"op":"status"}    -> {"ok":true,"type":"status",...}
 //   {"op":"finish","id":"s1"}                      -> {"ok":true,"type":"result",...}
+//   {"op":"metrics"}                               -> {"ok":true,"type":"metrics",...}
 //
 // Protocol v2 (negotiated by `hello` with the `push` capability): a session
 // opened on a v2 connection is DRIVEN BY THE SERVER — every completed
@@ -53,6 +54,7 @@
 
 #include "core/recommendation.h"
 #include "core/session.h"
+#include "obs/metrics.h"
 #include "server/json.h"
 
 namespace seedb::server {
@@ -121,6 +123,10 @@ struct OpenSpec {
   double utility_range = -1.0;  // < 0 = default
   size_t memory_budget = 0;     // bytes; 0 = unlimited
   size_t parallelism = 0;       // 0 = default
+  /// Mark the session's engine-side spans recordable by the server's
+  /// obs::TraceRecorder (SeeDBRequest::WithTrace). No effect unless the
+  /// server runs with --trace-out.
+  bool trace = false;
 };
 
 /// The `open` request line for `spec` (without trailing newline).
@@ -136,6 +142,29 @@ JsonValue ProgressToJson(const std::string& id,
                          const core::ProgressUpdate& update);
 JsonValue ResultToJson(const std::string& id,
                        const core::RecommendationSet& set);
+
+// --- Metrics frames (protocol v2 addition; answered on any connection) ---
+//
+//   {"op":"metrics"}  ->  {"ok":true,"type":"metrics",
+//                          "counters":{"engine.scan.rows":123,...},
+//                          "gauges":{...},
+//                          "histograms":{"server.request.next_us":{
+//                            "count":N,"sum_us":S,"mean_us":M,
+//                            "p50_us":..,"p95_us":..,"p99_us":..,
+//                            "bucket_le_us":[1,2,4,...],
+//                            "bucket_counts":[0,3,...]}}}
+//
+// Quantiles are computed server-side from the fixed log-spaced buckets
+// (obs/metrics.h): each reported pXX is the upper boundary of the bucket
+// holding that rank. bucket_le_us/bucket_counts are parallel arrays over
+// every bucket (the last entry is the overflow bucket, reported with the
+// last finite boundary).
+
+/// The `metrics` request line.
+JsonValue MetricsRequestToJson();
+
+/// Encodes a registry snapshot as the `metrics` response frame.
+JsonValue MetricsToJson(const obs::Snapshot& snapshot);
 
 // --- Response frames, client-side views ---
 

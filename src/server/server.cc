@@ -12,10 +12,41 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/net_util.h"
 
 namespace seedb::server {
 namespace {
+
+/// Per-request-type wall-time histogram ("server.request.<op>_us") and a
+/// string-literal span name for the dispatch trace — looked up once, cached
+/// for the life of the process. Unknown / unnamed ops return {nullptr,
+/// nullptr}: still counted by requests_, just not histogrammed.
+struct OpInstruments {
+  obs::Histogram* latency = nullptr;
+  const char* span_name = nullptr;
+};
+
+OpInstruments InstrumentsForOp(const std::string& op) {
+  obs::Registry& reg = obs::Registry::Global();
+  static obs::Histogram* open_us =
+      reg.GetHistogram("server.request.open_us");
+  static obs::Histogram* next_us =
+      reg.GetHistogram("server.request.next_us");
+  static obs::Histogram* cancel_us =
+      reg.GetHistogram("server.request.cancel_us");
+  static obs::Histogram* resume_us =
+      reg.GetHistogram("server.request.resume_us");
+  static obs::Histogram* finish_us =
+      reg.GetHistogram("server.request.finish_us");
+  if (op == "open") return {open_us, "server.open"};
+  if (op == "next") return {next_us, "server.next"};
+  if (op == "cancel") return {cancel_us, "server.cancel"};
+  if (op == "resume") return {resume_us, "server.resume"};
+  if (op == "finish") return {finish_us, "server.finish"};
+  return {};
+}
 
 /// Wheel granularity for a given idle timeout: fine enough that eviction
 /// lands within ~a quarter of the timeout, never busier than 10ms ticks.
@@ -190,6 +221,11 @@ void RecommendationServer::EventLoop() {
           ? static_cast<int>(std::min<uint64_t>(wheel_.tick_ms(), 100))
           : 100;
   std::vector<epoll_event> events(128);
+  // Tick lag: how long each loop iteration spends servicing events before
+  // it can block in epoll again — the time a freshly readable connection
+  // can wait for the loop's attention.
+  static obs::Histogram* tick_lag =
+      obs::Registry::Global().GetHistogram("server.loop.tick_lag_us");
   while (running_.load()) {
     int n = ::epoll_wait(epoll_fd_, events.data(),
                          static_cast<int>(events.size()), timeout_ms);
@@ -198,6 +234,7 @@ void RecommendationServer::EventLoop() {
       if (errno == EINTR) continue;
       break;
     }
+    obs::ScopedTimer tick_timer(tick_lag);
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       const uint32_t ev = events[i].events;
@@ -353,6 +390,15 @@ void RecommendationServer::FlushConn(const std::shared_ptr<Conn>& conn) {
       break;
     }
     conn->outbox.erase(0, off);
+    if (conn->outbox.empty() && conn->outbox_since_us != 0) {
+      // Queue fully drained: the oldest queued frame waited this long
+      // between enqueue and its last byte entering the socket buffer.
+      static obs::Histogram* flush_us =
+          obs::Registry::Global().GetHistogram("server.outbox.flush_us");
+      flush_us->Observe(static_cast<uint64_t>(NowUs()) -
+                        conn->outbox_since_us);
+      conn->outbox_since_us = 0;
+    }
     if (conn->overflowed) close_now = true;
     if (!close_now && conn->outbox.empty() && conn->close_after_flush &&
         conn->lines.empty() && !conn->strand_scheduled) {
@@ -415,6 +461,9 @@ void RecommendationServer::EnqueueOutput(const std::shared_ptr<Conn>& conn,
   {
     base::MutexLock lock(&conn->mu);
     if (conn->closed.load(std::memory_order_acquire)) return;
+    if (conn->outbox.empty()) {
+      conn->outbox_since_us = static_cast<uint64_t>(NowUs());
+    }
     conn->outbox += frame;
     if (conn->outbox.size() > options_.max_write_queue_bytes) {
       // A reader this far behind must not pin memory; the loop drops it.
@@ -628,6 +677,9 @@ void RecommendationServer::EvictSession(
   }
   MarkDrained(entry);
   sessions_evicted_.fetch_add(1);
+  static obs::Counter* evictions =
+      obs::Registry::Global().GetCounter("server.evictions");
+  evictions->Add();
 }
 
 // --- Request dispatch -----------------------------------------------------
@@ -664,11 +716,21 @@ JsonValue RecommendationServer::Dispatch(const JsonValue& request,
     return ErrorResponse(
         Status::InvalidArgument("missing \"op\" (expected "
                                 "hello|open|next|cancel|resume|finish|"
-                                "status)"),
+                                "status|metrics)"),
         id);
   }
+  // Per-request-type wall time (error paths included — they are served
+  // requests too) and, when a recorder is active, a dispatch span.
+  const OpInstruments instruments = InstrumentsForOp(op);
+  obs::ScopedTimer request_timer(instruments.latency);
+  SEEDB_TRACE_SPAN_IF(dispatch_span,
+                      instruments.span_name != nullptr
+                          ? instruments.span_name
+                          : "server.dispatch",
+                      0, obs::TraceRecorder::Enabled());
   if (op == "hello") return HandleHello(request, ctx);
   if (op == "status") return HandleStatus(id);
+  if (op == "metrics") return HandleMetrics();
   if (id.empty()) {
     return ErrorResponse(
         Status::InvalidArgument("op \"" + op + "\" needs a session \"id\""),
@@ -681,6 +743,10 @@ JsonValue RecommendationServer::Dispatch(const JsonValue& request,
   if (op == "finish") return HandleFinish(id);
   return ErrorResponse(Status::InvalidArgument("unknown op \"" + op + "\""),
                        id);
+}
+
+JsonValue RecommendationServer::HandleMetrics() {
+  return MetricsToJson(obs::Registry::Global().TakeSnapshot());
 }
 
 std::shared_ptr<RecommendationServer::ServerSession>
@@ -715,6 +781,9 @@ JsonValue RecommendationServer::HandleOpen(const std::string& id,
       // Admission control: shed instead of queueing unbounded sessions on a
       // saturated Engine. Structured so clients can back off and retry.
       sessions_rejected_.fetch_add(1);
+      static obs::Counter* busy_sheds =
+          obs::Registry::Global().GetCounter("server.admission.busy_sheds");
+      busy_sheds->Add();
       JsonValue busy = ErrorResponse(
           Status::Unavailable(
               "server at capacity (" +

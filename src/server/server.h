@@ -153,6 +153,10 @@ class RecommendationServer {
     std::deque<std::string> lines GUARDED_BY(mu);
     bool strand_scheduled GUARDED_BY(mu) = false;
     std::string outbox GUARDED_BY(mu);
+    /// Steady stamp (µs) of the enqueue that made `outbox` non-empty; 0
+    /// while drained. Feeds the server.outbox.flush_us histogram — the
+    /// time a queued frame waits before the loop fully drains the queue.
+    uint64_t outbox_since_us GUARDED_BY(mu) = 0;
     bool close_after_flush GUARDED_BY(mu) = false;
     bool overflowed GUARDED_BY(mu) = false;
 
@@ -220,6 +224,7 @@ class RecommendationServer {
   JsonValue HandleResume(const std::string& id, ReqCtx* ctx);
   JsonValue HandleFinish(const std::string& id);
   JsonValue HandleStatus(const std::string& id);
+  JsonValue HandleMetrics();
   std::shared_ptr<ServerSession> FindSession(const std::string& id)
       EXCLUDES(sessions_mu_);
   /// Refreshes the session's idle stamp (every op that names a live id).

@@ -51,6 +51,28 @@ TEST_F(EngineTest, StatsCountQueriesAndScans) {
   EXPECT_GT(s.peak_agg_state_bytes, 0u);
 }
 
+// Pins the \stats reset contract: every cumulative counter reads zero
+// after ResetStats(), and counting resumes from zero afterwards.
+TEST_F(EngineTest, ResetStatsZeroesEveryCounter) {
+  ASSERT_TRUE(engine_.Execute(SimpleQuery()).ok());
+  EXPECT_GT(engine_.stats().queries_executed, 0u);
+  engine_.ResetStats();
+  EngineStatsSnapshot s = engine_.stats();
+  EXPECT_EQ(s.queries_executed, 0u);
+  EXPECT_EQ(s.table_scans, 0u);
+  EXPECT_EQ(s.shared_scan_batches, 0u);
+  EXPECT_EQ(s.vectorized_morsels, 0u);
+  EXPECT_EQ(s.simd_morsels, 0u);
+  EXPECT_EQ(s.rows_scanned, 0u);
+  EXPECT_EQ(s.groups_created, 0u);
+  EXPECT_EQ(s.peak_agg_state_bytes, 0u);
+  EXPECT_EQ(s.total_exec_micros, 0u);
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.cache_misses, 0u);
+  ASSERT_TRUE(engine_.Execute(SimpleQuery()).ok());
+  EXPECT_EQ(engine_.stats().queries_executed, 1u);
+}
+
 TEST_F(EngineTest, GroupingSetsCountsOneScan) {
   engine_.ResetStats();
   GroupingSetsQuery q;

@@ -1,0 +1,163 @@
+// Trace-recorder tests: the emitted file is well-formed Chrome trace-event
+// JSON (parsed with the server's own JSON parser), begin/end events balance
+// and nest per thread, timestamps are monotonic per tid in file order, the
+// per-session gate (ShouldTrace) composes with trace_all, and double-start
+// is rejected. The recorder is process-global, so these tests serialize on
+// it — gtest runs them sequentially in one process.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/json.h"
+
+namespace seedb::obs {
+namespace {
+
+std::string TempTracePath(const char* tag) {
+  return "/tmp/seedb_trace_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".json";
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class TraceFile {
+ public:
+  explicit TraceFile(const char* tag) : path_(TempTracePath(tag)) {}
+  ~TraceFile() {
+    TraceRecorder::StopGlobal();  // safety net when a test fails mid-way
+    std::remove(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(TraceRecorderTest, DisabledByDefaultAndSpansCostNothing) {
+  ASSERT_FALSE(TraceRecorder::Enabled());
+  EXPECT_FALSE(TraceRecorder::ShouldTrace(true));
+  { SEEDB_TRACE_SPAN(span, "never.recorded", 1); }
+  EXPECT_EQ(TraceRecorder::EventCount(), 0u);
+}
+
+TEST(TraceRecorderTest, EmitsBalancedWellFormedJson) {
+  TraceFile file("balanced");
+  ASSERT_TRUE(TraceRecorder::StartGlobal(file.path(), true).ok());
+  EXPECT_TRUE(TraceRecorder::Enabled());
+
+  // Nested spans on this thread plus concurrent spans on 4 others.
+  {
+    SEEDB_TRACE_SPAN(outer, "session.open", 7);
+    SEEDB_TRACE_SPAN(inner, "scan.phase", 7);
+  }
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < 8; ++i) {
+        SEEDB_TRACE_SPAN(span, "scan.worker", 0);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const uint64_t events = TraceRecorder::EventCount();
+  EXPECT_EQ(events, 2u * (2 + 4 * 8));
+  TraceRecorder::StopGlobal();
+  EXPECT_FALSE(TraceRecorder::Enabled());
+
+  auto doc = server::ParseJson(ReadFile(file.path()));
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_TRUE(doc->is_array());
+  ASSERT_EQ(doc->size(), events);
+
+  // Per-tid: B/E balance with proper nesting, ts monotone in file order.
+  std::map<int64_t, std::vector<std::string>> open;
+  std::map<int64_t, int64_t> last_ts;
+  for (size_t i = 0; i < doc->size(); ++i) {
+    const server::JsonValue& ev = doc->at(i);
+    const std::string name = ev.GetString("name");
+    const std::string ph = ev.GetString("ph");
+    const int64_t ts = ev.GetInt("ts", -1);
+    const int64_t tid = ev.GetInt("tid", -1);
+    ASSERT_FALSE(name.empty());
+    ASSERT_TRUE(ph == "B" || ph == "E") << ph;
+    ASSERT_GE(ts, 0);
+    ASSERT_GT(tid, 0);
+    EXPECT_EQ(ev.GetInt("pid"), 1);
+    auto it = last_ts.find(tid);
+    if (it != last_ts.end()) EXPECT_GE(ts, it->second);
+    last_ts[tid] = ts;
+    if (ph == "B") {
+      open[tid].push_back(name);
+    } else {
+      ASSERT_FALSE(open[tid].empty()) << "E without B for " << name;
+      EXPECT_EQ(open[tid].back(), name);
+      open[tid].pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : open) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+
+  // The session arg rides on the session-lifecycle spans.
+  bool saw_session_arg = false;
+  for (size_t i = 0; i < doc->size(); ++i) {
+    const server::JsonValue* args = doc->at(i).Find("args");
+    if (args != nullptr && args->GetInt("session") == 7) {
+      saw_session_arg = true;
+    }
+  }
+  EXPECT_TRUE(saw_session_arg);
+}
+
+TEST(TraceRecorderTest, PerSessionGateComposesWithTraceAll) {
+  TraceFile file("gate");
+  // trace_all = false: only sessions that opted in record.
+  ASSERT_TRUE(TraceRecorder::StartGlobal(file.path(), false).ok());
+  EXPECT_TRUE(TraceRecorder::ShouldTrace(true));
+  EXPECT_FALSE(TraceRecorder::ShouldTrace(false));
+  {
+    SEEDB_TRACE_SPAN_IF(skipped, "session.open", 1,
+                        TraceRecorder::ShouldTrace(false));
+    SEEDB_TRACE_SPAN_IF(recorded, "session.open", 2,
+                        TraceRecorder::ShouldTrace(true));
+  }
+  EXPECT_EQ(TraceRecorder::EventCount(), 2u);  // one B + one E
+  TraceRecorder::StopGlobal();
+}
+
+TEST(TraceRecorderTest, SecondStartIsRejectedWhileActive) {
+  TraceFile file("double");
+  ASSERT_TRUE(TraceRecorder::StartGlobal(file.path(), true).ok());
+  Status again = TraceRecorder::StartGlobal(TempTracePath("other"), true);
+  EXPECT_FALSE(again.ok());
+  TraceRecorder::StopGlobal();
+  // After stopping, a fresh recorder may start.
+  ASSERT_TRUE(TraceRecorder::StartGlobal(file.path(), true).ok());
+  TraceRecorder::StopGlobal();
+}
+
+TEST(TraceRecorderTest, UnopenablePathIsIoError) {
+  Status bad =
+      TraceRecorder::StartGlobal("/nonexistent-dir/trace.json", true);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(TraceRecorder::Enabled());
+}
+
+}  // namespace
+}  // namespace seedb::obs

@@ -19,9 +19,16 @@ Rules:
       contiguous access, and a node-based container on that path is almost
       always an accident. Deliberate node-stable caches carry a
       "lint: allow-map" marker on the declaration line.
+  R4  No std::chrono::system_clock on wire or trace paths (src/server/,
+      src/obs/): push-frame ts_us stamps and trace-event timestamps promise
+      steady-clock time — frame-delivery latency is computed by subtracting
+      them, and a wall-clock stamp makes latency jump with NTP steps.
+      Deliberate wall-clock use (log line timestamps) carries a
+      "lint: allow-system-clock" marker.
 
 Suppression: append "lint: allow-<rule>" in a comment on the offending line
-(allow-mutex, allow-float-format, allow-map). Use sparingly and say why.
+(allow-mutex, allow-float-format, allow-map, allow-system-clock). Use
+sparingly and say why.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ NAKED_SYNC = re.compile(
 # %[flags][width][.precision]conversion for float conversions.
 FLOAT_FORMAT = re.compile(r"%[-+ #0]*\d*(?:\.\d+)?[efgEFG]")
 STD_MAP = re.compile(r"std::(?:multi)?map\s*<")
+SYSTEM_CLOCK = re.compile(r"std::chrono::system_clock\b")
 LINE_COMMENT = re.compile(r"//.*$")
 
 
@@ -99,6 +107,20 @@ def check() -> list[str]:
                     "shared-scan hot path; use a vector/flat layout, or mark "
                     "a deliberate node-stable cache [allow-map]"
                 )
+
+    # R4: wall-clock timestamps on wire/trace paths.
+    for root in (REPO / "src" / "server", REPO / "src" / "obs"):
+        for path in source_files(root):
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if "lint: allow-system-clock" in line:
+                    continue
+                if SYSTEM_CLOCK.search(strip_comment(line)):
+                    errors.append(
+                        f"{path.relative_to(REPO)}:{lineno}: "
+                        "std::chrono::system_clock on a wire/trace path; "
+                        "ts_us stamps and trace timestamps must be "
+                        "steady_clock [allow-system-clock]"
+                    )
 
     return errors
 

@@ -74,6 +74,18 @@ def compare_server_sweep(old_doc, new_doc, threshold):
         label = f"{transport} n={sessions} p={phases}"
         new = new_runs[key]
         old = old_runs.get(key)
+        # A run that skipped negative-latency frame samples measured under
+        # clock trouble (suspended runner, VM migration); its percentiles
+        # are not comparable — skip the config rather than diff noise.
+        skipped_neg = [r for r in (old, new)
+                       if r is not None and r.get("negative_frames", 0) > 0]
+        if skipped_neg:
+            warnings += 1
+            print(f"::warning::sweep config {label} skipped (advisory): "
+                  f"artifact recorded negative-latency frame samples "
+                  f"(old={old.get('negative_frames', 0) if old else '-'}, "
+                  f"new={new.get('negative_frames', 0)})")
+            continue
         if old is None:
             print(f"{label:>28} {'-':>9} {new.get('sessions_per_sec', 0):>9.1f}"
                   f" {'-':>9} {new.get('frame_p99_ms', 0):>9.3f}  (new config)")
@@ -135,6 +147,37 @@ def compare_result_cache(old_doc, new_doc, threshold):
     return warnings
 
 
+def compare_server_metrics(old_doc, new_doc, threshold):
+    """Advisory diff of the server-side obs histograms the sweep records
+    (`server_metrics`: p50/p95/p99 µs per request type, measured in the
+    server — no socket hop). Artifacts written before the observability PR
+    carry no such key and are skipped. Quantiles are bucket upper bounds
+    (log-spaced powers of two), so any movement is at least a full bucket —
+    still advisory, but much less noisy than wire latencies."""
+    new_metrics = new_doc.get("server_metrics")
+    warnings = 0
+    if not new_metrics:
+        return warnings
+    old_metrics = old_doc.get("server_metrics", {})
+    print(f"\n{'server metric':>30} {'old p99us':>10} {'new p99us':>10}")
+    for name in sorted(new_metrics):
+        new = new_metrics[name]
+        old = old_metrics.get(name)
+        if old is None:
+            print(f"{name:>30} {'-':>10} {new.get('p99_us', 0):>10}"
+                  f"  (new metric)")
+            continue
+        old_p99 = old.get("p99_us", 0)
+        new_p99 = new.get("p99_us", 0)
+        print(f"{name:>30} {old_p99:>10} {new_p99:>10}")
+        if old_p99 > 0 and (new_p99 - old_p99) / old_p99 > threshold:
+            warnings += 1
+            print(f"::warning::server-side p99 regression (advisory): "
+                  f"{name} went {old_p99}us -> {new_p99}us "
+                  f"(threshold {threshold:.0%})")
+    return warnings
+
+
 def compare_server(old_path, new_path, threshold):
     """Advisory diff of BENCH_server.json artifacts: warn when throughput
     (sessions/sec) drops, p99 `next` latency grows past the threshold, or
@@ -151,6 +194,7 @@ def compare_server(old_path, new_path, threshold):
                 for r in new_doc.get("runs", [])}
     warnings = compare_server_sweep(old_doc, new_doc, threshold)
     warnings += compare_result_cache(old_doc, new_doc, threshold)
+    warnings += compare_server_metrics(old_doc, new_doc, threshold)
     print(f"\n{'server config':>28} {'old s/s':>9} {'new s/s':>9} "
           f"{'old p99':>9} {'new p99':>9}")
     for key in sorted(new_runs, key=str):

@@ -25,6 +25,7 @@
 #include "db/binning.h"
 #include "db/csv.h"
 #include "db/engine.h"
+#include "obs/metrics.h"
 #include "server/client.h"
 #include "util/string_util.h"
 #include "viz/ascii_renderer.h"
@@ -72,7 +73,8 @@ class Cli {
     if (cmd == "template") return Template(in);
     if (cmd == "connect") return Connect(in);
     if (cmd == "disconnect") return Disconnect();
-    if (cmd == "stats") return Stats();
+    if (cmd == "stats") return Stats(in);
+    if (cmd == "metrics") return Metrics();
     return Status::InvalidArgument("unknown command \\" + cmd +
                                    " (try \\help)");
   }
@@ -103,6 +105,10 @@ class Cli {
         "                                   (0 = unlimited)\n"
         "  \\stats                           engine counters (scans, rows,\n"
         "                                   vectorized morsels, ...)\n"
+        "  \\stats reset                     zero the engine counters and\n"
+        "                                   the obs metrics registry\n"
+        "  \\metrics                         obs registry snapshot (latency\n"
+        "                                   histograms; server's if remote)\n"
         "  \\connect <socket|host:port|port> route queries to a seedb_server\n"
         "  \\disconnect                      back to in-process execution\n"
         "  \\q                               quit\n"
@@ -386,13 +392,39 @@ class Cli {
   // vec_morsels shows whether the fused scans actually took the vectorized
   // inner loop or fell back to the hash path. In remote mode the queries
   // ran on the server's engine, whose counters these are NOT.
-  Status Stats() {
+  // `\stats reset` zeroes both the engine counters and the in-process obs
+  // registry, so back-to-back experiments measure from a clean slate.
+  Status Stats(std::istringstream& in) {
+    std::string arg;
+    in >> arg;
+    if (arg == "reset") {
+      engine_.ResetStats();
+      obs::Registry::Global().Reset();
+      std::printf("engine counters and metrics registry reset\n");
+      return Status::OK();
+    }
+    if (!arg.empty()) {
+      return Status::InvalidArgument("usage: \\stats [reset]");
+    }
     if (remote_.has_value()) {
       std::printf("note: connected to a server — queries ran on the "
                   "server's engine; the counters below cover only this "
                   "CLI's in-process engine\n");
     }
     std::printf("%s\n", engine_.stats().ToString().c_str());
+    return Status::OK();
+  }
+
+  // The obs registry snapshot: latency histograms (engine phases, server
+  // request types) plus counters/gauges. Remote mode asks the server for
+  // ITS registry — that is where the queries ran.
+  Status Metrics() {
+    if (remote_.has_value()) {
+      SEEDB_ASSIGN_OR_RETURN(server::JsonValue frame, remote_->Metrics());
+      std::printf("%s\n", frame.Dump().c_str());
+      return Status::OK();
+    }
+    std::printf("%s", obs::Registry::Global().TakeSnapshot().ToString().c_str());
     return Status::OK();
   }
 

@@ -14,6 +14,7 @@
 //   echo '{"op":"open","id":"s1","sql":"SELECT * FROM orders WHERE ..."}' \
 //     | nc -U /tmp/seedb.sock
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +28,8 @@
 #include "data/synthetic.h"
 #include "db/csv.h"
 #include "db/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/server.h"
 
 namespace {
@@ -43,7 +46,7 @@ int Usage(const char* argv0) {
       "usage: %s [--unix PATH | --port N] [--demo] [--csv NAME=FILE]...\n"
       "          [--synthetic ROWS[,DIMS[,MEASURES[,CARDINALITY[,SEED]]]]]\n"
       "          [--workers N] [--idle-timeout-ms MS] [--max-inflight N]\n"
-      "          [--cache-mb N]\n"
+      "          [--cache-mb N] [--trace-out FILE] [--metrics-dump-sec N]\n"
       "  --unix PATH   listen on a unix-domain socket (removed on exit)\n"
       "  --port N      listen on TCP 127.0.0.1:N (0 = ephemeral, printed)\n"
       "  --demo        load the demo datasets (orders, elections, medical)\n"
@@ -55,6 +58,11 @@ int Usage(const char* argv0) {
       "                      a busy response (0 = unlimited)\n"
       "  --cache-mb N        partial-aggregate result cache budget in MiB\n"
       "                      (default 64; 0 disables the cache)\n"
+      "  --trace-out FILE    record Chrome trace-event JSON (request\n"
+      "                      dispatch, session lifecycle, scan phases) to\n"
+      "                      FILE; load in Perfetto / chrome://tracing\n"
+      "  --metrics-dump-sec N  print a one-line metrics snapshot to stderr\n"
+      "                      every N seconds\n"
       "With no data flags, --demo is implied (a server with no tables "
       "answers every open with not_found).\n",
       argv0);
@@ -103,6 +111,8 @@ int main(int argc, char** argv) {
   bool want_demo = false;
   bool loaded_any = false;
   size_t cache_mb = 64;
+  std::string trace_out;
+  int metrics_dump_sec = 0;
 
   db::Catalog catalog;
   for (int i = 1; i < argc; ++i) {
@@ -139,6 +149,14 @@ int main(int argc, char** argv) {
       const char* value = next_value("--cache-mb");
       if (value == nullptr) return Usage(argv[0]);
       cache_mb = static_cast<size_t>(std::atoi(value));
+    } else if (arg == "--trace-out") {
+      const char* value = next_value("--trace-out");
+      if (value == nullptr) return Usage(argv[0]);
+      trace_out = value;
+    } else if (arg == "--metrics-dump-sec") {
+      const char* value = next_value("--metrics-dump-sec");
+      if (value == nullptr) return Usage(argv[0]);
+      metrics_dump_sec = std::atoi(value);
     } else if (arg == "--demo") {
       want_demo = true;
     } else if (arg == "--csv") {
@@ -186,6 +204,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!trace_out.empty()) {
+    // Process-level recorder with trace_all: every session's spans are
+    // recorded, no per-request opt-in needed.
+    Status traced =
+        obs::TraceRecorder::StartGlobal(trace_out, /*trace_all_sessions=*/true);
+    if (!traced.ok()) {
+      std::fprintf(stderr, "cannot start trace: %s\n",
+                   traced.ToString().c_str());
+      return 1;
+    }
+    std::printf("tracing to %s\n", trace_out.c_str());
+  }
+
   db::Engine engine(&catalog);
   if (cache_mb > 0) {
     engine.EnableResultCache(cache_mb * size_t{1024} * 1024);
@@ -207,10 +238,33 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+
+  std::atomic<bool> dump_stop{false};
+  std::thread dump_thread;
+  if (metrics_dump_sec > 0) {
+    dump_thread = std::thread([metrics_dump_sec, &dump_stop] {
+      // Sleep in small increments so shutdown never waits a full period.
+      int elapsed_ms = 0;
+      while (!dump_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        elapsed_ms += 200;
+        if (elapsed_ms < metrics_dump_sec * 1000) continue;
+        elapsed_ms = 0;
+        std::fprintf(stderr, "%s\n",
+                     obs::Registry::Global().TakeSnapshot().ToOneLine().c_str());
+      }
+    });
+  }
+
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   server.Stop();
+  if (dump_thread.joinable()) {
+    dump_stop.store(true, std::memory_order_release);
+    dump_thread.join();
+  }
+  if (!trace_out.empty()) obs::TraceRecorder::StopGlobal();
   server::ServerStats stats = server.stats();
   std::printf("shutdown: %llu connections, %llu requests (%llu errors), "
               "%llu sessions opened, %llu finished, %llu evicted, "

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validator for Chrome trace-event JSON emitted by src/obs/trace.cc.
+
+CI runs seedb_server with --trace-out through the smoke test and feeds the
+resulting file here before uploading it as an artifact. Checks:
+
+  1. The file is well-formed JSON and the top level is an array.
+  2. Every event is an object carrying the duration-event fields the
+     recorder emits: name (non-empty str), ph ("B" or "E"), ts (number,
+     >= 0), pid, tid (ints).
+  3. Begin/end events balance per tid: every "E" closes the most recent
+     open "B" on the same tid (proper nesting, LIFO), and nothing stays
+     open at end of file.
+  4. Timestamps are monotonically non-decreasing per tid in file order —
+     the recorder stamps ts on the emitting thread before taking the file
+     lock, so per-tid order must hold even though cross-tid interleaving
+     is arbitrary.
+
+Exit 0 with a one-line summary when the trace passes, exit 1 with every
+violation listed otherwise. An empty event array is valid (a server that
+served no requests traces nothing).
+
+Usage: validate_trace.py TRACE.json
+"""
+
+import json
+import sys
+
+
+def validate(path):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: not readable as JSON: {e}"], 0, 0
+
+    if not isinstance(doc, list):
+        return [f"{path}: top level is {type(doc).__name__}, expected a "
+                f"JSON array of trace events"], 0, 0
+
+    open_spans = {}  # tid -> stack of (name, ts)
+    last_ts = {}  # tid -> last seen ts
+    tids = set()
+    for i, ev in enumerate(doc):
+        where = f"event[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = ev.get("name")
+        ph = ev.get("ph")
+        ts = ev.get("ts")
+        tid = ev.get("tid")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing/empty name")
+            continue
+        if ph not in ("B", "E"):
+            errors.append(f"{where} ({name}): ph={ph!r}, expected B or E")
+            continue
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where} ({name}): bad ts {ts!r}")
+            continue
+        if not isinstance(tid, int) or not isinstance(ev.get("pid"), int):
+            errors.append(f"{where} ({name}): missing integer pid/tid")
+            continue
+        tids.add(tid)
+        if tid in last_ts and ts < last_ts[tid]:
+            errors.append(f"{where} ({name}): ts went backwards on tid "
+                          f"{tid}: {last_ts[tid]} -> {ts}")
+        last_ts[tid] = ts
+        stack = open_spans.setdefault(tid, [])
+        if ph == "B":
+            stack.append((name, ts))
+        else:
+            if not stack:
+                errors.append(f"{where} ({name}): E with no open B on "
+                              f"tid {tid}")
+            else:
+                open_name, _ = stack.pop()
+                if open_name != name:
+                    errors.append(f"{where}: E({name}) closes B({open_name}) "
+                                  f"on tid {tid} — spans must nest")
+    for tid, stack in open_spans.items():
+        for name, ts in stack:
+            errors.append(f"tid {tid}: span '{name}' (ts={ts}) never closed")
+    return errors, len(doc), len(tids)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors, events, tids = validate(sys.argv[1])
+    if errors:
+        for e in errors:
+            print(f"validate_trace: {e}", file=sys.stderr)
+        print(f"validate_trace: FAIL ({len(errors)} violations, "
+              f"{events} events)", file=sys.stderr)
+        return 1
+    print(f"validate_trace: OK ({events} events across {tids} threads)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
